@@ -1,0 +1,141 @@
+//! Thread-private baseline mode (§3).
+//!
+//! "The benchmarks can also be configured such that each thread operates
+//! on a private list, such that there is no interaction required between
+//! threads. […] These configurations can give an idea of the system and
+//! memory overheads when there is no actual interaction between
+//! threads." Each thread gets its *own* sequential list (singly or
+//! doubly, from `seq-list`) and runs the deterministic schedule against
+//! it; comparing against the lock-free variants on disjoint keys isolates
+//! the price of the atomics.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use seq_list::{SeqOrderedSet, SeqStats};
+
+use crate::config::DeterministicConfig;
+
+/// Result of a thread-private run (no concurrency columns).
+#[derive(Debug, Clone)]
+pub struct PrivateRunResult {
+    /// `"seq_singly"` or `"seq_doubly"`.
+    pub variant: String,
+    /// Wall-clock time of the timed phase.
+    pub wall: std::time::Duration,
+    /// Total operations over all threads.
+    pub total_ops: u64,
+    /// Aggregated sequential counters.
+    pub stats: SeqStats,
+}
+
+impl PrivateRunResult {
+    /// Throughput in Kops/s.
+    pub fn kops_per_sec(&self) -> f64 {
+        self.total_ops as f64 / self.wall.as_secs_f64() / 1000.0
+    }
+}
+
+/// Runs the deterministic schedule, one private sequential list per
+/// thread. The key pattern is irrelevant for contention (there is none)
+/// but kept for workload-shape parity.
+pub fn run_private<L>(cfg: &DeterministicConfig, variant_name: &str) -> PrivateRunResult
+where
+    L: SeqOrderedSet<i64> + Send,
+{
+    let barrier = Barrier::new(cfg.threads + 1);
+    let p = cfg.threads as u64;
+    let n = cfg.n;
+    let (wall, stats) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let barrier = &barrier;
+                let pattern = cfg.pattern;
+                scope.spawn(move || {
+                    let mut list = L::new();
+                    barrier.wait();
+                    let t = t as u64;
+                    for i in 0..n {
+                        let k = pattern.key(i, t, p);
+                        list.contains(k);
+                        list.insert(k);
+                        list.contains(k);
+                        list.insert(k);
+                    }
+                    for i in (0..n).rev() {
+                        let k = pattern.key(i, t, p);
+                        list.contains(k);
+                        list.remove(k);
+                        list.contains(k);
+                        list.remove(k);
+                    }
+                    for i in 0..n {
+                        list.contains(pattern.key(i, t, p));
+                    }
+                    list.stats()
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let stats = workers
+            .into_iter()
+            .map(|w| w.join().unwrap())
+            .fold(SeqStats::default(), |a, b| a + b);
+        (start.elapsed(), stats)
+    });
+    PrivateRunResult {
+        variant: variant_name.to_string(),
+        wall,
+        total_ops: cfg.total_ops(),
+        stats,
+    }
+}
+
+/// Thread-private run on the sequential singly linked list.
+pub fn run_private_singly(cfg: &DeterministicConfig) -> PrivateRunResult {
+    run_private::<seq_list::SinglySeqList<i64>>(cfg, "seq_singly")
+}
+
+/// Thread-private run on the sequential doubly linked list (with cursor).
+pub fn run_private_doubly(cfg: &DeterministicConfig) -> PrivateRunResult {
+    run_private::<seq_list::DoublySeqList<i64>>(cfg, "seq_doubly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KeyPattern;
+
+    #[test]
+    fn private_runs_count_exact_ops() {
+        let cfg = DeterministicConfig {
+            threads: 4,
+            n: 300,
+            pattern: KeyPattern::DisjointKeys,
+        };
+        let r = run_private_singly(&cfg);
+        assert_eq!(r.total_ops, 9 * 300 * 4);
+        assert_eq!(r.stats.adds, 300 * 4);
+        assert_eq!(r.stats.rems, 300 * 4);
+        assert!(r.kops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn doubly_cursor_baseline_beats_singly_on_traversals() {
+        let cfg = DeterministicConfig {
+            threads: 2,
+            n: 1_000,
+            pattern: KeyPattern::SameKeys,
+        };
+        let s = run_private_singly(&cfg);
+        let d = run_private_doubly(&cfg);
+        assert_eq!(s.stats.adds, d.stats.adds);
+        assert!(
+            d.stats.trav + d.stats.cons < (s.stats.trav + s.stats.cons) / 10,
+            "sequential cursor list should traverse far less: {} vs {}",
+            d.stats.trav + d.stats.cons,
+            s.stats.trav + s.stats.cons
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! The random operation-mix benchmark driver (§3).
+//!
+//! The list is prefilled with `f` distinct keys drawn uniformly from
+//! `[0, U)`; each of `p` threads then performs `c` operations chosen
+//! with the configured probabilities (e.g. 10/10/80 for the tables,
+//! 25/25/50 for the scalability figures) on uniformly random keys,
+//! using its own glibc-`random_r` stream with a per-thread seed —
+//! exactly the paper's setup. "For chosen f and U the number of elements
+//! of the list will not vary too much": adds and removes hit random
+//! keys, so the live size stays near `U/2`-bounded equilibrium around
+//! the prefill level.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use glibc_rand::{thread_seed, GlibcRandom};
+use pragmatic_list::{ConcurrentOrderedSet, OpStats, SetHandle};
+
+use crate::config::RandomMixConfig;
+use crate::result::RunResult;
+
+/// Prefills `list` with `cfg.prefill` distinct uniform keys (untimed,
+/// single-threaded, deterministic from `cfg.seed`).
+fn prefill<S: ConcurrentOrderedSet<i64>>(list: &S, cfg: &RandomMixConfig) {
+    assert!(
+        (cfg.prefill as u128) <= cfg.key_range as u128,
+        "cannot prefill {} distinct keys from a range of {}",
+        cfg.prefill,
+        cfg.key_range
+    );
+    let mut rng = GlibcRandom::new(thread_seed(cfg.seed, usize::MAX >> 1));
+    let mut h = list.handle();
+    let mut inserted = 0;
+    while inserted < cfg.prefill {
+        if h.add(rng.below(cfg.key_range) as i64) {
+            inserted += 1;
+        }
+    }
+}
+
+/// Runs the random-mix benchmark on list variant `S`.
+pub fn run<S: ConcurrentOrderedSet<i64>>(cfg: &RandomMixConfig) -> RunResult {
+    assert!(cfg.threads > 0, "at least one thread");
+    assert!(cfg.mix.is_valid(), "operation mix must sum to 100");
+    assert!(cfg.key_range > 0);
+    let list = S::new();
+    prefill(&list, cfg);
+
+    let barrier = Barrier::new(cfg.threads + 1);
+    let (wall, stats) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let list = &list;
+                let barrier = &barrier;
+                let cfg = *cfg;
+                scope.spawn(move || {
+                    let mut h = list.handle();
+                    let mut rng = GlibcRandom::new(thread_seed(cfg.seed, t));
+                    barrier.wait();
+                    let add_bound = cfg.mix.add;
+                    let rem_bound = cfg.mix.add + cfg.mix.remove;
+                    for _ in 0..cfg.ops_per_thread {
+                        let op = rng.below(100);
+                        let key = rng.below(cfg.key_range) as i64;
+                        if op < add_bound {
+                            h.add(key);
+                        } else if op < rem_bound {
+                            h.remove(key);
+                        } else {
+                            h.contains(key);
+                        }
+                    }
+                    h.take_stats()
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let stats: OpStats = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        (start.elapsed(), stats)
+    });
+
+    RunResult {
+        variant: S::NAME.to_string(),
+        wall,
+        total_ops: cfg.total_ops(),
+        stats,
+        threads: cfg.threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OpMix;
+    use pragmatic_list::variants::{DoublyCursorList, DraconicList, SinglyMildList};
+
+    fn cfg(threads: usize, ops: u64) -> RandomMixConfig {
+        RandomMixConfig {
+            threads,
+            ops_per_thread: ops,
+            prefill: 100,
+            key_range: 1000,
+            mix: OpMix::READ_HEAVY,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn op_counts_match_mix_roughly() {
+        let c = cfg(2, 20_000);
+        let r = run::<SinglyMildList<i64>>(&c);
+        assert_eq!(r.total_ops, 40_000);
+        // ~10% adds on a key range 10x the prefill: roughly half the adds
+        // succeed (equilibrium: presence probability settles under 50%).
+        // Just sanity-check magnitudes, not exact shares.
+        assert!(r.stats.adds > 500, "adds={}", r.stats.adds);
+        // The list cannot exceed the key range.
+        let live = r.stats.adds as i64 - r.stats.rems as i64 + c.prefill as i64;
+        assert!(live >= 0 && live <= c.key_range as i64);
+    }
+
+    #[test]
+    fn same_seed_single_thread_is_reproducible() {
+        let c = cfg(1, 5_000);
+        let a = run::<DraconicList<i64>>(&c);
+        let b = run::<DraconicList<i64>>(&c);
+        assert_eq!(a.stats, b.stats, "single-threaded runs are deterministic");
+    }
+
+    #[test]
+    fn structure_remains_valid_after_run() {
+        // Re-run the workload while keeping the list for inspection.
+        let c = cfg(4, 5_000);
+        let list = DoublyCursorList::<i64>::new();
+        prefill(&list, &c);
+        std::thread::scope(|scope| {
+            for t in 0..c.threads {
+                let list = &list;
+                scope.spawn(move || {
+                    let mut h = list.handle();
+                    let mut rng = GlibcRandom::new(thread_seed(c.seed, t));
+                    for _ in 0..c.ops_per_thread {
+                        let op = rng.below(100);
+                        let key = rng.below(c.key_range) as i64;
+                        match op {
+                            x if x < 10 => {
+                                h.add(key);
+                            }
+                            x if x < 20 => {
+                                h.remove(key);
+                            }
+                            _ => {
+                                h.contains(key);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut list = list;
+        list.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot prefill")]
+    fn prefill_larger_than_range_panics() {
+        let mut c = cfg(1, 10);
+        c.prefill = 2000; // range is 1000
+        run::<DraconicList<i64>>(&c);
+    }
+}

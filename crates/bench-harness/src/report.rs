@@ -1,0 +1,207 @@
+//! Table and CSV formatting matching the paper's presentation.
+//!
+//! [`format_table`] prints the exact columns of Tables 1–9 (Variant,
+//! Time (ms), Total ops, Throughput (Kops/s), adds, rems, cons, trav,
+//! fail, rtry); [`scale_csv`] emits the Figures 1–3 series in a
+//! plot-ready long format (`variant,threads,mean_kops,min,max`).
+
+use crate::result::{RunResult, ScalePoint};
+use crate::variant::Variant;
+
+/// Renders results as a paper-style table.
+pub fn format_table(title: &str, rows: &[RunResult]) -> String {
+    let mut s = String::new();
+    s.push_str(title);
+    s.push('\n');
+    s.push_str(&format!(
+        "{:<20} {:>12} {:>12} {:>12} {:>10} {:>10} {:>14} {:>14} {:>8} {:>8}\n",
+        "Variant",
+        "Time(ms)",
+        "Total ops",
+        "Kops/s",
+        "adds",
+        "rems",
+        "cons",
+        "trav",
+        "fail",
+        "rtry"
+    ));
+    for r in rows {
+        let label = Variant::parse(&r.variant)
+            .map(|v| v.paper_label())
+            .unwrap_or(r.variant.as_str());
+        s.push_str(&format!(
+            "{:<20} {:>12.2} {:>12} {:>12.2} {:>10} {:>10} {:>14} {:>14} {:>8} {:>8}\n",
+            label,
+            r.time_ms(),
+            r.total_ops,
+            r.kops_per_sec(),
+            r.stats.adds,
+            r.stats.rems,
+            r.stats.cons,
+            r.stats.trav,
+            r.stats.fail,
+            r.stats.rtry
+        ));
+    }
+    s
+}
+
+/// Renders run results as CSV (one row per variant).
+pub fn results_csv(rows: &[RunResult]) -> String {
+    let mut s =
+        String::from("variant,threads,time_ms,total_ops,kops_per_sec,adds,rems,cons,trav,fail,rtry\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{},{},{:.3},{},{:.3},{},{},{},{},{},{}\n",
+            r.variant,
+            r.threads,
+            r.time_ms(),
+            r.total_ops,
+            r.kops_per_sec(),
+            r.stats.adds,
+            r.stats.rems,
+            r.stats.cons,
+            r.stats.trav,
+            r.stats.fail,
+            r.stats.rtry
+        ));
+    }
+    s
+}
+
+/// Renders a scalability sweep as CSV in figure-series form.
+pub fn scale_csv(points: &[ScalePoint]) -> String {
+    let mut s = String::from("variant,threads,mean_kops,min_kops,max_kops,repeats\n");
+    for p in points {
+        s.push_str(&format!(
+            "{},{},{:.3},{:.3},{:.3},{}\n",
+            p.variant, p.threads, p.mean_kops, p.min_kops, p.max_kops, p.repeats
+        ));
+    }
+    s
+}
+
+/// Renders a sweep as a crude fixed-width terminal chart (one row per
+/// thread count, one column block per variant) so figure shapes are
+/// visible without plotting tools.
+pub fn scale_ascii(points: &[ScalePoint]) -> String {
+    use std::collections::BTreeSet;
+    let variants: Vec<String> = {
+        let mut seen = BTreeSet::new();
+        points
+            .iter()
+            .filter(|p| seen.insert(p.variant.clone()))
+            .map(|p| p.variant.clone())
+            .collect()
+    };
+    let threads: BTreeSet<usize> = points.iter().map(|p| p.threads).collect();
+    let max = points.iter().map(|p| p.mean_kops).fold(0.0, f64::max);
+    let mut s = format!("{:>8} ", "threads");
+    for v in &variants {
+        s.push_str(&format!("{v:>16} "));
+    }
+    s.push('\n');
+    for t in threads {
+        s.push_str(&format!("{t:>8} "));
+        for v in &variants {
+            let val = points
+                .iter()
+                .find(|p| p.threads == t && &p.variant == v)
+                .map(|p| p.mean_kops)
+                .unwrap_or(f64::NAN);
+            let bar_len = if max > 0.0 {
+                ((val / max) * 8.0).round() as usize
+            } else {
+                0
+            };
+            s.push_str(&format!("{:>7.0} {:<8} ", val, "#".repeat(bar_len.min(8))));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pragmatic_list::OpStats;
+    use std::time::Duration;
+
+    fn row(variant: &str, kops: f64) -> RunResult {
+        RunResult {
+            variant: variant.into(),
+            wall: Duration::from_secs_f64(1.0),
+            total_ops: (kops * 1000.0) as u64,
+            stats: OpStats {
+                adds: 1,
+                rems: 2,
+                cons: 3,
+                trav: 4,
+                fail: 5,
+                rtry: 6,
+            },
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn table_contains_all_columns_and_labels() {
+        let out = format_table("Table X", &[row("draconic", 100.0), row("doubly_cursor", 900.0)]);
+        assert!(out.contains("Table X"));
+        assert!(out.contains("a) draconic"));
+        assert!(out.contains("f) doubly-cursor"));
+        for col in ["Time(ms)", "Kops/s", "adds", "rtry"] {
+            assert!(out.contains(col), "missing {col}");
+        }
+    }
+
+    #[test]
+    fn csv_row_count_and_header() {
+        let out = results_csv(&[row("singly", 1.0)]);
+        let lines: Vec<&str> = out.trim().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("variant,threads,"));
+        assert!(lines[1].starts_with("singly,4,"));
+        assert_eq!(lines[1].split(',').count(), lines[0].split(',').count());
+    }
+
+    #[test]
+    fn scale_csv_format() {
+        let pts = vec![ScalePoint {
+            variant: "doubly_cursor".into(),
+            threads: 8,
+            mean_kops: 123.456,
+            min_kops: 100.0,
+            max_kops: 150.0,
+            repeats: 5,
+        }];
+        let out = scale_csv(&pts);
+        assert!(out.contains("doubly_cursor,8,123.456,100.000,150.000,5"));
+    }
+
+    #[test]
+    fn ascii_chart_mentions_every_variant_and_thread_count() {
+        let pts = vec![
+            ScalePoint {
+                variant: "draconic".into(),
+                threads: 1,
+                mean_kops: 10.0,
+                min_kops: 10.0,
+                max_kops: 10.0,
+                repeats: 1,
+            },
+            ScalePoint {
+                variant: "draconic".into(),
+                threads: 2,
+                mean_kops: 20.0,
+                min_kops: 20.0,
+                max_kops: 20.0,
+                repeats: 1,
+            },
+        ];
+        let out = scale_ascii(&pts);
+        assert!(out.contains("draconic"));
+        assert!(out.lines().count() >= 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Benchmark result records carrying the paper's table columns.
+
+use pragmatic_list::OpStats;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// One benchmark run: one row of a paper table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Variant label, e.g. `"doubly_cursor"`.
+    pub variant: String,
+    /// Wall-clock time of the timed phase.
+    pub wall: Duration,
+    /// Total operations executed (all threads).
+    pub total_ops: u64,
+    /// Aggregated operation counters (the adds/rems/cons/trav/fail/rtry
+    /// columns).
+    #[serde(with = "opstats_serde")]
+    pub stats: OpStats,
+    /// Number of worker threads.
+    pub threads: usize,
+}
+
+impl RunResult {
+    /// Throughput in Kops/s — the paper's headline column.
+    pub fn kops_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            return f64::INFINITY;
+        }
+        self.total_ops as f64 / secs / 1000.0
+    }
+
+    /// Wall time in milliseconds (the paper's "Time (ms)" column).
+    pub fn time_ms(&self) -> f64 {
+        self.wall.as_secs_f64() * 1000.0
+    }
+}
+
+/// `OpStats` lives in `pragmatic-list` without a serde dependency;
+/// serialize it as the six-column tuple.
+mod opstats_serde {
+    use pragmatic_list::OpStats;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    struct Columns {
+        adds: u64,
+        rems: u64,
+        cons: u64,
+        trav: u64,
+        fail: u64,
+        rtry: u64,
+    }
+
+    pub fn serialize<S: Serializer>(v: &OpStats, s: S) -> Result<S::Ok, S::Error> {
+        Columns {
+            adds: v.adds,
+            rems: v.rems,
+            cons: v.cons,
+            trav: v.trav,
+            fail: v.fail,
+            rtry: v.rtry,
+        }
+        .serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<OpStats, D::Error> {
+        let c = Columns::deserialize(d)?;
+        Ok(OpStats {
+            adds: c.adds,
+            rems: c.rems,
+            cons: c.cons,
+            trav: c.trav,
+            fail: c.fail,
+            rtry: c.rtry,
+        })
+    }
+}
+
+/// One point of a scalability series (Figures 1–3): mean throughput over
+/// `repeats` runs at a thread count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Variant label.
+    pub variant: String,
+    /// Thread count of this point.
+    pub threads: usize,
+    /// Mean throughput in Kops/s.
+    pub mean_kops: f64,
+    /// Minimum observed throughput.
+    pub min_kops: f64,
+    /// Maximum observed throughput.
+    pub max_kops: f64,
+    /// Number of repeats averaged.
+    pub repeats: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunResult {
+        RunResult {
+            variant: "draconic".into(),
+            wall: Duration::from_millis(500),
+            total_ops: 1_000_000,
+            stats: OpStats {
+                adds: 10,
+                rems: 9,
+                cons: 8,
+                trav: 7,
+                fail: 6,
+                rtry: 5,
+            },
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn throughput_units_are_kops() {
+        let r = sample();
+        // 1M ops in 0.5 s = 2M ops/s = 2000 Kops/s.
+        assert!((r.kops_per_sec() - 2000.0).abs() < 1e-9);
+        assert!((r.time_ms() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_wall_time_reports_infinite_throughput() {
+        let mut r = sample();
+        r.wall = Duration::ZERO;
+        assert!(r.kops_per_sec().is_infinite());
+    }
+}

@@ -1,0 +1,94 @@
+//! Weak-scaling sweep driver for the scalability figures (Figures 1–3).
+//!
+//! The paper plots, per variant, mean throughput of 5 runs of the
+//! random-mix benchmark (25% add / 25% rem / 50% con, `c = 50000`
+//! operations per thread — weak scaling — `f = 16384` prefill,
+//! `U = 32768` key range) over a growing thread count.
+
+use crate::config::RandomMixConfig;
+use crate::result::ScalePoint;
+use crate::variant::Variant;
+
+/// One figure sweep: every `variant` × every `thread_counts` entry,
+/// `repeats` runs each, averaged.
+///
+/// `base` supplies everything except the thread count. Returns points in
+/// (variant, threads) order. `progress` is invoked after each completed
+/// point (CLI feedback on slow sweeps).
+pub fn sweep(
+    base: &RandomMixConfig,
+    variants: &[Variant],
+    thread_counts: &[usize],
+    repeats: usize,
+    mut progress: impl FnMut(&ScalePoint),
+) -> Vec<ScalePoint> {
+    assert!(repeats > 0);
+    let mut out = Vec::with_capacity(variants.len() * thread_counts.len());
+    for &v in variants {
+        for &p in thread_counts {
+            let cfg = RandomMixConfig {
+                threads: p,
+                ..*base
+            };
+            let mut samples = Vec::with_capacity(repeats);
+            for rep in 0..repeats {
+                let cfg = RandomMixConfig {
+                    // Vary the seed per repeat like re-running the C
+                    // benchmark; keep it deterministic per (point, rep).
+                    seed: base.seed.wrapping_add(rep as u64),
+                    ..cfg
+                };
+                samples.push(v.run_random_mix(&cfg).kops_per_sec());
+            }
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let point = ScalePoint {
+                variant: v.name().to_string(),
+                threads: p,
+                mean_kops: mean,
+                min_kops: samples.iter().copied().fold(f64::INFINITY, f64::min),
+                max_kops: samples.iter().copied().fold(0.0, f64::max),
+                repeats,
+            };
+            progress(&point);
+            out.push(point);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OpMix;
+
+    #[test]
+    fn sweep_produces_grid_of_points() {
+        let base = RandomMixConfig {
+            threads: 1,
+            ops_per_thread: 500,
+            prefill: 32,
+            key_range: 64,
+            mix: OpMix::UPDATE_HEAVY,
+            seed: 7,
+        };
+        let mut seen = 0;
+        let pts = sweep(
+            &base,
+            &[Variant::Draconic, Variant::DoublyCursor],
+            &[1, 2],
+            2,
+            |_| seen += 1,
+        );
+        assert_eq!(pts.len(), 4);
+        assert_eq!(seen, 4);
+        for p in &pts {
+            assert!(p.mean_kops > 0.0);
+            assert!(p.min_kops <= p.mean_kops && p.mean_kops <= p.max_kops);
+            assert_eq!(p.repeats, 2);
+        }
+        assert_eq!(pts[0].variant, "draconic");
+        assert_eq!(pts[0].threads, 1);
+        assert_eq!(pts[3].variant, "doubly_cursor");
+        assert_eq!(pts[3].threads, 2);
+    }
+}

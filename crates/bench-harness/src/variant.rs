@@ -1,0 +1,217 @@
+//! Value-level dispatch over the statically-typed list variants.
+
+use pragmatic_list::variants::{
+    CursorOnlyList, DoublyBackptrList, DoublyCursorList, DraconicList, SinglyCursorList,
+    SinglyFetchOrList, SinglyMildList,
+};
+use pragmatic_list::EpochList;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{DeterministicConfig, RandomMixConfig};
+use crate::result::RunResult;
+use crate::{deterministic, random_mix};
+
+/// The benchmarked list variants: the paper's a)–f) plus the two
+/// extensions of this reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// a) textbook: restart from head on every failed CAS.
+    Draconic,
+    /// b) singly linked with the mild improvements.
+    Singly,
+    /// c) doubly linked with approximate backward pointers.
+    Doubly,
+    /// d) singly linked, mild improvements + per-thread cursor.
+    SinglyCursor,
+    /// e) as d) with fetch-or marking in `rem()`.
+    SinglyFetchOr,
+    /// f) doubly linked with backward pointers + cursor.
+    DoublyCursor,
+    /// Ablation: per-thread cursor *without* the mild improvements.
+    CursorOnly,
+    /// Extension: textbook list with crossbeam-epoch reclamation.
+    Epoch,
+}
+
+impl Variant {
+    /// The six variants of the paper, in table order a)–f).
+    pub const PAPER: [Variant; 6] = [
+        Variant::Draconic,
+        Variant::Singly,
+        Variant::Doubly,
+        Variant::SinglyCursor,
+        Variant::SinglyFetchOr,
+        Variant::DoublyCursor,
+    ];
+
+    /// The subset benchmarked on SPARC (Tables 7–9: no fetch-or, because
+    /// Solaris lacks `random_r` and the paper drops variant e there).
+    pub const SPARC: [Variant; 5] = [
+        Variant::Draconic,
+        Variant::Singly,
+        Variant::Doubly,
+        Variant::SinglyCursor,
+        Variant::DoublyCursor,
+    ];
+
+    /// The five variants of the scalability figures.
+    pub const FIGURES: [Variant; 5] = [
+        Variant::Draconic,
+        Variant::Singly,
+        Variant::Doubly,
+        Variant::SinglyCursor,
+        Variant::DoublyCursor,
+    ];
+
+    /// Stable machine-readable name (matches `ConcurrentOrderedSet::NAME`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Draconic => "draconic",
+            Variant::Singly => "singly",
+            Variant::Doubly => "doubly",
+            Variant::SinglyCursor => "singly_cursor",
+            Variant::SinglyFetchOr => "singly_fetch_or",
+            Variant::DoublyCursor => "doubly_cursor",
+            Variant::CursorOnly => "cursor_only",
+            Variant::Epoch => "epoch",
+        }
+    }
+
+    /// The paper's row label, e.g. `"a) draconic"`.
+    pub fn paper_label(self) -> &'static str {
+        match self {
+            Variant::Draconic => "a) draconic",
+            Variant::Singly => "b) singly",
+            Variant::Doubly => "c) doubly",
+            Variant::SinglyCursor => "d) singly-cursor",
+            Variant::SinglyFetchOr => "e) singly-fetch-or",
+            Variant::DoublyCursor => "f) doubly-cursor",
+            Variant::CursorOnly => "x) cursor-only",
+            Variant::Epoch => "g) epoch-reclaim",
+        }
+    }
+
+    /// Parses a CLI name (either form, case-insensitive).
+    pub fn parse(s: &str) -> Option<Variant> {
+        let s = s.trim().to_ascii_lowercase().replace('-', "_");
+        Some(match s.as_str() {
+            "draconic" | "a" => Variant::Draconic,
+            "singly" | "b" => Variant::Singly,
+            "doubly" | "c" => Variant::Doubly,
+            "singly_cursor" | "d" => Variant::SinglyCursor,
+            "singly_fetch_or" | "fetch_or" | "e" => Variant::SinglyFetchOr,
+            "doubly_cursor" | "f" => Variant::DoublyCursor,
+            "cursor_only" | "x" => Variant::CursorOnly,
+            "epoch" | "g" => Variant::Epoch,
+            _ => return None,
+        })
+    }
+
+    /// Runs the deterministic benchmark on this variant.
+    pub fn run_deterministic(self, cfg: &DeterministicConfig) -> RunResult {
+        match self {
+            Variant::Draconic => deterministic::run::<DraconicList<i64>>(cfg),
+            Variant::Singly => deterministic::run::<SinglyMildList<i64>>(cfg),
+            Variant::Doubly => deterministic::run::<DoublyBackptrList<i64>>(cfg),
+            Variant::SinglyCursor => deterministic::run::<SinglyCursorList<i64>>(cfg),
+            Variant::SinglyFetchOr => deterministic::run::<SinglyFetchOrList<i64>>(cfg),
+            Variant::DoublyCursor => deterministic::run::<DoublyCursorList<i64>>(cfg),
+            Variant::CursorOnly => deterministic::run::<CursorOnlyList<i64>>(cfg),
+            Variant::Epoch => deterministic::run::<EpochList<i64>>(cfg),
+        }
+    }
+
+    /// Runs the latency-sampled random-mix benchmark on this variant.
+    pub fn run_latency(
+        self,
+        cfg: &RandomMixConfig,
+        sample_every: u64,
+    ) -> crate::latency::LatencyHistogram {
+        use crate::latency::run_sampled;
+        match self {
+            Variant::Draconic => run_sampled::<DraconicList<i64>>(cfg, sample_every),
+            Variant::Singly => run_sampled::<SinglyMildList<i64>>(cfg, sample_every),
+            Variant::Doubly => run_sampled::<DoublyBackptrList<i64>>(cfg, sample_every),
+            Variant::SinglyCursor => run_sampled::<SinglyCursorList<i64>>(cfg, sample_every),
+            Variant::SinglyFetchOr => run_sampled::<SinglyFetchOrList<i64>>(cfg, sample_every),
+            Variant::DoublyCursor => run_sampled::<DoublyCursorList<i64>>(cfg, sample_every),
+            Variant::CursorOnly => run_sampled::<CursorOnlyList<i64>>(cfg, sample_every),
+            Variant::Epoch => run_sampled::<EpochList<i64>>(cfg, sample_every),
+        }
+    }
+
+    /// Runs the random-mix benchmark on this variant.
+    pub fn run_random_mix(self, cfg: &RandomMixConfig) -> RunResult {
+        match self {
+            Variant::Draconic => random_mix::run::<DraconicList<i64>>(cfg),
+            Variant::Singly => random_mix::run::<SinglyMildList<i64>>(cfg),
+            Variant::Doubly => random_mix::run::<DoublyBackptrList<i64>>(cfg),
+            Variant::SinglyCursor => random_mix::run::<SinglyCursorList<i64>>(cfg),
+            Variant::SinglyFetchOr => random_mix::run::<SinglyFetchOrList<i64>>(cfg),
+            Variant::DoublyCursor => random_mix::run::<DoublyCursorList<i64>>(cfg),
+            Variant::CursorOnly => random_mix::run::<CursorOnlyList<i64>>(cfg),
+            Variant::Epoch => random_mix::run::<EpochList<i64>>(cfg),
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_names() {
+        for v in [
+            Variant::Draconic,
+            Variant::Singly,
+            Variant::Doubly,
+            Variant::SinglyCursor,
+            Variant::SinglyFetchOr,
+            Variant::DoublyCursor,
+            Variant::CursorOnly,
+            Variant::Epoch,
+        ] {
+            assert_eq!(Variant::parse(v.name()), Some(v));
+        }
+        assert_eq!(Variant::parse("DOUBLY-CURSOR"), Some(Variant::DoublyCursor));
+        assert_eq!(Variant::parse("f"), Some(Variant::DoublyCursor));
+        assert_eq!(Variant::parse("nope"), None);
+    }
+
+    #[test]
+    fn paper_sets_have_expected_sizes() {
+        assert_eq!(Variant::PAPER.len(), 6);
+        assert_eq!(Variant::SPARC.len(), 5);
+        assert!(!Variant::SPARC.contains(&Variant::SinglyFetchOr));
+    }
+
+    #[test]
+    fn dispatch_reaches_every_variant() {
+        let cfg = DeterministicConfig {
+            threads: 1,
+            n: 50,
+            pattern: crate::config::KeyPattern::SameKeys,
+        };
+        for v in [
+            Variant::Draconic,
+            Variant::Singly,
+            Variant::Doubly,
+            Variant::SinglyCursor,
+            Variant::SinglyFetchOr,
+            Variant::DoublyCursor,
+            Variant::CursorOnly,
+            Variant::Epoch,
+        ] {
+            let r = v.run_deterministic(&cfg);
+            assert_eq!(r.variant, v.name(), "NAME consistency for {v:?}");
+            assert_eq!(r.stats.adds, 50);
+            assert_eq!(r.stats.rems, 50);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Workload-shape regression tests: single-threaded runs are fully
+//! deterministic, so the benchmark drivers must produce *exactly* the
+//! analytically derivable counters. These pin the workload definitions
+//! (§3 of the paper) independent of the data-structure implementations.
+
+use bench_harness::config::{DeterministicConfig, KeyPattern, OpMix, RandomMixConfig};
+use bench_harness::Variant;
+
+/// Deterministic benchmark, one thread: the three-pass schedule gives
+/// exact operation counts regardless of variant.
+#[test]
+fn single_thread_deterministic_counts_are_exact() {
+    let n = 250u64;
+    let cfg = DeterministicConfig {
+        threads: 1,
+        n,
+        pattern: KeyPattern::SameKeys,
+    };
+    for v in Variant::PAPER {
+        let r = v.run_deterministic(&cfg);
+        assert_eq!(r.total_ops, 9 * n, "{v}");
+        // Pass 1: first add of each i succeeds, second fails -> n adds.
+        // Pass 2: first rem succeeds, second fails -> n rems.
+        assert_eq!(r.stats.adds, n, "{v}");
+        assert_eq!(r.stats.rems, n, "{v}");
+        assert_eq!(r.stats.fail, 0, "{v}: no contention single-threaded");
+        assert_eq!(r.stats.rtry, 0, "{v}");
+    }
+}
+
+/// The draconic single-thread traversal counts follow closed forms:
+/// pinning them freezes both the schedule and the counter definitions.
+#[test]
+fn draconic_single_thread_traversals_closed_form() {
+    let n = 100u64;
+    let cfg = DeterministicConfig {
+        threads: 1,
+        n,
+        pattern: KeyPattern::SameKeys,
+    };
+    let r = Variant::Draconic.run_deterministic(&cfg);
+    // Derivation. con() counts one step per `curr` advance starting at
+    // the head sentinel; the search counts one step per advance starting
+    // at the head's successor.
+    //
+    // Pass 1, iteration i (list = {0..i-1} before, {0..i} after):
+    //   con(i) misses: head->0->..->tail            = i+1 steps
+    //   add(i) search: past nodes 0..i-1            = i   steps
+    //   con(i) hits:   head->0->..->node_i          = i+1 steps
+    //   add(i) fails (search stops at node_i)       = i   steps
+    // Pass 2, iteration i descending (list = {0..i} before):
+    //   con(i) hits                                 = i+1 steps
+    //   rem(i) search                               = i   steps
+    //   con(i) misses (walks to tail)               = i+1 steps
+    //   rem(i) fails (search stops at tail)         = i   steps
+    // Pass 3 (empty list): each con is head->tail   = 1   step.
+    //
+    // cons = 2·Σ2(i+1) + n = 2n(n+1) + n;  trav = 2·Σ2i = 2n(n-1).
+    let cons = 2 * n * (n + 1) + n;
+    let trav = 2 * n * (n - 1);
+    assert_eq!(r.stats.cons, cons, "cons closed form");
+    assert_eq!(r.stats.trav, trav, "trav closed form");
+}
+
+/// Random-mix: the operation mix draw is deterministic per seed, so the
+/// per-kind counts are exact and identical across variants.
+#[test]
+fn random_mix_draws_are_variant_independent() {
+    let cfg = RandomMixConfig {
+        threads: 2,
+        ops_per_thread: 5_000,
+        prefill: 200,
+        key_range: 1_000,
+        mix: OpMix::READ_HEAVY,
+        seed: 1234,
+    };
+    let reference = Variant::Draconic.run_random_mix(&cfg);
+    for v in [Variant::Singly, Variant::SinglyCursor, Variant::DoublyCursor] {
+        let r = v.run_random_mix(&cfg);
+        // Successful add/rem counts depend only on the op/key sequence
+        // (single winner per state transition), which is fixed by the
+        // seeds — identical across variants even under concurrency?
+        // No: interleaving can differ. What IS exact: totals.
+        assert_eq!(r.total_ops, reference.total_ops, "{v}");
+    }
+    // With one thread it is fully deterministic and equal across variants.
+    let cfg1 = RandomMixConfig {
+        threads: 1,
+        ..cfg
+    };
+    let ref1 = Variant::Draconic.run_random_mix(&cfg1);
+    for v in [
+        Variant::Singly,
+        Variant::Doubly,
+        Variant::SinglyCursor,
+        Variant::SinglyFetchOr,
+        Variant::DoublyCursor,
+        Variant::Epoch,
+    ] {
+        let r = v.run_random_mix(&cfg1);
+        assert_eq!(r.stats.adds, ref1.stats.adds, "{v}: same successful adds");
+        assert_eq!(r.stats.rems, ref1.stats.rems, "{v}: same successful rems");
+    }
+}
+
+/// The prefill inserts exactly `f` distinct keys before the timed phase:
+/// with a 0% add / 0% rem mix the live size never changes.
+#[test]
+fn prefill_is_exact() {
+    let cfg = RandomMixConfig {
+        threads: 2,
+        ops_per_thread: 2_000,
+        prefill: 777,
+        key_range: 10_000,
+        mix: OpMix {
+            add: 0,
+            remove: 0,
+            contains: 100,
+        },
+        seed: 9,
+    };
+    let r = Variant::SinglyCursor.run_random_mix(&cfg);
+    assert_eq!(r.stats.adds, 0);
+    assert_eq!(r.stats.rems, 0);
+    // Live size equals the prefill — verified through the accounting
+    // identity (adds - rems + prefill).
+    assert_eq!(r.stats.fail, 0);
+}
+
+/// Latency sampling must not change workload semantics: same seed, same
+/// per-kind op stream (smoke: histogram count formula).
+#[test]
+fn latency_sampling_counts() {
+    let cfg = RandomMixConfig {
+        threads: 3,
+        ops_per_thread: 999,
+        prefill: 10,
+        key_range: 100,
+        mix: OpMix::UPDATE_HEAVY,
+        seed: 77,
+    };
+    let h = Variant::DoublyCursor.run_latency(&cfg, 100);
+    // ceil(999/100) = 10 samples per thread.
+    assert_eq!(h.count(), 3 * 10);
+}

@@ -1,0 +1,41 @@
+//! Ablation A1: decompose variant f)'s win — cursor alone, mild
+//! improvements alone, backward pointers alone, and their combinations,
+//! on the locality-friendly deterministic workload.
+//!
+//! DESIGN.md question: how much of the deterministic-benchmark speedup
+//! comes from the cursor versus the backward pointers? The paper only
+//! reports the composed variants; this bench separates them:
+//!
+//! * `singly` (mild only), `cursor_only` (cursor, draconic retries),
+//! * `singly_cursor` (mild + cursor),
+//! * `doubly` (backward pointers, head starts),
+//! * `doubly_cursor` (backward pointers + cursor).
+
+use bench_harness::config::{DeterministicConfig, KeyPattern};
+use bench_harness::Variant;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = DeterministicConfig {
+        threads: 4,
+        n: 400,
+        pattern: KeyPattern::SameKeys,
+    };
+    let mut g = c.benchmark_group("ablation_a1_cursor_decomposition");
+    g.sample_size(10);
+    for v in [
+        Variant::Singly,
+        Variant::CursorOnly,
+        Variant::SinglyCursor,
+        Variant::Doubly,
+        Variant::DoublyCursor,
+    ] {
+        g.bench_function(v.name(), |b| {
+            b.iter(|| std::hint::black_box(v.run_deterministic(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation A4: fetch-or versus CAS-loop delete marking.
+//!
+//! The paper's §4: "The (emulated) atomic fetch-and-or operation as
+//! expected brings no improvement over the corresponding improved singly
+//! linked list with cursor." This bench compares d) and e) on a
+//! remove-heavy mix, where marking frequency is maximal, to reproduce
+//! that non-result (on x86-64, `fetch_or` with a used result compiles to
+//! a CAS loop anyway — the paper's point about the ISA).
+
+use bench_harness::config::{OpMix, RandomMixConfig};
+use bench_harness::Variant;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let remove_heavy = OpMix {
+        add: 45,
+        remove: 45,
+        contains: 10,
+    };
+    let cfg = RandomMixConfig {
+        threads: 4,
+        ops_per_thread: 10_000,
+        prefill: 512,
+        key_range: 1_024,
+        mix: remove_heavy,
+        seed: 0x5eed_cafe,
+    };
+    let mut g = c.benchmark_group("ablation_a4_fetch_or");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(cfg.total_ops()));
+    for v in [Variant::SinglyCursor, Variant::SinglyFetchOr] {
+        g.bench_function(v.name(), |b| {
+            b.iter(|| std::hint::black_box(v.run_random_mix(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

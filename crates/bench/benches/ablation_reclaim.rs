@@ -1,0 +1,36 @@
+//! Ablation A2: what does *real* memory reclamation cost?
+//!
+//! The paper's lists free nodes only after the experiment (arena
+//! scheme); `EpochList` is the same textbook algorithm with
+//! crossbeam-epoch reclamation (pin per operation, retire on unlink).
+//! Comparing `draconic` (arena) with `epoch` on the update-heavy random
+//! mix isolates the reclamation overhead the paper declines to pay —
+//! context for its §4 remark that the improvements "do not comprise the
+//! chosen memory reclamation scheme".
+
+use bench_harness::config::{OpMix, RandomMixConfig};
+use bench_harness::Variant;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = RandomMixConfig {
+        threads: 4,
+        ops_per_thread: 10_000,
+        prefill: 512,
+        key_range: 1_024,
+        mix: OpMix::UPDATE_HEAVY,
+        seed: 0x5eed_cafe,
+    };
+    let mut g = c.benchmark_group("ablation_a2_reclamation");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(cfg.total_ops()));
+    for v in [Variant::Draconic, Variant::Epoch] {
+        g.bench_function(v.name(), |b| {
+            b.iter(|| std::hint::black_box(v.run_random_mix(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for Tables 2 / 5 / 8: deterministic benchmark with
+//! per-thread disjoint key sequences `k(i) = t + i·p` (long list, no key
+//! contention, heavy traversal).
+//!
+//! Expected shape (Table 2): f ≫ d ≈ e ≫ b ≈ c ≳ a.
+
+use bench_harness::config::{DeterministicConfig, KeyPattern};
+use bench_harness::Variant;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = DeterministicConfig {
+        threads: 4,
+        n: 300,
+        pattern: KeyPattern::DisjointKeys,
+    };
+    let mut g = c.benchmark_group("table2_det_disjoint_keys");
+    g.sample_size(10);
+    for v in Variant::PAPER {
+        g.bench_function(v.name(), |b| {
+            b.iter(|| std::hint::black_box(v.run_deterministic(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

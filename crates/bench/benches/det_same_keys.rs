@@ -1,0 +1,28 @@
+//! Criterion bench for Tables 1 / 4 / 7: deterministic benchmark with the
+//! same key sequence `k(i) = i` for every thread (maximum interaction).
+//!
+//! Container-scale parameters; the `repro` binary runs the published
+//! sizes. Expected shape (Table 1): f ≫ e ≈ d ≫ c ≈ b ≳ a.
+
+use bench_harness::config::{DeterministicConfig, KeyPattern};
+use bench_harness::Variant;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = DeterministicConfig {
+        threads: 4,
+        n: 400,
+        pattern: KeyPattern::SameKeys,
+    };
+    let mut g = c.benchmark_group("table1_det_same_keys");
+    g.sample_size(10);
+    for v in Variant::PAPER {
+        g.bench_function(v.name(), |b| {
+            b.iter(|| std::hint::black_box(v.run_deterministic(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

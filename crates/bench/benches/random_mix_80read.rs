@@ -1,0 +1,31 @@
+//! Criterion bench for Tables 3 / 6 / 9: the random operation-mix
+//! benchmark, 10% add / 10% rem / 80% con, f=1000, U=10000.
+//!
+//! Expected shape (Table 3): f > d ≈ e > a ≈ b ≈ c.
+
+use bench_harness::config::{OpMix, RandomMixConfig};
+use bench_harness::Variant;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = RandomMixConfig {
+        threads: 4,
+        ops_per_thread: 10_000,
+        prefill: 1_000,
+        key_range: 10_000,
+        mix: OpMix::READ_HEAVY,
+        seed: 0x5eed_cafe,
+    };
+    let mut g = c.benchmark_group("table3_random_mix_80read");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(cfg.total_ops()));
+    for v in Variant::PAPER {
+        g.bench_function(v.name(), |b| {
+            b.iter(|| std::hint::black_box(v.run_random_mix(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

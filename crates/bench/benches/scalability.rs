@@ -1,0 +1,38 @@
+//! Criterion bench for Figures 1 / 2 / 3: weak-scaling random mix,
+//! 25% add / 25% rem / 50% con, thread counts on the x-axis.
+//!
+//! Each (variant × threads) cell is one Criterion benchmark; the
+//! `repro figure1..3` commands produce the paper-style mean-of-5 CSV
+//! series instead.
+
+use bench_harness::config::{OpMix, RandomMixConfig};
+use bench_harness::Variant;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let base = RandomMixConfig {
+        threads: 1,
+        ops_per_thread: 2_000,
+        prefill: 2_048,
+        key_range: 4_096,
+        mix: OpMix::UPDATE_HEAVY,
+        seed: 0x5eed_cafe,
+    };
+    let mut g = c.benchmark_group("figures_scalability");
+    g.sample_size(10);
+    for v in Variant::FIGURES {
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = RandomMixConfig { threads, ..base };
+            g.throughput(criterion::Throughput::Elements(cfg.total_ops()));
+            g.bench_with_input(
+                BenchmarkId::new(v.name(), threads),
+                &cfg,
+                |b, cfg| b.iter(|| std::hint::black_box(v.run_random_mix(cfg))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

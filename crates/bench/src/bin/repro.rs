@@ -1,0 +1,340 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! Usage:
+//!   repro list
+//!   repro <experiment>... [options]
+//!   repro all [options]
+//!
+//! Experiments: table1..table9, figure1..figure3 (see `repro list`).
+//!
+//! Options:
+//!   --paper-scale         use the published parameters (large machines!)
+//!   --threads N           override the worker thread count
+//!   --n N                 override deterministic sequence length
+//!   --ops N               override random-mix ops per thread
+//!   --prefill N           override random-mix prefill
+//!   --range N             override random-mix key range
+//!   --repeats N           override sweep repeats
+//!   --variants a,b,f      restrict the variant set (names or letters)
+//!   --private             also run the thread-private sequential baseline
+//!   --csv PATH            append machine-readable results to PATH
+//! ```
+
+use std::process::ExitCode;
+
+use bench_harness::presets::{Experiment, Scale, Workload};
+use bench_harness::report;
+use bench_harness::{scalability, Variant};
+
+struct Options {
+    scale: Scale,
+    threads: Option<usize>,
+    n: Option<u64>,
+    ops: Option<u64>,
+    prefill: Option<u64>,
+    range: Option<u32>,
+    repeats: Option<usize>,
+    variants: Option<Vec<Variant>>,
+    private_baseline: bool,
+    csv: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Container,
+            threads: None,
+            n: None,
+            ops: None,
+            prefill: None,
+            range: None,
+            repeats: None,
+            variants: None,
+            private_baseline: false,
+            csv: None,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    if args[0] == "latency" {
+        return run_latency(&args[1..]);
+    }
+    if args[0] == "list" {
+        println!("Available experiments (container scale by default; --paper-scale for the published parameters):");
+        for id in Experiment::IDS {
+            let e = Experiment::get(id, Scale::Paper).unwrap();
+            println!("  {:<9} {}", id, e.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut ids: Vec<String> = Vec::new();
+    let mut opt = Options::default();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--paper-scale" => opt.scale = Scale::Paper,
+            "--private" => opt.private_baseline = true,
+            "--threads" => opt.threads = parse_next(&mut it, "--threads"),
+            "--n" => opt.n = parse_next(&mut it, "--n"),
+            "--ops" => opt.ops = parse_next(&mut it, "--ops"),
+            "--prefill" => opt.prefill = parse_next(&mut it, "--prefill"),
+            "--range" => opt.range = parse_next(&mut it, "--range"),
+            "--repeats" => opt.repeats = parse_next(&mut it, "--repeats"),
+            "--csv" => opt.csv = it.next(),
+            "--variants" => {
+                let Some(list) = it.next() else {
+                    eprintln!("--variants needs a comma-separated list");
+                    return ExitCode::FAILURE;
+                };
+                let mut vs = Vec::new();
+                for part in list.split(',') {
+                    match Variant::parse(part) {
+                        Some(v) => vs.push(v),
+                        None => {
+                            eprintln!("unknown variant: {part}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                opt.variants = Some(vs);
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = Experiment::IDS.iter().map(|s| s.to_string()).collect();
+    }
+    if ids.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+
+    for id in &ids {
+        let Some(exp) = Experiment::get(id, opt.scale) else {
+            eprintln!("unknown experiment {id} (try `repro list`)");
+            return ExitCode::FAILURE;
+        };
+        run_experiment(exp, &opt);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro latency [--threads N] [--ops N] [--paper-scale]` — per-op
+/// latency percentiles for every variant on the Table-3 mix. Not a paper
+/// experiment: the paper reports throughput only, but §1's remark that
+/// the structure is not starvation-free makes the tail the interesting
+/// part.
+fn run_latency(rest: &[String]) -> ExitCode {
+    use bench_harness::config::{OpMix, RandomMixConfig};
+    let mut threads = 4usize;
+    let mut ops = 20_000u64;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => threads = it.next().and_then(|v| v.parse().ok()).unwrap_or(threads),
+            "--ops" => ops = it.next().and_then(|v| v.parse().ok()).unwrap_or(ops),
+            "--paper-scale" => {
+                threads = 64;
+                ops = 1_000_000;
+            }
+            other => {
+                eprintln!("unknown latency option {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let cfg = RandomMixConfig {
+        threads,
+        ops_per_thread: ops,
+        prefill: 1_000,
+        key_range: 10_000,
+        mix: OpMix::READ_HEAVY,
+        seed: 0x5eed_cafe,
+    };
+    println!(
+        "per-operation latency (ns, log2-bucket upper bounds), mix 10/10/80, p={threads}, c={ops}, every 16th op sampled"
+    );
+    println!(
+        "{:<20} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "Variant", "p50", "p90", "p99", "p99.9", "max"
+    );
+    for v in Variant::PAPER.into_iter().chain([Variant::Epoch]) {
+        let h = v.run_latency(&cfg, 16);
+        let (p50, p90, p99, p999, max) = h.summary();
+        println!(
+            "{:<20} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            v.paper_label(),
+            p50,
+            p90,
+            p99,
+            p999,
+            max
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_next<T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Option<T> {
+    match it.next().and_then(|v| v.parse().ok()) {
+        Some(v) => Some(v),
+        None => {
+            eprintln!("{flag} needs a numeric argument");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_experiment(exp: Experiment, opt: &Options) {
+    let variants = opt.variants.clone().unwrap_or_else(|| exp.variants.clone());
+    println!("== {} — {}", exp.id, exp.description);
+    match exp.workload {
+        Workload::Deterministic(mut cfg) => {
+            if let Some(t) = opt.threads {
+                cfg.threads = t;
+            }
+            if let Some(n) = opt.n {
+                cfg.n = n;
+            }
+            println!(
+                "   p={} n={} pattern={:?} ({} total ops per variant)",
+                cfg.threads,
+                cfg.n,
+                cfg.pattern,
+                cfg.total_ops()
+            );
+            let mut rows = Vec::new();
+            for v in variants {
+                let r = v.run_deterministic(&cfg);
+                println!(
+                    "   {:<20} {:>10.1} ms  {:>12.1} Kops/s",
+                    v.paper_label(),
+                    r.time_ms(),
+                    r.kops_per_sec()
+                );
+                rows.push(r);
+            }
+            println!("\n{}", report::format_table(exp.id, &rows));
+            if opt.private_baseline {
+                let s = bench_harness::private::run_private_singly(&cfg);
+                let d = bench_harness::private::run_private_doubly(&cfg);
+                println!(
+                    "   thread-private baseline: seq_singly {:.1} Kops/s, seq_doubly {:.1} Kops/s\n",
+                    s.kops_per_sec(),
+                    d.kops_per_sec()
+                );
+            }
+            append_csv(opt, &report::results_csv(&rows));
+        }
+        Workload::RandomMix(mut cfg) => {
+            if let Some(t) = opt.threads {
+                cfg.threads = t;
+            }
+            if let Some(c) = opt.ops {
+                cfg.ops_per_thread = c;
+            }
+            if let Some(f) = opt.prefill {
+                cfg.prefill = f;
+            }
+            if let Some(u) = opt.range {
+                cfg.key_range = u;
+            }
+            println!(
+                "   p={} c={} f={} U={} mix={}/{}/{}",
+                cfg.threads,
+                cfg.ops_per_thread,
+                cfg.prefill,
+                cfg.key_range,
+                cfg.mix.add,
+                cfg.mix.remove,
+                cfg.mix.contains
+            );
+            let mut rows = Vec::new();
+            for v in variants {
+                let r = v.run_random_mix(&cfg);
+                println!(
+                    "   {:<20} {:>10.1} ms  {:>12.1} Kops/s",
+                    v.paper_label(),
+                    r.time_ms(),
+                    r.kops_per_sec()
+                );
+                rows.push(r);
+            }
+            println!("\n{}", report::format_table(exp.id, &rows));
+            append_csv(opt, &report::results_csv(&rows));
+        }
+        Workload::Sweep {
+            mut base,
+            threads,
+            repeats,
+        } => {
+            if let Some(c) = opt.ops {
+                base.ops_per_thread = c;
+            }
+            if let Some(f) = opt.prefill {
+                base.prefill = f;
+            }
+            if let Some(u) = opt.range {
+                base.key_range = u;
+            }
+            let threads = match opt.threads {
+                Some(t) => vec![t],
+                None => threads,
+            };
+            let repeats = opt.repeats.unwrap_or(repeats);
+            println!(
+                "   sweep threads={threads:?} repeats={repeats} c={} f={} U={}",
+                base.ops_per_thread, base.prefill, base.key_range
+            );
+            let points = scalability::sweep(&base, &variants, &threads, repeats, |p| {
+                println!(
+                    "   {:<16} p={:<4} mean {:>10.1} Kops/s  [{:.1}, {:.1}]",
+                    p.variant, p.threads, p.mean_kops, p.min_kops, p.max_kops
+                );
+            });
+            println!("\n{}", report::scale_ascii(&points));
+            append_csv(opt, &report::scale_csv(&points));
+        }
+    }
+}
+
+fn append_csv(opt: &Options, data: &str) {
+    if let Some(path) = &opt.csv {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+        f.write_all(data.as_bytes()).expect("csv write failed");
+        println!("   (csv appended to {path})");
+    }
+}
+
+fn print_usage() {
+    println!(
+        "repro — regenerate the paper's tables and figures\n\
+         \n\
+         usage: repro list | repro <experiment>... [options] | repro all [options] | repro latency\n\
+         \n\
+         options: --paper-scale --threads N --n N --ops N --prefill N --range N\n\
+         \x20         --repeats N --variants a,b,f --private --csv PATH\n\
+         \n\
+         Container-scale parameters are the default; pass --paper-scale on a\n\
+         large machine for the published sizes."
+    );
+}

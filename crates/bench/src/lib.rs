@@ -1,0 +1,1 @@
+//! Criterion benches and repro binary (see benches/ and src/bin/).

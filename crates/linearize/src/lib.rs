@@ -1,0 +1,789 @@
+//! # linearize
+//!
+//! A Wing–Gong linearizability checker for concurrent **set** histories,
+//! used by the test-suite to validate the paper's §2 claim that the
+//! pragmatic improvements "remain linearizable largely as the textbook
+//! implementation".
+//!
+//! ## Model
+//!
+//! A [`History`] is a collection of completed operations, each an
+//! `add(k)`, `remove(k)` or `contains(k)` with its boolean result and an
+//! invocation/response timestamp pair drawn from one global monotone
+//! clock ([`Recorder`]). The checker asks: does a total order of the
+//! operations exist that (a) respects real time (if `a` responded before
+//! `b` was invoked, `a` comes first) and (b) is legal for sequential set
+//! semantics (`add` returns *true* iff the key was absent, `remove`
+//! *true* iff present, `contains` reports presence)?
+//!
+//! ## Per-key decomposition
+//!
+//! Set operations on distinct keys access disjoint state, so the set is
+//! observationally a *composition* of independent single-key objects.
+//! By the Herlihy–Wing locality theorem, a history is linearizable over
+//! the composed object iff each per-key subhistory is linearizable over
+//! its single-key object. The checker therefore splits the history by
+//! key and runs Wing–Gong per key — turning an O((Σn)!) search into
+//! independent O(nᵏ!) searches that memoisation reduces further to
+//! O(2^nᵏ) each.
+//!
+//! ## Per-key search
+//!
+//! Within one key the checker runs a DFS over subsets of operations
+//! (`u64` masks, histories ≤ 64 ops per key; larger per-key histories are
+//! rejected with [`CheckOutcome::TooLarge`]). A subset determines the
+//! key's presence *uniquely*: only successful `add`s and `remove`s flip
+//! presence, and any legal order of a fixed subset alternates them, so
+//! presence = "more successful adds than removes linearized". That makes
+//! plain subset memoisation sound.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The three set operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `add(k)` — returns `true` iff `k` was absent and is now present.
+    Add,
+    /// `rem(k)` — returns `true` iff `k` was present and is now absent.
+    Remove,
+    /// `con(k)` — returns `true` iff `k` is present.
+    Contains,
+}
+
+/// One completed operation in a history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Operation {
+    /// Which operation.
+    pub kind: OpKind,
+    /// The key operated on.
+    pub key: i64,
+    /// The boolean result the implementation returned.
+    pub result: bool,
+    /// Global-clock timestamp taken immediately before the call.
+    pub invoke: u64,
+    /// Global-clock timestamp taken immediately after the return.
+    pub response: u64,
+    /// Identifier of the calling thread (diagnostics only).
+    pub thread: u32,
+}
+
+/// A complete history: every operation has responded.
+///
+/// Build one by merging per-thread logs from [`Recorder::thread_log`]
+/// via [`History::from_logs`], or directly from a vector of
+/// [`Operation`]s.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    ops: Vec<Operation>,
+    /// Keys present before the history began (e.g. benchmark prefill).
+    initially_present: HashSet<i64>,
+}
+
+impl History {
+    /// A history from raw operations, with an empty initial set.
+    pub fn new(ops: Vec<Operation>) -> Self {
+        Self {
+            ops,
+            initially_present: HashSet::new(),
+        }
+    }
+
+    /// Merges per-thread logs (any order) into one history.
+    pub fn from_logs(logs: Vec<Vec<Operation>>) -> Self {
+        Self::new(logs.into_iter().flatten().collect())
+    }
+
+    /// Declares keys present at the start (benchmark prefill).
+    pub fn with_initial<I: IntoIterator<Item = i64>>(mut self, keys: I) -> Self {
+        self.initially_present.extend(keys);
+        self
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if no operations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Read access to the operations.
+    pub fn operations(&self) -> &[Operation] {
+        &self.ops
+    }
+}
+
+/// Result of a linearizability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// A witness order exists for every key.
+    Linearizable,
+    /// No witness order exists; the offending key is reported.
+    NotLinearizable {
+        /// The key whose subhistory admits no legal order.
+        key: i64,
+    },
+    /// A per-key subhistory exceeded 64 operations (mask width).
+    TooLarge {
+        /// The key whose subhistory is too large to check.
+        key: i64,
+        /// How many operations that key has.
+        ops: usize,
+    },
+}
+
+impl CheckOutcome {
+    /// `true` iff the history was proven linearizable.
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, CheckOutcome::Linearizable)
+    }
+}
+
+/// Checks a history for linearizability against set semantics.
+///
+/// # Examples
+///
+/// ```
+/// use linearize::{check, History, Operation, OpKind};
+///
+/// // Two sequential ops: add(1)=true then contains(1)=true. Legal.
+/// let h = History::new(vec![
+///     Operation { kind: OpKind::Add, key: 1, result: true, invoke: 0, response: 1, thread: 0 },
+///     Operation { kind: OpKind::Contains, key: 1, result: true, invoke: 2, response: 3, thread: 0 },
+/// ]);
+/// assert!(check(&h).is_linearizable());
+/// ```
+pub fn check(history: &History) -> CheckOutcome {
+    let mut per_key: HashMap<i64, Vec<Operation>> = HashMap::new();
+    for op in &history.ops {
+        per_key.entry(op.key).or_default().push(op.clone());
+    }
+    let mut keys: Vec<i64> = per_key.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let ops = &per_key[&key];
+        if ops.len() > 64 {
+            return CheckOutcome::TooLarge { key, ops: ops.len() };
+        }
+        let init = history.initially_present.contains(&key);
+        if !key_linearizable(ops, init) {
+            return CheckOutcome::NotLinearizable { key };
+        }
+    }
+    CheckOutcome::Linearizable
+}
+
+/// Wing–Gong DFS with subset memoisation for one key.
+fn key_linearizable(ops: &[Operation], initially_present: bool) -> bool {
+    let n = ops.len();
+    if n == 0 {
+        return true;
+    }
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut visited: HashSet<u64> = HashSet::new();
+    // Explicit DFS stack of masks; presence is derived from the mask.
+    let mut stack: Vec<u64> = vec![0];
+    while let Some(mask) = stack.pop() {
+        if mask == full {
+            return true;
+        }
+        if !visited.insert(mask) {
+            continue;
+        }
+        let present = presence(ops, mask, initially_present);
+        // Earliest unfinished response bound: an op is *minimal* (may
+        // linearize next) iff its invocation precedes every remaining
+        // op's response.
+        let mut min_response = u64::MAX;
+        for (i, op) in ops.iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                min_response = min_response.min(op.response);
+            }
+        }
+        for (i, op) in ops.iter().enumerate() {
+            if mask & (1 << i) != 0 || op.invoke > min_response {
+                continue;
+            }
+            if legal(op, present) {
+                stack.push(mask | (1 << i));
+            }
+        }
+    }
+    false
+}
+
+/// Presence of the key after linearizing exactly `mask`: successful adds
+/// and removes must alternate in any legal order, so only their counts
+/// matter.
+fn presence(ops: &[Operation], mask: u64, initially_present: bool) -> bool {
+    let mut adds = 0i64;
+    let mut rems = 0i64;
+    for (i, op) in ops.iter().enumerate() {
+        if mask & (1 << i) != 0 && op.result {
+            match op.kind {
+                OpKind::Add => adds += 1,
+                OpKind::Remove => rems += 1,
+                OpKind::Contains => {}
+            }
+        }
+    }
+    if initially_present {
+        adds + 1 > rems
+    } else {
+        adds > rems
+    }
+}
+
+/// Is `op`'s recorded result legal when the key's presence is `present`?
+fn legal(op: &Operation, present: bool) -> bool {
+    match op.kind {
+        OpKind::Add => op.result == !present,
+        OpKind::Remove | OpKind::Contains => op.result == present,
+    }
+}
+
+/// Detailed check result: verdict plus, when linearizable, a per-key
+/// *witness* (a legal total order of that key's operation indices into
+/// [`History::operations`]) and search-effort statistics.
+#[derive(Debug, Clone)]
+pub struct DetailedOutcome {
+    /// The verdict.
+    pub outcome: CheckOutcome,
+    /// For each key, the operation indices in witness (linearization)
+    /// order. Present only when the verdict is `Linearizable`.
+    pub witnesses: std::collections::HashMap<i64, Vec<usize>>,
+    /// States (operation subsets) explored across all keys — the cost of
+    /// the check.
+    pub states_explored: usize,
+}
+
+/// Like [`check`], additionally producing per-key witness orders for
+/// debugging non-obvious interleavings and reporting search effort.
+///
+/// Each witness is a legal sequential execution of that key's
+/// operations consistent with real time; by the locality argument in
+/// the module docs, any interleaving of the witnesses that respects
+/// real time is a witness for the whole history.
+pub fn check_detailed(history: &History) -> DetailedOutcome {
+    let mut per_key: HashMap<i64, Vec<(usize, Operation)>> = HashMap::new();
+    for (i, op) in history.ops.iter().enumerate() {
+        per_key.entry(op.key).or_default().push((i, op.clone()));
+    }
+    let mut keys: Vec<i64> = per_key.keys().copied().collect();
+    keys.sort_unstable();
+    let mut witnesses = std::collections::HashMap::new();
+    let mut states = 0usize;
+    for key in keys {
+        let indexed = &per_key[&key];
+        let ops: Vec<Operation> = indexed.iter().map(|(_, o)| o.clone()).collect();
+        if ops.len() > 64 {
+            return DetailedOutcome {
+                outcome: CheckOutcome::TooLarge { key, ops: ops.len() },
+                witnesses: std::collections::HashMap::new(),
+                states_explored: states,
+            };
+        }
+        let init = history.initially_present.contains(&key);
+        match key_witness(&ops, init) {
+            (Some(order), explored) => {
+                states += explored;
+                witnesses.insert(key, order.into_iter().map(|i| indexed[i].0).collect());
+            }
+            (None, explored) => {
+                states += explored;
+                return DetailedOutcome {
+                    outcome: CheckOutcome::NotLinearizable { key },
+                    witnesses: std::collections::HashMap::new(),
+                    states_explored: states,
+                };
+            }
+        }
+    }
+    DetailedOutcome {
+        outcome: CheckOutcome::Linearizable,
+        witnesses,
+        states_explored: states,
+    }
+}
+
+/// Wing–Gong DFS with parent tracking for witness reconstruction.
+fn key_witness(ops: &[Operation], initially_present: bool) -> (Option<Vec<usize>>, usize) {
+    let n = ops.len();
+    if n == 0 {
+        return (Some(Vec::new()), 0);
+    }
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    // mask -> (parent mask, op chosen to get here)
+    let mut parent: HashMap<u64, (u64, usize)> = HashMap::new();
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut stack: Vec<u64> = vec![0];
+    while let Some(mask) = stack.pop() {
+        if mask == full {
+            // Reconstruct the order by walking parents back to 0.
+            let mut order = Vec::with_capacity(n);
+            let mut m = mask;
+            while m != 0 {
+                let (pm, i) = parent[&m];
+                order.push(i);
+                m = pm;
+            }
+            order.reverse();
+            return (Some(order), visited.len());
+        }
+        if !visited.insert(mask) {
+            continue;
+        }
+        let present = presence(ops, mask, initially_present);
+        let mut min_response = u64::MAX;
+        for (i, op) in ops.iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                min_response = min_response.min(op.response);
+            }
+        }
+        for (i, op) in ops.iter().enumerate() {
+            if mask & (1 << i) != 0 || op.invoke > min_response {
+                continue;
+            }
+            if legal(op, present) {
+                let next = mask | (1 << i);
+                parent.entry(next).or_insert((mask, i));
+                stack.push(next);
+            }
+        }
+    }
+    (None, visited.len())
+}
+
+/// Shared monotone clock + per-thread operation logs for recording
+/// histories around any `SetHandle`-like API (see `pragmatic-list`).
+///
+/// ```
+/// use linearize::{check, History, OpKind, Recorder};
+///
+/// let rec = Recorder::new();
+/// let mut log = rec.thread_log(0);
+/// let t0 = rec.stamp();
+/// // ... call the data structure ...
+/// let t1 = rec.stamp();
+/// log.push_op(OpKind::Add, 7, true, t0, t1);
+/// let h = History::from_logs(vec![log.into_ops()]);
+/// assert!(check(&h).is_linearizable());
+/// ```
+#[derive(Debug, Default)]
+pub struct Recorder {
+    clock: AtomicU64,
+}
+
+impl Recorder {
+    /// New recorder with the clock at zero.
+    pub fn new() -> Self {
+        Self {
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes a timestamp. `AcqRel` success ordering makes stamps taken
+    /// around an operation bracket its effect.
+    pub fn stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Creates an empty log for one thread.
+    pub fn thread_log(&self, thread: u32) -> ThreadLog {
+        ThreadLog {
+            thread,
+            ops: Vec::new(),
+        }
+    }
+}
+
+/// Per-thread log of completed operations.
+#[derive(Debug)]
+pub struct ThreadLog {
+    thread: u32,
+    ops: Vec<Operation>,
+}
+
+impl ThreadLog {
+    /// Records one completed operation with pre-taken timestamps.
+    pub fn push_op(&mut self, kind: OpKind, key: i64, result: bool, invoke: u64, response: u64) {
+        debug_assert!(invoke < response, "timestamps must bracket the call");
+        self.ops.push(Operation {
+            kind,
+            key,
+            result,
+            invoke,
+            response,
+            thread: self.thread,
+        });
+    }
+
+    /// Consumes the log.
+    pub fn into_ops(self) -> Vec<Operation> {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(kind: OpKind, key: i64, result: bool, invoke: u64, response: u64) -> Operation {
+        Operation {
+            kind,
+            key,
+            result,
+            invoke,
+            response,
+            thread: 0,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(check(&History::default()).is_linearizable());
+    }
+
+    #[test]
+    fn sequential_legal_history() {
+        let h = History::new(vec![
+            op(OpKind::Add, 1, true, 0, 1),
+            op(OpKind::Contains, 1, true, 2, 3),
+            op(OpKind::Remove, 1, true, 4, 5),
+            op(OpKind::Contains, 1, false, 6, 7),
+            op(OpKind::Add, 1, true, 8, 9),
+        ]);
+        assert!(check(&h).is_linearizable());
+    }
+
+    #[test]
+    fn sequential_illegal_history() {
+        // contains(1)=true before any add: impossible.
+        let h = History::new(vec![
+            op(OpKind::Contains, 1, true, 0, 1),
+            op(OpKind::Add, 1, true, 2, 3),
+        ]);
+        assert_eq!(check(&h), CheckOutcome::NotLinearizable { key: 1 });
+    }
+
+    #[test]
+    fn double_successful_add_without_remove_is_illegal() {
+        let h = History::new(vec![
+            op(OpKind::Add, 1, true, 0, 1),
+            op(OpKind::Add, 1, true, 2, 3),
+        ]);
+        assert!(!check(&h).is_linearizable());
+    }
+
+    #[test]
+    fn overlapping_ops_may_reorder() {
+        // contains(1)=true overlaps the add(1)=true: legal, because the
+        // add may linearize first inside the overlap.
+        let h = History::new(vec![
+            op(OpKind::Add, 1, true, 0, 10),
+            op(OpKind::Contains, 1, true, 1, 9),
+        ]);
+        assert!(check(&h).is_linearizable());
+    }
+
+    #[test]
+    fn non_overlapping_ops_must_not_reorder() {
+        // contains(1)=true strictly *before* the add(1): illegal.
+        let h = History::new(vec![
+            op(OpKind::Contains, 1, true, 0, 1),
+            op(OpKind::Add, 1, true, 5, 6),
+        ]);
+        assert!(!check(&h).is_linearizable());
+    }
+
+    #[test]
+    fn failed_operations_respect_state() {
+        let h = History::new(vec![
+            op(OpKind::Add, 3, true, 0, 1),
+            op(OpKind::Add, 3, false, 2, 3),    // duplicate
+            op(OpKind::Remove, 3, true, 4, 5),
+            op(OpKind::Remove, 3, false, 6, 7), // already gone
+        ]);
+        assert!(check(&h).is_linearizable());
+    }
+
+    #[test]
+    fn failed_add_before_any_add_is_illegal() {
+        let h = History::new(vec![
+            op(OpKind::Add, 3, false, 0, 1),
+            op(OpKind::Add, 3, true, 2, 3),
+        ]);
+        assert!(!check(&h).is_linearizable());
+    }
+
+    #[test]
+    fn initial_contents_respected() {
+        let h = History::new(vec![
+            op(OpKind::Contains, 9, true, 0, 1),
+            op(OpKind::Remove, 9, true, 2, 3),
+        ])
+        .with_initial([9]);
+        assert!(check(&h).is_linearizable());
+
+        let h2 = History::new(vec![op(OpKind::Remove, 9, true, 0, 1)]);
+        assert!(!check(&h2).is_linearizable(), "no prefill: remove must fail");
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        // Illegal on key 2, regardless of a legal key-1 trace.
+        let h = History::new(vec![
+            op(OpKind::Add, 1, true, 0, 1),
+            op(OpKind::Contains, 2, true, 2, 3),
+        ]);
+        assert_eq!(check(&h), CheckOutcome::NotLinearizable { key: 2 });
+    }
+
+    #[test]
+    fn racy_remove_pair_one_winner() {
+        // Two overlapping removes of a present key: exactly one may win.
+        let h = History::new(vec![
+            op(OpKind::Add, 5, true, 0, 1),
+            op(OpKind::Remove, 5, true, 2, 10),
+            op(OpKind::Remove, 5, false, 3, 9),
+        ]);
+        assert!(check(&h).is_linearizable());
+
+        let both_win = History::new(vec![
+            op(OpKind::Add, 5, true, 0, 1),
+            op(OpKind::Remove, 5, true, 2, 10),
+            op(OpKind::Remove, 5, true, 3, 9),
+        ]);
+        assert!(!check(&both_win).is_linearizable());
+    }
+
+    #[test]
+    fn paper_rem_linearization_scenario() {
+        // The §2 rem() observation: a remove that fails because another
+        // thread marked the node linearizes *before* an overlapping
+        // re-add of the same key. History: key present; T1 remove=true,
+        // T2 remove=false and T3 add=true all overlapping.
+        let h = History::new(vec![
+            op(OpKind::Add, 7, true, 0, 1),
+            op(OpKind::Remove, 7, true, 2, 20),
+            op(OpKind::Remove, 7, false, 3, 19),
+            op(OpKind::Add, 7, true, 4, 18),
+            op(OpKind::Contains, 7, true, 21, 22),
+        ]);
+        assert!(check(&h).is_linearizable());
+    }
+
+    #[test]
+    fn too_large_subhistory_reported() {
+        let ops: Vec<Operation> = (0..65)
+            .map(|i| op(OpKind::Contains, 1, false, 2 * i, 2 * i + 1))
+            .collect();
+        let h = History::new(ops);
+        assert_eq!(check(&h), CheckOutcome::TooLarge { key: 1, ops: 65 });
+    }
+
+    #[test]
+    fn recorder_produces_bracketed_timestamps() {
+        let rec = Recorder::new();
+        let mut log = rec.thread_log(3);
+        let a = rec.stamp();
+        let b = rec.stamp();
+        log.push_op(OpKind::Add, 1, true, a, b);
+        let ops = log.into_ops();
+        assert_eq!(ops.len(), 1);
+        assert!(ops[0].invoke < ops[0].response);
+        assert_eq!(ops[0].thread, 3);
+    }
+
+    #[test]
+    fn dense_overlap_stress_linearizable() {
+        // A synthetic all-overlapping batch that is satisfiable: n adds
+        // with exactly one winner, n-1 losers, all concurrent.
+        let mut ops = vec![op(OpKind::Add, 4, true, 0, 100)];
+        for i in 0..10 {
+            ops.push(op(OpKind::Add, 4, false, i, 100 + i));
+        }
+        assert!(check(&History::new(ops)).is_linearizable());
+    }
+
+    #[test]
+    fn contains_flicker_is_illegal_without_writer() {
+        // contains=false then contains=true sequentially, no add between.
+        let h = History::new(vec![
+            op(OpKind::Contains, 8, false, 0, 1),
+            op(OpKind::Contains, 8, true, 2, 3),
+        ]);
+        assert!(!check(&h).is_linearizable());
+    }
+}
+
+#[cfg(test)]
+mod witness_tests {
+    use super::*;
+
+    fn op(kind: OpKind, key: i64, result: bool, invoke: u64, response: u64) -> Operation {
+        Operation { kind, key, result, invoke, response, thread: 0 }
+    }
+
+    /// Replays a witness sequentially and asserts every step is legal.
+    fn replay_witness(h: &History, witnesses: &std::collections::HashMap<i64, Vec<usize>>) {
+        for (&key, order) in witnesses {
+            let mut present = false;
+            for &i in order {
+                let o = &h.operations()[i];
+                assert_eq!(o.key, key);
+                match o.kind {
+                    OpKind::Add => {
+                        assert_eq!(o.result, !present, "witness illegal at op {i}");
+                        if o.result { present = true; }
+                    }
+                    OpKind::Remove => {
+                        assert_eq!(o.result, present, "witness illegal at op {i}");
+                        if o.result { present = false; }
+                    }
+                    OpKind::Contains => assert_eq!(o.result, present, "witness illegal at op {i}"),
+                }
+            }
+        }
+        // Pairwise real-time: if a responded before b invoked, a must
+        // precede b in the witness.
+        for (_, order) in witnesses {
+            for (x, &a) in order.iter().enumerate() {
+                for &b in &order[x + 1..] {
+                    let (oa, ob) = (&h.operations()[a], &h.operations()[b]);
+                    assert!(
+                        ob.response > oa.invoke,
+                        "witness violates real time: {a} before {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witness_reconstructs_sequential_history() {
+        let h = History::new(vec![
+            op(OpKind::Add, 1, true, 0, 1),
+            op(OpKind::Contains, 1, true, 2, 3),
+            op(OpKind::Remove, 1, true, 4, 5),
+        ]);
+        let d = check_detailed(&h);
+        assert!(d.outcome.is_linearizable());
+        assert_eq!(d.witnesses[&1], vec![0, 1, 2]);
+        replay_witness(&h, &d.witnesses);
+    }
+
+    #[test]
+    fn witness_reorders_overlapping_ops() {
+        // con(1)=true invoked before the add responds: witness must put
+        // the add first even though it was invoked later... (invoked
+        // earlier here; the point is the overlap).
+        let h = History::new(vec![
+            op(OpKind::Contains, 1, true, 0, 10),
+            op(OpKind::Add, 1, true, 1, 9),
+        ]);
+        let d = check_detailed(&h);
+        assert!(d.outcome.is_linearizable());
+        assert_eq!(d.witnesses[&1], vec![1, 0], "add must linearize first");
+        replay_witness(&h, &d.witnesses);
+    }
+
+    #[test]
+    fn detailed_agrees_with_plain_check_on_failures() {
+        let h = History::new(vec![
+            op(OpKind::Contains, 3, true, 0, 1),
+            op(OpKind::Add, 3, true, 2, 3),
+        ]);
+        let d = check_detailed(&h);
+        assert_eq!(d.outcome, CheckOutcome::NotLinearizable { key: 3 });
+        assert_eq!(d.outcome, check(&h));
+        assert!(d.witnesses.is_empty());
+        assert!(d.states_explored >= 1);
+    }
+
+    #[test]
+    fn multi_key_witnesses_cover_every_operation() {
+        let h = History::new(vec![
+            op(OpKind::Add, 1, true, 0, 3),
+            op(OpKind::Add, 2, true, 1, 4),
+            op(OpKind::Remove, 1, true, 5, 8),
+            op(OpKind::Contains, 2, true, 6, 9),
+        ]);
+        let d = check_detailed(&h);
+        assert!(d.outcome.is_linearizable());
+        let covered: usize = d.witnesses.values().map(|w| w.len()).sum();
+        assert_eq!(covered, 4);
+        replay_witness(&h, &d.witnesses);
+    }
+
+    #[test]
+    fn simulated_lock_step_executions_always_check_out() {
+        // Generate histories by actually executing a sequential set with
+        // artificially widened intervals; they are linearizable by
+        // construction and the checker must agree (checker soundness on
+        // the accept side).
+        use std::collections::HashSet as Std;
+        let mut x = 424242u64;
+        for round in 0..50 {
+            let mut set: Std<i64> = Std::new();
+            let mut ops = Vec::new();
+            let mut t = 0u64;
+            for _ in 0..30 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(round);
+                let key = ((x >> 33) % 5) as i64;
+                let kind = match (x >> 7) % 3 {
+                    0 => OpKind::Add,
+                    1 => OpKind::Remove,
+                    _ => OpKind::Contains,
+                };
+                let result = match kind {
+                    OpKind::Add => set.insert(key),
+                    OpKind::Remove => set.remove(&key),
+                    OpKind::Contains => set.contains(&key),
+                };
+                // Widen the interval backwards over the previous op to
+                // create overlap without breaking legality.
+                let invoke = t.saturating_sub(1);
+                let response = t + 2;
+                t += 2;
+                ops.push(Operation { kind, key, result, invoke, response, thread: 0 });
+            }
+            let d = check_detailed(&History::new(ops));
+            assert!(d.outcome.is_linearizable(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn corrupted_results_are_often_rejected_and_never_crash() {
+        // Checker robustness: flip one result bit of a legal history;
+        // the checker must terminate with *some* verdict (flips inside
+        // overlaps may legitimately stay linearizable).
+        let base = vec![
+            op(OpKind::Add, 1, true, 0, 1),
+            op(OpKind::Contains, 1, true, 2, 3),
+            op(OpKind::Remove, 1, true, 4, 5),
+            op(OpKind::Contains, 1, false, 6, 7),
+            op(OpKind::Add, 1, true, 8, 9),
+            op(OpKind::Remove, 1, true, 10, 11),
+        ];
+        let mut rejected = 0;
+        for flip in 0..base.len() {
+            let mut ops = base.clone();
+            ops[flip].result = !ops[flip].result;
+            if !check(&History::new(ops)).is_linearizable() {
+                rejected += 1;
+            }
+        }
+        assert_eq!(
+            rejected,
+            base.len(),
+            "every single-bit corruption of this sequential history is illegal"
+        );
+    }
+}

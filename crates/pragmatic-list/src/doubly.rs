@@ -1,0 +1,704 @@
+//! The doubly linked lock-free ordered list with *approximate backward
+//! pointers*: paper variants c) and f).
+//!
+//! This is the paper's intrusive improvement (§2, Listing 3): every node
+//! carries a `prev` pointer to *some* smaller-key node. The only invariant
+//! `prev` must satisfy is that following backward pointers from any node
+//! eventually reaches the head sentinel. On a failed `CAS()` the search
+//! function therefore never restarts from the head — it walks backwards
+//! through smaller keys to the first unmarked node and resumes the forward
+//! search there.
+//!
+//! Backward pointers are *approximate*: long runs of concurrent insertions
+//! and deletions make them skip over live nodes. Three maintenance rules
+//! (all plain atomic stores, no extra CAS or flags — the contrast the
+//! paper draws with Fomitchev & Ruppert) keep them usable:
+//!
+//! 1. insertion stores the successor's `prev` to the new node;
+//! 2. unlinking a marked node stores the successor's `prev` to the
+//!    predecessor, skipping the unlinked node (also a precondition for any
+//!    future reclamation scheme);
+//! 3. forward traversals repair a stale `prev` — but only after a cheap
+//!    relaxed-load comparison shows it wrong, because unconditional stores
+//!    would generate cache-coherence traffic on every step.
+//!
+//! With `CURSOR` enabled (variant f, *doubly-cursor*) each thread starts
+//! its search at its last recorded position and the backward walk makes
+//! *descending* key sequences as cheap as ascending ones — the mechanism
+//! behind the orders-of-magnitude wins in Tables 1/2/4/5/7/8.
+//!
+//! Key-order argument for termination: every value ever stored into a
+//! `prev` field references a node whose key is strictly smaller than the
+//! owner's (see the three rules above — each stores a predecessor
+//! observed adjacent at some instant). Backward walks therefore strictly
+//! decrease the key at every step and must reach the head sentinel.
+//!
+//! Reclamation follows the paper (and [`crate::arena`]): nodes are freed
+//! only when the list is dropped, which is precisely what makes the
+//! backwards pointers and cursors safe to chase.
+
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
+use std::sync::atomic::AtomicPtr;
+
+use crate::arena::{LocalArena, Registry};
+use crate::marked::{MarkedAtomic, MarkedPtr};
+use crate::set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
+use crate::stats::OpStats;
+use crate::Key;
+
+/// Doubly linked list node. `next` carries the deletion mark; `prev` is
+/// the unmarked approximate backward pointer.
+#[repr(C)]
+pub(crate) struct DNode<K> {
+    pub(crate) next: MarkedAtomic<DNode<K>>,
+    pub(crate) prev: AtomicPtr<DNode<K>>,
+    pub(crate) key: K,
+}
+
+/// The doubly linked lock-free ordered set with approximate backward
+/// pointers (paper variants c and f; see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use pragmatic_list::variants::DoublyCursorList;
+/// use pragmatic_list::{ConcurrentOrderedSet, SetHandle};
+///
+/// let list = DoublyCursorList::<i64>::new();
+/// let mut h = list.handle();
+/// for k in (0..1000).rev() {
+///     h.add(k); // descending inserts ride the backward pointers
+/// }
+/// assert!(h.contains(500));
+/// assert!(h.stats().trav < 5_000);
+/// ```
+pub struct DoublyList<K: Key, const CURSOR: bool, const REPAIR: bool = true> {
+    head: *mut DNode<K>,
+    tail: *mut DNode<K>,
+    registry: Registry<DNode<K>>,
+}
+
+// SAFETY: as for `SinglyList` — atomics for all shared state, arena-stable
+// nodes, `Drop` requires exclusivity.
+unsafe impl<K: Key, const CURSOR: bool, const REPAIR: bool> Send for DoublyList<K, CURSOR, REPAIR> {}
+unsafe impl<K: Key, const CURSOR: bool, const REPAIR: bool> Sync for DoublyList<K, CURSOR, REPAIR> {}
+
+impl<K: Key, const CURSOR: bool, const REPAIR: bool> Default for DoublyList<K, CURSOR, REPAIR> {
+    fn default() -> Self {
+        <Self as ConcurrentOrderedSet<K>>::new()
+    }
+}
+
+impl<K: Key, const CURSOR: bool, const REPAIR: bool> DoublyList<K, CURSOR, REPAIR> {
+    /// Number of unmarked items via a racy traversal (exact if quiescent).
+    pub fn len_approx(&self) -> usize {
+        let mut n = 0;
+        // SAFETY: arena-stable nodes.
+        unsafe {
+            let mut curr = (*self.head).next.load(Acquire).ptr();
+            while curr != self.tail {
+                if !(*curr).next.load(Acquire).is_marked() {
+                    n += 1;
+                }
+                curr = (*curr).next.load(Acquire).ptr();
+            }
+        }
+        n
+    }
+
+    /// Ordered snapshot of live keys; requires quiescence (`&mut`).
+    pub fn to_vec(&mut self) -> Vec<K> {
+        let mut out = Vec::new();
+        // SAFETY: exclusive access.
+        unsafe {
+            let mut curr = (*self.head).next.load(Acquire).ptr();
+            while curr != self.tail {
+                if !(*curr).next.load(Acquire).is_marked() {
+                    out.push((*curr).key);
+                }
+                curr = (*curr).next.load(Acquire).ptr();
+            }
+        }
+        out
+    }
+
+    /// Structural invariants: forward chain strictly sorted and reaching
+    /// the tail, sentinels unmarked, and — the doubly-specific one — every
+    /// backward chain reaching the head through strictly decreasing keys.
+    pub fn validate(&mut self) -> Result<(), InvariantViolation> {
+        // SAFETY: exclusive access.
+        unsafe {
+            if (*self.head).next.load(Acquire).is_marked()
+                || (*self.tail).next.load(Acquire).is_marked()
+            {
+                return Err(InvariantViolation::MarkedSentinel);
+            }
+            let budget = self.registry.len() + 2;
+            let mut prev_key = K::NEG_INF;
+            let mut curr = (*self.head).next.load(Acquire).ptr();
+            let mut pos = 0usize;
+            while curr != self.tail {
+                if pos > budget {
+                    return Err(InvariantViolation::TailUnreachable);
+                }
+                let k = (*curr).key;
+                if k <= prev_key || k >= K::POS_INF {
+                    return Err(InvariantViolation::OutOfOrder { position: pos });
+                }
+                // Backward chain from `curr` must reach the head with
+                // strictly decreasing keys.
+                let mut back = (*curr).prev.load(Acquire);
+                let mut last = k;
+                let mut steps = 0usize;
+                while back != self.head {
+                    let bk = (*back).key;
+                    if bk >= last || steps > budget {
+                        return Err(InvariantViolation::BackChainBroken { position: pos });
+                    }
+                    last = bk;
+                    back = (*back).prev.load(Acquire);
+                    steps += 1;
+                }
+                prev_key = k;
+                curr = (*curr).next.load(Acquire).ptr();
+                pos += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Total nodes ever allocated (diagnostic).
+    pub fn allocated_nodes(&self) -> usize {
+        self.registry.len()
+    }
+}
+
+impl<K: Key, const CURSOR: bool, const REPAIR: bool> Drop for DoublyList<K, CURSOR, REPAIR> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` — no live handles; each node registered once.
+        unsafe {
+            self.registry.free_all();
+            drop(Box::from_raw(self.head));
+            drop(Box::from_raw(self.tail));
+        }
+    }
+}
+
+impl<K: Key, const CURSOR: bool, const REPAIR: bool> ConcurrentOrderedSet<K> for DoublyList<K, CURSOR, REPAIR> {
+    type Handle<'a>
+        = DoublyHandle<'a, K, CURSOR, REPAIR>
+    where
+        Self: 'a;
+
+    const NAME: &'static str = if CURSOR && REPAIR {
+        "doubly_cursor"
+    } else if CURSOR {
+        "doubly_cursor_norepair"
+    } else if REPAIR {
+        "doubly"
+    } else {
+        "doubly_norepair"
+    };
+
+    fn new() -> Self {
+        let tail = Box::into_raw(Box::new(DNode {
+            next: MarkedAtomic::null(),
+            prev: AtomicPtr::new(std::ptr::null_mut()),
+            key: K::POS_INF,
+        }));
+        let head = Box::into_raw(Box::new(DNode {
+            next: MarkedAtomic::new(tail),
+            prev: AtomicPtr::new(std::ptr::null_mut()),
+            key: K::NEG_INF,
+        }));
+        // Self-loop on the head so a (never-taken) backward step from the
+        // head is still defined; tail initially points back to the head.
+        // SAFETY: just allocated, exclusive.
+        unsafe {
+            (*head).prev.store(head, Relaxed);
+            (*tail).prev.store(head, Relaxed);
+        }
+        Self {
+            head,
+            tail,
+            registry: Registry::new(),
+        }
+    }
+
+    fn handle(&self) -> DoublyHandle<'_, K, CURSOR, REPAIR> {
+        DoublyHandle {
+            list: self,
+            cursor: self.head,
+            spare: std::ptr::null_mut(),
+            arena: LocalArena::new(),
+            stats: OpStats::ZERO,
+            _not_sync: PhantomData,
+        }
+    }
+
+    fn collect_keys(&mut self) -> Vec<K> {
+        self.to_vec()
+    }
+
+    fn check_invariants(&mut self) -> Result<(), InvariantViolation> {
+        self.validate()
+    }
+}
+
+/// Per-thread handle over a [`DoublyList`].
+pub struct DoublyHandle<'l, K: Key, const CURSOR: bool, const REPAIR: bool = true> {
+    list: &'l DoublyList<K, CURSOR, REPAIR>,
+    cursor: *mut DNode<K>,
+    spare: *mut DNode<K>,
+    arena: LocalArena<DNode<K>>,
+    stats: OpStats,
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> Drop for DoublyHandle<'l, K, CURSOR, REPAIR> {
+    fn drop(&mut self) {
+        self.arena.flush_into(&self.list.registry);
+    }
+}
+
+impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> DoublyHandle<'l, K, CURSOR, REPAIR> {
+    #[inline]
+    fn begin_op(&mut self) {
+        if !CURSOR {
+            self.cursor = self.list.head;
+        }
+    }
+
+    /// The search function with backward pointers — Listing 3 verbatim.
+    ///
+    /// Never restarts from the head: both the initial cursor validation
+    /// and every retry walk `prev` pointers backwards (through strictly
+    /// smaller keys) to the first unmarked node with `key` strictly
+    /// beyond, then search forward.
+    fn search(&mut self, key: K) -> (*mut DNode<K>, *mut DNode<K>) {
+        // SAFETY (whole body): arena-stable nodes; atomics throughout.
+        unsafe {
+            let mut pred = self.cursor;
+            'retry: loop {
+                // Backward walk: to an unmarked node with key < `key`.
+                // Terminates: every `prev` step strictly decreases the key
+                // (module docs), and the head satisfies the condition.
+                while (*pred).next.load(Acquire).is_marked() || key <= (*pred).key {
+                    pred = (*pred).prev.load(Acquire);
+                    self.stats.trav += 1;
+                }
+                let mut curr = (*pred).next.load(Acquire).ptr();
+                loop {
+                    let mut succ = (*curr).next.load(Acquire);
+                    while succ.is_marked() {
+                        let mut succ_ptr = succ.ptr();
+                        match (*pred).next.compare_exchange(
+                            MarkedPtr::unmarked(curr),
+                            MarkedPtr::unmarked(succ_ptr),
+                            AcqRel,
+                            Acquire,
+                        ) {
+                            Ok(()) => {
+                                // Rule 2: the successor's backward pointer
+                                // skips the node we just unlinked.
+                                (*succ_ptr).prev.store(pred, Release);
+                            }
+                            Err(observed) => {
+                                self.stats.fail += 1;
+                                if observed.is_marked() {
+                                    // `pred` became marked: resume the
+                                    // backward walk from it — the paper's
+                                    // head-restart-free retry.
+                                    self.stats.rtry += 1;
+                                    continue 'retry;
+                                }
+                                succ_ptr = observed.ptr();
+                            }
+                        }
+                        curr = succ_ptr;
+                        self.stats.trav += 1;
+                        succ = (*curr).next.load(Acquire);
+                    }
+                    // Rule 3: conditional repair of a stale backward
+                    // pointer. The probe is a relaxed load so the common
+                    // correct case costs no coherence traffic. (REPAIR is
+                    // off only in the A3 ablation variant.)
+                    if REPAIR && (*curr).prev.load(Relaxed) != pred {
+                        (*curr).prev.store(pred, Release);
+                    }
+                    if key <= (*curr).key {
+                        self.cursor = pred;
+                        return (pred, curr);
+                    }
+                    pred = curr;
+                    curr = (*curr).next.load(Acquire).ptr();
+                    self.stats.trav += 1;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn prepare_node(&mut self, key: K, succ: *mut DNode<K>, pred: *mut DNode<K>) -> *mut DNode<K> {
+        if self.spare.is_null() {
+            let node = Box::into_raw(Box::new(DNode {
+                next: MarkedAtomic::new(succ),
+                prev: AtomicPtr::new(pred),
+                key,
+            }));
+            self.arena.record(node);
+            self.spare = node;
+            node
+        } else {
+            let node = self.spare;
+            // SAFETY: the spare is unpublished — exclusively ours.
+            unsafe {
+                (*node).key = key;
+                (*node).next.store(MarkedPtr::unmarked(succ), Relaxed);
+                (*node).prev.store(pred, Relaxed);
+            }
+            node
+        }
+    }
+
+    fn add_impl(&mut self, key: K) -> bool {
+        debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        self.begin_op();
+        loop {
+            let (pred, curr) = self.search(key);
+            // SAFETY: arena-stable nodes.
+            unsafe {
+                if (*curr).key == key {
+                    return false;
+                }
+                let node = self.prepare_node(key, curr, pred);
+                match (*pred).next.compare_exchange(
+                    MarkedPtr::unmarked(curr),
+                    MarkedPtr::unmarked(node),
+                    AcqRel,
+                    Acquire,
+                ) {
+                    Ok(()) => {
+                        self.spare = std::ptr::null_mut();
+                        // Rule 1: successor's backward pointer now names
+                        // the new node.
+                        (*curr).prev.store(node, Release);
+                        self.stats.adds += 1;
+                        return true;
+                    }
+                    Err(_) => {
+                        self.stats.fail += 1;
+                        // Retry re-enters the search, which walks back
+                        // from the stored position — never from the head.
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove_impl(&mut self, key: K) -> bool {
+        debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        self.begin_op();
+        loop {
+            let (pred, node) = self.search(key);
+            // SAFETY: arena-stable nodes.
+            unsafe {
+                if (*node).key != key {
+                    return false;
+                }
+                // Textbook marking (Listing 3's caption: with the backward
+                // search, add()/rem() stay textbook): a failed marking CAS
+                // re-searches — cheaply, via the backward pointers.
+                let succ = (*node).next.load(Acquire).without_mark();
+                if (*node)
+                    .next
+                    .compare_exchange(succ, succ.with_mark(), AcqRel, Acquire)
+                    .is_err()
+                {
+                    self.stats.fail += 1;
+                    continue;
+                }
+                let succ_ptr = succ.ptr();
+                // Physical unlink (failure benign) + rule 2 on success.
+                match (*pred).next.compare_exchange(
+                    MarkedPtr::unmarked(node),
+                    MarkedPtr::unmarked(succ_ptr),
+                    AcqRel,
+                    Acquire,
+                ) {
+                    Ok(()) => (*succ_ptr).prev.store(pred, Release),
+                    Err(_) => self.stats.fail += 1,
+                }
+                self.stats.rems += 1;
+                return true;
+            }
+        }
+    }
+
+    fn contains_impl(&mut self, key: K) -> bool {
+        debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        self.begin_op();
+        // SAFETY: arena-stable nodes; read-only traversal.
+        unsafe {
+            let mut curr = if CURSOR { self.cursor } else { self.list.head };
+            // Backward phase: unlike the search function, `con()` may stop
+            // *at* a node carrying the sought key (see singly.rs for why
+            // the equal-key start is essential to the paper's "cons"
+            // numbers). Strictly decreasing keys guarantee termination.
+            while (*curr).next.load(Acquire).is_marked() || key < (*curr).key {
+                curr = (*curr).prev.load(Acquire);
+                self.stats.cons += 1;
+            }
+            // Forward phase.
+            let mut pred = curr;
+            while (*curr).key < key {
+                pred = curr;
+                curr = (*curr).next.load(Acquire).ptr();
+                self.stats.cons += 1;
+            }
+            if CURSOR {
+                self.cursor = pred;
+            }
+            (*curr).key == key && !(*curr).next.load(Acquire).is_marked()
+        }
+    }
+}
+
+impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> SetHandle<K> for DoublyHandle<'l, K, CURSOR, REPAIR> {
+    #[inline]
+    fn add(&mut self, key: K) -> bool {
+        self.add_impl(key)
+    }
+
+    #[inline]
+    fn remove(&mut self, key: K) -> bool {
+        self.remove_impl(key)
+    }
+
+    #[inline]
+    fn contains(&mut self, key: K) -> bool {
+        self.contains_impl(key)
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn take_stats(&mut self) -> OpStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variants::{DoublyCursorList, DoublyBackptrList};
+
+    #[test]
+    fn basic_semantics_both_variants() {
+        fn run<S: ConcurrentOrderedSet<i64>>() {
+            let list = S::new();
+            let mut h = list.handle();
+            assert!(h.add(10));
+            assert!(!h.add(10));
+            assert!(h.add(5));
+            assert!(h.add(15));
+            assert!(h.contains(5) && h.contains(10) && h.contains(15));
+            assert!(!h.contains(12));
+            assert!(h.remove(10));
+            assert!(!h.remove(10));
+            assert!(!h.contains(10));
+            assert!(h.add(10));
+            assert!(h.contains(10));
+        }
+        run::<DoublyBackptrList<i64>>();
+        run::<DoublyCursorList<i64>>();
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(<DoublyBackptrList<i64> as ConcurrentOrderedSet<i64>>::NAME, "doubly");
+        assert_eq!(
+            <DoublyCursorList<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            "doubly_cursor"
+        );
+    }
+
+    #[test]
+    fn snapshot_sorted_and_validates() {
+        let mut list = DoublyCursorList::<i64>::new();
+        {
+            let mut h = list.handle();
+            for k in [8i64, 1, 6, 3, 9, 2, 7, 4, 5] {
+                assert!(h.add(k));
+            }
+            assert!(h.remove(6));
+            assert!(h.remove(1));
+            assert!(h.remove(9));
+        }
+        assert_eq!(list.to_vec(), vec![2, 3, 4, 5, 7, 8]);
+        list.validate().unwrap();
+    }
+
+    #[test]
+    fn descending_insert_rides_backward_pointers() {
+        // With the cursor, a descending insert sequence walks `prev` one
+        // step per operation instead of scanning from the head — the
+        // deterministic-benchmark mechanism (Tables 2/5/8, variant f).
+        let n = 2000i64;
+        let list = DoublyCursorList::<i64>::new();
+        let mut h = list.handle();
+        for k in (1..=n).rev() {
+            assert!(h.add(k));
+        }
+        let trav = h.stats().trav;
+        assert!(
+            trav <= 8 * n as u64,
+            "descending adds should be O(1) each, got trav={trav}"
+        );
+        drop(h);
+        let mut list = list;
+        assert_eq!(list.to_vec().len(), n as usize);
+        list.validate().unwrap();
+    }
+
+    #[test]
+    fn descending_remove_rides_backward_pointers() {
+        let n = 2000i64;
+        let list = DoublyCursorList::<i64>::new();
+        let mut h = list.handle();
+        for k in 1..=n {
+            h.add(k);
+        }
+        let _ = h.take_stats();
+        for k in (1..=n).rev() {
+            assert!(h.remove(k));
+        }
+        let trav = h.stats().trav;
+        assert!(
+            trav <= 8 * n as u64,
+            "descending removes should be O(1) each, got trav={trav}"
+        );
+    }
+
+    #[test]
+    fn non_cursor_doubly_restarts_from_head_per_op() {
+        let list = DoublyBackptrList::<i64>::new();
+        let mut h = list.handle();
+        for k in 1..=500 {
+            h.add(k);
+        }
+        let _ = h.take_stats();
+        assert!(h.contains(499));
+        let c1 = h.stats().cons;
+        assert!(h.contains(500));
+        let c2 = h.stats().cons;
+        assert!(c2 - c1 >= 499, "variant c) con() starts at the head");
+    }
+
+    #[test]
+    fn backward_pointer_repair_on_traversal() {
+        // Make prev pointers stale via removals, then check a forward
+        // search repairs them (validated by the strict backward-chain
+        // invariant check).
+        let mut list = DoublyCursorList::<i64>::new();
+        {
+            let mut h = list.handle();
+            for k in 1..=100 {
+                h.add(k);
+            }
+            for k in (2..=98).step_by(2) {
+                h.remove(k);
+            }
+            // Forward searches over the whole list repair prev fields.
+            for k in (1..=99).step_by(2) {
+                assert!(h.contains(k));
+            }
+        }
+        list.validate().unwrap();
+        assert_eq!(list.len_approx(), 51);
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_validates() {
+        let list = DoublyCursorList::<i64>::new();
+        std::thread::scope(|s| {
+            for t in 0..8i64 {
+                let list = &list;
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    for i in 0..400 {
+                        let k = (i * 8 + t) % 1000 + 1;
+                        match i % 3 {
+                            0 => {
+                                h.add(k);
+                            }
+                            1 => {
+                                h.contains(k);
+                            }
+                            _ => {
+                                h.remove(k);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut list = list;
+        list.validate().unwrap();
+    }
+
+    #[test]
+    fn concurrent_same_key_battle_single_winner() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let list = DoublyCursorList::<i64>::new();
+        let wins = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let list = &list;
+                let wins = &wins;
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    if h.add(42) {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 1);
+        let mut list = list;
+        assert_eq!(list.to_vec(), vec![42]);
+    }
+
+    #[test]
+    fn interleaved_add_remove_keeps_back_chains_sound() {
+        let mut list = DoublyCursorList::<i64>::new();
+        {
+            let mut h = list.handle();
+            for round in 0..20 {
+                for k in 1..=50 {
+                    h.add(k * 2 + round % 2);
+                }
+                for k in 1..=50 {
+                    h.remove(k * 2 + (round + 1) % 2);
+                }
+            }
+        }
+        list.validate().unwrap();
+    }
+
+    #[test]
+    fn stats_track_successes_only() {
+        let list = DoublyBackptrList::<i64>::new();
+        let mut h = list.handle();
+        assert!(h.add(1));
+        assert!(!h.add(1));
+        assert!(h.remove(1));
+        assert!(!h.remove(1));
+        let st = h.stats();
+        assert_eq!(st.adds, 1);
+        assert_eq!(st.rems, 1);
+        assert_eq!(st.fail, 0, "no contention, no CAS failures");
+    }
+}

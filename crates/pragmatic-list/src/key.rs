@@ -1,0 +1,100 @@
+//! Key trait with sentinel values.
+//!
+//! The paper's C implementation keys list items by `long` and relies on the
+//! head and tail sentinels carrying `LONG_MIN` / `LONG_MAX` so that the hot
+//! search loop can evaluate `key <= curr->key` without an end-of-list branch
+//! (Listing 1 and Listing 3 never test for NULL). We keep that design: a
+//! [`Key`] provides two reserved sentinel values, and every list in this
+//! crate stores `NEG_INF` in its head sentinel and `POS_INF` in its tail
+//! sentinel.
+//!
+//! User-supplied keys must therefore be *strictly between* the sentinels;
+//! the list operations `debug_assert!` this and document it as a
+//! precondition. For the integer impls below this excludes only
+//! `MIN`/`MAX` themselves, which benchmark workloads never produce.
+
+/// An ordered, copyable key with reserved `-∞` / `+∞` sentinel values.
+///
+/// Implemented for the primitive integer types. The sentinels are the
+/// extreme values of the type; they are reserved for the internal head and
+/// tail sentinel nodes and must not be inserted by users.
+///
+/// # Examples
+///
+/// ```
+/// use pragmatic_list::Key;
+/// assert!(i64::NEG_INF < 0 && 0 < i64::POS_INF);
+/// assert_eq!(u32::NEG_INF, u32::MIN);
+/// ```
+pub trait Key: Copy + Ord + Send + Sync + std::fmt::Debug + 'static {
+    /// Smallest value of the type; stored in the head sentinel.
+    const NEG_INF: Self;
+    /// Largest value of the type; stored in the tail sentinel.
+    const POS_INF: Self;
+
+    /// `true` iff `self` is neither sentinel and may be inserted.
+    #[inline]
+    fn is_valid_key(&self) -> bool {
+        *self > Self::NEG_INF && *self < Self::POS_INF
+    }
+}
+
+macro_rules! impl_key {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Key for $t {
+                const NEG_INF: Self = <$t>::MIN;
+                const POS_INF: Self = <$t>::MAX;
+            }
+        )*
+    };
+}
+
+impl_key!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinels_bracket_all_valid_keys() {
+        assert!(!i64::MIN.is_valid_key());
+        assert!(!i64::MAX.is_valid_key());
+        assert!((i64::MIN + 1).is_valid_key());
+        assert!((i64::MAX - 1).is_valid_key());
+        assert!(0i64.is_valid_key());
+    }
+
+    #[test]
+    fn unsigned_sentinels() {
+        assert_eq!(u64::NEG_INF, 0);
+        assert_eq!(u64::POS_INF, u64::MAX);
+        assert!(!0u64.is_valid_key());
+        assert!(1u64.is_valid_key());
+    }
+
+    #[test]
+    fn signed_order() {
+        assert!(i32::NEG_INF < -1_000_000);
+        assert!(i32::POS_INF > 1_000_000);
+    }
+
+    #[test]
+    fn all_integer_impls_have_distinct_sentinels() {
+        fn check<K: Key>() {
+            assert!(K::NEG_INF < K::POS_INF);
+        }
+        check::<i8>();
+        check::<i16>();
+        check::<i32>();
+        check::<i64>();
+        check::<i128>();
+        check::<isize>();
+        check::<u8>();
+        check::<u16>();
+        check::<u32>();
+        check::<u64>();
+        check::<u128>();
+        check::<usize>();
+    }
+}

@@ -1,0 +1,76 @@
+//! # pragmatic-list
+//!
+//! A Rust reproduction of **“A more pragmatic implementation of the
+//! lock-free, ordered, linked list”** (J. L. Träff and M. Pöter,
+//! PPoPP 2021, arXiv:2010.15755).
+//!
+//! The textbook lock-free ordered linked list (Harris 2001 / Michael
+//! 2002) reacts to *any* failed `CAS()` by retraversing the entire list
+//! from the head — draconic for a linear-time structure. The paper’s
+//! pragmatic improvements, all implemented here:
+//!
+//! 1. **Mild improvements** — inspect *why* a CAS failed: if the node did
+//!    not become marked, only its pointer changed, and rereading the
+//!    pointer suffices (search and `add()`); a failed delete-marking CAS
+//!    retries in place until the node is marked by someone (`rem()`).
+//! 2. **Approximate backward pointers** — each node points to *some*
+//!    smaller-key node such that backward pointers always lead to the
+//!    head; failed CASes walk backwards to the nearest viable restart
+//!    position instead of the head.
+//! 3. **Per-thread cursor** — operations resume from the position the
+//!    thread last visited, cutting the expected traversal length.
+//! 4. **fetch-or marking** — `rem()` may mark with an infallible atomic
+//!    fetch-and-or.
+//!
+//! The six benchmarked variants are named in [`variants`]; all share the
+//! [`ConcurrentOrderedSet`] / [`SetHandle`] interface and per-operation
+//! counters ([`OpStats`]) matching the paper’s table columns.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pragmatic_list::variants::DoublyCursorList;
+//! use pragmatic_list::{ConcurrentOrderedSet, SetHandle};
+//!
+//! let list = DoublyCursorList::<i64>::new();
+//! std::thread::scope(|s| {
+//!     for t in 0..4i64 {
+//!         let list = &list;
+//!         s.spawn(move || {
+//!             let mut h = list.handle(); // one handle per thread
+//!             for i in 0..1000 {
+//!                 h.add(t + i * 4);
+//!             }
+//!             assert!(h.contains(t));
+//!         });
+//!     }
+//! });
+//! ```
+//!
+//! ## Memory reclamation
+//!
+//! Following the paper (§1, §4), the six variants free nodes only when
+//! the list is dropped (see [`arena`] for the scheme and the safety
+//! argument); this is what makes cursors and backward pointers sound.
+//! [`EpochList`] additionally provides the textbook list with real
+//! epoch-based reclamation (crossbeam-epoch) as the comparison point the
+//! paper leaves open.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arena;
+pub mod doubly;
+pub mod epoch_list;
+mod key;
+pub mod map;
+pub mod marked;
+pub mod set;
+pub mod singly;
+mod stats;
+pub mod variants;
+
+pub use epoch_list::EpochList;
+pub use key::Key;
+pub use set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
+pub use stats::OpStats;

@@ -1,0 +1,493 @@
+//! Ordered key→value map over the pragmatic list — the API downstream
+//! users actually want from an ordered concurrent structure.
+//!
+//! [`ListMap`] is the paper's singly-cursor variant d) (mild
+//! improvements + per-thread cursor — the paper's recommended
+//! "unintrusive" configuration) with a value payload per node. The
+//! algorithm is identical to `singly.rs`; only the node carries `V` and
+//! the read path returns it.
+//!
+//! ## Value semantics
+//!
+//! `V: Copy`. A node's value is written once, before the node is
+//! published by the releasing insert CAS, and never mutated — so `get`
+//! may read it without synchronisation beyond the acquire traversal.
+//! There is deliberately no in-place `update`: mutating a published
+//! value would race wait-free readers (the paper's structure has no
+//! per-node lock or version to make that safe). The supported update
+//! idiom is `remove` + `insert`, which is linearizable per key.
+//!
+//! Reclamation follows the paper's arena scheme (`crate::arena`):
+//! values, like nodes, are dropped when the map is dropped.
+
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
+
+use crate::arena::{LocalArena, Registry};
+use crate::marked::{MarkedAtomic, MarkedPtr};
+use crate::stats::OpStats;
+use crate::Key;
+
+struct MapNode<K, V> {
+    next: MarkedAtomic<MapNode<K, V>>,
+    key: K,
+    value: V,
+}
+
+/// Lock-free ordered map (paper variant d) semantics with a value
+/// payload).
+///
+/// # Examples
+///
+/// ```
+/// use pragmatic_list::map::ListMap;
+///
+/// let map = ListMap::<u64, u64>::new();
+/// std::thread::scope(|s| {
+///     for t in 1..=4u64 {
+///         let map = &map;
+///         s.spawn(move || {
+///             let mut h = map.handle();
+///             h.insert(t, t * 100);
+///             assert_eq!(h.get(t), Some(t * 100));
+///         });
+///     }
+/// });
+/// let mut map = map;
+/// assert_eq!(map.collect(), vec![(1, 100), (2, 200), (3, 300), (4, 400)]);
+/// ```
+pub struct ListMap<K: Key, V: Copy + Send + Sync + 'static> {
+    head: *mut MapNode<K, V>,
+    tail: *mut MapNode<K, V>,
+    registry: Registry<MapNode<K, V>>,
+}
+
+// SAFETY: same argument as `SinglyList` — atomics for shared state,
+// arena-stable nodes, `Drop` requires exclusivity; `V: Copy + Send + Sync`
+// and is immutable after publication.
+unsafe impl<K: Key, V: Copy + Send + Sync + 'static> Send for ListMap<K, V> {}
+unsafe impl<K: Key, V: Copy + Send + Sync + 'static> Sync for ListMap<K, V> {}
+
+impl<K: Key, V: Copy + Send + Sync + 'static> Default for ListMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key, V: Copy + Send + Sync + 'static> Drop for ListMap<K, V> {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; every non-sentinel node registered once.
+        unsafe {
+            self.registry.free_all();
+            drop(Box::from_raw(self.head));
+            drop(Box::from_raw(self.tail));
+        }
+    }
+}
+
+impl<K: Key, V: Copy + Send + Sync + 'static> ListMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        use std::mem::MaybeUninit;
+        use std::ptr::addr_of_mut;
+        // The sentinels have no value to store: their `value` field stays
+        // uninitialised and is never read (`get`/`collect` exclude the
+        // sentinel keys), and `V: Copy` guarantees `MapNode` has no drop
+        // glue, so dropping a sentinel in `Drop` never touches it.
+        // SAFETY: only the `next` and `key` fields are ever accessed on
+        // sentinels, and they are initialised here before publication.
+        let tail: *mut MapNode<K, V> = unsafe {
+            let mut n = Box::new(MaybeUninit::<MapNode<K, V>>::uninit());
+            let p = n.as_mut_ptr();
+            addr_of_mut!((*p).next).write(MarkedAtomic::null());
+            addr_of_mut!((*p).key).write(K::POS_INF);
+            Box::into_raw(n) as *mut MapNode<K, V>
+        };
+        let head: *mut MapNode<K, V> = unsafe {
+            let mut n = Box::new(MaybeUninit::<MapNode<K, V>>::uninit());
+            let p = n.as_mut_ptr();
+            addr_of_mut!((*p).next).write(MarkedAtomic::new(tail));
+            addr_of_mut!((*p).key).write(K::NEG_INF);
+            Box::into_raw(n) as *mut MapNode<K, V>
+        };
+        Self {
+            head,
+            tail,
+            registry: Registry::new(),
+        }
+    }
+
+    /// Per-thread handle.
+    pub fn handle(&self) -> MapHandle<'_, K, V> {
+        MapHandle {
+            map: self,
+            cursor: self.head,
+            arena: LocalArena::new(),
+            stats: OpStats::ZERO,
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// Quiescent snapshot of `(key, value)` pairs in key order.
+    pub fn collect(&mut self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        // SAFETY: exclusive access; non-sentinel values are initialised.
+        unsafe {
+            let mut curr = (*self.head).next.load(Acquire).ptr();
+            while curr != self.tail {
+                if !(*curr).next.load(Acquire).is_marked() {
+                    out.push(((*curr).key, (*curr).value));
+                }
+                curr = (*curr).next.load(Acquire).ptr();
+            }
+        }
+        out
+    }
+
+    /// Number of live entries (racy; exact when quiescent).
+    pub fn len_approx(&self) -> usize {
+        let mut n = 0;
+        // SAFETY: arena-stable nodes.
+        unsafe {
+            let mut curr = (*self.head).next.load(Acquire).ptr();
+            while curr != self.tail {
+                if !(*curr).next.load(Acquire).is_marked() {
+                    n += 1;
+                }
+                curr = (*curr).next.load(Acquire).ptr();
+            }
+        }
+        n
+    }
+}
+
+/// Per-thread handle over a [`ListMap`] (cursor + counters + arena log).
+pub struct MapHandle<'m, K: Key, V: Copy + Send + Sync + 'static> {
+    map: &'m ListMap<K, V>,
+    cursor: *mut MapNode<K, V>,
+    arena: LocalArena<MapNode<K, V>>,
+    stats: OpStats,
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+impl<'m, K: Key, V: Copy + Send + Sync + 'static> Drop for MapHandle<'m, K, V> {
+    fn drop(&mut self) {
+        self.arena.flush_into(&self.map.registry);
+    }
+}
+
+impl<'m, K: Key, V: Copy + Send + Sync + 'static> MapHandle<'m, K, V> {
+    /// Search (Listing 1, mild + cursor), as in `singly.rs`.
+    fn search(&mut self, key: K) -> (*mut MapNode<K, V>, *mut MapNode<K, V>) {
+        let head = self.map.head;
+        // SAFETY: arena-stable nodes; atomics throughout.
+        unsafe {
+            'retry: loop {
+                let mut pred = {
+                    let c = self.cursor;
+                    if (*c).next.load(Acquire).is_marked() || key <= (*c).key {
+                        head
+                    } else {
+                        c
+                    }
+                };
+                let mut curr = (*pred).next.load(Acquire).ptr();
+                loop {
+                    let mut succ = (*curr).next.load(Acquire);
+                    while succ.is_marked() {
+                        let mut succ_ptr = succ.ptr();
+                        match (*pred).next.compare_exchange(
+                            MarkedPtr::unmarked(curr),
+                            MarkedPtr::unmarked(succ_ptr),
+                            AcqRel,
+                            Acquire,
+                        ) {
+                            Ok(()) => {}
+                            Err(observed) => {
+                                self.stats.fail += 1;
+                                if observed.is_marked() {
+                                    self.stats.rtry += 1;
+                                    continue 'retry;
+                                }
+                                succ_ptr = observed.ptr();
+                            }
+                        }
+                        curr = succ_ptr;
+                        self.stats.trav += 1;
+                        succ = (*curr).next.load(Acquire);
+                    }
+                    if key <= (*curr).key {
+                        self.cursor = pred;
+                        return (pred, curr);
+                    }
+                    pred = curr;
+                    curr = (*curr).next.load(Acquire).ptr();
+                    self.stats.trav += 1;
+                }
+            }
+        }
+    }
+
+    /// Inserts `key → value`; `true` iff the key was absent. Existing
+    /// entries are *not* overwritten (use `remove` + `insert`).
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        let mut node: *mut MapNode<K, V> = std::ptr::null_mut();
+        loop {
+            let (pred, curr) = self.search(key);
+            // SAFETY: arena-stable nodes.
+            unsafe {
+                if (*curr).key == key {
+                    return false;
+                }
+                if node.is_null() {
+                    node = Box::into_raw(Box::new(MapNode {
+                        next: MarkedAtomic::new(curr),
+                        key,
+                        value,
+                    }));
+                    self.arena.record(node);
+                } else {
+                    (*node).next.store(MarkedPtr::unmarked(curr), Relaxed);
+                }
+                match (*pred).next.compare_exchange(
+                    MarkedPtr::unmarked(curr),
+                    MarkedPtr::unmarked(node),
+                    AcqRel,
+                    Acquire,
+                ) {
+                    Ok(()) => {
+                        self.stats.adds += 1;
+                        return true;
+                    }
+                    Err(_) => self.stats.fail += 1,
+                }
+            }
+        }
+    }
+
+    /// Removes `key`; returns its value iff this thread won the delete.
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        loop {
+            let (pred, node) = self.search(key);
+            // SAFETY: arena-stable nodes.
+            unsafe {
+                if (*node).key != key {
+                    return None;
+                }
+                let mut succ = (*node).next.load(Acquire);
+                let succ_ptr = loop {
+                    if succ.is_marked() {
+                        return None;
+                    }
+                    match (*node)
+                        .next
+                        .compare_exchange(succ, succ.with_mark(), AcqRel, Acquire)
+                    {
+                        Ok(()) => break succ.ptr(),
+                        Err(observed) => {
+                            self.stats.fail += 1;
+                            succ = observed;
+                        }
+                    }
+                };
+                let value = (*node).value;
+                if (*pred)
+                    .next
+                    .compare_exchange(
+                        MarkedPtr::unmarked(node),
+                        MarkedPtr::unmarked(succ_ptr),
+                        AcqRel,
+                        Acquire,
+                    )
+                    .is_err()
+                {
+                    self.stats.fail += 1;
+                }
+                self.stats.rems += 1;
+                return Some(value);
+            }
+        }
+    }
+
+    /// Wait-free lookup with the cursor fast path.
+    pub fn get(&mut self, key: K) -> Option<V> {
+        debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        let head = self.map.head;
+        // SAFETY: arena-stable nodes; values immutable after publish.
+        unsafe {
+            let start = {
+                let c = self.cursor;
+                if (*c).next.load(Acquire).is_marked() || key < (*c).key {
+                    head
+                } else {
+                    c
+                }
+            };
+            let mut pred = start;
+            let mut curr = start;
+            while (*curr).key < key {
+                pred = curr;
+                curr = (*curr).next.load(Acquire).ptr();
+                self.stats.cons += 1;
+            }
+            self.cursor = pred;
+            if (*curr).key == key && !(*curr).next.load(Acquire).is_marked() {
+                Some((*curr).value)
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `true` iff `key` is present.
+    pub fn contains_key(&mut self, key: K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> OpStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_map_semantics() {
+        let map = ListMap::<i64, &'static str>::new();
+        let mut h = map.handle();
+        assert!(h.insert(2, "two"));
+        assert!(h.insert(1, "one"));
+        assert!(!h.insert(2, "TWO"), "no overwrite");
+        assert_eq!(h.get(2), Some("two"), "original value preserved");
+        assert_eq!(h.get(3), None);
+        assert_eq!(h.remove(2), Some("two"));
+        assert_eq!(h.remove(2), None);
+        assert!(h.insert(2, "TWO"));
+        assert_eq!(h.get(2), Some("TWO"));
+    }
+
+    #[test]
+    fn collect_in_key_order() {
+        let mut map = ListMap::<u32, u32>::new();
+        {
+            let mut h = map.handle();
+            for k in [5u32, 2, 9, 1, 7] {
+                h.insert(k, k * 10);
+            }
+            h.remove(9);
+        }
+        assert_eq!(map.collect(), vec![(1, 10), (2, 20), (5, 50), (7, 70)]);
+        assert_eq!(map.len_approx(), 4);
+    }
+
+    #[test]
+    fn update_idiom_remove_insert() {
+        let map = ListMap::<i64, i64>::new();
+        let mut h = map.handle();
+        h.insert(7, 1);
+        for v in 2..=10 {
+            assert_eq!(h.remove(7), Some(v - 1));
+            assert!(h.insert(7, v));
+        }
+        assert_eq!(h.get(7), Some(10));
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_shared_readers() {
+        let map = ListMap::<u64, u64>::new();
+        std::thread::scope(|s| {
+            for t in 1..=4u64 {
+                let map = &map;
+                s.spawn(move || {
+                    let mut h = map.handle();
+                    for i in 0..500u64 {
+                        let k = t + i * 4;
+                        assert!(h.insert(k, k * 2));
+                    }
+                    for i in 0..500u64 {
+                        let k = t + i * 4;
+                        assert_eq!(h.get(k), Some(k * 2), "own writes visible");
+                    }
+                });
+            }
+        });
+        let mut map = map;
+        let all = map.collect();
+        assert_eq!(all.len(), 2000);
+        assert!(all.iter().all(|&(k, v)| v == k * 2));
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn concurrent_same_key_single_winner_gets_value_back() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let map = ListMap::<i64, u32>::new();
+        {
+            let mut h = map.handle();
+            h.insert(5, 999);
+        }
+        let wins = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let map = &map;
+                let wins = &wins;
+                s.spawn(move || {
+                    let mut h = map.handle();
+                    if let Some(v) = h.remove(5) {
+                        assert_eq!(v, 999);
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 1, "value handed out once");
+    }
+
+    #[test]
+    fn drop_with_live_and_removed_entries_is_clean() {
+        let map = ListMap::<i64, [u64; 4]>::new();
+        {
+            let mut h = map.handle();
+            for k in 1..=1000 {
+                h.insert(k, [k as u64; 4]);
+            }
+            for k in (1..=1000).step_by(2) {
+                h.remove(k);
+            }
+        }
+        drop(map); // arena frees everything exactly once
+    }
+
+    #[test]
+    fn matches_btreemap_on_random_tape() {
+        use std::collections::BTreeMap;
+        let map = ListMap::<i64, i64>::new();
+        let mut h = map.handle();
+        let mut oracle = BTreeMap::new();
+        let mut x = 24680u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = ((x >> 33) % 64) as i64 + 1;
+            let v = (x % 1000) as i64;
+            match (x >> 11) % 3 {
+                0 => {
+                    let want = !oracle.contains_key(&k);
+                    assert_eq!(h.insert(k, v), want);
+                    if want {
+                        oracle.insert(k, v);
+                    }
+                }
+                1 => assert_eq!(h.remove(k), oracle.remove(&k)),
+                _ => assert_eq!(h.get(k), oracle.get(&k).copied()),
+            }
+        }
+        drop(h);
+        let mut map = map;
+        assert_eq!(map.collect(), oracle.into_iter().collect::<Vec<_>>());
+    }
+}

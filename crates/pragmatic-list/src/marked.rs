@@ -1,0 +1,321 @@
+//! Mark-bit tagged atomic pointers.
+//!
+//! The lock-free ordered list steals the least-significant bit of each
+//! node's `next` pointer as the *logical deletion mark* (Harris 2001). Mark
+//! and pointer live in one machine word so that a single-word
+//! `compare_exchange` can atomically verify "the successor is still X *and*
+//! this node is not deleted" — the invariant every `CAS()` in the paper
+//! relies on.
+//!
+//! [`MarkedPtr`] is the plain word (pointer + mark), [`MarkedAtomic`] the
+//! atomic cell holding one. Node types in this crate are aligned to at
+//! least a word, so bit 0 of a real node address is always zero.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const MARK_BIT: usize = 1;
+
+/// A word combining a raw `*mut T` and the deletion mark bit.
+///
+/// `MarkedPtr` is `Copy` and does no lifetime tracking; dereferencing the
+/// contained pointer is up to the caller (the list guarantees node
+/// stability via its arena — see `arena.rs`).
+pub struct MarkedPtr<T> {
+    raw: usize,
+    _ty: PhantomData<*mut T>,
+}
+
+impl<T> Clone for MarkedPtr<T> {
+    #[inline]
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for MarkedPtr<T> {}
+
+impl<T> PartialEq for MarkedPtr<T> {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+impl<T> Eq for MarkedPtr<T> {}
+
+impl<T> fmt::Debug for MarkedPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MarkedPtr({:p}, marked={})", self.ptr(), self.is_marked())
+    }
+}
+
+impl<T> MarkedPtr<T> {
+    /// An unmarked null pointer.
+    #[inline]
+    pub fn null() -> Self {
+        Self {
+            raw: 0,
+            _ty: PhantomData,
+        }
+    }
+
+    /// Wraps `ptr` with the given mark. `ptr` must be at least 2-aligned
+    /// (guaranteed for node types, which contain an `AtomicUsize`).
+    #[inline]
+    pub fn new(ptr: *mut T, marked: bool) -> Self {
+        debug_assert_eq!(ptr as usize & MARK_BIT, 0, "pointer not 2-aligned");
+        Self {
+            raw: ptr as usize | (marked as usize),
+            _ty: PhantomData,
+        }
+    }
+
+    /// Wraps an unmarked pointer: the paper's `getpointer` inverse.
+    #[inline]
+    pub fn unmarked(ptr: *mut T) -> Self {
+        Self::new(ptr, false)
+    }
+
+    /// Reconstructs from a raw tagged word (used by `fetch_or`).
+    #[inline]
+    pub(crate) fn from_raw(raw: usize) -> Self {
+        Self {
+            raw,
+            _ty: PhantomData,
+        }
+    }
+
+    /// The paper's `getpointer()`: strips the mark bit.
+    #[inline]
+    pub fn ptr(self) -> *mut T {
+        (self.raw & !MARK_BIT) as *mut T
+    }
+
+    /// The paper's `ismarked()`.
+    #[inline]
+    pub fn is_marked(self) -> bool {
+        self.raw & MARK_BIT != 0
+    }
+
+    /// The paper's `setmark()`: the same pointer with the mark bit set.
+    #[inline]
+    pub fn with_mark(self) -> Self {
+        Self::from_raw(self.raw | MARK_BIT)
+    }
+
+    /// The same pointer with the mark bit cleared.
+    #[inline]
+    pub fn without_mark(self) -> Self {
+        Self::from_raw(self.raw & !MARK_BIT)
+    }
+
+    /// `true` iff the pointer part is null.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.ptr().is_null()
+    }
+
+    #[inline]
+    pub(crate) fn into_raw(self) -> usize {
+        self.raw
+    }
+}
+
+/// An atomic cell holding a [`MarkedPtr`].
+///
+/// This is the `_Atomic(node_t *)` of the C implementation, with the
+/// `LOAD` / `STORE` / `CAS` macros mapped to explicit `Ordering`s at the
+/// call sites (the paper uses the C11 acquire–release discipline).
+pub struct MarkedAtomic<T> {
+    cell: AtomicUsize,
+    _ty: PhantomData<*mut T>,
+}
+
+// Like `AtomicPtr<T>`: the cell itself is always safe to share — what may
+// be done with the loaded pointer is the user's obligation.
+unsafe impl<T> Send for MarkedAtomic<T> {}
+unsafe impl<T> Sync for MarkedAtomic<T> {}
+
+impl<T> fmt::Debug for MarkedAtomic<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.load(Ordering::Relaxed).fmt(f)
+    }
+}
+
+impl<T> MarkedAtomic<T> {
+    /// New cell holding an unmarked `ptr`.
+    #[inline]
+    pub fn new(ptr: *mut T) -> Self {
+        Self {
+            cell: AtomicUsize::new(MarkedPtr::unmarked(ptr).into_raw()),
+            _ty: PhantomData,
+        }
+    }
+
+    /// New cell holding an unmarked null.
+    #[inline]
+    pub fn null() -> Self {
+        Self::new(std::ptr::null_mut())
+    }
+
+    /// Atomic load of (pointer, mark).
+    #[inline]
+    pub fn load(&self, order: Ordering) -> MarkedPtr<T> {
+        MarkedPtr::from_raw(self.cell.load(order))
+    }
+
+    /// Atomic store of (pointer, mark).
+    #[inline]
+    pub fn store(&self, val: MarkedPtr<T>, order: Ordering) {
+        self.cell.store(val.into_raw(), order);
+    }
+
+    /// Single-word CAS over (pointer, mark). Returns `Ok(())` on success
+    /// and `Err(current)` with the freshly observed value on failure —
+    /// mirroring C11 `atomic_compare_exchange_strong` updating its
+    /// `expected` argument.
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: MarkedPtr<T>,
+        new: MarkedPtr<T>,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<(), MarkedPtr<T>> {
+        self.cell
+            .compare_exchange(current.into_raw(), new.into_raw(), success, failure)
+            .map(|_| ())
+            .map_err(MarkedPtr::from_raw)
+    }
+
+    /// Atomically sets the mark bit, returning the previous value: the
+    /// paper's `FAO(&node->next, MARK_BIT)` used by the *singly-fetch-or*
+    /// variant. Unlike the marking CAS this can never fail; if the
+    /// returned value is already marked some other thread won the delete.
+    #[inline]
+    pub fn fetch_or_mark(&self, order: Ordering) -> MarkedPtr<T> {
+        MarkedPtr::from_raw(self.cell.fetch_or(MARK_BIT, order))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
+
+    fn boxed(v: u64) -> *mut u64 {
+        Box::into_raw(Box::new(v))
+    }
+    unsafe fn free(p: *mut u64) {
+        drop(unsafe { Box::from_raw(p) });
+    }
+
+    #[test]
+    fn mark_roundtrip() {
+        let p = boxed(7);
+        let m = MarkedPtr::new(p, false);
+        assert!(!m.is_marked());
+        assert_eq!(m.ptr(), p);
+        let mm = m.with_mark();
+        assert!(mm.is_marked());
+        assert_eq!(mm.ptr(), p, "mark must not disturb the pointer");
+        assert_eq!(mm.without_mark(), m);
+        unsafe { free(p) };
+    }
+
+    #[test]
+    fn null_is_unmarked() {
+        let n = MarkedPtr::<u64>::null();
+        assert!(n.is_null());
+        assert!(!n.is_marked());
+        assert!(n.with_mark().is_marked());
+        assert!(n.with_mark().is_null(), "mark on null keeps null pointer");
+    }
+
+    #[test]
+    fn cas_succeeds_only_on_exact_word() {
+        let p = boxed(1);
+        let q = boxed(2);
+        let a = MarkedAtomic::new(p);
+        // Wrong mark: fails even though pointer matches.
+        let err = a
+            .compare_exchange(
+                MarkedPtr::new(p, true),
+                MarkedPtr::unmarked(q),
+                AcqRel,
+                Acquire,
+            )
+            .unwrap_err();
+        assert_eq!(err, MarkedPtr::unmarked(p));
+        // Exact match: succeeds.
+        a.compare_exchange(
+            MarkedPtr::unmarked(p),
+            MarkedPtr::new(q, true),
+            AcqRel,
+            Acquire,
+        )
+        .unwrap();
+        assert_eq!(a.load(Acquire), MarkedPtr::new(q, true));
+        unsafe {
+            free(p);
+            free(q);
+        }
+    }
+
+    #[test]
+    fn fetch_or_mark_is_idempotent_and_reports_prior_state() {
+        let p = boxed(3);
+        let a = MarkedAtomic::new(p);
+        let before = a.fetch_or_mark(AcqRel);
+        assert!(!before.is_marked(), "first marker sees unmarked");
+        let again = a.fetch_or_mark(AcqRel);
+        assert!(again.is_marked(), "second marker sees marked: lost the delete");
+        assert_eq!(a.load(Relaxed).ptr(), p);
+        unsafe { free(p) };
+    }
+
+    #[test]
+    fn marking_cas_vs_pointer_change() {
+        // The scenario behind the paper's first observation: CAS fails
+        // because the *pointer* changed, not the mark.
+        let p = boxed(1);
+        let q = boxed(2);
+        let a = MarkedAtomic::new(p);
+        a.store(MarkedPtr::unmarked(q), Ordering::Release);
+        let observed = a
+            .compare_exchange(
+                MarkedPtr::unmarked(p),
+                MarkedPtr::new(p, true),
+                AcqRel,
+                Acquire,
+            )
+            .unwrap_err();
+        assert!(!observed.is_marked(), "failure was due to pointer, not mark");
+        assert_eq!(observed.ptr(), q);
+        unsafe {
+            free(p);
+            free(q);
+        }
+    }
+
+    #[test]
+    fn concurrent_single_winner_marking() {
+        use std::sync::Arc;
+        let p = boxed(9);
+        let a = Arc::new(MarkedAtomic::new(p));
+        let winners: usize = std::thread::scope(|s| {
+            let hs: Vec<_> = (0..8)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    s.spawn(move || {
+                        let before = a.fetch_or_mark(AcqRel);
+                        usize::from(!before.is_marked())
+                    })
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(winners, 1, "exactly one thread may win the mark");
+        unsafe { free(p) };
+    }
+}

@@ -1,0 +1,123 @@
+//! The harness-facing ordered-set abstraction.
+//!
+//! All six paper variants, the epoch-reclaiming baseline and the
+//! sequential lists in `seq-list` implement the same two-level interface:
+//! a [`ConcurrentOrderedSet`] shared between threads, from which each
+//! thread obtains its own [`SetHandle`]. The handle owns everything the
+//! paper keeps in the per-thread `list_t` view — the cursor, the
+//! `pred`/`curr` result slots of the search function, the operation
+//! counters — so the hot path touches no shared mutable state besides the
+//! list nodes themselves.
+
+use crate::stats::OpStats;
+use crate::Key;
+
+/// A concurrent ordered set keyed by `K`, shared by reference across
+/// threads.
+pub trait ConcurrentOrderedSet<K: Key>: Send + Sync + Sized {
+    /// The per-thread operation handle. Borrows the set, so the set
+    /// outlives every handle — the lifetime backing the safety of cursors.
+    type Handle<'a>: SetHandle<K>
+    where
+        Self: 'a;
+
+    /// Short stable identifier used in benchmark output
+    /// (e.g. `"draconic"`, `"doubly_cursor"`).
+    const NAME: &'static str;
+
+    /// Creates an empty set (head/tail sentinels only).
+    fn new() -> Self;
+
+    /// Creates a per-thread handle. Call once per worker thread.
+    fn handle(&self) -> Self::Handle<'_>;
+
+    /// Ordered snapshot of the live keys. Takes `&mut self`, proving the
+    /// list quiescent (no outstanding handles).
+    fn collect_keys(&mut self) -> Vec<K>;
+
+    /// Checks the structural invariants of the quiescent list.
+    fn check_invariants(&mut self) -> Result<(), InvariantViolation>;
+}
+
+/// Per-thread view of a [`ConcurrentOrderedSet`].
+///
+/// Methods take `&mut self`: a handle is single-threaded by construction
+/// (it is neither `Sync` nor intended to be shared), which lets the cursor
+/// and counters be plain fields.
+pub trait SetHandle<K: Key> {
+    /// The paper's `add(k)`: inserts `k`, returning `true` iff `k` was not
+    /// present (the successful-add linearization point is the insert CAS).
+    fn add(&mut self, key: K) -> bool;
+
+    /// The paper's `rem(k)`: removes `k`, returning `true` iff this thread
+    /// logically deleted it (won the marking CAS / fetch-or).
+    fn remove(&mut self, key: K) -> bool;
+
+    /// The paper's `con(k)`: wait-free membership test.
+    fn contains(&mut self, key: K) -> bool;
+
+    /// Counters accumulated by this handle so far.
+    fn stats(&self) -> OpStats;
+
+    /// Returns and resets the accumulated counters.
+    fn take_stats(&mut self) -> OpStats;
+}
+
+/// Structural invariants checked by the `validate` methods of the lists
+/// (test support). A violation names the first problem found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// Keys along the `next` chain are not strictly increasing.
+    OutOfOrder {
+        /// Index along the chain of the offending node.
+        position: usize,
+    },
+    /// The tail sentinel is not reachable from the head.
+    TailUnreachable,
+    /// A sentinel node carries a deletion mark.
+    MarkedSentinel,
+    /// A backward-pointer chain failed to reach the head sentinel within
+    /// the node budget (doubly variants only).
+    BackChainBroken {
+        /// Index along the forward chain of the node whose backward
+        /// chain is broken.
+        position: usize,
+    },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::OutOfOrder { position } => {
+                write!(f, "keys out of order at chain position {position}")
+            }
+            Self::TailUnreachable => write!(f, "tail sentinel unreachable from head"),
+            Self::MarkedSentinel => write!(f, "sentinel node is marked"),
+            Self::BackChainBroken { position } => {
+                write!(f, "backward chain does not reach head from position {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violations_render_distinctly() {
+        let msgs = [
+            InvariantViolation::OutOfOrder { position: 3 }.to_string(),
+            InvariantViolation::TailUnreachable.to_string(),
+            InvariantViolation::MarkedSentinel.to_string(),
+            InvariantViolation::BackChainBroken { position: 5 }.to_string(),
+        ];
+        for (i, a) in msgs.iter().enumerate() {
+            for b in msgs.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,916 @@
+//! The singly linked lock-free ordered list: paper variants a), b), d), e).
+//!
+//! One generic implementation, [`SinglyList`], covers four of the paper's
+//! six benchmarked variants through three compile-time policy flags (the
+//! flags mirror the paper's `#ifdef`s, and every branch on them is
+//! resolved at monomorphisation time, so each variant compiles to the
+//! same specialised hot path as the C original):
+//!
+//! | flag       | paper improvement |
+//! |------------|-------------------|
+//! | `MILD`     | §2 observations 1–3: a failed `CAS()` whose target did
+//! |            | *not* become marked re-reads the pointer instead of
+//! |            | restarting the search from the head (search and `add()`),
+//! |            | and `rem()` retries the marking CAS in place |
+//! | `CURSOR`   | the per-thread cursor: operations start the search from
+//! |            | the last recorded position when the sought key is larger |
+//! | `FETCH_OR` | `rem()` marks with an atomic `fetch_or` that cannot fail |
+//!
+//! The named combinations live in [`crate::variants`]:
+//! a) *draconic* `(false, false, false)`, b) *singly* `(true, false,
+//! false)`, d) *singly-cursor* `(true, true, false)`, e) *singly-fetch-or*
+//! `(true, true, true)`, plus the ablation-only *cursor-only*
+//! `(false, true, false)`.
+//!
+//! # Algorithm
+//!
+//! This is the Harris/Michael lock-free ordered list: items are kept in
+//! strictly increasing key order between a `-∞` head sentinel and a `+∞`
+//! tail sentinel; an item is *in* the set iff it is reachable from the
+//! head and its `next` field is unmarked. Deletion first marks the
+//! victim's `next` (logical delete — the linearization point), then any
+//! thread may physically unlink it. The internal search function
+//! ([`pos`](SinglyHandle) in the paper, `search` here) returns an adjacent
+//! pair `(pred, curr)` with `pred.key < key <= curr.key`, unlinking every
+//! marked node it encounters on the way — Listing 1 of the paper,
+//! including the `TEXTBOOK` / mild `#else` paths verbatim.
+//!
+//! # Memory reclamation and safety
+//!
+//! Exactly as benchmarked in the paper, nodes are never freed while the
+//! list is alive (see [`crate::arena`]). Every raw pointer dereference in
+//! this module is justified by that property: node pointers originate
+//! from `Box::into_raw`, are registered in the arena before first
+//! publication, and stay valid until the list's `Drop` runs, which the
+//! borrow checker orders after every handle is gone.
+
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
+
+use crate::arena::{LocalArena, Registry};
+use crate::marked::{MarkedAtomic, MarkedPtr};
+use crate::set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
+use crate::stats::OpStats;
+use crate::Key;
+
+/// List node: `next` carries the deletion mark in its low bit.
+///
+/// `key` is written once before the node is published by a releasing CAS
+/// and never mutated afterwards, so unsynchronised reads are sound.
+#[repr(C)]
+pub(crate) struct Node<K> {
+    pub(crate) next: MarkedAtomic<Node<K>>,
+    pub(crate) key: K,
+}
+
+/// The singly linked lock-free ordered set, generic over the paper's
+/// pragmatic-improvement policies (see the module docs).
+///
+/// Shared across threads by reference; each thread operates through its
+/// own [`SinglyHandle`] obtained from [`ConcurrentOrderedSet::handle`].
+///
+/// # Examples
+///
+/// ```
+/// use pragmatic_list::variants::SinglyCursorList;
+/// use pragmatic_list::{ConcurrentOrderedSet, SetHandle};
+///
+/// let list = SinglyCursorList::<i64>::new();
+/// std::thread::scope(|s| {
+///     for t in 0..4 {
+///         let list = &list;
+///         s.spawn(move || {
+///             let mut h = list.handle();
+///             for i in 0..100 {
+///                 h.add(t * 100 + i);
+///             }
+///         });
+///     }
+/// });
+/// let mut list = list;
+/// assert_eq!(list.to_vec().len(), 400);
+/// ```
+pub struct SinglyList<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> {
+    head: *mut Node<K>,
+    tail: *mut Node<K>,
+    registry: Registry<Node<K>>,
+}
+
+// SAFETY: all shared node state is accessed through atomics; the raw
+// head/tail pointers are immutable after construction; nodes are freed
+// only in `Drop`, which requires exclusive access.
+unsafe impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> Send
+    for SinglyList<K, MILD, CURSOR, FETCH_OR>
+{
+}
+unsafe impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> Sync
+    for SinglyList<K, MILD, CURSOR, FETCH_OR>
+{
+}
+
+impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> Default
+    for SinglyList<K, MILD, CURSOR, FETCH_OR>
+{
+    fn default() -> Self {
+        <Self as ConcurrentOrderedSet<K>>::new()
+    }
+}
+
+impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
+    SinglyList<K, MILD, CURSOR, FETCH_OR>
+{
+    fn alloc_sentinels() -> (*mut Node<K>, *mut Node<K>) {
+        let tail = Box::into_raw(Box::new(Node {
+            next: MarkedAtomic::null(),
+            key: K::POS_INF,
+        }));
+        let head = Box::into_raw(Box::new(Node {
+            next: MarkedAtomic::new(tail),
+            key: K::NEG_INF,
+        }));
+        (head, tail)
+    }
+
+    /// Number of unmarked (live) items, counted by a racy traversal.
+    ///
+    /// Exact when quiescent; otherwise a consistent-at-some-instant
+    /// approximation. Sentinels are not counted.
+    pub fn len_approx(&self) -> usize {
+        let mut n = 0;
+        // SAFETY: nodes stay valid for the list lifetime (arena scheme).
+        unsafe {
+            let mut curr = (*self.head).next.load(Acquire).ptr();
+            while curr != self.tail {
+                if !(*curr).next.load(Acquire).is_marked() {
+                    n += 1;
+                }
+                curr = (*curr).next.load(Acquire).ptr();
+            }
+        }
+        n
+    }
+
+    /// Snapshot of the live keys in order. Requires `&mut self`, i.e. a
+    /// quiescent list with no outstanding handles.
+    pub fn to_vec(&mut self) -> Vec<K> {
+        let mut out = Vec::new();
+        // SAFETY: exclusive access; chain is stable.
+        unsafe {
+            let mut curr = (*self.head).next.load(Acquire).ptr();
+            while curr != self.tail {
+                if !(*curr).next.load(Acquire).is_marked() {
+                    out.push((*curr).key);
+                }
+                curr = (*curr).next.load(Acquire).ptr();
+            }
+        }
+        out
+    }
+
+    /// Checks the structural invariants of the quiescent list: strictly
+    /// increasing keys along the `next` chain (marked nodes included),
+    /// unmarked sentinels, and tail reachability.
+    pub fn validate(&mut self) -> Result<(), InvariantViolation> {
+        // SAFETY: exclusive access; chain is stable.
+        unsafe {
+            if (*self.head).next.load(Acquire).is_marked() {
+                return Err(InvariantViolation::MarkedSentinel);
+            }
+            let budget = self.registry.len() + 2;
+            let mut prev_key = K::NEG_INF;
+            let mut curr = (*self.head).next.load(Acquire).ptr();
+            let mut pos = 0usize;
+            while curr != self.tail {
+                if pos > budget {
+                    return Err(InvariantViolation::TailUnreachable);
+                }
+                let k = (*curr).key;
+                if k <= prev_key || k >= K::POS_INF {
+                    return Err(InvariantViolation::OutOfOrder { position: pos });
+                }
+                prev_key = k;
+                curr = (*curr).next.load(Acquire).ptr();
+                pos += 1;
+            }
+            if (*self.tail).next.load(Acquire).is_marked() {
+                return Err(InvariantViolation::MarkedSentinel);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total nodes ever allocated (diagnostic; includes logically deleted
+    /// and never-published spares, excludes sentinels).
+    pub fn allocated_nodes(&self) -> usize {
+        self.registry.len()
+    }
+}
+
+impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> Drop
+    for SinglyList<K, MILD, CURSOR, FETCH_OR>
+{
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` proves no handles are alive; every
+        // non-sentinel node is registered exactly once.
+        unsafe {
+            self.registry.free_all();
+            drop(Box::from_raw(self.head));
+            drop(Box::from_raw(self.tail));
+        }
+    }
+}
+
+impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> ConcurrentOrderedSet<K>
+    for SinglyList<K, MILD, CURSOR, FETCH_OR>
+{
+    type Handle<'a>
+        = SinglyHandle<'a, K, MILD, CURSOR, FETCH_OR>
+    where
+        Self: 'a;
+
+    const NAME: &'static str = if FETCH_OR {
+        "singly_fetch_or"
+    } else if MILD && CURSOR {
+        "singly_cursor"
+    } else if MILD {
+        "singly"
+    } else if CURSOR {
+        "cursor_only"
+    } else {
+        "draconic"
+    };
+
+    fn new() -> Self {
+        let (head, tail) = Self::alloc_sentinels();
+        Self {
+            head,
+            tail,
+            registry: Registry::new(),
+        }
+    }
+
+    fn handle(&self) -> SinglyHandle<'_, K, MILD, CURSOR, FETCH_OR> {
+        SinglyHandle {
+            list: self,
+            cursor: self.head,
+            spare: std::ptr::null_mut(),
+            arena: LocalArena::new(),
+            stats: OpStats::ZERO,
+            _not_sync: PhantomData,
+        }
+    }
+
+    fn collect_keys(&mut self) -> Vec<K> {
+        self.to_vec()
+    }
+
+    fn check_invariants(&mut self) -> Result<(), InvariantViolation> {
+        self.validate()
+    }
+}
+
+/// Per-thread handle over a [`SinglyList`]: owns the cursor (the paper's
+/// `list->pred` slot of the thread-private `list_t` view), the operation
+/// counters and the allocation log.
+pub struct SinglyHandle<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> {
+    list: &'l SinglyList<K, MILD, CURSOR, FETCH_OR>,
+    /// Last recorded `pred` position; persists across operations only for
+    /// `CURSOR` variants (reset to head at every public-operation entry
+    /// otherwise), but always carries the mild within-operation restart
+    /// position between internal search retries.
+    cursor: *mut Node<K>,
+    /// Unpublished node kept for reuse across failed insert CASes (and
+    /// across `add()` calls); already registered in the arena.
+    spare: *mut Node<K>,
+    arena: LocalArena<Node<K>>,
+    stats: OpStats,
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> Drop
+    for SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR>
+{
+    fn drop(&mut self) {
+        self.arena.flush_into(&self.list.registry);
+    }
+}
+
+impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
+    SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR>
+{
+    /// Start-of-operation cursor policy: non-cursor variants forget the
+    /// previous position, exactly distinguishing variant b) from d).
+    #[inline]
+    fn begin_op(&mut self) {
+        if !CURSOR {
+            self.cursor = self.list.head;
+        }
+    }
+
+    /// The search function — Listing 1 of the paper, both `#ifdef` arms.
+    ///
+    /// Returns `(pred, curr)` with `pred.key < key <= curr.key`, both
+    /// observed adjacent and unmarked, having physically unlinked every
+    /// marked node traversed. Stores `pred` as the new cursor (the
+    /// listing's `list->pred = pred`).
+    fn search(&mut self, key: K) -> (*mut Node<K>, *mut Node<K>) {
+        let head = self.list.head;
+        // SAFETY (whole body): node pointers are arena-stable for 'l; all
+        // shared fields are accessed through atomics.
+        unsafe {
+            'retry: loop {
+                // Starting position. TEXTBOOK: always the head. Otherwise:
+                // the last recorded position, if it is still unmarked and
+                // strictly smaller than the sought key.
+                let mut pred = if !MILD && !CURSOR {
+                    head
+                } else {
+                    let c = self.cursor;
+                    if (*c).next.load(Acquire).is_marked() || key <= (*c).key {
+                        head
+                    } else {
+                        c
+                    }
+                };
+                let mut curr = (*pred).next.load(Acquire).ptr();
+                loop {
+                    let mut succ = (*curr).next.load(Acquire);
+                    // `curr` is marked: unlink it (helping), or handle the
+                    // failed CAS per policy.
+                    while succ.is_marked() {
+                        let mut succ_ptr = succ.ptr();
+                        match (*pred).next.compare_exchange(
+                            MarkedPtr::unmarked(curr),
+                            MarkedPtr::unmarked(succ_ptr),
+                            AcqRel,
+                            Acquire,
+                        ) {
+                            Ok(()) => {}
+                            Err(observed) => {
+                                self.stats.fail += 1;
+                                if !MILD {
+                                    // Draconic: any failure restarts from
+                                    // the head.
+                                    self.stats.rtry += 1;
+                                    continue 'retry;
+                                }
+                                // Mild: if `pred` itself was not marked,
+                                // only its pointer changed (another thread
+                                // unlinked `curr` first, or inserted);
+                                // rereading the pointer suffices.
+                                if observed.is_marked() {
+                                    self.stats.rtry += 1;
+                                    continue 'retry;
+                                }
+                                succ_ptr = observed.ptr();
+                            }
+                        }
+                        curr = succ_ptr;
+                        self.stats.trav += 1;
+                        succ = (*curr).next.load(Acquire);
+                    }
+                    if key <= (*curr).key {
+                        if MILD || CURSOR {
+                            self.cursor = pred;
+                        }
+                        return (pred, curr);
+                    }
+                    pred = curr;
+                    curr = (*curr).next.load(Acquire).ptr();
+                    self.stats.trav += 1;
+                }
+            }
+        }
+    }
+
+    /// Takes the spare node or allocates (and arena-registers) a fresh
+    /// one, keyed `key`, with `next` primed to `succ`.
+    #[inline]
+    fn prepare_node(&mut self, key: K, succ: *mut Node<K>) -> *mut Node<K> {
+        if self.spare.is_null() {
+            let node = Box::into_raw(Box::new(Node {
+                next: MarkedAtomic::new(succ),
+                key,
+            }));
+            self.arena.record(node);
+            self.spare = node;
+            node
+        } else {
+            let node = self.spare;
+            // SAFETY: the spare is unpublished — exclusively ours.
+            unsafe {
+                (*node).key = key;
+                (*node).next.store(MarkedPtr::unmarked(succ), Relaxed);
+            }
+            node
+        }
+    }
+
+    fn add_impl(&mut self, key: K) -> bool {
+        debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        self.begin_op();
+        loop {
+            let (pred, curr) = self.search(key);
+            // SAFETY: arena-stable nodes.
+            unsafe {
+                if (*curr).key == key {
+                    return false;
+                }
+                let node = self.prepare_node(key, curr);
+                // Publish: the CAS release-orders the node initialisation.
+                match (*pred).next.compare_exchange(
+                    MarkedPtr::unmarked(curr),
+                    MarkedPtr::unmarked(node),
+                    AcqRel,
+                    Acquire,
+                ) {
+                    Ok(()) => {
+                        self.spare = std::ptr::null_mut();
+                        self.stats.adds += 1;
+                        return true;
+                    }
+                    Err(_) => {
+                        // Mild improvement 3: the retry re-enters the
+                        // search, which (for MILD/CURSOR) resumes from the
+                        // stored `pred` after checking its mark, instead
+                        // of from the head.
+                        self.stats.fail += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove_impl(&mut self, key: K) -> bool {
+        debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        self.begin_op();
+        loop {
+            let (pred, node) = self.search(key);
+            // SAFETY: arena-stable nodes.
+            unsafe {
+                if (*node).key != key {
+                    return false;
+                }
+                // Logical delete: set the mark on `node.next`.
+                let succ_ptr = if FETCH_OR {
+                    // Paper: an atomic fetch-and-or cannot fail; if the
+                    // previous value was already marked we lost the race
+                    // and the delete linearizes as unsuccessful.
+                    let prev = (*node).next.fetch_or_mark(AcqRel);
+                    if prev.is_marked() {
+                        return false;
+                    }
+                    prev.ptr()
+                } else if MILD {
+                    // Mild: retry the marking CAS in place until the node
+                    // is marked — by us (success) or someone else (failed
+                    // delete). No re-search needed.
+                    let mut succ = (*node).next.load(Acquire);
+                    loop {
+                        if succ.is_marked() {
+                            return false;
+                        }
+                        match (*node).next.compare_exchange(
+                            succ,
+                            succ.with_mark(),
+                            AcqRel,
+                            Acquire,
+                        ) {
+                            Ok(()) => break succ.ptr(),
+                            Err(observed) => {
+                                self.stats.fail += 1;
+                                succ = observed;
+                            }
+                        }
+                    }
+                } else {
+                    // Textbook: any failure of the marking CAS triggers a
+                    // full re-search from the head.
+                    let succ = (*node).next.load(Acquire).without_mark();
+                    match (*node).next.compare_exchange(
+                        succ,
+                        succ.with_mark(),
+                        AcqRel,
+                        Acquire,
+                    ) {
+                        Ok(()) => succ.ptr(),
+                        Err(_) => {
+                            self.stats.fail += 1;
+                            continue;
+                        }
+                    }
+                };
+                // Physical unlink; a failure is benign (some search will
+                // unlink the marked node) and is simply ignored.
+                if (*pred)
+                    .next
+                    .compare_exchange(
+                        MarkedPtr::unmarked(node),
+                        MarkedPtr::unmarked(succ_ptr),
+                        AcqRel,
+                        Acquire,
+                    )
+                    .is_err()
+                {
+                    self.stats.fail += 1;
+                }
+                self.stats.rems += 1;
+                return true;
+            }
+        }
+    }
+
+    fn contains_impl(&mut self, key: K) -> bool {
+        debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        self.begin_op();
+        let head = self.list.head;
+        // SAFETY: arena-stable nodes; wait-free read-only traversal.
+        unsafe {
+            // Cursor start: unlike the search function (which needs
+            // `pred.key < key` strictly), `con()` may start *at* a cursor
+            // carrying the sought key itself — without this, Table 1's
+            // "cons" column for the cursor variants (≈1 traversal per
+            // operation) is unreachable for descending key sequences.
+            let start = if CURSOR {
+                let c = self.cursor;
+                if (*c).next.load(Acquire).is_marked() || key < (*c).key {
+                    head
+                } else {
+                    c
+                }
+            } else {
+                head
+            };
+            let mut pred = start;
+            let mut curr = start;
+            while (*curr).key < key {
+                pred = curr;
+                curr = (*curr).next.load(Acquire).ptr();
+                self.stats.cons += 1;
+            }
+            if CURSOR {
+                self.cursor = pred;
+            }
+            (*curr).key == key && !(*curr).next.load(Acquire).is_marked()
+        }
+    }
+}
+
+impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> SetHandle<K>
+    for SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR>
+{
+    #[inline]
+    fn add(&mut self, key: K) -> bool {
+        self.add_impl(key)
+    }
+
+    #[inline]
+    fn remove(&mut self, key: K) -> bool {
+        self.remove_impl(key)
+    }
+
+    #[inline]
+    fn contains(&mut self, key: K) -> bool {
+        self.contains_impl(key)
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn take_stats(&mut self) -> OpStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variants::{DraconicList, SinglyCursorList, SinglyFetchOrList, SinglyMildList};
+
+    fn basic_semantics<S: ConcurrentOrderedSet<i64>>() {
+        let list = S::new();
+        let mut h = list.handle();
+        assert!(!h.contains(10));
+        assert!(h.add(10));
+        assert!(!h.add(10), "duplicate add must fail");
+        assert!(h.contains(10));
+        assert!(h.add(5));
+        assert!(h.add(15));
+        assert!(h.contains(5) && h.contains(10) && h.contains(15));
+        assert!(!h.contains(7));
+        assert!(h.remove(10));
+        assert!(!h.remove(10), "double remove must fail");
+        assert!(!h.contains(10));
+        assert!(h.contains(5) && h.contains(15));
+        assert!(h.add(10), "re-add after remove");
+        assert!(h.contains(10));
+        let st = h.stats();
+        assert_eq!(st.adds, 4);
+        assert_eq!(st.rems, 1);
+    }
+
+    #[test]
+    fn basic_semantics_all_variants() {
+        basic_semantics::<DraconicList<i64>>();
+        basic_semantics::<SinglyMildList<i64>>();
+        basic_semantics::<SinglyCursorList<i64>>();
+        basic_semantics::<SinglyFetchOrList<i64>>();
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            <DraconicList<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            <SinglyMildList<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            <SinglyCursorList<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            <SinglyFetchOrList<i64> as ConcurrentOrderedSet<i64>>::NAME,
+        ];
+        assert_eq!(names, ["draconic", "singly", "singly_cursor", "singly_fetch_or"]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_validates() {
+        let mut list = SinglyCursorList::<i64>::new();
+        {
+            let mut h = list.handle();
+            for k in [5i64, 3, 9, 1, 7, 4, 8, 2, 6] {
+                assert!(h.add(k));
+            }
+            assert!(h.remove(5));
+            assert!(h.remove(1));
+        }
+        assert_eq!(list.to_vec(), vec![2, 3, 4, 6, 7, 8, 9]);
+        list.validate().unwrap();
+        assert_eq!(list.len_approx(), 7);
+    }
+
+    #[test]
+    fn ascending_with_cursor_is_constant_work() {
+        // The cursor makes an ascending insert sequence O(1) per op; the
+        // draconic list pays O(i) per op. This is the mechanism behind
+        // the deterministic-benchmark gap in the paper's Tables 1/4/7.
+        let n = 2000i64;
+
+        let cursor = SinglyCursorList::<i64>::new();
+        let mut h = cursor.handle();
+        for k in 1..=n {
+            h.add(k);
+        }
+        let cursor_trav = h.stats().trav;
+        drop(h);
+
+        let drac = DraconicList::<i64>::new();
+        let mut h = drac.handle();
+        for k in 1..=n {
+            h.add(k);
+        }
+        let drac_trav = h.stats().trav;
+        drop(h);
+
+        assert!(
+            cursor_trav < drac_trav / 50,
+            "cursor {cursor_trav} vs draconic {drac_trav}"
+        );
+    }
+
+    #[test]
+    fn descending_con_rem_pairs_keep_cons_constant() {
+        // Phase 2 of the deterministic benchmark: con(k), rem(k) with
+        // descending k. The rem()'s search parks the cursor one node
+        // back, so every con() starts *at* its key (the equal-key cursor
+        // rule) and costs O(1) — the mechanism behind variant d)'s tiny
+        // "cons" column in Table 1, even though "trav" stays quadratic.
+        let n = 1000i64;
+        let list = SinglyCursorList::<i64>::new();
+        let mut h = list.handle();
+        for k in 1..=n {
+            h.add(k);
+        }
+        let _ = h.take_stats();
+        for k in (1..=n).rev() {
+            assert!(h.contains(k));
+            assert!(h.remove(k));
+            assert!(!h.contains(k));
+            assert!(!h.remove(k));
+        }
+        let st = h.stats();
+        assert!(
+            st.cons <= 6 * n as u64,
+            "paired descending cons should be O(1) per op, got {} for n={n}",
+            st.cons
+        );
+        assert!(
+            st.trav >= (n as u64 * n as u64) / 4,
+            "the singly rem() search still pays the head restarts: trav={}",
+            st.trav
+        );
+    }
+
+    #[test]
+    fn pure_descending_contains_alternates_head_restarts() {
+        // Without interleaved operations a singly cursor can not help a
+        // strictly descending con() sweep: every other op restarts from
+        // the head (the cursor cannot move backwards — that is exactly
+        // what the doubly variants fix).
+        let n = 500i64;
+        let list = SinglyCursorList::<i64>::new();
+        let mut h = list.handle();
+        for k in 1..=n {
+            h.add(k);
+        }
+        let _ = h.take_stats();
+        for k in (1..=n).rev() {
+            assert!(h.contains(k));
+        }
+        let cons = h.stats().cons;
+        let quadratic_floor = (n as u64 * n as u64) / 8;
+        assert!(
+            cons >= quadratic_floor,
+            "expected ~n^2/4 cons, got {cons} (n={n})"
+        );
+    }
+
+    #[test]
+    fn non_cursor_variant_forgets_position_between_ops() {
+        // Variant b) must reset its start to the head at every public
+        // operation; only within-operation retries reuse the position.
+        let list = SinglyMildList::<i64>::new();
+        let mut h = list.handle();
+        for k in 1..=100 {
+            h.add(k);
+        }
+        let _ = h.take_stats();
+        // Two ascending contains: without a persistent cursor, the second
+        // still traverses from the head (~100 steps), not from 99.
+        assert!(h.contains(99));
+        let after_first = h.stats().cons;
+        assert!(h.contains(100));
+        let after_second = h.stats().cons;
+        assert!(after_second - after_first >= 99,
+            "variant b) must restart con() from the head: {after_first} then {after_second}");
+    }
+
+    #[test]
+    fn contains_does_not_observe_logically_deleted_nodes() {
+        let list = SinglyMildList::<i64>::new();
+        let mut h = list.handle();
+        h.add(1);
+        h.add(2);
+        h.add(3);
+        h.remove(2);
+        assert!(!h.contains(2));
+        assert!(h.contains(1) && h.contains(3));
+    }
+
+    #[test]
+    fn spare_node_is_reused_after_failed_duplicate_add() {
+        let list = SinglyCursorList::<i64>::new();
+        let mut h = list.handle();
+        assert!(h.add(1));
+        assert!(!h.add(1)); // no node consumed...
+        assert!(!h.add(1));
+        assert!(h.add(2)); // ...but one spare may exist and be reused
+        drop(h);
+        // 2 published nodes + at most 1 spare.
+        assert!(list.allocated_nodes() <= 3, "got {}", list.allocated_nodes());
+    }
+
+    #[test]
+    fn empty_list_properties() {
+        let mut list = DraconicList::<i64>::new();
+        {
+            let mut h = list.handle();
+            assert!(!h.contains(1));
+            assert!(!h.remove(1));
+            assert_eq!(h.stats().adds, 0);
+            assert_eq!(h.stats().rems, 0);
+        }
+        assert!(list.to_vec().is_empty());
+        assert_eq!(list.len_approx(), 0);
+        list.validate().unwrap();
+    }
+
+    #[test]
+    fn boundary_keys_near_sentinels() {
+        let list = SinglyCursorList::<i64>::new();
+        let mut h = list.handle();
+        assert!(h.add(i64::MIN + 1));
+        assert!(h.add(i64::MAX - 1));
+        assert!(h.contains(i64::MIN + 1));
+        assert!(h.contains(i64::MAX - 1));
+        assert!(h.remove(i64::MAX - 1));
+        assert!(h.remove(i64::MIN + 1));
+        assert!(!h.contains(i64::MIN + 1));
+    }
+
+    fn concurrent_disjoint<S: ConcurrentOrderedSet<i64>>() {
+        let threads = 4i64;
+        let per = 500i64;
+        let list = S::new();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let list = &list;
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    for i in 0..per {
+                        assert!(h.add(t + i * threads));
+                    }
+                    for i in 0..per {
+                        assert!(h.contains(t + i * threads));
+                    }
+                    for i in (0..per).rev().skip(per as usize / 2) {
+                        assert!(h.remove(t + i * threads));
+                    }
+                });
+            }
+        });
+        let mut list = list;
+        list.check_invariants().unwrap();
+        assert_eq!(list.collect_keys().len() as i64, threads * per - threads * (per / 2));
+    }
+
+    #[test]
+    fn concurrent_disjoint_keys_all_variants() {
+        concurrent_disjoint::<DraconicList<i64>>();
+        concurrent_disjoint::<SinglyMildList<i64>>();
+        concurrent_disjoint::<SinglyCursorList<i64>>();
+        concurrent_disjoint::<SinglyFetchOrList<i64>>();
+    }
+
+    fn concurrent_same_keys<S: ConcurrentOrderedSet<i64>>() {
+        // All threads fight over the same keys; totals must balance.
+        let threads = 8;
+        let per = 300i64;
+        let list = S::new();
+        let results: Vec<OpStats> = std::thread::scope(|s| {
+            let hs: Vec<_> = (0..threads)
+                .map(|_| {
+                    let list = &list;
+                    s.spawn(move || {
+                        let mut h = list.handle();
+                        for i in 0..per {
+                            h.add(i);
+                        }
+                        for i in (0..per).rev() {
+                            h.remove(i);
+                        }
+                        for i in 0..per {
+                            h.add(i);
+                        }
+                        h.take_stats()
+                    })
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let total: OpStats = results.into_iter().sum();
+        let mut list = list;
+        list.check_invariants().unwrap();
+        let live = list.collect_keys().len() as u64;
+        assert_eq!(
+            total.adds - total.rems,
+            live,
+            "successful adds minus rems must equal live items"
+        );
+        assert_eq!(live, per as u64, "final phase re-adds everything once");
+    }
+
+    #[test]
+    fn concurrent_same_keys_all_variants() {
+        concurrent_same_keys::<DraconicList<i64>>();
+        concurrent_same_keys::<SinglyMildList<i64>>();
+        concurrent_same_keys::<SinglyCursorList<i64>>();
+        concurrent_same_keys::<SinglyFetchOrList<i64>>();
+    }
+
+    #[test]
+    fn unsigned_key_type_works() {
+        let list = SinglyCursorList::<u32>::new();
+        let mut h = list.handle();
+        assert!(h.add(1));
+        assert!(h.add(u32::MAX - 1));
+        assert!(h.contains(1));
+        assert!(h.remove(1));
+        assert!(!h.contains(1));
+    }
+
+    #[test]
+    fn stats_fail_and_retry_counters_stay_zero_single_threaded() {
+        // Without contention no CAS can fail in any variant.
+        let list = SinglyFetchOrList::<i64>::new();
+        let mut h = list.handle();
+        for k in 0..200 {
+            h.add(k);
+            h.contains(k);
+        }
+        for k in 0..200 {
+            h.remove(k);
+        }
+        let st = h.stats();
+        assert_eq!(st.fail, 0);
+        assert_eq!(st.rtry, 0);
+        assert_eq!(st.adds, 200);
+        assert_eq!(st.rems, 200);
+    }
+}

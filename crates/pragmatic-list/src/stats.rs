@@ -1,0 +1,158 @@
+//! Operation counters matching the paper's table columns.
+//!
+//! Every table in the evaluation reports, per run: successful `add()`s,
+//! successful `rem()`s, element traversals inside `con()` ("cons"),
+//! element traversals inside the search function ("trav"), failed `CAS()`
+//! operations ("fail") and search-function restarts ("rtry"). The
+//! counters are plain `u64`s owned by each per-thread [`Handle`]
+//! (no atomics — counting must not perturb the measured cache traffic)
+//! and are summed by the harness after the threads join.
+//!
+//! [`Handle`]: crate::set::SetHandle
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Per-thread (or aggregated) operation counters.
+///
+/// The fields mirror the table columns of the paper one-to-one.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpStats {
+    /// Successful `add()` operations ("adds").
+    pub adds: u64,
+    /// Successful `rem()` operations ("rems").
+    pub rems: u64,
+    /// List element traversals performed by `con()` operations ("cons").
+    pub cons: u64,
+    /// List element traversals performed inside the search function
+    /// (`pos()`), including backward steps in the doubly variants ("trav").
+    pub trav: u64,
+    /// Failed `CAS()` operations, across search, `add()` and `rem()`
+    /// ("fail").
+    pub fail: u64,
+    /// Restarts of the search function — `goto retry` in the listings
+    /// ("rtry").
+    pub rtry: u64,
+}
+
+impl OpStats {
+    /// All-zero counters.
+    pub const ZERO: OpStats = OpStats {
+        adds: 0,
+        rems: 0,
+        cons: 0,
+        trav: 0,
+        fail: 0,
+        rtry: 0,
+    };
+
+    /// Sum of both traversal counters; a proxy for total list work.
+    #[inline]
+    pub fn total_traversals(&self) -> u64 {
+        self.cons + self.trav
+    }
+
+    /// `true` if every counter is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        *self == Self::ZERO
+    }
+}
+
+impl Add for OpStats {
+    type Output = OpStats;
+    #[inline]
+    fn add(self, rhs: OpStats) -> OpStats {
+        OpStats {
+            adds: self.adds + rhs.adds,
+            rems: self.rems + rhs.rems,
+            cons: self.cons + rhs.cons,
+            trav: self.trav + rhs.trav,
+            fail: self.fail + rhs.fail,
+            rtry: self.rtry + rhs.rtry,
+        }
+    }
+}
+
+impl AddAssign for OpStats {
+    #[inline]
+    fn add_assign(&mut self, rhs: OpStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for OpStats {
+    fn sum<I: Iterator<Item = OpStats>>(iter: I) -> OpStats {
+        iter.fold(OpStats::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for OpStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "adds={} rems={} cons={} trav={} fail={} rtry={}",
+            self.adds, self.rems, self.cons, self.trav, self.fail, self.rtry
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sum_aggregate_fieldwise() {
+        let a = OpStats {
+            adds: 1,
+            rems: 2,
+            cons: 3,
+            trav: 4,
+            fail: 5,
+            rtry: 6,
+        };
+        let b = OpStats {
+            adds: 10,
+            rems: 20,
+            cons: 30,
+            trav: 40,
+            fail: 50,
+            rtry: 60,
+        };
+        let s = a + b;
+        assert_eq!(s.adds, 11);
+        assert_eq!(s.rtry, 66);
+        let total: OpStats = [a, b, OpStats::ZERO].into_iter().sum();
+        assert_eq!(total, s);
+    }
+
+    #[test]
+    fn zero_identity() {
+        let a = OpStats {
+            adds: 7,
+            ..OpStats::ZERO
+        };
+        assert_eq!(a + OpStats::ZERO, a);
+        assert!(OpStats::ZERO.is_zero());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn total_traversals_combines_cons_and_trav() {
+        let a = OpStats {
+            cons: 100,
+            trav: 23,
+            ..OpStats::ZERO
+        };
+        assert_eq!(a.total_traversals(), 123);
+    }
+
+    #[test]
+    fn display_contains_all_columns() {
+        let s = format!("{}", OpStats::ZERO);
+        for col in ["adds", "rems", "cons", "trav", "fail", "rtry"] {
+            assert!(s.contains(col), "missing column {col} in {s}");
+        }
+    }
+}

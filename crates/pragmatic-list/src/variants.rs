@@ -1,0 +1,94 @@
+//! The six benchmarked variants of the paper, plus ablation-only
+//! combinations, as named type aliases.
+//!
+//! §3 of the paper labels them:
+//!
+//! * a) **draconic** — the textbook implementation: any failed `CAS()`
+//!   restarts the search from the head of the list.
+//! * b) **singly** — singly linked list with the three mild improvements
+//!   (re-read instead of restart where the failure reason allows it).
+//! * c) **doubly** — doubly linked list with approximate backward
+//!   pointers; operations start at the head but retries walk backwards.
+//! * d) **singly-cursor** — b) plus the per-thread cursor: operations
+//!   resume from the last recorded position.
+//! * e) **singly-fetch-or** — d) with `rem()` marking via atomic
+//!   fetch-and-or instead of a CAS loop.
+//! * f) **doubly-cursor** — c) plus the per-thread cursor; searches run
+//!   backwards or forwards from the cursor.
+//!
+//! [`CursorOnlyList`] is not a paper variant: it isolates the cursor from
+//! the mild improvements for the A1 ablation benchmark.
+
+use crate::doubly::DoublyList;
+use crate::singly::SinglyList;
+
+/// a) The textbook ("draconic") lock-free ordered list.
+pub type DraconicList<K> = SinglyList<K, false, false, false>;
+
+/// b) Singly linked list with the paper's mild improvements.
+pub type SinglyMildList<K> = SinglyList<K, true, false, false>;
+
+/// d) Mild improvements plus the per-thread cursor.
+pub type SinglyCursorList<K> = SinglyList<K, true, true, false>;
+
+/// e) As d), with `rem()` marking via atomic fetch-and-or.
+pub type SinglyFetchOrList<K> = SinglyList<K, true, true, true>;
+
+/// Ablation only: per-thread cursor *without* the mild improvements.
+pub type CursorOnlyList<K> = SinglyList<K, false, true, false>;
+
+/// c) Doubly linked list with approximate backward pointers, operations
+/// starting from the head.
+pub type DoublyBackptrList<K> = DoublyList<K, false>;
+
+/// f) Doubly linked list with backward pointers and per-thread cursor.
+pub type DoublyCursorList<K> = DoublyList<K, true>;
+
+/// Ablation only (A3): variant f) with the repair-on-traverse of stale
+/// backward pointers disabled — insert/unlink maintenance only, so
+/// backward pointers degrade with churn.
+pub type DoublyCursorNoRepairList<K> = DoublyList<K, true, false>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConcurrentOrderedSet, SetHandle};
+
+    /// All aliases expose the same behaviour through the common trait.
+    #[test]
+    fn all_seven_variants_agree_on_a_small_tape() {
+        fn tape<S: ConcurrentOrderedSet<i64>>() -> Vec<bool> {
+            let list = S::new();
+            let mut h = list.handle();
+            let mut out = Vec::new();
+            for op in [
+                (0, 5i64),
+                (0, 3),
+                (2, 5),
+                (1, 5),
+                (2, 5),
+                (0, 5),
+                (1, 3),
+                (1, 3),
+                (2, 3),
+                (0, 7),
+                (2, 7),
+            ] {
+                let r = match op.0 {
+                    0 => h.add(op.1),
+                    1 => h.remove(op.1),
+                    _ => h.contains(op.1),
+                };
+                out.push(r);
+            }
+            out
+        }
+        let reference = tape::<DraconicList<i64>>();
+        assert_eq!(tape::<SinglyMildList<i64>>(), reference);
+        assert_eq!(tape::<SinglyCursorList<i64>>(), reference);
+        assert_eq!(tape::<SinglyFetchOrList<i64>>(), reference);
+        assert_eq!(tape::<CursorOnlyList<i64>>(), reference);
+        assert_eq!(tape::<DoublyBackptrList<i64>>(), reference);
+        assert_eq!(tape::<DoublyCursorList<i64>>(), reference);
+    }
+}

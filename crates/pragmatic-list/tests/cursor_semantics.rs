@@ -1,0 +1,218 @@
+//! Targeted tests of the per-thread cursor semantics — the paper's most
+//! delicate improvement. Each test isolates one rule the implementation
+//! must uphold:
+//!
+//! * a cursor pointing at a node that another thread logically deleted
+//!   must be detected (mark check) and abandoned, never trusted;
+//! * the search function requires a *strictly smaller* cursor key; the
+//!   wait-free `con()` accepts an equal-key cursor (see DESIGN.md §7);
+//! * non-cursor variants must forget their position between public
+//!   operations but reuse it across internal retries.
+
+use pragmatic_list::variants::{
+    DoublyCursorList, SinglyCursorList, SinglyFetchOrList, SinglyMildList,
+};
+use pragmatic_list::{ConcurrentOrderedSet, SetHandle};
+
+/// Another handle deletes the node the cursor rests on; the cursor owner
+/// must still answer correctly for keys on both sides of the stale
+/// position.
+#[test]
+fn stale_cursor_on_deleted_node_is_detected() {
+    let list = SinglyCursorList::<i64>::new();
+    let mut owner = list.handle();
+    let mut intruder = list.handle();
+    for k in [10i64, 20, 30, 40, 50] {
+        owner.add(k);
+    }
+    // Park the owner's cursor just before 30.
+    assert!(owner.contains(30));
+    // The intruder logically deletes 20 and 30 (the cursor region).
+    assert!(intruder.remove(30));
+    assert!(intruder.remove(20));
+    // Owner's next operations must not resurrect or miss anything.
+    assert!(!owner.contains(30), "deleted key visible through stale cursor");
+    assert!(!owner.contains(20));
+    assert!(owner.contains(40));
+    assert!(owner.contains(10));
+    assert!(owner.add(25), "insert through the stale region");
+    assert!(owner.contains(25));
+    drop(owner);
+    drop(intruder);
+    let mut list = list;
+    list.check_invariants().unwrap();
+    assert_eq!(list.collect_keys(), vec![10, 25, 40, 50]);
+}
+
+/// Same scenario for the doubly list: the stale cursor is abandoned via
+/// the backward walk, not a head restart — and the answers stay right.
+#[test]
+fn doubly_stale_cursor_walks_backwards() {
+    let list = DoublyCursorList::<i64>::new();
+    let mut owner = list.handle();
+    let mut intruder = list.handle();
+    for k in 1..=100i64 {
+        owner.add(k);
+    }
+    assert!(owner.contains(90)); // cursor deep in the list
+    for k in 50..=95 {
+        intruder.remove(k); // delete a whole region including the cursor
+    }
+    let before = owner.stats().trav;
+    assert!(!owner.contains(75));
+    assert!(owner.contains(42));
+    assert!(owner.contains(96));
+    let walked = owner.stats().trav;
+    // The recovery must be local: bounded by the deleted region, far
+    // below a from-scratch traversal per op (100 nodes each).
+    assert!(walked - before < 300, "recovery should ride prev pointers");
+    drop(owner);
+    drop(intruder);
+    let mut list = list;
+    list.check_invariants().unwrap();
+}
+
+/// The equal-key cursor rule for con(): after locating key k, an
+/// immediate repeat con(k) must cost O(1), not a head restart.
+#[test]
+fn repeated_contains_same_key_is_constant() {
+    let list = SinglyCursorList::<i64>::new();
+    let mut h = list.handle();
+    for k in 1..=2_000 {
+        h.add(k);
+    }
+    assert!(h.contains(1_500)); // position the cursor
+    let before = h.stats().cons;
+    for _ in 0..100 {
+        assert!(h.contains(1_500));
+    }
+    let after = h.stats().cons;
+    assert!(
+        after - before <= 200,
+        "repeat con(k) must start at the cursor: {} steps",
+        after - before
+    );
+}
+
+/// The search function must NOT use an equal-key cursor (it needs
+/// pred.key < key to produce a valid insert position): removing the
+/// cursor key itself still works.
+#[test]
+fn remove_at_cursor_key_restarts_correctly() {
+    let list = SinglyCursorList::<i64>::new();
+    let mut h = list.handle();
+    for k in 1..=50 {
+        h.add(k);
+    }
+    for k in (1..=50).rev() {
+        assert!(h.contains(k), "con before rem at {k}");
+        assert!(h.remove(k), "rem at {k}");
+        assert!(!h.contains(k), "con after rem at {k}");
+    }
+    drop(h);
+    let mut list = list;
+    assert!(list.collect_keys().is_empty());
+    list.check_invariants().unwrap();
+}
+
+/// Re-adding a key right after removing it through the same handle: the
+/// cursor may reference the *old* (marked) node carrying the same key;
+/// the fresh search must insert a new node, not resurrect the old one.
+#[test]
+fn readd_after_remove_through_same_cursor() {
+    for _ in 0..50 {
+        let list = SinglyFetchOrList::<i64>::new();
+        let mut h = list.handle();
+        h.add(7);
+        assert!(h.remove(7));
+        assert!(h.add(7), "re-add must succeed");
+        assert!(h.contains(7));
+        assert!(h.remove(7));
+        assert!(!h.contains(7));
+        drop(h);
+        let mut list = list;
+        list.check_invariants().unwrap();
+        assert!(list.collect_keys().is_empty());
+    }
+}
+
+/// Variant b) (mild, no cursor) must behave identically whether or not
+/// a previous operation left internal state behind — public operations
+/// are position-independent.
+#[test]
+fn non_cursor_variant_is_position_independent() {
+    let a = SinglyMildList::<i64>::new();
+    let b = SinglyMildList::<i64>::new();
+    let mut ha = a.handle();
+    let mut hb = b.handle();
+    for k in 1..=200 {
+        ha.add(k);
+        hb.add(k);
+    }
+    // Warm ha's internal position deep into the list; hb stays cold.
+    assert!(ha.contains(190));
+    let _ = ha.take_stats();
+    let _ = hb.take_stats();
+    // The same fresh operation must cost the same traversals on both.
+    assert!(ha.contains(100));
+    assert!(hb.contains(100));
+    assert_eq!(
+        ha.stats().cons,
+        hb.stats().cons,
+        "variant b) must not carry positions across operations"
+    );
+}
+
+/// Cursor survives the cursor node being the head-adjacent node and the
+/// list emptying completely.
+#[test]
+fn cursor_on_emptied_list() {
+    let list = DoublyCursorList::<i64>::new();
+    let mut h = list.handle();
+    h.add(1);
+    assert!(h.contains(1)); // cursor now at/near the only node
+    assert!(h.remove(1));
+    assert!(!h.contains(1));
+    assert!(!h.remove(1));
+    assert!(h.add(2));
+    assert!(h.contains(2));
+    assert!(h.remove(2));
+    drop(h);
+    let mut list = list;
+    assert!(list.collect_keys().is_empty());
+    list.check_invariants().unwrap();
+}
+
+/// Concurrent cursor chaos: every thread repeatedly parks its cursor on
+/// keys another thread is about to delete. Accounting must balance.
+#[test]
+fn cursor_chaos_concurrent() {
+    use pragmatic_list::OpStats;
+    let list = DoublyCursorList::<i64>::new();
+    let totals: OpStats = std::thread::scope(|s| {
+        let ws: Vec<_> = (0..6i64)
+            .map(|t| {
+                let list = &list;
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    for round in 0..400i64 {
+                        let k = (round * 7 + t) % 60 + 1;
+                        h.add(k);
+                        h.contains(k); // park cursor at k
+                        let victim = (k + 1) % 60 + 1; // likely another thread's cursor
+                        h.remove(victim);
+                        h.contains(victim);
+                    }
+                    h.take_stats()
+                })
+            })
+            .collect();
+        ws.into_iter().map(|w| w.join().unwrap()).sum()
+    });
+    let mut list = list;
+    list.check_invariants().unwrap();
+    assert_eq!(
+        totals.adds - totals.rems,
+        list.collect_keys().len() as u64
+    );
+}

@@ -1,0 +1,193 @@
+//! Property-based tests on the core list invariants (proptest).
+
+use proptest::prelude::*;
+
+use pragmatic_list::variants::{
+    DoublyBackptrList, DoublyCursorList, DraconicList, SinglyCursorList, SinglyFetchOrList,
+    SinglyMildList,
+};
+use pragmatic_list::{ConcurrentOrderedSet, SetHandle};
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Add(i64),
+    Remove(i64),
+    Contains(i64),
+}
+
+fn ops(range: i64, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0..3, 1..=range).prop_map(|(o, k)| match o {
+            0 => Op::Add(k),
+            1 => Op::Remove(k),
+            _ => Op::Contains(k),
+        }),
+        1..len,
+    )
+}
+
+/// Sequential semantics equal BTreeSet, and the structure validates,
+/// for any variant and any tape.
+fn semantics_hold<S: ConcurrentOrderedSet<i64>>(tape: &[Op]) {
+    let list = S::new();
+    let mut h = list.handle();
+    let mut model = BTreeSet::new();
+    for &op in tape {
+        match op {
+            Op::Add(k) => assert_eq!(h.add(k), model.insert(k)),
+            Op::Remove(k) => assert_eq!(h.remove(k), model.remove(&k)),
+            Op::Contains(k) => assert_eq!(h.contains(k), model.contains(&k)),
+        }
+    }
+    let st = h.stats();
+    drop(h);
+    let mut list = list;
+    let live = list.collect_keys();
+    assert_eq!(live, model.iter().copied().collect::<Vec<_>>());
+    list.check_invariants().unwrap();
+    // Accounting: single-threaded, no CAS can fail and successes balance.
+    assert_eq!(st.fail, 0);
+    assert_eq!(st.rtry, 0);
+    assert_eq!(st.adds - st.rems, live.len() as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_variants_semantics(tape in ops(24, 300)) {
+        semantics_hold::<DraconicList<i64>>(&tape);
+        semantics_hold::<SinglyMildList<i64>>(&tape);
+        semantics_hold::<SinglyCursorList<i64>>(&tape);
+        semantics_hold::<SinglyFetchOrList<i64>>(&tape);
+        semantics_hold::<DoublyBackptrList<i64>>(&tape);
+        semantics_hold::<DoublyCursorList<i64>>(&tape);
+    }
+
+    /// Two handles on the same thread interleave arbitrarily: cursors
+    /// are per-handle state and must never corrupt each other.
+    #[test]
+    fn two_handles_interleaved(tape in ops(16, 200), picks in proptest::collection::vec(proptest::bool::ANY, 200)) {
+        let list = DoublyCursorList::<i64>::new();
+        let mut h1 = list.handle();
+        let mut h2 = list.handle();
+        let mut model = BTreeSet::new();
+        for (i, &op) in tape.iter().enumerate() {
+            let h = if *picks.get(i).unwrap_or(&false) { &mut h1 } else { &mut h2 };
+            match op {
+                Op::Add(k) => assert_eq!(h.add(k), model.insert(k)),
+                Op::Remove(k) => assert_eq!(h.remove(k), model.remove(&k)),
+                Op::Contains(k) => assert_eq!(h.contains(k), model.contains(&k)),
+            }
+        }
+        drop(h1);
+        drop(h2);
+        let mut list = list;
+        list.check_invariants().unwrap();
+        assert_eq!(list.collect_keys(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Node accounting: allocations never exceed adds-attempted + 1
+    /// spare per handle, and never drop below the number of live keys.
+    #[test]
+    fn allocation_accounting(tape in ops(16, 200)) {
+        let list = SinglyCursorList::<i64>::new();
+        let mut h = list.handle();
+        let mut attempted = 0u64;
+        for &op in &tape {
+            if let Op::Add(k) = op {
+                h.add(k);
+                attempted += 1;
+            }
+        }
+        drop(h);
+        let mut list = list;
+        let live = list.collect_keys().len();
+        let allocated = list.allocated_nodes();
+        prop_assert!(allocated as u64 <= attempted + 1);
+        prop_assert!(allocated >= live);
+    }
+
+    /// take_stats drains; stats accumulate monotonically.
+    #[test]
+    fn stats_monotone_and_drainable(tape in ops(16, 150)) {
+        let list = SinglyMildList::<i64>::new();
+        let mut h = list.handle();
+        let mut last_total = 0u64;
+        for &op in &tape {
+            match op {
+                Op::Add(k) => { h.add(k); }
+                Op::Remove(k) => { h.remove(k); }
+                Op::Contains(k) => { h.contains(k); }
+            }
+            let s = h.stats();
+            let total = s.adds + s.rems + s.cons + s.trav + s.fail + s.rtry;
+            prop_assert!(total >= last_total, "counters must not decrease");
+            last_total = total;
+        }
+        let drained = h.take_stats();
+        prop_assert_eq!(drained.adds + drained.rems, last_total.min(drained.adds + drained.rems));
+        prop_assert!(h.stats().is_zero());
+    }
+
+    /// len_approx on a quiescent list equals the snapshot length.
+    #[test]
+    fn quiescent_len_matches_snapshot(tape in ops(32, 250)) {
+        let list = DoublyCursorList::<i64>::new();
+        let mut h = list.handle();
+        for &op in &tape {
+            match op {
+                Op::Add(k) => { h.add(k); }
+                Op::Remove(k) => { h.remove(k); }
+                Op::Contains(k) => { h.contains(k); }
+            }
+        }
+        let approx = list.len_approx();
+        drop(h);
+        let mut list = list;
+        prop_assert_eq!(approx, list.to_vec().len());
+    }
+}
+
+/// Concurrent proptest-lite: a fixed set of generated tapes run by real
+/// threads; the per-key result sequence must still be *possible* (we
+/// only assert accounting + invariants, the linearizability test suite
+/// covers ordering).
+#[test]
+fn concurrent_tapes_accounting() {
+    for seed in 0..4u64 {
+        let list = SinglyFetchOrList::<i64>::new();
+        let totals: pragmatic_list::OpStats = std::thread::scope(|s| {
+            let ws: Vec<_> = (0..6)
+                .map(|t| {
+                    let list = &list;
+                    s.spawn(move || {
+                        let mut h = list.handle();
+                        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) ^ (t as u64 + 1);
+                        for _ in 0..2_000 {
+                            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                            let k = ((x >> 33) % 48) as i64 + 1;
+                            match (x >> 13) % 3 {
+                                0 => {
+                                    h.add(k);
+                                }
+                                1 => {
+                                    h.remove(k);
+                                }
+                                _ => {
+                                    h.contains(k);
+                                }
+                            }
+                        }
+                        h.take_stats()
+                    })
+                })
+                .collect();
+            ws.into_iter().map(|w| w.join().unwrap()).sum()
+        });
+        let mut list = list;
+        list.check_invariants().unwrap();
+        assert_eq!(totals.adds - totals.rems, list.collect_keys().len() as u64);
+    }
+}

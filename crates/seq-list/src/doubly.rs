@@ -1,0 +1,398 @@
+//! Sorted doubly linked list over an index arena, with a search cursor.
+//!
+//! The sequential counterpart of the paper's doubly-cursor variant f):
+//! every operation remembers the position it located (the *cursor*) and
+//! the next operation searches forwards or backwards from there,
+//! whichever the key ordering demands. On locality-friendly workloads
+//! (the deterministic benchmark's ascending/descending sweeps) this turns
+//! the per-operation cost from O(n) into O(distance).
+//!
+//! Nodes live in a `Vec` arena addressed by `u32` indices with an
+//! internal free list, so the structure is fully safe Rust, cache-dense,
+//! and reuses memory — a reasonable stand-in for the C baseline the
+//! paper's thread-private mode uses.
+
+use crate::{SeqOrderedSet, SeqStats};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone)]
+struct Slot<K> {
+    key: K,
+    next: u32,
+    prev: u32,
+}
+
+/// A sorted doubly linked list with a per-list cursor and O(1) node reuse.
+///
+/// # Examples
+///
+/// ```
+/// use seq_list::{DoublySeqList, SeqOrderedSet};
+///
+/// let mut l = DoublySeqList::new();
+/// for k in (0..100).rev() {
+///     l.insert(k); // descending inserts are O(1) thanks to the cursor
+/// }
+/// assert_eq!(l.len(), 100);
+/// assert!(l.stats().trav < 300);
+/// ```
+pub struct DoublySeqList<K> {
+    slots: Vec<Slot<K>>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    /// Index of the node the last operation located (or its predecessor);
+    /// `NIL` when unset.
+    cursor: u32,
+    len: usize,
+    stats: SeqStats,
+}
+
+impl<K: Ord + Copy> Default for DoublySeqList<K> {
+    fn default() -> Self {
+        SeqOrderedSet::new()
+    }
+}
+
+impl<K: Ord + Copy> DoublySeqList<K> {
+    #[inline]
+    fn slot(&self, i: u32) -> &Slot<K> {
+        &self.slots[i as usize]
+    }
+
+    fn alloc(&mut self, key: K) -> u32 {
+        if let Some(i) = self.free.pop() {
+            let s = &mut self.slots[i as usize];
+            s.key = key;
+            s.next = NIL;
+            s.prev = NIL;
+            i
+        } else {
+            self.slots.push(Slot {
+                key,
+                next: NIL,
+                prev: NIL,
+            });
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    /// Finds the first node with `node.key >= key`, returning its index
+    /// (or `NIL` when every key is smaller), starting from the cursor
+    /// when possible and walking in the cheaper direction.
+    fn seek(&mut self, key: K) -> u32 {
+        let mut at = if self.cursor == NIL { self.head } else { self.cursor };
+        if at == NIL {
+            return NIL;
+        }
+        if self.slot(at).key < key {
+            // Forward until >= key.
+            loop {
+                let next = self.slot(at).next;
+                if next == NIL {
+                    return NIL;
+                }
+                self.stats.trav += 1;
+                if self.slot(next).key >= key {
+                    return next;
+                }
+                at = next;
+            }
+        } else {
+            // Backward until the predecessor is < key.
+            loop {
+                let prev = self.slot(at).prev;
+                if prev == NIL {
+                    return at;
+                }
+                if self.slot(prev).key < key {
+                    return at;
+                }
+                self.stats.trav += 1;
+                at = prev;
+            }
+        }
+    }
+
+    /// Iterates keys in ascending order.
+    pub fn iter(&self) -> Iter<'_, K> {
+        Iter {
+            list: self,
+            at: self.head,
+        }
+    }
+
+    /// Removes all elements, keeping the arena capacity.
+    pub fn clear(&mut self) {
+        let mut at = self.head;
+        while at != NIL {
+            let next = self.slot(at).next;
+            self.free.push(at);
+            at = next;
+        }
+        self.head = NIL;
+        self.tail = NIL;
+        self.cursor = NIL;
+        self.len = 0;
+    }
+
+    /// Internal consistency check (test support): forward and backward
+    /// links agree and keys are strictly increasing.
+    pub fn validate(&self) -> bool {
+        let mut at = self.head;
+        let mut prev = NIL;
+        let mut count = 0usize;
+        while at != NIL {
+            let s = self.slot(at);
+            if s.prev != prev {
+                return false;
+            }
+            if prev != NIL && self.slot(prev).key >= s.key {
+                return false;
+            }
+            prev = at;
+            at = s.next;
+            count += 1;
+            if count > self.slots.len() {
+                return false; // cycle
+            }
+        }
+        prev == self.tail && count == self.len
+    }
+}
+
+impl<K: Ord + Copy> SeqOrderedSet<K> for DoublySeqList<K> {
+    fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            cursor: NIL,
+            len: 0,
+            stats: SeqStats::default(),
+        }
+    }
+
+    fn insert(&mut self, key: K) -> bool {
+        let at = self.seek(key);
+        if at != NIL && self.slot(at).key == key {
+            self.cursor = at;
+            return false;
+        }
+        let node = self.alloc(key);
+        match at {
+            NIL => {
+                // Append at the tail.
+                let old_tail = self.tail;
+                self.slots[node as usize].prev = old_tail;
+                if old_tail == NIL {
+                    self.head = node;
+                } else {
+                    self.slots[old_tail as usize].next = node;
+                }
+                self.tail = node;
+            }
+            succ => {
+                let pred = self.slot(succ).prev;
+                self.slots[node as usize].next = succ;
+                self.slots[node as usize].prev = pred;
+                self.slots[succ as usize].prev = node;
+                if pred == NIL {
+                    self.head = node;
+                } else {
+                    self.slots[pred as usize].next = node;
+                }
+            }
+        }
+        self.cursor = node;
+        self.len += 1;
+        self.stats.adds += 1;
+        true
+    }
+
+    fn remove(&mut self, key: K) -> bool {
+        let at = self.seek(key);
+        if at == NIL || self.slot(at).key != key {
+            self.cursor = if at == NIL { self.tail } else { at };
+            return false;
+        }
+        let (prev, next) = {
+            let s = self.slot(at);
+            (s.prev, s.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next as usize].prev = prev;
+        }
+        self.free.push(at);
+        self.cursor = if next != NIL {
+            next
+        } else if prev != NIL {
+            prev
+        } else {
+            NIL
+        };
+        self.len -= 1;
+        self.stats.rems += 1;
+        true
+    }
+
+    fn contains(&mut self, key: K) -> bool {
+        // Same bidirectional cursor search, accounted under `cons`.
+        let trav_before = self.stats.trav;
+        let at = self.seek(key);
+        self.stats.cons += self.stats.trav - trav_before;
+        self.stats.trav = trav_before;
+        if at != NIL {
+            self.cursor = at;
+            self.slot(at).key == key
+        } else {
+            self.cursor = self.tail;
+            false
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn to_vec(&self) -> Vec<K> {
+        self.iter().collect()
+    }
+
+    fn stats(&self) -> SeqStats {
+        self.stats
+    }
+}
+
+/// Iterator over a [`DoublySeqList`] in key order.
+pub struct Iter<'a, K> {
+    list: &'a DoublySeqList<K>,
+    at: u32,
+}
+
+impl<'a, K: Copy> Iterator for Iter<'a, K> {
+    type Item = K;
+    fn next(&mut self) -> Option<K> {
+        if self.at == NIL {
+            return None;
+        }
+        let s = &self.list.slots[self.at as usize];
+        self.at = s.next;
+        Some(s.key)
+    }
+}
+
+impl<K: Ord + Copy> FromIterator<K> for DoublySeqList<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let mut l = <Self as SeqOrderedSet<K>>::new();
+        for k in iter {
+            l.insert(k);
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_unique_and_links_consistent() {
+        let mut l: DoublySeqList<i64> = [5, 1, 3, 5, 2, 4, 1, 9, 0].into_iter().collect();
+        assert_eq!(l.to_vec(), vec![0, 1, 2, 3, 4, 5, 9]);
+        assert!(l.validate());
+        assert!(l.remove(0));
+        assert!(l.remove(9));
+        assert!(l.remove(3));
+        assert!(!l.remove(3));
+        assert!(l.validate());
+        assert_eq!(l.to_vec(), vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn cursor_makes_ascending_and_descending_cheap() {
+        let n = 5_000i64;
+        let mut l = DoublySeqList::new();
+        for k in 0..n {
+            l.insert(k);
+        }
+        let up = l.stats().trav;
+        assert!(up < 2 * n as u64, "ascending inserts should be O(1): {up}");
+
+        let mut l = DoublySeqList::new();
+        for k in (0..n).rev() {
+            l.insert(k);
+        }
+        let down = l.stats().trav;
+        assert!(down < 2 * n as u64, "descending inserts should be O(1): {down}");
+    }
+
+    #[test]
+    fn node_reuse_through_free_list() {
+        let mut l = DoublySeqList::new();
+        for round in 0..10 {
+            for k in 0..100 {
+                l.insert(k + round);
+            }
+            for k in 0..100 {
+                l.remove(k + round);
+            }
+        }
+        assert!(l.is_empty());
+        assert!(
+            l.slots.len() <= 101,
+            "arena should reuse freed slots, grew to {}",
+            l.slots.len()
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut l: DoublySeqList<i64> = (0..50).collect();
+        l.clear();
+        assert!(l.is_empty());
+        assert!(l.validate());
+        assert!(l.insert(7));
+        assert_eq!(l.to_vec(), vec![7]);
+    }
+
+    #[test]
+    fn contains_counts_in_cons_not_trav() {
+        let mut l: DoublySeqList<i64> = (0..100).collect();
+        let s0 = l.stats();
+        // Move the cursor far from the target first.
+        assert!(l.contains(0));
+        assert!(l.contains(99));
+        let s1 = l.stats();
+        assert!(s1.cons > s0.cons);
+        assert_eq!(s1.trav, s0.trav);
+    }
+
+    #[test]
+    fn matches_btreeset_on_random_tape() {
+        use std::collections::BTreeSet;
+        let mut l = DoublySeqList::<i64>::default();
+        let mut oracle = BTreeSet::new();
+        let mut x = 987654321u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = ((x >> 33) % 64) as i64;
+            match (x >> 9) % 3 {
+                0 => assert_eq!(l.insert(key), oracle.insert(key), "insert {key}"),
+                1 => assert_eq!(l.remove(key), oracle.remove(&key), "remove {key}"),
+                _ => assert_eq!(l.contains(key), oracle.contains(&key), "contains {key}"),
+            }
+        }
+        assert!(l.validate());
+        assert_eq!(l.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,78 @@
+//! # seq-list
+//!
+//! Sequential ordered linked lists: the *thread-private baseline* of the
+//! paper's benchmarks and the differential-testing oracle for the
+//! concurrent variants in `pragmatic-list`.
+//!
+//! §3 of the paper: "The benchmarks can also be configured such that each
+//! thread operates on a private list […] we can use either the lock-free
+//! implementation, or a standard, sequential (doubly or singly linked)
+//! list implementation." This crate provides both:
+//!
+//! * [`SinglySeqList`] — a plain sorted singly linked list (safe,
+//!   `Box`-based);
+//! * [`DoublySeqList`] — a sorted doubly linked list over an index arena,
+//!   with the same per-operation *cursor* the paper adds to the
+//!   concurrent lists, searching forwards or backwards from the last
+//!   position.
+//!
+//! Both count element traversals compatibly with the paper's
+//! "cons"/"trav" columns via [`SeqStats`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod doubly;
+pub mod singly;
+
+pub use doubly::DoublySeqList;
+pub use singly::SinglySeqList;
+
+/// Traversal counters for the sequential lists (the subset of the paper's
+/// columns that makes sense without concurrency).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SeqStats {
+    /// Successful insertions.
+    pub adds: u64,
+    /// Successful removals.
+    pub rems: u64,
+    /// Element traversals in `contains`.
+    pub cons: u64,
+    /// Element traversals in `insert`/`remove` searches.
+    pub trav: u64,
+}
+
+impl std::ops::Add for SeqStats {
+    type Output = SeqStats;
+    fn add(self, r: SeqStats) -> SeqStats {
+        SeqStats {
+            adds: self.adds + r.adds,
+            rems: self.rems + r.rems,
+            cons: self.cons + r.cons,
+            trav: self.trav + r.trav,
+        }
+    }
+}
+
+/// Common interface of the two sequential lists, used by the harness's
+/// thread-private mode and by the differential-test oracle.
+pub trait SeqOrderedSet<K: Ord + Copy> {
+    /// Creates an empty set.
+    fn new() -> Self;
+    /// Inserts `key`; `true` iff it was absent.
+    fn insert(&mut self, key: K) -> bool;
+    /// Removes `key`; `true` iff it was present.
+    fn remove(&mut self, key: K) -> bool;
+    /// Membership test.
+    fn contains(&mut self, key: K) -> bool;
+    /// Number of elements.
+    fn len(&self) -> usize;
+    /// `true` iff empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Ordered snapshot.
+    fn to_vec(&self) -> Vec<K>;
+    /// Accumulated traversal counters.
+    fn stats(&self) -> SeqStats;
+}

@@ -1,0 +1,243 @@
+//! Sorted singly linked list, safe `Box`-based implementation.
+//!
+//! The straightforward sequential counterpart of the lock-free list: the
+//! same strictly-increasing key order, the same linear search, none of
+//! the atomics. Used by the paper's thread-private benchmark mode to
+//! estimate the system/memory overhead floor, and by the test-suite as a
+//! semantics oracle.
+
+use crate::{SeqOrderedSet, SeqStats};
+
+struct Node<K> {
+    key: K,
+    next: Link<K>,
+}
+
+type Link<K> = Option<Box<Node<K>>>;
+
+/// A sorted singly linked list with traversal accounting.
+///
+/// # Examples
+///
+/// ```
+/// use seq_list::{SeqOrderedSet, SinglySeqList};
+///
+/// let mut l = SinglySeqList::new();
+/// assert!(l.insert(2));
+/// assert!(l.insert(1));
+/// assert!(!l.insert(2));
+/// assert_eq!(l.to_vec(), vec![1, 2]);
+/// assert!(l.remove(1));
+/// assert!(!l.contains(1));
+/// ```
+pub struct SinglySeqList<K> {
+    head: Link<K>,
+    len: usize,
+    stats: SeqStats,
+}
+
+impl<K: Ord + Copy> Default for SinglySeqList<K> {
+    fn default() -> Self {
+        SeqOrderedSet::new()
+    }
+}
+
+impl<K: Ord + Copy> SinglySeqList<K> {
+    /// Iterates the keys in ascending order.
+    pub fn iter(&self) -> Iter<'_, K> {
+        Iter {
+            next: self.head.as_deref(),
+        }
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        // Iterative teardown: a naive recursive `Drop` of a long chain
+        // overflows the stack.
+        let mut cur = self.head.take();
+        while let Some(mut node) = cur {
+            cur = node.next.take();
+        }
+        self.len = 0;
+    }
+}
+
+impl<K> Drop for SinglySeqList<K> {
+    fn drop(&mut self) {
+        // Iterative teardown (see `clear`), valid for any `K`.
+        let mut cur = self.head.take();
+        while let Some(mut node) = cur {
+            cur = node.next.take();
+        }
+    }
+}
+
+impl<K: Ord + Copy> SeqOrderedSet<K> for SinglySeqList<K> {
+    fn new() -> Self {
+        Self {
+            head: None,
+            len: 0,
+            stats: SeqStats::default(),
+        }
+    }
+
+    fn insert(&mut self, key: K) -> bool {
+        let mut link = &mut self.head;
+        loop {
+            match link {
+                Some(node) if node.key < key => {
+                    self.stats.trav += 1;
+                    link = &mut link.as_mut().unwrap().next;
+                }
+                Some(node) if node.key == key => return false,
+                _ => {
+                    let next = link.take();
+                    *link = Some(Box::new(Node { key, next }));
+                    self.len += 1;
+                    self.stats.adds += 1;
+                    return true;
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, key: K) -> bool {
+        let mut link = &mut self.head;
+        loop {
+            match link {
+                Some(node) if node.key < key => {
+                    self.stats.trav += 1;
+                    link = &mut link.as_mut().unwrap().next;
+                }
+                Some(node) if node.key == key => {
+                    let removed = link.take().unwrap();
+                    *link = removed.next;
+                    self.len -= 1;
+                    self.stats.rems += 1;
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    fn contains(&mut self, key: K) -> bool {
+        let mut cur = self.head.as_deref();
+        while let Some(node) = cur {
+            if node.key >= key {
+                return node.key == key;
+            }
+            self.stats.cons += 1;
+            cur = node.next.as_deref();
+        }
+        false
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn to_vec(&self) -> Vec<K> {
+        self.iter().copied().collect()
+    }
+
+    fn stats(&self) -> SeqStats {
+        self.stats
+    }
+}
+
+/// Borrowing iterator over a [`SinglySeqList`] in key order.
+pub struct Iter<'a, K> {
+    next: Option<&'a Node<K>>,
+}
+
+impl<'a, K> Iterator for Iter<'a, K> {
+    type Item = &'a K;
+    fn next(&mut self) -> Option<&'a K> {
+        let node = self.next?;
+        self.next = node.next.as_deref();
+        Some(&node.key)
+    }
+}
+
+impl<K: Ord + Copy> FromIterator<K> for SinglySeqList<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let mut l = <Self as SeqOrderedSet<K>>::new();
+        for k in iter {
+            l.insert(k);
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_sorted_unique() {
+        let mut l: SinglySeqList<i64> = [5, 1, 3, 5, 2, 4, 1].into_iter().collect();
+        assert_eq!(l.to_vec(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(l.len(), 5);
+        assert!(l.contains(3));
+        assert!(!l.contains(6));
+    }
+
+    #[test]
+    fn remove_head_middle_tail() {
+        let mut l: SinglySeqList<i64> = (1..=5).collect();
+        assert!(l.remove(1));
+        assert!(l.remove(3));
+        assert!(l.remove(5));
+        assert!(!l.remove(5));
+        assert_eq!(l.to_vec(), vec![2, 4]);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let mut l = SinglySeqList::<u32>::default();
+        assert!(l.is_empty());
+        assert!(!l.contains(1));
+        assert!(!l.remove(1));
+        assert!(l.to_vec().is_empty());
+    }
+
+    #[test]
+    fn stats_count_traversals() {
+        let mut l: SinglySeqList<i64> = (1..=100).collect();
+        let before = l.stats();
+        assert!(l.contains(100));
+        let after = l.stats();
+        assert_eq!(after.cons - before.cons, 99);
+        assert_eq!(after.adds, 100);
+    }
+
+    #[test]
+    fn long_list_drop_does_not_overflow_stack() {
+        // Descending inserts land at the head in O(1), so building the
+        // 200k-node chain is linear; the point of the test is the drop.
+        let l: SinglySeqList<i64> = (0..200_000).rev().collect();
+        assert_eq!(l.len(), 200_000);
+        drop(l);
+    }
+
+    #[test]
+    fn matches_btreeset_on_random_tape() {
+        use std::collections::BTreeSet;
+        let mut l = SinglySeqList::<i64>::default();
+        let mut oracle = BTreeSet::new();
+        let mut x = 12345u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = ((x >> 33) % 50) as i64;
+            match (x >> 7) % 3 {
+                0 => assert_eq!(l.insert(key), oracle.insert(key)),
+                1 => assert_eq!(l.remove(key), oracle.remove(&key)),
+                _ => assert_eq!(l.contains(key), oracle.contains(&key)),
+            }
+            assert_eq!(l.len(), oracle.len());
+        }
+        assert_eq!(l.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+    }
+}

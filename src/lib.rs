@@ -1,0 +1,27 @@
+//! Meta-crate for the *pragmatic lock-free ordered linked list* reproduction
+//! (Träff & Pöter, PPoPP 2021, arXiv:2010.15755).
+//!
+//! This crate only re-exports the workspace members so that the
+//! repository-level `examples/` and `tests/` directories can exercise the
+//! whole system through one dependency. The actual implementations live in
+//! the `crates/` subdirectories:
+//!
+//! * [`list`] (crate `pragmatic-list`) — the paper's contribution: the six
+//!   list variants a)–f) plus an epoch-reclaiming baseline.
+//! * [`seq`] (crate `seq-list`) — sequential ordered lists used as oracles
+//!   and as the paper's thread-private baseline.
+//! * [`grand`] (crate `glibc-rand`) — reimplementation of glibc's
+//!   `random_r` used by the random-mix benchmark.
+//! * [`lin`] (crate `linearize`) — Wing–Gong linearizability checker used
+//!   by the test-suite to validate the paper's linearizability claim.
+//! * [`hashmap`] (crate `lockfree-hashmap`) — Michael-style hash set built
+//!   on top of the list, the downstream application the paper motivates.
+//! * [`harness`] (crate `bench-harness`) — the deterministic and
+//!   random-mix benchmark drivers reproducing every table and figure.
+
+pub use bench_harness as harness;
+pub use glibc_rand as grand;
+pub use linearize as lin;
+pub use lockfree_hashmap as hashmap;
+pub use pragmatic_list as list;
+pub use seq_list as seq;

@@ -1,0 +1,163 @@
+//! Differential (oracle) tests: every concurrent variant, run
+//! single-threaded on randomised operation tapes, must agree op-for-op
+//! with the sequential lists from `seq-list` — which are themselves
+//! cross-checked against `std::collections::BTreeSet` in their own unit
+//! tests. Property-based via proptest.
+
+use proptest::prelude::*;
+
+use pragmatic_list::variants::{
+    CursorOnlyList, DoublyBackptrList, DoublyCursorList, DraconicList, SinglyCursorList,
+    SinglyFetchOrList, SinglyMildList,
+};
+use pragmatic_list::{ConcurrentOrderedSet, EpochList, SetHandle};
+use seq_list::{DoublySeqList, SeqOrderedSet, SinglySeqList};
+
+/// One step of an operation tape.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Add(i64),
+    Remove(i64),
+    Contains(i64),
+}
+
+fn step_strategy(key_range: i64) -> impl Strategy<Value = Step> {
+    (0..3, 1..=key_range).prop_map(|(op, k)| match op {
+        0 => Step::Add(k),
+        1 => Step::Remove(k),
+        _ => Step::Contains(k),
+    })
+}
+
+/// Applies the tape to a concurrent variant (one handle) and the singly
+/// sequential oracle, comparing every result and the final contents.
+fn check_against_oracle<S: ConcurrentOrderedSet<i64>>(tape: &[Step]) {
+    let list = S::new();
+    let mut h = list.handle();
+    let mut oracle = SinglySeqList::<i64>::new();
+    for (i, &step) in tape.iter().enumerate() {
+        let (got, want) = match step {
+            Step::Add(k) => (h.add(k), oracle.insert(k)),
+            Step::Remove(k) => (h.remove(k), oracle.remove(k)),
+            Step::Contains(k) => (h.contains(k), oracle.contains(k)),
+        };
+        assert_eq!(got, want, "{}: step {i} ({step:?}) diverged", S::NAME);
+    }
+    drop(h);
+    let mut list = list;
+    assert_eq!(
+        list.collect_keys(),
+        oracle.to_vec(),
+        "{}: final contents diverged",
+        S::NAME
+    );
+    list.check_invariants()
+        .unwrap_or_else(|e| panic!("{}: invariant violated: {e}", S::NAME));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn draconic_matches_oracle(tape in proptest::collection::vec(step_strategy(32), 1..400)) {
+        check_against_oracle::<DraconicList<i64>>(&tape);
+    }
+
+    #[test]
+    fn singly_mild_matches_oracle(tape in proptest::collection::vec(step_strategy(32), 1..400)) {
+        check_against_oracle::<SinglyMildList<i64>>(&tape);
+    }
+
+    #[test]
+    fn singly_cursor_matches_oracle(tape in proptest::collection::vec(step_strategy(32), 1..400)) {
+        check_against_oracle::<SinglyCursorList<i64>>(&tape);
+    }
+
+    #[test]
+    fn singly_fetch_or_matches_oracle(tape in proptest::collection::vec(step_strategy(32), 1..400)) {
+        check_against_oracle::<SinglyFetchOrList<i64>>(&tape);
+    }
+
+    #[test]
+    fn cursor_only_matches_oracle(tape in proptest::collection::vec(step_strategy(32), 1..400)) {
+        check_against_oracle::<CursorOnlyList<i64>>(&tape);
+    }
+
+    #[test]
+    fn doubly_backptr_matches_oracle(tape in proptest::collection::vec(step_strategy(32), 1..400)) {
+        check_against_oracle::<DoublyBackptrList<i64>>(&tape);
+    }
+
+    #[test]
+    fn doubly_cursor_matches_oracle(tape in proptest::collection::vec(step_strategy(32), 1..400)) {
+        check_against_oracle::<DoublyCursorList<i64>>(&tape);
+    }
+
+    #[test]
+    fn epoch_list_matches_oracle(tape in proptest::collection::vec(step_strategy(32), 1..400)) {
+        check_against_oracle::<EpochList<i64>>(&tape);
+    }
+
+    #[test]
+    fn skiplist_matches_oracle(tape in proptest::collection::vec(step_strategy(32), 1..400)) {
+        check_against_oracle::<lockfree_skiplist::SkipListSet<i64>>(&tape);
+    }
+
+    /// The two sequential lists agree with each other (closing the loop:
+    /// singly is checked against BTreeSet in its unit tests).
+    #[test]
+    fn seq_lists_agree(tape in proptest::collection::vec(step_strategy(24), 1..300)) {
+        let mut a = SinglySeqList::<i64>::new();
+        let mut b = DoublySeqList::<i64>::new();
+        for &step in &tape {
+            match step {
+                Step::Add(k) => assert_eq!(a.insert(k), b.insert(k)),
+                Step::Remove(k) => assert_eq!(a.remove(k), b.remove(k)),
+                Step::Contains(k) => assert_eq!(a.contains(k), b.contains(k)),
+            }
+        }
+        assert_eq!(a.to_vec(), b.to_vec());
+        assert!(b.validate());
+    }
+
+    /// Adversarial locality tapes: monotone runs up and down, repeated
+    /// keys — the cursor's worst and best cases.
+    #[test]
+    fn cursor_variants_survive_monotone_runs(
+        runs in proptest::collection::vec((1i64..64, proptest::bool::ANY, 1usize..40), 1..20)
+    ) {
+        let mut tape = Vec::new();
+        for (start, up, len) in runs {
+            for j in 0..len as i64 {
+                let k = if up { start + j } else { (start - j).max(1) };
+                tape.push(Step::Add(k));
+                tape.push(Step::Contains(k));
+                if j % 3 == 0 {
+                    tape.push(Step::Remove(k));
+                }
+            }
+        }
+        check_against_oracle::<SinglyCursorList<i64>>(&tape);
+        check_against_oracle::<DoublyCursorList<i64>>(&tape);
+    }
+
+    /// The hash set agrees with std's HashSet on arbitrary u64 tapes.
+    #[test]
+    fn hashset_matches_std(tape in proptest::collection::vec((0..3, 0u64..500), 1..500)) {
+        use lockfree_hashmap::LockFreeHashSet;
+        use std::collections::HashSet;
+        let set: LockFreeHashSet<u64> = LockFreeHashSet::with_buckets(32);
+        let mut h = set.handle();
+        let mut oracle = HashSet::new();
+        for &(op, v) in &tape {
+            match op {
+                0 => assert_eq!(h.insert(v), oracle.insert(v)),
+                1 => assert_eq!(h.remove(&v), oracle.remove(&v)),
+                _ => assert_eq!(h.contains(&v), oracle.contains(&v)),
+            }
+        }
+        drop(h);
+        let mut set = set;
+        assert_eq!(set.len(), oracle.len());
+    }
+}

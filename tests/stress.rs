@@ -1,0 +1,218 @@
+//! Concurrent stress tests across crates: multi-threaded mixed
+//! workloads followed by structural-invariant and accounting checks.
+//!
+//! The accounting invariant is the strongest cheap cross-thread check:
+//! over any complete run, `successful adds − successful removes` must
+//! equal the number of live keys at the end — any lost update, double
+//! insert or double remove breaks it.
+
+use pragmatic_list::variants::{
+    DoublyBackptrList, DoublyCursorList, DraconicList, SinglyCursorList, SinglyFetchOrList,
+    SinglyMildList,
+};
+use pragmatic_list::{ConcurrentOrderedSet, EpochList, OpStats, SetHandle};
+
+fn mixed_stress<S: ConcurrentOrderedSet<i64>>(threads: usize, ops: u64, key_range: u32) {
+    let list = S::new();
+    let totals: OpStats = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let list = &list;
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    let mut rng = glibc_rand::GlibcRandom::new(glibc_rand::thread_seed(99, t));
+                    for _ in 0..ops {
+                        let key = rng.below(key_range) as i64 + 1;
+                        match rng.below(100) {
+                            0..=39 => {
+                                h.add(key);
+                            }
+                            40..=79 => {
+                                h.remove(key);
+                            }
+                            _ => {
+                                h.contains(key);
+                            }
+                        }
+                    }
+                    h.take_stats()
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).sum()
+    });
+    let mut list = list;
+    list.check_invariants()
+        .unwrap_or_else(|e| panic!("{}: {e}", S::NAME));
+    let live = list.collect_keys().len() as u64;
+    assert_eq!(
+        totals.adds - totals.rems,
+        live,
+        "{}: adds-rems accounting broken",
+        S::NAME
+    );
+}
+
+#[test]
+fn stress_draconic() {
+    mixed_stress::<DraconicList<i64>>(8, 3_000, 64);
+}
+
+#[test]
+fn stress_singly_mild() {
+    mixed_stress::<SinglyMildList<i64>>(8, 3_000, 64);
+}
+
+#[test]
+fn stress_singly_cursor() {
+    mixed_stress::<SinglyCursorList<i64>>(8, 3_000, 64);
+}
+
+#[test]
+fn stress_singly_fetch_or() {
+    mixed_stress::<SinglyFetchOrList<i64>>(8, 3_000, 64);
+}
+
+#[test]
+fn stress_doubly_backptr() {
+    mixed_stress::<DoublyBackptrList<i64>>(8, 3_000, 64);
+}
+
+#[test]
+fn stress_doubly_cursor() {
+    mixed_stress::<DoublyCursorList<i64>>(8, 3_000, 64);
+}
+
+#[test]
+fn stress_epoch() {
+    mixed_stress::<EpochList<i64>>(8, 3_000, 64);
+}
+
+#[test]
+fn stress_skiplist_mild() {
+    mixed_stress::<lockfree_skiplist::SkipListSet<i64>>(8, 3_000, 64);
+}
+
+#[test]
+fn stress_skiplist_draconic() {
+    mixed_stress::<lockfree_skiplist::DraconicSkipList<i64>>(8, 3_000, 64);
+}
+
+#[test]
+fn stress_tiny_keyspace_maximum_contention() {
+    // Two keys, eight threads: nearly every CAS races. Exercises the
+    // failed-CAS paths (mild re-reads, backward walks) continuously.
+    mixed_stress::<DoublyCursorList<i64>>(8, 5_000, 2);
+    mixed_stress::<SinglyCursorList<i64>>(8, 5_000, 2);
+    mixed_stress::<DraconicList<i64>>(8, 5_000, 2);
+}
+
+#[test]
+fn handles_created_and_dropped_in_waves() {
+    // Handle churn: arena hand-off must survive handles coming and going
+    // while other threads keep mutating.
+    let list = DoublyCursorList::<i64>::new();
+    std::thread::scope(|s| {
+        for t in 0..4i64 {
+            let list = &list;
+            s.spawn(move || {
+                for wave in 0..10 {
+                    let mut h = list.handle(); // fresh handle each wave
+                    for i in 0..200 {
+                        let k = (t * 1000 + wave * 100 + i) % 500 + 1;
+                        if i % 2 == 0 {
+                            h.add(k);
+                        } else {
+                            h.remove(k);
+                        }
+                    }
+                    // h drops here, flushing its arena into the registry
+                }
+            });
+        }
+    });
+    let mut list = list;
+    list.check_invariants().unwrap();
+    assert!(list.allocated_nodes() > 0);
+}
+
+#[test]
+fn concurrent_readers_never_observe_unordered_keys() {
+    // Readers snapshot-walk while writers churn; every con() result for
+    // a key that is permanently present must be true.
+    let list = SinglyCursorList::<i64>::new();
+    {
+        let mut h = list.handle();
+        for k in (10..=1000).step_by(10) {
+            h.add(k); // permanent keys: multiples of 10
+        }
+    }
+    std::thread::scope(|s| {
+        // Writers churn non-multiples of 10.
+        for t in 0..3 {
+            let list = &list;
+            s.spawn(move || {
+                let mut h = list.handle();
+                let mut rng = glibc_rand::GlibcRandom::new(1000 + t);
+                for _ in 0..5_000 {
+                    let k = rng.below(1000) as i64 + 1;
+                    if k % 10 != 0 {
+                        if rng.below(2) == 0 {
+                            h.add(k);
+                        } else {
+                            h.remove(k);
+                        }
+                    }
+                }
+            });
+        }
+        // Readers assert the permanent keys are always visible.
+        for t in 0..3 {
+            let list = &list;
+            s.spawn(move || {
+                let mut h = list.handle();
+                let mut rng = glibc_rand::GlibcRandom::new(2000 + t);
+                for _ in 0..5_000 {
+                    let k = (rng.below(100) as i64 + 1) * 10;
+                    assert!(h.contains(k), "permanent key {k} vanished");
+                }
+            });
+        }
+    });
+    let mut list = list;
+    list.check_invariants().unwrap();
+}
+
+#[test]
+fn hashset_under_concurrent_churn() {
+    use lockfree_hashmap::LockFreeHashSet;
+    use std::sync::atomic::{AtomicI64, Ordering};
+    let set: LockFreeHashSet<u64, DoublyCursorList<u64>> =
+        LockFreeHashSet::with_buckets_and_hasher(64, std::hash::RandomState::new());
+    let net = AtomicI64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let set = &set;
+            let net = &net;
+            s.spawn(move || {
+                let mut h = set.handle();
+                let mut rng = glibc_rand::GlibcRandom::new(glibc_rand::thread_seed(5, t));
+                let mut local = 0i64;
+                for _ in 0..4_000 {
+                    let v = rng.below(300) as u64;
+                    if rng.below(2) == 0 {
+                        if h.insert(v) {
+                            local += 1;
+                        }
+                    } else if h.remove(&v) {
+                        local -= 1;
+                    }
+                }
+                net.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+    let mut set = set;
+    set.check_invariants().unwrap();
+    assert_eq!(set.len() as i64, net.load(Ordering::Relaxed));
+}
