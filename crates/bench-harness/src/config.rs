@@ -1,9 +1,7 @@
 //! Workload configurations for the two benchmarks of §3.
 
-use serde::{Deserialize, Serialize};
-
 /// Key schedule of the deterministic benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KeyPattern {
     /// `k(i) = i` — every thread uses the same key sequence (maximum
     /// interaction; Tables 1, 4, 7).
@@ -32,7 +30,7 @@ impl KeyPattern {
 /// 3. ascending: `con(k(i))`
 ///
 /// for a total of `9·n` operations per thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeterministicConfig {
     /// Number of worker threads (the paper's `p`).
     pub threads: usize,
@@ -50,7 +48,7 @@ impl DeterministicConfig {
 }
 
 /// Operation mix in percent; must sum to 100.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpMix {
     /// Percentage of `add()` operations.
     pub add: u32,
@@ -85,7 +83,7 @@ impl OpMix {
 /// then each thread performs `ops_per_thread` operations drawn from
 /// [`OpMix`] on keys uniform in `[0, key_range)`, using a per-thread
 /// glibc `random_r` stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RandomMixConfig {
     /// Number of worker threads (`p`).
     pub threads: usize,
@@ -145,10 +143,7 @@ mod tests {
         };
         assert_eq!(cfg.total_ops(), 57_600_000);
         // Table 4: p=80 -> 72M ops.
-        let cfg = DeterministicConfig {
-            threads: 80,
-            ..cfg
-        };
+        let cfg = DeterministicConfig { threads: 80, ..cfg };
         assert_eq!(cfg.total_ops(), 72_000_000);
     }
 

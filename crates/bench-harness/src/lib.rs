@@ -7,10 +7,13 @@
 //!
 //! The drivers are generic over [`ConcurrentOrderedSet`], so all six
 //! paper variants (and the epoch-reclamation baseline) run through the
-//! same code path; [`variant::Variant`] provides the value-level dispatch
-//! used by the CLI. Results carry the paper's table columns — Time,
-//! Total ops, Throughput, adds, rems, cons, trav, fail, rtry — via
-//! [`result::RunResult`].
+//! same code path. A benchmark is one [`workload::Workload`] impl;
+//! [`variant::Variant::dispatch`] (driven by a [`variant::VariantVisitor`])
+//! is the single place where a runtime variant choice becomes a
+//! compile-time list type, so adding a workload or a variant never
+//! multiplies match arms. Results carry the paper's table columns —
+//! Time, Total ops, Throughput, adds, rems, cons, trav, fail, rtry —
+//! via [`result::RunResult`].
 //!
 //! OpenMP's role in the original (thread fork/join + wall-clock timing)
 //! is played by `std::thread::scope` plus a start barrier; each worker
@@ -32,8 +35,10 @@ pub mod report;
 pub mod result;
 pub mod scalability;
 pub mod variant;
+pub mod workload;
 
 pub use config::{DeterministicConfig, KeyPattern, OpMix, RandomMixConfig};
-pub use presets::{Experiment, Scale};
+pub use presets::{Experiment, Scale, WorkloadSpec};
 pub use result::RunResult;
-pub use variant::Variant;
+pub use variant::{Variant, VariantVisitor};
+pub use workload::{LatencySampled, Workload};

@@ -21,9 +21,10 @@ pub enum Scale {
     Container,
 }
 
-/// The workload behind an experiment.
+/// The parameterised workload behind an experiment (resolved to a
+/// [`crate::workload::Workload`] impl by the runner).
 #[derive(Debug, Clone)]
-pub enum Workload {
+pub enum WorkloadSpec {
     /// Deterministic worst-case benchmark.
     Deterministic(DeterministicConfig),
     /// Random operation-mix benchmark (single thread count).
@@ -49,22 +50,22 @@ pub struct Experiment {
     /// Variants included (SPARC tables exclude fetch-or).
     pub variants: Vec<Variant>,
     /// The workload at the requested scale.
-    pub workload: Workload,
+    pub workload: WorkloadSpec,
 }
 
 /// Default seed so reproductions are repeatable run-to-run.
 const SEED: u64 = 0x5eed_cafe;
 
-fn det(threads: usize, n: u64, pattern: KeyPattern) -> Workload {
-    Workload::Deterministic(DeterministicConfig {
+fn det(threads: usize, n: u64, pattern: KeyPattern) -> WorkloadSpec {
+    WorkloadSpec::Deterministic(DeterministicConfig {
         threads,
         n,
         pattern,
     })
 }
 
-fn mix(threads: usize, c: u64, f: u64, u: u32, mix: OpMix) -> Workload {
-    Workload::RandomMix(RandomMixConfig {
+fn mix(threads: usize, c: u64, f: u64, u: u32, mix: OpMix) -> WorkloadSpec {
+    WorkloadSpec::RandomMix(RandomMixConfig {
         threads,
         ops_per_thread: c,
         prefill: f,
@@ -74,8 +75,8 @@ fn mix(threads: usize, c: u64, f: u64, u: u32, mix: OpMix) -> Workload {
     })
 }
 
-fn sweep(threads: Vec<usize>, c: u64, f: u64, u: u32, repeats: usize) -> Workload {
-    Workload::Sweep {
+fn sweep(threads: Vec<usize>, c: u64, f: u64, u: u32, repeats: usize) -> WorkloadSpec {
+    WorkloadSpec::Sweep {
         base: RandomMixConfig {
             threads: 1,
             ops_per_thread: c,
@@ -230,13 +231,14 @@ impl Experiment {
             },
             "figure3" => Experiment {
                 id: "figure3",
-                description: "scalability, SPARC-T5 (8x SMT), mix 25/25/50, c=50000, f=16384, U=32768",
+                description:
+                    "scalability, SPARC-T5 (8x SMT), mix 25/25/50, c=50000, f=16384, U=32768",
                 variants: figs,
                 workload: if paper {
                     sweep(
                         vec![
-                            1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 80, 96, 128, 160, 192, 224,
-                            256, 384, 512,
+                            1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 80, 96, 128, 160, 192, 224, 256,
+                            384, 512,
                         ],
                         50_000,
                         16_384,
@@ -272,7 +274,7 @@ mod tests {
     fn paper_scale_matches_published_parameters() {
         let t1 = Experiment::get("table1", Scale::Paper).unwrap();
         match t1.workload {
-            Workload::Deterministic(c) => {
+            WorkloadSpec::Deterministic(c) => {
                 assert_eq!(c.threads, 64);
                 assert_eq!(c.n, 100_000);
                 assert_eq!(c.pattern, KeyPattern::SameKeys);
@@ -282,7 +284,7 @@ mod tests {
         }
         let t6 = Experiment::get("table6", Scale::Paper).unwrap();
         match t6.workload {
-            Workload::RandomMix(c) => {
+            WorkloadSpec::RandomMix(c) => {
                 assert_eq!(c.threads, 80);
                 assert_eq!(c.total_ops(), 80_000_000); // table 6's "Total ops"
                 assert_eq!(c.mix, OpMix::READ_HEAVY);
@@ -291,7 +293,11 @@ mod tests {
         }
         let f3 = Experiment::get("figure3", Scale::Paper).unwrap();
         match f3.workload {
-            Workload::Sweep { threads, repeats, base } => {
+            WorkloadSpec::Sweep {
+                threads,
+                repeats,
+                base,
+            } => {
                 assert_eq!(*threads.last().unwrap(), 512); // 8x SMT on 64 cores
                 assert_eq!(repeats, 5);
                 assert_eq!(base.prefill, 16_384);
@@ -316,7 +322,7 @@ mod tests {
         // elementary steps so the draconic variant finishes in seconds.
         for id in ["table1", "table2", "table4", "table5", "table7", "table8"] {
             let e = Experiment::get(id, Scale::Container).unwrap();
-            if let Workload::Deterministic(c) = e.workload {
+            if let WorkloadSpec::Deterministic(c) = e.workload {
                 let work = c.threads as u64 * c.n * c.n;
                 assert!(work <= 1_000_000_000, "{id}: {work}");
             } else {

@@ -49,8 +49,9 @@ pub fn format_table(title: &str, rows: &[RunResult]) -> String {
 
 /// Renders run results as CSV (one row per variant).
 pub fn results_csv(rows: &[RunResult]) -> String {
-    let mut s =
-        String::from("variant,threads,time_ms,total_ops,kops_per_sec,adds,rems,cons,trav,fail,rtry\n");
+    let mut s = String::from(
+        "variant,threads,time_ms,total_ops,kops_per_sec,adds,rems,cons,trav,fail,rtry\n",
+    );
     for r in rows {
         s.push_str(&format!(
             "{},{},{:.3},{},{:.3},{},{},{},{},{},{}\n",
@@ -147,7 +148,10 @@ mod tests {
 
     #[test]
     fn table_contains_all_columns_and_labels() {
-        let out = format_table("Table X", &[row("draconic", 100.0), row("doubly_cursor", 900.0)]);
+        let out = format_table(
+            "Table X",
+            &[row("draconic", 100.0), row("doubly_cursor", 900.0)],
+        );
         assert!(out.contains("Table X"));
         assert!(out.contains("a) draconic"));
         assert!(out.contains("f) doubly-cursor"));

@@ -1,11 +1,10 @@
 //! Benchmark result records carrying the paper's table columns.
 
 use pragmatic_list::OpStats;
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// One benchmark run: one row of a paper table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Variant label, e.g. `"doubly_cursor"`.
     pub variant: String,
@@ -15,7 +14,6 @@ pub struct RunResult {
     pub total_ops: u64,
     /// Aggregated operation counters (the adds/rems/cons/trav/fail/rtry
     /// columns).
-    #[serde(with = "opstats_serde")]
     pub stats: OpStats,
     /// Number of worker threads.
     pub threads: usize,
@@ -37,50 +35,9 @@ impl RunResult {
     }
 }
 
-/// `OpStats` lives in `pragmatic-list` without a serde dependency;
-/// serialize it as the six-column tuple.
-mod opstats_serde {
-    use pragmatic_list::OpStats;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    #[derive(Serialize, Deserialize)]
-    struct Columns {
-        adds: u64,
-        rems: u64,
-        cons: u64,
-        trav: u64,
-        fail: u64,
-        rtry: u64,
-    }
-
-    pub fn serialize<S: Serializer>(v: &OpStats, s: S) -> Result<S::Ok, S::Error> {
-        Columns {
-            adds: v.adds,
-            rems: v.rems,
-            cons: v.cons,
-            trav: v.trav,
-            fail: v.fail,
-            rtry: v.rtry,
-        }
-        .serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<OpStats, D::Error> {
-        let c = Columns::deserialize(d)?;
-        Ok(OpStats {
-            adds: c.adds,
-            rems: c.rems,
-            cons: c.cons,
-            trav: c.trav,
-            fail: c.fail,
-            rtry: c.rtry,
-        })
-    }
-}
-
 /// One point of a scalability series (Figures 1–3): mean throughput over
 /// `repeats` runs at a thread count.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScalePoint {
     /// Variant label.
     pub variant: String,

@@ -38,7 +38,7 @@ pub fn sweep(
                     seed: base.seed.wrapping_add(rep as u64),
                     ..cfg
                 };
-                samples.push(v.run_random_mix(&cfg).kops_per_sec());
+                samples.push(v.run(&cfg).kops_per_sec());
             }
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
             let point = ScalePoint {

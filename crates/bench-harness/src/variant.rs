@@ -1,19 +1,26 @@
 //! Value-level dispatch over the statically-typed list variants.
+//!
+//! [`Variant`] names the eight benchmarked implementations; the **only**
+//! place that matches over them is [`Variant::dispatch`], which
+//! monomorphizes a [`VariantVisitor`] for the chosen list type. Every
+//! workload — deterministic, random-mix, latency-sampled, and anything a
+//! future experiment adds — is written once against
+//! [`ConcurrentOrderedSet`] and reaches all eight variants through
+//! [`Variant::run`], with zero per-variant code.
+//!
+//! [`ConcurrentOrderedSet`]: pragmatic_list::ConcurrentOrderedSet
 
 use pragmatic_list::variants::{
     CursorOnlyList, DoublyBackptrList, DoublyCursorList, DraconicList, SinglyCursorList,
     SinglyFetchOrList, SinglyMildList,
 };
-use pragmatic_list::EpochList;
-use serde::{Deserialize, Serialize};
+use pragmatic_list::{ConcurrentOrderedSet, EpochList};
 
-use crate::config::{DeterministicConfig, RandomMixConfig};
-use crate::result::RunResult;
-use crate::{deterministic, random_mix};
+use crate::workload::Workload;
 
 /// The benchmarked list variants: the paper's a)–f) plus the two
 /// extensions of this reproduction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// a) textbook: restart from head on every failed CAS.
     Draconic,
@@ -33,7 +40,59 @@ pub enum Variant {
     Epoch,
 }
 
+/// A computation that is generic over the list implementation.
+///
+/// [`Variant::dispatch`] turns a runtime [`Variant`] value into the
+/// matching compile-time type parameter: implement `visit` once and the
+/// dispatcher monomorphizes it for all eight list types. This is the
+/// type-level counterpart of [`Workload`] — use `Workload` for
+/// benchmark-shaped code (it borrows `self` and composes with the
+/// drivers), and drop down to a visitor for everything else (building a
+/// list, probing type-level constants, consuming `self`).
+///
+/// # Examples
+///
+/// ```
+/// use bench_harness::{Variant, VariantVisitor};
+/// use pragmatic_list::{ConcurrentOrderedSet, SetHandle};
+///
+/// /// Builds a fresh list of the chosen variant and counts insertions.
+/// struct FillWith(Vec<i64>);
+///
+/// impl VariantVisitor for FillWith {
+///     type Output = u64;
+///     fn visit<S: ConcurrentOrderedSet<i64>>(self) -> u64 {
+///         let list = S::new();
+///         let mut h = list.handle();
+///         self.0.into_iter().filter(|&k| h.add(k)).count() as u64
+///     }
+/// }
+///
+/// for v in Variant::ALL {
+///     assert_eq!(v.dispatch(FillWith(vec![3, 1, 4, 1, 5])), 4);
+/// }
+/// ```
+pub trait VariantVisitor {
+    /// The result of the computation.
+    type Output;
+
+    /// Runs the computation with `S` bound to the chosen list type.
+    fn visit<S: ConcurrentOrderedSet<i64>>(self) -> Self::Output;
+}
+
 impl Variant {
+    /// All eight variants, in paper order a)–f) then the extensions.
+    pub const ALL: [Variant; 8] = [
+        Variant::Draconic,
+        Variant::Singly,
+        Variant::Doubly,
+        Variant::SinglyCursor,
+        Variant::SinglyFetchOr,
+        Variant::DoublyCursor,
+        Variant::CursorOnly,
+        Variant::Epoch,
+    ];
+
     /// The six variants of the paper, in table order a)–f).
     pub const PAPER: [Variant; 6] = [
         Variant::Draconic,
@@ -63,18 +122,50 @@ impl Variant {
         Variant::DoublyCursor,
     ];
 
+    /// Runs `visitor` with the list type this variant names.
+    ///
+    /// The single point where the value-level `Variant` becomes a
+    /// compile-time type parameter; every other piece of the harness is
+    /// written once against [`ConcurrentOrderedSet`].
+    pub fn dispatch<V: VariantVisitor>(self, visitor: V) -> V::Output {
+        match self {
+            Variant::Draconic => visitor.visit::<DraconicList<i64>>(),
+            Variant::Singly => visitor.visit::<SinglyMildList<i64>>(),
+            Variant::Doubly => visitor.visit::<DoublyBackptrList<i64>>(),
+            Variant::SinglyCursor => visitor.visit::<SinglyCursorList<i64>>(),
+            Variant::SinglyFetchOr => visitor.visit::<SinglyFetchOrList<i64>>(),
+            Variant::DoublyCursor => visitor.visit::<DoublyCursorList<i64>>(),
+            Variant::CursorOnly => visitor.visit::<CursorOnlyList<i64>>(),
+            Variant::Epoch => visitor.visit::<EpochList<i64>>(),
+        }
+    }
+
+    /// Runs a [`Workload`] on this variant.
+    ///
+    /// See the [`Workload`] docs for the one-trait-impl-per-workload
+    /// pattern; `v.run(&cfg)` replaces the old per-workload
+    /// `run_deterministic`/`run_random_mix`/`run_latency` methods.
+    pub fn run<W: Workload + ?Sized>(self, workload: &W) -> W::Output {
+        struct RunVisitor<'w, W: ?Sized>(&'w W);
+        impl<W: Workload + ?Sized> VariantVisitor for RunVisitor<'_, W> {
+            type Output = W::Output;
+            fn visit<S: ConcurrentOrderedSet<i64>>(self) -> W::Output {
+                self.0.run::<S>()
+            }
+        }
+        self.dispatch(RunVisitor(workload))
+    }
+
     /// Stable machine-readable name (matches `ConcurrentOrderedSet::NAME`).
     pub fn name(self) -> &'static str {
-        match self {
-            Variant::Draconic => "draconic",
-            Variant::Singly => "singly",
-            Variant::Doubly => "doubly",
-            Variant::SinglyCursor => "singly_cursor",
-            Variant::SinglyFetchOr => "singly_fetch_or",
-            Variant::DoublyCursor => "doubly_cursor",
-            Variant::CursorOnly => "cursor_only",
-            Variant::Epoch => "epoch",
+        struct Name;
+        impl VariantVisitor for Name {
+            type Output = &'static str;
+            fn visit<S: ConcurrentOrderedSet<i64>>(self) -> &'static str {
+                S::NAME
+            }
         }
+        self.dispatch(Name)
     }
 
     /// The paper's row label, e.g. `"a) draconic"`.
@@ -107,50 +198,16 @@ impl Variant {
         })
     }
 
-    /// Runs the deterministic benchmark on this variant.
-    pub fn run_deterministic(self, cfg: &DeterministicConfig) -> RunResult {
-        match self {
-            Variant::Draconic => deterministic::run::<DraconicList<i64>>(cfg),
-            Variant::Singly => deterministic::run::<SinglyMildList<i64>>(cfg),
-            Variant::Doubly => deterministic::run::<DoublyBackptrList<i64>>(cfg),
-            Variant::SinglyCursor => deterministic::run::<SinglyCursorList<i64>>(cfg),
-            Variant::SinglyFetchOr => deterministic::run::<SinglyFetchOrList<i64>>(cfg),
-            Variant::DoublyCursor => deterministic::run::<DoublyCursorList<i64>>(cfg),
-            Variant::CursorOnly => deterministic::run::<CursorOnlyList<i64>>(cfg),
-            Variant::Epoch => deterministic::run::<EpochList<i64>>(cfg),
-        }
-    }
-
-    /// Runs the latency-sampled random-mix benchmark on this variant.
-    pub fn run_latency(
-        self,
-        cfg: &RandomMixConfig,
-        sample_every: u64,
-    ) -> crate::latency::LatencyHistogram {
-        use crate::latency::run_sampled;
-        match self {
-            Variant::Draconic => run_sampled::<DraconicList<i64>>(cfg, sample_every),
-            Variant::Singly => run_sampled::<SinglyMildList<i64>>(cfg, sample_every),
-            Variant::Doubly => run_sampled::<DoublyBackptrList<i64>>(cfg, sample_every),
-            Variant::SinglyCursor => run_sampled::<SinglyCursorList<i64>>(cfg, sample_every),
-            Variant::SinglyFetchOr => run_sampled::<SinglyFetchOrList<i64>>(cfg, sample_every),
-            Variant::DoublyCursor => run_sampled::<DoublyCursorList<i64>>(cfg, sample_every),
-            Variant::CursorOnly => run_sampled::<CursorOnlyList<i64>>(cfg, sample_every),
-            Variant::Epoch => run_sampled::<EpochList<i64>>(cfg, sample_every),
-        }
-    }
-
-    /// Runs the random-mix benchmark on this variant.
-    pub fn run_random_mix(self, cfg: &RandomMixConfig) -> RunResult {
-        match self {
-            Variant::Draconic => random_mix::run::<DraconicList<i64>>(cfg),
-            Variant::Singly => random_mix::run::<SinglyMildList<i64>>(cfg),
-            Variant::Doubly => random_mix::run::<DoublyBackptrList<i64>>(cfg),
-            Variant::SinglyCursor => random_mix::run::<SinglyCursorList<i64>>(cfg),
-            Variant::SinglyFetchOr => random_mix::run::<SinglyFetchOrList<i64>>(cfg),
-            Variant::DoublyCursor => random_mix::run::<DoublyCursorList<i64>>(cfg),
-            Variant::CursorOnly => random_mix::run::<CursorOnlyList<i64>>(cfg),
-            Variant::Epoch => random_mix::run::<EpochList<i64>>(cfg),
+    /// Parses a CLI token that may name either a single variant or a
+    /// group: `"all"`, `"paper"`, `"sparc"`, `"figures"` (so
+    /// `repro --variants paper` works).
+    pub fn parse_group(s: &str) -> Option<Vec<Variant>> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "all" => Some(Variant::ALL.to_vec()),
+            "paper" => Some(Variant::PAPER.to_vec()),
+            "sparc" => Some(Variant::SPARC.to_vec()),
+            "figures" | "figs" => Some(Variant::FIGURES.to_vec()),
+            _ => Variant::parse(s).map(|v| vec![v]),
         }
     }
 }
@@ -164,19 +221,12 @@ impl std::fmt::Display for Variant {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{DeterministicConfig, KeyPattern};
+    use pragmatic_list::SetHandle;
 
     #[test]
     fn parse_round_trips_names() {
-        for v in [
-            Variant::Draconic,
-            Variant::Singly,
-            Variant::Doubly,
-            Variant::SinglyCursor,
-            Variant::SinglyFetchOr,
-            Variant::DoublyCursor,
-            Variant::CursorOnly,
-            Variant::Epoch,
-        ] {
+        for v in Variant::ALL {
             assert_eq!(Variant::parse(v.name()), Some(v));
         }
         assert_eq!(Variant::parse("DOUBLY-CURSOR"), Some(Variant::DoublyCursor));
@@ -185,7 +235,30 @@ mod tests {
     }
 
     #[test]
+    fn parse_group_accepts_group_names_and_singletons() {
+        assert_eq!(Variant::parse_group("all").unwrap(), Variant::ALL.to_vec());
+        assert_eq!(
+            Variant::parse_group("PAPER").unwrap(),
+            Variant::PAPER.to_vec()
+        );
+        assert_eq!(
+            Variant::parse_group("sparc").unwrap(),
+            Variant::SPARC.to_vec()
+        );
+        assert_eq!(
+            Variant::parse_group("figures").unwrap(),
+            Variant::FIGURES.to_vec()
+        );
+        assert_eq!(
+            Variant::parse_group("f").unwrap(),
+            vec![Variant::DoublyCursor]
+        );
+        assert_eq!(Variant::parse_group("bogus"), None);
+    }
+
+    #[test]
     fn paper_sets_have_expected_sizes() {
+        assert_eq!(Variant::ALL.len(), 8);
         assert_eq!(Variant::PAPER.len(), 6);
         assert_eq!(Variant::SPARC.len(), 5);
         assert!(!Variant::SPARC.contains(&Variant::SinglyFetchOr));
@@ -196,22 +269,39 @@ mod tests {
         let cfg = DeterministicConfig {
             threads: 1,
             n: 50,
-            pattern: crate::config::KeyPattern::SameKeys,
+            pattern: KeyPattern::SameKeys,
         };
-        for v in [
-            Variant::Draconic,
-            Variant::Singly,
-            Variant::Doubly,
-            Variant::SinglyCursor,
-            Variant::SinglyFetchOr,
-            Variant::DoublyCursor,
-            Variant::CursorOnly,
-            Variant::Epoch,
-        ] {
-            let r = v.run_deterministic(&cfg);
+        for v in Variant::ALL {
+            let r = v.run(&cfg);
             assert_eq!(r.variant, v.name(), "NAME consistency for {v:?}");
             assert_eq!(r.stats.adds, 50);
             assert_eq!(r.stats.rems, 50);
+        }
+    }
+
+    #[test]
+    fn custom_visitor_needs_no_per_variant_code() {
+        // A brand-new computation over the set types: written once,
+        // dispatched to all eight variants.
+        struct NetInsertions;
+        impl VariantVisitor for NetInsertions {
+            type Output = usize;
+            fn visit<S: ConcurrentOrderedSet<i64>>(self) -> usize {
+                let mut list = S::new();
+                {
+                    let mut h = list.handle();
+                    for k in 1..=20 {
+                        h.add(k);
+                    }
+                    for k in (1..=20).step_by(2) {
+                        h.remove(k);
+                    }
+                }
+                list.collect_keys().len()
+            }
+        }
+        for v in Variant::ALL {
+            assert_eq!(v.dispatch(NetInsertions), 10, "{v}");
         }
     }
 }

@@ -17,7 +17,7 @@ fn single_thread_deterministic_counts_are_exact() {
         pattern: KeyPattern::SameKeys,
     };
     for v in Variant::PAPER {
-        let r = v.run_deterministic(&cfg);
+        let r = v.run(&cfg);
         assert_eq!(r.total_ops, 9 * n, "{v}");
         // Pass 1: first add of each i succeeds, second fails -> n adds.
         // Pass 2: first rem succeeds, second fails -> n rems.
@@ -38,7 +38,7 @@ fn draconic_single_thread_traversals_closed_form() {
         n,
         pattern: KeyPattern::SameKeys,
     };
-    let r = Variant::Draconic.run_deterministic(&cfg);
+    let r = Variant::Draconic.run(&cfg);
     // Derivation. con() counts one step per `curr` advance starting at
     // the head sentinel; the search counts one step per advance starting
     // at the head's successor.
@@ -74,9 +74,13 @@ fn random_mix_draws_are_variant_independent() {
         mix: OpMix::READ_HEAVY,
         seed: 1234,
     };
-    let reference = Variant::Draconic.run_random_mix(&cfg);
-    for v in [Variant::Singly, Variant::SinglyCursor, Variant::DoublyCursor] {
-        let r = v.run_random_mix(&cfg);
+    let reference = Variant::Draconic.run(&cfg);
+    for v in [
+        Variant::Singly,
+        Variant::SinglyCursor,
+        Variant::DoublyCursor,
+    ] {
+        let r = v.run(&cfg);
         // Successful add/rem counts depend only on the op/key sequence
         // (single winner per state transition), which is fixed by the
         // seeds — identical across variants even under concurrency?
@@ -84,11 +88,8 @@ fn random_mix_draws_are_variant_independent() {
         assert_eq!(r.total_ops, reference.total_ops, "{v}");
     }
     // With one thread it is fully deterministic and equal across variants.
-    let cfg1 = RandomMixConfig {
-        threads: 1,
-        ..cfg
-    };
-    let ref1 = Variant::Draconic.run_random_mix(&cfg1);
+    let cfg1 = RandomMixConfig { threads: 1, ..cfg };
+    let ref1 = Variant::Draconic.run(&cfg1);
     for v in [
         Variant::Singly,
         Variant::Doubly,
@@ -97,7 +98,7 @@ fn random_mix_draws_are_variant_independent() {
         Variant::DoublyCursor,
         Variant::Epoch,
     ] {
-        let r = v.run_random_mix(&cfg1);
+        let r = v.run(&cfg1);
         assert_eq!(r.stats.adds, ref1.stats.adds, "{v}: same successful adds");
         assert_eq!(r.stats.rems, ref1.stats.rems, "{v}: same successful rems");
     }
@@ -119,7 +120,7 @@ fn prefill_is_exact() {
         },
         seed: 9,
     };
-    let r = Variant::SinglyCursor.run_random_mix(&cfg);
+    let r = Variant::SinglyCursor.run(&cfg);
     assert_eq!(r.stats.adds, 0);
     assert_eq!(r.stats.rems, 0);
     // Live size equals the prefill — verified through the accounting
@@ -139,7 +140,10 @@ fn latency_sampling_counts() {
         mix: OpMix::UPDATE_HEAVY,
         seed: 77,
     };
-    let h = Variant::DoublyCursor.run_latency(&cfg, 100);
+    let h = Variant::DoublyCursor.run(&bench_harness::LatencySampled {
+        cfg,
+        sample_every: 100,
+    });
     // ceil(999/100) = 10 samples per thread.
     assert_eq!(h.count(), 3 * 10);
 }

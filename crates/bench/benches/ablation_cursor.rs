@@ -30,9 +30,7 @@ fn bench(c: &mut Criterion) {
         Variant::Doubly,
         Variant::DoublyCursor,
     ] {
-        g.bench_function(v.name(), |b| {
-            b.iter(|| std::hint::black_box(v.run_deterministic(&cfg)))
-        });
+        g.bench_function(v.name(), |b| b.iter(|| std::hint::black_box(v.run(&cfg))));
     }
     g.finish();
 }

@@ -29,9 +29,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(criterion::Throughput::Elements(cfg.total_ops()));
     for v in [Variant::SinglyCursor, Variant::SinglyFetchOr] {
-        g.bench_function(v.name(), |b| {
-            b.iter(|| std::hint::black_box(v.run_random_mix(&cfg)))
-        });
+        g.bench_function(v.name(), |b| b.iter(|| std::hint::black_box(v.run(&cfg))));
     }
     g.finish();
 }

@@ -17,9 +17,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_det_same_keys");
     g.sample_size(10);
     for v in Variant::PAPER {
-        g.bench_function(v.name(), |b| {
-            b.iter(|| std::hint::black_box(v.run_deterministic(&cfg)))
-        });
+        g.bench_function(v.name(), |b| b.iter(|| std::hint::black_box(v.run(&cfg))));
     }
     g.finish();
 }

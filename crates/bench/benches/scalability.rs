@@ -24,11 +24,9 @@ fn bench(c: &mut Criterion) {
         for threads in [1usize, 2, 4, 8] {
             let cfg = RandomMixConfig { threads, ..base };
             g.throughput(criterion::Throughput::Elements(cfg.total_ops()));
-            g.bench_with_input(
-                BenchmarkId::new(v.name(), threads),
-                &cfg,
-                |b, cfg| b.iter(|| std::hint::black_box(v.run_random_mix(cfg))),
-            );
+            g.bench_with_input(BenchmarkId::new(v.name(), threads), &cfg, |b, cfg| {
+                b.iter(|| std::hint::black_box(v.run(cfg)))
+            });
         }
     }
     g.finish();

@@ -23,9 +23,9 @@
 
 use std::process::ExitCode;
 
-use bench_harness::presets::{Experiment, Scale, Workload};
+use bench_harness::presets::{Experiment, Scale, WorkloadSpec};
 use bench_harness::report;
-use bench_harness::{scalability, Variant};
+use bench_harness::{scalability, LatencySampled, Variant};
 
 struct Options {
     scale: Scale,
@@ -94,12 +94,21 @@ fn main() -> ExitCode {
                     eprintln!("--variants needs a comma-separated list");
                     return ExitCode::FAILURE;
                 };
-                let mut vs = Vec::new();
+                let mut vs: Vec<Variant> = Vec::new();
                 for part in list.split(',') {
-                    match Variant::parse(part) {
-                        Some(v) => vs.push(v),
+                    match Variant::parse_group(part) {
+                        // Order-preserving dedup: overlapping tokens
+                        // (e.g. `paper,doubly_cursor`) must not run a
+                        // variant twice.
+                        Some(group) => {
+                            for v in group {
+                                if !vs.contains(&v) {
+                                    vs.push(v);
+                                }
+                            }
+                        }
                         None => {
-                            eprintln!("unknown variant: {part}");
+                            eprintln!("unknown variant or group: {part}");
                             return ExitCode::FAILURE;
                         }
                     }
@@ -170,8 +179,12 @@ fn run_latency(rest: &[String]) -> ExitCode {
         "{:<20} {:>10} {:>10} {:>10} {:>10} {:>12}",
         "Variant", "p50", "p90", "p99", "p99.9", "max"
     );
+    let workload = LatencySampled {
+        cfg,
+        sample_every: 16,
+    };
     for v in Variant::PAPER.into_iter().chain([Variant::Epoch]) {
-        let h = v.run_latency(&cfg, 16);
+        let h = v.run(&workload);
         let (p50, p90, p99, p999, max) = h.summary();
         println!(
             "{:<20} {:>10} {:>10} {:>10} {:>10} {:>12}",
@@ -203,7 +216,7 @@ fn run_experiment(exp: Experiment, opt: &Options) {
     let variants = opt.variants.clone().unwrap_or_else(|| exp.variants.clone());
     println!("== {} — {}", exp.id, exp.description);
     match exp.workload {
-        Workload::Deterministic(mut cfg) => {
+        WorkloadSpec::Deterministic(mut cfg) => {
             if let Some(t) = opt.threads {
                 cfg.threads = t;
             }
@@ -219,7 +232,7 @@ fn run_experiment(exp: Experiment, opt: &Options) {
             );
             let mut rows = Vec::new();
             for v in variants {
-                let r = v.run_deterministic(&cfg);
+                let r = v.run(&cfg);
                 println!(
                     "   {:<20} {:>10.1} ms  {:>12.1} Kops/s",
                     v.paper_label(),
@@ -240,7 +253,7 @@ fn run_experiment(exp: Experiment, opt: &Options) {
             }
             append_csv(opt, &report::results_csv(&rows));
         }
-        Workload::RandomMix(mut cfg) => {
+        WorkloadSpec::RandomMix(mut cfg) => {
             if let Some(t) = opt.threads {
                 cfg.threads = t;
             }
@@ -265,7 +278,7 @@ fn run_experiment(exp: Experiment, opt: &Options) {
             );
             let mut rows = Vec::new();
             for v in variants {
-                let r = v.run_random_mix(&cfg);
+                let r = v.run(&cfg);
                 println!(
                     "   {:<20} {:>10.1} ms  {:>12.1} Kops/s",
                     v.paper_label(),
@@ -277,7 +290,7 @@ fn run_experiment(exp: Experiment, opt: &Options) {
             println!("\n{}", report::format_table(exp.id, &rows));
             append_csv(opt, &report::results_csv(&rows));
         }
-        Workload::Sweep {
+        WorkloadSpec::Sweep {
             mut base,
             threads,
             repeats,

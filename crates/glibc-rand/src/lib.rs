@@ -424,11 +424,26 @@ mod family_tests {
     fn state_size_mapping_matches_glibc() {
         assert_eq!(GeneratorType::for_state_size(7), None);
         assert_eq!(GeneratorType::for_state_size(8), Some(GeneratorType::Type0));
-        assert_eq!(GeneratorType::for_state_size(32), Some(GeneratorType::Type1));
-        assert_eq!(GeneratorType::for_state_size(64), Some(GeneratorType::Type2));
-        assert_eq!(GeneratorType::for_state_size(128), Some(GeneratorType::Type3));
-        assert_eq!(GeneratorType::for_state_size(256), Some(GeneratorType::Type4));
-        assert_eq!(GeneratorType::for_state_size(512), Some(GeneratorType::Type4));
+        assert_eq!(
+            GeneratorType::for_state_size(32),
+            Some(GeneratorType::Type1)
+        );
+        assert_eq!(
+            GeneratorType::for_state_size(64),
+            Some(GeneratorType::Type2)
+        );
+        assert_eq!(
+            GeneratorType::for_state_size(128),
+            Some(GeneratorType::Type3)
+        );
+        assert_eq!(
+            GeneratorType::for_state_size(256),
+            Some(GeneratorType::Type4)
+        );
+        assert_eq!(
+            GeneratorType::for_state_size(512),
+            Some(GeneratorType::Type4)
+        );
     }
 
     #[test]

@@ -162,14 +162,17 @@ impl CheckOutcome {
 pub fn check(history: &History) -> CheckOutcome {
     let mut per_key: HashMap<i64, Vec<Operation>> = HashMap::new();
     for op in &history.ops {
-        per_key.entry(op.key).or_default().push(op.clone());
+        per_key.entry(op.key).or_default().push(*op);
     }
     let mut keys: Vec<i64> = per_key.keys().copied().collect();
     keys.sort_unstable();
     for key in keys {
         let ops = &per_key[&key];
         if ops.len() > 64 {
-            return CheckOutcome::TooLarge { key, ops: ops.len() };
+            return CheckOutcome::TooLarge {
+                key,
+                ops: ops.len(),
+            };
         }
         let init = history.initially_present.contains(&key);
         if !key_linearizable(ops, init) {
@@ -243,7 +246,7 @@ fn presence(ops: &[Operation], mask: u64, initially_present: bool) -> bool {
 /// Is `op`'s recorded result legal when the key's presence is `present`?
 fn legal(op: &Operation, present: bool) -> bool {
     match op.kind {
-        OpKind::Add => op.result == !present,
+        OpKind::Add => op.result != present,
         OpKind::Remove | OpKind::Contains => op.result == present,
     }
 }
@@ -273,7 +276,7 @@ pub struct DetailedOutcome {
 pub fn check_detailed(history: &History) -> DetailedOutcome {
     let mut per_key: HashMap<i64, Vec<(usize, Operation)>> = HashMap::new();
     for (i, op) in history.ops.iter().enumerate() {
-        per_key.entry(op.key).or_default().push((i, op.clone()));
+        per_key.entry(op.key).or_default().push((i, *op));
     }
     let mut keys: Vec<i64> = per_key.keys().copied().collect();
     keys.sort_unstable();
@@ -281,10 +284,13 @@ pub fn check_detailed(history: &History) -> DetailedOutcome {
     let mut states = 0usize;
     for key in keys {
         let indexed = &per_key[&key];
-        let ops: Vec<Operation> = indexed.iter().map(|(_, o)| o.clone()).collect();
+        let ops: Vec<Operation> = indexed.iter().map(|(_, o)| *o).collect();
         if ops.len() > 64 {
             return DetailedOutcome {
-                outcome: CheckOutcome::TooLarge { key, ops: ops.len() },
+                outcome: CheckOutcome::TooLarge {
+                    key,
+                    ops: ops.len(),
+                },
                 witnesses: std::collections::HashMap::new(),
                 states_explored: states,
             };
@@ -506,7 +512,7 @@ mod tests {
     fn failed_operations_respect_state() {
         let h = History::new(vec![
             op(OpKind::Add, 3, true, 0, 1),
-            op(OpKind::Add, 3, false, 2, 3),    // duplicate
+            op(OpKind::Add, 3, false, 2, 3), // duplicate
             op(OpKind::Remove, 3, true, 4, 5),
             op(OpKind::Remove, 3, false, 6, 7), // already gone
         ]);
@@ -532,7 +538,10 @@ mod tests {
         assert!(check(&h).is_linearizable());
 
         let h2 = History::new(vec![op(OpKind::Remove, 9, true, 0, 1)]);
-        assert!(!check(&h2).is_linearizable(), "no prefill: remove must fail");
+        assert!(
+            !check(&h2).is_linearizable(),
+            "no prefill: remove must fail"
+        );
     }
 
     #[test]
@@ -628,7 +637,14 @@ mod witness_tests {
     use super::*;
 
     fn op(kind: OpKind, key: i64, result: bool, invoke: u64, response: u64) -> Operation {
-        Operation { kind, key, result, invoke, response, thread: 0 }
+        Operation {
+            kind,
+            key,
+            result,
+            invoke,
+            response,
+            thread: 0,
+        }
     }
 
     /// Replays a witness sequentially and asserts every step is legal.
@@ -641,11 +657,15 @@ mod witness_tests {
                 match o.kind {
                     OpKind::Add => {
                         assert_eq!(o.result, !present, "witness illegal at op {i}");
-                        if o.result { present = true; }
+                        if o.result {
+                            present = true;
+                        }
                     }
                     OpKind::Remove => {
                         assert_eq!(o.result, present, "witness illegal at op {i}");
-                        if o.result { present = false; }
+                        if o.result {
+                            present = false;
+                        }
                     }
                     OpKind::Contains => assert_eq!(o.result, present, "witness illegal at op {i}"),
                 }
@@ -653,7 +673,7 @@ mod witness_tests {
         }
         // Pairwise real-time: if a responded before b invoked, a must
         // precede b in the witness.
-        for (_, order) in witnesses {
+        for order in witnesses.values() {
             for (x, &a) in order.iter().enumerate() {
                 for &b in &order[x + 1..] {
                     let (oa, ob) = (&h.operations()[a], &h.operations()[b]);
@@ -752,7 +772,14 @@ mod witness_tests {
                 let invoke = t.saturating_sub(1);
                 let response = t + 2;
                 t += 2;
-                ops.push(Operation { kind, key, result, invoke, response, thread: 0 });
+                ops.push(Operation {
+                    kind,
+                    key,
+                    result,
+                    invoke,
+                    response,
+                    thread: 0,
+                });
             }
             let d = check_detailed(&History::new(ops));
             assert!(d.outcome.is_linearizable(), "round {round}");

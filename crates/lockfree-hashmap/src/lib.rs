@@ -20,10 +20,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use std::hash::{BuildHasher, Hash, Hasher, RandomState};
+use std::hash::{BuildHasher, Hash, RandomState};
 
 use pragmatic_list::variants::SinglyCursorList;
-use pragmatic_list::{ConcurrentOrderedSet, OpStats, SetHandle};
+use pragmatic_list::{ConcurrentOrderedSet, OpStats, OrderedHandle, SetHandle, Snapshot};
 
 /// A lock-free hash set over bucketed pragmatic lists.
 ///
@@ -104,9 +104,7 @@ where
     /// strictly inside `(0, u64::MAX)` — the bucket list's reserved
     /// sentinel values can never collide with a real element.
     fn hash_of(&self, value: &T) -> u64 {
-        let mut h = self.hasher.build_hasher();
-        value.hash(&mut h);
-        (h.finish() >> 1) | 1
+        (self.hasher.hash_one(value) >> 1) | 1
     }
 
     #[inline]
@@ -116,7 +114,10 @@ where
 
     /// Total elements, counted quiescently (requires `&mut`).
     pub fn len(&mut self) -> usize {
-        self.buckets.iter_mut().map(|b| b.collect_keys().len()).sum()
+        self.buckets
+            .iter_mut()
+            .map(|b| b.collect_keys().len())
+            .sum()
     }
 
     /// `true` iff no elements (quiescent).
@@ -180,6 +181,39 @@ where
     /// Aggregated operation counters across this thread's bucket handles.
     pub fn stats(&self) -> OpStats {
         self.handles.iter().map(|h| h.stats()).sum()
+    }
+}
+
+/// Live reads over the whole table, available whenever the bucket list's
+/// handle implements [`OrderedHandle`] (all variants in
+/// `pragmatic_list::variants` do). Unlike [`LockFreeHashSet::len`],
+/// these run on `&self` buckets while other threads mutate — the same
+/// weakly consistent contract as the list scans
+/// (see `pragmatic_list::ordered`).
+impl<'s, T, S, B> HashSetHandle<'s, T, S, B>
+where
+    T: Hash,
+    S: ConcurrentOrderedSet<u64>,
+    B: BuildHasher,
+    S::Handle<'s>: OrderedHandle<u64>,
+{
+    /// Estimated number of elements: the sum of the racy per-bucket
+    /// counts (exact when quiescent).
+    pub fn len_estimate(&mut self) -> usize {
+        self.handles.iter_mut().map(|h| h.len_estimate()).sum()
+    }
+
+    /// Snapshot of the 63-bit element hashes currently in the table,
+    /// sorted (weakly consistent; hashes, not the original values — the
+    /// table stores only hashes, like Michael's original).
+    pub fn hash_snapshot(&mut self) -> Snapshot<u64> {
+        let mut all: Vec<u64> = self
+            .handles
+            .iter_mut()
+            .flat_map(|h| h.iter().into_vec())
+            .collect();
+        all.sort_unstable();
+        Snapshot::from_vec(all)
     }
 }
 
@@ -281,7 +315,9 @@ mod tests {
         let mut oracle = HashSet::new();
         let mut x = 5555u64;
         for _ in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 33) % 200;
             match x % 3 {
                 0 => assert_eq!(h.insert(v), oracle.insert(v)),

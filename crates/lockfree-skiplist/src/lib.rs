@@ -36,6 +36,7 @@ use std::sync::atomic::Ordering::{AcqRel, Acquire};
 use glibc_rand::GlibcRandom;
 use pragmatic_list::arena::{LocalArena, Registry};
 use pragmatic_list::marked::{MarkedAtomic, MarkedPtr};
+use pragmatic_list::ordered::{OrderedHandle, ScanBounds, Snapshot};
 use pragmatic_list::set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
 use pragmatic_list::{Key, OpStats};
 
@@ -198,7 +199,11 @@ impl<K: Key, const MILD: bool> ConcurrentOrderedSet<K> for SkipList<K, MILD> {
     where
         Self: 'a;
 
-    const NAME: &'static str = if MILD { "skiplist_mild" } else { "skiplist_draconic" };
+    const NAME: &'static str = if MILD {
+        "skiplist_mild"
+    } else {
+        "skiplist_draconic"
+    };
 
     fn new() -> Self {
         let tail = Box::into_raw(Box::new(SkipNode {
@@ -369,12 +374,7 @@ impl<'l, K: Key, const MILD: bool> SkipListHandle<'l, K, MILD> {
                         }
                         if cur.ptr() != succ
                             && (&(*node).levels)[level]
-                                .compare_exchange(
-                                    cur,
-                                    MarkedPtr::unmarked(succ),
-                                    AcqRel,
-                                    Acquire,
-                                )
+                                .compare_exchange(cur, MarkedPtr::unmarked(succ), AcqRel, Acquire)
                                 .is_err()
                         {
                             break 'levels; // concurrently marked
@@ -511,6 +511,60 @@ impl<'l, K: Key, const MILD: bool> SetHandle<K> for SkipListHandle<'l, K, MILD> 
     }
 }
 
+impl<'l, K: Key, const MILD: bool> OrderedHandle<K> for SkipListHandle<'l, K, MILD> {
+    fn range<R: std::ops::RangeBounds<K>>(&mut self, range: R) -> Snapshot<K> {
+        let bounds = ScanBounds::from_range(&range);
+        let mut out = Vec::new();
+        // SAFETY: arena-stable nodes; wait-free read-only traversal.
+        unsafe {
+            let tail = self.list.tail;
+            // Tower descent to the last node strictly below the window
+            // start — this is where the skiplist earns its keep over the
+            // flat lists' O(n) walk to the window.
+            let mut pred = self.list.head;
+            if let Some(seek) = bounds.seek_key() {
+                for level in (0..MAX_LEVEL).rev() {
+                    let mut curr = (&(*pred).levels)[level].load(Acquire).ptr();
+                    while curr != tail && (*curr).key < seek {
+                        pred = curr;
+                        curr = (&(*curr).levels)[level].load(Acquire).ptr();
+                    }
+                }
+            }
+            // Bottom-level walk across the window (keys strictly
+            // increase along level 0).
+            pragmatic_list::ordered::scan_chain(
+                &bounds,
+                (&(*pred).levels)[0].load(Acquire).ptr(),
+                tail,
+                |p| {
+                    let succ = (&(*p).levels)[0].load(Acquire);
+                    ((*p).key, !succ.is_marked(), succ.ptr())
+                },
+                |_, key| out.push(key),
+            );
+        }
+        Snapshot::from_vec(out)
+    }
+
+    fn len_estimate(&mut self) -> usize {
+        // Racy bottom-level count (exact when quiescent).
+        let mut n = 0;
+        // SAFETY: arena-stable nodes.
+        unsafe {
+            let tail = self.list.tail;
+            let mut curr = (&(*self.list.head).levels)[0].load(Acquire).ptr();
+            while curr != tail {
+                if !(&(*curr).levels)[0].load(Acquire).is_marked() {
+                    n += 1;
+                }
+                curr = (&(*curr).levels)[0].load(Acquire).ptr();
+            }
+        }
+        n
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -565,7 +619,10 @@ mod tests {
         let cons = h.stats().cons;
         // 5 lookups in a 20k-element skiplist: roughly 5 * (log2(20k) + levels)
         // traversal steps; generous bound to stay robust to tower luck.
-        assert!(cons < 5 * 200, "skiplist contains should be logarithmic, cons={cons}");
+        assert!(
+            cons < 5 * 200,
+            "skiplist contains should be logarithmic, cons={cons}"
+        );
     }
 
     #[test]
@@ -577,8 +634,16 @@ mod tests {
             counts[h.random_height()] += 1;
         }
         assert_eq!(counts[0], 0, "heights start at 1");
-        assert!(counts[1] > 4_000 && counts[1] < 6_000, "P(h=1)≈1/2: {}", counts[1]);
-        assert!(counts[2] > 1_900 && counts[2] < 3_100, "P(h=2)≈1/4: {}", counts[2]);
+        assert!(
+            counts[1] > 4_000 && counts[1] < 6_000,
+            "P(h=1)≈1/2: {}",
+            counts[1]
+        );
+        assert!(
+            counts[2] > 1_900 && counts[2] < 3_100,
+            "P(h=2)≈1/4: {}",
+            counts[2]
+        );
     }
 
     #[test]
@@ -684,8 +749,14 @@ mod tests {
         // the textbook one (which restarts on every unlink failure).
         let mild = run::<SkipListSet<i64>>();
         let drac = run::<DraconicSkipList<i64>>();
-        assert!(mild.rtry <= mild.fail, "restart implies a failed CAS: {mild:?}");
-        assert!(drac.rtry <= drac.fail, "restart implies a failed CAS: {drac:?}");
+        assert!(
+            mild.rtry <= mild.fail,
+            "restart implies a failed CAS: {mild:?}"
+        );
+        assert!(
+            drac.rtry <= drac.fail,
+            "restart implies a failed CAS: {drac:?}"
+        );
     }
 
     #[test]

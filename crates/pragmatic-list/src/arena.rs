@@ -18,13 +18,14 @@
 //!
 //! The cost model also matches the paper: per allocation, one push onto an
 //! unsynchronised thread-local `Vec`; no shared-memory traffic on the hot
-//! path (the registry mutex is touched only at handle drop).
+//! path (the registry mutex — std's, it is only touched at handle drop —
+//! never appears on the operation path).
 //!
 //! The crate's `epoch_list` module implements the alternative the paper
 //! leaves open — real reclamation via crossbeam-epoch — and the `A2`
 //! ablation bench quantifies the difference.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Shared registry of every node ever allocated for one list.
 ///
@@ -51,13 +52,18 @@ impl<T> Registry<T> {
         if local.is_empty() {
             return;
         }
-        let mut g = self.retired.lock();
+        let mut g = self.retired.lock().unwrap();
         g.append(local);
     }
 
     /// Number of registered nodes (test/diagnostic use).
     pub fn len(&self) -> usize {
-        self.retired.lock().len()
+        self.retired.lock().unwrap().len()
+    }
+
+    /// `true` iff no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Frees every registered node.
@@ -69,7 +75,7 @@ impl<T> Registry<T> {
     /// from `Box::into_raw` and is freed exactly once — both are upheld by
     /// the list `Drop` impls, the only callers.
     pub unsafe fn free_all(&mut self) {
-        let mut g = self.retired.lock();
+        let mut g = self.retired.lock().unwrap();
         for &p in g.iter() {
             drop(unsafe { Box::from_raw(p) });
         }
@@ -86,6 +92,12 @@ impl<T> Default for Registry<T> {
 /// Per-handle allocation log. Pushing is unsynchronised and O(1) amortised.
 pub struct LocalArena<T> {
     nodes: Vec<*mut T>,
+}
+
+impl<T> Default for LocalArena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<T> LocalArena<T> {
@@ -110,6 +122,12 @@ impl<T> LocalArena<T> {
     #[cfg(test)]
     pub fn len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// `true` iff nothing is recorded (test support).
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
     }
 }
 

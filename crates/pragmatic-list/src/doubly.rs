@@ -38,11 +38,12 @@
 //! backwards pointers and cursors safe to chase.
 
 use std::marker::PhantomData;
-use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
 use std::sync::atomic::AtomicPtr;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
 
 use crate::arena::{LocalArena, Registry};
 use crate::marked::{MarkedAtomic, MarkedPtr};
+use crate::ordered::{OrderedHandle, ScanBounds, Snapshot};
 use crate::set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
 use crate::stats::OpStats;
 use crate::Key;
@@ -185,7 +186,9 @@ impl<K: Key, const CURSOR: bool, const REPAIR: bool> Drop for DoublyList<K, CURS
     }
 }
 
-impl<K: Key, const CURSOR: bool, const REPAIR: bool> ConcurrentOrderedSet<K> for DoublyList<K, CURSOR, REPAIR> {
+impl<K: Key, const CURSOR: bool, const REPAIR: bool> ConcurrentOrderedSet<K>
+    for DoublyList<K, CURSOR, REPAIR>
+{
     type Handle<'a>
         = DoublyHandle<'a, K, CURSOR, REPAIR>
     where
@@ -256,7 +259,9 @@ pub struct DoublyHandle<'l, K: Key, const CURSOR: bool, const REPAIR: bool = tru
     _not_sync: PhantomData<std::cell::Cell<()>>,
 }
 
-impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> Drop for DoublyHandle<'l, K, CURSOR, REPAIR> {
+impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> Drop
+    for DoublyHandle<'l, K, CURSOR, REPAIR>
+{
     fn drop(&mut self) {
         self.arena.flush_into(&self.list.registry);
     }
@@ -465,7 +470,9 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> DoublyHandle<'l, K, CUR
     }
 }
 
-impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> SetHandle<K> for DoublyHandle<'l, K, CURSOR, REPAIR> {
+impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> SetHandle<K>
+    for DoublyHandle<'l, K, CURSOR, REPAIR>
+{
     #[inline]
     fn add(&mut self, key: K) -> bool {
         self.add_impl(key)
@@ -490,10 +497,38 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> SetHandle<K> for Doubly
     }
 }
 
+impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> OrderedHandle<K>
+    for DoublyHandle<'l, K, CURSOR, REPAIR>
+{
+    fn range<R: std::ops::RangeBounds<K>>(&mut self, range: R) -> Snapshot<K> {
+        let bounds = ScanBounds::from_range(&range);
+        let mut out = Vec::new();
+        // SAFETY: arena-stable nodes; wait-free forward traversal (the
+        // backward pointers play no role in a read-only scan).
+        unsafe {
+            crate::ordered::scan_chain(
+                &bounds,
+                (*self.list.head).next.load(Acquire).ptr(),
+                self.list.tail,
+                |p| {
+                    let succ = (*p).next.load(Acquire);
+                    ((*p).key, !succ.is_marked(), succ.ptr())
+                },
+                |_, key| out.push(key),
+            );
+        }
+        Snapshot::from_vec(out)
+    }
+
+    fn len_estimate(&mut self) -> usize {
+        self.list.len_approx()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::variants::{DoublyCursorList, DoublyBackptrList};
+    use crate::variants::{DoublyBackptrList, DoublyCursorList};
 
     #[test]
     fn basic_semantics_both_variants() {
@@ -518,7 +553,10 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(<DoublyBackptrList<i64> as ConcurrentOrderedSet<i64>>::NAME, "doubly");
+        assert_eq!(
+            <DoublyBackptrList<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            "doubly"
+        );
         assert_eq!(
             <DoublyCursorList<i64> as ConcurrentOrderedSet<i64>>::NAME,
             "doubly_cursor"

@@ -18,6 +18,7 @@ use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
 
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 
+use crate::ordered::{OrderedHandle, ScanBounds, Snapshot};
 use crate::set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
 use crate::stats::OpStats;
 use crate::Key;
@@ -296,6 +297,31 @@ impl<'l, K: Key> SetHandle<K> for EpochHandle<'l, K> {
     }
 }
 
+impl<'l, K: Key> OrderedHandle<K> for EpochHandle<'l, K> {
+    fn range<R: std::ops::RangeBounds<K>>(&mut self, range: R) -> Snapshot<K> {
+        let bounds = ScanBounds::from_range(&range);
+        let guard = epoch::pin();
+        let mut out = Vec::new();
+        let mut curr = self.list.head.load(Acquire, &guard);
+        // SAFETY: `curr` is protected by the pin for the whole scan.
+        while let Some(c) = unsafe { curr.as_ref() } {
+            let next = c.next.load(Acquire, &guard);
+            if bounds.after_end(c.key) {
+                break;
+            }
+            if next.tag() == 0 && !bounds.before_start(c.key) {
+                out.push(c.key);
+            }
+            curr = next.with_tag(0);
+        }
+        Snapshot::from_vec(out)
+    }
+
+    fn len_estimate(&mut self) -> usize {
+        self.list.len_approx()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,7 +407,10 @@ mod tests {
         // Each key: net adds - rems reflected in the final list.
         let mut list = list;
         let live = list.to_vec().len() as u64;
-        assert_eq!(adds.load(Ordering::Relaxed) - rems.load(Ordering::Relaxed), live);
+        assert_eq!(
+            adds.load(Ordering::Relaxed) - rems.load(Ordering::Relaxed),
+            live
+        );
     }
 
     #[test]

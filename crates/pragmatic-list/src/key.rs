@@ -74,6 +74,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the point
     fn signed_order() {
         assert!(i32::NEG_INF < -1_000_000);
         assert!(i32::POS_INF > 1_000_000);

@@ -47,6 +47,15 @@
 //! });
 //! ```
 //!
+//! ## Ordered reads
+//!
+//! Beyond the paper's `add`/`rem`/`con`, every per-thread handle also
+//! offers the [`OrderedHandle`] surface — `iter()` snapshots,
+//! `range(lo..hi)` scans and `len_estimate()` — as *weakly consistent*
+//! wait-free traversals that run while other threads mutate (see
+//! [`ordered`] for the exact contract). [`ConcurrentOrderedSet::collect_keys`]
+//! remains the quiescent, exact variant.
+//!
 //! ## Memory reclamation
 //!
 //! Following the paper (§1, §4), the six variants free nodes only when
@@ -65,6 +74,7 @@ pub mod epoch_list;
 mod key;
 pub mod map;
 pub mod marked;
+pub mod ordered;
 pub mod set;
 pub mod singly;
 mod stats;
@@ -72,5 +82,6 @@ pub mod variants;
 
 pub use epoch_list::EpochList;
 pub use key::Key;
+pub use ordered::{OrderedHandle, ScanBounds, Snapshot};
 pub use set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
 pub use stats::OpStats;

@@ -25,6 +25,7 @@ use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
 use crate::arena::{LocalArena, Registry};
 use crate::marked::{MarkedAtomic, MarkedPtr};
+use crate::ordered::{ScanBounds, Snapshot};
 use crate::stats::OpStats;
 use crate::Key;
 
@@ -269,45 +270,46 @@ impl<'m, K: Key, V: Copy + Send + Sync + 'static> MapHandle<'m, K, V> {
     /// Removes `key`; returns its value iff this thread won the delete.
     pub fn remove(&mut self, key: K) -> Option<V> {
         debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
-        loop {
-            let (pred, node) = self.search(key);
-            // SAFETY: arena-stable nodes.
-            unsafe {
-                if (*node).key != key {
+        let (pred, node) = self.search(key);
+        // SAFETY: arena-stable nodes.
+        unsafe {
+            if (*node).key != key {
+                return None;
+            }
+            // Mild rem(): retry the marking CAS in place until the node
+            // is marked — by us (success) or someone else (failed
+            // delete). No re-search needed.
+            let mut succ = (*node).next.load(Acquire);
+            let succ_ptr = loop {
+                if succ.is_marked() {
                     return None;
                 }
-                let mut succ = (*node).next.load(Acquire);
-                let succ_ptr = loop {
-                    if succ.is_marked() {
-                        return None;
-                    }
-                    match (*node)
-                        .next
-                        .compare_exchange(succ, succ.with_mark(), AcqRel, Acquire)
-                    {
-                        Ok(()) => break succ.ptr(),
-                        Err(observed) => {
-                            self.stats.fail += 1;
-                            succ = observed;
-                        }
-                    }
-                };
-                let value = (*node).value;
-                if (*pred)
+                match (*node)
                     .next
-                    .compare_exchange(
-                        MarkedPtr::unmarked(node),
-                        MarkedPtr::unmarked(succ_ptr),
-                        AcqRel,
-                        Acquire,
-                    )
-                    .is_err()
+                    .compare_exchange(succ, succ.with_mark(), AcqRel, Acquire)
                 {
-                    self.stats.fail += 1;
+                    Ok(()) => break succ.ptr(),
+                    Err(observed) => {
+                        self.stats.fail += 1;
+                        succ = observed;
+                    }
                 }
-                self.stats.rems += 1;
-                return Some(value);
+            };
+            let value = (*node).value;
+            if (*pred)
+                .next
+                .compare_exchange(
+                    MarkedPtr::unmarked(node),
+                    MarkedPtr::unmarked(succ_ptr),
+                    AcqRel,
+                    Acquire,
+                )
+                .is_err()
+            {
+                self.stats.fail += 1;
             }
+            self.stats.rems += 1;
+            Some(value)
         }
     }
 
@@ -344,6 +346,46 @@ impl<'m, K: Key, V: Copy + Send + Sync + 'static> MapHandle<'m, K, V> {
     /// `true` iff `key` is present.
     pub fn contains_key(&mut self, key: K) -> bool {
         self.get(key).is_some()
+    }
+
+    /// Scans the live `(key, value)` pairs with keys inside `range`, in
+    /// ascending key order — the map counterpart of
+    /// [`OrderedHandle::range`](crate::OrderedHandle::range).
+    ///
+    /// Weakly consistent under concurrency, exactly like the set scans
+    /// (see [`crate::ordered`]); exact when no writer runs during the
+    /// scan. Values are safe to read unsynchronised: a node's value is
+    /// written once before the publishing CAS and never mutated.
+    pub fn range<R: std::ops::RangeBounds<K>>(&mut self, range: R) -> Snapshot<(K, V)> {
+        let bounds = ScanBounds::from_range(&range);
+        let mut out = Vec::new();
+        // SAFETY: arena-stable nodes; non-sentinel values are initialised
+        // before publication; keys strictly increase along `next`.
+        unsafe {
+            crate::ordered::scan_chain(
+                &bounds,
+                (*self.map.head).next.load(Acquire).ptr(),
+                self.map.tail,
+                |p| {
+                    let succ = (*p).next.load(Acquire);
+                    ((*p).key, !succ.is_marked(), succ.ptr())
+                },
+                |p, key| out.push((key, (*p).value)),
+            );
+        }
+        Snapshot::from_vec(out)
+    }
+
+    /// Scans all live `(key, value)` pairs in ascending key order
+    /// (weakly consistent; the live-handle counterpart of
+    /// [`ListMap::collect`]).
+    pub fn iter(&mut self) -> Snapshot<(K, V)> {
+        self.range(..)
+    }
+
+    /// Estimated number of live entries (racy; exact when quiescent).
+    pub fn len_estimate(&self) -> usize {
+        self.map.len_approx()
     }
 
     /// Accumulated counters.
@@ -471,7 +513,9 @@ mod tests {
         let mut oracle = BTreeMap::new();
         let mut x = 24680u64;
         for _ in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = ((x >> 33) % 64) as i64 + 1;
             let v = (x % 1000) as i64;
             match (x >> 11) % 3 {

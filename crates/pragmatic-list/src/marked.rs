@@ -45,7 +45,12 @@ impl<T> Eq for MarkedPtr<T> {}
 
 impl<T> fmt::Debug for MarkedPtr<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "MarkedPtr({:p}, marked={})", self.ptr(), self.is_marked())
+        write!(
+            f,
+            "MarkedPtr({:p}, marked={})",
+            self.ptr(),
+            self.is_marked()
+        )
     }
 }
 
@@ -269,7 +274,10 @@ mod tests {
         let before = a.fetch_or_mark(AcqRel);
         assert!(!before.is_marked(), "first marker sees unmarked");
         let again = a.fetch_or_mark(AcqRel);
-        assert!(again.is_marked(), "second marker sees marked: lost the delete");
+        assert!(
+            again.is_marked(),
+            "second marker sees marked: lost the delete"
+        );
         assert_eq!(a.load(Relaxed).ptr(), p);
         unsafe { free(p) };
     }
@@ -290,7 +298,10 @@ mod tests {
                 Acquire,
             )
             .unwrap_err();
-        assert!(!observed.is_marked(), "failure was due to pointer, not mark");
+        assert!(
+            !observed.is_marked(),
+            "failure was due to pointer, not mark"
+        );
         assert_eq!(observed.ptr(), q);
         unsafe {
             free(p);

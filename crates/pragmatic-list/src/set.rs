@@ -94,7 +94,10 @@ impl std::fmt::Display for InvariantViolation {
             Self::TailUnreachable => write!(f, "tail sentinel unreachable from head"),
             Self::MarkedSentinel => write!(f, "sentinel node is marked"),
             Self::BackChainBroken { position } => {
-                write!(f, "backward chain does not reach head from position {position}")
+                write!(
+                    f,
+                    "backward chain does not reach head from position {position}"
+                )
             }
         }
     }

@@ -49,6 +49,7 @@ use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
 use crate::arena::{LocalArena, Registry};
 use crate::marked::{MarkedAtomic, MarkedPtr};
+use crate::ordered::{OrderedHandle, ScanBounds, Snapshot};
 use crate::set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
 use crate::stats::OpStats;
 use crate::Key;
@@ -470,12 +471,10 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
                         if succ.is_marked() {
                             return false;
                         }
-                        match (*node).next.compare_exchange(
-                            succ,
-                            succ.with_mark(),
-                            AcqRel,
-                            Acquire,
-                        ) {
+                        match (*node)
+                            .next
+                            .compare_exchange(succ, succ.with_mark(), AcqRel, Acquire)
+                        {
                             Ok(()) => break succ.ptr(),
                             Err(observed) => {
                                 self.stats.fail += 1;
@@ -487,12 +486,10 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
                     // Textbook: any failure of the marking CAS triggers a
                     // full re-search from the head.
                     let succ = (*node).next.load(Acquire).without_mark();
-                    match (*node).next.compare_exchange(
-                        succ,
-                        succ.with_mark(),
-                        AcqRel,
-                        Acquire,
-                    ) {
+                    match (*node)
+                        .next
+                        .compare_exchange(succ, succ.with_mark(), AcqRel, Acquire)
+                    {
                         Ok(()) => succ.ptr(),
                         Err(_) => {
                             self.stats.fail += 1;
@@ -583,6 +580,33 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> Set
     }
 }
 
+impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> OrderedHandle<K>
+    for SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR>
+{
+    fn range<R: std::ops::RangeBounds<K>>(&mut self, range: R) -> Snapshot<K> {
+        let bounds = ScanBounds::from_range(&range);
+        let mut out = Vec::new();
+        // SAFETY: arena-stable nodes; wait-free read-only traversal.
+        unsafe {
+            crate::ordered::scan_chain(
+                &bounds,
+                (*self.list.head).next.load(Acquire).ptr(),
+                self.list.tail,
+                |p| {
+                    let succ = (*p).next.load(Acquire);
+                    ((*p).key, !succ.is_marked(), succ.ptr())
+                },
+                |_, key| out.push(key),
+            );
+        }
+        Snapshot::from_vec(out)
+    }
+
+    fn len_estimate(&mut self) -> usize {
+        self.list.len_approx()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -626,7 +650,10 @@ mod tests {
             <SinglyCursorList<i64> as ConcurrentOrderedSet<i64>>::NAME,
             <SinglyFetchOrList<i64> as ConcurrentOrderedSet<i64>>::NAME,
         ];
-        assert_eq!(names, ["draconic", "singly", "singly_cursor", "singly_fetch_or"]);
+        assert_eq!(
+            names,
+            ["draconic", "singly", "singly_cursor", "singly_fetch_or"]
+        );
     }
 
     #[test]
@@ -747,8 +774,10 @@ mod tests {
         let after_first = h.stats().cons;
         assert!(h.contains(100));
         let after_second = h.stats().cons;
-        assert!(after_second - after_first >= 99,
-            "variant b) must restart con() from the head: {after_first} then {after_second}");
+        assert!(
+            after_second - after_first >= 99,
+            "variant b) must restart con() from the head: {after_first} then {after_second}"
+        );
     }
 
     #[test]
@@ -773,7 +802,11 @@ mod tests {
         assert!(h.add(2)); // ...but one spare may exist and be reused
         drop(h);
         // 2 published nodes + at most 1 spare.
-        assert!(list.allocated_nodes() <= 3, "got {}", list.allocated_nodes());
+        assert!(
+            list.allocated_nodes() <= 3,
+            "got {}",
+            list.allocated_nodes()
+        );
     }
 
     #[test]
@@ -827,7 +860,10 @@ mod tests {
         });
         let mut list = list;
         list.check_invariants().unwrap();
-        assert_eq!(list.collect_keys().len() as i64, threads * per - threads * (per / 2));
+        assert_eq!(
+            list.collect_keys().len() as i64,
+            threads * per - threads * (per / 2)
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ fn stale_cursor_on_deleted_node_is_detected() {
     assert!(intruder.remove(30));
     assert!(intruder.remove(20));
     // Owner's next operations must not resurrect or miss anything.
-    assert!(!owner.contains(30), "deleted key visible through stale cursor");
+    assert!(
+        !owner.contains(30),
+        "deleted key visible through stale cursor"
+    );
     assert!(!owner.contains(20));
     assert!(owner.contains(40));
     assert!(owner.contains(10));
@@ -211,8 +214,5 @@ fn cursor_chaos_concurrent() {
     });
     let mut list = list;
     list.check_invariants().unwrap();
-    assert_eq!(
-        totals.adds - totals.rems,
-        list.collect_keys().len() as u64
-    );
+    assert_eq!(totals.adds - totals.rems, list.collect_keys().len() as u64);
 }

@@ -166,7 +166,9 @@ fn concurrent_tapes_accounting() {
                         let mut h = list.handle();
                         let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) ^ (t as u64 + 1);
                         for _ in 0..2_000 {
-                            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                            x = x
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
                             let k = ((x >> 33) % 48) as i64 + 1;
                             match (x >> 13) % 3 {
                                 0 => {

@@ -82,7 +82,11 @@ impl<K: Ord + Copy> DoublySeqList<K> {
     /// (or `NIL` when every key is smaller), starting from the cursor
     /// when possible and walking in the cheaper direction.
     fn seek(&mut self, key: K) -> u32 {
-        let mut at = if self.cursor == NIL { self.head } else { self.cursor };
+        let mut at = if self.cursor == NIL {
+            self.head
+        } else {
+            self.cursor
+        };
         if at == NIL {
             return NIL;
         }
@@ -333,7 +337,10 @@ mod tests {
             l.insert(k);
         }
         let down = l.stats().trav;
-        assert!(down < 2 * n as u64, "descending inserts should be O(1): {down}");
+        assert!(
+            down < 2 * n as u64,
+            "descending inserts should be O(1): {down}"
+        );
     }
 
     #[test]
@@ -384,7 +391,9 @@ mod tests {
         let mut oracle = BTreeSet::new();
         let mut x = 987654321u64;
         for _ in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = ((x >> 33) % 64) as i64;
             match (x >> 9) % 3 {
                 0 => assert_eq!(l.insert(key), oracle.insert(key), "insert {key}"),

@@ -75,4 +75,50 @@ pub trait SeqOrderedSet<K: Ord + Copy> {
     fn to_vec(&self) -> Vec<K>;
     /// Accumulated traversal counters.
     fn stats(&self) -> SeqStats;
+
+    /// Ordered snapshot of the keys inside `range` — the sequential
+    /// mirror of the concurrent `OrderedHandle::range` scan (here
+    /// trivially exact: there is no concurrency to be weak against).
+    fn range<R: std::ops::RangeBounds<K>>(&self, range: R) -> Vec<K>
+    where
+        Self: Sized,
+    {
+        self.to_vec()
+            .into_iter()
+            .filter(|k| range.contains(k))
+            .collect()
+    }
+
+    /// Ordered snapshot of all keys (alias of [`to_vec`](Self::to_vec),
+    /// mirroring `OrderedHandle::iter`).
+    fn iter_keys(&self) -> Vec<K>
+    where
+        Self: Sized,
+    {
+        self.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod range_tests {
+    use super::*;
+
+    #[test]
+    fn seq_range_default_matches_filter() {
+        let mut l = SinglySeqList::<i64>::new();
+        for k in [9, 1, 5, 3, 7] {
+            l.insert(k);
+        }
+        assert_eq!(l.range(3..8), vec![3, 5, 7]);
+        assert_eq!(l.range(..), vec![1, 3, 5, 7, 9]);
+        assert_eq!(l.range(..=5), vec![1, 3, 5]);
+        assert_eq!(l.iter_keys(), l.to_vec());
+
+        let mut d = DoublySeqList::<i64>::new();
+        for k in [9, 1, 5, 3, 7] {
+            d.insert(k);
+        }
+        assert_eq!(d.range(3..8), vec![3, 5, 7]);
+        assert_eq!(d.range(4..5), Vec::<i64>::new());
+    }
 }

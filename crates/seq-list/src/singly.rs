@@ -229,7 +229,9 @@ mod tests {
         let mut oracle = BTreeSet::new();
         let mut x = 12345u64;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = ((x >> 33) % 50) as i64;
             match (x >> 7) % 3 {
                 0 => assert_eq!(l.insert(key), oracle.insert(key)),

@@ -1,0 +1,200 @@
+//! Offline shim for the `criterion` API subset used by this workspace's
+//! benches (`crates/bench/benches/*`).
+//!
+//! Implements benchmark groups, `Throughput::Elements`, `BenchmarkId`,
+//! `Bencher::iter` and the `criterion_group!`/`criterion_main!` macros.
+//! Each benchmark runs `sample_size` timed iterations (after one
+//! warm-up) and prints the mean wall time per iteration, plus element
+//! throughput when configured — no statistical analysis, no HTML
+//! reports. Swap the workspace dependency back to registry criterion
+//! for real measurements.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to every group function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `name/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, label: &str, mut run: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        // One untimed warm-up round.
+        run(&mut bencher);
+        bencher.elapsed = Duration::ZERO;
+        bencher.iters = 0;
+        for _ in 0..self.sample_size {
+            run(&mut bencher);
+        }
+        let iters = bencher.iters.max(1);
+        let per_iter = bencher.elapsed / iters as u32;
+        match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                let eps = n as f64 / per_iter.as_secs_f64();
+                println!("  {label}: {per_iter:?}/iter ({eps:.0} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                let bps = n as f64 / per_iter.as_secs_f64();
+                println!("  {label}: {per_iter:?}/iter ({bps:.0} B/s)");
+            }
+            _ => println!("  {label}: {per_iter:?}/iter"),
+        }
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to every benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one call of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(std::hint::black_box(out));
+    }
+}
+
+/// Opaque black box re-export for parity with upstream.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        let mut calls = 0u64;
+        g.sample_size(5)
+            .throughput(Throughput::Elements(100))
+            .bench_function("count", |b| {
+                b.iter(|| {
+                    calls += 1;
+                })
+            });
+        g.finish();
+        assert_eq!(calls, 6, "one warm-up + sample_size timed iterations");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("variant", 8).to_string(), "variant/8");
+    }
+}

@@ -1,0 +1,621 @@
+//! Offline shim for the `crossbeam-epoch` API subset used by this
+//! workspace, implemented over a real — if deliberately simple —
+//! epoch-based reclamation scheme.
+//!
+//! ## What is implemented
+//!
+//! * [`Atomic`], [`Owned`], [`Shared`] tagged pointers (tag lives in the
+//!   alignment bits, as upstream).
+//! * [`pin`] / [`Guard`] participation, including nested pins per
+//!   thread, and the unsafe [`unprotected`] guard.
+//! * [`Guard::defer_destroy`] with deferred frees.
+//!
+//! ## The reclamation scheme
+//!
+//! The classic three-epoch algorithm: a global epoch counter advances
+//! only when every pinned participant has been observed in the current
+//! epoch; garbage retired in epoch `e` is freed once the global epoch
+//! reaches `e + 2`, at which point no pinned thread can still hold a
+//! reference to it (it was unlinked before retirement, so only threads
+//! already pinned when it was retired may know it; those threads block
+//! the first advance, and after two advances all of them have unpinned
+//! at least once).
+//!
+//! The hot path (pin/unpin) is two `SeqCst` stores on a thread-local
+//! slot. Registration, epoch advancement and garbage collection go
+//! through mutexes — simpler and slower than upstream's lock-free local
+//! bags, but correctness-equivalent for the workloads here.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::mem;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Global epoch machinery
+
+/// One registered participant. Leaked into the registry and reused as
+/// threads come and go; `active == 0` means unpinned, otherwise it holds
+/// `epoch_at_pin + 1`.
+struct Slot {
+    active: AtomicUsize,
+    in_use: AtomicUsize,
+}
+
+/// Global epoch counter.
+static EPOCH: AtomicUsize = AtomicUsize::new(0);
+/// All slots ever created (leaked; freed slots are recycled).
+static REGISTRY: Mutex<Vec<&'static Slot>> = Mutex::new(Vec::new());
+/// One retired allocation: (retirement epoch, untagged pointer, dropper).
+type Garbage = (usize, usize, unsafe fn(usize));
+/// Retired garbage awaiting two epoch advances.
+static GARBAGE: Mutex<Vec<Garbage>> = Mutex::new(Vec::new());
+/// Unpin events since the last collection attempt (coarse trigger).
+static UNPIN_TICKS: AtomicUsize = AtomicUsize::new(0);
+
+/// How many unpins between collection attempts.
+const COLLECT_EVERY: usize = 64;
+
+thread_local! {
+    static LOCAL: Local = Local::new();
+}
+
+/// Per-thread pin state: the registered slot plus a nesting counter so
+/// nested `pin()` calls share one activation.
+struct Local {
+    slot: &'static Slot,
+    pin_depth: Cell<usize>,
+}
+
+impl Local {
+    fn new() -> Local {
+        let mut reg = REGISTRY.lock().unwrap();
+        let slot = reg
+            .iter()
+            .copied()
+            .find(|s| {
+                s.in_use
+                    .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            })
+            .unwrap_or_else(|| {
+                let s: &'static Slot = Box::leak(Box::new(Slot {
+                    active: AtomicUsize::new(0),
+                    in_use: AtomicUsize::new(1),
+                }));
+                reg.push(s);
+                s
+            });
+        Local {
+            slot,
+            pin_depth: Cell::new(0),
+        }
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        self.slot.active.store(0, Ordering::SeqCst);
+        self.slot.in_use.store(0, Ordering::Release);
+    }
+}
+
+/// Advances the global epoch if every pinned participant has been
+/// observed in the current one, then frees sufficiently old garbage.
+fn collect() {
+    let e = EPOCH.load(Ordering::SeqCst);
+    let all_current = {
+        let reg = REGISTRY.lock().unwrap();
+        reg.iter().all(|s| {
+            let a = s.active.load(Ordering::SeqCst);
+            a == 0 || a == e + 1
+        })
+    };
+    if all_current {
+        // A lost race just means someone else advanced for us.
+        let _ = EPOCH.compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
+    }
+    let now = EPOCH.load(Ordering::SeqCst);
+    let mut freeable = Vec::new();
+    {
+        let mut garbage = GARBAGE.lock().unwrap();
+        garbage.retain(|&(retired, ptr, dropper)| {
+            if retired + 2 <= now {
+                freeable.push((ptr, dropper));
+                false
+            } else {
+                true
+            }
+        });
+    }
+    for (ptr, dropper) in freeable {
+        // SAFETY: the pointer was retired ≥ 2 epochs ago, so no pinned
+        // thread can still reference it (see module docs).
+        unsafe { dropper(ptr) };
+    }
+}
+
+/// Pins the current thread, returning a guard that keeps the current
+/// epoch's garbage alive until dropped.
+pub fn pin() -> Guard {
+    LOCAL.with(|local| {
+        let depth = local.pin_depth.get();
+        if depth == 0 {
+            // Publish our epoch; re-check in case the global advanced
+            // between the read and the store, so that an advancing
+            // thread can never miss us at an epoch older than it freed.
+            loop {
+                let e = EPOCH.load(Ordering::SeqCst);
+                local.slot.active.store(e + 1, Ordering::SeqCst);
+                if EPOCH.load(Ordering::SeqCst) == e {
+                    break;
+                }
+            }
+        }
+        local.pin_depth.set(depth + 1);
+    });
+    Guard {
+        pinned: true,
+        _not_send: PhantomData,
+    }
+}
+
+/// Returns a guard usable without pinning.
+///
+/// # Safety
+///
+/// The caller must guarantee no other thread is concurrently mutating
+/// the data structure (e.g. inside `Drop` with `&mut self`). Deferred
+/// destructions through this guard run immediately.
+pub unsafe fn unprotected() -> &'static Guard {
+    struct SyncGuard(Guard);
+    unsafe impl Sync for SyncGuard {}
+    static UNPROTECTED: SyncGuard = SyncGuard(Guard {
+        pinned: false,
+        _not_send: PhantomData,
+    });
+    &UNPROTECTED.0
+}
+
+/// An epoch pin. While alive, garbage retired in the pinned epoch (or
+/// later) is not freed.
+pub struct Guard {
+    pinned: bool,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl Guard {
+    /// Retires the object behind `ptr`: it is dropped and freed once no
+    /// pinned thread can still hold a reference to it.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been unlinked from the data structure (no new
+    /// references can be created), must be non-null, and must not be
+    /// retired twice.
+    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        unsafe fn drop_box<T>(raw: usize) {
+            drop(Box::from_raw(raw as *mut T));
+        }
+        let raw = ptr.untagged();
+        debug_assert!(raw != 0, "defer_destroy(null)");
+        if !self.pinned {
+            // Unprotected guard: the caller vouches for exclusivity.
+            drop_box::<T>(raw);
+            return;
+        }
+        let e = EPOCH.load(Ordering::SeqCst);
+        let len = {
+            let mut garbage = GARBAGE.lock().unwrap();
+            garbage.push((e, raw, drop_box::<T>));
+            garbage.len()
+        };
+        // Aggressive trigger when the backlog grows; the common trigger
+        // is the unpin tick in `Drop`.
+        if len >= 4 * COLLECT_EVERY {
+            collect();
+        }
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if !self.pinned {
+            return;
+        }
+        let unpinned = LOCAL.with(|local| {
+            let depth = local.pin_depth.get();
+            local.pin_depth.set(depth - 1);
+            if depth == 1 {
+                local.slot.active.store(0, Ordering::SeqCst);
+                true
+            } else {
+                false
+            }
+        });
+        if unpinned
+            && UNPIN_TICKS
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(COLLECT_EVERY)
+        {
+            collect();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tagged pointers
+
+#[inline]
+fn tag_mask<T>() -> usize {
+    mem::align_of::<T>() - 1
+}
+
+/// Trait unifying `Owned` and `Shared` as inputs to `Atomic` writes.
+pub trait Pointer<T> {
+    /// Consumes the pointer into its raw tagged representation.
+    fn into_usize(self) -> usize;
+    /// Rebuilds the pointer from a raw tagged representation.
+    ///
+    /// # Safety
+    ///
+    /// `data` must have come from `into_usize` of the same impl, with
+    /// ownership transferred back exactly once for owning pointers.
+    unsafe fn from_usize(data: usize) -> Self;
+}
+
+/// An owned, heap-allocated pointer (the not-yet-published node).
+pub struct Owned<T> {
+    data: usize,
+    _marker: PhantomData<Box<T>>,
+}
+
+impl<T> Owned<T> {
+    /// Allocates `value` on the heap.
+    pub fn new(value: T) -> Owned<T> {
+        Owned {
+            data: Box::into_raw(Box::new(value)) as usize,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> std::ops::Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: `data` is a live, exclusively-owned allocation.
+        unsafe { &*((self.data & !tag_mask::<T>()) as *const T) }
+    }
+}
+
+impl<T> std::ops::DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`, and we hold `&mut self`.
+        unsafe { &mut *((self.data & !tag_mask::<T>()) as *mut T) }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        // SAFETY: an `Owned` that was never consumed still owns its box.
+        unsafe { drop(Box::from_raw((self.data & !tag_mask::<T>()) as *mut T)) }
+    }
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_usize(self) -> usize {
+        let data = self.data;
+        mem::forget(self);
+        data
+    }
+    unsafe fn from_usize(data: usize) -> Self {
+        Owned {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// A shared, possibly tagged pointer valid for the guard lifetime `'g`.
+pub struct Shared<'g, T> {
+    data: usize,
+    _marker: PhantomData<(&'g (), *const T)>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer (tag 0).
+    pub fn null() -> Shared<'g, T> {
+        Shared {
+            data: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn untagged(self) -> usize {
+        self.data & !tag_mask::<T>()
+    }
+
+    /// The tag stored in the alignment bits.
+    #[inline]
+    pub fn tag(self) -> usize {
+        self.data & tag_mask::<T>()
+    }
+
+    /// Same pointer with the tag replaced by `tag`.
+    #[inline]
+    pub fn with_tag(self, tag: usize) -> Shared<'g, T> {
+        Shared {
+            data: self.untagged() | (tag & tag_mask::<T>()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// `true` iff the untagged pointer is null.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.untagged() == 0
+    }
+
+    /// Dereferences, returning `None` for null.
+    ///
+    /// # Safety
+    ///
+    /// The pointee must be alive for `'g` (guaranteed by loading it
+    /// under the guard from a structure that defers destruction).
+    pub unsafe fn as_ref(self) -> Option<&'g T> {
+        let raw = self.untagged();
+        if raw == 0 {
+            None
+        } else {
+            Some(&*(raw as *const T))
+        }
+    }
+
+    /// Dereferences a known-non-null pointer.
+    ///
+    /// # Safety
+    ///
+    /// As [`Shared::as_ref`], plus the pointer must be non-null.
+    pub unsafe fn deref(self) -> &'g T {
+        debug_assert!(!self.is_null());
+        &*(self.untagged() as *const T)
+    }
+
+    /// Reclaims ownership of the allocation.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive access to the pointee and it must
+    /// not be reachable by any other thread.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        debug_assert!(!self.is_null());
+        Owned::from_usize(self.untagged())
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_usize(self) -> usize {
+        self.data
+    }
+    unsafe fn from_usize(data: usize) -> Self {
+        Shared {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Error of a failed [`Atomic::compare_exchange`]: the observed value
+/// plus the not-installed new pointer, handed back to the caller.
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// The value the atomic actually held.
+    pub current: Shared<'g, T>,
+    /// The pointer that was not installed (ownership returned).
+    pub new: P,
+}
+
+/// An atomic tagged pointer into epoch-managed memory.
+pub struct Atomic<T> {
+    data: AtomicUsize,
+    _marker: PhantomData<*mut T>,
+}
+
+// SAFETY: `Atomic` is a pointer-sized atomic cell; the pointee's
+// thread-safety is the data structure's responsibility, exactly as in
+// upstream crossbeam (which bounds Send/Sync on T: Send + Sync at the
+// collection level).
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// A null atomic pointer.
+    pub fn null() -> Atomic<T> {
+        Atomic {
+            data: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Loads the current value under `guard`'s protection.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        // SAFETY: representation round-trip.
+        unsafe { Shared::from_usize(self.data.load(ord)) }
+    }
+
+    /// Stores `new`, consuming it.
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.data.store(new.into_usize(), ord);
+    }
+
+    /// Compare-exchange; on failure returns the observed value and the
+    /// not-installed `new` pointer.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'_, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_data = new.into_usize();
+        match self
+            .data
+            .compare_exchange(current.into_usize(), new_data, success, failure)
+        {
+            // SAFETY: representation round-trips; on failure, ownership
+            // of `new` is reconstructed exactly once.
+            Ok(_) => Ok(unsafe { Shared::from_usize(new_data) }),
+            Err(observed) => Err(CompareExchangeError {
+                current: unsafe { Shared::from_usize(observed) },
+                new: unsafe { P::from_usize(new_data) },
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+
+    struct DropCounter<'a>(&'a StdAtomicUsize);
+    impl Drop for DropCounter<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Tests that assert on reclamation *timing* must not overlap with
+    /// each other (a pin in one would block the epoch for all).
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn tag_round_trip() {
+        let a = Atomic::<u64>::null();
+        let g = pin();
+        let s = a.load(Ordering::SeqCst, &g);
+        assert!(s.is_null());
+        assert_eq!(s.tag(), 0);
+        let o = Owned::new(7u64);
+        a.store(o, Ordering::SeqCst);
+        let s = a.load(Ordering::SeqCst, &g);
+        assert_eq!(unsafe { *s.deref() }, 7);
+        assert_eq!(s.with_tag(1).tag(), 1);
+        assert_eq!(s.with_tag(1).with_tag(0).tag(), 0);
+        // Clean up.
+        unsafe { drop(a.load(Ordering::SeqCst, &g).into_owned()) };
+    }
+
+    #[test]
+    fn failed_cas_returns_owned() {
+        let g = pin();
+        let a = Atomic::<u64>::null();
+        let first = Owned::new(1u64);
+        a.store(first, Ordering::SeqCst);
+        let cur = a.load(Ordering::SeqCst, &g);
+        let stale = Shared::null();
+        let res = a.compare_exchange(
+            stale,
+            Owned::new(2u64),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+            &g,
+        );
+        let err = match res {
+            Ok(_) => panic!("CAS against stale value must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err.current.into_usize(), cur.into_usize());
+        drop(err.new); // Owned handed back; dropping frees it.
+        unsafe { drop(a.load(Ordering::SeqCst, &g).into_owned()) };
+    }
+
+    #[test]
+    fn deferred_destruction_eventually_runs() {
+        static DROPS: StdAtomicUsize = StdAtomicUsize::new(0);
+        let _serial = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let g = pin();
+            for _ in 0..10 {
+                let o = Owned::new(DropCounter(&DROPS));
+                let raw = o.into_usize();
+                // SAFETY: fresh allocation, never published.
+                unsafe { g.defer_destroy(Shared::<DropCounter<'_>>::from_usize(raw)) };
+            }
+            assert_eq!(DROPS.load(Ordering::SeqCst), 0, "pinned: nothing freed yet");
+        }
+        // With no pin on this thread, collection rounds advance the
+        // epoch twice and free everything (bounded retries: concurrent
+        // tests may hold short-lived pins of their own).
+        for _ in 0..10_000 {
+            if DROPS.load(Ordering::SeqCst) == 10 {
+                break;
+            }
+            collect();
+            std::thread::yield_now();
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_reclamation() {
+        static DROPS: StdAtomicUsize = StdAtomicUsize::new(0);
+        let _serial = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let reader = pin();
+        {
+            let writer = pin();
+            let o = Owned::new(DropCounter(&DROPS));
+            let raw = o.into_usize();
+            unsafe { writer.defer_destroy(Shared::<DropCounter<'_>>::from_usize(raw)) };
+        }
+        for _ in 0..8 {
+            collect();
+        }
+        assert_eq!(
+            DROPS.load(Ordering::SeqCst),
+            0,
+            "a pinned guard on this thread must hold the epoch back"
+        );
+        drop(reader);
+        for _ in 0..10_000 {
+            if DROPS.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            collect();
+            std::thread::yield_now();
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nested_pins_share_one_activation() {
+        let a = pin();
+        let b = pin();
+        drop(a);
+        // Still pinned through `b`.
+        LOCAL.with(|l| assert_eq!(l.pin_depth.get(), 1));
+        drop(b);
+        LOCAL.with(|l| assert_eq!(l.pin_depth.get(), 0));
+    }
+
+    #[test]
+    fn unprotected_defers_immediately() {
+        static DROPS: StdAtomicUsize = StdAtomicUsize::new(0);
+        let o = Owned::new(DropCounter(&DROPS));
+        let raw = o.into_usize();
+        unsafe {
+            let g = unprotected();
+            g.defer_destroy(Shared::<DropCounter<'_>>::from_usize(raw));
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+}

@@ -91,7 +91,11 @@ fn main() {
         "admitted {admitted} requests; {} still inside the window index",
         live.len()
     );
-    assert_eq!(admitted, WORKERS * REQUESTS_PER_WORKER, "timestamps are unique");
+    assert_eq!(
+        admitted,
+        WORKERS * REQUESTS_PER_WORKER,
+        "timestamps are unique"
+    );
     assert!(live.windows(2).all(|p| p[0] < p[1]), "index stays ordered");
     index.validate().expect("skiplist invariants hold");
     println!("ok");

@@ -30,11 +30,14 @@ fn main() {
     let mut rows = Vec::new();
     for v in Variant::PAPER.into_iter().chain([Variant::Epoch]) {
         eprint!("running {:<20}\r", v.paper_label());
-        rows.push(v.run_deterministic(&cfg));
+        rows.push(v.run(&cfg));
     }
     println!(
         "{}",
-        report::format_table("mini Table 1 (shape comparable, absolute numbers machine-bound)", &rows)
+        report::format_table(
+            "mini Table 1 (shape comparable, absolute numbers machine-bound)",
+            &rows
+        )
     );
 
     // The headline claim, asserted: the doubly-cursor variant must beat

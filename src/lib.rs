@@ -16,12 +16,16 @@
 //!   by the test-suite to validate the paper's linearizability claim.
 //! * [`hashmap`] (crate `lockfree-hashmap`) — Michael-style hash set built
 //!   on top of the list, the downstream application the paper motivates.
+//! * [`skiplist`] (crate `lockfree-skiplist`) — lock-free skiplist applying
+//!   the paper's retry improvements per level.
 //! * [`harness`] (crate `bench-harness`) — the deterministic and
-//!   random-mix benchmark drivers reproducing every table and figure.
+//!   random-mix benchmark drivers reproducing every table and figure,
+//!   organised as `Workload` impls dispatched over `Variant`s.
 
 pub use bench_harness as harness;
 pub use glibc_rand as grand;
 pub use linearize as lin;
 pub use lockfree_hashmap as hashmap;
+pub use lockfree_skiplist as skiplist;
 pub use pragmatic_list as list;
 pub use seq_list as seq;

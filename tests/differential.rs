@@ -10,7 +10,7 @@ use pragmatic_list::variants::{
     CursorOnlyList, DoublyBackptrList, DoublyCursorList, DraconicList, SinglyCursorList,
     SinglyFetchOrList, SinglyMildList,
 };
-use pragmatic_list::{ConcurrentOrderedSet, EpochList, SetHandle};
+use pragmatic_list::{ConcurrentOrderedSet, EpochList, OrderedHandle, SetHandle};
 use seq_list::{DoublySeqList, SeqOrderedSet, SinglySeqList};
 
 /// One step of an operation tape.
@@ -53,6 +53,187 @@ fn check_against_oracle<S: ConcurrentOrderedSet<i64>>(tape: &[Step]) {
     );
     list.check_invariants()
         .unwrap_or_else(|e| panic!("{}: invariant violated: {e}", S::NAME));
+}
+
+/// Applies `tape` to backend `S` and a `BTreeSet` oracle, then checks
+/// the live-handle scans (`iter`, `range` over several window shapes,
+/// `len_estimate`) exactly — single-threaded scans observe the precise
+/// live set.
+fn check_scans_against_btreeset<S>(tape: &[Step], lo: i64, span: i64)
+where
+    S: ConcurrentOrderedSet<i64>,
+    for<'a> S::Handle<'a>: OrderedHandle<i64>,
+{
+    use std::collections::BTreeSet;
+    let list = S::new();
+    let mut h = list.handle();
+    let mut oracle = BTreeSet::new();
+    for &step in tape {
+        match step {
+            Step::Add(k) => {
+                h.add(k);
+                oracle.insert(k);
+            }
+            Step::Remove(k) => {
+                h.remove(k);
+                oracle.remove(&k);
+            }
+            Step::Contains(k) => {
+                h.contains(k);
+            }
+        }
+    }
+    let all: Vec<i64> = oracle.iter().copied().collect();
+    assert_eq!(h.iter().into_vec(), all, "{}: full scan diverged", S::NAME);
+    assert_eq!(h.len_estimate(), oracle.len(), "{}: len_estimate", S::NAME);
+    let hi = lo + span;
+    let windows: Vec<Vec<i64>> = vec![
+        oracle.range(lo..hi).copied().collect(),
+        oracle.range(lo..=hi).copied().collect(),
+        oracle.range(..hi).copied().collect(),
+        oracle.range(lo..).copied().collect(),
+    ];
+    assert_eq!(
+        h.range(lo..hi).into_vec(),
+        windows[0],
+        "{}: lo..hi",
+        S::NAME
+    );
+    assert_eq!(
+        h.range(lo..=hi).into_vec(),
+        windows[1],
+        "{}: lo..=hi",
+        S::NAME
+    );
+    assert_eq!(h.range(..hi).into_vec(), windows[2], "{}: ..hi", S::NAME);
+    assert_eq!(h.range(lo..).into_vec(), windows[3], "{}: lo..", S::NAME);
+    assert!(h.range(lo..lo).is_empty(), "{}: empty window", S::NAME);
+}
+
+/// Weak-consistency contract under real churn: while writer threads
+/// hammer a middle key band, scans from a reader handle must (1) stay
+/// strictly sorted, (2) contain every *stable* key — inserted before the
+/// writers start and never touched — and (3) never contain a key that
+/// was never inserted. A `BTreeSet` oracle carries the stable band.
+fn scan_under_churn<S>()
+where
+    S: ConcurrentOrderedSet<i64>,
+    for<'a> S::Handle<'a>: OrderedHandle<i64>,
+{
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const STABLE: std::ops::Range<i64> = 1..100; // never touched after prefill
+    const CHURN: std::ops::Range<i64> = 100..200; // writers add/remove here
+    const PHANTOM: std::ops::Range<i64> = 200..300; // never inserted
+
+    let list = S::new();
+    let stable_oracle: BTreeSet<i64> = {
+        let mut h = list.handle();
+        STABLE.clone().filter(|&k| k % 3 != 0 && h.add(k)).collect()
+    };
+    let stop = AtomicBool::new(false);
+    // Set `stop` even when a reader assertion panics — otherwise the
+    // scope would wait forever on writers spinning on the flag, turning
+    // an assertion failure into a hang.
+    struct StopOnDrop<'a>(&'a AtomicBool);
+    impl Drop for StopOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+    std::thread::scope(|s| {
+        let _stop_guard = StopOnDrop(&stop);
+        for t in 0..3i64 {
+            let (list, stop) = (&list, &stop);
+            s.spawn(move || {
+                let mut h = list.handle();
+                let mut x = 0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1);
+                while !stop.load(Ordering::Relaxed) {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let k = CHURN.start + ((x >> 33) % (CHURN.end - CHURN.start) as u64) as i64;
+                    if x.is_multiple_of(2) {
+                        h.add(k);
+                    } else {
+                        h.remove(k);
+                    }
+                }
+            });
+        }
+        let mut h = list.handle();
+        for round in 0..200 {
+            let snap = if round % 2 == 0 {
+                h.iter()
+            } else {
+                h.range(STABLE.start..PHANTOM.end)
+            };
+            let keys = snap.as_slice();
+            assert!(
+                keys.windows(2).all(|w| w[0] < w[1]),
+                "{}: scan not strictly sorted",
+                S::NAME
+            );
+            assert!(
+                keys.iter().all(|k| !PHANTOM.contains(k)),
+                "{}: phantom key surfaced",
+                S::NAME
+            );
+            let seen_stable: BTreeSet<i64> = keys
+                .iter()
+                .copied()
+                .filter(|k| STABLE.contains(k))
+                .collect();
+            assert_eq!(
+                seen_stable,
+                stable_oracle,
+                "{}: stable band diverged from oracle",
+                S::NAME
+            );
+            // The bounded window also never leaks keys outside it.
+            let bounded = h.range(120..140);
+            assert!(
+                bounded.iter().all(|k| (120..140).contains(k)),
+                "{}: range leaked outside the window",
+                S::NAME
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    // Quiescent again: the scan must now agree with collect_keys exactly.
+    let mut h = list.handle();
+    let live = h.iter().into_vec();
+    drop(h);
+    let mut list = list;
+    assert_eq!(
+        live,
+        list.collect_keys(),
+        "{}: quiescent scan exactness",
+        S::NAME
+    );
+    list.check_invariants()
+        .unwrap_or_else(|e| panic!("{}: invariant violated after churn: {e}", S::NAME));
+}
+
+#[test]
+fn scans_stay_consistent_under_churn_singly_cursor() {
+    scan_under_churn::<SinglyCursorList<i64>>();
+}
+
+#[test]
+fn scans_stay_consistent_under_churn_doubly_cursor() {
+    scan_under_churn::<DoublyCursorList<i64>>();
+}
+
+#[test]
+fn scans_stay_consistent_under_churn_epoch() {
+    scan_under_churn::<EpochList<i64>>();
+}
+
+#[test]
+fn scans_stay_consistent_under_churn_skiplist() {
+    scan_under_churn::<lockfree_skiplist::SkipListSet<i64>>();
 }
 
 proptest! {
@@ -139,6 +320,62 @@ proptest! {
         }
         check_against_oracle::<SinglyCursorList<i64>>(&tape);
         check_against_oracle::<DoublyCursorList<i64>>(&tape);
+    }
+
+    /// Single-threaded, the weakly-consistent scans are exact: after an
+    /// arbitrary tape, `iter()` and `range()` on a live handle must
+    /// agree with a `BTreeSet` oracle on every window shape — for every
+    /// backend that implements `OrderedHandle`.
+    #[test]
+    fn range_scans_match_btreeset_exactly_when_quiescent(
+        tape in proptest::collection::vec(step_strategy(64), 1..300),
+        lo in 1i64..=64,
+        span in 0i64..32,
+    ) {
+        check_scans_against_btreeset::<DraconicList<i64>>(&tape, lo, span);
+        check_scans_against_btreeset::<SinglyMildList<i64>>(&tape, lo, span);
+        check_scans_against_btreeset::<SinglyCursorList<i64>>(&tape, lo, span);
+        check_scans_against_btreeset::<SinglyFetchOrList<i64>>(&tape, lo, span);
+        check_scans_against_btreeset::<CursorOnlyList<i64>>(&tape, lo, span);
+        check_scans_against_btreeset::<DoublyBackptrList<i64>>(&tape, lo, span);
+        check_scans_against_btreeset::<DoublyCursorList<i64>>(&tape, lo, span);
+        check_scans_against_btreeset::<EpochList<i64>>(&tape, lo, span);
+        check_scans_against_btreeset::<lockfree_skiplist::SkipListSet<i64>>(&tape, lo, span);
+    }
+
+    /// The `ListMap` scan agrees with a `BTreeMap` oracle.
+    #[test]
+    fn map_range_matches_btreemap(
+        tape in proptest::collection::vec((0..3, 1i64..=48), 1..300),
+        lo in 1i64..=48,
+        span in 0i64..24,
+    ) {
+        use pragmatic_list::map::ListMap;
+        use std::collections::BTreeMap;
+        let map = ListMap::<i64, i64>::new();
+        let mut h = map.handle();
+        let mut oracle = BTreeMap::new();
+        for &(op, k) in &tape {
+            match op {
+                0 => {
+                    let expect = !oracle.contains_key(&k);
+                    assert_eq!(h.insert(k, k * 7), expect);
+                    if expect {
+                        oracle.insert(k, k * 7);
+                    }
+                }
+                1 => assert_eq!(h.remove(k), oracle.remove(&k)),
+                _ => assert_eq!(h.get(k), oracle.get(&k).copied()),
+            }
+        }
+        let all: Vec<(i64, i64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(h.iter().into_vec(), all);
+        let want: Vec<(i64, i64)> = oracle
+            .range(lo..lo + span)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        prop_assert_eq!(h.range(lo..lo + span).into_vec(), want);
+        prop_assert_eq!(h.len_estimate(), oracle.len());
     }
 
     /// The hash set agrees with std's HashSet on arbitrary u64 tapes.

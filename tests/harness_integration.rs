@@ -4,7 +4,7 @@
 //! magnitude — plus internal consistency of the reporting pipeline.
 
 use bench_harness::config::{DeterministicConfig, KeyPattern, OpMix, RandomMixConfig};
-use bench_harness::presets::{Experiment, Scale, Workload};
+use bench_harness::presets::{Experiment, Scale, WorkloadSpec};
 use bench_harness::{report, scalability, Variant};
 
 #[test]
@@ -18,8 +18,8 @@ fn mini_table1_shape_doubly_cursor_dominates() {
         n: 800,
         pattern: KeyPattern::SameKeys,
     };
-    let a = Variant::Draconic.run_deterministic(&cfg);
-    let f = Variant::DoublyCursor.run_deterministic(&cfg);
+    let a = Variant::Draconic.run(&cfg);
+    let f = Variant::DoublyCursor.run(&cfg);
     let work_a = a.stats.total_traversals();
     let work_f = f.stats.total_traversals();
     assert!(
@@ -35,10 +35,10 @@ fn mini_table2_shape_cursor_variants_beat_plain() {
         n: 500,
         pattern: KeyPattern::DisjointKeys,
     };
-    let a = Variant::Draconic.run_deterministic(&cfg);
-    let b = Variant::Singly.run_deterministic(&cfg);
-    let d = Variant::SinglyCursor.run_deterministic(&cfg);
-    let f = Variant::DoublyCursor.run_deterministic(&cfg);
+    let a = Variant::Draconic.run(&cfg);
+    let b = Variant::Singly.run(&cfg);
+    let d = Variant::SinglyCursor.run(&cfg);
+    let f = Variant::DoublyCursor.run(&cfg);
     // Table 2 ordering on total list work: f << d < b <= a (roughly).
     assert!(f.stats.total_traversals() * 100 < a.stats.total_traversals());
     assert!(d.stats.total_traversals() < b.stats.total_traversals());
@@ -59,7 +59,7 @@ fn mini_table3_random_mix_runs_all_variants() {
     };
     let mut rows = Vec::new();
     for v in Variant::PAPER {
-        let r = v.run_random_mix(&cfg);
+        let r = v.run(&cfg);
         assert_eq!(r.total_ops, cfg.total_ops());
         assert!(r.kops_per_sec() > 0.0);
         rows.push(r);
@@ -94,7 +94,11 @@ fn sweep_weak_scaling_points_are_complete_and_positive() {
     };
     let points = scalability::sweep(
         &base,
-        &[Variant::Draconic, Variant::SinglyCursor, Variant::DoublyCursor],
+        &[
+            Variant::Draconic,
+            Variant::SinglyCursor,
+            Variant::DoublyCursor,
+        ],
         &[1, 2, 4],
         2,
         |_| {},
@@ -114,11 +118,11 @@ fn presets_resolve_and_container_scale_runs() {
     // Smoke-run the smallest preset end to end (threads clamped down).
     let e = Experiment::get("table2", Scale::Container).unwrap();
     match e.workload {
-        Workload::Deterministic(mut cfg) => {
+        WorkloadSpec::Deterministic(mut cfg) => {
             cfg.threads = 2;
             cfg.n = 200;
             for v in e.variants {
-                let r = v.run_deterministic(&cfg);
+                let r = v.run(&cfg);
                 assert_eq!(r.stats.adds, cfg.n * 2, "{v}: disjoint adds exact");
             }
         }
@@ -138,7 +142,7 @@ fn private_baseline_is_faster_than_lockfree_on_disjoint_keys() {
         pattern: KeyPattern::DisjointKeys,
     };
     let seq = bench_harness::private::run_private_doubly(&cfg);
-    let conc = Variant::DoublyCursor.run_deterministic(&cfg);
+    let conc = Variant::DoublyCursor.run(&cfg);
     // The concurrent list holds keys of *all* threads (p× longer), so
     // only a loose factor holds; the real content of this test is that
     // both pipelines run and produce consistent op totals.
@@ -154,9 +158,12 @@ fn deterministic_benchmark_is_reproducible_single_threaded() {
         pattern: KeyPattern::SameKeys,
     };
     for v in Variant::PAPER {
-        let a = v.run_deterministic(&cfg);
-        let b = v.run_deterministic(&cfg);
-        assert_eq!(a.stats, b.stats, "{v}: single-threaded runs must be deterministic");
+        let a = v.run(&cfg);
+        let b = v.run(&cfg);
+        assert_eq!(
+            a.stats, b.stats,
+            "{v}: single-threaded runs must be deterministic"
+        );
     }
 }
 
