@@ -14,7 +14,7 @@ pub fn format_table(title: &str, rows: &[RunResult]) -> String {
     s.push_str(title);
     s.push('\n');
     s.push_str(&format!(
-        "{:<20} {:>12} {:>12} {:>12} {:>10} {:>10} {:>14} {:>14} {:>8} {:>8}\n",
+        "{:<26} {:>12} {:>12} {:>12} {:>10} {:>10} {:>14} {:>14} {:>8} {:>8}\n",
         "Variant",
         "Time(ms)",
         "Total ops",
@@ -31,7 +31,7 @@ pub fn format_table(title: &str, rows: &[RunResult]) -> String {
             .map(|v| v.paper_label())
             .unwrap_or(r.variant.as_str());
         s.push_str(&format!(
-            "{:<20} {:>12.2} {:>12} {:>12.2} {:>10} {:>10} {:>14} {:>14} {:>8} {:>8}\n",
+            "{:<26} {:>12.2} {:>12} {:>12.2} {:>10} {:>10} {:>14} {:>14} {:>8} {:>8}\n",
             label,
             r.time_ms(),
             r.total_ops,

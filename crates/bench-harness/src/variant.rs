@@ -1,25 +1,28 @@
 //! Value-level dispatch over the statically-typed list variants.
 //!
-//! [`Variant`] names the eight benchmarked implementations; the **only**
+//! [`Variant`] names the benchmarked implementations — the paper's six,
+//! the ablation extras, and the reclaimer cross-product; the **only**
 //! place that matches over them is [`Variant::dispatch`], which
 //! monomorphizes a [`VariantVisitor`] for the chosen list type. Every
 //! workload — deterministic, random-mix, latency-sampled, and anything a
 //! future experiment adds — is written once against
-//! [`ConcurrentOrderedSet`] and reaches all eight variants through
+//! [`ConcurrentOrderedSet`] and reaches all variants through
 //! [`Variant::run`], with zero per-variant code.
 //!
 //! [`ConcurrentOrderedSet`]: pragmatic_list::ConcurrentOrderedSet
 
 use pragmatic_list::variants::{
-    CursorOnlyList, DoublyBackptrList, DoublyCursorList, DraconicList, SinglyCursorList,
-    SinglyFetchOrList, SinglyMildList,
+    CursorOnlyList, DoublyBackptrList, DoublyCursorEpochList, DoublyCursorList, DraconicList,
+    SinglyCursorList, SinglyEpochList, SinglyFetchOrEpochList, SinglyFetchOrList, SinglyHpList,
+    SinglyMildList,
 };
 use pragmatic_list::{ConcurrentOrderedSet, EpochList};
 
 use crate::workload::Workload;
 
-/// The benchmarked list variants: the paper's a)–f) plus the two
-/// extensions of this reproduction.
+/// The benchmarked list variants: the paper's a)–f) plus the extensions
+/// of this reproduction (ablations and the variant × reclaimer
+/// cross-product).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// a) textbook: restart from head on every failed CAS.
@@ -38,13 +41,24 @@ pub enum Variant {
     CursorOnly,
     /// Extension: textbook list with crossbeam-epoch reclamation.
     Epoch,
+    /// Extension: variant b) with epoch reclamation.
+    SinglyEpoch,
+    /// Extension: variant e) with epoch reclamation (the cursor resets
+    /// every operation — real reclamation forbids parking it).
+    SinglyFetchOrEpoch,
+    /// Extension: variant f) with epoch reclamation (backward pointers
+    /// maintained but never chased).
+    DoublyCursorEpoch,
+    /// Extension: variant b) with from-scratch hazard-pointer
+    /// reclamation (protect + validate per traversal step).
+    SinglyHp,
 }
 
 /// A computation that is generic over the list implementation.
 ///
 /// [`Variant::dispatch`] turns a runtime [`Variant`] value into the
 /// matching compile-time type parameter: implement `visit` once and the
-/// dispatcher monomorphizes it for all eight list types. This is the
+/// dispatcher monomorphizes it for all list types. This is the
 /// type-level counterpart of [`Workload`] — use `Workload` for
 /// benchmark-shaped code (it borrows `self` and composes with the
 /// drivers), and drop down to a visitor for everything else (building a
@@ -81,8 +95,9 @@ pub trait VariantVisitor {
 }
 
 impl Variant {
-    /// All eight variants, in paper order a)–f) then the extensions.
-    pub const ALL: [Variant; 8] = [
+    /// All variants: paper order a)–f), then the ablation and
+    /// reclamation extensions.
+    pub const ALL: [Variant; 12] = [
         Variant::Draconic,
         Variant::Singly,
         Variant::Doubly,
@@ -91,6 +106,10 @@ impl Variant {
         Variant::DoublyCursor,
         Variant::CursorOnly,
         Variant::Epoch,
+        Variant::SinglyEpoch,
+        Variant::SinglyFetchOrEpoch,
+        Variant::DoublyCursorEpoch,
+        Variant::SinglyHp,
     ];
 
     /// The six variants of the paper, in table order a)–f).
@@ -122,6 +141,21 @@ impl Variant {
         Variant::DoublyCursor,
     ];
 
+    /// The reclamation ablation (A2, extended): each arena variant next
+    /// to its real-reclamation counterparts, so one sweep quantifies
+    /// what epoch pinning and hazard-pointer fences cost per variant.
+    pub const RECLAIM: [Variant; 9] = [
+        Variant::Draconic,
+        Variant::Epoch,
+        Variant::Singly,
+        Variant::SinglyEpoch,
+        Variant::SinglyHp,
+        Variant::SinglyFetchOr,
+        Variant::SinglyFetchOrEpoch,
+        Variant::DoublyCursor,
+        Variant::DoublyCursorEpoch,
+    ];
+
     /// Runs `visitor` with the list type this variant names.
     ///
     /// The single point where the value-level `Variant` becomes a
@@ -137,6 +171,10 @@ impl Variant {
             Variant::DoublyCursor => visitor.visit::<DoublyCursorList<i64>>(),
             Variant::CursorOnly => visitor.visit::<CursorOnlyList<i64>>(),
             Variant::Epoch => visitor.visit::<EpochList<i64>>(),
+            Variant::SinglyEpoch => visitor.visit::<SinglyEpochList<i64>>(),
+            Variant::SinglyFetchOrEpoch => visitor.visit::<SinglyFetchOrEpochList<i64>>(),
+            Variant::DoublyCursorEpoch => visitor.visit::<DoublyCursorEpochList<i64>>(),
+            Variant::SinglyHp => visitor.visit::<SinglyHpList<i64>>(),
         }
     }
 
@@ -168,7 +206,8 @@ impl Variant {
         self.dispatch(Name)
     }
 
-    /// The paper's row label, e.g. `"a) draconic"`.
+    /// The paper's row label, e.g. `"a) draconic"` (letters past f are
+    /// this reproduction's extensions).
     pub fn paper_label(self) -> &'static str {
         match self {
             Variant::Draconic => "a) draconic",
@@ -179,6 +218,10 @@ impl Variant {
             Variant::DoublyCursor => "f) doubly-cursor",
             Variant::CursorOnly => "x) cursor-only",
             Variant::Epoch => "g) epoch-reclaim",
+            Variant::SinglyEpoch => "h) singly-epoch",
+            Variant::SinglyFetchOrEpoch => "i) singly-fetch-or-epoch",
+            Variant::DoublyCursorEpoch => "j) doubly-cursor-epoch",
+            Variant::SinglyHp => "k) singly-hp",
         }
     }
 
@@ -194,21 +237,45 @@ impl Variant {
             "doubly_cursor" | "f" => Variant::DoublyCursor,
             "cursor_only" | "x" => Variant::CursorOnly,
             "epoch" | "g" => Variant::Epoch,
+            "singly_epoch" | "h" => Variant::SinglyEpoch,
+            "singly_fetch_or_epoch" | "fetch_or_epoch" | "i" => Variant::SinglyFetchOrEpoch,
+            "doubly_cursor_epoch" | "j" => Variant::DoublyCursorEpoch,
+            "singly_hp" | "hp" | "k" => Variant::SinglyHp,
             _ => return None,
         })
     }
 
     /// Parses a CLI token that may name either a single variant or a
-    /// group: `"all"`, `"paper"`, `"sparc"`, `"figures"` (so
-    /// `repro --variants paper` works).
+    /// group: `"all"`, `"paper"`, `"sparc"`, `"figures"`, `"reclaim"`
+    /// (so `repro --variants paper` or `--variants reclaim` work).
     pub fn parse_group(s: &str) -> Option<Vec<Variant>> {
         match s.trim().to_ascii_lowercase().as_str() {
             "all" => Some(Variant::ALL.to_vec()),
             "paper" => Some(Variant::PAPER.to_vec()),
             "sparc" => Some(Variant::SPARC.to_vec()),
             "figures" | "figs" => Some(Variant::FIGURES.to_vec()),
+            "reclaim" => Some(Variant::RECLAIM.to_vec()),
             _ => Variant::parse(s).map(|v| vec![v]),
         }
+    }
+
+    /// The named groups this variant belongs to (`"all"` first), for
+    /// `repro --list-variants`.
+    pub fn groups(self) -> Vec<&'static str> {
+        let mut g = vec!["all"];
+        if Variant::PAPER.contains(&self) {
+            g.push("paper");
+        }
+        if Variant::SPARC.contains(&self) {
+            g.push("sparc");
+        }
+        if Variant::FIGURES.contains(&self) {
+            g.push("figures");
+        }
+        if Variant::RECLAIM.contains(&self) {
+            g.push("reclaim");
+        }
+        g
     }
 }
 
@@ -231,6 +298,11 @@ mod tests {
         }
         assert_eq!(Variant::parse("DOUBLY-CURSOR"), Some(Variant::DoublyCursor));
         assert_eq!(Variant::parse("f"), Some(Variant::DoublyCursor));
+        assert_eq!(Variant::parse("hp"), Some(Variant::SinglyHp));
+        assert_eq!(
+            Variant::parse("singly-fetch-or-epoch"),
+            Some(Variant::SinglyFetchOrEpoch)
+        );
         assert_eq!(Variant::parse("nope"), None);
     }
 
@@ -250,6 +322,10 @@ mod tests {
             Variant::FIGURES.to_vec()
         );
         assert_eq!(
+            Variant::parse_group("reclaim").unwrap(),
+            Variant::RECLAIM.to_vec()
+        );
+        assert_eq!(
             Variant::parse_group("f").unwrap(),
             vec![Variant::DoublyCursor]
         );
@@ -258,10 +334,22 @@ mod tests {
 
     #[test]
     fn paper_sets_have_expected_sizes() {
-        assert_eq!(Variant::ALL.len(), 8);
+        assert_eq!(Variant::ALL.len(), 12);
         assert_eq!(Variant::PAPER.len(), 6);
         assert_eq!(Variant::SPARC.len(), 5);
+        assert_eq!(Variant::RECLAIM.len(), 9);
         assert!(!Variant::SPARC.contains(&Variant::SinglyFetchOr));
+        assert!(Variant::RECLAIM.contains(&Variant::SinglyHp));
+    }
+
+    #[test]
+    fn group_membership_is_reported() {
+        assert_eq!(
+            Variant::Draconic.groups(),
+            vec!["all", "paper", "sparc", "figures", "reclaim"]
+        );
+        assert_eq!(Variant::SinglyHp.groups(), vec!["all", "reclaim"]);
+        assert_eq!(Variant::CursorOnly.groups(), vec!["all"]);
     }
 
     #[test]
@@ -282,7 +370,7 @@ mod tests {
     #[test]
     fn custom_visitor_needs_no_per_variant_code() {
         // A brand-new computation over the set types: written once,
-        // dispatched to all eight variants.
+        // dispatched to every variant.
         struct NetInsertions;
         impl VariantVisitor for NetInsertions {
             type Output = usize;

@@ -1,12 +1,20 @@
 //! Ablation A2: what does *real* memory reclamation cost?
 //!
-//! The paper's lists free nodes only after the experiment (arena
-//! scheme); `EpochList` is the same textbook algorithm with
-//! crossbeam-epoch reclamation (pin per operation, retire on unlink).
-//! Comparing `draconic` (arena) with `epoch` on the update-heavy random
-//! mix isolates the reclamation overhead the paper declines to pay —
-//! context for its §4 remark that the improvements "do not comprise the
-//! chosen memory reclamation scheme".
+//! The paper's lists free nodes only after the experiment (the arena
+//! scheme, [`ArenaReclaim`]); the same list code instantiated with
+//! epoch-based or hazard-pointer reclamation pays the price the paper
+//! declines to pay — context for its §4 remark that the improvements
+//! "do not comprise the chosen memory reclamation scheme".
+//!
+//! The sweep is the variant × reclaimer cross-product from
+//! `Variant::RECLAIM`: each arena variant runs next to its epoch (and,
+//! for variant b, hazard-pointer) counterpart on the update-heavy random
+//! mix, so adjacent rows isolate the reclamation overhead per variant —
+//! pin/unpin per operation for epoch, a protect-and-fence per traversal
+//! step for hazard pointers, plus the loss of cross-operation cursors
+//! and backward walks.
+//!
+//! [`ArenaReclaim`]: pragmatic_list::reclaim::ArenaReclaim
 
 use bench_harness::config::{OpMix, RandomMixConfig};
 use bench_harness::Variant;
@@ -24,7 +32,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_a2_reclamation");
     g.sample_size(10);
     g.throughput(criterion::Throughput::Elements(cfg.total_ops()));
-    for v in [Variant::Draconic, Variant::Epoch] {
+    for v in Variant::RECLAIM {
         g.bench_function(v.name(), |b| b.iter(|| std::hint::black_box(v.run(&cfg))));
     }
     g.finish();

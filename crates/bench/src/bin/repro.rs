@@ -16,7 +16,10 @@
 //!   --prefill N           override random-mix prefill
 //!   --range N             override random-mix key range
 //!   --repeats N           override sweep repeats
-//!   --variants a,b,f      restrict the variant set (names or letters)
+//!   --variants a,b,f      restrict the variant set (names, letters, or
+//!                         groups: all/paper/sparc/figures/reclaim)
+//!   --list-variants       print every variant key, paper label and
+//!                         group membership, then exit
 //!   --private             also run the thread-private sequential baseline
 //!   --csv PATH            append machine-readable results to PATH
 //! ```
@@ -71,6 +74,18 @@ fn main() -> ExitCode {
         for id in Experiment::IDS {
             let e = Experiment::get(id, Scale::Paper).unwrap();
             println!("  {:<9} {}", id, e.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list-variants") {
+        println!("{:<24} {:<26} groups", "variant (CLI key)", "paper label");
+        for v in Variant::ALL {
+            println!(
+                "{:<24} {:<26} {}",
+                v.name(),
+                v.paper_label(),
+                v.groups().join(",")
+            );
         }
         return ExitCode::SUCCESS;
     }
@@ -176,7 +191,7 @@ fn run_latency(rest: &[String]) -> ExitCode {
         "per-operation latency (ns, log2-bucket upper bounds), mix 10/10/80, p={threads}, c={ops}, every 16th op sampled"
     );
     println!(
-        "{:<20} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "{:<26} {:>10} {:>10} {:>10} {:>10} {:>12}",
         "Variant", "p50", "p90", "p99", "p99.9", "max"
     );
     let workload = LatencySampled {
@@ -187,7 +202,7 @@ fn run_latency(rest: &[String]) -> ExitCode {
         let h = v.run(&workload);
         let (p50, p90, p99, p999, max) = h.summary();
         println!(
-            "{:<20} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "{:<26} {:>10} {:>10} {:>10} {:>10} {:>12}",
             v.paper_label(),
             p50,
             p90,
@@ -234,7 +249,7 @@ fn run_experiment(exp: Experiment, opt: &Options) {
             for v in variants {
                 let r = v.run(&cfg);
                 println!(
-                    "   {:<20} {:>10.1} ms  {:>12.1} Kops/s",
+                    "   {:<26} {:>10.1} ms  {:>12.1} Kops/s",
                     v.paper_label(),
                     r.time_ms(),
                     r.kops_per_sec()
@@ -280,7 +295,7 @@ fn run_experiment(exp: Experiment, opt: &Options) {
             for v in variants {
                 let r = v.run(&cfg);
                 println!(
-                    "   {:<20} {:>10.1} ms  {:>12.1} Kops/s",
+                    "   {:<26} {:>10.1} ms  {:>12.1} Kops/s",
                     v.paper_label(),
                     r.time_ms(),
                     r.kops_per_sec()
@@ -345,7 +360,7 @@ fn print_usage() {
          usage: repro list | repro <experiment>... [options] | repro all [options] | repro latency\n\
          \n\
          options: --paper-scale --threads N --n N --ops N --prefill N --range N\n\
-         \x20         --repeats N --variants a,b,f --private --csv PATH\n\
+         \x20         --repeats N --variants a,b,f --list-variants --private --csv PATH\n\
          \n\
          Container-scale parameters are the default; pass --paper-scale on a\n\
          large machine for the published sizes."

@@ -1,4 +1,5 @@
-//! Deferred, drop-time node reclamation — the paper's memory scheme.
+//! Deferred, drop-time node reclamation — the storage behind the
+//! paper's memory scheme.
 //!
 //! The paper explicitly leaves safe memory reclamation out of scope
 //! (§1, §2, §4): cursors and approximate backward pointers may reference
@@ -10,20 +11,21 @@
 //! every node a thread allocates is recorded in a thread-local buffer
 //! ([`LocalArena`]) that is flushed into the list's shared [`Registry`]
 //! when the per-thread handle drops; the `Drop` impl of the list walks the
-//! registry and frees everything. Because the list cannot be dropped while
-//! handles borrow it, and nodes are never freed earlier, *every* raw node
-//! pointer held by any cursor or `prev` field stays valid for the lifetime
-//! of the list — this is the safety argument for all node dereferences in
-//! `singly.rs` / `doubly.rs`.
+//! registry and frees everything.
 //!
-//! The cost model also matches the paper: per allocation, one push onto an
+//! The cost model matches the paper: per allocation, one push onto an
 //! unsynchronised thread-local `Vec`; no shared-memory traffic on the hot
 //! path (the registry mutex — std's, it is only touched at handle drop —
 //! never appears on the operation path).
 //!
-//! The crate's `epoch_list` module implements the alternative the paper
-//! leaves open — real reclamation via crossbeam-epoch — and the `A2`
-//! ablation bench quantifies the difference.
+//! The lists consume this module through
+//! [`ArenaReclaim`](crate::reclaim::ArenaReclaim), the `STABLE` instance
+//! of the [`Reclaimer`](crate::reclaim::Reclaimer) trait — see
+//! [`crate::reclaim`] for the safety contract (formerly stated here: the
+//! list cannot be dropped while handles borrow it, and nodes are never
+//! freed earlier, so every raw node pointer held by any cursor or `prev`
+//! field stays valid for the lifetime of the list) and for the epoch /
+//! hazard-pointer alternatives the `A2` ablation bench quantifies.
 
 use std::sync::Mutex;
 

@@ -33,17 +33,29 @@
 //! observed adjacent at some instant). Backward walks therefore strictly
 //! decrease the key at every step and must reach the head sentinel.
 //!
-//! Reclamation follows the paper (and [`crate::arena`]): nodes are freed
-//! only when the list is dropped, which is precisely what makes the
-//! backwards pointers and cursors safe to chase.
+//! # Memory reclamation
+//!
+//! Like [`crate::singly`], the list is generic over a [`Reclaimer`]
+//! (defaulting to the paper's arena). Backward pointers are the reason
+//! the paper keeps the arena
+//! scheme: a `prev` field may name a node unlinked arbitrarily long ago,
+//! which only a [`STABLE`](crate::reclaim::Reclaimer::STABLE) scheme
+//! keeps dereferenceable. Under epoch or hazard-pointer reclamation the
+//! list therefore **degrades gracefully rather than dangle**: cursors
+//! reset at operation entry, retries restart from the head instead of
+//! walking backwards, and the quiescent back-chain validation is
+//! skipped. The `prev` maintenance stores still run (they target nodes
+//! the operation has pinned or protected), so the `doubly_*_epoch`
+//! variants measure exactly what maintaining backward pointers costs
+//! once real reclamation forbids exploiting them.
 
 use std::marker::PhantomData;
 use std::sync::atomic::AtomicPtr;
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
 
-use crate::arena::{LocalArena, Registry};
 use crate::marked::{MarkedAtomic, MarkedPtr};
 use crate::ordered::{OrderedHandle, ScanBounds, Snapshot};
+use crate::reclaim::{ArenaReclaim, ListNode, Reclaimer};
 use crate::set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
 use crate::stats::OpStats;
 use crate::Key;
@@ -51,10 +63,28 @@ use crate::Key;
 /// Doubly linked list node. `next` carries the deletion mark; `prev` is
 /// the unmarked approximate backward pointer.
 #[repr(C)]
-pub(crate) struct DNode<K> {
+pub(crate) struct DNode<K: Key> {
     pub(crate) next: MarkedAtomic<DNode<K>>,
     pub(crate) prev: AtomicPtr<DNode<K>>,
     pub(crate) key: K,
+}
+
+impl<K: Key> ListNode<K> for DNode<K> {
+    #[inline]
+    fn next_ref(&self) -> &MarkedAtomic<Self> {
+        &self.next
+    }
+    #[inline]
+    fn node_key(&self) -> K {
+        self.key
+    }
+}
+
+#[cfg(test)]
+impl<K: Key> Drop for DNode<K> {
+    fn drop(&mut self) {
+        crate::reclaim::leak::note_free::<K>();
+    }
 }
 
 /// The doubly linked lock-free ordered set with approximate backward
@@ -74,28 +104,60 @@ pub(crate) struct DNode<K> {
 /// assert!(h.contains(500));
 /// assert!(h.stats().trav < 5_000);
 /// ```
-pub struct DoublyList<K: Key, const CURSOR: bool, const REPAIR: bool = true> {
+pub struct DoublyList<
+    K: Key,
+    const CURSOR: bool,
+    const REPAIR: bool = true,
+    R: Reclaimer = ArenaReclaim,
+> {
     head: *mut DNode<K>,
     tail: *mut DNode<K>,
-    registry: Registry<DNode<K>>,
+    reclaim: R::Shared<DNode<K>>,
 }
 
-// SAFETY: as for `SinglyList` — atomics for all shared state, arena-stable
-// nodes, `Drop` requires exclusivity.
-unsafe impl<K: Key, const CURSOR: bool, const REPAIR: bool> Send for DoublyList<K, CURSOR, REPAIR> {}
-unsafe impl<K: Key, const CURSOR: bool, const REPAIR: bool> Sync for DoublyList<K, CURSOR, REPAIR> {}
+// SAFETY: as for `SinglyList` — atomics for all shared state, node
+// lifetime per the reclaimer contract, `Drop` requires exclusivity.
+unsafe impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> Send
+    for DoublyList<K, CURSOR, REPAIR, R>
+{
+}
+unsafe impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> Sync
+    for DoublyList<K, CURSOR, REPAIR, R>
+{
+}
 
-impl<K: Key, const CURSOR: bool, const REPAIR: bool> Default for DoublyList<K, CURSOR, REPAIR> {
+impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> Default
+    for DoublyList<K, CURSOR, REPAIR, R>
+{
     fn default() -> Self {
         <Self as ConcurrentOrderedSet<K>>::new()
     }
 }
 
-impl<K: Key, const CURSOR: bool, const REPAIR: bool> DoublyList<K, CURSOR, REPAIR> {
+impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer>
+    DoublyList<K, CURSOR, REPAIR, R>
+{
     /// Number of unmarked items via a racy traversal (exact if quiescent).
     pub fn len_approx(&self) -> usize {
+        let _pin = R::pin();
         let mut n = 0;
-        // SAFETY: arena-stable nodes.
+        if R::PROTECTS {
+            let mut thread = R::register(&self.reclaim);
+            // SAFETY: sentinels never retire; interior nodes are
+            // protected and validated by the scan.
+            unsafe {
+                crate::reclaim::protected_scan::<K, DNode<K>, R>(
+                    &thread,
+                    self.head,
+                    self.tail,
+                    &ScanBounds::from_range(&(..)),
+                    |_| n += 1,
+                );
+            }
+            R::unregister(&self.reclaim, &mut thread);
+            return n;
+        }
+        // SAFETY: stable or pinned nodes.
         unsafe {
             let mut curr = (*self.head).next.load(Acquire).ptr();
             while curr != self.tail {
@@ -125,17 +187,23 @@ impl<K: Key, const CURSOR: bool, const REPAIR: bool> DoublyList<K, CURSOR, REPAI
     }
 
     /// Structural invariants: forward chain strictly sorted and reaching
-    /// the tail, sentinels unmarked, and — the doubly-specific one — every
-    /// backward chain reaching the head through strictly decreasing keys.
+    /// the tail, sentinels unmarked, and — for [`STABLE`] reclaimers
+    /// only — every backward chain reaching the head through strictly
+    /// decreasing keys. (Under real reclamation `prev` may name freed
+    /// nodes and is never followed, so there is nothing to check.)
+    ///
+    /// [`STABLE`]: crate::reclaim::Reclaimer::STABLE
     pub fn validate(&mut self) -> Result<(), InvariantViolation> {
-        // SAFETY: exclusive access.
+        // SAFETY: exclusive access; `prev` chains are dereferenced only
+        // under a STABLE reclaimer, where every node ever linked is
+        // still allocated.
         unsafe {
             if (*self.head).next.load(Acquire).is_marked()
                 || (*self.tail).next.load(Acquire).is_marked()
             {
                 return Err(InvariantViolation::MarkedSentinel);
             }
-            let budget = self.registry.len() + 2;
+            let budget = R::tracked_nodes(&self.reclaim) + 2;
             let mut prev_key = K::NEG_INF;
             let mut curr = (*self.head).next.load(Acquire).ptr();
             let mut pos = 0usize;
@@ -149,17 +217,19 @@ impl<K: Key, const CURSOR: bool, const REPAIR: bool> DoublyList<K, CURSOR, REPAI
                 }
                 // Backward chain from `curr` must reach the head with
                 // strictly decreasing keys.
-                let mut back = (*curr).prev.load(Acquire);
-                let mut last = k;
-                let mut steps = 0usize;
-                while back != self.head {
-                    let bk = (*back).key;
-                    if bk >= last || steps > budget {
-                        return Err(InvariantViolation::BackChainBroken { position: pos });
+                if R::STABLE {
+                    let mut back = (*curr).prev.load(Acquire);
+                    let mut last = k;
+                    let mut steps = 0usize;
+                    while back != self.head {
+                        let bk = (*back).key;
+                        if bk >= last || steps > budget {
+                            return Err(InvariantViolation::BackChainBroken { position: pos });
+                        }
+                        last = bk;
+                        back = (*back).prev.load(Acquire);
+                        steps += 1;
                     }
-                    last = bk;
-                    back = (*back).prev.load(Acquire);
-                    steps += 1;
                 }
                 prev_key = k;
                 curr = (*curr).next.load(Acquire).ptr();
@@ -171,40 +241,86 @@ impl<K: Key, const CURSOR: bool, const REPAIR: bool> DoublyList<K, CURSOR, REPAI
 
     /// Total nodes ever allocated (diagnostic).
     pub fn allocated_nodes(&self) -> usize {
-        self.registry.len()
+        R::tracked_nodes(&self.reclaim)
     }
 }
 
-impl<K: Key, const CURSOR: bool, const REPAIR: bool> Drop for DoublyList<K, CURSOR, REPAIR> {
+impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> Drop
+    for DoublyList<K, CURSOR, REPAIR, R>
+{
     fn drop(&mut self) {
-        // SAFETY: `&mut self` — no live handles; each node registered once.
+        // SAFETY: `&mut self` — no live handles; STABLE schemes track
+        // every node, otherwise reachable nodes are freed by the forward
+        // chain walk (never through `prev`).
         unsafe {
-            self.registry.free_all();
+            if !R::STABLE {
+                let mut curr = (*self.head).next.load(Relaxed).ptr();
+                while curr != self.tail {
+                    let next = (*curr).next.load(Relaxed).ptr();
+                    drop(Box::from_raw(curr));
+                    curr = next;
+                }
+            }
+            R::drop_shared(&mut self.reclaim);
             drop(Box::from_raw(self.head));
             drop(Box::from_raw(self.tail));
         }
     }
 }
 
-impl<K: Key, const CURSOR: bool, const REPAIR: bool> ConcurrentOrderedSet<K>
-    for DoublyList<K, CURSOR, REPAIR>
+impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> ConcurrentOrderedSet<K>
+    for DoublyList<K, CURSOR, REPAIR, R>
 {
     type Handle<'a>
-        = DoublyHandle<'a, K, CURSOR, REPAIR>
+        = DoublyHandle<'a, K, CURSOR, REPAIR, R>
     where
         Self: 'a;
 
-    const NAME: &'static str = if CURSOR && REPAIR {
-        "doubly_cursor"
-    } else if CURSOR {
-        "doubly_cursor_norepair"
-    } else if REPAIR {
-        "doubly"
-    } else {
-        "doubly_norepair"
+    const NAME: &'static str = {
+        use crate::reclaim::str_eq;
+        if str_eq(R::NAME, "arena") {
+            if CURSOR && REPAIR {
+                "doubly_cursor"
+            } else if CURSOR {
+                "doubly_cursor_norepair"
+            } else if REPAIR {
+                "doubly"
+            } else {
+                "doubly_norepair"
+            }
+        } else if str_eq(R::NAME, "epoch") {
+            if CURSOR && REPAIR {
+                "doubly_cursor_epoch"
+            } else if CURSOR {
+                "doubly_cursor_norepair_epoch"
+            } else if REPAIR {
+                "doubly_epoch"
+            } else {
+                "doubly_norepair_epoch"
+            }
+        } else if str_eq(R::NAME, "hp") {
+            if CURSOR && REPAIR {
+                "doubly_cursor_hp"
+            } else if CURSOR {
+                "doubly_cursor_norepair_hp"
+            } else if REPAIR {
+                "doubly_hp"
+            } else {
+                "doubly_norepair_hp"
+            }
+        } else {
+            // A new Reclaimer must be added to this name table (falling
+            // through would silently collide with an existing variant).
+            panic!("unknown Reclaimer::NAME — extend DoublyList's NAME table")
+        }
     };
 
     fn new() -> Self {
+        #[cfg(test)]
+        {
+            crate::reclaim::leak::note_alloc::<K>();
+            crate::reclaim::leak::note_alloc::<K>();
+        }
         let tail = Box::into_raw(Box::new(DNode {
             next: MarkedAtomic::null(),
             prev: AtomicPtr::new(std::ptr::null_mut()),
@@ -225,16 +341,16 @@ impl<K: Key, const CURSOR: bool, const REPAIR: bool> ConcurrentOrderedSet<K>
         Self {
             head,
             tail,
-            registry: Registry::new(),
+            reclaim: R::Shared::default(),
         }
     }
 
-    fn handle(&self) -> DoublyHandle<'_, K, CURSOR, REPAIR> {
+    fn handle(&self) -> DoublyHandle<'_, K, CURSOR, REPAIR, R> {
         DoublyHandle {
             list: self,
             cursor: self.head,
             spare: std::ptr::null_mut(),
-            arena: LocalArena::new(),
+            thread: R::register(&self.reclaim),
             stats: OpStats::ZERO,
             _not_sync: PhantomData,
         }
@@ -250,76 +366,134 @@ impl<K: Key, const CURSOR: bool, const REPAIR: bool> ConcurrentOrderedSet<K>
 }
 
 /// Per-thread handle over a [`DoublyList`].
-pub struct DoublyHandle<'l, K: Key, const CURSOR: bool, const REPAIR: bool = true> {
-    list: &'l DoublyList<K, CURSOR, REPAIR>,
+pub struct DoublyHandle<
+    'l,
+    K: Key,
+    const CURSOR: bool,
+    const REPAIR: bool = true,
+    R: Reclaimer = ArenaReclaim,
+> {
+    list: &'l DoublyList<K, CURSOR, REPAIR, R>,
     cursor: *mut DNode<K>,
     spare: *mut DNode<K>,
-    arena: LocalArena<DNode<K>>,
+    thread: R::Thread<DNode<K>>,
     stats: OpStats,
     _not_sync: PhantomData<std::cell::Cell<()>>,
 }
 
-impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> Drop
-    for DoublyHandle<'l, K, CURSOR, REPAIR>
+impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> Drop
+    for DoublyHandle<'l, K, CURSOR, REPAIR, R>
 {
     fn drop(&mut self) {
-        self.arena.flush_into(&self.list.registry);
+        if !self.spare.is_null() {
+            // SAFETY: the spare was never published.
+            unsafe { R::dealloc_unpublished(&self.list.reclaim, &mut self.thread, self.spare) };
+        }
+        R::unregister(&self.list.reclaim, &mut self.thread);
     }
 }
 
-impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> DoublyHandle<'l, K, CURSOR, REPAIR> {
+impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer>
+    DoublyHandle<'l, K, CURSOR, REPAIR, R>
+{
     #[inline]
     fn begin_op(&mut self) {
-        if !CURSOR {
+        if !CURSOR || !R::STABLE {
             self.cursor = self.list.head;
         }
     }
 
-    /// The search function with backward pointers — Listing 3 verbatim.
+    /// The search function with backward pointers — Listing 3 verbatim
+    /// under the arena scheme.
     ///
-    /// Never restarts from the head: both the initial cursor validation
-    /// and every retry walk `prev` pointers backwards (through strictly
-    /// smaller keys) to the first unmarked node with `key` strictly
-    /// beyond, then search forward.
+    /// With a [`STABLE`](Reclaimer::STABLE) reclaimer it never restarts
+    /// from the head: both the initial cursor validation and every retry
+    /// walk `prev` pointers backwards (through strictly smaller keys) to
+    /// the first unmarked node with `key` strictly beyond, then search
+    /// forward. Under real reclamation the backward walk would chase
+    /// possibly-freed nodes, so retries restart from the head instead
+    /// (the first attempt may still resume from the within-operation
+    /// cursor, which the pin or hazard slots keep valid).
     fn search(&mut self, key: K) -> (*mut DNode<K>, *mut DNode<K>) {
-        // SAFETY (whole body): arena-stable nodes; atomics throughout.
+        // SAFETY (whole body): reclaimer contract as in `singly::search`;
+        // backward (`prev`) steps happen only under a STABLE reclaimer.
         unsafe {
             let mut pred = self.cursor;
+            let mut resume_ok = true;
             'retry: loop {
-                // Backward walk: to an unmarked node with key < `key`.
-                // Terminates: every `prev` step strictly decreases the key
-                // (module docs), and the head satisfies the condition.
-                while (*pred).next.load(Acquire).is_marked() || key <= (*pred).key {
-                    pred = (*pred).prev.load(Acquire);
-                    self.stats.trav += 1;
+                if R::STABLE {
+                    // Backward walk: to an unmarked node with key < `key`.
+                    // Terminates: every `prev` step strictly decreases the
+                    // key (module docs), and the head satisfies the
+                    // condition.
+                    while (*pred).next.load(Acquire).is_marked() || key <= (*pred).key {
+                        pred = (*pred).prev.load(Acquire);
+                        self.stats.trav += 1;
+                    }
+                } else if !resume_ok || (*pred).next.load(Acquire).is_marked() || key <= (*pred).key
+                {
+                    // Real reclamation: never chase `prev` — restart at
+                    // the head (the short-circuit keeps a stale `pred`
+                    // from being dereferenced on retries).
+                    pred = self.list.head;
                 }
+                resume_ok = false;
                 let mut curr = (*pred).next.load(Acquire).ptr();
+                if R::PROTECTS {
+                    match crate::reclaim::acquire_curr::<K, DNode<K>, R>(&self.thread, pred, curr) {
+                        Ok(c) => curr = c,
+                        Err(()) => {
+                            self.stats.rtry += 1;
+                            continue 'retry;
+                        }
+                    }
+                }
                 loop {
                     let mut succ = (*curr).next.load(Acquire);
                     while succ.is_marked() {
                         let mut succ_ptr = succ.ptr();
-                        match (*pred).next.compare_exchange(
+                        let unlinked = match (*pred).next.compare_exchange(
                             MarkedPtr::unmarked(curr),
                             MarkedPtr::unmarked(succ_ptr),
                             AcqRel,
                             Acquire,
                         ) {
                             Ok(()) => {
-                                // Rule 2: the successor's backward pointer
-                                // skips the node we just unlinked.
-                                (*succ_ptr).prev.store(pred, Release);
+                                R::retire(&self.list.reclaim, &mut self.thread, curr);
+                                true
                             }
                             Err(observed) => {
                                 self.stats.fail += 1;
                                 if observed.is_marked() {
                                     // `pred` became marked: resume the
-                                    // backward walk from it — the paper's
-                                    // head-restart-free retry.
+                                    // backward walk from it (STABLE) or
+                                    // restart from the head.
                                     self.stats.rtry += 1;
                                     continue 'retry;
                                 }
                                 succ_ptr = observed.ptr();
+                                false
                             }
+                        };
+                        if R::PROTECTS {
+                            match crate::reclaim::acquire_curr::<K, DNode<K>, R>(
+                                &self.thread,
+                                pred,
+                                succ_ptr,
+                            ) {
+                                Ok(c) => succ_ptr = c,
+                                Err(()) => {
+                                    self.stats.rtry += 1;
+                                    continue 'retry;
+                                }
+                            }
+                        }
+                        if unlinked {
+                            // Rule 2: the successor's backward pointer
+                            // skips the node we just unlinked. Safe for
+                            // every scheme: `succ_ptr` is arena-stable,
+                            // pinned, or just validated above.
+                            (*succ_ptr).prev.store(pred, Release);
                         }
                         curr = succ_ptr;
                         self.stats.trav += 1;
@@ -336,8 +510,24 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> DoublyHandle<'l, K, CUR
                         self.cursor = pred;
                         return (pred, curr);
                     }
+                    if R::PROTECTS {
+                        R::protect(&self.thread, 0, curr);
+                    }
                     pred = curr;
                     curr = (*curr).next.load(Acquire).ptr();
+                    if R::PROTECTS {
+                        match crate::reclaim::acquire_curr::<K, DNode<K>, R>(
+                            &self.thread,
+                            pred,
+                            curr,
+                        ) {
+                            Ok(c) => curr = c,
+                            Err(()) => {
+                                self.stats.rtry += 1;
+                                continue 'retry;
+                            }
+                        }
+                    }
                     self.stats.trav += 1;
                 }
             }
@@ -347,12 +537,17 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> DoublyHandle<'l, K, CUR
     #[inline]
     fn prepare_node(&mut self, key: K, succ: *mut DNode<K>, pred: *mut DNode<K>) -> *mut DNode<K> {
         if self.spare.is_null() {
-            let node = Box::into_raw(Box::new(DNode {
-                next: MarkedAtomic::new(succ),
-                prev: AtomicPtr::new(pred),
-                key,
-            }));
-            self.arena.record(node);
+            #[cfg(test)]
+            crate::reclaim::leak::note_alloc::<K>();
+            let node = R::alloc(
+                &self.list.reclaim,
+                &mut self.thread,
+                DNode {
+                    next: MarkedAtomic::new(succ),
+                    prev: AtomicPtr::new(pred),
+                    key,
+                },
+            );
             self.spare = node;
             node
         } else {
@@ -369,10 +564,11 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> DoublyHandle<'l, K, CUR
 
     fn add_impl(&mut self, key: K) -> bool {
         debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        let _pin = R::pin();
         self.begin_op();
         loop {
             let (pred, curr) = self.search(key);
-            // SAFETY: arena-stable nodes.
+            // SAFETY: `pred`/`curr` per the search contract.
             unsafe {
                 if (*curr).key == key {
                     return false;
@@ -387,7 +583,8 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> DoublyHandle<'l, K, CUR
                     Ok(()) => {
                         self.spare = std::ptr::null_mut();
                         // Rule 1: successor's backward pointer now names
-                        // the new node.
+                        // the new node (`curr` is stable, pinned, or
+                        // still protected in slot 1).
                         (*curr).prev.store(node, Release);
                         self.stats.adds += 1;
                         return true;
@@ -395,7 +592,8 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> DoublyHandle<'l, K, CUR
                     Err(_) => {
                         self.stats.fail += 1;
                         // Retry re-enters the search, which walks back
-                        // from the stored position — never from the head.
+                        // from the stored position — never from the head
+                        // (STABLE reclaimers only).
                     }
                 }
             }
@@ -404,10 +602,11 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> DoublyHandle<'l, K, CUR
 
     fn remove_impl(&mut self, key: K) -> bool {
         debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        let _pin = R::pin();
         self.begin_op();
         loop {
             let (pred, node) = self.search(key);
-            // SAFETY: arena-stable nodes.
+            // SAFETY: `pred`/`node` per the search contract.
             unsafe {
                 if (*node).key != key {
                     return false;
@@ -432,7 +631,17 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> DoublyHandle<'l, K, CUR
                     AcqRel,
                     Acquire,
                 ) {
-                    Ok(()) => (*succ_ptr).prev.store(pred, Release),
+                    Ok(()) => {
+                        // Rule 2 — except under hazard pointers, where
+                        // `succ_ptr` is not protected here; skipping a
+                        // maintenance store only leaves `prev` more
+                        // approximate, and non-STABLE schemes never
+                        // follow it anyway.
+                        if !R::PROTECTS {
+                            (*succ_ptr).prev.store(pred, Release);
+                        }
+                        R::retire(&self.list.reclaim, &mut self.thread, node);
+                    }
                     Err(_) => self.stats.fail += 1,
                 }
                 self.stats.rems += 1;
@@ -443,14 +652,36 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> DoublyHandle<'l, K, CUR
 
     fn contains_impl(&mut self, key: K) -> bool {
         debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        let _pin = R::pin();
         self.begin_op();
-        // SAFETY: arena-stable nodes; read-only traversal.
+        if R::PROTECTS {
+            // As in the singly list: hazard pointers cannot validate the
+            // wait-free walk, so membership uses the protected search,
+            // with its traversal steps reclassified as `cons`.
+            let trav_before = self.stats.trav;
+            let (_pred, curr) = self.search(key);
+            let steps = self.stats.trav - trav_before;
+            self.stats.trav -= steps;
+            self.stats.cons += steps;
+            // SAFETY: `curr` is protected and was observed unmarked.
+            return unsafe { (*curr).key == key };
+        }
+        // SAFETY: stable or pinned nodes; read-only traversal. Backward
+        // (`prev`) steps only under a STABLE reclaimer, where they are
+        // always dereferenceable.
         unsafe {
-            let mut curr = if CURSOR { self.cursor } else { self.list.head };
+            let mut curr = if CURSOR && R::STABLE {
+                self.cursor
+            } else {
+                self.list.head
+            };
             // Backward phase: unlike the search function, `con()` may stop
             // *at* a node carrying the sought key (see singly.rs for why
             // the equal-key start is essential to the paper's "cons"
             // numbers). Strictly decreasing keys guarantee termination.
+            // From the head (the non-STABLE start) this loop exits
+            // immediately: the head is never marked and no key is below
+            // `NEG_INF`.
             while (*curr).next.load(Acquire).is_marked() || key < (*curr).key {
                 curr = (*curr).prev.load(Acquire);
                 self.stats.cons += 1;
@@ -462,7 +693,7 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> DoublyHandle<'l, K, CUR
                 curr = (*curr).next.load(Acquire).ptr();
                 self.stats.cons += 1;
             }
-            if CURSOR {
+            if CURSOR && R::STABLE {
                 self.cursor = pred;
             }
             (*curr).key == key && !(*curr).next.load(Acquire).is_marked()
@@ -470,8 +701,8 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> DoublyHandle<'l, K, CUR
     }
 }
 
-impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> SetHandle<K>
-    for DoublyHandle<'l, K, CURSOR, REPAIR>
+impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> SetHandle<K>
+    for DoublyHandle<'l, K, CURSOR, REPAIR, R>
 {
     #[inline]
     fn add(&mut self, key: K) -> bool {
@@ -497,25 +728,37 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> SetHandle<K>
     }
 }
 
-impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> OrderedHandle<K>
-    for DoublyHandle<'l, K, CURSOR, REPAIR>
+impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> OrderedHandle<K>
+    for DoublyHandle<'l, K, CURSOR, REPAIR, R>
 {
-    fn range<R: std::ops::RangeBounds<K>>(&mut self, range: R) -> Snapshot<K> {
+    fn range<Q: std::ops::RangeBounds<K>>(&mut self, range: Q) -> Snapshot<K> {
         let bounds = ScanBounds::from_range(&range);
+        let _pin = R::pin();
         let mut out = Vec::new();
-        // SAFETY: arena-stable nodes; wait-free forward traversal (the
-        // backward pointers play no role in a read-only scan).
+        // SAFETY: stable/pinned nodes, or the protected scan's per-step
+        // validation (the backward pointers play no role in a read-only
+        // scan).
         unsafe {
-            crate::ordered::scan_chain(
-                &bounds,
-                (*self.list.head).next.load(Acquire).ptr(),
-                self.list.tail,
-                |p| {
-                    let succ = (*p).next.load(Acquire);
-                    ((*p).key, !succ.is_marked(), succ.ptr())
-                },
-                |_, key| out.push(key),
-            );
+            if R::PROTECTS {
+                crate::reclaim::protected_scan::<K, DNode<K>, R>(
+                    &self.thread,
+                    self.list.head,
+                    self.list.tail,
+                    &bounds,
+                    |k| out.push(k),
+                );
+            } else {
+                crate::ordered::scan_chain(
+                    &bounds,
+                    (*self.list.head).next.load(Acquire).ptr(),
+                    self.list.tail,
+                    |p| {
+                        let succ = (*p).next.load(Acquire);
+                        ((*p).key, !succ.is_marked(), succ.ptr())
+                    },
+                    |_, key| out.push(key),
+                );
+            }
         }
         Snapshot::from_vec(out)
     }
@@ -528,7 +771,7 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool> OrderedHandle<K>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::variants::{DoublyBackptrList, DoublyCursorList};
+    use crate::variants::{DoublyBackptrList, DoublyCursorEpochList, DoublyCursorList};
 
     #[test]
     fn basic_semantics_both_variants() {
@@ -549,6 +792,7 @@ mod tests {
         }
         run::<DoublyBackptrList<i64>>();
         run::<DoublyCursorList<i64>>();
+        run::<DoublyCursorEpochList<i64>>();
     }
 
     #[test]
@@ -560,6 +804,10 @@ mod tests {
         assert_eq!(
             <DoublyCursorList<i64> as ConcurrentOrderedSet<i64>>::NAME,
             "doubly_cursor"
+        );
+        assert_eq!(
+            <DoublyCursorEpochList<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            "doubly_cursor_epoch"
         );
     }
 
@@ -621,6 +869,30 @@ mod tests {
     }
 
     #[test]
+    fn epoch_doubly_never_chases_backward_pointers() {
+        // Under real reclamation the backward walk is disabled: a
+        // descending sweep costs head restarts, like the textbook list.
+        let n = 300i64;
+        let list = DoublyCursorEpochList::<i64>::new();
+        let mut h = list.handle();
+        for k in 1..=n {
+            h.add(k);
+        }
+        let _ = h.take_stats();
+        for k in (1..=n).rev() {
+            assert!(h.contains(k));
+        }
+        let cons = h.stats().cons;
+        assert!(
+            cons >= (n as u64 * n as u64) / 8,
+            "expected ~n^2/2 cons without backward walks, got {cons}"
+        );
+        drop(h);
+        let mut list = list;
+        list.validate().unwrap();
+    }
+
+    #[test]
     fn non_cursor_doubly_restarts_from_head_per_op() {
         let list = DoublyBackptrList::<i64>::new();
         let mut h = list.handle();
@@ -660,31 +932,35 @@ mod tests {
 
     #[test]
     fn concurrent_mixed_workload_validates() {
-        let list = DoublyCursorList::<i64>::new();
-        std::thread::scope(|s| {
-            for t in 0..8i64 {
-                let list = &list;
-                s.spawn(move || {
-                    let mut h = list.handle();
-                    for i in 0..400 {
-                        let k = (i * 8 + t) % 1000 + 1;
-                        match i % 3 {
-                            0 => {
-                                h.add(k);
-                            }
-                            1 => {
-                                h.contains(k);
-                            }
-                            _ => {
-                                h.remove(k);
+        fn run<S: ConcurrentOrderedSet<i64>>() {
+            let list = S::new();
+            std::thread::scope(|s| {
+                for t in 0..8i64 {
+                    let list = &list;
+                    s.spawn(move || {
+                        let mut h = list.handle();
+                        for i in 0..400 {
+                            let k = (i * 8 + t) % 1000 + 1;
+                            match i % 3 {
+                                0 => {
+                                    h.add(k);
+                                }
+                                1 => {
+                                    h.contains(k);
+                                }
+                                _ => {
+                                    h.remove(k);
+                                }
                             }
                         }
-                    }
-                });
-            }
-        });
-        let mut list = list;
-        list.validate().unwrap();
+                    });
+                }
+            });
+            let mut list = list;
+            list.check_invariants().unwrap();
+        }
+        run::<DoublyCursorList<i64>>();
+        run::<DoublyCursorEpochList<i64>>();
     }
 
     #[test]

@@ -37,6 +37,13 @@ pub trait Key: Copy + Ord + Send + Sync + std::fmt::Debug + 'static {
     fn is_valid_key(&self) -> bool {
         *self > Self::NEG_INF && *self < Self::POS_INF
     }
+
+    /// Test support: when `true`, node allocations and frees for this
+    /// key type feed the leak-accounting counters in `reclaim::leak`
+    /// (compiled only under `cfg(test)`; always `false` for the provided
+    /// integer impls, so production keys pay nothing).
+    #[doc(hidden)]
+    const COUNT_LEAKS: bool = false;
 }
 
 macro_rules! impl_key {

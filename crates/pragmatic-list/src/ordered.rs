@@ -2,7 +2,8 @@
 //! [`range`](OrderedHandle::range) scans, [`iter`](OrderedHandle::iter)
 //! snapshots and [`len_estimate`](OrderedHandle::len_estimate).
 //!
-//! [`ConcurrentOrderedSet::collect_keys`] requires `&mut` access — the
+//! [`ConcurrentOrderedSet::collect_keys`](crate::ConcurrentOrderedSet::collect_keys)
+//! requires `&mut` access — the
 //! list must be quiescent, which is fine for tests but useless for a
 //! server answering range queries while writers run. `OrderedHandle`
 //! fills that gap: any per-thread handle can scan the key order while

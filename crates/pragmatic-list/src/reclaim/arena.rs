@@ -1,0 +1,81 @@
+//! The paper's drop-time arena scheme as a [`Reclaimer`].
+//!
+//! A thin wrapper over [`crate::arena`]: allocation records the node in
+//! an unsynchronised thread-local log ([`LocalArena`]), handle drop
+//! flushes the log into the list's shared [`Registry`], and the list's
+//! `Drop` frees everything. `retire` is a no-op — that is the whole
+//! point, and the reason the scheme is [`STABLE`](Reclaimer::STABLE):
+//! cursors and backward pointers may dangle into unlinked nodes and
+//! still dereference safely.
+//!
+//! Cost model (kept intact from the paper, and asserted by the A2
+//! ablation bench): the operation path touches no shared memory — one
+//! `Vec` push per allocation, and the registry mutex only at handle
+//! drop.
+
+use crate::arena::{LocalArena, Registry};
+
+use super::Reclaimer;
+
+/// Drop-time arena reclamation — the scheme the paper benchmarks.
+pub struct ArenaReclaim;
+
+// SAFETY: nodes are registered (locally, then in the shared registry) at
+// allocation and freed only in `drop_shared`, which the lists call from
+// `Drop` with exclusive access — so every allocated node outlives every
+// handle, which is exactly the STABLE contract.
+unsafe impl Reclaimer for ArenaReclaim {
+    const NAME: &'static str = "arena";
+    const STABLE: bool = true;
+    const PROTECTS: bool = false;
+
+    type Shared<T: Send> = Registry<T>;
+    type Thread<T: Send> = LocalArena<T>;
+    type Pin = ();
+
+    fn register<T: Send>(_shared: &Registry<T>) -> LocalArena<T> {
+        LocalArena::new()
+    }
+
+    #[inline]
+    fn pin() -> Self::Pin {}
+
+    #[inline]
+    fn alloc<T: Send>(_shared: &Registry<T>, thread: &mut LocalArena<T>, value: T) -> *mut T {
+        let node = Box::into_raw(Box::new(value));
+        thread.record(node);
+        node
+    }
+
+    #[inline]
+    fn protect<T: Send>(_thread: &LocalArena<T>, _slot: usize, _ptr: *mut T) {}
+
+    #[inline]
+    unsafe fn retire<T: Send>(_shared: &Registry<T>, _thread: &mut LocalArena<T>, _ptr: *mut T) {
+        // Deliberately nothing: the node stays valid until list drop.
+    }
+
+    #[inline]
+    unsafe fn dealloc_unpublished<T: Send>(
+        _shared: &Registry<T>,
+        _thread: &mut LocalArena<T>,
+        _ptr: *mut T,
+    ) {
+        // The spare is already recorded in the allocation log; the
+        // registry frees it with everything else at list drop.
+    }
+
+    fn unregister<T: Send>(shared: &Registry<T>, thread: &mut LocalArena<T>) {
+        thread.flush_into(shared);
+    }
+
+    unsafe fn drop_shared<T: Send>(shared: &mut Registry<T>) {
+        // SAFETY: forwarded contract — exclusive access, pointers from
+        // `Box::into_raw`, freed exactly once.
+        unsafe { shared.free_all() }
+    }
+
+    fn tracked_nodes<T: Send>(shared: &Registry<T>) -> usize {
+        shared.len()
+    }
+}

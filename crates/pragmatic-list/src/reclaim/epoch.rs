@@ -1,0 +1,99 @@
+//! Epoch-based reclamation as a [`Reclaimer`], over crossbeam-epoch.
+//!
+//! Operations pin the epoch for their whole duration
+//! ([`Reclaimer::pin`]); unlinked nodes are retired to the collector and
+//! freed two epoch advances later, when no pin from before the unlink
+//! can still be live. Not [`STABLE`](Reclaimer::STABLE): pointers must
+//! not outlive the operation's pin, so the lists reset cursors at every
+//! operation entry and never chase backward pointers — exactly the
+//! complication the paper cites for leaving reclamation open.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam_epoch::{self as epoch, Pointer, Shared};
+
+use super::Reclaimer;
+
+/// Epoch-based reclamation (crossbeam-epoch).
+pub struct EpochReclaim;
+
+/// Per-list state for [`EpochReclaim`]: the collector is global, so only
+/// a diagnostic allocation counter lives here.
+pub struct EpochShared<T> {
+    allocs: AtomicUsize,
+    _marker: PhantomData<fn(T)>,
+}
+
+impl<T> Default for EpochShared<T> {
+    fn default() -> Self {
+        EpochShared {
+            allocs: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
+    }
+}
+
+// SAFETY: a node observed while pinned was reachable at some instant of
+// the pin; it can only be retired after being unlinked, and the
+// collector frees it no earlier than two epoch advances after
+// retirement — which cannot complete while our pin holds the epoch.
+unsafe impl Reclaimer for EpochReclaim {
+    const NAME: &'static str = "epoch";
+    const STABLE: bool = false;
+    const PROTECTS: bool = false;
+
+    type Shared<T: Send> = EpochShared<T>;
+    type Thread<T: Send> = ();
+    type Pin = epoch::Guard;
+
+    fn register<T: Send>(_shared: &EpochShared<T>) -> Self::Thread<T> {}
+
+    #[inline]
+    fn pin() -> epoch::Guard {
+        epoch::pin()
+    }
+
+    #[inline]
+    fn alloc<T: Send>(shared: &EpochShared<T>, _thread: &mut (), value: T) -> *mut T {
+        shared.allocs.fetch_add(1, Ordering::Relaxed);
+        Box::into_raw(Box::new(value))
+    }
+
+    #[inline]
+    fn protect<T: Send>(_thread: &(), _slot: usize, _ptr: *mut T) {}
+
+    #[inline]
+    unsafe fn retire<T: Send>(_shared: &EpochShared<T>, _thread: &mut (), ptr: *mut T) {
+        // Nested pins are cheap (a thread-local depth bump); retiring
+        // under the current epoch is safe because `ptr` was unlinked
+        // before this call.
+        let guard = epoch::pin();
+        // SAFETY: `ptr` is unlinked, non-null, and retired once — the
+        // caller's contract; the representation round-trip is tag-free
+        // because nodes are at least word-aligned.
+        unsafe { guard.defer_destroy(Shared::<'_, T>::from_usize(ptr as usize)) };
+    }
+
+    #[inline]
+    unsafe fn dealloc_unpublished<T: Send>(
+        _shared: &EpochShared<T>,
+        _thread: &mut (),
+        ptr: *mut T,
+    ) {
+        // SAFETY: never published, so no pin can reference it.
+        unsafe { drop(Box::from_raw(ptr)) }
+    }
+
+    fn unregister<T: Send>(_shared: &EpochShared<T>, _thread: &mut ()) {}
+
+    unsafe fn drop_shared<T: Send>(_shared: &mut EpochShared<T>) {
+        // Retired nodes belong to the global collector; it frees them as
+        // epochs advance (the lists free still-reachable chain nodes
+        // themselves before calling this).
+    }
+
+    fn tracked_nodes<T: Send>(shared: &EpochShared<T>) -> usize {
+        shared.allocs.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,216 @@
+//! Hazard-pointer reclamation as a [`Reclaimer`], from scratch.
+//!
+//! Michael's classic scheme (IEEE TPDS 2004): each per-thread handle
+//! owns a small fixed set of *hazard slots*; before dereferencing a node
+//! a traversal publishes it in a slot ([`Reclaimer::protect`]) and
+//! re-validates that it is still reachable. Unlinked nodes go onto the
+//! unlinking thread's private retire list; once the list exceeds a
+//! threshold the thread *scans* every slot in the domain and frees
+//! exactly the retired nodes no slot names.
+//!
+//! Bounds: at any time at most `slots × threads` retired nodes are
+//! unreclaimable, and each scan frees all but those, so per-thread
+//! garbage is bounded — the property epoch schemes lack under a stalled
+//! reader (a parked pin blocks *all* reclamation; a parked hazard blocks
+//! only the nodes it names).
+//!
+//! Ordering: `protect` publishes with a `SeqCst` store and fence so the
+//! subsequent validation load cannot be reordered before it; `scan`
+//! issues a `SeqCst` fence before reading the slots. Together with the
+//! validation (the node was still reachable *after* the slot was
+//! published — and retirement happens only after unlinking) this gives
+//! the standard hazard-pointer safety argument: if a scan misses a
+//! hazard, the protecting thread's validation must have observed the
+//! node already unlinked and restarted.
+
+use std::sync::atomic::Ordering::{Relaxed, SeqCst};
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize};
+use std::sync::{Arc, Mutex};
+
+use super::Reclaimer;
+
+/// Hazard slots per registered thread. The list traversals need two:
+/// slot 0 holds the predecessor, slot 1 the current node.
+pub const SLOTS_PER_THREAD: usize = 2;
+
+/// Retired nodes a thread accumulates before scanning.
+const RETIRE_THRESHOLD: usize = 64;
+
+/// One thread's published hazards (recycled through `active` as handles
+/// come and go).
+struct SlotRecord {
+    hazards: [AtomicUsize; SLOTS_PER_THREAD],
+    active: AtomicBool,
+}
+
+/// Hazard-pointer reclamation: per-thread hazard slots, private retire
+/// lists, scan-and-free.
+pub struct HazardReclaim;
+
+/// Per-list state for [`HazardReclaim`]: the slot registry plus retired
+/// nodes orphaned by dropped handles.
+pub struct HazardDomain<T> {
+    slots: Mutex<Vec<Arc<SlotRecord>>>,
+    /// Retired nodes flushed by unregistering handles; freed at list
+    /// drop, when no hazard can exist.
+    orphans: Mutex<Vec<*mut T>>,
+    allocs: AtomicUsize,
+}
+
+// SAFETY: the domain only transports raw pointers; the pointees are
+// managed per the scheme's contract (freed by scans that proved no
+// hazard names them, or at exclusive-access drop).
+unsafe impl<T: Send> Send for HazardDomain<T> {}
+unsafe impl<T: Send> Sync for HazardDomain<T> {}
+
+impl<T> Default for HazardDomain<T> {
+    fn default() -> Self {
+        HazardDomain {
+            slots: Mutex::new(Vec::new()),
+            orphans: Mutex::new(Vec::new()),
+            allocs: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<T> HazardDomain<T> {
+    /// Snapshot of every published hazard, sorted for binary search.
+    fn hazard_snapshot(&self) -> Vec<usize> {
+        fence(SeqCst);
+        let slots = self.slots.lock().unwrap();
+        let mut out = Vec::with_capacity(slots.len() * SLOTS_PER_THREAD);
+        for rec in slots.iter() {
+            for h in &rec.hazards {
+                let v = h.load(SeqCst);
+                if v != 0 {
+                    out.push(v);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Per-handle state for [`HazardReclaim`]: this thread's slot record and
+/// private retire list.
+pub struct HazardThread<T> {
+    record: Arc<SlotRecord>,
+    retired: Vec<*mut T>,
+}
+
+impl<T> HazardThread<T> {
+    /// Frees every retired node no hazard names; keeps the rest.
+    fn scan(&mut self, domain: &HazardDomain<T>) {
+        let hazards = domain.hazard_snapshot();
+        self.retired.retain(|&p| {
+            if hazards.binary_search(&(p as usize)).is_ok() {
+                true
+            } else {
+                // SAFETY: `p` was unlinked before retirement (no new
+                // references possible) and the snapshot proves no
+                // published hazard names it, so no thread can still
+                // hold a validated reference.
+                unsafe { drop(Box::from_raw(p)) };
+                false
+            }
+        });
+    }
+}
+
+// SAFETY: protect publishes before the caller's validation load (SeqCst
+// store + fence); scan reads all slots after a SeqCst fence and frees
+// only retired (already unlinked) nodes named by no slot. A traversal
+// that validated a node after protecting it therefore either published
+// the hazard before the node was unlinked (the scan sees it) or its
+// validation fails and it never dereferences the node.
+unsafe impl Reclaimer for HazardReclaim {
+    const NAME: &'static str = "hp";
+    const STABLE: bool = false;
+    const PROTECTS: bool = true;
+
+    type Shared<T: Send> = HazardDomain<T>;
+    type Thread<T: Send> = HazardThread<T>;
+    type Pin = ();
+
+    fn register<T: Send>(shared: &HazardDomain<T>) -> HazardThread<T> {
+        let mut slots = shared.slots.lock().unwrap();
+        let record = slots
+            .iter()
+            .find(|r| {
+                r.active
+                    .compare_exchange(false, true, SeqCst, Relaxed)
+                    .is_ok()
+            })
+            .cloned()
+            .unwrap_or_else(|| {
+                let r = Arc::new(SlotRecord {
+                    hazards: [const { AtomicUsize::new(0) }; SLOTS_PER_THREAD],
+                    active: AtomicBool::new(true),
+                });
+                slots.push(Arc::clone(&r));
+                r
+            });
+        HazardThread {
+            record,
+            retired: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn pin() -> Self::Pin {}
+
+    #[inline]
+    fn alloc<T: Send>(shared: &HazardDomain<T>, _thread: &mut HazardThread<T>, value: T) -> *mut T {
+        shared.allocs.fetch_add(1, Relaxed);
+        Box::into_raw(Box::new(value))
+    }
+
+    #[inline]
+    fn protect<T: Send>(thread: &HazardThread<T>, slot: usize, ptr: *mut T) {
+        thread.record.hazards[slot].store(ptr as usize, SeqCst);
+        fence(SeqCst);
+    }
+
+    unsafe fn retire<T: Send>(shared: &HazardDomain<T>, thread: &mut HazardThread<T>, ptr: *mut T) {
+        thread.retired.push(ptr);
+        if thread.retired.len() >= RETIRE_THRESHOLD {
+            thread.scan(shared);
+        }
+    }
+
+    #[inline]
+    unsafe fn dealloc_unpublished<T: Send>(
+        _shared: &HazardDomain<T>,
+        _thread: &mut HazardThread<T>,
+        ptr: *mut T,
+    ) {
+        // SAFETY: never published, so no hazard can name it.
+        unsafe { drop(Box::from_raw(ptr)) }
+    }
+
+    fn unregister<T: Send>(shared: &HazardDomain<T>, thread: &mut HazardThread<T>) {
+        // One last chance to free locally before orphaning the rest.
+        thread.scan(shared);
+        if !thread.retired.is_empty() {
+            shared.orphans.lock().unwrap().append(&mut thread.retired);
+        }
+        for h in &thread.record.hazards {
+            h.store(0, SeqCst);
+        }
+        thread.record.active.store(false, SeqCst);
+    }
+
+    unsafe fn drop_shared<T: Send>(shared: &mut HazardDomain<T>) {
+        let orphans = std::mem::take(&mut *shared.orphans.lock().unwrap());
+        for p in orphans {
+            // SAFETY: exclusive access — every handle is gone, so no
+            // hazard exists and each orphan is freed exactly once.
+            unsafe { drop(Box::from_raw(p)) };
+        }
+    }
+
+    fn tracked_nodes<T: Send>(shared: &HazardDomain<T>) -> usize {
+        shared.allocs.load(Relaxed)
+    }
+}

@@ -1,0 +1,353 @@
+//! Pluggable memory reclamation: the [`Reclaimer`] trait and its three
+//! schemes — [`ArenaReclaim`], [`EpochReclaim`] and [`HazardReclaim`].
+//!
+//! The paper explicitly leaves safe memory reclamation out of scope (§1,
+//! §2, §4) and benchmarks with drop-time arena freeing; the open question
+//! it raises — *what do the variants cost under real reclamation?* — is
+//! answered here by making every list generic over a `Reclaimer` and
+//! instantiating the same search/add/rem code with three schemes:
+//!
+//! | scheme            | retire frees…            | op-path cost                  |
+//! |-------------------|--------------------------|-------------------------------|
+//! | [`ArenaReclaim`]  | at list drop (the paper) | one thread-local `Vec` push   |
+//! | [`EpochReclaim`]  | two epochs later         | pin/unpin per operation       |
+//! | [`HazardReclaim`] | when no hazard names it  | protect + fence per traversal |
+//!
+//! # The reclamation contract (formerly the arena safety argument)
+//!
+//! Every raw node dereference in `singly.rs` / `doubly.rs` is justified
+//! by one of three guarantees, chosen by the scheme's associated consts:
+//!
+//! 1. **Stability** ([`Reclaimer::STABLE`]): nodes are never freed while
+//!    the list is alive. Allocations are recorded in a thread-local
+//!    buffer, flushed into a shared registry when the per-thread handle
+//!    drops, and freed wholesale by the list's `Drop` — which the borrow
+//!    checker orders after every handle is gone. Any pointer ever
+//!    observed (a cursor parked across operations, an approximate
+//!    backward pointer) stays valid for the list lifetime. This is the
+//!    paper's scheme, and the *only* one under which cross-operation
+//!    cursors and backward-pointer walks are sound.
+//! 2. **Pinning** (`!STABLE`, `!PROTECTS`): an operation holds an epoch
+//!    pin ([`Reclaimer::pin`]) for its whole duration; a node observed
+//!    reachable during the pin cannot be freed until the pin drops.
+//!    Pointers must not survive the operation — the lists reset their
+//!    cursor at every operation entry and never chase backward pointers.
+//! 3. **Protection** ([`Reclaimer::PROTECTS`]): each traversal step must
+//!    publish the node in a hazard slot ([`Reclaimer::protect`]) and
+//!    re-validate reachability before dereferencing; retired nodes are
+//!    only freed once no slot names them.
+//!
+//! Retirement itself is uniform: the thread whose `CAS()` physically
+//! unlinks a marked node passes it to [`Reclaimer::retire`] exactly once
+//! (unlinking requires the predecessor's `next` to be unmarked, and a
+//! node must be marked before it is unlinked, so no two unlink CASes can
+//! succeed for the same node).
+
+mod arena;
+mod epoch;
+mod hazard;
+
+pub use arena::ArenaReclaim;
+pub use epoch::EpochReclaim;
+pub use hazard::HazardReclaim;
+
+use std::sync::atomic::Ordering::Acquire;
+
+use crate::marked::MarkedAtomic;
+use crate::ordered::ScanBounds;
+use crate::Key;
+
+/// A memory reclamation scheme for the lock-free lists.
+///
+/// The lists are generic over a `Reclaimer`; every branch on the
+/// associated consts resolves at monomorphisation time, so the paper's
+/// arena scheme compiles to exactly the code it had before this trait
+/// existed (no shared-memory traffic on the operation path), while epoch
+/// and hazard-pointer instantiations pay their schemes' real costs.
+///
+/// See the [module docs](self) for the safety contract each scheme
+/// provides and [`crate::variants`] for the named instantiations.
+///
+/// # Safety
+///
+/// Implementations must uphold the guarantee advertised by their consts:
+/// with `STABLE`, no pointer returned by [`alloc`](Reclaimer::alloc) may
+/// be freed before [`drop_shared`](Reclaimer::drop_shared); without it,
+/// a node observed reachable while a [`pin`](Reclaimer::pin) is held (or
+/// while protected and validated, if `PROTECTS`) must stay allocated
+/// until the pin drops (resp. the slot is released). Violating this
+/// turns the lists' internal dereferences into use-after-free.
+pub unsafe trait Reclaimer: Sized + 'static {
+    /// Stable scheme identifier: `"arena"`, `"epoch"` or `"hp"`.
+    const NAME: &'static str;
+
+    /// `true` iff nodes stay allocated until the owning structure drops.
+    ///
+    /// Only under a stable scheme may a thread park pointers *across*
+    /// operations (per-thread cursors) or follow approximate backward
+    /// pointers; the lists gate both on this const.
+    const STABLE: bool;
+
+    /// `true` iff traversals must [`protect`](Reclaimer::protect) each
+    /// node and re-validate reachability before dereferencing it
+    /// (hazard pointers).
+    const PROTECTS: bool;
+
+    /// Per-structure shared state (the arena registry, the hazard
+    /// domain, …).
+    type Shared<T: Send>: Default + Send + Sync;
+
+    /// Per-handle thread state (the arena's local allocation log, the
+    /// hazard slots and retire list, …).
+    type Thread<T: Send>;
+
+    /// Per-operation token; held for the whole operation (the epoch
+    /// guard). `()` for schemes that need none.
+    type Pin;
+
+    /// Creates the per-handle thread state. Called once per handle.
+    fn register<T: Send>(shared: &Self::Shared<T>) -> Self::Thread<T>;
+
+    /// Begins an operation. The returned token must be kept alive until
+    /// the operation's last shared-memory access.
+    fn pin() -> Self::Pin;
+
+    /// Allocates a node tracked by this scheme.
+    fn alloc<T: Send>(shared: &Self::Shared<T>, thread: &mut Self::Thread<T>, value: T) -> *mut T;
+
+    /// Publishes `ptr` in hazard slot `slot` (no-op unless
+    /// [`PROTECTS`](Reclaimer::PROTECTS)). The caller must re-validate
+    /// that `ptr` is still reachable *after* this call before
+    /// dereferencing it.
+    fn protect<T: Send>(thread: &Self::Thread<T>, slot: usize, ptr: *mut T);
+
+    /// Hands an unlinked node to the scheme for (possibly deferred)
+    /// destruction.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from [`alloc`](Reclaimer::alloc) on the same
+    /// shared state, must have been physically unlinked (unreachable for
+    /// new observers), and must be retired at most once.
+    unsafe fn retire<T: Send>(shared: &Self::Shared<T>, thread: &mut Self::Thread<T>, ptr: *mut T);
+
+    /// Frees a node that was allocated but never published to the
+    /// structure (a handle's spare node).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from [`alloc`](Reclaimer::alloc) on the same
+    /// shared state and must never have been reachable by another
+    /// thread.
+    unsafe fn dealloc_unpublished<T: Send>(
+        shared: &Self::Shared<T>,
+        thread: &mut Self::Thread<T>,
+        ptr: *mut T,
+    );
+
+    /// Tears down per-handle state (flush the allocation log, release
+    /// the hazard slots). Called from the handle's `Drop`.
+    fn unregister<T: Send>(shared: &Self::Shared<T>, thread: &mut Self::Thread<T>);
+
+    /// Frees everything the scheme still tracks for this structure.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have exclusive access (no live handles) and must not
+    /// touch any tracked node afterwards. Nodes still *reachable* in the
+    /// structure are the caller's to free (the lists walk their chain
+    /// first when the scheme is not [`STABLE`](Reclaimer::STABLE)).
+    unsafe fn drop_shared<T: Send>(shared: &mut Self::Shared<T>);
+
+    /// Number of nodes ever allocated for this structure (diagnostic;
+    /// for the arena scheme this counts nodes already flushed to the
+    /// registry, i.e. it is exact once all handles are dropped).
+    fn tracked_nodes<T: Send>(shared: &Self::Shared<T>) -> usize;
+}
+
+/// Compile-time string equality, for deriving variant names from
+/// [`Reclaimer::NAME`] in associated consts.
+pub(crate) const fn str_eq(a: &str, b: &str) -> bool {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut i = 0;
+    while i < a.len() {
+        if a[i] != b[i] {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Internal view of a list node for reclaimer-aware traversals shared
+/// between the singly and doubly lists.
+pub(crate) trait ListNode<K: Key>: Send + Sized {
+    /// The node's `next` field (mark bit = logical deletion).
+    fn next_ref(&self) -> &MarkedAtomic<Self>;
+    /// The node's key.
+    fn node_key(&self) -> K;
+}
+
+/// `PROTECTS`-only traversal step shared by the singly and doubly
+/// searches: publishes a hazard on `curr` (slot 1) and re-validates that
+/// it is still `pred`'s unmarked successor, re-reading on benign pointer
+/// changes. `Err(())` means `pred` became marked and the caller must
+/// restart its search.
+///
+/// On `Ok`, the returned node was `pred`'s successor *after* the hazard
+/// was published, with `pred` unmarked (hence reachable): any scan that
+/// would free it must run after this instant and will observe the
+/// hazard.
+///
+/// # Safety
+///
+/// `pred` must be dereferenceable (the head sentinel, or protected in
+/// slot 0 and previously validated).
+#[inline]
+pub(crate) unsafe fn acquire_curr<K, N, R>(
+    thread: &R::Thread<N>,
+    pred: *mut N,
+    mut curr: *mut N,
+) -> Result<*mut N, ()>
+where
+    K: Key,
+    N: ListNode<K>,
+    R: Reclaimer,
+{
+    loop {
+        R::protect(thread, 1, curr);
+        // SAFETY: `pred` per the function contract.
+        let re = unsafe { (*pred).next_ref().load(Acquire) };
+        if re.is_marked() {
+            return Err(());
+        }
+        if re.ptr() == curr {
+            return Ok(curr);
+        }
+        curr = re.ptr();
+    }
+}
+
+/// Hazard-protected ascending scan of a node chain, from the head
+/// sentinel to `tail`, emitting live in-`bounds` keys in strictly
+/// increasing order.
+///
+/// Each step publishes the candidate node in hazard slot 1 and
+/// re-validates it is still the (unmarked) successor of the protected
+/// predecessor before dereferencing. When the predecessor becomes marked
+/// the scan restarts from the head, resuming after the last emitted key,
+/// so the weak-consistency contract of [`crate::ordered`] holds: emitted
+/// keys are strictly sorted and every untouched live key is reported.
+///
+/// # Safety
+///
+/// `head`/`tail` must be the list's sentinels (never retired), the chain
+/// between them strictly key-ordered, and `thread` registered with the
+/// structure's shared reclaimer state.
+pub(crate) unsafe fn protected_scan<K, N, R>(
+    thread: &R::Thread<N>,
+    head: *mut N,
+    tail: *mut N,
+    bounds: &ScanBounds<K>,
+    mut emit: impl FnMut(K),
+) where
+    K: Key,
+    N: ListNode<K>,
+    R: Reclaimer,
+{
+    let mut last: Option<K> = None;
+    'restart: loop {
+        let mut pred = head;
+        // SAFETY (whole body): `pred` is the head sentinel or a node that
+        // was protected in slot 0 and validated reachable; `curr` is
+        // dereferenced only after the protect-and-revalidate loop below.
+        unsafe {
+            let mut curr = (*pred).next_ref().load(Acquire).ptr();
+            loop {
+                loop {
+                    R::protect(thread, 1, curr);
+                    let re = (*pred).next_ref().load(Acquire);
+                    if re.is_marked() {
+                        continue 'restart;
+                    }
+                    if re.ptr() == curr {
+                        break;
+                    }
+                    curr = re.ptr();
+                }
+                if curr == tail {
+                    return;
+                }
+                let succ = (*curr).next_ref().load(Acquire);
+                let key = (*curr).node_key();
+                if bounds.after_end(key) {
+                    return;
+                }
+                if !succ.is_marked() && !bounds.before_start(key) && last.is_none_or(|l| key > l) {
+                    emit(key);
+                    last = Some(key);
+                }
+                R::protect(thread, 0, curr);
+                pred = curr;
+                curr = succ.ptr();
+            }
+        }
+    }
+}
+
+/// Leak-accounting counters (test support, satellite of the `Reclaimer`
+/// introduction): every node allocation and every node `Drop` for key
+/// types that opt in via [`Key::COUNT_LEAKS`] is counted globally, so
+/// churn tests can assert alloc/free balance per scheme without
+/// interference from unrelated tests running in parallel.
+#[cfg(test)]
+pub(crate) mod leak {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    use crate::Key;
+
+    static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+    static FREES: AtomicUsize = AtomicUsize::new(0);
+    /// Serializes the leak tests (the counters are global).
+    pub(crate) static LEAK_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Key type used by the leak tests: the only `Key` whose nodes are
+    /// counted.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    pub(crate) struct LeakKey(pub i64);
+
+    impl Key for LeakKey {
+        const NEG_INF: Self = LeakKey(i64::MIN);
+        const POS_INF: Self = LeakKey(i64::MAX);
+        const COUNT_LEAKS: bool = true;
+    }
+
+    #[inline]
+    pub(crate) fn note_alloc<K: Key>() {
+        if K::COUNT_LEAKS {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn note_free<K: Key>() {
+        if K::COUNT_LEAKS {
+            FREES.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `(allocs, frees)` so far.
+    pub(crate) fn snapshot() -> (usize, usize) {
+        (
+            ALLOCS.load(Ordering::Relaxed),
+            FREES.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests;

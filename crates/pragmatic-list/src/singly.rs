@@ -37,19 +37,30 @@
 //!
 //! # Memory reclamation and safety
 //!
-//! Exactly as benchmarked in the paper, nodes are never freed while the
-//! list is alive (see [`crate::arena`]). Every raw pointer dereference in
-//! this module is justified by that property: node pointers originate
-//! from `Box::into_raw`, are registered in the arena before first
-//! publication, and stay valid until the list's `Drop` runs, which the
-//! borrow checker orders after every handle is gone.
+//! The list is generic over a [`Reclaimer`] (fourth type parameter,
+//! defaulting to the paper's [`ArenaReclaim`]); see [`crate::reclaim`]
+//! for the trait contract each dereference below leans on:
+//!
+//! * **arena** (`STABLE`): nodes live until list drop — cursors persist
+//!   across operations exactly as in the paper;
+//! * **epoch**: each operation holds a pin; the cursor is reset at every
+//!   operation entry and only resumes within one operation;
+//! * **hazard pointers** (`PROTECTS`): every traversal step publishes
+//!   the candidate node in a hazard slot and re-validates it is still
+//!   the predecessor's unmarked successor before dereferencing.
+//!
+//! The thread whose `CAS()` physically unlinks a marked node retires it
+//! (a no-op for the arena scheme); unlinking requires the predecessor's
+//! `next` to be unmarked while marked nodes' `next` fields are frozen,
+//! so exactly one unlink — and hence one retirement — can succeed per
+//! node.
 
 use std::marker::PhantomData;
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
-use crate::arena::{LocalArena, Registry};
 use crate::marked::{MarkedAtomic, MarkedPtr};
 use crate::ordered::{OrderedHandle, ScanBounds, Snapshot};
+use crate::reclaim::{ArenaReclaim, ListNode, Reclaimer};
 use crate::set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
 use crate::stats::OpStats;
 use crate::Key;
@@ -59,13 +70,32 @@ use crate::Key;
 /// `key` is written once before the node is published by a releasing CAS
 /// and never mutated afterwards, so unsynchronised reads are sound.
 #[repr(C)]
-pub(crate) struct Node<K> {
+pub(crate) struct Node<K: Key> {
     pub(crate) next: MarkedAtomic<Node<K>>,
     pub(crate) key: K,
 }
 
+impl<K: Key> ListNode<K> for Node<K> {
+    #[inline]
+    fn next_ref(&self) -> &MarkedAtomic<Self> {
+        &self.next
+    }
+    #[inline]
+    fn node_key(&self) -> K {
+        self.key
+    }
+}
+
+#[cfg(test)]
+impl<K: Key> Drop for Node<K> {
+    fn drop(&mut self) {
+        crate::reclaim::leak::note_free::<K>();
+    }
+}
+
 /// The singly linked lock-free ordered set, generic over the paper's
-/// pragmatic-improvement policies (see the module docs).
+/// pragmatic-improvement policies and the memory [`Reclaimer`] (see the
+/// module docs).
 ///
 /// Shared across threads by reference; each thread operates through its
 /// own [`SinglyHandle`] obtained from [`ConcurrentOrderedSet::handle`].
@@ -91,36 +121,48 @@ pub(crate) struct Node<K> {
 /// let mut list = list;
 /// assert_eq!(list.to_vec().len(), 400);
 /// ```
-pub struct SinglyList<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> {
+pub struct SinglyList<
+    K: Key,
+    const MILD: bool,
+    const CURSOR: bool,
+    const FETCH_OR: bool,
+    R: Reclaimer = ArenaReclaim,
+> {
     head: *mut Node<K>,
     tail: *mut Node<K>,
-    registry: Registry<Node<K>>,
+    reclaim: R::Shared<Node<K>>,
 }
 
 // SAFETY: all shared node state is accessed through atomics; the raw
-// head/tail pointers are immutable after construction; nodes are freed
-// only in `Drop`, which requires exclusive access.
-unsafe impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> Send
-    for SinglyList<K, MILD, CURSOR, FETCH_OR>
+// head/tail pointers are immutable after construction; node lifetime is
+// governed by the reclaimer contract (see `crate::reclaim`), and `Drop`
+// requires exclusive access.
+unsafe impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer> Send
+    for SinglyList<K, MILD, CURSOR, FETCH_OR, R>
 {
 }
-unsafe impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> Sync
-    for SinglyList<K, MILD, CURSOR, FETCH_OR>
+unsafe impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer> Sync
+    for SinglyList<K, MILD, CURSOR, FETCH_OR, R>
 {
 }
 
-impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> Default
-    for SinglyList<K, MILD, CURSOR, FETCH_OR>
+impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer> Default
+    for SinglyList<K, MILD, CURSOR, FETCH_OR, R>
 {
     fn default() -> Self {
         <Self as ConcurrentOrderedSet<K>>::new()
     }
 }
 
-impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
-    SinglyList<K, MILD, CURSOR, FETCH_OR>
+impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer>
+    SinglyList<K, MILD, CURSOR, FETCH_OR, R>
 {
     fn alloc_sentinels() -> (*mut Node<K>, *mut Node<K>) {
+        #[cfg(test)]
+        {
+            crate::reclaim::leak::note_alloc::<K>();
+            crate::reclaim::leak::note_alloc::<K>();
+        }
         let tail = Box::into_raw(Box::new(Node {
             next: MarkedAtomic::null(),
             key: K::POS_INF,
@@ -137,8 +179,26 @@ impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
     /// Exact when quiescent; otherwise a consistent-at-some-instant
     /// approximation. Sentinels are not counted.
     pub fn len_approx(&self) -> usize {
+        let _pin = R::pin();
         let mut n = 0;
-        // SAFETY: nodes stay valid for the list lifetime (arena scheme).
+        if R::PROTECTS {
+            let mut thread = R::register(&self.reclaim);
+            // SAFETY: sentinels are never retired; the scan protects and
+            // validates every interior node before dereferencing it.
+            unsafe {
+                crate::reclaim::protected_scan::<K, Node<K>, R>(
+                    &thread,
+                    self.head,
+                    self.tail,
+                    &ScanBounds::from_range(&(..)),
+                    |_| n += 1,
+                );
+            }
+            R::unregister(&self.reclaim, &mut thread);
+            return n;
+        }
+        // SAFETY: nodes observed under the pin stay valid for its
+        // duration (arena nodes for the list lifetime).
         unsafe {
             let mut curr = (*self.head).next.load(Acquire).ptr();
             while curr != self.tail {
@@ -155,7 +215,8 @@ impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
     /// quiescent list with no outstanding handles.
     pub fn to_vec(&mut self) -> Vec<K> {
         let mut out = Vec::new();
-        // SAFETY: exclusive access; chain is stable.
+        // SAFETY: exclusive access; chain is stable (retired nodes are
+        // off-chain, and nothing frees concurrently without handles).
         unsafe {
             let mut curr = (*self.head).next.load(Acquire).ptr();
             while curr != self.tail {
@@ -177,7 +238,7 @@ impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
             if (*self.head).next.load(Acquire).is_marked() {
                 return Err(InvariantViolation::MarkedSentinel);
             }
-            let budget = self.registry.len() + 2;
+            let budget = R::tracked_nodes(&self.reclaim) + 2;
             let mut prev_key = K::NEG_INF;
             let mut curr = (*self.head).next.load(Acquire).ptr();
             let mut pos = 0usize;
@@ -201,44 +262,92 @@ impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
     }
 
     /// Total nodes ever allocated (diagnostic; includes logically deleted
-    /// and never-published spares, excludes sentinels).
+    /// and never-published spares, excludes sentinels). For the arena
+    /// scheme this counts registry-flushed nodes, i.e. it is exact once
+    /// every handle is dropped.
     pub fn allocated_nodes(&self) -> usize {
-        self.registry.len()
+        R::tracked_nodes(&self.reclaim)
     }
 }
 
-impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> Drop
-    for SinglyList<K, MILD, CURSOR, FETCH_OR>
+impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer> Drop
+    for SinglyList<K, MILD, CURSOR, FETCH_OR, R>
 {
     fn drop(&mut self) {
-        // SAFETY: `&mut self` proves no handles are alive; every
-        // non-sentinel node is registered exactly once.
+        // SAFETY: `&mut self` proves no handles are alive. STABLE
+        // schemes track every node in the shared state; for the others,
+        // nodes still *reachable* (live or marked-but-unlinked) are
+        // freed by walking the chain, while retired nodes belong to the
+        // scheme.
         unsafe {
-            self.registry.free_all();
+            if !R::STABLE {
+                let mut curr = (*self.head).next.load(Relaxed).ptr();
+                while curr != self.tail {
+                    let next = (*curr).next.load(Relaxed).ptr();
+                    drop(Box::from_raw(curr));
+                    curr = next;
+                }
+            }
+            R::drop_shared(&mut self.reclaim);
             drop(Box::from_raw(self.head));
             drop(Box::from_raw(self.tail));
         }
     }
 }
 
-impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> ConcurrentOrderedSet<K>
-    for SinglyList<K, MILD, CURSOR, FETCH_OR>
+impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer>
+    ConcurrentOrderedSet<K> for SinglyList<K, MILD, CURSOR, FETCH_OR, R>
 {
     type Handle<'a>
-        = SinglyHandle<'a, K, MILD, CURSOR, FETCH_OR>
+        = SinglyHandle<'a, K, MILD, CURSOR, FETCH_OR, R>
     where
         Self: 'a;
 
-    const NAME: &'static str = if FETCH_OR {
-        "singly_fetch_or"
-    } else if MILD && CURSOR {
-        "singly_cursor"
-    } else if MILD {
-        "singly"
-    } else if CURSOR {
-        "cursor_only"
-    } else {
-        "draconic"
+    const NAME: &'static str = {
+        use crate::reclaim::str_eq;
+        if str_eq(R::NAME, "arena") {
+            if FETCH_OR {
+                "singly_fetch_or"
+            } else if MILD && CURSOR {
+                "singly_cursor"
+            } else if MILD {
+                "singly"
+            } else if CURSOR {
+                "cursor_only"
+            } else {
+                "draconic"
+            }
+        } else if str_eq(R::NAME, "epoch") {
+            if FETCH_OR {
+                "singly_fetch_or_epoch"
+            } else if MILD && CURSOR {
+                "singly_cursor_epoch"
+            } else if MILD {
+                "singly_epoch"
+            } else if CURSOR {
+                "cursor_only_epoch"
+            } else {
+                // The textbook list with epoch reclamation keeps its
+                // pre-`Reclaimer` name.
+                "epoch"
+            }
+        } else if str_eq(R::NAME, "hp") {
+            if FETCH_OR {
+                "singly_fetch_or_hp"
+            } else if MILD && CURSOR {
+                "singly_cursor_hp"
+            } else if MILD {
+                "singly_hp"
+            } else if CURSOR {
+                "cursor_only_hp"
+            } else {
+                "draconic_hp"
+            }
+        } else {
+            // A new Reclaimer must be added to this name table (falling
+            // through would silently collide with an existing variant).
+            panic!("unknown Reclaimer::NAME — extend SinglyList's NAME table")
+        }
     };
 
     fn new() -> Self {
@@ -246,16 +355,16 @@ impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> Concurr
         Self {
             head,
             tail,
-            registry: Registry::new(),
+            reclaim: R::Shared::default(),
         }
     }
 
-    fn handle(&self) -> SinglyHandle<'_, K, MILD, CURSOR, FETCH_OR> {
+    fn handle(&self) -> SinglyHandle<'_, K, MILD, CURSOR, FETCH_OR, R> {
         SinglyHandle {
             list: self,
             cursor: self.head,
             spare: std::ptr::null_mut(),
-            arena: LocalArena::new(),
+            thread: R::register(&self.reclaim),
             stats: OpStats::ZERO,
             _not_sync: PhantomData,
         }
@@ -272,38 +381,53 @@ impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> Concurr
 
 /// Per-thread handle over a [`SinglyList`]: owns the cursor (the paper's
 /// `list->pred` slot of the thread-private `list_t` view), the operation
-/// counters and the allocation log.
-pub struct SinglyHandle<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> {
-    list: &'l SinglyList<K, MILD, CURSOR, FETCH_OR>,
-    /// Last recorded `pred` position; persists across operations only for
-    /// `CURSOR` variants (reset to head at every public-operation entry
-    /// otherwise), but always carries the mild within-operation restart
-    /// position between internal search retries.
+/// counters and the reclaimer's per-thread state (the arena allocation
+/// log, or the hazard slots and retire list).
+pub struct SinglyHandle<
+    'l,
+    K: Key,
+    const MILD: bool,
+    const CURSOR: bool,
+    const FETCH_OR: bool,
+    R: Reclaimer = ArenaReclaim,
+> {
+    list: &'l SinglyList<K, MILD, CURSOR, FETCH_OR, R>,
+    /// Last recorded `pred` position; persists across operations only
+    /// for `CURSOR` variants under a `STABLE` reclaimer (reset to head
+    /// at every public-operation entry otherwise), but always carries
+    /// the mild within-operation restart position between internal
+    /// search retries.
     cursor: *mut Node<K>,
     /// Unpublished node kept for reuse across failed insert CASes (and
-    /// across `add()` calls); already registered in the arena.
+    /// across `add()` calls); exclusively ours until published.
     spare: *mut Node<K>,
-    arena: LocalArena<Node<K>>,
+    thread: R::Thread<Node<K>>,
     stats: OpStats,
     _not_sync: PhantomData<std::cell::Cell<()>>,
 }
 
-impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> Drop
-    for SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR>
+impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer> Drop
+    for SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR, R>
 {
     fn drop(&mut self) {
-        self.arena.flush_into(&self.list.registry);
+        if !self.spare.is_null() {
+            // SAFETY: the spare was never published.
+            unsafe { R::dealloc_unpublished(&self.list.reclaim, &mut self.thread, self.spare) };
+        }
+        R::unregister(&self.list.reclaim, &mut self.thread);
     }
 }
 
-impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
-    SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR>
+impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer>
+    SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR, R>
 {
     /// Start-of-operation cursor policy: non-cursor variants forget the
-    /// previous position, exactly distinguishing variant b) from d).
+    /// previous position, exactly distinguishing variant b) from d) —
+    /// and *every* variant forgets it under a non-`STABLE` reclaimer,
+    /// where a pointer must not outlive the operation that observed it.
     #[inline]
     fn begin_op(&mut self) {
-        if !CURSOR {
+        if !CURSOR || !R::STABLE {
             self.cursor = self.list.head;
         }
     }
@@ -314,16 +438,25 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
     /// observed adjacent and unmarked, having physically unlinked every
     /// marked node traversed. Stores `pred` as the new cursor (the
     /// listing's `list->pred = pred`).
+    ///
+    /// Under a non-`STABLE` reclaimer the stored cursor is only resumed
+    /// on the *first* attempt (it is then the head, or the result of the
+    /// previous search in the same pinned operation — still protected);
+    /// later restarts go to the head.
     fn search(&mut self, key: K) -> (*mut Node<K>, *mut Node<K>) {
         let head = self.list.head;
-        // SAFETY (whole body): node pointers are arena-stable for 'l; all
-        // shared fields are accessed through atomics.
+        let mut resume_ok = true;
+        // SAFETY (whole body): the reclaimer contract — arena nodes are
+        // stable for 'l; otherwise the operation's pin covers every node
+        // observed during it, and for PROTECTS schemes each candidate is
+        // protected and validated by `acquire_curr` before dereference.
         unsafe {
             'retry: loop {
-                // Starting position. TEXTBOOK: always the head. Otherwise:
-                // the last recorded position, if it is still unmarked and
-                // strictly smaller than the sought key.
-                let mut pred = if !MILD && !CURSOR {
+                // Starting position. TEXTBOOK: always the head.
+                // Otherwise: the last recorded position, if it is still
+                // unmarked, strictly smaller than the sought key, and
+                // trustworthy under the reclaimer (see above).
+                let mut pred = if (!MILD && !CURSOR) || (!R::STABLE && !resume_ok) {
                     head
                 } else {
                     let c = self.cursor;
@@ -333,7 +466,17 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
                         c
                     }
                 };
+                resume_ok = false;
                 let mut curr = (*pred).next.load(Acquire).ptr();
+                if R::PROTECTS {
+                    match crate::reclaim::acquire_curr::<K, Node<K>, R>(&self.thread, pred, curr) {
+                        Ok(c) => curr = c,
+                        Err(()) => {
+                            self.stats.rtry += 1;
+                            continue 'retry;
+                        }
+                    }
+                }
                 loop {
                     let mut succ = (*curr).next.load(Acquire);
                     // `curr` is marked: unlink it (helping), or handle the
@@ -346,7 +489,11 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
                             AcqRel,
                             Acquire,
                         ) {
-                            Ok(()) => {}
+                            Ok(()) => {
+                                // The winner of the unlink owns the
+                                // node's reclamation (no-op for arena).
+                                R::retire(&self.list.reclaim, &mut self.thread, curr);
+                            }
                             Err(observed) => {
                                 self.stats.fail += 1;
                                 if !MILD {
@@ -366,6 +513,19 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
                                 succ_ptr = observed.ptr();
                             }
                         }
+                        if R::PROTECTS {
+                            match crate::reclaim::acquire_curr::<K, Node<K>, R>(
+                                &self.thread,
+                                pred,
+                                succ_ptr,
+                            ) {
+                                Ok(c) => succ_ptr = c,
+                                Err(()) => {
+                                    self.stats.rtry += 1;
+                                    continue 'retry;
+                                }
+                            }
+                        }
                         curr = succ_ptr;
                         self.stats.trav += 1;
                         succ = (*curr).next.load(Acquire);
@@ -376,24 +536,47 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
                         }
                         return (pred, curr);
                     }
+                    if R::PROTECTS {
+                        // The hand-off: `curr` stays protected in slot 1
+                        // while it also becomes slot 0's predecessor.
+                        R::protect(&self.thread, 0, curr);
+                    }
                     pred = curr;
                     curr = (*curr).next.load(Acquire).ptr();
+                    if R::PROTECTS {
+                        match crate::reclaim::acquire_curr::<K, Node<K>, R>(
+                            &self.thread,
+                            pred,
+                            curr,
+                        ) {
+                            Ok(c) => curr = c,
+                            Err(()) => {
+                                self.stats.rtry += 1;
+                                continue 'retry;
+                            }
+                        }
+                    }
                     self.stats.trav += 1;
                 }
             }
         }
     }
 
-    /// Takes the spare node or allocates (and arena-registers) a fresh
-    /// one, keyed `key`, with `next` primed to `succ`.
+    /// Takes the spare node or allocates (and reclaimer-registers) a
+    /// fresh one, keyed `key`, with `next` primed to `succ`.
     #[inline]
     fn prepare_node(&mut self, key: K, succ: *mut Node<K>) -> *mut Node<K> {
         if self.spare.is_null() {
-            let node = Box::into_raw(Box::new(Node {
-                next: MarkedAtomic::new(succ),
-                key,
-            }));
-            self.arena.record(node);
+            #[cfg(test)]
+            crate::reclaim::leak::note_alloc::<K>();
+            let node = R::alloc(
+                &self.list.reclaim,
+                &mut self.thread,
+                Node {
+                    next: MarkedAtomic::new(succ),
+                    key,
+                },
+            );
             self.spare = node;
             node
         } else {
@@ -409,10 +592,12 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
 
     fn add_impl(&mut self, key: K) -> bool {
         debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        let _pin = R::pin();
         self.begin_op();
         loop {
             let (pred, curr) = self.search(key);
-            // SAFETY: arena-stable nodes.
+            // SAFETY: `pred`/`curr` per the search contract (stable,
+            // pinned, or protected).
             unsafe {
                 if (*curr).key == key {
                     return false;
@@ -444,10 +629,11 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
 
     fn remove_impl(&mut self, key: K) -> bool {
         debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        let _pin = R::pin();
         self.begin_op();
         loop {
             let (pred, node) = self.search(key);
-            // SAFETY: arena-stable nodes.
+            // SAFETY: `pred`/`node` per the search contract.
             unsafe {
                 if (*node).key != key {
                     return false;
@@ -498,7 +684,8 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
                     }
                 };
                 // Physical unlink; a failure is benign (some search will
-                // unlink the marked node) and is simply ignored.
+                // unlink the marked node — and then retire it) and is
+                // simply ignored.
                 if (*pred)
                     .next
                     .compare_exchange(
@@ -510,6 +697,8 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
                     .is_err()
                 {
                     self.stats.fail += 1;
+                } else {
+                    R::retire(&self.list.reclaim, &mut self.thread, node);
                 }
                 self.stats.rems += 1;
                 return true;
@@ -519,16 +708,32 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
 
     fn contains_impl(&mut self, key: K) -> bool {
         debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        let _pin = R::pin();
         self.begin_op();
+        if R::PROTECTS {
+            // Hazard pointers cannot validate the wait-free walk below
+            // (an unprotected predecessor may be freed mid-step), so
+            // membership goes through the protected search — Michael's
+            // lock-free `contains`. Reclassify the search's traversal
+            // steps as `cons` so the stats columns stay comparable with
+            // the other variants.
+            let trav_before = self.stats.trav;
+            let (_pred, curr) = self.search(key);
+            let steps = self.stats.trav - trav_before;
+            self.stats.trav -= steps;
+            self.stats.cons += steps;
+            // SAFETY: `curr` is protected and was observed unmarked.
+            return unsafe { (*curr).key == key };
+        }
         let head = self.list.head;
-        // SAFETY: arena-stable nodes; wait-free read-only traversal.
+        // SAFETY: stable or pinned nodes; wait-free read-only traversal.
         unsafe {
             // Cursor start: unlike the search function (which needs
             // `pred.key < key` strictly), `con()` may start *at* a cursor
             // carrying the sought key itself — without this, Table 1's
             // "cons" column for the cursor variants (≈1 traversal per
             // operation) is unreachable for descending key sequences.
-            let start = if CURSOR {
+            let start = if CURSOR && R::STABLE {
                 let c = self.cursor;
                 if (*c).next.load(Acquire).is_marked() || key < (*c).key {
                     head
@@ -545,7 +750,7 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
                 curr = (*curr).next.load(Acquire).ptr();
                 self.stats.cons += 1;
             }
-            if CURSOR {
+            if CURSOR && R::STABLE {
                 self.cursor = pred;
             }
             (*curr).key == key && !(*curr).next.load(Acquire).is_marked()
@@ -553,8 +758,8 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool>
     }
 }
 
-impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> SetHandle<K>
-    for SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR>
+impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer>
+    SetHandle<K> for SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR, R>
 {
     #[inline]
     fn add(&mut self, key: K) -> bool {
@@ -580,24 +785,36 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> Set
     }
 }
 
-impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool> OrderedHandle<K>
-    for SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR>
+impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer>
+    OrderedHandle<K> for SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR, R>
 {
-    fn range<R: std::ops::RangeBounds<K>>(&mut self, range: R) -> Snapshot<K> {
+    fn range<Q: std::ops::RangeBounds<K>>(&mut self, range: Q) -> Snapshot<K> {
         let bounds = ScanBounds::from_range(&range);
+        let _pin = R::pin();
         let mut out = Vec::new();
-        // SAFETY: arena-stable nodes; wait-free read-only traversal.
+        // SAFETY: stable/pinned nodes, or the protected scan's
+        // per-step validation.
         unsafe {
-            crate::ordered::scan_chain(
-                &bounds,
-                (*self.list.head).next.load(Acquire).ptr(),
-                self.list.tail,
-                |p| {
-                    let succ = (*p).next.load(Acquire);
-                    ((*p).key, !succ.is_marked(), succ.ptr())
-                },
-                |_, key| out.push(key),
-            );
+            if R::PROTECTS {
+                crate::reclaim::protected_scan::<K, Node<K>, R>(
+                    &self.thread,
+                    self.list.head,
+                    self.list.tail,
+                    &bounds,
+                    |k| out.push(k),
+                );
+            } else {
+                crate::ordered::scan_chain(
+                    &bounds,
+                    (*self.list.head).next.load(Acquire).ptr(),
+                    self.list.tail,
+                    |p| {
+                        let succ = (*p).next.load(Acquire);
+                        ((*p).key, !succ.is_marked(), succ.ptr())
+                    },
+                    |_, key| out.push(key),
+                );
+            }
         }
         Snapshot::from_vec(out)
     }
@@ -643,6 +860,15 @@ mod tests {
     }
 
     #[test]
+    fn basic_semantics_all_reclaimers() {
+        use crate::variants::{EpochList, SinglyEpochList, SinglyFetchOrEpochList, SinglyHpList};
+        basic_semantics::<EpochList<i64>>();
+        basic_semantics::<SinglyEpochList<i64>>();
+        basic_semantics::<SinglyFetchOrEpochList<i64>>();
+        basic_semantics::<SinglyHpList<i64>>();
+    }
+
+    #[test]
     fn names_are_distinct() {
         let names = [
             <DraconicList<i64> as ConcurrentOrderedSet<i64>>::NAME,
@@ -653,6 +879,24 @@ mod tests {
         assert_eq!(
             names,
             ["draconic", "singly", "singly_cursor", "singly_fetch_or"]
+        );
+    }
+
+    #[test]
+    fn reclaimer_names_compose() {
+        use crate::variants::{EpochList, SinglyEpochList, SinglyFetchOrEpochList, SinglyHpList};
+        assert_eq!(<EpochList<i64> as ConcurrentOrderedSet<i64>>::NAME, "epoch");
+        assert_eq!(
+            <SinglyEpochList<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            "singly_epoch"
+        );
+        assert_eq!(
+            <SinglyFetchOrEpochList<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            "singly_fetch_or_epoch"
+        );
+        assert_eq!(
+            <SinglyHpList<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            "singly_hp"
         );
     }
 
@@ -781,6 +1025,27 @@ mod tests {
     }
 
     #[test]
+    fn cursor_is_forgotten_between_ops_under_epoch_reclamation() {
+        // Under a non-STABLE reclaimer the cursor must not survive the
+        // operation that recorded it — even for a CURSOR variant.
+        use crate::variants::SinglyCursorEpochList;
+        let list = SinglyCursorEpochList::<i64>::new();
+        let mut h = list.handle();
+        for k in 1..=100 {
+            h.add(k);
+        }
+        let _ = h.take_stats();
+        assert!(h.contains(99));
+        let after_first = h.stats().cons;
+        assert!(h.contains(100));
+        let after_second = h.stats().cons;
+        assert!(
+            after_second - after_first >= 99,
+            "epoch cursor must restart con() from the head: {after_first} then {after_second}"
+        );
+    }
+
+    #[test]
     fn contains_does_not_observe_logically_deleted_nodes() {
         let list = SinglyMildList::<i64>::new();
         let mut h = list.handle();
@@ -874,6 +1139,15 @@ mod tests {
         concurrent_disjoint::<SinglyFetchOrList<i64>>();
     }
 
+    #[test]
+    fn concurrent_disjoint_keys_all_reclaimers() {
+        use crate::variants::{EpochList, SinglyEpochList, SinglyFetchOrEpochList, SinglyHpList};
+        concurrent_disjoint::<EpochList<i64>>();
+        concurrent_disjoint::<SinglyEpochList<i64>>();
+        concurrent_disjoint::<SinglyFetchOrEpochList<i64>>();
+        concurrent_disjoint::<SinglyHpList<i64>>();
+    }
+
     fn concurrent_same_keys<S: ConcurrentOrderedSet<i64>>() {
         // All threads fight over the same keys; totals must balance.
         let threads = 8;
@@ -918,6 +1192,15 @@ mod tests {
         concurrent_same_keys::<SinglyMildList<i64>>();
         concurrent_same_keys::<SinglyCursorList<i64>>();
         concurrent_same_keys::<SinglyFetchOrList<i64>>();
+    }
+
+    #[test]
+    fn concurrent_same_keys_all_reclaimers() {
+        use crate::variants::{EpochList, SinglyEpochList, SinglyFetchOrEpochList, SinglyHpList};
+        concurrent_same_keys::<EpochList<i64>>();
+        concurrent_same_keys::<SinglyEpochList<i64>>();
+        concurrent_same_keys::<SinglyFetchOrEpochList<i64>>();
+        concurrent_same_keys::<SinglyHpList<i64>>();
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The six benchmarked variants of the paper, plus ablation-only
-//! combinations, as named type aliases.
+//! combinations and reclaimer-parameterized extensions, as named type
+//! aliases.
 //!
 //! §3 of the paper labels them:
 //!
@@ -18,8 +19,25 @@
 //!
 //! [`CursorOnlyList`] is not a paper variant: it isolates the cursor from
 //! the mild improvements for the A1 ablation benchmark.
+//!
+//! # Reclaimer cross-product
+//!
+//! All of the above use the paper's drop-time arena. The same list types
+//! instantiated with a real [`Reclaimer`](crate::reclaim::Reclaimer)
+//! answer the question the paper leaves open (§1, §4) — what the
+//! improvements cost once nodes are actually freed:
+//!
+//! * [`EpochList`] — the textbook list with epoch-based reclamation
+//!   (crossbeam-epoch), the baseline the A2 ablation compares against;
+//! * [`SinglyEpochList`] / [`SinglyCursorEpochList`] /
+//!   [`SinglyFetchOrEpochList`] / [`DoublyCursorEpochList`] — the paper
+//!   variants under epoch reclamation (cursors reset per operation,
+//!   backward pointers are maintained but never chased);
+//! * [`SinglyHpList`] — variant b) under from-scratch hazard pointers,
+//!   paying a protect-and-validate fence per traversal step.
 
 use crate::doubly::DoublyList;
+use crate::reclaim::{EpochReclaim, HazardReclaim};
 use crate::singly::SinglyList;
 
 /// a) The textbook ("draconic") lock-free ordered list.
@@ -49,40 +67,67 @@ pub type DoublyCursorList<K> = DoublyList<K, true>;
 /// backward pointers degrade with churn.
 pub type DoublyCursorNoRepairList<K> = DoublyList<K, true, false>;
 
+/// g) The textbook list with epoch-based reclamation: variant a)
+/// instantiated with [`EpochReclaim`] — the "real reclamation" baseline
+/// the paper's §4 discussion asks for.
+pub type EpochList<K> = SinglyList<K, false, false, false, EpochReclaim>;
+
+/// Variant b) under epoch-based reclamation.
+pub type SinglyEpochList<K> = SinglyList<K, true, false, false, EpochReclaim>;
+
+/// Variant d) under epoch-based reclamation. The cursor survives only
+/// within one (pinned) operation; across operations it resets to the
+/// head, so this measures the mild improvements plus the pin overhead.
+pub type SinglyCursorEpochList<K> = SinglyList<K, true, true, false, EpochReclaim>;
+
+/// Variant e) under epoch-based reclamation.
+pub type SinglyFetchOrEpochList<K> = SinglyList<K, true, true, true, EpochReclaim>;
+
+/// Variant f) under epoch-based reclamation: backward pointers are
+/// maintained (their store cost is measured) but never chased — real
+/// reclamation would let them dangle (see [`crate::doubly`]).
+pub type DoublyCursorEpochList<K> = DoublyList<K, true, true, EpochReclaim>;
+
+/// Variant b) under from-scratch hazard-pointer reclamation
+/// ([`HazardReclaim`]): every traversal step publishes the node in a
+/// hazard slot and re-validates before dereferencing.
+pub type SinglyHpList<K> = SinglyList<K, true, false, false, HazardReclaim>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{ConcurrentOrderedSet, SetHandle};
 
+    fn tape<S: ConcurrentOrderedSet<i64>>() -> Vec<bool> {
+        let list = S::new();
+        let mut h = list.handle();
+        let mut out = Vec::new();
+        for op in [
+            (0, 5i64),
+            (0, 3),
+            (2, 5),
+            (1, 5),
+            (2, 5),
+            (0, 5),
+            (1, 3),
+            (1, 3),
+            (2, 3),
+            (0, 7),
+            (2, 7),
+        ] {
+            let r = match op.0 {
+                0 => h.add(op.1),
+                1 => h.remove(op.1),
+                _ => h.contains(op.1),
+            };
+            out.push(r);
+        }
+        out
+    }
+
     /// All aliases expose the same behaviour through the common trait.
     #[test]
-    fn all_seven_variants_agree_on_a_small_tape() {
-        fn tape<S: ConcurrentOrderedSet<i64>>() -> Vec<bool> {
-            let list = S::new();
-            let mut h = list.handle();
-            let mut out = Vec::new();
-            for op in [
-                (0, 5i64),
-                (0, 3),
-                (2, 5),
-                (1, 5),
-                (2, 5),
-                (0, 5),
-                (1, 3),
-                (1, 3),
-                (2, 3),
-                (0, 7),
-                (2, 7),
-            ] {
-                let r = match op.0 {
-                    0 => h.add(op.1),
-                    1 => h.remove(op.1),
-                    _ => h.contains(op.1),
-                };
-                out.push(r);
-            }
-            out
-        }
+    fn all_arena_variants_agree_on_a_small_tape() {
         let reference = tape::<DraconicList<i64>>();
         assert_eq!(tape::<SinglyMildList<i64>>(), reference);
         assert_eq!(tape::<SinglyCursorList<i64>>(), reference);
@@ -90,5 +135,19 @@ mod tests {
         assert_eq!(tape::<CursorOnlyList<i64>>(), reference);
         assert_eq!(tape::<DoublyBackptrList<i64>>(), reference);
         assert_eq!(tape::<DoublyCursorList<i64>>(), reference);
+        assert_eq!(tape::<DoublyCursorNoRepairList<i64>>(), reference);
+    }
+
+    /// The reclaimer parameter must not change observable set semantics:
+    /// every epoch/hazard alias replays the same tape identically.
+    #[test]
+    fn all_reclaimer_aliases_agree_on_the_same_tape() {
+        let reference = tape::<DraconicList<i64>>();
+        assert_eq!(tape::<EpochList<i64>>(), reference);
+        assert_eq!(tape::<SinglyEpochList<i64>>(), reference);
+        assert_eq!(tape::<SinglyCursorEpochList<i64>>(), reference);
+        assert_eq!(tape::<SinglyFetchOrEpochList<i64>>(), reference);
+        assert_eq!(tape::<DoublyCursorEpochList<i64>>(), reference);
+        assert_eq!(tape::<SinglyHpList<i64>>(), reference);
     }
 }

@@ -217,6 +217,16 @@ impl Guard {
             collect();
         }
     }
+
+    /// Drives one collection round: tries to advance the epoch and frees
+    /// sufficiently old garbage (upstream's `Guard::flush`).
+    ///
+    /// Repeated calls from an unpinned (or freshly pinned) thread
+    /// advance the epoch enough to free everything retired earlier,
+    /// unless another thread holds a pin.
+    pub fn flush(&self) {
+        collect();
+    }
 }
 
 impl Drop for Guard {

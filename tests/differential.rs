@@ -7,8 +7,9 @@
 use proptest::prelude::*;
 
 use pragmatic_list::variants::{
-    CursorOnlyList, DoublyBackptrList, DoublyCursorList, DraconicList, SinglyCursorList,
-    SinglyFetchOrList, SinglyMildList,
+    CursorOnlyList, DoublyBackptrList, DoublyCursorEpochList, DoublyCursorList, DraconicList,
+    SinglyCursorList, SinglyEpochList, SinglyFetchOrEpochList, SinglyFetchOrList, SinglyHpList,
+    SinglyMildList,
 };
 use pragmatic_list::{ConcurrentOrderedSet, EpochList, OrderedHandle, SetHandle};
 use seq_list::{DoublySeqList, SeqOrderedSet, SinglySeqList};
@@ -232,6 +233,16 @@ fn scans_stay_consistent_under_churn_epoch() {
 }
 
 #[test]
+fn scans_stay_consistent_under_churn_singly_hp() {
+    scan_under_churn::<SinglyHpList<i64>>();
+}
+
+#[test]
+fn scans_stay_consistent_under_churn_doubly_cursor_epoch() {
+    scan_under_churn::<DoublyCursorEpochList<i64>>();
+}
+
+#[test]
 fn scans_stay_consistent_under_churn_skiplist() {
     scan_under_churn::<lockfree_skiplist::SkipListSet<i64>>();
 }
@@ -277,6 +288,16 @@ proptest! {
     #[test]
     fn epoch_list_matches_oracle(tape in proptest::collection::vec(step_strategy(32), 1..400)) {
         check_against_oracle::<EpochList<i64>>(&tape);
+    }
+
+    /// The reclaimer cross-product variants replay the same tapes as
+    /// their arena counterparts.
+    #[test]
+    fn reclaimer_variants_match_oracle(tape in proptest::collection::vec(step_strategy(32), 1..400)) {
+        check_against_oracle::<SinglyEpochList<i64>>(&tape);
+        check_against_oracle::<SinglyFetchOrEpochList<i64>>(&tape);
+        check_against_oracle::<DoublyCursorEpochList<i64>>(&tape);
+        check_against_oracle::<SinglyHpList<i64>>(&tape);
     }
 
     #[test]
@@ -340,6 +361,9 @@ proptest! {
         check_scans_against_btreeset::<DoublyBackptrList<i64>>(&tape, lo, span);
         check_scans_against_btreeset::<DoublyCursorList<i64>>(&tape, lo, span);
         check_scans_against_btreeset::<EpochList<i64>>(&tape, lo, span);
+        check_scans_against_btreeset::<SinglyEpochList<i64>>(&tape, lo, span);
+        check_scans_against_btreeset::<DoublyCursorEpochList<i64>>(&tape, lo, span);
+        check_scans_against_btreeset::<SinglyHpList<i64>>(&tape, lo, span);
         check_scans_against_btreeset::<lockfree_skiplist::SkipListSet<i64>>(&tape, lo, span);
     }
 

@@ -118,6 +118,16 @@ fn epoch_list_is_linearizable() {
 }
 
 #[test]
+fn singly_hp_is_linearizable() {
+    assert_variant_linearizable::<pragmatic_list::variants::SinglyHpList<i64>>();
+}
+
+#[test]
+fn doubly_cursor_epoch_is_linearizable() {
+    assert_variant_linearizable::<pragmatic_list::variants::DoublyCursorEpochList<i64>>();
+}
+
+#[test]
 fn skiplist_mild_is_linearizable() {
     assert_variant_linearizable::<lockfree_skiplist::SkipListSet<i64>>();
 }

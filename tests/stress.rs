@@ -89,6 +89,21 @@ fn stress_epoch() {
 }
 
 #[test]
+fn stress_singly_hp() {
+    mixed_stress::<pragmatic_list::variants::SinglyHpList<i64>>(8, 3_000, 64);
+}
+
+#[test]
+fn stress_singly_fetch_or_epoch() {
+    mixed_stress::<pragmatic_list::variants::SinglyFetchOrEpochList<i64>>(8, 3_000, 64);
+}
+
+#[test]
+fn stress_doubly_cursor_epoch() {
+    mixed_stress::<pragmatic_list::variants::DoublyCursorEpochList<i64>>(8, 3_000, 64);
+}
+
+#[test]
 fn stress_skiplist_mild() {
     mixed_stress::<lockfree_skiplist::SkipListSet<i64>>(8, 3_000, 64);
 }
