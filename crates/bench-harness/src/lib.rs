@@ -36,9 +36,11 @@ pub mod result;
 pub mod scalability;
 pub mod variant;
 pub mod workload;
+pub mod zipfian;
 
 pub use config::{DeterministicConfig, KeyPattern, OpMix, RandomMixConfig};
 pub use presets::{Experiment, Scale, WorkloadSpec};
 pub use result::RunResult;
 pub use variant::{Variant, VariantVisitor};
 pub use workload::{LatencySampled, Workload};
+pub use zipfian::ZipfianMixConfig;

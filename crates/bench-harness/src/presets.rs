@@ -9,6 +9,7 @@
 
 use crate::config::{DeterministicConfig, KeyPattern, OpMix, RandomMixConfig};
 use crate::variant::Variant;
+use crate::zipfian::ZipfianMixConfig;
 
 /// Parameter scale for a preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,17 @@ pub enum WorkloadSpec {
         threads: Vec<usize>,
         /// Runs averaged per point (the paper uses 5).
         repeats: usize,
+    },
+    /// Zipfian-skewed operation mix (single θ); an extension, not a
+    /// paper experiment.
+    ZipfianMix(ZipfianMixConfig),
+    /// Skew sweep: the Zipfian mix across several θ values (the x-axis
+    /// is skew instead of threads).
+    SkewSweep {
+        /// Base configuration (θ overridden per point).
+        base: ZipfianMixConfig,
+        /// The θ values of the x-axis.
+        thetas: Vec<f64>,
     },
 }
 
@@ -90,11 +102,25 @@ fn sweep(threads: Vec<usize>, c: u64, f: u64, u: u32, repeats: usize) -> Workloa
     }
 }
 
+fn zipf(threads: usize, c: u64, f: u64, u: u32, theta: f64, scramble: bool) -> ZipfianMixConfig {
+    ZipfianMixConfig {
+        threads,
+        ops_per_thread: c,
+        prefill: f,
+        key_range: u,
+        mix: OpMix::READ_HEAVY,
+        seed: SEED,
+        theta,
+        scramble,
+    }
+}
+
 impl Experiment {
-    /// All experiment ids, in paper order.
-    pub const IDS: [&'static str; 12] = [
+    /// All experiment ids: the paper's tables and figures in paper
+    /// order, then this reproduction's extensions.
+    pub const IDS: [&'static str; 14] = [
         "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-        "figure1", "figure2", "figure3",
+        "figure1", "figure2", "figure3", "zipf", "skew",
     ];
 
     /// Looks up an experiment by id at the given scale.
@@ -249,6 +275,29 @@ impl Experiment {
                     sweep(vec![1, 2, 4, 8, 16], 2_000, 2_048, 4_096, 3)
                 },
             },
+            "zipf" => Experiment {
+                id: "zipf",
+                description: "Zipfian mix 10/10/80, θ=0.99 clustered (hot keys adjacent)",
+                variants: Variant::SHARDED.to_vec(),
+                workload: if paper {
+                    WorkloadSpec::ZipfianMix(zipf(64, 1_000_000, 1_000, 10_000, 0.99, false))
+                } else {
+                    WorkloadSpec::ZipfianMix(zipf(8, 40_000, 1_000, 10_000, 0.99, false))
+                },
+            },
+            "skew" => Experiment {
+                id: "skew",
+                description: "skew sweep, mix 10/10/80, θ ∈ {0, 0.5, 0.9, 0.99} clustered",
+                variants: Variant::SHARDED.to_vec(),
+                workload: WorkloadSpec::SkewSweep {
+                    base: if paper {
+                        zipf(64, 500_000, 1_000, 10_000, 0.0, false)
+                    } else {
+                        zipf(8, 20_000, 1_000, 10_000, 0.0, false)
+                    },
+                    thetas: vec![0.0, 0.5, 0.9, 0.99],
+                },
+            },
             _ => return None,
         })
     }
@@ -313,6 +362,22 @@ mod tests {
             let e = Experiment::get(id, Scale::Paper).unwrap();
             assert!(!e.variants.contains(&Variant::SinglyFetchOr), "{id}");
             assert_eq!(e.variants.len(), 5, "{id}");
+        }
+    }
+
+    #[test]
+    fn zipf_experiments_target_the_sharded_group() {
+        for id in ["zipf", "skew"] {
+            let e = Experiment::get(id, Scale::Container).unwrap();
+            assert_eq!(e.variants, Variant::SHARDED.to_vec(), "{id}");
+        }
+        match Experiment::get("skew", Scale::Container).unwrap().workload {
+            WorkloadSpec::SkewSweep { thetas, base } => {
+                assert!(thetas.len() >= 2, "a sweep needs ≥2 skew points");
+                assert_eq!(thetas[0], 0.0, "uniform anchor point");
+                assert!(!base.scramble, "default placement is clustered");
+            }
+            _ => panic!("skew must be a SkewSweep"),
         }
     }
 

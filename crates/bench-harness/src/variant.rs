@@ -11,14 +11,21 @@
 //!
 //! [`ConcurrentOrderedSet`]: pragmatic_list::ConcurrentOrderedSet
 
+use lockfree_skiplist::SkipListSet;
+use pragmatic_list::sharded::ShardedSet;
 use pragmatic_list::variants::{
     CursorOnlyList, DoublyBackptrList, DoublyCursorEpochList, DoublyCursorList, DraconicList,
-    SinglyCursorList, SinglyEpochList, SinglyFetchOrEpochList, SinglyFetchOrList, SinglyHpList,
-    SinglyMildList,
+    SinglyCursorEpochList, SinglyCursorList, SinglyEpochList, SinglyFetchOrEpochList,
+    SinglyFetchOrList, SinglyHpList, SinglyMildList,
 };
 use pragmatic_list::{ConcurrentOrderedSet, EpochList};
 
 use crate::workload::Workload;
+
+/// The shard count of the `sharded_*` variants' small configuration.
+pub const SHARDS_SMALL: usize = 8;
+/// The shard count of the `sharded_*32` variants.
+pub const SHARDS_LARGE: usize = 32;
 
 /// The benchmarked list variants: the paper's a)–f) plus the extensions
 /// of this reproduction (ablations and the variant × reclaimer
@@ -52,6 +59,20 @@ pub enum Variant {
     /// Extension: variant b) with from-scratch hazard-pointer
     /// reclamation (protect + validate per traversal step).
     SinglyHp,
+    /// Extension: the mild lock-free skiplist (§4's follow-on), as an
+    /// unsharded baseline for the scaling comparisons.
+    Skiplist,
+    /// Extension: variant d) range-partitioned across 8 shards.
+    ShardedSingly,
+    /// Extension: variant d) range-partitioned across 32 shards.
+    ShardedSingly32,
+    /// Extension: the mild skiplist range-partitioned across 8 shards.
+    ShardedSkiplist,
+    /// Extension: the mild skiplist range-partitioned across 32 shards.
+    ShardedSkiplist32,
+    /// Extension: variant d) under epoch reclamation, 8 shards — the
+    /// `Reclaimer` parameter threads straight through the router.
+    ShardedSinglyEpoch,
 }
 
 /// A computation that is generic over the list implementation.
@@ -95,9 +116,9 @@ pub trait VariantVisitor {
 }
 
 impl Variant {
-    /// All variants: paper order a)–f), then the ablation and
-    /// reclamation extensions.
-    pub const ALL: [Variant; 12] = [
+    /// All variants: paper order a)–f), then the ablation, reclamation,
+    /// skiplist and sharding extensions.
+    pub const ALL: [Variant; 18] = [
         Variant::Draconic,
         Variant::Singly,
         Variant::Doubly,
@@ -110,6 +131,12 @@ impl Variant {
         Variant::SinglyFetchOrEpoch,
         Variant::DoublyCursorEpoch,
         Variant::SinglyHp,
+        Variant::Skiplist,
+        Variant::ShardedSingly,
+        Variant::ShardedSingly32,
+        Variant::ShardedSkiplist,
+        Variant::ShardedSkiplist32,
+        Variant::ShardedSinglyEpoch,
     ];
 
     /// The six variants of the paper, in table order a)–f).
@@ -156,6 +183,22 @@ impl Variant {
         Variant::DoublyCursorEpoch,
     ];
 
+    /// The sharding sweep: unsharded baselines next to their
+    /// range-partitioned counterparts at two shard counts and two
+    /// backend families (list, skiplist), plus an epoch-reclaimed
+    /// sharded row — one `repro <exp> --variants sharded` quantifies
+    /// what partitioning buys per backend and what reclamation costs
+    /// through the router.
+    pub const SHARDED: [Variant; 7] = [
+        Variant::SinglyCursor,
+        Variant::Skiplist,
+        Variant::ShardedSingly,
+        Variant::ShardedSingly32,
+        Variant::ShardedSkiplist,
+        Variant::ShardedSkiplist32,
+        Variant::ShardedSinglyEpoch,
+    ];
+
     /// Runs `visitor` with the list type this variant names.
     ///
     /// The single point where the value-level `Variant` becomes a
@@ -175,6 +218,22 @@ impl Variant {
             Variant::SinglyFetchOrEpoch => visitor.visit::<SinglyFetchOrEpochList<i64>>(),
             Variant::DoublyCursorEpoch => visitor.visit::<DoublyCursorEpochList<i64>>(),
             Variant::SinglyHp => visitor.visit::<SinglyHpList<i64>>(),
+            Variant::Skiplist => visitor.visit::<SkipListSet<i64>>(),
+            Variant::ShardedSingly => {
+                visitor.visit::<ShardedSet<i64, SinglyCursorList<i64>, SHARDS_SMALL>>()
+            }
+            Variant::ShardedSingly32 => {
+                visitor.visit::<ShardedSet<i64, SinglyCursorList<i64>, SHARDS_LARGE>>()
+            }
+            Variant::ShardedSkiplist => {
+                visitor.visit::<ShardedSet<i64, SkipListSet<i64>, SHARDS_SMALL>>()
+            }
+            Variant::ShardedSkiplist32 => {
+                visitor.visit::<ShardedSet<i64, SkipListSet<i64>, SHARDS_LARGE>>()
+            }
+            Variant::ShardedSinglyEpoch => {
+                visitor.visit::<ShardedSet<i64, SinglyCursorEpochList<i64>, SHARDS_SMALL>>()
+            }
         }
     }
 
@@ -222,6 +281,12 @@ impl Variant {
             Variant::SinglyFetchOrEpoch => "i) singly-fetch-or-epoch",
             Variant::DoublyCursorEpoch => "j) doubly-cursor-epoch",
             Variant::SinglyHp => "k) singly-hp",
+            Variant::Skiplist => "l) skiplist-mild",
+            Variant::ShardedSingly => "m) sharded-singly x8",
+            Variant::ShardedSingly32 => "n) sharded-singly x32",
+            Variant::ShardedSkiplist => "o) sharded-skiplist x8",
+            Variant::ShardedSkiplist32 => "p) sharded-skiplist x32",
+            Variant::ShardedSinglyEpoch => "q) sharded-singly-epoch x8",
         }
     }
 
@@ -241,13 +306,20 @@ impl Variant {
             "singly_fetch_or_epoch" | "fetch_or_epoch" | "i" => Variant::SinglyFetchOrEpoch,
             "doubly_cursor_epoch" | "j" => Variant::DoublyCursorEpoch,
             "singly_hp" | "hp" | "k" => Variant::SinglyHp,
+            "skiplist_mild" | "skiplist" | "l" => Variant::Skiplist,
+            "sharded_singly" | "m" => Variant::ShardedSingly,
+            "sharded_singly32" | "n" => Variant::ShardedSingly32,
+            "sharded_skiplist" | "o" => Variant::ShardedSkiplist,
+            "sharded_skiplist32" | "p" => Variant::ShardedSkiplist32,
+            "sharded_singly_epoch" | "q" => Variant::ShardedSinglyEpoch,
             _ => return None,
         })
     }
 
     /// Parses a CLI token that may name either a single variant or a
-    /// group: `"all"`, `"paper"`, `"sparc"`, `"figures"`, `"reclaim"`
-    /// (so `repro --variants paper` or `--variants reclaim` work).
+    /// group: `"all"`, `"paper"`, `"sparc"`, `"figures"`, `"reclaim"`,
+    /// `"sharded"` (so `repro --variants paper` or `--variants sharded`
+    /// work).
     pub fn parse_group(s: &str) -> Option<Vec<Variant>> {
         match s.trim().to_ascii_lowercase().as_str() {
             "all" => Some(Variant::ALL.to_vec()),
@@ -255,6 +327,7 @@ impl Variant {
             "sparc" => Some(Variant::SPARC.to_vec()),
             "figures" | "figs" => Some(Variant::FIGURES.to_vec()),
             "reclaim" => Some(Variant::RECLAIM.to_vec()),
+            "sharded" => Some(Variant::SHARDED.to_vec()),
             _ => Variant::parse(s).map(|v| vec![v]),
         }
     }
@@ -274,6 +347,9 @@ impl Variant {
         }
         if Variant::RECLAIM.contains(&self) {
             g.push("reclaim");
+        }
+        if Variant::SHARDED.contains(&self) {
+            g.push("sharded");
         }
         g
     }
@@ -326,6 +402,10 @@ mod tests {
             Variant::RECLAIM.to_vec()
         );
         assert_eq!(
+            Variant::parse_group("sharded").unwrap(),
+            Variant::SHARDED.to_vec()
+        );
+        assert_eq!(
             Variant::parse_group("f").unwrap(),
             vec![Variant::DoublyCursor]
         );
@@ -334,12 +414,18 @@ mod tests {
 
     #[test]
     fn paper_sets_have_expected_sizes() {
-        assert_eq!(Variant::ALL.len(), 12);
+        assert_eq!(Variant::ALL.len(), 18);
         assert_eq!(Variant::PAPER.len(), 6);
         assert_eq!(Variant::SPARC.len(), 5);
         assert_eq!(Variant::RECLAIM.len(), 9);
+        assert_eq!(Variant::SHARDED.len(), 7);
         assert!(!Variant::SPARC.contains(&Variant::SinglyFetchOr));
         assert!(Variant::RECLAIM.contains(&Variant::SinglyHp));
+        // The sharded sweep covers ≥2 shard counts and ≥2 backends.
+        assert!(Variant::SHARDED.contains(&Variant::ShardedSingly));
+        assert!(Variant::SHARDED.contains(&Variant::ShardedSingly32));
+        assert!(Variant::SHARDED.contains(&Variant::ShardedSkiplist));
+        assert!(Variant::SHARDED.contains(&Variant::ShardedSkiplist32));
     }
 
     #[test]
@@ -350,6 +436,21 @@ mod tests {
         );
         assert_eq!(Variant::SinglyHp.groups(), vec!["all", "reclaim"]);
         assert_eq!(Variant::CursorOnly.groups(), vec!["all"]);
+        assert_eq!(Variant::ShardedSkiplist.groups(), vec!["all", "sharded"]);
+        assert_eq!(
+            Variant::SinglyCursor.groups(),
+            vec!["all", "paper", "sparc", "figures", "sharded"]
+        );
+    }
+
+    #[test]
+    fn sharded_variants_report_sharded_names() {
+        assert_eq!(Variant::ShardedSingly.name(), "sharded_singly");
+        assert_eq!(Variant::ShardedSingly32.name(), "sharded_singly32");
+        assert_eq!(Variant::ShardedSkiplist.name(), "sharded_skiplist");
+        assert_eq!(Variant::ShardedSkiplist32.name(), "sharded_skiplist32");
+        assert_eq!(Variant::ShardedSinglyEpoch.name(), "sharded_singly_epoch");
+        assert_eq!(Variant::Skiplist.name(), "skiplist_mild");
     }
 
     #[test]

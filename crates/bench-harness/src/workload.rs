@@ -76,6 +76,40 @@ use crate::{deterministic, latency, random_mix};
 /// [`Variant::run`]. See the [module docs](self) for a worked example.
 ///
 /// [`Variant::run`]: crate::variant::Variant::run
+///
+/// # Examples
+///
+/// One impl, zero per-variant code — including the sharded variants:
+///
+/// ```
+/// use bench_harness::{Variant, Workload};
+/// use pragmatic_list::{ConcurrentOrderedSet, SetHandle};
+///
+/// /// Adds 1..=n, removes the evens, reports the survivors.
+/// struct Survivors(i64);
+///
+/// impl Workload for Survivors {
+///     type Output = usize;
+///     fn run<S: ConcurrentOrderedSet<i64>>(&self) -> usize {
+///         let mut list = S::new();
+///         {
+///             let mut h = list.handle();
+///             for k in 1..=self.0 {
+///                 h.add(k);
+///             }
+///             for k in 1..=self.0 {
+///                 if k % 2 == 0 {
+///                     h.remove(k);
+///                 }
+///             }
+///         }
+///         list.collect_keys().len()
+///     }
+/// }
+///
+/// assert_eq!(Variant::SinglyCursor.run(&Survivors(10)), 5);
+/// assert_eq!(Variant::ShardedSkiplist.run(&Survivors(10)), 5);
+/// ```
 pub trait Workload {
     /// What one run produces (a [`RunResult`], a histogram, …).
     type Output;
@@ -99,6 +133,15 @@ impl Workload for RandomMixConfig {
 
     fn run<S: ConcurrentOrderedSet<i64>>(&self) -> RunResult {
         random_mix::run::<S>(self)
+    }
+}
+
+/// The Zipfian-skewed mix (see [`crate::zipfian`]) *is* its config.
+impl Workload for crate::zipfian::ZipfianMixConfig {
+    type Output = RunResult;
+
+    fn run<S: ConcurrentOrderedSet<i64>>(&self) -> RunResult {
+        crate::zipfian::run::<S>(self)
     }
 }
 

@@ -1,0 +1,284 @@
+//! The Zipfian-skewed operation-mix benchmark driver — the workload
+//! family the paper's uniform random mix cannot express.
+//!
+//! Real traffic concentrates on hot keys the way road-network congestion
+//! concentrates on a few bottleneck links; a uniform key draw spreads
+//! load evenly and therefore never exercises that regime. This driver
+//! keeps everything else from the random mix (§3: prefill, per-thread
+//! glibc `random_r` streams, the add/rem/con percentages) and replaces
+//! the key distribution with a [`Zipfian`] over ranks `[0, U)`.
+//!
+//! Two placements of the hot ranks matter for the sharded backends:
+//!
+//! * **clustered** (`scramble = false`): rank `r` maps to key `r`, so
+//!   the hot keys are adjacent — under range partitioning they all land
+//!   in the lowest shard, the bottleneck-link regime;
+//! * **scrambled** (`scramble = true`): ranks are hashed across the key
+//!   range (YCSB-style; the hash may collide, which merges the colliding
+//!   ranks' probability mass — the standard, accepted approximation), so
+//!   hot keys spread across shards and skew stresses each shard's short
+//!   prefix instead of a single shard.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use glibc_rand::{thread_seed, GlibcRandom, Zipfian};
+use pragmatic_list::{ConcurrentOrderedSet, OpStats, SetHandle};
+
+use crate::config::OpMix;
+use crate::result::RunResult;
+
+/// Zipfian-skewed operation-mix benchmark: like
+/// [`RandomMixConfig`](crate::config::RandomMixConfig) but keys are
+/// drawn rank-first from a [`Zipfian`] with skew `theta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfianMixConfig {
+    /// Number of worker threads (`p`).
+    pub threads: usize,
+    /// Operations per thread (`c`).
+    pub ops_per_thread: u64,
+    /// Distinct keys inserted before the timed phase (`f`).
+    pub prefill: u64,
+    /// Exclusive upper bound of the key range / rank space (`U`).
+    pub key_range: u32,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Base seed; thread `t` uses `glibc_rand::thread_seed(seed, t)`.
+    pub seed: u64,
+    /// Zipfian skew in `[0, 1)`: 0 = uniform, 0.99 = YCSB default.
+    pub theta: f64,
+    /// `false`: hot ranks are adjacent keys (they cluster in one shard
+    /// of a range-partitioned backend); `true`: ranks are hashed across
+    /// the key range.
+    pub scramble: bool,
+}
+
+impl ZipfianMixConfig {
+    /// Total operations of the timed phase (`c·p`).
+    pub fn total_ops(&self) -> u64 {
+        self.ops_per_thread * self.threads as u64
+    }
+
+    /// The key for Zipfian rank `rank` under this config's placement.
+    ///
+    /// Keys span the full `i64` domain (not `[0, U)`) so that a
+    /// range-partitioned backend sees its whole keyspace: clustered
+    /// placement maps ranks *monotonically* onto the domain — adjacent
+    /// hot ranks stay adjacent keys, which under range partitioning all
+    /// fall into the lowest shards — while scrambled placement hashes
+    /// each rank to an arbitrary point, spreading the hot set across
+    /// shards. Key magnitude is irrelevant to the list backends (they
+    /// compare, never index), so unsharded variants do identical work
+    /// either way.
+    #[inline]
+    pub fn key_of_rank(&self, rank: u64) -> i64 {
+        let u = if self.scramble {
+            // Fibonacci hash (collisions merge rank masses — the
+            // standard YCSB approximation, see module docs).
+            (rank + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        } else {
+            // Linear monotone spread of [0, U) over the u64 rank space.
+            ((rank as u128 * (u64::MAX - 2) as u128) / self.key_range as u128) as u64
+        };
+        // Undo the `ShardKey::rank64` sign-flip and stay strictly inside
+        // the sentinels.
+        ((u.clamp(1, u64::MAX - 1)) ^ (1 << 63)) as i64
+    }
+}
+
+/// Prefills `list` with `cfg.prefill` distinct keys: the hottest ranks
+/// first, so the keys the skewed phase will hammer exist from the start
+/// (with `scramble`, hash collisions are skipped over by continuing down
+/// the rank order).
+fn prefill<S: ConcurrentOrderedSet<i64>>(list: &S, cfg: &ZipfianMixConfig) {
+    assert!(
+        (cfg.prefill as u128) <= cfg.key_range as u128,
+        "cannot prefill {} distinct keys from a range of {}",
+        cfg.prefill,
+        cfg.key_range
+    );
+    let mut h = list.handle();
+    let mut inserted = 0;
+    let mut rank = 0u64;
+    while inserted < cfg.prefill {
+        // Scrambled placement can collide; walking the rank order still
+        // terminates because the map over all U ranks covers ≥ prefill
+        // distinct keys for the identity placement, and for the hashed
+        // placement we fall back to linear probing past the range.
+        let key = if rank < cfg.key_range as u64 {
+            cfg.key_of_rank(rank)
+        } else {
+            (rank - cfg.key_range as u64) as i64
+        };
+        rank += 1;
+        if h.add(key) {
+            inserted += 1;
+        }
+    }
+}
+
+/// Runs the Zipfian-mix benchmark on list variant `S`.
+pub fn run<S: ConcurrentOrderedSet<i64>>(cfg: &ZipfianMixConfig) -> RunResult {
+    assert!(cfg.threads > 0, "at least one thread");
+    assert!(cfg.mix.is_valid(), "operation mix must sum to 100");
+    assert!(cfg.key_range > 0);
+    let list = S::new();
+    prefill(&list, cfg);
+    // One sampler, shared by reference: construction is O(U), sampling
+    // is stateless (all stream state is per-thread).
+    let zipf = Zipfian::new(cfg.key_range as u64, cfg.theta);
+
+    let barrier = Barrier::new(cfg.threads + 1);
+    let (wall, stats) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let list = &list;
+                let barrier = &barrier;
+                let zipf = &zipf;
+                let cfg = *cfg;
+                scope.spawn(move || {
+                    let mut h = list.handle();
+                    let mut rng = GlibcRandom::new(thread_seed(cfg.seed, t));
+                    barrier.wait();
+                    let add_bound = cfg.mix.add;
+                    let rem_bound = cfg.mix.add + cfg.mix.remove;
+                    for _ in 0..cfg.ops_per_thread {
+                        let op = rng.below(100);
+                        let key = cfg.key_of_rank(zipf.sample(&mut rng));
+                        if op < add_bound {
+                            h.add(key);
+                        } else if op < rem_bound {
+                            h.remove(key);
+                        } else {
+                            h.contains(key);
+                        }
+                    }
+                    h.take_stats()
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let stats: OpStats = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        (start.elapsed(), stats)
+    });
+
+    RunResult {
+        variant: S::NAME.to_string(),
+        wall,
+        total_ops: cfg.total_ops(),
+        stats,
+        threads: cfg.threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pragmatic_list::sharded::ShardedSet;
+    use pragmatic_list::variants::{SinglyCursorList, SinglyMildList};
+
+    fn cfg(threads: usize, ops: u64, theta: f64) -> ZipfianMixConfig {
+        ZipfianMixConfig {
+            threads,
+            ops_per_thread: ops,
+            prefill: 100,
+            key_range: 1_000,
+            mix: OpMix::READ_HEAVY,
+            seed: 42,
+            theta,
+            scramble: false,
+        }
+    }
+
+    #[test]
+    fn runs_and_counts_ops() {
+        let c = cfg(2, 5_000, 0.9);
+        let r = run::<SinglyMildList<i64>>(&c);
+        assert_eq!(r.total_ops, 10_000);
+        assert_eq!(r.variant, "singly");
+        assert!(r.stats.adds >= 1, "some adds succeed");
+    }
+
+    #[test]
+    fn same_seed_single_thread_is_reproducible() {
+        let c = cfg(1, 4_000, 0.99);
+        let a = run::<SinglyCursorList<i64>>(&c);
+        let b = run::<SinglyCursorList<i64>>(&c);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn clustered_placement_is_monotone_and_spans_the_domain() {
+        let c = cfg(1, 1, 0.9);
+        let keys: Vec<i64> = (0..c.key_range as u64).map(|r| c.key_of_rank(r)).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "monotone, distinct");
+        assert!(keys[0] < i64::MIN / 2, "low ranks at the bottom");
+        assert!(
+            *keys.last().unwrap() > i64::MAX / 2,
+            "high ranks at the top"
+        );
+    }
+
+    #[test]
+    fn clustered_skew_lands_in_the_low_shards() {
+        // θ=0.99 clustered: the overwhelming majority of draws map into
+        // the lowest shard's keyspace interval.
+        let c = ZipfianMixConfig {
+            mix: OpMix::UPDATE_HEAVY,
+            ..cfg(2, 10_000, 0.99)
+        };
+        type S = ShardedSet<i64, SinglyCursorList<i64>, 8>;
+        let _ = run::<S>(&c); // exercises the driver over a sharded backend
+        let zipf = Zipfian::new(c.key_range as u64, c.theta);
+        let mut rng = GlibcRandom::new(1);
+        let hot = (0..10_000)
+            .filter(|_| {
+                let key = c.key_of_rank(zipf.sample(&mut rng));
+                pragmatic_list::sharded::shard_of(key, 8) == 0
+            })
+            .count();
+        assert!(hot > 6_000, "clustered hot keys: {hot}/10000 in shard 0");
+    }
+
+    #[test]
+    fn scrambled_skew_spreads_across_shards() {
+        let c = ZipfianMixConfig {
+            scramble: true,
+            ..cfg(1, 1, 0.99)
+        };
+        let zipf = Zipfian::new(c.key_range as u64, c.theta);
+        let mut rng = GlibcRandom::new(1);
+        let mut shards_hit = [false; 8];
+        for _ in 0..10_000 {
+            let key = c.key_of_rank(zipf.sample(&mut rng));
+            shards_hit[pragmatic_list::sharded::shard_of(key, 8)] = true;
+        }
+        assert_eq!(
+            shards_hit, [true; 8],
+            "scrambled hot set should span the shards"
+        );
+    }
+
+    #[test]
+    fn prefill_inserts_the_hot_ranks() {
+        let c = cfg(1, 0, 0.99);
+        let list = SinglyCursorList::<i64>::new();
+        prefill(&list, &c);
+        let mut list = list;
+        let keys = list.collect_keys();
+        assert_eq!(keys.len(), c.prefill as usize);
+        // Clustered placement is monotone: the prefilled keys are exactly
+        // the images of the hottest `prefill` ranks, in rank order.
+        let want: Vec<i64> = (0..c.prefill).map(|r| c.key_of_rank(r)).collect();
+        assert_eq!(keys, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot prefill")]
+    fn prefill_larger_than_range_panics() {
+        let mut c = cfg(1, 10, 0.5);
+        c.prefill = 2_000;
+        run::<SinglyMildList<i64>>(&c);
+    }
+}

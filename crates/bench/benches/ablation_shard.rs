@@ -1,0 +1,83 @@
+//! Ablation A4: the shard-count × skew matrix.
+//!
+//! The paper's lists trade asymptotics for constant factors, which caps
+//! a single structure's scalability; range-partitioning restores it by
+//! keeping every shard in the short-list sweet spot. This sweep
+//! quantifies the two axes that matter:
+//!
+//! * **shard count** — 1 (the flat baseline) through 32, for both the
+//!   singly-cursor list and the mild skiplist backends;
+//! * **skew** — uniform (θ=0) versus heavy Zipfian skew (θ=0.99), in
+//!   both placements: *clustered* (hot ranks adjacent, so one shard is
+//!   the bottleneck link — sharding helps least) and *scrambled* (hot
+//!   keys spread across shards — sharding helps most).
+//!
+//! The interesting read-out is how much of the uniform-workload sharding
+//! win survives clustered skew: the hot shard serializes the hot keys
+//! again, exactly like traffic re-concentrating on a bottleneck after a
+//! road-network expansion.
+
+use bench_harness::zipfian::ZipfianMixConfig;
+use bench_harness::{OpMix, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use lockfree_skiplist::SkipListSet;
+use pragmatic_list::sharded::ShardedSet;
+use pragmatic_list::variants::SinglyCursorList;
+
+type List = SinglyCursorList<i64>;
+type Skip = SkipListSet<i64>;
+
+fn bench(c: &mut Criterion) {
+    let base = ZipfianMixConfig {
+        threads: 4,
+        ops_per_thread: 10_000,
+        prefill: 1_000,
+        key_range: 10_000,
+        mix: OpMix::READ_HEAVY,
+        seed: 0x5eed_cafe,
+        theta: 0.0,
+        scramble: false,
+    };
+    for (theta, scramble) in [(0.0, false), (0.99, false), (0.99, true)] {
+        let cfg = ZipfianMixConfig {
+            theta,
+            scramble,
+            ..base
+        };
+        let label = format!(
+            "ablation_a4_shard_theta{theta}_{}",
+            if scramble { "scrambled" } else { "clustered" }
+        );
+        let mut g = c.benchmark_group(&label);
+        g.sample_size(10);
+        g.throughput(criterion::Throughput::Elements(cfg.total_ops()));
+        g.bench_function("singly_n1", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<List>()))
+        });
+        g.bench_function("singly_n4", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<ShardedSet<i64, List, 4>>()))
+        });
+        g.bench_function("singly_n8", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<ShardedSet<i64, List, 8>>()))
+        });
+        g.bench_function("singly_n16", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<ShardedSet<i64, List, 16>>()))
+        });
+        g.bench_function("singly_n32", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<ShardedSet<i64, List, 32>>()))
+        });
+        g.bench_function("skiplist_n1", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<Skip>()))
+        });
+        g.bench_function("skiplist_n8", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<ShardedSet<i64, Skip, 8>>()))
+        });
+        g.bench_function("skiplist_n32", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<ShardedSet<i64, Skip, 32>>()))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,7 +6,8 @@
 //!   repro <experiment>... [options]
 //!   repro all [options]
 //!
-//! Experiments: table1..table9, figure1..figure3 (see `repro list`).
+//! Experiments: table1..table9, figure1..figure3, zipf, skew (see
+//! `repro list`).
 //!
 //! Options:
 //!   --paper-scale         use the published parameters (large machines!)
@@ -16,8 +17,11 @@
 //!   --prefill N           override random-mix prefill
 //!   --range N             override random-mix key range
 //!   --repeats N           override sweep repeats
+//!   --theta X             override the Zipfian skew (0 ≤ θ < 1)
+//!   --scramble            spread the Zipfian hot set across the keyspace
+//!                         (default: clustered, one bottleneck shard)
 //!   --variants a,b,f      restrict the variant set (names, letters, or
-//!                         groups: all/paper/sparc/figures/reclaim)
+//!                         groups: all/paper/sparc/figures/reclaim/sharded)
 //!   --list-variants       print every variant key, paper label and
 //!                         group membership, then exit
 //!   --private             also run the thread-private sequential baseline
@@ -38,6 +42,8 @@ struct Options {
     prefill: Option<u64>,
     range: Option<u32>,
     repeats: Option<usize>,
+    theta: Option<f64>,
+    scramble: bool,
     variants: Option<Vec<Variant>>,
     private_baseline: bool,
     csv: Option<String>,
@@ -53,6 +59,8 @@ impl Default for Options {
             prefill: None,
             range: None,
             repeats: None,
+            theta: None,
+            scramble: false,
             variants: None,
             private_baseline: false,
             csv: None,
@@ -103,6 +111,18 @@ fn main() -> ExitCode {
             "--prefill" => opt.prefill = parse_next(&mut it, "--prefill"),
             "--range" => opt.range = parse_next(&mut it, "--range"),
             "--repeats" => opt.repeats = parse_next(&mut it, "--repeats"),
+            "--theta" => {
+                let theta: f64 = match parse_next(&mut it, "--theta") {
+                    Some(t) => t,
+                    None => return ExitCode::FAILURE,
+                };
+                if !(0.0..1.0).contains(&theta) {
+                    eprintln!("--theta must be in [0, 1), got {theta}");
+                    return ExitCode::FAILURE;
+                }
+                opt.theta = Some(theta);
+            }
+            "--scramble" => opt.scramble = true,
             "--csv" => opt.csv = it.next(),
             "--variants" => {
                 let Some(list) = it.next() else {
@@ -305,6 +325,78 @@ fn run_experiment(exp: Experiment, opt: &Options) {
             println!("\n{}", report::format_table(exp.id, &rows));
             append_csv(opt, &report::results_csv(&rows));
         }
+        WorkloadSpec::ZipfianMix(mut cfg) => {
+            apply_zipf_overrides(&mut cfg, opt);
+            println!(
+                "   p={} c={} f={} U={} mix={}/{}/{} θ={} {}",
+                cfg.threads,
+                cfg.ops_per_thread,
+                cfg.prefill,
+                cfg.key_range,
+                cfg.mix.add,
+                cfg.mix.remove,
+                cfg.mix.contains,
+                cfg.theta,
+                if cfg.scramble {
+                    "scrambled"
+                } else {
+                    "clustered"
+                }
+            );
+            let mut rows = Vec::new();
+            for v in variants {
+                let r = v.run(&cfg);
+                println!(
+                    "   {:<26} {:>10.1} ms  {:>12.1} Kops/s",
+                    v.paper_label(),
+                    r.time_ms(),
+                    r.kops_per_sec()
+                );
+                rows.push(r);
+            }
+            println!("\n{}", report::format_table(exp.id, &rows));
+            append_csv(opt, &report::results_csv(&rows));
+        }
+        WorkloadSpec::SkewSweep { mut base, thetas } => {
+            apply_zipf_overrides(&mut base, opt);
+            let thetas = match opt.theta {
+                Some(t) => vec![t],
+                None => thetas,
+            };
+            println!(
+                "   skew sweep θ={thetas:?} p={} c={} f={} U={} {}",
+                base.threads,
+                base.ops_per_thread,
+                base.prefill,
+                base.key_range,
+                if base.scramble {
+                    "scrambled"
+                } else {
+                    "clustered"
+                }
+            );
+            for theta in thetas {
+                let cfg = bench_harness::ZipfianMixConfig { theta, ..base };
+                let mut rows = Vec::new();
+                for v in &variants {
+                    let r = v.run(&cfg);
+                    println!(
+                        "   θ={theta:<5} {:<26} {:>10.1} ms  {:>12.1} Kops/s",
+                        v.paper_label(),
+                        r.time_ms(),
+                        r.kops_per_sec()
+                    );
+                    rows.push(r);
+                }
+                println!(
+                    "\n{}",
+                    report::format_table(&format!("{} θ={theta}", exp.id), &rows)
+                );
+                // The sweep's x-axis is θ, so prepend it as a CSV column
+                // (the thread sweep gets its axis from the threads field).
+                append_csv(opt, &csv_with_theta(theta, &report::results_csv(&rows)));
+            }
+        }
         WorkloadSpec::Sweep {
             mut base,
             threads,
@@ -340,6 +432,46 @@ fn run_experiment(exp: Experiment, opt: &Options) {
     }
 }
 
+fn apply_zipf_overrides(cfg: &mut bench_harness::ZipfianMixConfig, opt: &Options) {
+    if let Some(t) = opt.threads {
+        cfg.threads = t;
+    }
+    if let Some(c) = opt.ops {
+        cfg.ops_per_thread = c;
+    }
+    if let Some(f) = opt.prefill {
+        cfg.prefill = f;
+    }
+    if let Some(u) = opt.range {
+        cfg.key_range = u;
+    }
+    if let Some(theta) = opt.theta {
+        cfg.theta = theta;
+    }
+    if opt.scramble {
+        cfg.scramble = true;
+    }
+}
+
+/// Prefixes a `theta` column onto a `results_csv` block so skew-sweep
+/// output stays analyzable by its x-axis.
+fn csv_with_theta(theta: f64, csv: &str) -> String {
+    let mut out = String::new();
+    for line in csv.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("variant,") {
+            out.push_str("theta,");
+        } else {
+            out.push_str(&format!("{theta},"));
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
 fn append_csv(opt: &Options, data: &str) {
     if let Some(path) = &opt.csv {
         use std::io::Write;
@@ -360,7 +492,8 @@ fn print_usage() {
          usage: repro list | repro <experiment>... [options] | repro all [options] | repro latency\n\
          \n\
          options: --paper-scale --threads N --n N --ops N --prefill N --range N\n\
-         \x20         --repeats N --variants a,b,f --list-variants --private --csv PATH\n\
+         \x20         --repeats N --theta X --scramble --variants a,b,f\n\
+         \x20         --list-variants --private --csv PATH\n\
          \n\
          Container-scale parameters are the default; pass --paper-scale on a\n\
          large machine for the published sizes."

@@ -394,6 +394,205 @@ impl GlibcRandomAny {
     }
 }
 
+/// Zipfian rank sampler over `[0, n)` (rank 0 hottest), using the
+/// Gray et al. transform ("Quickly generating billion-record synthetic
+/// databases", SIGMOD '94) — the same construction YCSB uses.
+///
+/// The sampler itself is stateless after construction (all state lives
+/// in the [`GlibcRandom`] stream it draws from), so one `Zipfian` can be
+/// shared by reference across benchmark threads while each thread keeps
+/// its own deterministic per-seed stream — skewed keys with the exact
+/// reproducibility of the paper's uniform workload.
+///
+/// `theta` in `[0, 1)` controls the skew: 0 is uniform, 0.99 is the
+/// YCSB default where a handful of ranks absorb most of the draws.
+/// Construction precomputes the harmonic normaliser in `O(n)`.
+///
+/// # Examples
+///
+/// ```
+/// use glibc_rand::{GlibcRandom, Zipfian};
+///
+/// let zipf = Zipfian::new(1_000, 0.99);
+/// let mut rng = GlibcRandom::new(42);
+/// let mut hits0 = 0;
+/// for _ in 0..1_000 {
+///     let rank = zipf.sample(&mut rng);
+///     assert!(rank < 1_000);
+///     hits0 += (rank == 0) as u32;
+/// }
+/// // Rank 0 is drawn far more often than the uniform 1/1000.
+/// assert!(hits0 > 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    half_pow_theta: f64,
+}
+
+impl Zipfian {
+    /// Creates a sampler over ranks `[0, n)` with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// If `n == 0` or `theta` is outside `[0, 1)` (the Gray transform's
+    /// domain; `theta >= 1` needs a different construction).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipfian needs a non-empty rank space");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta must be in [0, 1), got {theta}"
+        );
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2 = 1.0 + 0.5f64.powf(theta);
+        Zipfian {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            half_pow_theta: 0.5f64.powf(theta),
+        }
+    }
+
+    /// The rank-space size `n`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws one rank in `[0, n)`; rank 0 is the most frequent.
+    ///
+    /// Resolution: one generator draw has 31 bits, so for `n` beyond
+    /// ~2³¹ the reachable ranks are quantized (true of every θ,
+    /// including the θ = 0 uniform case — both go through the same
+    /// `[0, 1)` float).
+    #[inline]
+    pub fn sample(&self, rng: &mut GlibcRandom) -> u64 {
+        if self.theta == 0.0 {
+            // Uniform degenerate case, through the same float path as
+            // the transform below so coverage and resolution match the
+            // skewed points (a `% n` here would both bias low ranks and
+            // cap coverage at 2³¹ regardless of n).
+            let r = (rng.unit() * self.n as f64) as u64;
+            return r.min(self.n - 1);
+        }
+        let u = rng.unit();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + self.half_pow_theta {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod zipf_tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_range_and_are_deterministic() {
+        let zipf = Zipfian::new(97, 0.9);
+        let mut a = GlibcRandom::new(7);
+        let mut b = GlibcRandom::new(7);
+        for _ in 0..10_000 {
+            let x = zipf.sample(&mut a);
+            assert!(x < 97);
+            assert_eq!(x, zipf.sample(&mut b), "same seed, same stream");
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let zipf = Zipfian::new(16, 0.0);
+        let mut rng = GlibcRandom::new(11);
+        let mut buckets = [0u32; 16];
+        let n = 64_000;
+        for _ in 0..n {
+            buckets[zipf.sample(&mut rng) as usize] += 1;
+        }
+        let expect = n as f64 / 16.0;
+        for (i, &c) in buckets.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.1, "bucket {i} deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_low_ranks() {
+        let zipf = Zipfian::new(10_000, 0.99);
+        let mut rng = GlibcRandom::new(3);
+        let total = 50_000;
+        let mut top10 = 0u32;
+        let mut hits = std::collections::HashMap::new();
+        for _ in 0..total {
+            let r = zipf.sample(&mut rng);
+            top10 += (r < 10) as u32;
+            *hits.entry(r).or_insert(0u32) += 1;
+        }
+        // Under θ=0.99 the ten hottest of 10⁴ ranks take a large
+        // constant fraction of all draws (≈ 1/3); uniform would give
+        // 0.1%.
+        assert!(
+            top10 as f64 / total as f64 > 0.2,
+            "top-10 share too small: {top10}/{total}"
+        );
+        // And the hottest rank beats, e.g., rank 100 decisively.
+        let h0 = *hits.get(&0).unwrap_or(&0);
+        let h100 = *hits.get(&100).unwrap_or(&0);
+        assert!(h0 > 5 * h100.max(1), "rank 0 ({h0}) vs rank 100 ({h100})");
+    }
+
+    #[test]
+    fn frequency_is_monotone_over_rank_bands() {
+        let zipf = Zipfian::new(1_000, 0.7);
+        let mut rng = GlibcRandom::new(99);
+        let mut bands = [0u32; 4]; // [0,10), [10,100), [100,500), [500,1000)
+        for _ in 0..40_000 {
+            match zipf.sample(&mut rng) {
+                0..=9 => bands[0] += 1,
+                10..=99 => bands[1] += 1,
+                100..=499 => bands[2] += 1,
+                _ => bands[3] += 1,
+            }
+        }
+        // Per-rank mass must decrease band over band.
+        let per_rank = [
+            bands[0] as f64 / 10.0,
+            bands[1] as f64 / 90.0,
+            bands[2] as f64 / 400.0,
+            bands[3] as f64 / 500.0,
+        ];
+        assert!(per_rank[0] > per_rank[1]);
+        assert!(per_rank[1] > per_rank[2]);
+        assert!(per_rank[2] > per_rank[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in [0, 1)")]
+    fn theta_one_is_rejected() {
+        Zipfian::new(10, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty rank space")]
+    fn empty_rank_space_is_rejected() {
+        Zipfian::new(0, 0.5);
+    }
+}
+
 #[cfg(test)]
 mod family_tests {
     use super::*;

@@ -56,6 +56,16 @@
 //! [`ordered`] for the exact contract). [`ConcurrentOrderedSet::collect_keys`]
 //! remains the quiescent, exact variant.
 //!
+//! ## Sharding
+//!
+//! A single list trades asymptotics for constant factors; [`sharded`]
+//! restores scalability by range-partitioning the keyspace across `N`
+//! backend shards. [`ShardedSet`] wraps *any* [`ConcurrentOrderedSet`]
+//! backend (every list variant under any reclaimer, the skiplist) and is
+//! itself one — per-thread lazy shard-handle caches, sorted cross-shard
+//! `range()` scans, aggregated `len_estimate()`; [`ShardedMap`] is the
+//! key→value sibling over [`map::ListMap`] shards.
+//!
 //! ## Memory reclamation
 //!
 //! Every list is generic over a [`Reclaimer`] — see [`reclaim`] for the
@@ -94,6 +104,7 @@ pub mod marked;
 pub mod ordered;
 pub mod reclaim;
 pub mod set;
+pub mod sharded;
 pub mod singly;
 mod stats;
 pub mod variants;
@@ -102,5 +113,6 @@ pub use key::Key;
 pub use ordered::{OrderedHandle, ScanBounds, Snapshot};
 pub use reclaim::Reclaimer;
 pub use set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
+pub use sharded::{ShardKey, ShardedMap, ShardedSet};
 pub use stats::OpStats;
 pub use variants::EpochList;

@@ -183,6 +183,29 @@ impl<K: Key> ScanBounds<K> {
             Bound::Unbounded => None,
         }
     }
+
+    /// The key at the end of the window (a partitioned backend stops
+    /// visiting shards past it); `None` for an unbounded end.
+    #[inline]
+    pub fn end_key(&self) -> Option<K> {
+        match self.hi {
+            Bound::Included(hi) | Bound::Excluded(hi) => Some(hi),
+            Bound::Unbounded => None,
+        }
+    }
+}
+
+/// A resolved `ScanBounds` is itself a range expression, so a composite
+/// backend (the sharded maps) can re-pass one window to several inner
+/// `range()` calls without re-borrowing the caller's original range.
+impl<K: Key> RangeBounds<K> for ScanBounds<K> {
+    fn start_bound(&self) -> Bound<&K> {
+        self.lo.as_ref()
+    }
+
+    fn end_bound(&self) -> Bound<&K> {
+        self.hi.as_ref()
+    }
 }
 
 /// Drives an ascending scan over a sorted node chain, applying the

@@ -68,6 +68,32 @@ use crate::Key;
 /// See the [module docs](self) for the safety contract each scheme
 /// provides and [`crate::variants`] for the named instantiations.
 ///
+/// # Examples
+///
+/// The scheme is a type parameter; the same list code runs under all
+/// three, and the associated consts advertise what each one permits:
+///
+/// ```
+/// use pragmatic_list::reclaim::{ArenaReclaim, EpochReclaim, HazardReclaim, Reclaimer};
+/// use pragmatic_list::singly::SinglyList;
+/// use pragmatic_list::{ConcurrentOrderedSet, SetHandle};
+///
+/// // arena: stable nodes (cursors may park across operations);
+/// // epoch: pin per operation; hp: protect-and-validate per step.
+/// assert!(ArenaReclaim::STABLE && !ArenaReclaim::PROTECTS);
+/// assert!(!EpochReclaim::STABLE && !EpochReclaim::PROTECTS);
+/// assert!(!HazardReclaim::STABLE && HazardReclaim::PROTECTS);
+///
+/// // Any flag combination accepts any reclaimer (here: the mild singly
+/// // list under hazard pointers — nodes are freed while the list lives).
+/// type MildHpList = SinglyList<i64, true, false, false, HazardReclaim>;
+/// let list = MildHpList::new();
+/// let mut h = list.handle();
+/// assert!(h.add(7));
+/// assert!(h.remove(7));
+/// assert!(!h.contains(7));
+/// ```
+///
 /// # Safety
 ///
 /// Implementations must uphold the guarantee advertised by their consts:

@@ -83,6 +83,14 @@ pub enum InvariantViolation {
         /// chain is broken.
         position: usize,
     },
+    /// A key was found in a shard that does not own its keyspace
+    /// interval (sharded structures only).
+    ShardMisrouted {
+        /// Index of the shard holding the foreign key.
+        shard: usize,
+        /// Position of the offending key within that shard's key order.
+        position: usize,
+    },
 }
 
 impl std::fmt::Display for InvariantViolation {
@@ -97,6 +105,12 @@ impl std::fmt::Display for InvariantViolation {
                 write!(
                     f,
                     "backward chain does not reach head from position {position}"
+                )
+            }
+            Self::ShardMisrouted { shard, position } => {
+                write!(
+                    f,
+                    "shard {shard} holds a key outside its interval at position {position}"
                 )
             }
         }
@@ -116,6 +130,11 @@ mod tests {
             InvariantViolation::TailUnreachable.to_string(),
             InvariantViolation::MarkedSentinel.to_string(),
             InvariantViolation::BackChainBroken { position: 5 }.to_string(),
+            InvariantViolation::ShardMisrouted {
+                shard: 2,
+                position: 5,
+            }
+            .to_string(),
         ];
         for (i, a) in msgs.iter().enumerate() {
             for b in msgs.iter().skip(i + 1) {

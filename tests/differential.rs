@@ -6,6 +6,7 @@
 
 use proptest::prelude::*;
 
+use pragmatic_list::sharded::{ShardedMap, ShardedSet};
 use pragmatic_list::variants::{
     CursorOnlyList, DoublyBackptrList, DoublyCursorEpochList, DoublyCursorList, DraconicList,
     SinglyCursorList, SinglyEpochList, SinglyFetchOrEpochList, SinglyFetchOrList, SinglyHpList,
@@ -13,6 +14,18 @@ use pragmatic_list::variants::{
 };
 use pragmatic_list::{ConcurrentOrderedSet, EpochList, OrderedHandle, SetHandle};
 use seq_list::{DoublySeqList, SeqOrderedSet, SinglySeqList};
+
+type ShardedSingly8 = ShardedSet<i64, SinglyCursorList<i64>, 8>;
+type ShardedSkiplist8 = ShardedSet<i64, lockfree_skiplist::SkipListSet<i64>, 8>;
+type ShardedEpoch8 = ShardedSet<i64, pragmatic_list::variants::SinglyCursorEpochList<i64>, 8>;
+
+/// Spreads a small test key (safe for `0..512`) across the `i64` domain
+/// so it exercises several shards of an 8-way partition — small keys
+/// would otherwise all land in the one shard owning the interval around
+/// zero. Strictly monotone, so orderings and range windows carry over.
+fn spread(k: i64) -> i64 {
+    (k - 150) * (i64::MAX / 512)
+}
 
 /// One step of an operation tape.
 #[derive(Debug, Clone, Copy)]
@@ -247,6 +260,109 @@ fn scans_stay_consistent_under_churn_skiplist() {
     scan_under_churn::<lockfree_skiplist::SkipListSet<i64>>();
 }
 
+#[test]
+fn scans_stay_consistent_under_churn_sharded_singly() {
+    scan_under_churn::<ShardedSingly8>();
+}
+
+#[test]
+fn scans_stay_consistent_under_churn_sharded_skiplist() {
+    scan_under_churn::<ShardedSkiplist8>();
+}
+
+#[test]
+fn scans_stay_consistent_under_churn_sharded_epoch() {
+    scan_under_churn::<ShardedEpoch8>();
+}
+
+/// The `ShardedMap` weak-consistency contract under churn, with the key
+/// bands spread across the shards so the merged scan genuinely crosses
+/// shard boundaries: while writers hammer a churn band, reader scans
+/// must stay strictly key-sorted, keep every untouched stable entry
+/// (key *and* value), and never surface a never-inserted key.
+#[test]
+fn sharded_map_scans_stay_consistent_under_churn() {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const STABLE: std::ops::Range<i64> = 1..100;
+    const CHURN: std::ops::Range<i64> = 100..200;
+    const PHANTOM: std::ops::Range<i64> = 200..300;
+
+    let map = ShardedMap::<i64, i64, 8>::new();
+    let stable_oracle: BTreeMap<i64, i64> = {
+        let mut h = map.handle();
+        STABLE
+            .clone()
+            .filter(|&k| k % 3 != 0)
+            .map(|k| (spread(k), k * 11))
+            .filter(|&(k, v)| h.insert(k, v))
+            .collect()
+    };
+    let stop = AtomicBool::new(false);
+    struct StopOnDrop<'a>(&'a AtomicBool);
+    impl Drop for StopOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+    std::thread::scope(|s| {
+        let _stop_guard = StopOnDrop(&stop);
+        for t in 0..3i64 {
+            let (map, stop) = (&map, &stop);
+            s.spawn(move || {
+                let mut h = map.handle();
+                let mut x = 0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1);
+                while !stop.load(Ordering::Relaxed) {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let band = CHURN.start + ((x >> 33) % (CHURN.end - CHURN.start) as u64) as i64;
+                    let k = spread(band);
+                    if x.is_multiple_of(2) {
+                        h.insert(k, band);
+                    } else {
+                        h.remove(k);
+                    }
+                }
+            });
+        }
+        let mut h = map.handle();
+        for round in 0..200 {
+            let snap = if round % 2 == 0 {
+                h.iter()
+            } else {
+                h.range(spread(STABLE.start)..spread(PHANTOM.end))
+            };
+            let entries = snap.as_slice();
+            assert!(
+                entries.windows(2).all(|w| w[0].0 < w[1].0),
+                "merged scan not strictly key-sorted"
+            );
+            assert!(
+                entries
+                    .iter()
+                    .all(|(k, _)| !PHANTOM.clone().map(spread).any(|p| p == *k)),
+                "phantom key surfaced"
+            );
+            let seen_stable: BTreeMap<i64, i64> = entries
+                .iter()
+                .copied()
+                .filter(|(k, _)| STABLE.clone().map(spread).any(|sk| sk == *k))
+                .collect();
+            assert_eq!(seen_stable, stable_oracle, "stable band diverged");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    // Quiescent again: the live scan must agree with `collect` exactly.
+    let mut h = map.handle();
+    let live = h.iter().into_vec();
+    assert_eq!(h.len_estimate(), live.len());
+    drop(h);
+    let mut map = map;
+    assert_eq!(live, map.collect(), "quiescent scan exactness");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -303,6 +419,89 @@ proptest! {
     #[test]
     fn skiplist_matches_oracle(tape in proptest::collection::vec(step_strategy(32), 1..400)) {
         check_against_oracle::<lockfree_skiplist::SkipListSet<i64>>(&tape);
+    }
+
+    /// Sharded backends replay arbitrary tapes identically to the
+    /// sequential oracle — with the keys spread across the shards so
+    /// routing, per-shard handles and cross-shard aggregation are all on
+    /// the tape's path.
+    #[test]
+    fn sharded_backends_match_oracle(tape in proptest::collection::vec(step_strategy(64), 1..400)) {
+        let spread_tape: Vec<Step> = tape
+            .iter()
+            .map(|s| match *s {
+                Step::Add(k) => Step::Add(spread(k)),
+                Step::Remove(k) => Step::Remove(spread(k)),
+                Step::Contains(k) => Step::Contains(spread(k)),
+            })
+            .collect();
+        check_against_oracle::<ShardedSingly8>(&spread_tape);
+        check_against_oracle::<ShardedSkiplist8>(&spread_tape);
+        check_against_oracle::<ShardedEpoch8>(&spread_tape);
+    }
+
+    /// Quiescent sharded scans are exact against `BTreeSet`, across
+    /// shard-boundary-crossing windows.
+    #[test]
+    fn sharded_range_scans_match_btreeset_exactly_when_quiescent(
+        tape in proptest::collection::vec(step_strategy(64), 1..300),
+        lo in 1i64..=64,
+        span in 0i64..32,
+    ) {
+        let spread_tape: Vec<Step> = tape
+            .iter()
+            .map(|s| match *s {
+                Step::Add(k) => Step::Add(spread(k)),
+                Step::Remove(k) => Step::Remove(spread(k)),
+                Step::Contains(k) => Step::Contains(spread(k)),
+            })
+            .collect();
+        // `spread` is monotone, so the spread window covers exactly the
+        // spread images of the original window.
+        check_scans_against_btreeset::<ShardedSingly8>(&spread_tape, spread(lo), spread(lo + span) - spread(lo));
+        check_scans_against_btreeset::<ShardedSkiplist8>(&spread_tape, spread(lo), spread(lo + span) - spread(lo));
+    }
+
+    /// `ShardedMap` against the `BTreeMap` oracle: op-for-op agreement
+    /// on randomised tapes, exact quiescent scans over several window
+    /// shapes, and exact final contents.
+    #[test]
+    fn sharded_map_matches_btreemap(
+        tape in proptest::collection::vec((0..3, 1i64..=64), 1..300),
+        lo in 1i64..=64,
+        span in 0i64..32,
+    ) {
+        use std::collections::BTreeMap;
+        let map = ShardedMap::<i64, i64, 8>::new();
+        let mut h = map.handle();
+        let mut oracle = BTreeMap::new();
+        for &(op, k0) in &tape {
+            let k = spread(k0);
+            match op {
+                0 => {
+                    let expect = !oracle.contains_key(&k);
+                    assert_eq!(h.insert(k, k0 * 7), expect);
+                    if expect {
+                        oracle.insert(k, k0 * 7);
+                    }
+                }
+                1 => assert_eq!(h.remove(k), oracle.remove(&k)),
+                _ => assert_eq!(h.get(k), oracle.get(&k).copied()),
+            }
+        }
+        let all: Vec<(i64, i64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(h.iter().into_vec(), all);
+        let (wlo, whi) = (spread(lo), spread(lo + span));
+        let want: Vec<(i64, i64)> = oracle.range(wlo..whi).map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(h.range(wlo..whi).into_vec(), want);
+        let want_to: Vec<(i64, i64)> = oracle.range(..=whi).map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(h.range(..=whi).into_vec(), want_to);
+        let want_from: Vec<(i64, i64)> = oracle.range(wlo..).map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(h.range(wlo..).into_vec(), want_from);
+        prop_assert_eq!(h.len_estimate(), oracle.len());
+        drop(h);
+        let mut map = map;
+        prop_assert_eq!(map.collect(), oracle.into_iter().collect::<Vec<_>>());
     }
 
     /// The two sequential lists agree with each other (closing the loop:

@@ -177,7 +177,62 @@ fn variant_parse_covers_cli_surface() {
         ("e", Variant::SinglyFetchOr),
         ("f", Variant::DoublyCursor),
         ("epoch", Variant::Epoch),
+        ("skiplist", Variant::Skiplist),
+        ("sharded-singly", Variant::ShardedSingly),
+        ("sharded_skiplist32", Variant::ShardedSkiplist32),
+        ("sharded_singly_epoch", Variant::ShardedSinglyEpoch),
     ] {
         assert_eq!(Variant::parse(s), Some(v));
     }
+}
+
+#[test]
+fn mini_zipf_shape_sharding_cuts_list_work() {
+    // The sharding headline: under the Zipfian mix, 8-way partitioning
+    // divides the per-operation traversal work by roughly the shard
+    // count (each shard holds ~1/8 of the live keys). Work counters are
+    // hardware-independent, so assert on them rather than wall time.
+    let cfg = bench_harness::ZipfianMixConfig {
+        threads: 2,
+        ops_per_thread: 5_000,
+        prefill: 1_000,
+        key_range: 10_000,
+        mix: bench_harness::OpMix::READ_HEAVY,
+        seed: 11,
+        theta: 0.99,
+        scramble: false,
+    };
+    let flat = Variant::SinglyCursor.run(&cfg);
+    let sharded = Variant::ShardedSingly.run(&cfg);
+    assert_eq!(flat.total_ops, sharded.total_ops);
+    let work_flat = flat.stats.total_traversals();
+    let work_sharded = sharded.stats.total_traversals();
+    assert!(
+        work_sharded * 2 < work_flat,
+        "sharding should cut list work well below half: {work_sharded} vs {work_flat}"
+    );
+}
+
+#[test]
+fn zipfian_mix_is_reproducible_and_skewed() {
+    let cfg = bench_harness::ZipfianMixConfig {
+        threads: 1,
+        ops_per_thread: 4_000,
+        prefill: 500,
+        key_range: 5_000,
+        mix: bench_harness::OpMix::READ_HEAVY,
+        seed: 5,
+        theta: 0.9,
+        scramble: false,
+    };
+    // (The skiplist variants are excluded here: their tower-height RNG
+    // is seeded per handle from a process-wide counter, so their
+    // traversal counters are not bit-reproducible across runs.)
+    let a = Variant::ShardedSingly.run(&cfg);
+    let b = Variant::ShardedSingly.run(&cfg);
+    assert_eq!(a.stats, b.stats, "single-threaded zipf runs deterministic");
+    // Same seed, uniform instead: the op stream differs.
+    let uniform = bench_harness::ZipfianMixConfig { theta: 0.0, ..cfg };
+    let u = Variant::ShardedSingly.run(&uniform);
+    assert_ne!(a.stats, u.stats, "θ changes the key stream");
 }

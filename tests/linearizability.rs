@@ -137,6 +137,90 @@ fn skiplist_draconic_is_linearizable() {
     assert_variant_linearizable::<lockfree_skiplist::DraconicSkipList<i64>>();
 }
 
+/// Sharded backends must stay linearizable per key *through the router*:
+/// the tiny key space is spread across the `i64` domain so the operations
+/// land in several shards and the history interleaves cross-shard.
+fn record_and_check_spread<S: ConcurrentOrderedSet<i64>>(
+    threads: u32,
+    ops: u64,
+    keys: i64,
+    seed: u64,
+) -> bool {
+    let list = S::new();
+    let rec = Recorder::new();
+    let logs: Vec<_> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let list = &list;
+                let rec = &rec;
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    let mut log = rec.thread_log(t);
+                    let mut rng =
+                        glibc_rand::GlibcRandom::new(glibc_rand::thread_seed(seed, t as usize));
+                    for _ in 0..ops {
+                        let k = (rng.below(keys as u32)) as i64 + 1;
+                        let key = (k - keys / 2) * (i64::MAX / keys.max(2));
+                        let (kind, invoke, result) = match rng.below(3) {
+                            0 => {
+                                let t0 = rec.stamp();
+                                (OpKind::Add, t0, h.add(key))
+                            }
+                            1 => {
+                                let t0 = rec.stamp();
+                                (OpKind::Remove, t0, h.remove(key))
+                            }
+                            _ => {
+                                let t0 = rec.stamp();
+                                (OpKind::Contains, t0, h.contains(key))
+                            }
+                        };
+                        let t1 = rec.stamp();
+                        log.push_op(kind, key, result, invoke, t1);
+                    }
+                    log.into_ops()
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    let history = History::from_logs(logs);
+    assert_eq!(history.len() as u64, threads as u64 * ops);
+    check(&history).is_linearizable()
+}
+
+#[test]
+fn sharded_singly_is_linearizable() {
+    use pragmatic_list::sharded::ShardedSet;
+    for round in 0..6u64 {
+        assert!(
+            record_and_check_spread::<ShardedSet<i64, SinglyCursorList<i64>, 8>>(
+                4,
+                30,
+                6,
+                0x5AAD_ED00 ^ round
+            ),
+            "sharded_singly produced a non-linearizable history (round {round})"
+        );
+    }
+}
+
+#[test]
+fn sharded_skiplist_is_linearizable() {
+    use pragmatic_list::sharded::ShardedSet;
+    for round in 0..6u64 {
+        assert!(
+            record_and_check_spread::<ShardedSet<i64, lockfree_skiplist::SkipListSet<i64>, 8>>(
+                4,
+                30,
+                6,
+                0x5AAD_ED01 ^ round
+            ),
+            "sharded_skiplist produced a non-linearizable history (round {round})"
+        );
+    }
+}
+
 #[test]
 fn checker_catches_a_real_violation_shape() {
     // Sanity check that the harness would notice a broken structure: a

@@ -113,6 +113,113 @@ fn stress_skiplist_draconic() {
     mixed_stress::<lockfree_skiplist::DraconicSkipList<i64>>(8, 3_000, 64);
 }
 
+/// As `mixed_stress`, with the keys spread across the `i64` domain so a
+/// range-partitioned backend has every shard (and every per-thread shard
+/// handle) on the hot path; the accounting invariant is then a
+/// cross-shard property.
+fn mixed_stress_spread<S: ConcurrentOrderedSet<i64>>(threads: usize, ops: u64, key_range: u32) {
+    let list = S::new();
+    let totals: OpStats = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let list = &list;
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    let mut rng = glibc_rand::GlibcRandom::new(glibc_rand::thread_seed(77, t));
+                    for _ in 0..ops {
+                        let k = rng.below(key_range) as i64 + 1;
+                        let key = (k - key_range as i64 / 2) * (i64::MAX / key_range as i64);
+                        match rng.below(100) {
+                            0..=39 => {
+                                h.add(key);
+                            }
+                            40..=79 => {
+                                h.remove(key);
+                            }
+                            _ => {
+                                h.contains(key);
+                            }
+                        }
+                    }
+                    h.take_stats()
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).sum()
+    });
+    let mut list = list;
+    list.check_invariants()
+        .unwrap_or_else(|e| panic!("{}: {e}", S::NAME));
+    let live = list.collect_keys().len() as u64;
+    assert_eq!(
+        totals.adds - totals.rems,
+        live,
+        "{}: adds-rems accounting broken across shards",
+        S::NAME
+    );
+}
+
+#[test]
+fn stress_sharded_singly() {
+    use pragmatic_list::sharded::ShardedSet;
+    mixed_stress_spread::<ShardedSet<i64, SinglyCursorList<i64>, 8>>(8, 3_000, 64);
+}
+
+#[test]
+fn stress_sharded_skiplist() {
+    use pragmatic_list::sharded::ShardedSet;
+    mixed_stress_spread::<ShardedSet<i64, lockfree_skiplist::SkipListSet<i64>, 8>>(8, 3_000, 64);
+}
+
+#[test]
+fn stress_sharded_singly_epoch() {
+    use pragmatic_list::sharded::ShardedSet;
+    use pragmatic_list::variants::SinglyCursorEpochList;
+    mixed_stress_spread::<ShardedSet<i64, SinglyCursorEpochList<i64>, 8>>(8, 3_000, 64);
+}
+
+#[test]
+fn stress_sharded_map_concurrent_insert_remove() {
+    // The value-carrying sharded map under the same churn: every value
+    // handed back by a winning remove must be the one inserted for that
+    // key, and each key's value is handed out exactly once per removal.
+    use pragmatic_list::sharded::ShardedMap;
+    let map = ShardedMap::<i64, i64, 8>::new();
+    std::thread::scope(|s| {
+        for t in 0..8i64 {
+            let map = &map;
+            s.spawn(move || {
+                let mut h = map.handle();
+                let mut rng = glibc_rand::GlibcRandom::new(glibc_rand::thread_seed(13, t as usize));
+                for _ in 0..3_000 {
+                    let k = rng.below(64) as i64 + 1;
+                    let key = (k - 32) * (i64::MAX / 64);
+                    match rng.below(3) {
+                        0 => {
+                            h.insert(key, k * 1000);
+                        }
+                        1 => {
+                            if let Some(v) = h.remove(key) {
+                                assert_eq!(v, k * 1000, "foreign value for key {k}");
+                            }
+                        }
+                        _ => {
+                            if let Some(v) = h.get(key) {
+                                assert_eq!(v, k * 1000, "foreign value for key {k}");
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let mut map = map;
+    for (k, v) in map.collect() {
+        assert_eq!(v % 1000, 0);
+        assert_eq!((v / 1000 - 32) * (i64::MAX / 64), k);
+    }
+}
+
 #[test]
 fn stress_tiny_keyspace_maximum_contention() {
     // Two keys, eight threads: nearly every CAS races. Exercises the
