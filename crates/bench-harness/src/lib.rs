@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod config;
 pub mod deterministic;
 pub mod latency;
@@ -38,7 +39,9 @@ pub mod variant;
 pub mod workload;
 pub mod zipfian;
 
+pub use batch::BatchMixConfig;
 pub use config::{DeterministicConfig, KeyPattern, OpMix, RandomMixConfig};
+pub use pragmatic_list::OpStats;
 pub use presets::{Experiment, Scale, WorkloadSpec};
 pub use result::RunResult;
 pub use variant::{Variant, VariantVisitor};

@@ -7,6 +7,7 @@
 //! (thread count, variant subset) — the code is identical, as in the
 //! original, where the same C sources ran on all three systems.
 
+use crate::batch::BatchMixConfig;
 use crate::config::{DeterministicConfig, KeyPattern, OpMix, RandomMixConfig};
 use crate::variant::Variant;
 use crate::zipfian::ZipfianMixConfig;
@@ -50,6 +51,9 @@ pub enum WorkloadSpec {
         /// The θ values of the x-axis.
         thetas: Vec<f64>,
     },
+    /// Batched operation mix (see [`crate::batch`]); an extension, not a
+    /// paper experiment.
+    BatchMix(BatchMixConfig),
 }
 
 /// One table or figure of the paper.
@@ -118,9 +122,9 @@ fn zipf(threads: usize, c: u64, f: u64, u: u32, theta: f64, scramble: bool) -> Z
 impl Experiment {
     /// All experiment ids: the paper's tables and figures in paper
     /// order, then this reproduction's extensions.
-    pub const IDS: [&'static str; 14] = [
+    pub const IDS: [&'static str; 15] = [
         "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-        "figure1", "figure2", "figure3", "zipf", "skew",
+        "figure1", "figure2", "figure3", "zipf", "skew", "batch",
     ];
 
     /// Looks up an experiment by id at the given scale.
@@ -278,7 +282,7 @@ impl Experiment {
             "zipf" => Experiment {
                 id: "zipf",
                 description: "Zipfian mix 10/10/80, θ=0.99 clustered (hot keys adjacent)",
-                variants: Variant::SHARDED.to_vec(),
+                variants: zipf_variants(),
                 workload: if paper {
                     WorkloadSpec::ZipfianMix(zipf(64, 1_000_000, 1_000, 10_000, 0.99, false))
                 } else {
@@ -288,7 +292,7 @@ impl Experiment {
             "skew" => Experiment {
                 id: "skew",
                 description: "skew sweep, mix 10/10/80, θ ∈ {0, 0.5, 0.9, 0.99} clustered",
-                variants: Variant::SHARDED.to_vec(),
+                variants: zipf_variants(),
                 workload: WorkloadSpec::SkewSweep {
                     base: if paper {
                         zipf(64, 500_000, 1_000, 10_000, 0.0, false)
@@ -298,9 +302,45 @@ impl Experiment {
                     thetas: vec![0.0, 0.5, 0.9, 0.99],
                 },
             },
+            "batch" => Experiment {
+                id: "batch",
+                description: "batched sorted ops, mix 25/25/50, width=32 (amortization sweep)",
+                variants: Variant::HOTPATH.to_vec(),
+                workload: WorkloadSpec::BatchMix(if paper {
+                    BatchMixConfig {
+                        threads: 64,
+                        batches_per_thread: 31_250,
+                        batch_width: 32,
+                        prefill: 1_000,
+                        key_range: 10_000,
+                        mix: OpMix::UPDATE_HEAVY,
+                        seed: SEED,
+                    }
+                } else {
+                    BatchMixConfig {
+                        threads: 8,
+                        batches_per_thread: 1_250,
+                        batch_width: 32,
+                        prefill: 1_000,
+                        key_range: 10_000,
+                        mix: OpMix::UPDATE_HEAVY,
+                        seed: SEED,
+                    }
+                }),
+            },
             _ => return None,
         })
     }
+}
+
+/// The Zipfian experiments' variant set: the sharded sweep plus the
+/// hinted flat lists, whose multi-position cursors are exactly what a
+/// skewed key stream exercises.
+fn zipf_variants() -> Vec<Variant> {
+    let mut v = Variant::SHARDED.to_vec();
+    v.insert(1, Variant::SinglyHinted);
+    v.insert(2, Variant::DoublyHinted);
+    v
 }
 
 #[cfg(test)]
@@ -369,7 +409,13 @@ mod tests {
     fn zipf_experiments_target_the_sharded_group() {
         for id in ["zipf", "skew"] {
             let e = Experiment::get(id, Scale::Container).unwrap();
-            assert_eq!(e.variants, Variant::SHARDED.to_vec(), "{id}");
+            for v in Variant::SHARDED {
+                assert!(e.variants.contains(&v), "{id} must cover sharded {v}");
+            }
+            assert!(
+                e.variants.contains(&Variant::SinglyHinted),
+                "{id} must include the hinted flat list"
+            );
         }
         match Experiment::get("skew", Scale::Container).unwrap().workload {
             WorkloadSpec::SkewSweep { thetas, base } => {
@@ -378,6 +424,20 @@ mod tests {
                 assert!(!base.scramble, "default placement is clustered");
             }
             _ => panic!("skew must be a SkewSweep"),
+        }
+    }
+
+    #[test]
+    fn batch_experiment_resolves_with_hotpath_variants() {
+        let e = Experiment::get("batch", Scale::Container).unwrap();
+        assert_eq!(e.variants, Variant::HOTPATH.to_vec());
+        match e.workload {
+            WorkloadSpec::BatchMix(c) => {
+                assert!(c.batch_width > 1, "the batch experiment must batch");
+                assert!(c.mix.is_valid());
+                assert_eq!(c.total_ops(), 8 * 1_250 * 32);
+            }
+            _ => panic!("batch must be a BatchMix"),
         }
     }
 

@@ -71,6 +71,148 @@ pub fn results_csv(rows: &[RunResult]) -> String {
     s
 }
 
+/// Schema tag emitted in every BENCH JSON file; bump on layout changes.
+pub const BENCH_JSON_SCHEMA: &str = "bench-rows/v1";
+
+/// The keys every row object of a BENCH JSON file must carry (the
+/// schema the CI perf-smoke job validates).
+pub const BENCH_JSON_ROW_KEYS: [&str; 14] = [
+    "variant",
+    "threads",
+    "theta",
+    "time_ms",
+    "total_ops",
+    "ops_per_sec",
+    "adds",
+    "rems",
+    "cons",
+    "trav",
+    "fail",
+    "rtry",
+    "p50_ns",
+    "p99_ns",
+];
+
+/// One row of a machine-readable `BENCH_<experiment>.json` record: a
+/// [`RunResult`] plus the sweep coordinates the CSV carries out-of-band
+/// (θ for skew sweeps, latency percentiles for sampled runs).
+#[derive(Debug, Clone)]
+pub struct BenchJsonRow {
+    /// The underlying run.
+    pub result: RunResult,
+    /// Zipfian θ of the run, when the workload was skewed.
+    pub theta: Option<f64>,
+    /// Median per-operation latency in ns (latency-sampled runs only).
+    pub p50_ns: Option<u64>,
+    /// 99th-percentile per-operation latency in ns.
+    pub p99_ns: Option<u64>,
+}
+
+impl BenchJsonRow {
+    /// Wraps a throughput-only result (no θ, no latency percentiles).
+    pub fn plain(result: RunResult) -> BenchJsonRow {
+        BenchJsonRow {
+            result,
+            theta: None,
+            p50_ns: None,
+            p99_ns: None,
+        }
+    }
+
+    /// Wraps a skew-sweep result at skew `theta`.
+    pub fn at_theta(result: RunResult, theta: f64) -> BenchJsonRow {
+        BenchJsonRow {
+            theta: Some(theta),
+            ..BenchJsonRow::plain(result)
+        }
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    // JSON has no Infinity/NaN; clamp degenerate timings to zero.
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "0.0".into()
+    }
+}
+
+fn json_opt_u64(x: Option<u64>) -> String {
+    x.map_or_else(|| "null".into(), |v| v.to_string())
+}
+
+/// Renders rows as the machine-readable `BENCH_<experiment>.json`
+/// document tracking the performance trajectory across PRs: schema tag,
+/// experiment id, and one object per run with variant, threads, θ,
+/// ops/s, the table counters, and latency percentiles when sampled.
+pub fn bench_json(experiment: &str, rows: &[BenchJsonRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{BENCH_JSON_SCHEMA}\",\n"));
+    s.push_str(&format!("  \"experiment\": \"{experiment}\",\n"));
+    s.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let r = &row.result;
+        s.push_str(&format!(
+            "    {{\"variant\": \"{}\", \"threads\": {}, \"theta\": {}, \"time_ms\": {}, \
+             \"total_ops\": {}, \"ops_per_sec\": {}, \"adds\": {}, \"rems\": {}, \
+             \"cons\": {}, \"trav\": {}, \"fail\": {}, \"rtry\": {}, \
+             \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
+            r.variant,
+            r.threads,
+            row.theta.map_or_else(|| "null".to_string(), json_f64),
+            json_f64(r.time_ms()),
+            r.total_ops,
+            json_f64(r.kops_per_sec() * 1000.0),
+            r.stats.adds,
+            r.stats.rems,
+            r.stats.cons,
+            r.stats.trav,
+            r.stats.fail,
+            r.stats.rtry,
+            json_opt_u64(row.p50_ns),
+            json_opt_u64(row.p99_ns),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Validates the shape of a BENCH JSON document (schema tag, experiment
+/// id, every row carrying every required key) and returns the row
+/// count. Deliberately a structural check, not a JSON parser — the
+/// workspace is dependency-free by constraint, and the emitter above is
+/// the only producer.
+pub fn validate_bench_json(doc: &str) -> Result<usize, String> {
+    let doc = doc.trim();
+    if !doc.starts_with('{') || !doc.ends_with('}') {
+        return Err("not a JSON object".into());
+    }
+    if doc.matches('{').count() != doc.matches('}').count()
+        || doc.matches('[').count() != doc.matches(']').count()
+    {
+        return Err("unbalanced brackets".into());
+    }
+    if !doc.contains(&format!("\"schema\": \"{BENCH_JSON_SCHEMA}\"")) {
+        return Err(format!("missing schema tag {BENCH_JSON_SCHEMA}"));
+    }
+    if !doc.contains("\"experiment\": \"") {
+        return Err("missing experiment id".into());
+    }
+    if !doc.contains("\"rows\": [") {
+        return Err("missing rows array".into());
+    }
+    let rows = doc.matches("\"variant\": ").count();
+    for key in BENCH_JSON_ROW_KEYS {
+        let found = doc.matches(&format!("\"{key}\": ")).count();
+        if found != rows {
+            return Err(format!("key {key} on {found}/{rows} rows"));
+        }
+    }
+    Ok(rows)
+}
+
 /// Renders a scalability sweep as CSV in figure-series form.
 pub fn scale_csv(points: &[ScalePoint]) -> String {
     let mut s = String::from("variant,threads,mean_kops,min_kops,max_kops,repeats\n");
@@ -168,6 +310,38 @@ mod tests {
         assert!(lines[0].starts_with("variant,threads,"));
         assert!(lines[1].starts_with("singly,4,"));
         assert_eq!(lines[1].split(',').count(), lines[0].split(',').count());
+    }
+
+    #[test]
+    fn bench_json_emits_and_validates() {
+        let rows = vec![
+            BenchJsonRow::plain(row("singly_hint", 400.0)),
+            BenchJsonRow::at_theta(row("sharded_singly", 900.0), 0.99),
+            BenchJsonRow {
+                p50_ns: Some(120),
+                p99_ns: Some(9_000),
+                ..BenchJsonRow::plain(row("doubly_cursor", 80.0))
+            },
+        ];
+        let doc = bench_json("zipf", &rows);
+        assert_eq!(validate_bench_json(&doc).unwrap(), 3);
+        assert!(doc.contains("\"experiment\": \"zipf\""));
+        assert!(doc.contains("\"theta\": 0.990"));
+        assert!(doc.contains("\"theta\": null"));
+        assert!(doc.contains("\"p99_ns\": 9000"));
+        // ops_per_sec is in ops (not Kops): 400 Kops/s -> 400000.
+        assert!(doc.contains("\"ops_per_sec\": 400000.000"), "{doc}");
+    }
+
+    #[test]
+    fn bench_json_validator_rejects_malformed_documents() {
+        assert!(validate_bench_json("[]").is_err());
+        assert!(validate_bench_json("{\"rows\": [}").is_err());
+        let good = bench_json("t", &[BenchJsonRow::plain(row("a", 1.0))]);
+        assert!(validate_bench_json(&good.replace("\"trav\"", "\"nav\"")).is_err());
+        assert!(validate_bench_json(&good.replace("bench-rows/v1", "v0")).is_err());
+        let empty = bench_json("t", &[]);
+        assert_eq!(validate_bench_json(&empty).unwrap(), 0);
     }
 
     #[test]

@@ -14,9 +14,9 @@
 use lockfree_skiplist::SkipListSet;
 use pragmatic_list::sharded::ShardedSet;
 use pragmatic_list::variants::{
-    CursorOnlyList, DoublyBackptrList, DoublyCursorEpochList, DoublyCursorList, DraconicList,
-    SinglyCursorEpochList, SinglyCursorList, SinglyEpochList, SinglyFetchOrEpochList,
-    SinglyFetchOrList, SinglyHpList, SinglyMildList,
+    CursorOnlyList, DoublyBackptrList, DoublyCursorEpochList, DoublyCursorList, DoublyHintedList,
+    DraconicList, SinglyCursorEpochList, SinglyCursorList, SinglyEpochList, SinglyFetchOrEpochList,
+    SinglyFetchOrList, SinglyHintedList, SinglyHpList, SinglyMildList,
 };
 use pragmatic_list::{ConcurrentOrderedSet, EpochList};
 
@@ -73,6 +73,12 @@ pub enum Variant {
     /// Extension: variant d) under epoch reclamation, 8 shards — the
     /// `Reclaimer` parameter threads straight through the router.
     ShardedSinglyEpoch,
+    /// Hot-path extension: variant d) with 8 per-thread search hints
+    /// (the cursor generalized to several recent positions).
+    SinglyHinted,
+    /// Hot-path extension: variant f) with 8 per-thread search hints
+    /// feeding the backward-pointer search its start.
+    DoublyHinted,
 }
 
 /// A computation that is generic over the list implementation.
@@ -118,7 +124,7 @@ pub trait VariantVisitor {
 impl Variant {
     /// All variants: paper order a)–f), then the ablation, reclamation,
     /// skiplist and sharding extensions.
-    pub const ALL: [Variant; 18] = [
+    pub const ALL: [Variant; 20] = [
         Variant::Draconic,
         Variant::Singly,
         Variant::Doubly,
@@ -137,6 +143,8 @@ impl Variant {
         Variant::ShardedSkiplist,
         Variant::ShardedSkiplist32,
         Variant::ShardedSinglyEpoch,
+        Variant::SinglyHinted,
+        Variant::DoublyHinted,
     ];
 
     /// The six variants of the paper, in table order a)–f).
@@ -181,6 +189,19 @@ impl Variant {
         Variant::SinglyFetchOrEpoch,
         Variant::DoublyCursor,
         Variant::DoublyCursorEpoch,
+    ];
+
+    /// The hot-path sweep: the fastest per-variant baselines next to
+    /// their hinted counterparts, so one run quantifies what search
+    /// hints (and the slab/prefetch hot path they ride on) buy per list
+    /// family. The `batch` experiment and `repro <exp> --variants
+    /// hotpath` use this set.
+    pub const HOTPATH: [Variant; 5] = [
+        Variant::SinglyCursor,
+        Variant::SinglyHinted,
+        Variant::SinglyFetchOr,
+        Variant::DoublyCursor,
+        Variant::DoublyHinted,
     ];
 
     /// The sharding sweep: unsharded baselines next to their
@@ -234,6 +255,8 @@ impl Variant {
             Variant::ShardedSinglyEpoch => {
                 visitor.visit::<ShardedSet<i64, SinglyCursorEpochList<i64>, SHARDS_SMALL>>()
             }
+            Variant::SinglyHinted => visitor.visit::<SinglyHintedList<i64>>(),
+            Variant::DoublyHinted => visitor.visit::<DoublyHintedList<i64>>(),
         }
     }
 
@@ -287,6 +310,8 @@ impl Variant {
             Variant::ShardedSkiplist => "o) sharded-skiplist x8",
             Variant::ShardedSkiplist32 => "p) sharded-skiplist x32",
             Variant::ShardedSinglyEpoch => "q) sharded-singly-epoch x8",
+            Variant::SinglyHinted => "r) singly-hint x8",
+            Variant::DoublyHinted => "s) doubly-hint x8",
         }
     }
 
@@ -312,14 +337,16 @@ impl Variant {
             "sharded_skiplist" | "o" => Variant::ShardedSkiplist,
             "sharded_skiplist32" | "p" => Variant::ShardedSkiplist32,
             "sharded_singly_epoch" | "q" => Variant::ShardedSinglyEpoch,
+            "singly_hint" | "hint" | "r" => Variant::SinglyHinted,
+            "doubly_hint" | "s" => Variant::DoublyHinted,
             _ => return None,
         })
     }
 
     /// Parses a CLI token that may name either a single variant or a
     /// group: `"all"`, `"paper"`, `"sparc"`, `"figures"`, `"reclaim"`,
-    /// `"sharded"` (so `repro --variants paper` or `--variants sharded`
-    /// work).
+    /// `"sharded"`, `"hotpath"` (so `repro --variants paper` or
+    /// `--variants hotpath` work).
     pub fn parse_group(s: &str) -> Option<Vec<Variant>> {
         match s.trim().to_ascii_lowercase().as_str() {
             "all" => Some(Variant::ALL.to_vec()),
@@ -328,6 +355,7 @@ impl Variant {
             "figures" | "figs" => Some(Variant::FIGURES.to_vec()),
             "reclaim" => Some(Variant::RECLAIM.to_vec()),
             "sharded" => Some(Variant::SHARDED.to_vec()),
+            "hotpath" => Some(Variant::HOTPATH.to_vec()),
             _ => Variant::parse(s).map(|v| vec![v]),
         }
     }
@@ -350,6 +378,9 @@ impl Variant {
         }
         if Variant::SHARDED.contains(&self) {
             g.push("sharded");
+        }
+        if Variant::HOTPATH.contains(&self) {
+            g.push("hotpath");
         }
         g
     }
@@ -380,6 +411,8 @@ mod tests {
             Some(Variant::SinglyFetchOrEpoch)
         );
         assert_eq!(Variant::parse("nope"), None);
+        assert_eq!(Variant::parse("hint"), Some(Variant::SinglyHinted));
+        assert_eq!(Variant::parse("doubly-hint"), Some(Variant::DoublyHinted));
     }
 
     #[test]
@@ -406,6 +439,10 @@ mod tests {
             Variant::SHARDED.to_vec()
         );
         assert_eq!(
+            Variant::parse_group("hotpath").unwrap(),
+            Variant::HOTPATH.to_vec()
+        );
+        assert_eq!(
             Variant::parse_group("f").unwrap(),
             vec![Variant::DoublyCursor]
         );
@@ -414,11 +451,14 @@ mod tests {
 
     #[test]
     fn paper_sets_have_expected_sizes() {
-        assert_eq!(Variant::ALL.len(), 18);
+        assert_eq!(Variant::ALL.len(), 20);
         assert_eq!(Variant::PAPER.len(), 6);
         assert_eq!(Variant::SPARC.len(), 5);
         assert_eq!(Variant::RECLAIM.len(), 9);
         assert_eq!(Variant::SHARDED.len(), 7);
+        assert_eq!(Variant::HOTPATH.len(), 5);
+        assert!(Variant::HOTPATH.contains(&Variant::SinglyHinted));
+        assert!(!Variant::PAPER.contains(&Variant::SinglyHinted));
         assert!(!Variant::SPARC.contains(&Variant::SinglyFetchOr));
         assert!(Variant::RECLAIM.contains(&Variant::SinglyHp));
         // The sharded sweep covers ≥2 shard counts and ≥2 backends.
@@ -437,9 +477,10 @@ mod tests {
         assert_eq!(Variant::SinglyHp.groups(), vec!["all", "reclaim"]);
         assert_eq!(Variant::CursorOnly.groups(), vec!["all"]);
         assert_eq!(Variant::ShardedSkiplist.groups(), vec!["all", "sharded"]);
+        assert_eq!(Variant::SinglyHinted.groups(), vec!["all", "hotpath"]);
         assert_eq!(
             Variant::SinglyCursor.groups(),
-            vec!["all", "paper", "sparc", "figures", "sharded"]
+            vec!["all", "paper", "sparc", "figures", "sharded", "hotpath"]
         );
     }
 
@@ -451,6 +492,8 @@ mod tests {
         assert_eq!(Variant::ShardedSkiplist32.name(), "sharded_skiplist32");
         assert_eq!(Variant::ShardedSinglyEpoch.name(), "sharded_singly_epoch");
         assert_eq!(Variant::Skiplist.name(), "skiplist_mild");
+        assert_eq!(Variant::SinglyHinted.name(), "singly_hint");
+        assert_eq!(Variant::DoublyHinted.name(), "doubly_hint");
     }
 
     #[test]

@@ -145,6 +145,15 @@ impl Workload for crate::zipfian::ZipfianMixConfig {
     }
 }
 
+/// The batched mix (see [`crate::batch`]) *is* its config.
+impl Workload for crate::batch::BatchMixConfig {
+    type Output = RunResult;
+
+    fn run<S: ConcurrentOrderedSet<i64>>(&self) -> RunResult {
+        crate::batch::run::<S>(self)
+    }
+}
+
 /// The random mix with every `sample_every`-th operation timed
 /// (see [`crate::latency`]).
 #[derive(Debug, Clone, Copy)]

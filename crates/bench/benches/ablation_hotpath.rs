@@ -1,0 +1,93 @@
+//! Ablation A5: the hot-path matrix — hint count × batch width × skew.
+//!
+//! PR "hot-path overhaul" introduced three constant-factor levers on top
+//! of the paper's variants: per-thread search hints (a multi-position
+//! cursor), slab node storage with prefetching (always on — its effect
+//! is visible as the uplift of every `hints0` row over the pre-PR
+//! baselines recorded in `BENCH_pre_pr4_baseline.json`), and batched
+//! sorted operations. This sweep isolates the two tunable axes:
+//!
+//! * **hint count** — 0 (the plain cursor variant d), 2, and 8 slots,
+//!   under uniform (θ=0) and heavily skewed (θ=0.99) Zipfian mixes.
+//!   Uniform traversals are long, so every extra hint is another finger
+//!   into the list; clustered skew keeps traversals short and shows the
+//!   selection overhead staying negligible.
+//! * **batch width** — 1, 8, 64 keys per batch through the sorted
+//!   single-traversal `add_batch`/`remove_batch` path, total key count
+//!   held constant, on the cursor and hinted lists.
+//!
+//! Set `ABLATION_SMOKE=1` to shrink the workloads for CI smoke runs.
+
+use bench_harness::batch::BatchMixConfig;
+use bench_harness::zipfian::ZipfianMixConfig;
+use bench_harness::{OpMix, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pragmatic_list::reclaim::ArenaReclaim;
+use pragmatic_list::singly::SinglyList;
+
+/// Variant d) with a compile-time hint count.
+type Hinted<const H: usize> = SinglyList<i64, true, true, false, ArenaReclaim, H>;
+
+fn ops(default: u64) -> u64 {
+    if std::env::var_os("ABLATION_SMOKE").is_some() {
+        (default / 20).max(200)
+    } else {
+        default
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let zipf_base = ZipfianMixConfig {
+        threads: 2,
+        ops_per_thread: ops(20_000),
+        prefill: 1_000,
+        key_range: 10_000,
+        mix: OpMix::READ_HEAVY,
+        seed: 0x5eed_cafe,
+        theta: 0.0,
+        scramble: false,
+    };
+    for theta in [0.0, 0.99] {
+        let cfg = ZipfianMixConfig { theta, ..zipf_base };
+        let mut g = c.benchmark_group(&format!("ablation_a5_hints_theta{theta}"));
+        g.sample_size(10);
+        g.throughput(criterion::Throughput::Elements(cfg.total_ops()));
+        g.bench_function("hints0", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<Hinted<0>>()))
+        });
+        g.bench_function("hints2", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<Hinted<2>>()))
+        });
+        g.bench_function("hints8", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<Hinted<8>>()))
+        });
+        g.finish();
+    }
+
+    // Batch-width axis: constant total keys, varying amortization.
+    let total_keys = ops(64_000);
+    for width in [1usize, 8, 64] {
+        let cfg = BatchMixConfig {
+            threads: 2,
+            batches_per_thread: (total_keys / width as u64).max(1),
+            batch_width: width,
+            prefill: 1_000,
+            key_range: 10_000,
+            mix: OpMix::UPDATE_HEAVY,
+            seed: 0x5eed_cafe,
+        };
+        let mut g = c.benchmark_group(&format!("ablation_a5_batch_w{width}"));
+        g.sample_size(10);
+        g.throughput(criterion::Throughput::Elements(cfg.total_ops()));
+        g.bench_function("singly_cursor", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<Hinted<0>>()))
+        });
+        g.bench_function("singly_hint", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<Hinted<8>>()))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

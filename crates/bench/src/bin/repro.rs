@@ -6,8 +6,8 @@
 //!   repro <experiment>... [options]
 //!   repro all [options]
 //!
-//! Experiments: table1..table9, figure1..figure3, zipf, skew (see
-//! `repro list`).
+//! Experiments: table1..table9, figure1..figure3, zipf, skew, batch
+//! (see `repro list`).
 //!
 //! Options:
 //!   --paper-scale         use the published parameters (large machines!)
@@ -18,6 +18,7 @@
 //!   --range N             override random-mix key range
 //!   --repeats N           override sweep repeats
 //!   --theta X             override the Zipfian skew (0 ≤ θ < 1)
+//!   --batch-width N       override the batch experiment's keys per batch
 //!   --scramble            spread the Zipfian hot set across the keyspace
 //!                         (default: clustered, one bottleneck shard)
 //!   --variants a,b,f      restrict the variant set (names, letters, or
@@ -26,12 +27,16 @@
 //!                         group membership, then exit
 //!   --private             also run the thread-private sequential baseline
 //!   --csv PATH            append machine-readable results to PATH
+//!
+//! Every experiment also writes `BENCH_<experiment>.json` (schema
+//! `bench-rows/v1`) next to the CSV — or into the working directory —
+//! so the performance trajectory is machine-tracked run over run.
 //! ```
 
 use std::process::ExitCode;
 
 use bench_harness::presets::{Experiment, Scale, WorkloadSpec};
-use bench_harness::report;
+use bench_harness::report::{self, BenchJsonRow};
 use bench_harness::{scalability, LatencySampled, Variant};
 
 struct Options {
@@ -44,6 +49,7 @@ struct Options {
     repeats: Option<usize>,
     theta: Option<f64>,
     scramble: bool,
+    batch_width: Option<usize>,
     variants: Option<Vec<Variant>>,
     private_baseline: bool,
     csv: Option<String>,
@@ -61,6 +67,7 @@ impl Default for Options {
             repeats: None,
             theta: None,
             scramble: false,
+            batch_width: None,
             variants: None,
             private_baseline: false,
             csv: None,
@@ -123,6 +130,7 @@ fn main() -> ExitCode {
                 opt.theta = Some(theta);
             }
             "--scramble" => opt.scramble = true,
+            "--batch-width" => opt.batch_width = parse_next(&mut it, "--batch-width"),
             "--csv" => opt.csv = it.next(),
             "--variants" => {
                 let Some(list) = it.next() else {
@@ -218,6 +226,7 @@ fn run_latency(rest: &[String]) -> ExitCode {
         cfg,
         sample_every: 16,
     };
+    let mut json_rows = Vec::new();
     for v in Variant::PAPER.into_iter().chain([Variant::Epoch]) {
         let h = v.run(&workload);
         let (p50, p90, p99, p999, max) = h.summary();
@@ -230,7 +239,23 @@ fn run_latency(rest: &[String]) -> ExitCode {
             p999,
             max
         );
+        // Latency runs measure percentiles, not throughput: report the
+        // real executed op count and a zero wall so time_ms/ops_per_sec
+        // emit as 0.0 — the "not measured" marker — instead of numbers a
+        // trajectory consumer could mistake for throughput.
+        json_rows.push(BenchJsonRow {
+            p50_ns: Some(p50),
+            p99_ns: Some(p99),
+            ..BenchJsonRow::plain(bench_harness::RunResult {
+                variant: v.name().to_string(),
+                wall: std::time::Duration::ZERO,
+                total_ops: cfg.total_ops(),
+                stats: bench_harness::OpStats::ZERO,
+                threads,
+            })
+        });
     }
+    write_bench_json(&Options::default(), "latency", &json_rows);
     ExitCode::SUCCESS
 }
 
@@ -250,6 +275,7 @@ fn parse_next<T: std::str::FromStr>(
 fn run_experiment(exp: Experiment, opt: &Options) {
     let variants = opt.variants.clone().unwrap_or_else(|| exp.variants.clone());
     println!("== {} — {}", exp.id, exp.description);
+    let mut json_rows: Vec<BenchJsonRow> = Vec::new();
     match exp.workload {
         WorkloadSpec::Deterministic(mut cfg) => {
             if let Some(t) = opt.threads {
@@ -276,6 +302,7 @@ fn run_experiment(exp: Experiment, opt: &Options) {
                 );
                 rows.push(r);
             }
+            json_rows.extend(rows.iter().cloned().map(BenchJsonRow::plain));
             println!("\n{}", report::format_table(exp.id, &rows));
             if opt.private_baseline {
                 let s = bench_harness::private::run_private_singly(&cfg);
@@ -322,6 +349,7 @@ fn run_experiment(exp: Experiment, opt: &Options) {
                 );
                 rows.push(r);
             }
+            json_rows.extend(rows.iter().cloned().map(BenchJsonRow::plain));
             println!("\n{}", report::format_table(exp.id, &rows));
             append_csv(opt, &report::results_csv(&rows));
         }
@@ -354,6 +382,11 @@ fn run_experiment(exp: Experiment, opt: &Options) {
                 );
                 rows.push(r);
             }
+            json_rows.extend(
+                rows.iter()
+                    .cloned()
+                    .map(|r| BenchJsonRow::at_theta(r, cfg.theta)),
+            );
             println!("\n{}", report::format_table(exp.id, &rows));
             append_csv(opt, &report::results_csv(&rows));
         }
@@ -388,6 +421,11 @@ fn run_experiment(exp: Experiment, opt: &Options) {
                     );
                     rows.push(r);
                 }
+                json_rows.extend(
+                    rows.iter()
+                        .cloned()
+                        .map(|r| BenchJsonRow::at_theta(r, theta)),
+                );
                 println!(
                     "\n{}",
                     report::format_table(&format!("{} θ={theta}", exp.id), &rows)
@@ -426,9 +464,87 @@ fn run_experiment(exp: Experiment, opt: &Options) {
                     p.variant, p.threads, p.mean_kops, p.min_kops, p.max_kops
                 );
             });
+            json_rows.extend(points.iter().map(|p| {
+                // Sweep points carry mean throughput only; counters and
+                // wall time are per-repeat and not aggregated, so the
+                // JSON row reports the figure series' y-value.
+                BenchJsonRow::plain(bench_harness::RunResult {
+                    variant: p.variant.clone(),
+                    wall: std::time::Duration::from_secs(1),
+                    total_ops: (p.mean_kops * 1000.0) as u64,
+                    stats: bench_harness::OpStats::ZERO,
+                    threads: p.threads,
+                })
+            }));
             println!("\n{}", report::scale_ascii(&points));
             append_csv(opt, &report::scale_csv(&points));
         }
+        WorkloadSpec::BatchMix(mut cfg) => {
+            if let Some(t) = opt.threads {
+                cfg.threads = t;
+            }
+            if let Some(c) = opt.ops {
+                cfg.batches_per_thread = c;
+            }
+            if let Some(w) = opt.batch_width {
+                cfg.batch_width = w;
+            }
+            if let Some(f) = opt.prefill {
+                cfg.prefill = f;
+            }
+            if let Some(u) = opt.range {
+                cfg.key_range = u;
+            }
+            println!(
+                "   p={} batches={} width={} f={} U={} mix={}/{}/{} ({} keys per variant)",
+                cfg.threads,
+                cfg.batches_per_thread,
+                cfg.batch_width,
+                cfg.prefill,
+                cfg.key_range,
+                cfg.mix.add,
+                cfg.mix.remove,
+                cfg.mix.contains,
+                cfg.total_ops()
+            );
+            let mut rows = Vec::new();
+            for v in variants {
+                let r = v.run(&cfg);
+                println!(
+                    "   {:<26} {:>10.1} ms  {:>12.1} Kkeys/s",
+                    v.paper_label(),
+                    r.time_ms(),
+                    r.kops_per_sec()
+                );
+                rows.push(r);
+            }
+            json_rows.extend(rows.iter().cloned().map(BenchJsonRow::plain));
+            println!("\n{}", report::format_table(exp.id, &rows));
+            append_csv(opt, &report::results_csv(&rows));
+        }
+    }
+    write_bench_json(opt, exp.id, &json_rows);
+}
+
+/// Writes the machine-readable `BENCH_<experiment>.json` next to the CSV
+/// (same directory as `--csv`, or the working directory), so the perf
+/// trajectory is tracked per experiment from every run.
+fn write_bench_json(opt: &Options, id: &str, rows: &[BenchJsonRow]) {
+    let doc = report::bench_json(id, rows);
+    debug_assert!(report::validate_bench_json(&doc).is_ok());
+    let dir = opt
+        .csv
+        .as_ref()
+        .and_then(|p| {
+            std::path::Path::new(p)
+                .parent()
+                .map(std::path::Path::to_path_buf)
+        })
+        .unwrap_or_default();
+    let path = dir.join(format!("BENCH_{id}.json"));
+    match std::fs::write(&path, doc) {
+        Ok(()) => println!("   (bench json written to {})", path.display()),
+        Err(e) => eprintln!("   cannot write {}: {e}", path.display()),
     }
 }
 
@@ -492,8 +608,8 @@ fn print_usage() {
          usage: repro list | repro <experiment>... [options] | repro all [options] | repro latency\n\
          \n\
          options: --paper-scale --threads N --n N --ops N --prefill N --range N\n\
-         \x20         --repeats N --theta X --scramble --variants a,b,f\n\
-         \x20         --list-variants --private --csv PATH\n\
+         \x20         --repeats N --theta X --scramble --batch-width N --variants a,b,f\n\
+         \x20         --list-variants --private --csv PATH (BENCH_<exp>.json is written beside it)\n\
          \n\
          Container-scale parameters are the default; pass --paper-scale on a\n\
          large machine for the published sizes."

@@ -50,14 +50,17 @@
 //! once real reclamation forbids exploiting them.
 
 use std::marker::PhantomData;
-use std::sync::atomic::AtomicPtr;
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
+use std::sync::atomic::{AtomicI64, AtomicPtr};
+use std::sync::Arc;
 
+use crate::hint::SearchHints;
 use crate::marked::{MarkedAtomic, MarkedPtr};
 use crate::ordered::{OrderedHandle, ScanBounds, Snapshot};
+use crate::prefetch::prefetch_read;
 use crate::reclaim::{ArenaReclaim, ListNode, Reclaimer};
 use crate::set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
-use crate::stats::OpStats;
+use crate::stats::{live_bump, CachePadded, LiveSlots, OpStats};
 use crate::Key;
 
 /// Doubly linked list node. `next` carries the deletion mark; `prev` is
@@ -109,65 +112,41 @@ pub struct DoublyList<
     const CURSOR: bool,
     const REPAIR: bool = true,
     R: Reclaimer = ArenaReclaim,
+    const HINTS: usize = 0,
 > {
     head: *mut DNode<K>,
     tail: *mut DNode<K>,
     reclaim: R::Shared<DNode<K>>,
+    live: LiveSlots,
 }
 
 // SAFETY: as for `SinglyList` — atomics for all shared state, node
 // lifetime per the reclaimer contract, `Drop` requires exclusivity.
-unsafe impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> Send
-    for DoublyList<K, CURSOR, REPAIR, R>
+unsafe impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer, const HINTS: usize> Send
+    for DoublyList<K, CURSOR, REPAIR, R, HINTS>
 {
 }
-unsafe impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> Sync
-    for DoublyList<K, CURSOR, REPAIR, R>
+unsafe impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer, const HINTS: usize> Sync
+    for DoublyList<K, CURSOR, REPAIR, R, HINTS>
 {
 }
 
-impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> Default
-    for DoublyList<K, CURSOR, REPAIR, R>
+impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer, const HINTS: usize> Default
+    for DoublyList<K, CURSOR, REPAIR, R, HINTS>
 {
     fn default() -> Self {
         <Self as ConcurrentOrderedSet<K>>::new()
     }
 }
 
-impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer>
-    DoublyList<K, CURSOR, REPAIR, R>
+impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer, const HINTS: usize>
+    DoublyList<K, CURSOR, REPAIR, R, HINTS>
 {
-    /// Number of unmarked items via a racy traversal (exact if quiescent).
+    /// Number of live items: the O(1) sum of the per-handle cache-padded
+    /// add/remove counters (exact when quiescent, an estimate under
+    /// concurrency — the contract of the O(n) scan it replaces).
     pub fn len_approx(&self) -> usize {
-        let _pin = R::pin();
-        let mut n = 0;
-        if R::PROTECTS {
-            let mut thread = R::register(&self.reclaim);
-            // SAFETY: sentinels never retire; interior nodes are
-            // protected and validated by the scan.
-            unsafe {
-                crate::reclaim::protected_scan::<K, DNode<K>, R>(
-                    &thread,
-                    self.head,
-                    self.tail,
-                    &ScanBounds::from_range(&(..)),
-                    |_| n += 1,
-                );
-            }
-            R::unregister(&self.reclaim, &mut thread);
-            return n;
-        }
-        // SAFETY: stable or pinned nodes.
-        unsafe {
-            let mut curr = (*self.head).next.load(Acquire).ptr();
-            while curr != self.tail {
-                if !(*curr).next.load(Acquire).is_marked() {
-                    n += 1;
-                }
-                curr = (*curr).next.load(Acquire).ptr();
-            }
-        }
-        n
+        self.live.sum()
     }
 
     /// Ordered snapshot of live keys; requires quiescence (`&mut`).
@@ -245,8 +224,8 @@ impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer>
     }
 }
 
-impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> Drop
-    for DoublyList<K, CURSOR, REPAIR, R>
+impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer, const HINTS: usize> Drop
+    for DoublyList<K, CURSOR, REPAIR, R, HINTS>
 {
     fn drop(&mut self) {
         // SAFETY: `&mut self` — no live handles; STABLE schemes track
@@ -257,7 +236,7 @@ impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> Drop
                 let mut curr = (*self.head).next.load(Relaxed).ptr();
                 while curr != self.tail {
                     let next = (*curr).next.load(Relaxed).ptr();
-                    drop(Box::from_raw(curr));
+                    R::free_owned(&self.reclaim, curr);
                     curr = next;
                 }
             }
@@ -268,18 +247,30 @@ impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> Drop
     }
 }
 
-impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> ConcurrentOrderedSet<K>
-    for DoublyList<K, CURSOR, REPAIR, R>
+impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer, const HINTS: usize>
+    ConcurrentOrderedSet<K> for DoublyList<K, CURSOR, REPAIR, R, HINTS>
 {
     type Handle<'a>
-        = DoublyHandle<'a, K, CURSOR, REPAIR, R>
+        = DoublyHandle<'a, K, CURSOR, REPAIR, R, HINTS>
     where
         Self: 'a;
 
     const NAME: &'static str = {
         use crate::reclaim::str_eq;
         if str_eq(R::NAME, "arena") {
-            if CURSOR && REPAIR {
+            if HINTS > 0 {
+                // Hinted extensions (hints are inert off the arena
+                // scheme, so only arena instantiations get new names).
+                if CURSOR && REPAIR {
+                    "doubly_hint"
+                } else if CURSOR {
+                    "doubly_hint_norepair"
+                } else if REPAIR {
+                    "doubly_backptr_hint"
+                } else {
+                    "doubly_backptr_hint_norepair"
+                }
+            } else if CURSOR && REPAIR {
                 "doubly_cursor"
             } else if CURSOR {
                 "doubly_cursor_norepair"
@@ -342,14 +333,17 @@ impl<K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> ConcurrentOrd
             head,
             tail,
             reclaim: R::Shared::default(),
+            live: LiveSlots::default(),
         }
     }
 
-    fn handle(&self) -> DoublyHandle<'_, K, CURSOR, REPAIR, R> {
+    fn handle(&self) -> DoublyHandle<'_, K, CURSOR, REPAIR, R, HINTS> {
         DoublyHandle {
             list: self,
             cursor: self.head,
             spare: std::ptr::null_mut(),
+            hints: SearchHints::new(),
+            live: self.live.register(),
             thread: R::register(&self.reclaim),
             stats: OpStats::ZERO,
             _not_sync: PhantomData,
@@ -372,17 +366,23 @@ pub struct DoublyHandle<
     const CURSOR: bool,
     const REPAIR: bool = true,
     R: Reclaimer = ArenaReclaim,
+    const HINTS: usize = 0,
 > {
-    list: &'l DoublyList<K, CURSOR, REPAIR, R>,
+    list: &'l DoublyList<K, CURSOR, REPAIR, R, HINTS>,
     cursor: *mut DNode<K>,
     spare: *mut DNode<K>,
+    /// Multi-position cursor generalization (see [`crate::hint`]);
+    /// consulted only when `HINTS > 0` under a `STABLE` reclaimer.
+    hints: SearchHints<K, DNode<K>, HINTS>,
+    /// Cache-padded live-item counter slot (see [`crate::stats`]).
+    live: Arc<CachePadded<AtomicI64>>,
     thread: R::Thread<DNode<K>>,
     stats: OpStats,
     _not_sync: PhantomData<std::cell::Cell<()>>,
 }
 
-impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> Drop
-    for DoublyHandle<'l, K, CURSOR, REPAIR, R>
+impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer, const HINTS: usize> Drop
+    for DoublyHandle<'l, K, CURSOR, REPAIR, R, HINTS>
 {
     fn drop(&mut self) {
         if !self.spare.is_null() {
@@ -393,8 +393,8 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> Drop
     }
 }
 
-impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer>
-    DoublyHandle<'l, K, CURSOR, REPAIR, R>
+impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer, const HINTS: usize>
+    DoublyHandle<'l, K, CURSOR, REPAIR, R, HINTS>
 {
     #[inline]
     fn begin_op(&mut self) {
@@ -415,10 +415,33 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer>
     /// (the first attempt may still resume from the within-operation
     /// cursor, which the pin or hazard slots keep valid).
     fn search(&mut self, key: K) -> (*mut DNode<K>, *mut DNode<K>) {
+        let trav_at_entry = self.stats.trav;
         // SAFETY (whole body): reclaimer contract as in `singly::search`;
         // backward (`prev`) steps happen only under a STABLE reclaimer.
         unsafe {
             let mut pred = self.cursor;
+            // Hinted instantiations: start at the best unmarked hint
+            // strictly below the key when it beats the cursor (the
+            // backward walk below corrects any residual overshoot, so
+            // the hint only has to be *some* smaller-key node).
+            if HINTS > 0 && R::STABLE {
+                let mut start_key = if (*pred).next.load(Acquire).is_marked() || key <= (*pred).key
+                {
+                    K::NEG_INF
+                } else {
+                    (*pred).key
+                };
+                for &(hk, hn) in self.hints.entries() {
+                    if !hn.is_null()
+                        && hk > start_key
+                        && hk < key
+                        && !(*hn).next.load(Acquire).is_marked()
+                    {
+                        pred = hn;
+                        start_key = hk;
+                    }
+                }
+            }
             let mut resume_ok = true;
             'retry: loop {
                 if R::STABLE {
@@ -450,6 +473,9 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer>
                 }
                 loop {
                     let mut succ = (*curr).next.load(Acquire);
+                    // Overlap the next dependent load with the key
+                    // comparison below.
+                    prefetch_read(succ.ptr());
                     while succ.is_marked() {
                         let mut succ_ptr = succ.ptr();
                         let unlinked = match (*pred).next.compare_exchange(
@@ -508,6 +534,14 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer>
                     }
                     if key <= (*curr).key {
                         self.cursor = pred;
+                        if HINTS > 0
+                            && R::STABLE
+                            && self.stats.trav - trav_at_entry
+                                >= crate::hint::HINT_RECORD_MIN_TRAVERSAL
+                        {
+                            // Long walks only (see `crate::hint`).
+                            self.hints.record((*pred).key, pred);
+                        }
                         return (pred, curr);
                     }
                     if R::PROTECTS {
@@ -566,6 +600,12 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer>
         debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
         let _pin = R::pin();
         self.begin_op();
+        self.add_pinned(key)
+    }
+
+    /// `add()` body minus the per-operation pin and cursor policy; the
+    /// batched insert amortizes both over a sorted batch.
+    fn add_pinned(&mut self, key: K) -> bool {
         loop {
             let (pred, curr) = self.search(key);
             // SAFETY: `pred`/`curr` per the search contract.
@@ -587,6 +627,7 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer>
                         // still protected in slot 1).
                         (*curr).prev.store(node, Release);
                         self.stats.adds += 1;
+                        live_bump(&self.live, 1);
                         return true;
                     }
                     Err(_) => {
@@ -604,6 +645,12 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer>
         debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
         let _pin = R::pin();
         self.begin_op();
+        self.remove_pinned(key)
+    }
+
+    /// `rem()` body minus the per-operation pin and cursor policy (see
+    /// [`add_pinned`](Self::add_pinned)).
+    fn remove_pinned(&mut self, key: K) -> bool {
         loop {
             let (pred, node) = self.search(key);
             // SAFETY: `pred`/`node` per the search contract.
@@ -645,6 +692,7 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer>
                     Err(_) => self.stats.fail += 1,
                 }
                 self.stats.rems += 1;
+                live_bump(&self.live, -1);
                 return true;
             }
         }
@@ -675,6 +723,26 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer>
             } else {
                 self.list.head
             };
+            // Hinted instantiations may jump to the best unmarked hint
+            // at or below the key (equal keys allowed, as for the
+            // cursor); the backward phase corrects overshoot.
+            if HINTS > 0 && R::STABLE {
+                let mut start_key = if (*curr).next.load(Acquire).is_marked() || key < (*curr).key {
+                    K::NEG_INF
+                } else {
+                    (*curr).key
+                };
+                for &(hk, hn) in self.hints.entries() {
+                    if !hn.is_null()
+                        && hk > start_key
+                        && hk <= key
+                        && !(*hn).next.load(Acquire).is_marked()
+                    {
+                        curr = hn;
+                        start_key = hk;
+                    }
+                }
+            }
             // Backward phase: unlike the search function, `con()` may stop
             // *at* a node carrying the sought key (see singly.rs for why
             // the equal-key start is essential to the paper's "cons"
@@ -688,21 +756,31 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer>
             }
             // Forward phase.
             let mut pred = curr;
+            let mut walked = 0u64;
             while (*curr).key < key {
                 pred = curr;
                 curr = (*curr).next.load(Acquire).ptr();
-                self.stats.cons += 1;
+                prefetch_read(curr);
+                walked += 1;
             }
+            self.stats.cons += walked;
             if CURSOR && R::STABLE {
                 self.cursor = pred;
+            }
+            if HINTS > 0
+                && R::STABLE
+                && walked >= crate::hint::HINT_RECORD_MIN_TRAVERSAL
+                && !std::ptr::eq(pred, self.list.head)
+            {
+                self.hints.record((*pred).key, pred);
             }
             (*curr).key == key && !(*curr).next.load(Acquire).is_marked()
         }
     }
 }
 
-impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> SetHandle<K>
-    for DoublyHandle<'l, K, CURSOR, REPAIR, R>
+impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer, const HINTS: usize>
+    SetHandle<K> for DoublyHandle<'l, K, CURSOR, REPAIR, R, HINTS>
 {
     #[inline]
     fn add(&mut self, key: K) -> bool {
@@ -719,6 +797,36 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> SetHandle
         self.contains_impl(key)
     }
 
+    fn add_batch(&mut self, keys: &mut [K]) -> usize {
+        // One pin, one cursor trust window, ascending application: the
+        // whole batch costs one amortized traversal (see singly.rs).
+        keys.sort_unstable();
+        let _pin = R::pin();
+        self.begin_op();
+        let mut n = 0;
+        for &k in keys.iter() {
+            debug_assert!(k.is_valid_key(), "sentinel keys are reserved");
+            if self.add_pinned(k) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    fn remove_batch(&mut self, keys: &mut [K]) -> usize {
+        keys.sort_unstable();
+        let _pin = R::pin();
+        self.begin_op();
+        let mut n = 0;
+        for &k in keys.iter() {
+            debug_assert!(k.is_valid_key(), "sentinel keys are reserved");
+            if self.remove_pinned(k) {
+                n += 1;
+            }
+        }
+        n
+    }
+
     fn stats(&self) -> OpStats {
         self.stats
     }
@@ -728,8 +836,8 @@ impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> SetHandle
     }
 }
 
-impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer> OrderedHandle<K>
-    for DoublyHandle<'l, K, CURSOR, REPAIR, R>
+impl<'l, K: Key, const CURSOR: bool, const REPAIR: bool, R: Reclaimer, const HINTS: usize>
+    OrderedHandle<K> for DoublyHandle<'l, K, CURSOR, REPAIR, R, HINTS>
 {
     fn range<Q: std::ops::RangeBounds<K>>(&mut self, range: Q) -> Snapshot<K> {
         let bounds = ScanBounds::from_range(&range);

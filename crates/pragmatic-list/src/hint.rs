@@ -1,0 +1,127 @@
+//! Per-thread search hints: a small set of recently visited positions
+//! the search function can start from.
+//!
+//! The paper's per-thread cursor (§2) remembers exactly *one* position —
+//! perfect for the deterministic ascending/descending sweeps it was
+//! designed around, but a workload that alternates between a handful of
+//! hot regions (a Zipfian mix, a server interleaving tenants) thrashes
+//! it: every jump to another region restarts from the head. A
+//! `SearchHints` store (crate-internal) generalizes the cursor to `H`
+//! slots filled
+//! round-robin with `(key, node)` pairs from recent searches; the search
+//! picks the *best* hint — the largest recorded key strictly below the
+//! sought key whose node is still unmarked — as its starting position
+//! and falls back to the cursor or the head when no hint qualifies.
+//! `H` recently visited positions act like the fingers of a finger
+//! search tree: for keys drawn from `H` distinct hot regions every
+//! operation starts near its region instead of at the head.
+//!
+//! # Safety gating
+//!
+//! Hints are raw node pointers parked *across* operations, so they are
+//! only sound under a [`STABLE`](crate::reclaim::Reclaimer::STABLE)
+//! reclaimer (the paper's arena), exactly like the cursor: the lists
+//! consult hints only when `HINTS > 0 && R::STABLE`, and instantiations
+//! under epoch or hazard-pointer reclamation leave them inert. A
+//! recorded key never goes stale — arena nodes are immutable once
+//! published and never recycled (see [`crate::slab`]) — and a hint whose
+//! node has since been *marked* is rejected by the mark re-check at
+//! selection time (the fallback the churn tests exercise).
+//!
+//! The named paper variants a)–f) all use `HINTS = 0` and keep their
+//! exact table semantics; the hinted variants (`singly_hint`,
+//! `doubly_hint` in [`crate::variants`]) are extensions.
+
+/// Default hint-slot count of the named `*_hint` variants. Selection
+/// scans all slots (one mark probe each), so the count trades start
+/// quality against per-search probe cost; 8 keeps the probe cost below
+/// one cache-line walk while covering eight hot regions.
+pub const DEFAULT_HINT_SLOTS: usize = 8;
+
+/// Traversal length below which a search does **not** record a hint.
+/// A short walk means the start position was already good — recording
+/// it would evict a useful hint with a near-duplicate; a long walk is
+/// precisely the situation a future hint amortizes. The threshold keeps
+/// each hot region converging to one stable slot instead of flooding
+/// the store with adjacent positions.
+pub const HINT_RECORD_MIN_TRAVERSAL: u64 = 16;
+
+/// A fixed-capacity, round-robin store of `(key, node)` positions.
+///
+/// `N` is the raw node type of the owning list. The store never
+/// dereferences nodes itself — selection-time mark checks live in the
+/// lists, which own the safety argument for the dereference.
+pub(crate) struct SearchHints<K, N, const H: usize> {
+    entries: [(K, *mut N); H],
+    /// Next slot to overwrite (round-robin).
+    next: usize,
+}
+
+impl<K: crate::Key, N, const H: usize> SearchHints<K, N, H> {
+    /// An empty hint store (all slots null).
+    pub(crate) fn new() -> Self {
+        SearchHints {
+            entries: [(K::NEG_INF, std::ptr::null_mut()); H],
+            next: 0,
+        }
+    }
+
+    /// Records `(key, node)` unless an existing slot already carries
+    /// `key` (duplicate positions would waste coverage); overwrites
+    /// round-robin otherwise. No-op when `H == 0`.
+    #[inline]
+    pub(crate) fn record(&mut self, key: K, node: *mut N) {
+        if H == 0 {
+            return;
+        }
+        for (k, n) in &mut self.entries {
+            if *k == key {
+                *n = node;
+                return;
+            }
+        }
+        self.entries[self.next] = (key, node);
+        self.next = (self.next + 1) % H;
+    }
+
+    /// The recorded entries, for best-start selection by the list's
+    /// search (null nodes are empty slots).
+    #[inline]
+    pub(crate) fn entries(&self) -> &[(K, *mut N); H] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_overwrites_oldest() {
+        let mut h = SearchHints::<i64, u8, 2>::new();
+        let (a, b, c) = (8usize as *mut u8, 16 as *mut u8, 24 as *mut u8);
+        h.record(1, a);
+        h.record(2, b);
+        h.record(3, c); // evicts (1, a)
+        let keys: Vec<i64> = h.entries().iter().map(|e| e.0).collect();
+        assert!(keys.contains(&2) && keys.contains(&3) && !keys.contains(&1));
+    }
+
+    #[test]
+    fn duplicate_keys_update_in_place() {
+        let mut h = SearchHints::<i64, u8, 4>::new();
+        let (a, b) = (8usize as *mut u8, 16 as *mut u8);
+        h.record(5, a);
+        h.record(5, b);
+        let hits: Vec<_> = h.entries().iter().filter(|e| e.0 == 5).collect();
+        assert_eq!(hits.len(), 1, "one slot per key");
+        assert_eq!(hits[0].1, b, "latest node wins");
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let mut h = SearchHints::<i64, u8, 0>::new();
+        h.record(1, 8usize as *mut u8);
+        assert!(h.entries().is_empty());
+    }
+}

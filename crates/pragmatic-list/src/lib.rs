@@ -98,14 +98,17 @@
 
 pub mod arena;
 pub mod doubly;
+pub mod hint;
 mod key;
 pub mod map;
 pub mod marked;
 pub mod ordered;
+pub mod prefetch;
 pub mod reclaim;
 pub mod set;
 pub mod sharded;
 pub mod singly;
+pub mod slab;
 mod stats;
 pub mod variants;
 
@@ -114,5 +117,5 @@ pub use ordered::{OrderedHandle, ScanBounds, Snapshot};
 pub use reclaim::Reclaimer;
 pub use set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
 pub use sharded::{ShardKey, ShardedMap, ShardedSet};
-pub use stats::OpStats;
+pub use stats::{CachePadded, OpStats};
 pub use variants::EpochList;

@@ -1,81 +1,147 @@
-//! The paper's drop-time arena scheme as a [`Reclaimer`].
+//! The paper's drop-time arena scheme as a [`Reclaimer`], over slab
+//! storage.
 //!
-//! A thin wrapper over [`crate::arena`]: allocation records the node in
-//! an unsynchronised thread-local log ([`LocalArena`]), handle drop
-//! flushes the log into the list's shared [`Registry`], and the list's
-//! `Drop` frees everything. `retire` is a no-op — that is the whole
-//! point, and the reason the scheme is [`STABLE`](Reclaimer::STABLE):
-//! cursors and backward pointers may dangle into unlinked nodes and
-//! still dereference safely.
+//! Allocation takes a slot from the handle's thread-local slab
+//! ([`LocalSlab`]) — a bump pointer into a cache-line-aligned chunk, so
+//! consecutively inserted nodes are contiguous — and records the slot in
+//! an unsynchronised log; handle drop flushes log and slab into the
+//! list's shared state, and the list's `Drop` drops every recorded node
+//! in place before the [`SlabPool`] releases the chunks. `retire` is a
+//! no-op — that is the whole point, and the reason the scheme is
+//! [`STABLE`](Reclaimer::STABLE): cursors, search hints and backward
+//! pointers may dangle into unlinked nodes and still dereference safely.
+//!
+//! Unlinked slots are deliberately **not** recycled: a dangling
+//! traversal start (cursor or hint) validates a node by reading its key
+//! and mark, and a reused slot could pass that validation while sitting
+//! in a completely different position — the exact reuse hazard Michael
+//! (IEEE TPDS 2004) shows requires per-node protection, which is what
+//! the epoch and hazard-pointer schemes provide and this one sells for
+//! hot-path cheapness.
 //!
 //! Cost model (kept intact from the paper, and asserted by the A2
-//! ablation bench): the operation path touches no shared memory — one
-//! `Vec` push per allocation, and the registry mutex only at handle
+//! ablation bench): the operation path touches no shared memory — a
+//! bump-pointer increment and a `Vec` push per allocation; the pool and
+//! registry mutexes are touched only at chunk boundaries and handle
 //! drop.
 
-use crate::arena::{LocalArena, Registry};
+use std::sync::Mutex;
+
+use crate::slab::{LocalSlab, SlabPool};
 
 use super::Reclaimer;
 
 /// Drop-time arena reclamation — the scheme the paper benchmarks.
 pub struct ArenaReclaim;
 
-// SAFETY: nodes are registered (locally, then in the shared registry) at
-// allocation and freed only in `drop_shared`, which the lists call from
-// `Drop` with exclusive access — so every allocated node outlives every
-// handle, which is exactly the STABLE contract.
+/// Per-list state for [`ArenaReclaim`]: the slab pool plus the registry
+/// of every node ever handed out (dropped in place at list drop).
+pub struct ArenaShared<T> {
+    nodes: Mutex<Vec<*mut T>>,
+    pool: SlabPool<T>,
+}
+
+// SAFETY: the registry transports raw slot pointers behind a mutex; the
+// nodes they point to are only dropped single-threaded in `drop_shared`.
+unsafe impl<T: Send> Send for ArenaShared<T> {}
+unsafe impl<T: Send> Sync for ArenaShared<T> {}
+
+impl<T> Default for ArenaShared<T> {
+    fn default() -> Self {
+        ArenaShared {
+            nodes: Mutex::new(Vec::new()),
+            pool: SlabPool::default(),
+        }
+    }
+}
+
+/// Per-handle state for [`ArenaReclaim`]: the thread's slab cursor and
+/// its allocation log.
+pub struct ArenaThread<T> {
+    log: Vec<*mut T>,
+    slab: LocalSlab<T>,
+}
+
+// SAFETY: nodes are slab slots registered (locally, then in the shared
+// registry) at allocation and dropped only in `drop_shared`, which the
+// lists call from `Drop` with exclusive access — so every allocated node
+// outlives every handle, which is exactly the STABLE contract. Slots are
+// never recycled, so node contents are immutable once published.
 unsafe impl Reclaimer for ArenaReclaim {
     const NAME: &'static str = "arena";
     const STABLE: bool = true;
     const PROTECTS: bool = false;
 
-    type Shared<T: Send> = Registry<T>;
-    type Thread<T: Send> = LocalArena<T>;
+    type Shared<T: Send + 'static> = ArenaShared<T>;
+    type Thread<T: Send + 'static> = ArenaThread<T>;
     type Pin = ();
 
-    fn register<T: Send>(_shared: &Registry<T>) -> LocalArena<T> {
-        LocalArena::new()
+    fn register<T: Send + 'static>(_shared: &ArenaShared<T>) -> ArenaThread<T> {
+        ArenaThread {
+            log: Vec::new(),
+            slab: LocalSlab::new(),
+        }
     }
 
     #[inline]
     fn pin() -> Self::Pin {}
 
     #[inline]
-    fn alloc<T: Send>(_shared: &Registry<T>, thread: &mut LocalArena<T>, value: T) -> *mut T {
-        let node = Box::into_raw(Box::new(value));
-        thread.record(node);
+    fn alloc<T: Send + 'static>(
+        shared: &ArenaShared<T>,
+        thread: &mut ArenaThread<T>,
+        value: T,
+    ) -> *mut T {
+        let node = thread.slab.alloc(&shared.pool, value);
+        thread.log.push(node);
         node
     }
 
     #[inline]
-    fn protect<T: Send>(_thread: &LocalArena<T>, _slot: usize, _ptr: *mut T) {}
+    fn protect<T: Send + 'static>(_thread: &ArenaThread<T>, _slot: usize, _ptr: *mut T) {}
 
     #[inline]
-    unsafe fn retire<T: Send>(_shared: &Registry<T>, _thread: &mut LocalArena<T>, _ptr: *mut T) {
+    unsafe fn retire<T: Send + 'static>(
+        _shared: &ArenaShared<T>,
+        _thread: &mut ArenaThread<T>,
+        _ptr: *mut T,
+    ) {
         // Deliberately nothing: the node stays valid until list drop.
     }
 
     #[inline]
-    unsafe fn dealloc_unpublished<T: Send>(
-        _shared: &Registry<T>,
-        _thread: &mut LocalArena<T>,
+    unsafe fn dealloc_unpublished<T: Send + 'static>(
+        _shared: &ArenaShared<T>,
+        _thread: &mut ArenaThread<T>,
         _ptr: *mut T,
     ) {
         // The spare is already recorded in the allocation log; the
-        // registry frees it with everything else at list drop.
+        // registry drops it with everything else at list drop.
     }
 
-    fn unregister<T: Send>(shared: &Registry<T>, thread: &mut LocalArena<T>) {
-        thread.flush_into(shared);
+    unsafe fn free_owned<T: Send + 'static>(_shared: &ArenaShared<T>, _ptr: *mut T) {
+        unreachable!("STABLE schemes tear down through drop_shared, not free_owned");
     }
 
-    unsafe fn drop_shared<T: Send>(shared: &mut Registry<T>) {
-        // SAFETY: forwarded contract — exclusive access, pointers from
-        // `Box::into_raw`, freed exactly once.
-        unsafe { shared.free_all() }
+    fn unregister<T: Send + 'static>(shared: &ArenaShared<T>, thread: &mut ArenaThread<T>) {
+        if !thread.log.is_empty() {
+            shared.nodes.lock().unwrap().append(&mut thread.log);
+        }
+        thread.slab.flush(&shared.pool);
     }
 
-    fn tracked_nodes<T: Send>(shared: &Registry<T>) -> usize {
-        shared.len()
+    unsafe fn drop_shared<T: Send + 'static>(shared: &mut ArenaShared<T>) {
+        let nodes = std::mem::take(&mut *shared.nodes.lock().unwrap());
+        for p in nodes {
+            // SAFETY: exclusive access (the lists' `Drop` contract);
+            // each slot was handed out by `alloc` exactly once, never
+            // recycled, and is dropped exactly once here. The slot
+            // memory itself is released when `shared.pool` drops.
+            unsafe { std::ptr::drop_in_place(p) };
+        }
+    }
+
+    fn tracked_nodes<T: Send + 'static>(shared: &ArenaShared<T>) -> usize {
+        shared.nodes.lock().unwrap().len()
     }
 }

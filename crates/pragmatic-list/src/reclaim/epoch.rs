@@ -1,53 +1,69 @@
-//! Epoch-based reclamation as a [`Reclaimer`], over crossbeam-epoch.
+//! Epoch-based reclamation as a [`Reclaimer`], over crossbeam-epoch and
+//! slab storage.
 //!
 //! Operations pin the epoch for their whole duration
-//! ([`Reclaimer::pin`]); unlinked nodes are retired to the collector and
-//! freed two epoch advances later, when no pin from before the unlink
-//! can still be live. Not [`STABLE`](Reclaimer::STABLE): pointers must
-//! not outlive the operation's pin, so the lists reset cursors at every
-//! operation entry and never chase backward pointers — exactly the
-//! complication the paper cites for leaving reclamation open.
+//! ([`Reclaimer::pin`]); unlinked nodes are retired to the collector,
+//! and two epoch advances later — when no pin from before the unlink can
+//! still be live — their slot is dropped in place and pushed back onto
+//! the list's shared [`SlabPool`] free list, where the next insert picks
+//! it up: real node *recycling*, the thing the arena scheme must forgo.
+//! Not [`STABLE`](Reclaimer::STABLE): pointers must not outlive the
+//! operation's pin (a recycled slot may hold a different key), so the
+//! lists reset cursors at every operation entry, never consult
+//! cross-operation hints, and never chase backward pointers — exactly
+//! the complication the paper cites for leaving reclamation open.
+//!
+//! The pool is `Arc`-shared with every pending deferred action, so
+//! chunks stay alive until the last retired slot has been returned even
+//! if the list drops first.
 
-use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use crossbeam_epoch::{self as epoch, Pointer, Shared};
+use crossbeam_epoch as epoch;
+
+use crate::slab::{LocalSlab, SlabPool};
 
 use super::Reclaimer;
 
-/// Epoch-based reclamation (crossbeam-epoch).
+/// Epoch-based reclamation (crossbeam-epoch) with slab recycling.
 pub struct EpochReclaim;
 
-/// Per-list state for [`EpochReclaim`]: the collector is global, so only
-/// a diagnostic allocation counter lives here.
+/// Per-list state for [`EpochReclaim`]: the slab pool (kept alive by
+/// pending deferred frees via `Arc`) and a diagnostic allocation
+/// counter (the collector itself is global).
 pub struct EpochShared<T> {
+    pool: Arc<SlabPool<T>>,
     allocs: AtomicUsize,
-    _marker: PhantomData<fn(T)>,
 }
 
 impl<T> Default for EpochShared<T> {
     fn default() -> Self {
         EpochShared {
+            pool: Arc::new(SlabPool::default()),
             allocs: AtomicUsize::new(0),
-            _marker: PhantomData,
         }
     }
 }
 
 // SAFETY: a node observed while pinned was reachable at some instant of
-// the pin; it can only be retired after being unlinked, and the
-// collector frees it no earlier than two epoch advances after
-// retirement — which cannot complete while our pin holds the epoch.
+// the pin; it can only be retired after being unlinked, and the deferred
+// drop-and-recycle runs no earlier than two epoch advances after
+// retirement — which cannot complete while our pin holds the epoch. A
+// recycled slot can therefore only be handed out again once no pin from
+// before its unlink survives.
 unsafe impl Reclaimer for EpochReclaim {
     const NAME: &'static str = "epoch";
     const STABLE: bool = false;
     const PROTECTS: bool = false;
 
-    type Shared<T: Send> = EpochShared<T>;
-    type Thread<T: Send> = ();
+    type Shared<T: Send + 'static> = EpochShared<T>;
+    type Thread<T: Send + 'static> = LocalSlab<T>;
     type Pin = epoch::Guard;
 
-    fn register<T: Send>(_shared: &EpochShared<T>) -> Self::Thread<T> {}
+    fn register<T: Send + 'static>(_shared: &EpochShared<T>) -> LocalSlab<T> {
+        LocalSlab::new()
+    }
 
     #[inline]
     fn pin() -> epoch::Guard {
@@ -55,45 +71,85 @@ unsafe impl Reclaimer for EpochReclaim {
     }
 
     #[inline]
-    fn alloc<T: Send>(shared: &EpochShared<T>, _thread: &mut (), value: T) -> *mut T {
+    fn alloc<T: Send + 'static>(
+        shared: &EpochShared<T>,
+        thread: &mut LocalSlab<T>,
+        value: T,
+    ) -> *mut T {
         shared.allocs.fetch_add(1, Ordering::Relaxed);
-        Box::into_raw(Box::new(value))
+        thread.alloc(&shared.pool, value)
     }
 
     #[inline]
-    fn protect<T: Send>(_thread: &(), _slot: usize, _ptr: *mut T) {}
+    fn protect<T: Send + 'static>(_thread: &LocalSlab<T>, _slot: usize, _ptr: *mut T) {}
 
     #[inline]
-    unsafe fn retire<T: Send>(_shared: &EpochShared<T>, _thread: &mut (), ptr: *mut T) {
-        // Nested pins are cheap (a thread-local depth bump); retiring
-        // under the current epoch is safe because `ptr` was unlinked
-        // before this call.
-        let guard = epoch::pin();
-        // SAFETY: `ptr` is unlinked, non-null, and retired once — the
-        // caller's contract; the representation round-trip is tag-free
-        // because nodes are at least word-aligned.
-        unsafe { guard.defer_destroy(Shared::<'_, T>::from_usize(ptr as usize)) };
-    }
-
-    #[inline]
-    unsafe fn dealloc_unpublished<T: Send>(
-        _shared: &EpochShared<T>,
-        _thread: &mut (),
+    unsafe fn retire<T: Send + 'static>(
+        shared: &EpochShared<T>,
+        _thread: &mut LocalSlab<T>,
         ptr: *mut T,
     ) {
-        // SAFETY: never published, so no pin can reference it.
-        unsafe { drop(Box::from_raw(ptr)) }
+        /// Deferred action: drop the slot in place and return it to the
+        /// pool, consuming the `Arc` reference that kept the pool alive.
+        ///
+        /// # Safety
+        ///
+        /// Runs only after the grace period (no pinned thread can still
+        /// reference the unlinked, retired-once slot); `pool_raw` came
+        /// from `Arc::into_raw` with ownership of one reference.
+        unsafe fn reclaim<T: Send>(slot: usize, pool_raw: usize) {
+            // SAFETY: per the function contract above.
+            unsafe {
+                let pool = Arc::from_raw(pool_raw as *const SlabPool<T>);
+                let p = slot as *mut T;
+                std::ptr::drop_in_place(p);
+                pool.reclaim_slot(p);
+            }
+        }
+        // Nested pins are cheap (a thread-local depth bump); retiring
+        // under the current epoch is safe because `ptr` was unlinked
+        // before this call. `defer_raw` keeps the remove hot path
+        // allocation-free: one `Arc` bump instead of a boxed closure,
+        // and the raw reference keeps the pool's chunks alive until the
+        // deferred action runs — even past list drop.
+        let guard = epoch::pin();
+        let pool_raw = Arc::into_raw(Arc::clone(&shared.pool)) as usize;
+        // SAFETY: see `reclaim`'s contract; the words encode owned state.
+        unsafe { guard.defer_raw(ptr as usize, pool_raw, reclaim::<T>) };
     }
 
-    fn unregister<T: Send>(_shared: &EpochShared<T>, _thread: &mut ()) {}
-
-    unsafe fn drop_shared<T: Send>(_shared: &mut EpochShared<T>) {
-        // Retired nodes belong to the global collector; it frees them as
-        // epochs advance (the lists free still-reachable chain nodes
-        // themselves before calling this).
+    #[inline]
+    unsafe fn dealloc_unpublished<T: Send + 'static>(
+        _shared: &EpochShared<T>,
+        thread: &mut LocalSlab<T>,
+        ptr: *mut T,
+    ) {
+        // SAFETY: never published, so no pin can reference it; recycled
+        // directly into the thread's free list.
+        unsafe {
+            std::ptr::drop_in_place(ptr);
+            thread.recycle(ptr);
+        }
     }
 
-    fn tracked_nodes<T: Send>(shared: &EpochShared<T>) -> usize {
+    unsafe fn free_owned<T: Send + 'static>(_shared: &EpochShared<T>, ptr: *mut T) {
+        // SAFETY: exclusive access during structure teardown; the slot's
+        // memory is released when the pool's last `Arc` drops.
+        unsafe { std::ptr::drop_in_place(ptr) };
+    }
+
+    fn unregister<T: Send + 'static>(shared: &EpochShared<T>, thread: &mut LocalSlab<T>) {
+        thread.flush(&shared.pool);
+    }
+
+    unsafe fn drop_shared<T: Send + 'static>(_shared: &mut EpochShared<T>) {
+        // Retired slots belong to the global collector; their deferred
+        // actions hold `Arc`s to the pool, so the chunks are released
+        // once the last one has run (the lists drop still-reachable
+        // chain nodes themselves, via `free_owned`, before this).
+    }
+
+    fn tracked_nodes<T: Send + 'static>(shared: &EpochShared<T>) -> usize {
         shared.allocs.load(Ordering::Relaxed)
     }
 }

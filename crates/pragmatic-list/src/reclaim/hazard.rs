@@ -27,6 +27,8 @@ use std::sync::atomic::Ordering::{Relaxed, SeqCst};
 use std::sync::atomic::{fence, AtomicBool, AtomicUsize};
 use std::sync::{Arc, Mutex};
 
+use crate::slab::{LocalSlab, SlabPool};
+
 use super::Reclaimer;
 
 /// Hazard slots per registered thread. The list traversals need two:
@@ -38,6 +40,11 @@ const RETIRE_THRESHOLD: usize = 64;
 
 /// One thread's published hazards (recycled through `active` as handles
 /// come and go).
+///
+/// Aligned away from its neighbours: hazard publication stores once per
+/// traversal step, and records packed onto one line would false-share
+/// the hottest stores in the scheme.
+#[repr(align(128))]
 struct SlotRecord {
     hazards: [AtomicUsize; SLOTS_PER_THREAD],
     active: AtomicBool,
@@ -51,9 +58,11 @@ pub struct HazardReclaim;
 /// nodes orphaned by dropped handles.
 pub struct HazardDomain<T> {
     slots: Mutex<Vec<Arc<SlotRecord>>>,
-    /// Retired nodes flushed by unregistering handles; freed at list
+    /// Retired nodes flushed by unregistering handles; dropped at list
     /// drop, when no hazard can exist.
     orphans: Mutex<Vec<*mut T>>,
+    /// Slab storage for this structure's nodes.
+    pool: SlabPool<T>,
     allocs: AtomicUsize,
 }
 
@@ -68,6 +77,7 @@ impl<T> Default for HazardDomain<T> {
         HazardDomain {
             slots: Mutex::new(Vec::new()),
             orphans: Mutex::new(Vec::new()),
+            pool: SlabPool::default(),
             allocs: AtomicUsize::new(0),
         }
     }
@@ -97,24 +107,35 @@ impl<T> HazardDomain<T> {
 pub struct HazardThread<T> {
     record: Arc<SlotRecord>,
     retired: Vec<*mut T>,
+    slab: LocalSlab<T>,
 }
 
 impl<T> HazardThread<T> {
-    /// Frees every retired node no hazard names; keeps the rest.
+    /// Reclaims every retired node no hazard names — dropping it in
+    /// place and recycling its slab slot for this thread's next
+    /// allocation — and keeps the rest.
     fn scan(&mut self, domain: &HazardDomain<T>) {
         let hazards = domain.hazard_snapshot();
-        self.retired.retain(|&p| {
+        let mut i = 0;
+        while i < self.retired.len() {
+            let p = self.retired[i];
             if hazards.binary_search(&(p as usize)).is_ok() {
-                true
+                i += 1;
             } else {
+                self.retired.swap_remove(i);
                 // SAFETY: `p` was unlinked before retirement (no new
                 // references possible) and the snapshot proves no
                 // published hazard names it, so no thread can still
-                // hold a validated reference.
-                unsafe { drop(Box::from_raw(p)) };
-                false
+                // hold a validated reference; the slot is recycled
+                // exactly once. The same argument makes the reuse
+                // sound: any later traversal re-validates through
+                // `acquire_curr` before dereferencing.
+                unsafe {
+                    std::ptr::drop_in_place(p);
+                    self.slab.recycle(p);
+                }
             }
-        });
+        }
     }
 }
 
@@ -129,11 +150,11 @@ unsafe impl Reclaimer for HazardReclaim {
     const STABLE: bool = false;
     const PROTECTS: bool = true;
 
-    type Shared<T: Send> = HazardDomain<T>;
-    type Thread<T: Send> = HazardThread<T>;
+    type Shared<T: Send + 'static> = HazardDomain<T>;
+    type Thread<T: Send + 'static> = HazardThread<T>;
     type Pin = ();
 
-    fn register<T: Send>(shared: &HazardDomain<T>) -> HazardThread<T> {
+    fn register<T: Send + 'static>(shared: &HazardDomain<T>) -> HazardThread<T> {
         let mut slots = shared.slots.lock().unwrap();
         let record = slots
             .iter()
@@ -154,6 +175,7 @@ unsafe impl Reclaimer for HazardReclaim {
         HazardThread {
             record,
             retired: Vec::new(),
+            slab: LocalSlab::new(),
         }
     }
 
@@ -161,18 +183,26 @@ unsafe impl Reclaimer for HazardReclaim {
     fn pin() -> Self::Pin {}
 
     #[inline]
-    fn alloc<T: Send>(shared: &HazardDomain<T>, _thread: &mut HazardThread<T>, value: T) -> *mut T {
+    fn alloc<T: Send + 'static>(
+        shared: &HazardDomain<T>,
+        thread: &mut HazardThread<T>,
+        value: T,
+    ) -> *mut T {
         shared.allocs.fetch_add(1, Relaxed);
-        Box::into_raw(Box::new(value))
+        thread.slab.alloc(&shared.pool, value)
     }
 
     #[inline]
-    fn protect<T: Send>(thread: &HazardThread<T>, slot: usize, ptr: *mut T) {
+    fn protect<T: Send + 'static>(thread: &HazardThread<T>, slot: usize, ptr: *mut T) {
         thread.record.hazards[slot].store(ptr as usize, SeqCst);
         fence(SeqCst);
     }
 
-    unsafe fn retire<T: Send>(shared: &HazardDomain<T>, thread: &mut HazardThread<T>, ptr: *mut T) {
+    unsafe fn retire<T: Send + 'static>(
+        shared: &HazardDomain<T>,
+        thread: &mut HazardThread<T>,
+        ptr: *mut T,
+    ) {
         thread.retired.push(ptr);
         if thread.retired.len() >= RETIRE_THRESHOLD {
             thread.scan(shared);
@@ -180,37 +210,49 @@ unsafe impl Reclaimer for HazardReclaim {
     }
 
     #[inline]
-    unsafe fn dealloc_unpublished<T: Send>(
+    unsafe fn dealloc_unpublished<T: Send + 'static>(
         _shared: &HazardDomain<T>,
-        _thread: &mut HazardThread<T>,
+        thread: &mut HazardThread<T>,
         ptr: *mut T,
     ) {
-        // SAFETY: never published, so no hazard can name it.
-        unsafe { drop(Box::from_raw(ptr)) }
+        // SAFETY: never published, so no hazard can name it; the slot is
+        // recycled directly.
+        unsafe {
+            std::ptr::drop_in_place(ptr);
+            thread.slab.recycle(ptr);
+        }
     }
 
-    fn unregister<T: Send>(shared: &HazardDomain<T>, thread: &mut HazardThread<T>) {
-        // One last chance to free locally before orphaning the rest.
+    unsafe fn free_owned<T: Send + 'static>(_shared: &HazardDomain<T>, ptr: *mut T) {
+        // SAFETY: exclusive access during structure teardown — no
+        // hazards exist; the slot's memory dies with the pool.
+        unsafe { std::ptr::drop_in_place(ptr) };
+    }
+
+    fn unregister<T: Send + 'static>(shared: &HazardDomain<T>, thread: &mut HazardThread<T>) {
+        // One last chance to reclaim locally before orphaning the rest.
         thread.scan(shared);
         if !thread.retired.is_empty() {
             shared.orphans.lock().unwrap().append(&mut thread.retired);
         }
+        thread.slab.flush(&shared.pool);
         for h in &thread.record.hazards {
             h.store(0, SeqCst);
         }
         thread.record.active.store(false, SeqCst);
     }
 
-    unsafe fn drop_shared<T: Send>(shared: &mut HazardDomain<T>) {
+    unsafe fn drop_shared<T: Send + 'static>(shared: &mut HazardDomain<T>) {
         let orphans = std::mem::take(&mut *shared.orphans.lock().unwrap());
         for p in orphans {
             // SAFETY: exclusive access — every handle is gone, so no
-            // hazard exists and each orphan is freed exactly once.
-            unsafe { drop(Box::from_raw(p)) };
+            // hazard exists and each orphan is dropped exactly once; the
+            // slot memory dies with the pool.
+            unsafe { std::ptr::drop_in_place(p) };
         }
     }
 
-    fn tracked_nodes<T: Send>(shared: &HazardDomain<T>) -> usize {
+    fn tracked_nodes<T: Send + 'static>(shared: &HazardDomain<T>) -> usize {
         shared.allocs.load(Relaxed)
     }
 }

@@ -121,31 +121,35 @@ pub unsafe trait Reclaimer: Sized + 'static {
 
     /// Per-structure shared state (the arena registry, the hazard
     /// domain, …).
-    type Shared<T: Send>: Default + Send + Sync;
+    type Shared<T: Send + 'static>: Default + Send + Sync;
 
     /// Per-handle thread state (the arena's local allocation log, the
     /// hazard slots and retire list, …).
-    type Thread<T: Send>;
+    type Thread<T: Send + 'static>;
 
     /// Per-operation token; held for the whole operation (the epoch
     /// guard). `()` for schemes that need none.
     type Pin;
 
     /// Creates the per-handle thread state. Called once per handle.
-    fn register<T: Send>(shared: &Self::Shared<T>) -> Self::Thread<T>;
+    fn register<T: Send + 'static>(shared: &Self::Shared<T>) -> Self::Thread<T>;
 
     /// Begins an operation. The returned token must be kept alive until
     /// the operation's last shared-memory access.
     fn pin() -> Self::Pin;
 
     /// Allocates a node tracked by this scheme.
-    fn alloc<T: Send>(shared: &Self::Shared<T>, thread: &mut Self::Thread<T>, value: T) -> *mut T;
+    fn alloc<T: Send + 'static>(
+        shared: &Self::Shared<T>,
+        thread: &mut Self::Thread<T>,
+        value: T,
+    ) -> *mut T;
 
     /// Publishes `ptr` in hazard slot `slot` (no-op unless
     /// [`PROTECTS`](Reclaimer::PROTECTS)). The caller must re-validate
     /// that `ptr` is still reachable *after* this call before
     /// dereferencing it.
-    fn protect<T: Send>(thread: &Self::Thread<T>, slot: usize, ptr: *mut T);
+    fn protect<T: Send + 'static>(thread: &Self::Thread<T>, slot: usize, ptr: *mut T);
 
     /// Hands an unlinked node to the scheme for (possibly deferred)
     /// destruction.
@@ -155,7 +159,11 @@ pub unsafe trait Reclaimer: Sized + 'static {
     /// `ptr` must come from [`alloc`](Reclaimer::alloc) on the same
     /// shared state, must have been physically unlinked (unreachable for
     /// new observers), and must be retired at most once.
-    unsafe fn retire<T: Send>(shared: &Self::Shared<T>, thread: &mut Self::Thread<T>, ptr: *mut T);
+    unsafe fn retire<T: Send + 'static>(
+        shared: &Self::Shared<T>,
+        thread: &mut Self::Thread<T>,
+        ptr: *mut T,
+    );
 
     /// Frees a node that was allocated but never published to the
     /// structure (a handle's spare node).
@@ -165,15 +173,29 @@ pub unsafe trait Reclaimer: Sized + 'static {
     /// `ptr` must come from [`alloc`](Reclaimer::alloc) on the same
     /// shared state and must never have been reachable by another
     /// thread.
-    unsafe fn dealloc_unpublished<T: Send>(
+    unsafe fn dealloc_unpublished<T: Send + 'static>(
         shared: &Self::Shared<T>,
         thread: &mut Self::Thread<T>,
         ptr: *mut T,
     );
 
+    /// Drops a node that is still *reachable* in the structure during
+    /// its teardown (the lists walk their chain from `Drop` when the
+    /// scheme is not [`STABLE`](Reclaimer::STABLE)). The node's value is
+    /// dropped in place; its slab slot dies with the pool.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have exclusive access to the structure (no live
+    /// handles), `ptr` must come from [`alloc`](Reclaimer::alloc) on
+    /// `shared`, must not have been retired or freed, and must not be
+    /// touched afterwards. Never called for `STABLE` schemes (their
+    /// teardown owns every node already).
+    unsafe fn free_owned<T: Send + 'static>(shared: &Self::Shared<T>, ptr: *mut T);
+
     /// Tears down per-handle state (flush the allocation log, release
     /// the hazard slots). Called from the handle's `Drop`.
-    fn unregister<T: Send>(shared: &Self::Shared<T>, thread: &mut Self::Thread<T>);
+    fn unregister<T: Send + 'static>(shared: &Self::Shared<T>, thread: &mut Self::Thread<T>);
 
     /// Frees everything the scheme still tracks for this structure.
     ///
@@ -183,12 +205,12 @@ pub unsafe trait Reclaimer: Sized + 'static {
     /// touch any tracked node afterwards. Nodes still *reachable* in the
     /// structure are the caller's to free (the lists walk their chain
     /// first when the scheme is not [`STABLE`](Reclaimer::STABLE)).
-    unsafe fn drop_shared<T: Send>(shared: &mut Self::Shared<T>);
+    unsafe fn drop_shared<T: Send + 'static>(shared: &mut Self::Shared<T>);
 
     /// Number of nodes ever allocated for this structure (diagnostic;
     /// for the arena scheme this counts nodes already flushed to the
     /// registry, i.e. it is exact once all handles are dropped).
-    fn tracked_nodes<T: Send>(shared: &Self::Shared<T>) -> usize;
+    fn tracked_nodes<T: Send + 'static>(shared: &Self::Shared<T>) -> usize;
 }
 
 /// Compile-time string equality, for deriving variant names from
@@ -210,7 +232,7 @@ pub(crate) const fn str_eq(a: &str, b: &str) -> bool {
 
 /// Internal view of a list node for reclaimer-aware traversals shared
 /// between the singly and doubly lists.
-pub(crate) trait ListNode<K: Key>: Send + Sized {
+pub(crate) trait ListNode<K: Key>: Send + Sized + 'static {
     /// The node's `next` field (mark bit = logical deletion).
     fn next_ref(&self) -> &MarkedAtomic<Self>;
     /// The node's key.

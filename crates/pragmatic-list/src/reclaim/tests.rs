@@ -96,6 +96,108 @@ fn hazard_churn_is_leak_free_singly() {
 }
 
 #[test]
+fn hinted_arena_churn_is_leak_free() {
+    // The hinted extension parks extra dangling pointers (the hint
+    // slots) — the arena's slab accounting must still balance.
+    assert_churn_is_leak_free::<SinglyList<LeakKey, true, true, false, super::ArenaReclaim, 8>>(
+        false,
+    );
+    assert_churn_is_leak_free::<DoublyList<LeakKey, true, true, super::ArenaReclaim, 8>>(false);
+}
+
+/// Batched churn: multi-threaded `add_batch`/`remove_batch` over a
+/// small key band, then drop; alloc/free must balance per scheme —
+/// including slots the epoch/hazard schemes *recycled* mid-run (each
+/// reuse is a fresh alloc count paired with its eventual drop).
+fn assert_batch_churn_is_leak_free<S: ConcurrentOrderedSet<LeakKey>>(drive_epoch: bool) {
+    let _serial = leak::LEAK_TEST_LOCK
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let (a0, f0) = leak::snapshot();
+    {
+        let list = S::new();
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let list = &list;
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    let mut batch = [LeakKey(0); 24];
+                    for round in 0..12i64 {
+                        for (i, slot) in batch.iter_mut().enumerate() {
+                            *slot = LeakKey((i as i64 * 4 + t + round * 7) % 90 + 1);
+                        }
+                        h.add_batch(&mut batch);
+                        for (i, slot) in batch.iter_mut().enumerate() {
+                            *slot = LeakKey((i as i64 * 4 + t + round * 11) % 90 + 1);
+                        }
+                        h.remove_batch(&mut batch);
+                    }
+                });
+            }
+        });
+    }
+    if drive_epoch {
+        for _ in 0..10_000 {
+            let (a, f) = leak::snapshot();
+            if a - a0 == f - f0 {
+                break;
+            }
+            crossbeam_epoch::pin().flush();
+            std::thread::yield_now();
+        }
+    }
+    let (a1, f1) = leak::snapshot();
+    assert!(a1 > a0, "{}: batch churn must allocate", S::NAME);
+    assert_eq!(
+        a1 - a0,
+        f1 - f0,
+        "{}: batched ops must not leak (recycled slab slots included)",
+        S::NAME
+    );
+}
+
+#[test]
+fn batch_churn_is_leak_free_arena() {
+    assert_batch_churn_is_leak_free::<SinglyList<LeakKey, true, true, false>>(false);
+}
+
+#[test]
+fn batch_churn_is_leak_free_epoch() {
+    assert_batch_churn_is_leak_free::<SinglyList<LeakKey, true, true, false, EpochReclaim>>(true);
+}
+
+#[test]
+fn batch_churn_is_leak_free_hazard() {
+    assert_batch_churn_is_leak_free::<SinglyList<LeakKey, true, false, false, HazardReclaim>>(
+        false,
+    );
+}
+
+#[test]
+fn epoch_recycling_survives_tight_reuse_churn() {
+    // Hammer an 8-key working set with thousands of add/remove pairs on
+    // one epoch list: retired slots flow through the grace period back
+    // into the pool and get written over by later inserts. Any
+    // drop-in-place/reuse misordering shows up here as a double drop or
+    // UAF (and as an accounting imbalance in the leak tests above).
+    let _serial = leak::LEAK_TEST_LOCK
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let list = SinglyList::<LeakKey, true, true, false, EpochReclaim>::new();
+    {
+        let mut h = list.handle();
+        for round in 0..3_000i64 {
+            assert!(h.add(LeakKey(round % 8 + 1)));
+            assert!(h.remove(LeakKey(round % 8 + 1)));
+        }
+    }
+    drop(list);
+    for _ in 0..100 {
+        crossbeam_epoch::pin().flush();
+    }
+}
+
+#[test]
 fn hazard_scan_frees_while_handles_are_live() {
     // The per-thread retire list scans at a fixed threshold, so garbage
     // must start flowing back *during* the run, not only at list drop:

@@ -56,6 +56,28 @@ pub trait SetHandle<K: Key> {
     /// The paper's `con(k)`: wait-free membership test.
     fn contains(&mut self, key: K) -> bool;
 
+    /// Inserts every key in `keys`, returning how many were newly
+    /// inserted (duplicates within the batch count once).
+    ///
+    /// Batch operations trade strict per-key ordering for amortization:
+    /// implementations may **reorder** `keys` in place (the lists sort
+    /// them and apply the whole batch in one ascending traversal under a
+    /// single reclaimer pin). Each individual insert is still
+    /// linearizable — only the order in which the batch's keys take
+    /// effect is unspecified, exactly as if the caller had issued them
+    /// from separate threads. The default implementation is the plain
+    /// per-key loop.
+    fn add_batch(&mut self, keys: &mut [K]) -> usize {
+        keys.iter().filter(|&&k| self.add(k)).count()
+    }
+
+    /// Removes every key in `keys`, returning how many removals this
+    /// handle won. Same reordering and amortization contract as
+    /// [`add_batch`](SetHandle::add_batch).
+    fn remove_batch(&mut self, keys: &mut [K]) -> usize {
+        keys.iter().filter(|&&k| self.remove(k)).count()
+    }
+
     /// Counters accumulated by this handle so far.
     fn stats(&self) -> OpStats;
 

@@ -323,6 +323,30 @@ impl<'s, K: ShardKey, B: ConcurrentOrderedSet<K>, const N: usize> ShardedSetHand
     pub fn cached_handles(&self) -> usize {
         self.handles.iter().filter(|h| h.is_some()).count()
     }
+
+    /// Sorts `keys` once and forwards each contiguous same-shard run to
+    /// `op` on that shard's handle (the monotone partition makes the
+    /// sorted batch split into per-shard runs), summing the successes —
+    /// one amortized backend traversal per *shard*, not per key.
+    fn batch_by_shard(
+        &mut self,
+        keys: &mut [K],
+        mut op: impl FnMut(&mut B::Handle<'s>, &mut [K]) -> usize,
+    ) -> usize {
+        keys.sort_unstable();
+        let mut n = 0;
+        let mut i = 0;
+        while i < keys.len() {
+            let s = shard_of(keys[i], N);
+            let mut j = i + 1;
+            while j < keys.len() && shard_of(keys[j], N) == s {
+                j += 1;
+            }
+            n += op(self.shard(s), &mut keys[i..j]);
+            i = j;
+        }
+        n
+    }
 }
 
 impl<'s, K: ShardKey, B: ConcurrentOrderedSet<K>, const N: usize> SetHandle<K>
@@ -338,6 +362,14 @@ impl<'s, K: ShardKey, B: ConcurrentOrderedSet<K>, const N: usize> SetHandle<K>
 
     fn contains(&mut self, key: K) -> bool {
         self.shard(shard_of(key, N)).contains(key)
+    }
+
+    fn add_batch(&mut self, keys: &mut [K]) -> usize {
+        self.batch_by_shard(keys, |h, run| h.add_batch(run))
+    }
+
+    fn remove_batch(&mut self, keys: &mut [K]) -> usize {
+        self.batch_by_shard(keys, |h, run| h.remove_batch(run))
     }
 
     fn stats(&self) -> OpStats {

@@ -56,13 +56,17 @@
 //! node.
 
 use std::marker::PhantomData;
+use std::sync::atomic::AtomicI64;
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
+use std::sync::Arc;
 
+use crate::hint::SearchHints;
 use crate::marked::{MarkedAtomic, MarkedPtr};
 use crate::ordered::{OrderedHandle, ScanBounds, Snapshot};
+use crate::prefetch::prefetch_read;
 use crate::reclaim::{ArenaReclaim, ListNode, Reclaimer};
 use crate::set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
-use crate::stats::OpStats;
+use crate::stats::{live_bump, CachePadded, LiveSlots, OpStats};
 use crate::Key;
 
 /// List node: `next` carries the deletion mark in its low bit.
@@ -127,35 +131,61 @@ pub struct SinglyList<
     const CURSOR: bool,
     const FETCH_OR: bool,
     R: Reclaimer = ArenaReclaim,
+    const HINTS: usize = 0,
 > {
     head: *mut Node<K>,
     tail: *mut Node<K>,
     reclaim: R::Shared<Node<K>>,
+    live: LiveSlots,
 }
 
 // SAFETY: all shared node state is accessed through atomics; the raw
 // head/tail pointers are immutable after construction; node lifetime is
 // governed by the reclaimer contract (see `crate::reclaim`), and `Drop`
 // requires exclusive access.
-unsafe impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer> Send
-    for SinglyList<K, MILD, CURSOR, FETCH_OR, R>
+unsafe impl<
+        K: Key,
+        const MILD: bool,
+        const CURSOR: bool,
+        const FETCH_OR: bool,
+        R: Reclaimer,
+        const HINTS: usize,
+    > Send for SinglyList<K, MILD, CURSOR, FETCH_OR, R, HINTS>
 {
 }
-unsafe impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer> Sync
-    for SinglyList<K, MILD, CURSOR, FETCH_OR, R>
+unsafe impl<
+        K: Key,
+        const MILD: bool,
+        const CURSOR: bool,
+        const FETCH_OR: bool,
+        R: Reclaimer,
+        const HINTS: usize,
+    > Sync for SinglyList<K, MILD, CURSOR, FETCH_OR, R, HINTS>
 {
 }
 
-impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer> Default
-    for SinglyList<K, MILD, CURSOR, FETCH_OR, R>
+impl<
+        K: Key,
+        const MILD: bool,
+        const CURSOR: bool,
+        const FETCH_OR: bool,
+        R: Reclaimer,
+        const HINTS: usize,
+    > Default for SinglyList<K, MILD, CURSOR, FETCH_OR, R, HINTS>
 {
     fn default() -> Self {
         <Self as ConcurrentOrderedSet<K>>::new()
     }
 }
 
-impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer>
-    SinglyList<K, MILD, CURSOR, FETCH_OR, R>
+impl<
+        K: Key,
+        const MILD: bool,
+        const CURSOR: bool,
+        const FETCH_OR: bool,
+        R: Reclaimer,
+        const HINTS: usize,
+    > SinglyList<K, MILD, CURSOR, FETCH_OR, R, HINTS>
 {
     fn alloc_sentinels() -> (*mut Node<K>, *mut Node<K>) {
         #[cfg(test)]
@@ -174,41 +204,14 @@ impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Recl
         (head, tail)
     }
 
-    /// Number of unmarked (live) items, counted by a racy traversal.
+    /// Number of live items: the O(1) sum of the per-handle cache-padded
+    /// add/remove counters (no traversal, no shared-memory writes).
     ///
-    /// Exact when quiescent; otherwise a consistent-at-some-instant
-    /// approximation. Sentinels are not counted.
+    /// Exact when quiescent; during concurrency, operations in flight
+    /// make it an estimate — the same contract the O(n) chain scan it
+    /// replaces had. Sentinels are not counted.
     pub fn len_approx(&self) -> usize {
-        let _pin = R::pin();
-        let mut n = 0;
-        if R::PROTECTS {
-            let mut thread = R::register(&self.reclaim);
-            // SAFETY: sentinels are never retired; the scan protects and
-            // validates every interior node before dereferencing it.
-            unsafe {
-                crate::reclaim::protected_scan::<K, Node<K>, R>(
-                    &thread,
-                    self.head,
-                    self.tail,
-                    &ScanBounds::from_range(&(..)),
-                    |_| n += 1,
-                );
-            }
-            R::unregister(&self.reclaim, &mut thread);
-            return n;
-        }
-        // SAFETY: nodes observed under the pin stay valid for its
-        // duration (arena nodes for the list lifetime).
-        unsafe {
-            let mut curr = (*self.head).next.load(Acquire).ptr();
-            while curr != self.tail {
-                if !(*curr).next.load(Acquire).is_marked() {
-                    n += 1;
-                }
-                curr = (*curr).next.load(Acquire).ptr();
-            }
-        }
-        n
+        self.live.sum()
     }
 
     /// Snapshot of the live keys in order. Requires `&mut self`, i.e. a
@@ -270,8 +273,14 @@ impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Recl
     }
 }
 
-impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer> Drop
-    for SinglyList<K, MILD, CURSOR, FETCH_OR, R>
+impl<
+        K: Key,
+        const MILD: bool,
+        const CURSOR: bool,
+        const FETCH_OR: bool,
+        R: Reclaimer,
+        const HINTS: usize,
+    > Drop for SinglyList<K, MILD, CURSOR, FETCH_OR, R, HINTS>
 {
     fn drop(&mut self) {
         // SAFETY: `&mut self` proves no handles are alive. STABLE
@@ -284,7 +293,7 @@ impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Recl
                 let mut curr = (*self.head).next.load(Relaxed).ptr();
                 while curr != self.tail {
                     let next = (*curr).next.load(Relaxed).ptr();
-                    drop(Box::from_raw(curr));
+                    R::free_owned(&self.reclaim, curr);
                     curr = next;
                 }
             }
@@ -295,18 +304,39 @@ impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Recl
     }
 }
 
-impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer>
-    ConcurrentOrderedSet<K> for SinglyList<K, MILD, CURSOR, FETCH_OR, R>
+impl<
+        K: Key,
+        const MILD: bool,
+        const CURSOR: bool,
+        const FETCH_OR: bool,
+        R: Reclaimer,
+        const HINTS: usize,
+    > ConcurrentOrderedSet<K> for SinglyList<K, MILD, CURSOR, FETCH_OR, R, HINTS>
 {
     type Handle<'a>
-        = SinglyHandle<'a, K, MILD, CURSOR, FETCH_OR, R>
+        = SinglyHandle<'a, K, MILD, CURSOR, FETCH_OR, R, HINTS>
     where
         Self: 'a;
 
     const NAME: &'static str = {
         use crate::reclaim::str_eq;
         if str_eq(R::NAME, "arena") {
-            if FETCH_OR {
+            if HINTS > 0 {
+                // The hinted extensions (search hints are inert off the
+                // arena scheme, so only arena instantiations get their
+                // own names).
+                if FETCH_OR {
+                    "singly_fetch_or_hint"
+                } else if MILD && CURSOR {
+                    "singly_hint"
+                } else if MILD {
+                    "singly_mild_hint"
+                } else if CURSOR {
+                    "cursor_only_hint"
+                } else {
+                    "draconic_hint"
+                }
+            } else if FETCH_OR {
                 "singly_fetch_or"
             } else if MILD && CURSOR {
                 "singly_cursor"
@@ -356,14 +386,17 @@ impl<K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Recl
             head,
             tail,
             reclaim: R::Shared::default(),
+            live: LiveSlots::default(),
         }
     }
 
-    fn handle(&self) -> SinglyHandle<'_, K, MILD, CURSOR, FETCH_OR, R> {
+    fn handle(&self) -> SinglyHandle<'_, K, MILD, CURSOR, FETCH_OR, R, HINTS> {
         SinglyHandle {
             list: self,
             cursor: self.head,
             spare: std::ptr::null_mut(),
+            hints: SearchHints::new(),
+            live: self.live.register(),
             thread: R::register(&self.reclaim),
             stats: OpStats::ZERO,
             _not_sync: PhantomData,
@@ -390,8 +423,9 @@ pub struct SinglyHandle<
     const CURSOR: bool,
     const FETCH_OR: bool,
     R: Reclaimer = ArenaReclaim,
+    const HINTS: usize = 0,
 > {
-    list: &'l SinglyList<K, MILD, CURSOR, FETCH_OR, R>,
+    list: &'l SinglyList<K, MILD, CURSOR, FETCH_OR, R, HINTS>,
     /// Last recorded `pred` position; persists across operations only
     /// for `CURSOR` variants under a `STABLE` reclaimer (reset to head
     /// at every public-operation entry otherwise), but always carries
@@ -401,13 +435,28 @@ pub struct SinglyHandle<
     /// Unpublished node kept for reuse across failed insert CASes (and
     /// across `add()` calls); exclusively ours until published.
     spare: *mut Node<K>,
+    /// Multi-position generalization of the cursor (see [`crate::hint`]);
+    /// consulted and refreshed only when `HINTS > 0` under a `STABLE`
+    /// reclaimer. Zero-sized for the paper variants (`HINTS = 0`).
+    hints: SearchHints<K, Node<K>, HINTS>,
+    /// This handle's cache-padded live-item counter slot (successful
+    /// adds minus removes); summing all slots is the O(1)
+    /// [`len_estimate`](OrderedHandle::len_estimate).
+    live: Arc<CachePadded<AtomicI64>>,
     thread: R::Thread<Node<K>>,
     stats: OpStats,
     _not_sync: PhantomData<std::cell::Cell<()>>,
 }
 
-impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer> Drop
-    for SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR, R>
+impl<
+        'l,
+        K: Key,
+        const MILD: bool,
+        const CURSOR: bool,
+        const FETCH_OR: bool,
+        R: Reclaimer,
+        const HINTS: usize,
+    > Drop for SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR, R, HINTS>
 {
     fn drop(&mut self) {
         if !self.spare.is_null() {
@@ -418,8 +467,15 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: 
     }
 }
 
-impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer>
-    SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR, R>
+impl<
+        'l,
+        K: Key,
+        const MILD: bool,
+        const CURSOR: bool,
+        const FETCH_OR: bool,
+        R: Reclaimer,
+        const HINTS: usize,
+    > SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR, R, HINTS>
 {
     /// Start-of-operation cursor policy: non-cursor variants forget the
     /// previous position, exactly distinguishing variant b) from d) —
@@ -446,6 +502,7 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: 
     fn search(&mut self, key: K) -> (*mut Node<K>, *mut Node<K>) {
         let head = self.list.head;
         let mut resume_ok = true;
+        let trav_at_entry = self.stats.trav;
         // SAFETY (whole body): the reclaimer contract — arena nodes are
         // stable for 'l; otherwise the operation's pin covers every node
         // observed during it, and for PROTECTS schemes each candidate is
@@ -453,18 +510,38 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: 
         unsafe {
             'retry: loop {
                 // Starting position. TEXTBOOK: always the head.
-                // Otherwise: the last recorded position, if it is still
-                // unmarked, strictly smaller than the sought key, and
-                // trustworthy under the reclaimer (see above).
-                let mut pred = if (!MILD && !CURSOR) || (!R::STABLE && !resume_ok) {
+                // Otherwise: the best of the last recorded position and
+                // the per-thread hints — whichever unmarked node with a
+                // strictly smaller key gets closest to the sought key —
+                // provided it is trustworthy under the reclaimer (see
+                // above). A marked candidate falls back to the next best
+                // and ultimately the head; stale hints are thereby
+                // filtered at every (re)start.
+                let mut pred = if !R::STABLE && !resume_ok {
                     head
                 } else {
-                    let c = self.cursor;
-                    if (*c).next.load(Acquire).is_marked() || key <= (*c).key {
-                        head
-                    } else {
-                        c
+                    let mut start = head;
+                    let mut start_key = K::NEG_INF;
+                    if MILD || CURSOR {
+                        let c = self.cursor;
+                        if !(*c).next.load(Acquire).is_marked() && key > (*c).key {
+                            start = c;
+                            start_key = (*c).key;
+                        }
                     }
+                    if HINTS > 0 && R::STABLE {
+                        for &(hk, hn) in self.hints.entries() {
+                            if !hn.is_null()
+                                && hk > start_key
+                                && hk < key
+                                && !(*hn).next.load(Acquire).is_marked()
+                            {
+                                start = hn;
+                                start_key = hk;
+                            }
+                        }
+                    }
+                    start
                 };
                 resume_ok = false;
                 let mut curr = (*pred).next.load(Acquire).ptr();
@@ -479,6 +556,9 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: 
                 }
                 loop {
                     let mut succ = (*curr).next.load(Acquire);
+                    // Overlap the next dependent load with the key
+                    // comparison below (no-op past the window's end).
+                    prefetch_read(succ.ptr());
                     // `curr` is marked: unlink it (helping), or handle the
                     // failed CAS per policy.
                     while succ.is_marked() {
@@ -533,6 +613,17 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: 
                     if key <= (*curr).key {
                         if MILD || CURSOR {
                             self.cursor = pred;
+                        }
+                        if HINTS > 0
+                            && R::STABLE
+                            && self.stats.trav - trav_at_entry
+                                >= crate::hint::HINT_RECORD_MIN_TRAVERSAL
+                        {
+                            // Record only after a long walk: short walks
+                            // mean the start was already well-hinted, and
+                            // recording them would evict useful slots
+                            // with near-duplicates (see `crate::hint`).
+                            self.hints.record((*pred).key, pred);
                         }
                         return (pred, curr);
                     }
@@ -594,6 +685,14 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: 
         debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
         let _pin = R::pin();
         self.begin_op();
+        self.add_pinned(key)
+    }
+
+    /// `add()` body minus the per-operation pin and cursor policy: the
+    /// batched insert amortizes both over a whole sorted batch (the pin
+    /// is held and the cursor stays trusted across the batch's items,
+    /// which a non-`STABLE` reclaimer permits *within* one pin).
+    fn add_pinned(&mut self, key: K) -> bool {
         loop {
             let (pred, curr) = self.search(key);
             // SAFETY: `pred`/`curr` per the search contract (stable,
@@ -613,6 +712,7 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: 
                     Ok(()) => {
                         self.spare = std::ptr::null_mut();
                         self.stats.adds += 1;
+                        live_bump(&self.live, 1);
                         return true;
                     }
                     Err(_) => {
@@ -631,6 +731,12 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: 
         debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
         let _pin = R::pin();
         self.begin_op();
+        self.remove_pinned(key)
+    }
+
+    /// `rem()` body minus the per-operation pin and cursor policy (see
+    /// [`add_pinned`](Self::add_pinned)).
+    fn remove_pinned(&mut self, key: K) -> bool {
         loop {
             let (pred, node) = self.search(key);
             // SAFETY: `pred`/`node` per the search contract.
@@ -701,6 +807,7 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: 
                     R::retire(&self.list.reclaim, &mut self.thread, node);
                 }
                 self.stats.rems += 1;
+                live_bump(&self.live, -1);
                 return true;
             }
         }
@@ -728,38 +835,62 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: 
         let head = self.list.head;
         // SAFETY: stable or pinned nodes; wait-free read-only traversal.
         unsafe {
-            // Cursor start: unlike the search function (which needs
-            // `pred.key < key` strictly), `con()` may start *at* a cursor
+            // Cursor/hint start: unlike the search function (which needs
+            // `pred.key < key` strictly), `con()` may start *at* a node
             // carrying the sought key itself — without this, Table 1's
             // "cons" column for the cursor variants (≈1 traversal per
             // operation) is unreachable for descending key sequences.
-            let start = if CURSOR && R::STABLE {
+            let mut start = head;
+            let mut start_key = K::NEG_INF;
+            if CURSOR && R::STABLE {
                 let c = self.cursor;
-                if (*c).next.load(Acquire).is_marked() || key < (*c).key {
-                    head
-                } else {
-                    c
+                if !(*c).next.load(Acquire).is_marked() && key >= (*c).key {
+                    start = c;
+                    start_key = (*c).key;
                 }
-            } else {
-                head
-            };
+            }
+            if HINTS > 0 && R::STABLE {
+                for &(hk, hn) in self.hints.entries() {
+                    if !hn.is_null()
+                        && hk > start_key
+                        && hk <= key
+                        && !(*hn).next.load(Acquire).is_marked()
+                    {
+                        start = hn;
+                        start_key = hk;
+                    }
+                }
+            }
             let mut pred = start;
             let mut curr = start;
+            let mut walked = 0u64;
             while (*curr).key < key {
                 pred = curr;
                 curr = (*curr).next.load(Acquire).ptr();
-                self.stats.cons += 1;
+                prefetch_read(curr);
+                walked += 1;
             }
+            self.stats.cons += walked;
             if CURSOR && R::STABLE {
                 self.cursor = pred;
+            }
+            if HINTS > 0 && R::STABLE && walked >= crate::hint::HINT_RECORD_MIN_TRAVERSAL {
+                self.hints.record((*pred).key, pred);
             }
             (*curr).key == key && !(*curr).next.load(Acquire).is_marked()
         }
     }
 }
 
-impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer>
-    SetHandle<K> for SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR, R>
+impl<
+        'l,
+        K: Key,
+        const MILD: bool,
+        const CURSOR: bool,
+        const FETCH_OR: bool,
+        R: Reclaimer,
+        const HINTS: usize,
+    > SetHandle<K> for SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR, R, HINTS>
 {
     #[inline]
     fn add(&mut self, key: K) -> bool {
@@ -776,6 +907,38 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: 
         self.contains_impl(key)
     }
 
+    fn add_batch(&mut self, keys: &mut [K]) -> usize {
+        // Sort once, then insert under a single pin with the cursor
+        // trusted across items: ascending keys make each search resume
+        // where the previous insert stopped — one amortized traversal
+        // for the whole batch instead of one per key.
+        keys.sort_unstable();
+        let _pin = R::pin();
+        self.begin_op();
+        let mut n = 0;
+        for &k in keys.iter() {
+            debug_assert!(k.is_valid_key(), "sentinel keys are reserved");
+            if self.add_pinned(k) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    fn remove_batch(&mut self, keys: &mut [K]) -> usize {
+        keys.sort_unstable();
+        let _pin = R::pin();
+        self.begin_op();
+        let mut n = 0;
+        for &k in keys.iter() {
+            debug_assert!(k.is_valid_key(), "sentinel keys are reserved");
+            if self.remove_pinned(k) {
+                n += 1;
+            }
+        }
+        n
+    }
+
     fn stats(&self) -> OpStats {
         self.stats
     }
@@ -785,8 +948,15 @@ impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: 
     }
 }
 
-impl<'l, K: Key, const MILD: bool, const CURSOR: bool, const FETCH_OR: bool, R: Reclaimer>
-    OrderedHandle<K> for SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR, R>
+impl<
+        'l,
+        K: Key,
+        const MILD: bool,
+        const CURSOR: bool,
+        const FETCH_OR: bool,
+        R: Reclaimer,
+        const HINTS: usize,
+    > OrderedHandle<K> for SinglyHandle<'l, K, MILD, CURSOR, FETCH_OR, R, HINTS>
 {
     fn range<Q: std::ops::RangeBounds<K>>(&mut self, range: Q) -> Snapshot<K> {
         let bounds = ScanBounds::from_range(&range);
@@ -1212,6 +1382,160 @@ mod tests {
         assert!(h.contains(1));
         assert!(h.remove(1));
         assert!(!h.contains(1));
+    }
+
+    #[test]
+    fn hints_cut_alternating_region_traversals() {
+        // The cursor remembers one position; hints remember eight. A
+        // workload alternating between distant hot regions thrashes the
+        // cursor (every jump restarts from the head) but keeps a hint
+        // parked in each region.
+        use crate::variants::SinglyHintedList;
+        let n = 2_000i64;
+        let regions = [n / 8, n / 2, 7 * n / 8];
+
+        fn alternating_cons<S: ConcurrentOrderedSet<i64>>(n: i64, regions: &[i64]) -> u64 {
+            let list = S::new();
+            let mut h = list.handle();
+            for k in 1..=n {
+                h.add(k);
+            }
+            let _ = h.take_stats();
+            for i in 0..600 {
+                let r = regions[i % regions.len()];
+                assert!(h.contains(r + (i % 5) as i64));
+            }
+            h.stats().cons
+        }
+
+        let hinted = alternating_cons::<SinglyHintedList<i64>>(n, &regions);
+        let cursor = alternating_cons::<SinglyCursorList<i64>>(n, &regions);
+        assert!(
+            hinted * 20 < cursor,
+            "hints should collapse alternating-region walks: hinted {hinted} vs cursor {cursor}"
+        );
+    }
+
+    #[test]
+    fn marked_hints_fall_back_and_stay_correct() {
+        // Park hints on nodes, then delete exactly those nodes: every
+        // later operation must reject the marked hints (falling back to
+        // the head) and still answer correctly.
+        use crate::variants::SinglyHintedList;
+        let list = SinglyHintedList::<i64>::new();
+        let mut h = list.handle();
+        for k in 1..=500 {
+            h.add(k);
+        }
+        // Touch spread-out keys so the hint slots fill with their preds.
+        for r in [60i64, 120, 180, 240, 300, 360, 420, 480] {
+            assert!(h.contains(r));
+        }
+        // Remove a band around every hinted position (marks the hinted
+        // nodes themselves before unlinking them).
+        for r in [60i64, 120, 180, 240, 300, 360, 420, 480] {
+            for k in (r - 3)..=(r + 3) {
+                assert!(h.remove(k));
+            }
+        }
+        // Correctness after the hints went stale.
+        for r in [60i64, 120, 180, 240, 300, 360, 420, 480] {
+            assert!(!h.contains(r), "removed key must stay gone");
+            assert!(h.contains(r + 10), "neighbours must stay present");
+            assert!(h.add(r), "re-adding over a dead hint must work");
+            assert!(h.contains(r));
+        }
+        drop(h);
+        let mut list = list;
+        list.validate().unwrap();
+    }
+
+    #[test]
+    fn hints_are_inert_under_epoch_reclamation() {
+        // A hinted instantiation under a non-STABLE reclaimer must keep
+        // the reset-per-op behaviour: hint pointers may not survive the
+        // operation that recorded them.
+        use crate::reclaim::EpochReclaim;
+        type HintedEpoch = SinglyList<i64, true, true, false, EpochReclaim, 8>;
+        let list = HintedEpoch::new();
+        let mut h = list.handle();
+        for k in 1..=100 {
+            h.add(k);
+        }
+        let _ = h.take_stats();
+        assert!(h.contains(99));
+        let after_first = h.stats().cons;
+        assert!(h.contains(100));
+        let after_second = h.stats().cons;
+        assert!(
+            after_second - after_first >= 99,
+            "epoch hints must not park across ops: {after_first} then {after_second}"
+        );
+    }
+
+    #[test]
+    fn batched_adds_cost_one_amortized_traversal() {
+        // The same shuffled key set (a fixed odd-multiplier permutation
+        // of 1..=2000), inserted as one sorted batch versus one by one:
+        // the batch pays one amortized traversal, the loop pays a
+        // random-position search per key.
+        let shuffled: Vec<i64> = (0..2_000i64).map(|i| (i * 1237) % 2_000 + 1).collect();
+        let wide = {
+            let list = SinglyCursorList::<i64>::new();
+            let mut h = list.handle();
+            let mut keys = shuffled.clone();
+            assert_eq!(h.add_batch(&mut keys), 2_000);
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "batch is sorted");
+            h.stats().trav
+        };
+        let narrow = {
+            let list = SinglyCursorList::<i64>::new();
+            let mut h = list.handle();
+            let n = shuffled.iter().filter(|&&k| h.add(k)).count();
+            assert_eq!(n, 2_000);
+            h.stats().trav
+        };
+        assert!(
+            wide * 10 < narrow,
+            "sorted batch should collapse traversal work: batch {wide} vs loop {narrow}"
+        );
+    }
+
+    #[test]
+    fn batch_results_match_per_key_semantics() {
+        let list = SinglyFetchOrList::<i64>::new();
+        let mut h = list.handle();
+        let mut keys = vec![5i64, 1, 5, 9, 1, 7];
+        assert_eq!(h.add_batch(&mut keys), 4, "duplicates count once");
+        assert_eq!(h.stats().adds, 4);
+        let mut rm = vec![9i64, 2, 5, 9];
+        assert_eq!(h.remove_batch(&mut rm), 2, "only present keys remove");
+        drop(h);
+        let mut list = list;
+        assert_eq!(list.to_vec(), vec![1, 7]);
+    }
+
+    #[test]
+    fn len_estimate_is_exact_when_quiescent_and_cheap() {
+        use crate::OrderedHandle;
+        let list = SinglyCursorList::<i64>::new();
+        let mut a = list.handle();
+        let mut b = list.handle();
+        for k in 0..500 {
+            if k % 2 == 0 {
+                a.add(k);
+            } else {
+                b.add(k);
+            }
+        }
+        for k in (0..500).step_by(5) {
+            a.remove(k);
+        }
+        assert_eq!(a.len_estimate(), 400);
+        // Counters survive handle drops (the slot keeps its residual).
+        drop(b);
+        assert_eq!(a.len_estimate(), 400);
+        assert_eq!(list.len_approx(), 400);
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Slab node storage: per-thread, cache-line-aligned chunk allocation
+//! with free-list recycling.
+//!
+//! The paper's cost model charges one allocation per successful insert;
+//! with a general-purpose allocator that is a `malloc` call per node and
+//! — worse for the traversal-bound workloads — nodes scattered across
+//! the heap, so a search walks one cache line per element. This module
+//! replaces per-node heap allocation for every [`Reclaimer`] scheme:
+//!
+//! * nodes are carved bump-style out of **chunks** (cache-line-aligned
+//!   blocks of [`CHUNK_BYTES`]), so consecutively allocated nodes are
+//!   contiguous and a traversal touches several nodes per line;
+//! * a per-thread **free list** hands slots back out without touching
+//!   the chunk cursor — the recycling path for schemes that can prove a
+//!   node unreachable ([`EpochReclaim`] after a grace period,
+//!   [`HazardReclaim`] after a scan);
+//! * the shared [`SlabPool`] owns every chunk (freed wholesale when the
+//!   owning structure's reclaimer state drops) and a spill-over free
+//!   list that unregistering threads flush into and new threads refill
+//!   from in batches, so the pool mutexes stay off the per-operation
+//!   path.
+//!
+//! The **arena** scheme deliberately does *not* recycle slots: its
+//! [`STABLE`](crate::reclaim::Reclaimer::STABLE) contract lets cursors,
+//! hints and backward pointers dangle into unlinked nodes, and reusing a
+//! slot under a live dangling reference would change the key another
+//! thread's traversal start is about to validate (Michael, IEEE TPDS
+//! 2004: safe reuse needs per-node protection). Arena nodes therefore
+//! only gain the bump-allocation locality; their slots return to the
+//! allocator at structure drop, exactly as before.
+//!
+//! # Ownership and teardown
+//!
+//! A slot handed out by [`LocalSlab::alloc`] holds a live `T` until
+//! someone calls [`std::ptr::drop_in_place`] on it (the reclaimers'
+//! retire/teardown paths); the backing *memory* is freed only when the
+//! owning [`SlabPool`] drops. Free-list entries are raw, content-free
+//! slots — pushing a slot whose `T` was not dropped first leaks the
+//! `T`'s resources (never its memory).
+//!
+//! [`Reclaimer`]: crate::reclaim::Reclaimer
+//! [`EpochReclaim`]: crate::reclaim::EpochReclaim
+//! [`HazardReclaim`]: crate::reclaim::HazardReclaim
+
+use std::alloc::Layout;
+use std::sync::Mutex;
+
+/// Bytes per chunk. One chunk amortizes one (rare) pool mutex
+/// acquisition over `CHUNK_BYTES / size_of::<T>()` node allocations.
+pub const CHUNK_BYTES: usize = 16 * 1024;
+
+/// Chunk alignment: the common cache-line size, so a chunk never shares
+/// a line with unrelated allocations and node offsets within a chunk
+/// are line-predictable.
+pub const CHUNK_ALIGN: usize = 64;
+
+/// Slots per chunk for a node type of `size` bytes.
+const fn chunk_slots(size: usize) -> usize {
+    match CHUNK_BYTES.checked_div(size) {
+        Some(0) | None => 1,
+        Some(n) => n,
+    }
+}
+
+/// How many free slots a thread pulls from the shared pool at once.
+const REFILL_BATCH: usize = 64;
+
+/// Shared slab state for one structure: chunk ownership plus the
+/// spill-over free list.
+///
+/// Per-thread allocation goes through a [`LocalSlab`]; the pool is only
+/// touched when a thread needs a fresh chunk, refills its free list, or
+/// flushes state at unregistration — never per node.
+pub struct SlabPool<T> {
+    /// Every chunk ever allocated for this pool, freed in `Drop`.
+    chunks: Mutex<Vec<(*mut u8, Layout)>>,
+    /// Recycled or never-used slots not currently cached by any thread.
+    free: Mutex<Vec<*mut T>>,
+}
+
+// SAFETY: the pool transports raw chunk/slot pointers behind mutexes;
+// the pointees' thread-safety is the caller's obligation (slots hold
+// `T: Send` node values managed by the reclaimer contract).
+unsafe impl<T: Send> Send for SlabPool<T> {}
+unsafe impl<T: Send> Sync for SlabPool<T> {}
+
+impl<T> Default for SlabPool<T> {
+    fn default() -> Self {
+        SlabPool {
+            chunks: Mutex::new(Vec::new()),
+            free: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<T> SlabPool<T> {
+    /// Allocates and registers a fresh chunk, returning its first slot
+    /// and the slot count.
+    fn grab_chunk(&self) -> (*mut T, usize) {
+        let slots = chunk_slots(std::mem::size_of::<T>());
+        let align = CHUNK_ALIGN.max(std::mem::align_of::<T>());
+        let layout = Layout::from_size_align(slots * std::mem::size_of::<T>().max(1), align)
+            .expect("slab chunk layout");
+        // SAFETY: layout has non-zero size (slots >= 1, size >= 1).
+        let raw = unsafe { std::alloc::alloc(layout) };
+        if raw.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        self.chunks.lock().unwrap().push((raw, layout));
+        (raw.cast::<T>(), slots)
+    }
+
+    /// Moves up to [`REFILL_BATCH`] pooled free slots into `out`;
+    /// `false` if the pool had none.
+    fn refill(&self, out: &mut Vec<*mut T>) -> bool {
+        let mut free = self.free.lock().unwrap();
+        if free.is_empty() {
+            return false;
+        }
+        let take = free.len().min(REFILL_BATCH);
+        let at = free.len() - take;
+        out.extend(free.drain(at..));
+        true
+    }
+
+    /// Accepts a thread's cached free slots (unregistration path).
+    fn give_free(&self, slots: &mut Vec<*mut T>) {
+        if slots.is_empty() {
+            return;
+        }
+        self.free.lock().unwrap().append(slots);
+    }
+
+    /// Returns one slot to the pool's free list.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be a slot of this pool whose `T` has already been
+    /// dropped in place, unreachable by any thread, and returned at most
+    /// once per allocation.
+    pub unsafe fn reclaim_slot(&self, ptr: *mut T) {
+        self.free.lock().unwrap().push(ptr);
+    }
+
+    /// Number of chunks allocated so far (diagnostic).
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.lock().unwrap().len()
+    }
+}
+
+impl<T> Drop for SlabPool<T> {
+    fn drop(&mut self) {
+        let chunks = std::mem::take(&mut *self.chunks.lock().unwrap());
+        for (raw, layout) in chunks {
+            // SAFETY: allocated by `grab_chunk` with this exact layout
+            // and never freed before (chunks are registered exactly
+            // once). Slot *contents* were dropped by the reclaimer's
+            // teardown paths; only the memory is released here.
+            unsafe { std::alloc::dealloc(raw, layout) };
+        }
+    }
+}
+
+/// Per-thread slab state: the bump cursor into the current chunk and
+/// the thread-local free list. All fast paths are unsynchronised.
+pub struct LocalSlab<T> {
+    /// Next never-used slot of the current chunk.
+    cur: *mut T,
+    /// Slots remaining after `cur`.
+    remaining: usize,
+    /// Recycled slots (each holds no live `T`).
+    free: Vec<*mut T>,
+}
+
+impl<T> Default for LocalSlab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> LocalSlab<T> {
+    /// A slab with no chunk yet (the first allocation grabs one).
+    pub fn new() -> Self {
+        LocalSlab {
+            cur: std::ptr::null_mut(),
+            remaining: 0,
+            free: Vec::new(),
+        }
+    }
+
+    /// Allocates a slot from (in order) the local free list, the shared
+    /// pool's free list, the current chunk, or a fresh chunk, and moves
+    /// `value` into it.
+    pub fn alloc(&mut self, pool: &SlabPool<T>, value: T) -> *mut T {
+        let slot = match self.free.pop() {
+            Some(p) => p,
+            None => {
+                if self.remaining == 0 && !pool.refill(&mut self.free) {
+                    let (start, n) = pool.grab_chunk();
+                    self.cur = start;
+                    self.remaining = n;
+                }
+                match self.free.pop() {
+                    Some(p) => p,
+                    None => {
+                        let p = self.cur;
+                        // SAFETY: `remaining > 0` slots follow `cur`
+                        // within one chunk allocation.
+                        self.cur = unsafe { self.cur.add(1) };
+                        self.remaining -= 1;
+                        p
+                    }
+                }
+            }
+        };
+        // SAFETY: `slot` is a properly aligned, exclusively-owned slab
+        // slot holding no live `T` (bump slots are fresh; free-list
+        // slots were dropped in place before being recycled).
+        unsafe { slot.write(value) };
+        slot
+    }
+
+    /// Caches a slot for reuse by this thread.
+    ///
+    /// # Safety
+    ///
+    /// As [`SlabPool::reclaim_slot`]: dropped in place, unreachable,
+    /// recycled at most once per allocation.
+    pub unsafe fn recycle(&mut self, ptr: *mut T) {
+        self.free.push(ptr);
+    }
+
+    /// Returns all cached state (free slots and the unused tail of the
+    /// current chunk) to the pool. Called at thread unregistration.
+    pub fn flush(&mut self, pool: &SlabPool<T>) {
+        while self.remaining > 0 {
+            self.free.push(self.cur);
+            // SAFETY: `remaining > 0` slots follow `cur` in the chunk.
+            self.cur = unsafe { self.cur.add(1) };
+            self.remaining -= 1;
+        }
+        pool.give_free(&mut self.free);
+    }
+
+    /// Number of slots currently cached by this thread (test support).
+    #[cfg(test)]
+    pub fn cached(&self) -> usize {
+        self.free.len() + self.remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocations_are_contiguous_and_aligned() {
+        let pool = SlabPool::<u64>::default();
+        let mut slab = LocalSlab::new();
+        let a = slab.alloc(&pool, 1);
+        let b = slab.alloc(&pool, 2);
+        let c = slab.alloc(&pool, 3);
+        assert_eq!(a as usize % CHUNK_ALIGN, 0, "chunk start is line-aligned");
+        assert_eq!(b as usize, a as usize + 8, "bump slots are contiguous");
+        assert_eq!(c as usize, b as usize + 8);
+        unsafe {
+            assert_eq!((*a, *b, *c), (1, 2, 3));
+            std::ptr::drop_in_place(a);
+            std::ptr::drop_in_place(b);
+            std::ptr::drop_in_place(c);
+        }
+        slab.flush(&pool);
+    }
+
+    #[test]
+    fn recycled_slots_are_reused_before_the_bump_cursor() {
+        let pool = SlabPool::<u64>::default();
+        let mut slab = LocalSlab::new();
+        let a = slab.alloc(&pool, 7);
+        unsafe {
+            std::ptr::drop_in_place(a);
+            slab.recycle(a);
+        }
+        let b = slab.alloc(&pool, 8);
+        assert_eq!(a, b, "the free list is consulted first");
+        unsafe { std::ptr::drop_in_place(b) };
+        slab.flush(&pool);
+    }
+
+    #[test]
+    fn flush_hands_slots_to_the_pool_and_refill_gets_them_back() {
+        let pool = SlabPool::<u64>::default();
+        let mut slab = LocalSlab::new();
+        let a = slab.alloc(&pool, 1);
+        unsafe {
+            std::ptr::drop_in_place(a);
+            slab.recycle(a);
+        }
+        let cached = slab.cached();
+        assert!(cached > 0);
+        slab.flush(&pool);
+        assert_eq!(slab.cached(), 0);
+        // A second thread's slab refills from the pool without
+        // allocating a new chunk.
+        let mut other = LocalSlab::new();
+        let _ = other.alloc(&pool, 9);
+        assert_eq!(pool.chunk_count(), 1, "refill avoided a second chunk");
+        other.flush(&pool);
+    }
+
+    #[test]
+    fn exhausting_a_chunk_grabs_another() {
+        let pool = SlabPool::<[u64; 64]>::default(); // 512 B per slot
+        let mut slab = LocalSlab::new();
+        let per_chunk = CHUNK_BYTES / std::mem::size_of::<[u64; 64]>();
+        for _ in 0..(per_chunk + 1) {
+            let p = slab.alloc(&pool, [0; 64]);
+            unsafe { std::ptr::drop_in_place(p) };
+        }
+        assert_eq!(pool.chunk_count(), 2);
+        slab.flush(&pool);
+    }
+
+    #[test]
+    fn concurrent_threads_share_one_pool() {
+        let pool = SlabPool::<u64>::default();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let pool = &pool;
+                s.spawn(move || {
+                    let mut slab = LocalSlab::new();
+                    let mut ptrs = Vec::new();
+                    for i in 0..1000 {
+                        ptrs.push(slab.alloc(pool, t * 1000 + i));
+                    }
+                    for (i, &p) in ptrs.iter().enumerate() {
+                        unsafe {
+                            assert_eq!(*p, t * 1000 + i as u64);
+                            std::ptr::drop_in_place(p);
+                            slab.recycle(p);
+                        }
+                    }
+                    slab.flush(pool);
+                });
+            }
+        });
+        assert!(pool.chunk_count() >= 1);
+    }
+}

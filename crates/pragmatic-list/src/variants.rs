@@ -37,7 +37,8 @@
 //!   paying a protect-and-validate fence per traversal step.
 
 use crate::doubly::DoublyList;
-use crate::reclaim::{EpochReclaim, HazardReclaim};
+use crate::hint::DEFAULT_HINT_SLOTS;
+use crate::reclaim::{ArenaReclaim, EpochReclaim, HazardReclaim};
 use crate::singly::SinglyList;
 
 /// a) The textbook ("draconic") lock-free ordered list.
@@ -93,6 +94,17 @@ pub type DoublyCursorEpochList<K> = DoublyList<K, true, true, EpochReclaim>;
 /// hazard slot and re-validates before dereferencing.
 pub type SinglyHpList<K> = SinglyList<K, true, false, false, HazardReclaim>;
 
+/// Hot-path extension: variant d) with [`DEFAULT_HINT_SLOTS`] per-thread
+/// search hints — the cursor generalized to several recent positions, so
+/// workloads alternating between hot regions start near the right one
+/// instead of at the head (see [`crate::hint`]). Arena-only semantics:
+/// under real reclamation the hints are inert.
+pub type SinglyHintedList<K> = SinglyList<K, true, true, false, ArenaReclaim, DEFAULT_HINT_SLOTS>;
+
+/// Hot-path extension: variant f) with per-thread search hints feeding
+/// the backward-pointer search its starting position.
+pub type DoublyHintedList<K> = DoublyList<K, true, true, ArenaReclaim, DEFAULT_HINT_SLOTS>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +148,21 @@ mod tests {
         assert_eq!(tape::<DoublyBackptrList<i64>>(), reference);
         assert_eq!(tape::<DoublyCursorList<i64>>(), reference);
         assert_eq!(tape::<DoublyCursorNoRepairList<i64>>(), reference);
+        assert_eq!(tape::<SinglyHintedList<i64>>(), reference);
+        assert_eq!(tape::<DoublyHintedList<i64>>(), reference);
+    }
+
+    /// The hinted extensions carry their own benchmark names.
+    #[test]
+    fn hinted_names() {
+        assert_eq!(
+            <SinglyHintedList<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            "singly_hint"
+        );
+        assert_eq!(
+            <DoublyHintedList<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            "doubly_hint"
+        );
     }
 
     /// The reclaimer parameter must not change observable set semantics:

@@ -38,6 +38,11 @@ use std::sync::Mutex;
 /// One registered participant. Leaked into the registry and reused as
 /// threads come and go; `active == 0` means unpinned, otherwise it holds
 /// `epoch_at_pin + 1`.
+///
+/// Aligned away from its neighbours: every pin/unpin stores to `active`,
+/// and slots allocated back-to-back would false-share those stores
+/// across all participating threads.
+#[repr(align(128))]
 struct Slot {
     active: AtomicUsize,
     in_use: AtomicUsize,
@@ -47,8 +52,39 @@ struct Slot {
 static EPOCH: AtomicUsize = AtomicUsize::new(0);
 /// All slots ever created (leaked; freed slots are recycled).
 static REGISTRY: Mutex<Vec<&'static Slot>> = Mutex::new(Vec::new());
-/// One retired allocation: (retirement epoch, untagged pointer, dropper).
-type Garbage = (usize, usize, unsafe fn(usize));
+
+/// A deferred destruction: either the classic free-a-`Box` pair or an
+/// arbitrary closure (upstream's `defer_unchecked`, used by slab
+/// recycling to return a slot to its pool instead of freeing it).
+enum Task {
+    /// (untagged pointer, dropper) — frees a `Box`.
+    DropBox(usize, unsafe fn(usize)),
+    /// Runs once when the grace period has passed.
+    Call(Box<dyn FnOnce() + Send>),
+    /// Allocation-free two-word deferred call (`defer_raw`): hot retire
+    /// paths avoid the `Box<dyn FnOnce>` of [`Task::Call`].
+    CallRaw(usize, usize, unsafe fn(usize, usize)),
+}
+
+impl Task {
+    /// Executes the deferred action.
+    ///
+    /// # Safety
+    ///
+    /// The grace-period argument of the scheme: no pinned thread from
+    /// before the retirement may still be active.
+    unsafe fn run(self) {
+        match self {
+            // SAFETY: forwarded contract of `defer_destroy`/`defer_raw`.
+            Task::DropBox(ptr, dropper) => unsafe { dropper(ptr) },
+            Task::Call(f) => f(),
+            Task::CallRaw(a, b, f) => unsafe { f(a, b) },
+        }
+    }
+}
+
+/// One retired item: (retirement epoch, deferred action).
+type Garbage = (usize, Task);
 /// Retired garbage awaiting two epoch advances.
 static GARBAGE: Mutex<Vec<Garbage>> = Mutex::new(Vec::new());
 /// Unpin events since the last collection attempt (coarse trigger).
@@ -120,19 +156,19 @@ fn collect() {
     let mut freeable = Vec::new();
     {
         let mut garbage = GARBAGE.lock().unwrap();
-        garbage.retain(|&(retired, ptr, dropper)| {
-            if retired + 2 <= now {
-                freeable.push((ptr, dropper));
-                false
+        let mut i = 0;
+        while i < garbage.len() {
+            if garbage[i].0 + 2 <= now {
+                freeable.push(garbage.swap_remove(i).1);
             } else {
-                true
+                i += 1;
             }
-        });
+        }
     }
-    for (ptr, dropper) in freeable {
-        // SAFETY: the pointer was retired ≥ 2 epochs ago, so no pinned
+    for task in freeable {
+        // SAFETY: the item was retired ≥ 2 epochs ago, so no pinned
         // thread can still reference it (see module docs).
-        unsafe { dropper(ptr) };
+        unsafe { task.run() };
     }
 }
 
@@ -205,10 +241,49 @@ impl Guard {
             drop_box::<T>(raw);
             return;
         }
+        self.defer_task(Task::DropBox(raw, drop_box::<T>));
+    }
+
+    /// Defers an arbitrary closure until the grace period has passed
+    /// (upstream's `defer_unchecked`). With an [`unprotected`] guard the
+    /// closure runs immediately.
+    ///
+    /// # Safety
+    ///
+    /// The closure must remain sound to run at any later time on any
+    /// thread — in particular, whatever it touches must stay alive until
+    /// it runs (capture owning handles, e.g. an `Arc`).
+    pub unsafe fn defer_unchecked<F: FnOnce() + Send + 'static>(&self, f: F) {
+        if !self.pinned {
+            f();
+            return;
+        }
+        self.defer_task(Task::Call(Box::new(f)));
+    }
+
+    /// Allocation-free variant of [`defer_unchecked`](Guard::defer_unchecked)
+    /// for hot retire paths: defers `f(a, b)` as three plain words. With
+    /// an [`unprotected`] guard, runs immediately.
+    ///
+    /// # Safety
+    ///
+    /// As [`defer_unchecked`](Guard::defer_unchecked): `f(a, b)` must be
+    /// sound to run at any later time on any thread, so `a`/`b` must
+    /// encode owned or otherwise kept-alive state.
+    pub unsafe fn defer_raw(&self, a: usize, b: usize, f: unsafe fn(usize, usize)) {
+        if !self.pinned {
+            // SAFETY: the caller vouches for exclusivity.
+            unsafe { f(a, b) };
+            return;
+        }
+        self.defer_task(Task::CallRaw(a, b, f));
+    }
+
+    fn defer_task(&self, task: Task) {
         let e = EPOCH.load(Ordering::SeqCst);
         let len = {
             let mut garbage = GARBAGE.lock().unwrap();
-            garbage.push((e, raw, drop_box::<T>));
+            garbage.push((e, task));
             garbage.len()
         };
         // Aggressive trigger when the backlog grows; the common trigger
@@ -615,6 +690,39 @@ mod tests {
         LOCAL.with(|l| assert_eq!(l.pin_depth.get(), 1));
         drop(b);
         LOCAL.with(|l| assert_eq!(l.pin_depth.get(), 0));
+    }
+
+    #[test]
+    fn defer_unchecked_runs_after_grace_period() {
+        use std::sync::Arc;
+        let _serial = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let ran = Arc::new(StdAtomicUsize::new(0));
+        {
+            let g = pin();
+            let r = Arc::clone(&ran);
+            unsafe {
+                g.defer_unchecked(move || {
+                    r.fetch_add(1, Ordering::SeqCst);
+                })
+            };
+            assert_eq!(ran.load(Ordering::SeqCst), 0, "pinned: not yet");
+        }
+        for _ in 0..10_000 {
+            if ran.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            collect();
+            std::thread::yield_now();
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        // Unprotected: immediate.
+        let ran2 = Arc::clone(&ran);
+        unsafe {
+            unprotected().defer_unchecked(move || {
+                ran2.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -8,9 +8,9 @@ use proptest::prelude::*;
 
 use pragmatic_list::sharded::{ShardedMap, ShardedSet};
 use pragmatic_list::variants::{
-    CursorOnlyList, DoublyBackptrList, DoublyCursorEpochList, DoublyCursorList, DraconicList,
-    SinglyCursorList, SinglyEpochList, SinglyFetchOrEpochList, SinglyFetchOrList, SinglyHpList,
-    SinglyMildList,
+    CursorOnlyList, DoublyBackptrList, DoublyCursorEpochList, DoublyCursorList, DoublyHintedList,
+    DraconicList, SinglyCursorList, SinglyEpochList, SinglyFetchOrEpochList, SinglyFetchOrList,
+    SinglyHintedList, SinglyHpList, SinglyMildList,
 };
 use pragmatic_list::{ConcurrentOrderedSet, EpochList, OrderedHandle, SetHandle};
 use seq_list::{DoublySeqList, SeqOrderedSet, SinglySeqList};
@@ -41,6 +41,86 @@ fn step_strategy(key_range: i64) -> impl Strategy<Value = Step> {
         1 => Step::Remove(k),
         _ => Step::Contains(k),
     })
+}
+
+/// One step of a batched operation tape.
+#[derive(Debug, Clone)]
+enum BatchStep {
+    AddBatch(Vec<i64>),
+    RemoveBatch(Vec<i64>),
+    Contains(i64),
+}
+
+fn batch_step_strategy(key_range: i64, max_width: usize) -> impl Strategy<Value = BatchStep> {
+    (
+        0..3,
+        proptest::collection::vec(1..=key_range, 0..max_width),
+        1..=key_range,
+    )
+        .prop_map(|(op, keys, k)| match op {
+            0 => BatchStep::AddBatch(keys),
+            1 => BatchStep::RemoveBatch(keys),
+            _ => BatchStep::Contains(k),
+        })
+}
+
+/// Applies a batched tape to backend `S` and a `BTreeSet` oracle.
+///
+/// Success *counts* are order-independent facts (the number of distinct
+/// new keys in an add batch; the number of present keys in a remove
+/// batch), so they check exactly even though the backend reorders each
+/// batch internally; final contents and invariants check exactly too.
+fn check_batches_against_btreeset<S: ConcurrentOrderedSet<i64>>(tape: &[BatchStep]) {
+    use std::collections::BTreeSet;
+    let list = S::new();
+    let mut h = list.handle();
+    let mut oracle = BTreeSet::new();
+    for (i, step) in tape.iter().enumerate() {
+        match step {
+            BatchStep::AddBatch(keys) => {
+                let want = {
+                    let mut o = 0;
+                    for &k in keys {
+                        if oracle.insert(k) {
+                            o += 1;
+                        }
+                    }
+                    o
+                };
+                let mut batch = keys.clone();
+                let got = h.add_batch(&mut batch);
+                assert_eq!(got, want, "{}: step {i} add_batch({keys:?})", S::NAME);
+            }
+            BatchStep::RemoveBatch(keys) => {
+                let want = {
+                    let mut o = 0;
+                    for &k in keys {
+                        if oracle.remove(&k) {
+                            o += 1;
+                        }
+                    }
+                    o
+                };
+                let mut batch = keys.clone();
+                let got = h.remove_batch(&mut batch);
+                assert_eq!(got, want, "{}: step {i} remove_batch({keys:?})", S::NAME);
+            }
+            BatchStep::Contains(k) => {
+                assert_eq!(
+                    h.contains(*k),
+                    oracle.contains(k),
+                    "{}: step {i} contains({k})",
+                    S::NAME
+                );
+            }
+        }
+    }
+    drop(h);
+    let mut list = list;
+    let want: Vec<i64> = oracle.into_iter().collect();
+    assert_eq!(list.collect_keys(), want, "{}: final contents", S::NAME);
+    list.check_invariants()
+        .unwrap_or_else(|e| panic!("{}: invariant violated: {e}", S::NAME));
 }
 
 /// Applies the tape to a concurrent variant (one handle) and the singly
@@ -419,6 +499,45 @@ proptest! {
     #[test]
     fn skiplist_matches_oracle(tape in proptest::collection::vec(step_strategy(32), 1..400)) {
         check_against_oracle::<lockfree_skiplist::SkipListSet<i64>>(&tape);
+    }
+
+    /// The hinted extensions replay arbitrary tapes like every other
+    /// variant — hint staleness (marked hinted nodes) is on every
+    /// remove-heavy tape's path.
+    #[test]
+    fn hinted_variants_match_oracle(tape in proptest::collection::vec(step_strategy(32), 1..400)) {
+        check_against_oracle::<SinglyHintedList<i64>>(&tape);
+        check_against_oracle::<DoublyHintedList<i64>>(&tape);
+    }
+
+    /// Batched sorted operations against the `BTreeSet` oracle: success
+    /// counts, final contents and invariants, across the trait-default
+    /// loop (skiplist), the single-traversal lists (hinted and plain,
+    /// all three reclaimers), and the per-shard splitter.
+    #[test]
+    fn batch_ops_match_btreeset(tape in proptest::collection::vec(batch_step_strategy(48, 12), 1..80)) {
+        check_batches_against_btreeset::<SinglyCursorList<i64>>(&tape);
+        check_batches_against_btreeset::<SinglyHintedList<i64>>(&tape);
+        check_batches_against_btreeset::<DoublyHintedList<i64>>(&tape);
+        check_batches_against_btreeset::<SinglyEpochList<i64>>(&tape);
+        check_batches_against_btreeset::<SinglyHpList<i64>>(&tape);
+        check_batches_against_btreeset::<lockfree_skiplist::SkipListSet<i64>>(&tape);
+    }
+
+    /// Batched ops through the sharded router, keys spread across
+    /// shards so the sorted batch splits into several per-shard runs.
+    #[test]
+    fn sharded_batch_ops_match_btreeset(tape in proptest::collection::vec(batch_step_strategy(64, 16), 1..60)) {
+        let spread_tape: Vec<BatchStep> = tape
+            .iter()
+            .map(|s| match s {
+                BatchStep::AddBatch(ks) => BatchStep::AddBatch(ks.iter().map(|&k| spread(k)).collect()),
+                BatchStep::RemoveBatch(ks) => BatchStep::RemoveBatch(ks.iter().map(|&k| spread(k)).collect()),
+                BatchStep::Contains(k) => BatchStep::Contains(spread(*k)),
+            })
+            .collect();
+        check_batches_against_btreeset::<ShardedSingly8>(&spread_tape);
+        check_batches_against_btreeset::<ShardedSkiplist8>(&spread_tape);
     }
 
     /// Sharded backends replay arbitrary tapes identically to the

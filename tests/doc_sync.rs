@@ -29,7 +29,9 @@ fn readme_lists_every_variant_key() {
 #[test]
 fn readme_documents_every_parse_group_name() {
     let readme = read_doc("README.md");
-    for group in ["all", "paper", "sparc", "figures", "reclaim", "sharded"] {
+    for group in [
+        "all", "paper", "sparc", "figures", "reclaim", "sharded", "hotpath",
+    ] {
         assert!(
             Variant::parse_group(group).is_some(),
             "group {group} disappeared from Variant::parse_group — update this test"

@@ -187,6 +187,89 @@ fn variant_parse_covers_cli_surface() {
 }
 
 #[test]
+fn bench_json_schema_round_trips_through_the_emitter() {
+    // The CI perf-smoke job validates emitted BENCH_*.json against this
+    // same check; here the emitter and validator are exercised over a
+    // real experiment run end to end.
+    let cfg = bench_harness::BatchMixConfig {
+        threads: 2,
+        batches_per_thread: 50,
+        batch_width: 16,
+        prefill: 200,
+        key_range: 2_000,
+        mix: OpMix::UPDATE_HEAVY,
+        seed: 3,
+    };
+    let rows: Vec<report::BenchJsonRow> = [Variant::SinglyCursor, Variant::SinglyHinted]
+        .into_iter()
+        .map(|v| report::BenchJsonRow::plain(v.run(&cfg)))
+        .collect();
+    let doc = report::bench_json("batch", &rows);
+    assert_eq!(
+        report::validate_bench_json(&doc).expect("emitted document validates"),
+        2
+    );
+    for key in report::BENCH_JSON_ROW_KEYS {
+        assert!(doc.contains(&format!("\"{key}\"")), "missing {key}");
+    }
+    assert!(doc.contains("\"variant\": \"singly_hint\""));
+}
+
+#[test]
+fn mini_batch_shape_wide_batches_do_less_list_work() {
+    // The batch experiment's headline: same key count, wider batches,
+    // less traversal work through the sorted single-traversal path.
+    let narrow = bench_harness::BatchMixConfig {
+        threads: 2,
+        batches_per_thread: 3_200,
+        batch_width: 1,
+        prefill: 500,
+        key_range: 5_000,
+        mix: OpMix::UPDATE_HEAVY,
+        seed: 9,
+    };
+    let wide = bench_harness::BatchMixConfig {
+        batches_per_thread: 100,
+        batch_width: 32,
+        ..narrow
+    };
+    let a = Variant::SinglyCursor.run(&narrow);
+    let b = Variant::SinglyCursor.run(&wide);
+    assert_eq!(a.total_ops, b.total_ops);
+    assert!(
+        b.stats.trav * 2 < a.stats.trav,
+        "width 32 should cut traversals well below half: {} vs {}",
+        b.stats.trav,
+        a.stats.trav
+    );
+}
+
+#[test]
+fn mini_hint_shape_hints_cut_uniform_traversals() {
+    // The hinted variant's headline: on the uniform mix (long walks),
+    // eight hints act as fingers into the list.
+    let cfg = bench_harness::ZipfianMixConfig {
+        threads: 2,
+        ops_per_thread: 5_000,
+        prefill: 1_000,
+        key_range: 10_000,
+        mix: bench_harness::OpMix::READ_HEAVY,
+        seed: 11,
+        theta: 0.0,
+        scramble: false,
+    };
+    let plain = Variant::SinglyCursor.run(&cfg);
+    let hinted = Variant::SinglyHinted.run(&cfg);
+    assert_eq!(plain.total_ops, hinted.total_ops);
+    assert!(
+        hinted.stats.total_traversals() * 2 < plain.stats.total_traversals(),
+        "hints should cut uniform-mix list work below half: {} vs {}",
+        hinted.stats.total_traversals(),
+        plain.stats.total_traversals()
+    );
+}
+
+#[test]
 fn mini_zipf_shape_sharding_cuts_list_work() {
     // The sharding headline: under the Zipfian mix, 8-way partitioning
     // divides the per-operation traversal work by roughly the shard

@@ -93,6 +93,19 @@ fn singly_cursor_is_linearizable() {
 }
 
 #[test]
+fn singly_hint_is_linearizable() {
+    // The hint fast path must not change linearizability: searches
+    // starting from stale multi-position hints still produce
+    // linearizable histories.
+    assert_variant_linearizable::<pragmatic_list::variants::SinglyHintedList<i64>>();
+}
+
+#[test]
+fn doubly_hint_is_linearizable() {
+    assert_variant_linearizable::<pragmatic_list::variants::DoublyHintedList<i64>>();
+}
+
+#[test]
 fn singly_fetch_or_is_linearizable() {
     assert_variant_linearizable::<SinglyFetchOrList<i64>>();
 }

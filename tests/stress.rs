@@ -7,8 +7,8 @@
 //! insert or double remove breaks it.
 
 use pragmatic_list::variants::{
-    DoublyBackptrList, DoublyCursorList, DraconicList, SinglyCursorList, SinglyFetchOrList,
-    SinglyMildList,
+    DoublyBackptrList, DoublyCursorList, DoublyHintedList, DraconicList, SinglyCursorList,
+    SinglyFetchOrList, SinglyHintedList, SinglyMildList,
 };
 use pragmatic_list::{ConcurrentOrderedSet, EpochList, OpStats, SetHandle};
 
@@ -101,6 +101,75 @@ fn stress_singly_fetch_or_epoch() {
 #[test]
 fn stress_doubly_cursor_epoch() {
     mixed_stress::<pragmatic_list::variants::DoublyCursorEpochList<i64>>(8, 3_000, 64);
+}
+
+#[test]
+fn stress_singly_hint() {
+    // Hint correctness under concurrent churn: other threads constantly
+    // mark and unlink nodes this thread's hints point at, so every
+    // search exercises the marked-hint fallback path.
+    mixed_stress::<SinglyHintedList<i64>>(8, 4_000, 512);
+}
+
+#[test]
+fn stress_doubly_hint() {
+    mixed_stress::<DoublyHintedList<i64>>(8, 4_000, 512);
+}
+
+#[test]
+fn stress_hinted_tiny_keyspace_maximum_contention() {
+    // Every hinted node is marked and re-added over and over; hints are
+    // nearly always stale at selection time.
+    mixed_stress::<SinglyHintedList<i64>>(8, 6_000, 8);
+}
+
+#[test]
+fn stress_batched_ops_accounting_balances() {
+    // Concurrent batched adds/removes: successful adds − removes must
+    // equal the live count, across backends with optimized batch paths.
+    fn run<S: ConcurrentOrderedSet<i64>>(threads: usize, batches: u64, width: usize) {
+        let list = S::new();
+        let totals: OpStats = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..threads)
+                .map(|t| {
+                    let list = &list;
+                    s.spawn(move || {
+                        let mut h = list.handle();
+                        let mut rng = glibc_rand::GlibcRandom::new(glibc_rand::thread_seed(7, t));
+                        let mut batch = vec![0i64; width];
+                        for _ in 0..batches {
+                            for slot in batch.iter_mut() {
+                                *slot = rng.below(256) as i64 + 1;
+                            }
+                            if rng.below(2) == 0 {
+                                h.add_batch(&mut batch);
+                            } else {
+                                h.remove_batch(&mut batch);
+                            }
+                        }
+                        h.take_stats()
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).sum()
+        });
+        let mut list = list;
+        list.check_invariants()
+            .unwrap_or_else(|e| panic!("{}: {e}", S::NAME));
+        let live = list.collect_keys().len() as u64;
+        assert_eq!(
+            totals.adds - totals.rems,
+            live,
+            "{}: batched adds − removes must equal live keys",
+            S::NAME
+        );
+    }
+    run::<SinglyCursorList<i64>>(8, 150, 24);
+    run::<SinglyHintedList<i64>>(8, 150, 24);
+    run::<DoublyHintedList<i64>>(8, 150, 24);
+    run::<pragmatic_list::variants::SinglyEpochList<i64>>(8, 150, 24);
+    run::<pragmatic_list::variants::SinglyHpList<i64>>(8, 150, 24);
+    run::<pragmatic_list::sharded::ShardedSet<i64, SinglyCursorList<i64>, 8>>(8, 150, 24);
 }
 
 #[test]
