@@ -29,6 +29,7 @@ pub mod batch;
 pub mod config;
 pub mod deterministic;
 pub mod latency;
+pub mod phased;
 pub mod presets;
 pub mod private;
 pub mod random_mix;
@@ -41,6 +42,7 @@ pub mod zipfian;
 
 pub use batch::BatchMixConfig;
 pub use config::{DeterministicConfig, KeyPattern, OpMix, RandomMixConfig};
+pub use phased::{Phase, PhasedConfig, PhasedResult};
 pub use pragmatic_list::OpStats;
 pub use presets::{Experiment, Scale, WorkloadSpec};
 pub use result::RunResult;

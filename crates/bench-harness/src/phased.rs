@@ -1,0 +1,388 @@
+//! The phased (time-varying) workload engine — traffic whose *shape*
+//! changes while the structure serves it.
+//!
+//! Every other driver in this crate holds its distribution fixed for the
+//! whole run, so a structure that adapts online (the elastic sharded
+//! sets) can never show its worth: the interesting regime is a hotspot
+//! that **drifts** across the keyspace, skew that ramps up and down,
+//! bursts of writes, and operation mixes that flip — the phase
+//! transitions of real traffic. [`PhasedConfig`] sequences any number of
+//! [`Phase`]s over one live structure: a single prefill, then each phase
+//! runs the Zipfian mix with its own op count, mix, skew θ and —
+//! crucially — its own **hotspot offset**, which rotates the rank→key
+//! mapping so the hot ranks land at a different point of the keyspace
+//! each phase.
+//!
+//! Threads advance through phases in lockstep (a barrier per phase
+//! boundary), so "the hotspot moved" is a global event, as it is for a
+//! server's traffic; per-phase wall time and counters are recorded
+//! separately, and the aggregate is what a run reports through the
+//! [`Workload`](crate::workload::Workload) impl.
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use glibc_rand::{thread_seed, GlibcRandom, Zipfian};
+use pragmatic_list::{ConcurrentOrderedSet, OpStats, SetHandle};
+
+use crate::config::OpMix;
+use crate::result::RunResult;
+use crate::zipfian::ZipfianMixConfig;
+
+/// One phase of a time-varying workload: a Zipfian operation mix with
+/// its own length, skew, mix and hotspot placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Operations each thread performs in this phase.
+    pub ops_per_thread: u64,
+    /// Operation mix of this phase (mix flips between phases model
+    /// read-mostly traffic interrupted by write bursts).
+    pub mix: OpMix,
+    /// Zipfian skew θ ∈ [0, 1) of this phase (θ ramps model congestion
+    /// building and dissolving).
+    pub theta: f64,
+    /// Hotspot position in `[0, 1)`: the fraction of the keyspace the
+    /// hottest rank is rotated to. Varying it phase-to-phase drives the
+    /// hotspot across the shards of a range-partitioned backend.
+    pub hotspot: f64,
+    /// `true` hashes ranks across the keyspace (hot set spread out);
+    /// `false` keeps hot ranks adjacent — the drifting-bottleneck case.
+    pub scramble: bool,
+}
+
+/// A sequence of [`Phase`]s over one prefilled structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedConfig {
+    /// Number of worker threads (`p`).
+    pub threads: usize,
+    /// Distinct keys inserted before the first phase (`f`).
+    pub prefill: u64,
+    /// Exclusive upper bound of the rank space (`U`), shared by all
+    /// phases.
+    pub key_range: u32,
+    /// Base seed; thread `t` uses `glibc_rand::thread_seed(seed, t)`.
+    pub seed: u64,
+    /// The phases, run in order.
+    pub phases: Vec<Phase>,
+}
+
+impl PhasedConfig {
+    /// Total operations across all phases and threads.
+    pub fn total_ops(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.ops_per_thread * self.threads as u64)
+            .sum()
+    }
+
+    /// The key for Zipfian rank `rank` under `phase`'s placement: the
+    /// rank is rotated by the phase's hotspot offset (mod `U`), then
+    /// mapped exactly like [`ZipfianMixConfig::key_of_rank`] — so at
+    /// `hotspot` 0 a phase reproduces the static Zipfian mix bit for
+    /// bit, and a later phase puts the same hot mass elsewhere.
+    #[inline]
+    pub fn key_of(&self, phase: &Phase, rank: u64) -> i64 {
+        let u = self.key_range as u64;
+        let offset = ((phase.hotspot * u as f64) as u64).min(u.saturating_sub(1));
+        self.placement(phase).key_of_rank((rank + offset) % u)
+    }
+
+    /// The static-mix config a phase's placement delegates to.
+    fn placement(&self, phase: &Phase) -> ZipfianMixConfig {
+        ZipfianMixConfig {
+            threads: self.threads,
+            ops_per_thread: 0,
+            prefill: self.prefill,
+            key_range: self.key_range,
+            mix: phase.mix,
+            seed: self.seed,
+            theta: phase.theta,
+            scramble: phase.scramble,
+        }
+    }
+}
+
+/// The per-phase and aggregate outcome of one phased run.
+#[derive(Debug, Clone)]
+pub struct PhasedResult {
+    /// One [`RunResult`] per phase, in phase order.
+    pub phases: Vec<RunResult>,
+    /// The whole run: summed ops, counters and wall time.
+    pub total: RunResult,
+}
+
+/// Prefills `list` with `cfg.prefill` distinct keys, hottest ranks of
+/// the *first* phase first (with linear probing past hash collisions,
+/// as the static Zipfian prefill).
+fn prefill<S: ConcurrentOrderedSet<i64>>(list: &S, cfg: &PhasedConfig) {
+    assert!(
+        (cfg.prefill as u128) <= cfg.key_range as u128,
+        "cannot prefill {} distinct keys from a range of {}",
+        cfg.prefill,
+        cfg.key_range
+    );
+    let first = &cfg.phases[0];
+    let mut h = list.handle();
+    let mut inserted = 0;
+    let mut rank = 0u64;
+    while inserted < cfg.prefill {
+        let key = if rank < cfg.key_range as u64 {
+            cfg.key_of(first, rank)
+        } else {
+            (rank - cfg.key_range as u64) as i64
+        };
+        rank += 1;
+        if h.add(key) {
+            inserted += 1;
+        }
+    }
+}
+
+/// Runs the phased workload on a fresh instance of list variant `S`.
+pub fn run<S: ConcurrentOrderedSet<i64>>(cfg: &PhasedConfig) -> PhasedResult {
+    let list = S::new();
+    run_prebuilt(&list, cfg)
+}
+
+/// Runs the phased workload on `list` (assumed empty: the prefill runs
+/// here). Exposed so ablations can construct the structure themselves —
+/// e.g. an elastic set under a non-default
+/// [`LoadPolicy`](pragmatic_list::LoadPolicy) — and still use this
+/// driver.
+pub fn run_prebuilt<S: ConcurrentOrderedSet<i64>>(list: &S, cfg: &PhasedConfig) -> PhasedResult {
+    assert!(cfg.threads > 0, "at least one thread");
+    assert!(!cfg.phases.is_empty(), "at least one phase");
+    for p in &cfg.phases {
+        assert!(p.mix.is_valid(), "phase mix must sum to 100");
+        assert!((0.0..1.0).contains(&p.theta), "phase θ must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p.hotspot),
+            "phase hotspot must be in [0, 1)"
+        );
+    }
+    assert!(cfg.key_range > 0);
+    prefill(list, cfg);
+    // One sampler per phase (construction is O(U); sampling stateless).
+    let samplers: Vec<Zipfian> = cfg
+        .phases
+        .iter()
+        .map(|p| Zipfian::new(cfg.key_range as u64, p.theta))
+        .collect();
+
+    let barrier = Barrier::new(cfg.threads + 1);
+    let (walls, stats) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let list = &list;
+                let barrier = &barrier;
+                let samplers = &samplers;
+                let cfg = &cfg;
+                scope.spawn(move || {
+                    let mut h = list.handle();
+                    let mut rng = GlibcRandom::new(thread_seed(cfg.seed, t));
+                    let mut per_phase: Vec<OpStats> = Vec::with_capacity(cfg.phases.len());
+                    for (pi, phase) in cfg.phases.iter().enumerate() {
+                        barrier.wait(); // phase start
+                        let zipf = &samplers[pi];
+                        let add_bound = phase.mix.add;
+                        let rem_bound = phase.mix.add + phase.mix.remove;
+                        for _ in 0..phase.ops_per_thread {
+                            let op = rng.below(100);
+                            let key = cfg.key_of(phase, zipf.sample(&mut rng));
+                            if op < add_bound {
+                                h.add(key);
+                            } else if op < rem_bound {
+                                h.remove(key);
+                            } else {
+                                h.contains(key);
+                            }
+                        }
+                        barrier.wait(); // phase end
+                        per_phase.push(h.take_stats());
+                    }
+                    per_phase
+                })
+            })
+            .collect();
+        let mut walls: Vec<Duration> = Vec::with_capacity(cfg.phases.len());
+        for _ in &cfg.phases {
+            barrier.wait();
+            let start = Instant::now();
+            barrier.wait();
+            walls.push(start.elapsed());
+        }
+        let per_thread: Vec<Vec<OpStats>> =
+            workers.into_iter().map(|w| w.join().unwrap()).collect();
+        let stats: Vec<OpStats> = (0..cfg.phases.len())
+            .map(|pi| per_thread.iter().map(|v| v[pi]).sum())
+            .collect();
+        (walls, stats)
+    });
+
+    let phases: Vec<RunResult> = cfg
+        .phases
+        .iter()
+        .zip(walls.iter().zip(stats.iter()))
+        .map(|(phase, (&wall, &stats))| RunResult {
+            variant: S::NAME.to_string(),
+            wall,
+            total_ops: phase.ops_per_thread * cfg.threads as u64,
+            stats,
+            threads: cfg.threads,
+        })
+        .collect();
+    let total = RunResult {
+        variant: S::NAME.to_string(),
+        wall: walls.iter().sum(),
+        total_ops: cfg.total_ops(),
+        stats: stats.iter().copied().sum(),
+        threads: cfg.threads,
+    };
+    PhasedResult { phases, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pragmatic_list::elastic::{ElasticSet, LoadPolicy};
+    use pragmatic_list::sharded::{shard_of, ShardedSet};
+    use pragmatic_list::variants::SinglyCursorList;
+
+    fn phase(hotspot: f64, theta: f64, ops: u64) -> Phase {
+        Phase {
+            ops_per_thread: ops,
+            mix: OpMix::READ_HEAVY,
+            theta,
+            hotspot,
+            scramble: false,
+        }
+    }
+
+    fn cfg(threads: usize, phases: Vec<Phase>) -> PhasedConfig {
+        PhasedConfig {
+            threads,
+            prefill: 400,
+            key_range: 2_000,
+            seed: 42,
+            phases,
+        }
+    }
+
+    #[test]
+    fn runs_all_phases_and_aggregates() {
+        let c = cfg(2, vec![phase(0.0, 0.9, 800), phase(0.5, 0.5, 400)]);
+        let r = run::<SinglyCursorList<i64>>(&c);
+        assert_eq!(r.phases.len(), 2);
+        assert_eq!(r.phases[0].total_ops, 1_600);
+        assert_eq!(r.phases[1].total_ops, 800);
+        assert_eq!(r.total.total_ops, c.total_ops());
+        assert_eq!(
+            r.total.stats,
+            r.phases.iter().map(|p| p.stats).sum(),
+            "aggregate counters are the per-phase sum"
+        );
+        assert_eq!(r.total.variant, "singly_cursor");
+    }
+
+    #[test]
+    fn single_thread_same_seed_is_reproducible() {
+        let c = cfg(1, vec![phase(0.0, 0.99, 1_000), phase(0.7, 0.9, 1_000)]);
+        let a = run::<SinglyCursorList<i64>>(&c);
+        let b = run::<SinglyCursorList<i64>>(&c);
+        assert_eq!(a.total.stats, b.total.stats);
+        for (x, y) in a.phases.iter().zip(b.phases.iter()) {
+            assert_eq!(x.stats, y.stats);
+        }
+    }
+
+    #[test]
+    fn hotspot_zero_matches_the_static_zipfian_placement() {
+        let c = cfg(1, vec![phase(0.0, 0.9, 1)]);
+        let z = ZipfianMixConfig {
+            threads: 1,
+            ops_per_thread: 1,
+            prefill: 400,
+            key_range: 2_000,
+            mix: OpMix::READ_HEAVY,
+            seed: 42,
+            theta: 0.9,
+            scramble: false,
+        };
+        for rank in [0u64, 1, 7, 500, 1_999] {
+            assert_eq!(c.key_of(&c.phases[0], rank), z.key_of_rank(rank));
+        }
+    }
+
+    #[test]
+    fn hotspot_offset_moves_the_hot_ranks_across_shards() {
+        // Clustered placement: the hottest ranks of hotspot 0 land in
+        // the lowest shard; at hotspot 0.5 they land mid-keyspace.
+        let c = cfg(1, vec![phase(0.0, 0.99, 1), phase(0.5, 0.99, 1)]);
+        let early = c.key_of(&c.phases[0], 0);
+        let late = c.key_of(&c.phases[1], 0);
+        assert_eq!(shard_of(early, 8), 0, "hotspot 0 → lowest shard");
+        let mid = shard_of(late, 8);
+        assert!(
+            (3..=4).contains(&mid),
+            "hotspot 0.5 → middle shard, got {mid}"
+        );
+        // Rotation is mod U: adjacent hot ranks stay adjacent keys.
+        assert!(c.key_of(&c.phases[1], 0) < c.key_of(&c.phases[1], 1));
+    }
+
+    #[test]
+    fn drift_triggers_elastic_migrations() {
+        // The end-to-end claim of the subsystem: a drifting hotspot
+        // makes the elastic set split, without any forced migration.
+        let c = PhasedConfig {
+            threads: 2,
+            prefill: 1_000,
+            key_range: 4_000,
+            seed: 7,
+            phases: (0..5).map(|i| phase(i as f64 * 0.2, 0.9, 4_000)).collect(),
+        };
+        let set = ElasticSet::<i64, SinglyCursorList<i64>>::with_policy(LoadPolicy {
+            check_period: 256,
+            window_min_ops: 1_024,
+            min_split_keys: 8,
+            ..LoadPolicy::default()
+        });
+        let r = run_prebuilt(&set, &c);
+        assert_eq!(r.total.total_ops, c.total_ops());
+        assert!(
+            set.splits() > 0,
+            "drifting hotspot must trip the load monitor"
+        );
+        assert!(set.shard_count() > 1);
+        let mut set = set;
+        set.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn elastic_tracks_static_correctness_under_drift() {
+        // Same phased tape (single-threaded ⇒ deterministic op stream):
+        // the elastic and static sharded sets must agree on the final
+        // contents even though the elastic one migrated along the way.
+        let c = cfg(1, vec![phase(0.0, 0.9, 3_000), phase(0.6, 0.9, 3_000)]);
+        let elastic = ElasticSet::<i64, SinglyCursorList<i64>>::with_policy(LoadPolicy {
+            check_period: 128,
+            window_min_ops: 512,
+            min_split_keys: 4,
+            ..LoadPolicy::default()
+        });
+        let staticly = ShardedSet::<i64, SinglyCursorList<i64>, 8>::new();
+        let a = run_prebuilt(&elastic, &c);
+        let b = run_prebuilt(&staticly, &c);
+        assert_eq!(a.total.stats.adds, b.total.stats.adds);
+        assert_eq!(a.total.stats.rems, b.total.stats.rems);
+        let (mut elastic, mut staticly) = (elastic, staticly);
+        assert_eq!(elastic.collect_keys(), staticly.collect_keys());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phase_list_panics() {
+        let c = cfg(1, vec![]);
+        run::<SinglyCursorList<i64>>(&c);
+    }
+}

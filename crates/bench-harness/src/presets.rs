@@ -9,6 +9,7 @@
 
 use crate::batch::BatchMixConfig;
 use crate::config::{DeterministicConfig, KeyPattern, OpMix, RandomMixConfig};
+use crate::phased::{Phase, PhasedConfig};
 use crate::variant::Variant;
 use crate::zipfian::ZipfianMixConfig;
 
@@ -54,6 +55,9 @@ pub enum WorkloadSpec {
     /// Batched operation mix (see [`crate::batch`]); an extension, not a
     /// paper experiment.
     BatchMix(BatchMixConfig),
+    /// Phased, time-varying workload (see [`crate::phased`]): hotspot
+    /// drift, θ ramps, write bursts and mix flips over one structure.
+    Phased(PhasedConfig),
 }
 
 /// One table or figure of the paper.
@@ -122,9 +126,9 @@ fn zipf(threads: usize, c: u64, f: u64, u: u32, theta: f64, scramble: bool) -> Z
 impl Experiment {
     /// All experiment ids: the paper's tables and figures in paper
     /// order, then this reproduction's extensions.
-    pub const IDS: [&'static str; 15] = [
+    pub const IDS: [&'static str; 16] = [
         "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-        "figure1", "figure2", "figure3", "zipf", "skew", "batch",
+        "figure1", "figure2", "figure3", "zipf", "skew", "batch", "drift",
     ];
 
     /// Looks up an experiment by id at the given scale.
@@ -328,8 +332,47 @@ impl Experiment {
                     }
                 }),
             },
+            "drift" => Experiment {
+                id: "drift",
+                description: "phased drift: hotspot sweeps the keyspace, θ ramps, one write burst",
+                variants: Variant::ELASTIC.to_vec(),
+                workload: WorkloadSpec::Phased(if paper {
+                    drift(64, 250_000, 10_000, 100_000)
+                } else {
+                    drift(8, 20_000, 4_000, 10_000)
+                }),
+            },
             _ => return None,
         })
+    }
+}
+
+/// The `drift` experiment's phase schedule: a clustered Zipfian hotspot
+/// marching across the keyspace, with a θ ramp (skew relaxing then
+/// re-tightening) and one update-heavy burst mid-run — the traffic
+/// phases a fixed partition cannot follow.
+fn drift(threads: usize, c: u64, f: u64, u: u32) -> PhasedConfig {
+    let ph = |hotspot: f64, theta: f64, mix: OpMix, ops: u64| Phase {
+        ops_per_thread: ops,
+        mix,
+        theta,
+        hotspot,
+        scramble: false,
+    };
+    PhasedConfig {
+        threads,
+        prefill: f,
+        key_range: u,
+        seed: SEED,
+        phases: vec![
+            ph(0.00, 0.90, OpMix::READ_HEAVY, c),
+            ph(0.15, 0.90, OpMix::READ_HEAVY, c),
+            ph(0.30, 0.95, OpMix::UPDATE_HEAVY, c / 2), // write burst at a fresh hotspot
+            ph(0.45, 0.90, OpMix::READ_HEAVY, c),
+            ph(0.60, 0.60, OpMix::READ_HEAVY, c), // congestion dissolves…
+            ph(0.75, 0.99, OpMix::READ_HEAVY, c), // …and re-forms, tighter, elsewhere
+            ph(0.90, 0.90, OpMix::UPDATE_HEAVY, c), // mix flip at the final hotspot
+        ],
     }
 }
 
@@ -438,6 +481,35 @@ mod tests {
                 assert_eq!(c.total_ops(), 8 * 1_250 * 32);
             }
             _ => panic!("batch must be a BatchMix"),
+        }
+    }
+
+    #[test]
+    fn drift_experiment_sequences_a_moving_hotspot() {
+        for scale in [Scale::Paper, Scale::Container] {
+            let e = Experiment::get("drift", scale).unwrap();
+            assert_eq!(e.variants, Variant::ELASTIC.to_vec());
+            match e.workload {
+                WorkloadSpec::Phased(cfg) => {
+                    assert!(cfg.phases.len() >= 5, "a drift needs several phases");
+                    let hotspots: Vec<f64> = cfg.phases.iter().map(|p| p.hotspot).collect();
+                    assert!(
+                        hotspots.windows(2).all(|w| w[0] < w[1]),
+                        "the hotspot must march monotonically: {hotspots:?}"
+                    );
+                    assert!(
+                        cfg.phases.iter().any(|p| p.mix == OpMix::UPDATE_HEAVY),
+                        "at least one write-burst phase"
+                    );
+                    let thetas: Vec<f64> = cfg.phases.iter().map(|p| p.theta).collect();
+                    assert!(
+                        thetas.iter().any(|t| *t < 0.9) && thetas.iter().any(|t| *t > 0.9),
+                        "θ must ramp: {thetas:?}"
+                    );
+                    assert!(cfg.prefill <= cfg.key_range as u64);
+                }
+                _ => panic!("drift must be Phased"),
+            }
         }
     }
 

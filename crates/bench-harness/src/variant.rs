@@ -12,6 +12,7 @@
 //! [`ConcurrentOrderedSet`]: pragmatic_list::ConcurrentOrderedSet
 
 use lockfree_skiplist::SkipListSet;
+use pragmatic_list::elastic::ElasticSet;
 use pragmatic_list::sharded::ShardedSet;
 use pragmatic_list::variants::{
     CursorOnlyList, DoublyBackptrList, DoublyCursorEpochList, DoublyCursorList, DoublyHintedList,
@@ -79,6 +80,11 @@ pub enum Variant {
     /// Hot-path extension: variant f) with 8 per-thread search hints
     /// feeding the backward-pointer search its start.
     DoublyHinted,
+    /// Elastic extension: variant d) behind the load-aware elastic
+    /// router — shards split (and merge) online as the hotspot moves.
+    Elastic,
+    /// Elastic extension: the mild skiplist behind the elastic router.
+    ElasticSkiplist,
 }
 
 /// A computation that is generic over the list implementation.
@@ -124,7 +130,7 @@ pub trait VariantVisitor {
 impl Variant {
     /// All variants: paper order a)–f), then the ablation, reclamation,
     /// skiplist and sharding extensions.
-    pub const ALL: [Variant; 20] = [
+    pub const ALL: [Variant; 22] = [
         Variant::Draconic,
         Variant::Singly,
         Variant::Doubly,
@@ -145,6 +151,8 @@ impl Variant {
         Variant::ShardedSinglyEpoch,
         Variant::SinglyHinted,
         Variant::DoublyHinted,
+        Variant::Elastic,
+        Variant::ElasticSkiplist,
     ];
 
     /// The six variants of the paper, in table order a)–f).
@@ -204,6 +212,20 @@ impl Variant {
         Variant::DoublyHinted,
     ];
 
+    /// The elastic sweep: the flat baseline, the *static* partitions it
+    /// must beat when the hotspot drifts (the same backend at 8 and 32
+    /// fixed shards), and the elastic sets. `repro drift --variants
+    /// elastic` quantifies what load-aware resharding buys over any
+    /// fixed partition under a moving hotspot.
+    pub const ELASTIC: [Variant; 6] = [
+        Variant::SinglyCursor,
+        Variant::ShardedSingly,
+        Variant::ShardedSingly32,
+        Variant::Elastic,
+        Variant::ShardedSkiplist,
+        Variant::ElasticSkiplist,
+    ];
+
     /// The sharding sweep: unsharded baselines next to their
     /// range-partitioned counterparts at two shard counts and two
     /// backend families (list, skiplist), plus an epoch-reclaimed
@@ -257,6 +279,8 @@ impl Variant {
             }
             Variant::SinglyHinted => visitor.visit::<SinglyHintedList<i64>>(),
             Variant::DoublyHinted => visitor.visit::<DoublyHintedList<i64>>(),
+            Variant::Elastic => visitor.visit::<ElasticSet<i64, SinglyCursorList<i64>>>(),
+            Variant::ElasticSkiplist => visitor.visit::<ElasticSet<i64, SkipListSet<i64>>>(),
         }
     }
 
@@ -312,6 +336,8 @@ impl Variant {
             Variant::ShardedSinglyEpoch => "q) sharded-singly-epoch x8",
             Variant::SinglyHinted => "r) singly-hint x8",
             Variant::DoublyHinted => "s) doubly-hint x8",
+            Variant::Elastic => "t) elastic-singly",
+            Variant::ElasticSkiplist => "u) elastic-skiplist",
         }
     }
 
@@ -339,14 +365,16 @@ impl Variant {
             "sharded_singly_epoch" | "q" => Variant::ShardedSinglyEpoch,
             "singly_hint" | "hint" | "r" => Variant::SinglyHinted,
             "doubly_hint" | "s" => Variant::DoublyHinted,
+            "elastic_singly" | "t" => Variant::Elastic,
+            "elastic_skiplist" | "u" => Variant::ElasticSkiplist,
             _ => return None,
         })
     }
 
     /// Parses a CLI token that may name either a single variant or a
     /// group: `"all"`, `"paper"`, `"sparc"`, `"figures"`, `"reclaim"`,
-    /// `"sharded"`, `"hotpath"` (so `repro --variants paper` or
-    /// `--variants hotpath` work).
+    /// `"sharded"`, `"hotpath"`, `"elastic"` (so `repro --variants
+    /// paper` or `--variants elastic` work).
     pub fn parse_group(s: &str) -> Option<Vec<Variant>> {
         match s.trim().to_ascii_lowercase().as_str() {
             "all" => Some(Variant::ALL.to_vec()),
@@ -356,6 +384,7 @@ impl Variant {
             "reclaim" => Some(Variant::RECLAIM.to_vec()),
             "sharded" => Some(Variant::SHARDED.to_vec()),
             "hotpath" => Some(Variant::HOTPATH.to_vec()),
+            "elastic" => Some(Variant::ELASTIC.to_vec()),
             _ => Variant::parse(s).map(|v| vec![v]),
         }
     }
@@ -381,6 +410,9 @@ impl Variant {
         }
         if Variant::HOTPATH.contains(&self) {
             g.push("hotpath");
+        }
+        if Variant::ELASTIC.contains(&self) {
+            g.push("elastic");
         }
         g
     }
@@ -413,6 +445,8 @@ mod tests {
         assert_eq!(Variant::parse("nope"), None);
         assert_eq!(Variant::parse("hint"), Some(Variant::SinglyHinted));
         assert_eq!(Variant::parse("doubly-hint"), Some(Variant::DoublyHinted));
+        assert_eq!(Variant::parse("elastic_singly"), Some(Variant::Elastic));
+        assert_eq!(Variant::parse("u"), Some(Variant::ElasticSkiplist));
     }
 
     #[test]
@@ -443,6 +477,10 @@ mod tests {
             Variant::HOTPATH.to_vec()
         );
         assert_eq!(
+            Variant::parse_group("elastic").unwrap(),
+            Variant::ELASTIC.to_vec()
+        );
+        assert_eq!(
             Variant::parse_group("f").unwrap(),
             vec![Variant::DoublyCursor]
         );
@@ -451,12 +489,15 @@ mod tests {
 
     #[test]
     fn paper_sets_have_expected_sizes() {
-        assert_eq!(Variant::ALL.len(), 20);
+        assert_eq!(Variant::ALL.len(), 22);
         assert_eq!(Variant::PAPER.len(), 6);
         assert_eq!(Variant::SPARC.len(), 5);
         assert_eq!(Variant::RECLAIM.len(), 9);
         assert_eq!(Variant::SHARDED.len(), 7);
         assert_eq!(Variant::HOTPATH.len(), 5);
+        assert_eq!(Variant::ELASTIC.len(), 6);
+        assert!(Variant::ELASTIC.contains(&Variant::Elastic));
+        assert!(Variant::ELASTIC.contains(&Variant::ShardedSingly32));
         assert!(Variant::HOTPATH.contains(&Variant::SinglyHinted));
         assert!(!Variant::PAPER.contains(&Variant::SinglyHinted));
         assert!(!Variant::SPARC.contains(&Variant::SinglyFetchOr));
@@ -476,11 +517,15 @@ mod tests {
         );
         assert_eq!(Variant::SinglyHp.groups(), vec!["all", "reclaim"]);
         assert_eq!(Variant::CursorOnly.groups(), vec!["all"]);
-        assert_eq!(Variant::ShardedSkiplist.groups(), vec!["all", "sharded"]);
+        assert_eq!(
+            Variant::ShardedSkiplist.groups(),
+            vec!["all", "sharded", "elastic"]
+        );
         assert_eq!(Variant::SinglyHinted.groups(), vec!["all", "hotpath"]);
+        assert_eq!(Variant::Elastic.groups(), vec!["all", "elastic"]);
         assert_eq!(
             Variant::SinglyCursor.groups(),
-            vec!["all", "paper", "sparc", "figures", "sharded", "hotpath"]
+            vec!["all", "paper", "sparc", "figures", "sharded", "hotpath", "elastic"]
         );
     }
 
@@ -494,6 +539,8 @@ mod tests {
         assert_eq!(Variant::Skiplist.name(), "skiplist_mild");
         assert_eq!(Variant::SinglyHinted.name(), "singly_hint");
         assert_eq!(Variant::DoublyHinted.name(), "doubly_hint");
+        assert_eq!(Variant::Elastic.name(), "elastic_singly");
+        assert_eq!(Variant::ElasticSkiplist.name(), "elastic_skiplist");
     }
 
     #[test]

@@ -154,6 +154,17 @@ impl Workload for crate::batch::BatchMixConfig {
     }
 }
 
+/// The phased (time-varying) workload (see [`crate::phased`]) *is* its
+/// config; one run reports the per-phase results alongside the
+/// aggregate.
+impl Workload for crate::phased::PhasedConfig {
+    type Output = crate::phased::PhasedResult;
+
+    fn run<S: ConcurrentOrderedSet<i64>>(&self) -> crate::phased::PhasedResult {
+        crate::phased::run::<S>(self)
+    }
+}
+
 /// The random mix with every `sample_every`-th operation timed
 /// (see [`crate::latency`]).
 #[derive(Debug, Clone, Copy)]

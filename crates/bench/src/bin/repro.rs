@@ -6,7 +6,7 @@
 //!   repro <experiment>... [options]
 //!   repro all [options]
 //!
-//! Experiments: table1..table9, figure1..figure3, zipf, skew, batch
+//! Experiments: table1..table9, figure1..figure3, zipf, skew, batch, drift
 //! (see `repro list`).
 //!
 //! Options:
@@ -478,6 +478,68 @@ fn run_experiment(exp: Experiment, opt: &Options) {
             }));
             println!("\n{}", report::scale_ascii(&points));
             append_csv(opt, &report::scale_csv(&points));
+        }
+        WorkloadSpec::Phased(mut cfg) => {
+            if let Some(t) = opt.threads {
+                cfg.threads = t;
+            }
+            if let Some(c) = opt.ops {
+                for p in &mut cfg.phases {
+                    p.ops_per_thread = c;
+                }
+            }
+            if let Some(f) = opt.prefill {
+                cfg.prefill = f;
+            }
+            if let Some(u) = opt.range {
+                cfg.key_range = u;
+            }
+            if let Some(theta) = opt.theta {
+                for p in &mut cfg.phases {
+                    p.theta = theta;
+                }
+            }
+            if opt.scramble {
+                for p in &mut cfg.phases {
+                    p.scramble = true;
+                }
+            }
+            println!(
+                "   p={} f={} U={} phases={} ({} total ops per variant)",
+                cfg.threads,
+                cfg.prefill,
+                cfg.key_range,
+                cfg.phases.len(),
+                cfg.total_ops()
+            );
+            for (i, p) in cfg.phases.iter().enumerate() {
+                println!(
+                    "     phase {i}: hot={:.2} θ={:.2} mix={}/{}/{} c={}",
+                    p.hotspot, p.theta, p.mix.add, p.mix.remove, p.mix.contains, p.ops_per_thread
+                );
+            }
+            let mut rows = Vec::new();
+            for v in variants {
+                let r = v.run(&cfg);
+                for (i, p) in r.phases.iter().enumerate() {
+                    println!(
+                        "   {:<26} phase {i}  {:>10.1} ms  {:>12.1} Kops/s",
+                        v.paper_label(),
+                        p.time_ms(),
+                        p.kops_per_sec()
+                    );
+                }
+                println!(
+                    "   {:<26} TOTAL    {:>10.1} ms  {:>12.1} Kops/s",
+                    v.paper_label(),
+                    r.total.time_ms(),
+                    r.total.kops_per_sec()
+                );
+                rows.push(r.total);
+            }
+            json_rows.extend(rows.iter().cloned().map(BenchJsonRow::plain));
+            println!("\n{}", report::format_table(exp.id, &rows));
+            append_csv(opt, &report::results_csv(&rows));
         }
         WorkloadSpec::BatchMix(mut cfg) => {
             if let Some(t) = opt.threads {

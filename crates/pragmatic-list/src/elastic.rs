@@ -1,0 +1,1841 @@
+//! Elastic sharding: load-aware shard split/merge with online migration.
+//!
+//! The static [`ShardedSet`](crate::sharded::ShardedSet) fixes the shard
+//! count and key placement at construction. Real traffic drifts: a
+//! hotspot that wanders across the keyspace (the phase transitions of
+//! road-network congestion) eventually pins all load onto one shard and
+//! erases the N× sharding win. [`ElasticSet`] and [`ElasticMap`] fix
+//! this by watching per-shard load online and **resharding while
+//! concurrent operations run**: the hottest shard is split at its median
+//! key into two finer shards, and cold adjacent shards are merged back.
+//!
+//! # The router
+//!
+//! The keyspace partition is a table of contiguous, ascending rank
+//! intervals (`[lo_i, lo_{i+1})` over [`ShardKey::rank64`]), each owning
+//! one backend shard. The table lives behind a mutex **off** the hot
+//! path; every per-thread handle keeps a private snapshot of it plus a
+//! cached backend handle per shard, and revalidates the snapshot with a
+//! single relaxed-cost atomic load of the router **version** per
+//! operation (seqlock-style: versions only grow, and a version match
+//! proves the snapshot current because installs bump the version while
+//! holding the same mutex the refresh takes).
+//!
+//! # The migration protocol
+//!
+//! A split (or merge) of shard *S* proceeds in five steps, serialized by
+//! the router mutex:
+//!
+//! 1. **Seal**: `S.sealed ← true` (SeqCst). From this instant, any
+//!    operation that routes to *S* observes the seal and stalls.
+//! 2. **Drain**: wait until no handle's *activity slot* names `S.id`.
+//!    Operations publish the target shard's id in a per-handle
+//!    cache-padded slot *before* re-checking the seal (the hazard-pointer
+//!    handshake: `store(SeqCst)` then `load(SeqCst)` against the sealer's
+//!    `store(SeqCst)` then scan), so after the drain no operation is in
+//!    flight on *S* and none can start.
+//! 3. **Copy**: scan the now write-quiescent backend (exact) and bulk-load
+//!    the keys into fresh backends via the sorted batch path.
+//! 4. **Install**: replace *S*'s interval in the router table with the
+//!    sub-intervals and bump the version. Stalled and future operations
+//!    refresh, re-route and retry.
+//! 5. **Retire**: the old backend's `Arc` leaves the router; it is
+//!    dropped — running the backend's own teardown through its
+//!    [`Reclaimer`](crate::reclaim::Reclaimer) — as soon as the last
+//!    handle snapshot referencing it refreshes (handles always drop the
+//!    cached backend handle *before* releasing the backend, so parked
+//!    cursors and search hints die with the handle, never dangling).
+//!
+//! Operations therefore never block on a mutex on the hot path, never
+//! lose an update to a migration, and `range()` scans stitch across old
+//! and new intervals (resuming strictly after the last emitted key, so a
+//! repartition mid-scan cannot duplicate or reorder output).
+//!
+//! # Load monitoring
+//!
+//! Each shard carries a cache-padded operation counter; handles bump it
+//! in amortized blocks and, every [`LoadPolicy::check_period`]
+//! operations, close the observation window: if one shard absorbed more
+//! than [`LoadPolicy::split_share_pct`] of the window it is split
+//! (caller-amortized — the observing thread performs the migration); if
+//! the coldest adjacent pair fell below [`LoadPolicy::merge_share_pct`]
+//! it is merged. All thresholds are injectable, so tests drive
+//! migrations deterministically — by op counts or by
+//! [`ElasticSet::force_split_at`] — with no timing dependence.
+//!
+//! # Examples
+//!
+//! ```
+//! use pragmatic_list::elastic::{ElasticSet, LoadPolicy};
+//! use pragmatic_list::variants::SinglyCursorList;
+//! use pragmatic_list::{ConcurrentOrderedSet, OrderedHandle, SetHandle};
+//!
+//! let set = ElasticSet::<i64, SinglyCursorList<i64>>::with_policy(LoadPolicy {
+//!     initial_shards: 2,
+//!     ..LoadPolicy::default()
+//! });
+//! let mut h = set.handle();
+//! for k in -100..100 {
+//!     h.add(k);
+//! }
+//! // Deterministic migration: split the shard owning key 0.
+//! assert!(set.force_split_at(0));
+//! assert_eq!(set.shard_count(), 3);
+//! assert_eq!(h.range(-3..3).into_vec(), vec![-3, -2, -1, 0, 1, 2]);
+//! assert_eq!(h.len_estimate(), 200);
+//! ```
+
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::ops::RangeBounds;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::map::{ListMap, MapHandle};
+use crate::ordered::{OrderedHandle, ScanBounds, Snapshot};
+use crate::reclaim::str_eq;
+use crate::set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
+use crate::sharded::ShardKey;
+use crate::stats::{CachePadded, OpStats, WindowCounter};
+
+/// Thresholds steering the elastic load monitor.
+///
+/// Every decision the monitor takes is a pure function of operation
+/// counts and these thresholds — no clocks — so tests inject tiny values
+/// and drive split/merge decisions deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadPolicy {
+    /// Shards at construction (even rank intervals), ≥ 1.
+    pub initial_shards: usize,
+    /// Hard cap on the shard count; splits stop here.
+    pub max_shards: usize,
+    /// Per-handle operations between monitor checks (amortizes the
+    /// window bookkeeping; larger = cheaper, slower to react).
+    pub check_period: u32,
+    /// Minimum operations a window must hold before any decision.
+    pub window_min_ops: u64,
+    /// Split the hottest shard when its share of the window exceeds
+    /// this percentage.
+    pub split_share_pct: u32,
+    /// Merge the coldest adjacent shard pair when its combined share of
+    /// the window falls strictly below this percentage (0 disables
+    /// merging). Merging only fires under *table pressure* — when the
+    /// shard count has reached three quarters of
+    /// [`max_shards`](LoadPolicy::max_shards) — so a drifting hotspot
+    /// keeps annealing the table finer instead of having every
+    /// cold phase undone behind it; cold fine shards are nearly free
+    /// until the table budget runs out.
+    pub merge_share_pct: u32,
+    /// Never split a shard holding fewer keys than this.
+    pub min_split_keys: usize,
+}
+
+impl Default for LoadPolicy {
+    fn default() -> Self {
+        LoadPolicy {
+            initial_shards: 8,
+            max_shards: 64,
+            check_period: 256,
+            window_min_ops: 1024,
+            split_share_pct: 20,
+            merge_share_pct: 1,
+            min_split_keys: 16,
+        }
+    }
+}
+
+impl LoadPolicy {
+    fn validate(&self) {
+        assert!(self.initial_shards >= 1, "need at least one shard");
+        assert!(
+            self.max_shards >= self.initial_shards,
+            "max_shards below initial_shards"
+        );
+        assert!(self.check_period >= 1);
+        assert!(self.split_share_pct <= 100 && self.merge_share_pct <= 100);
+    }
+}
+
+/// Stable CLI name for an `ElasticSet` instantiation (cf.
+/// [`sharded_name`](crate::sharded::sharded_name)).
+pub const fn elastic_name(inner: &'static str) -> &'static str {
+    if str_eq(inner, "singly_cursor") {
+        "elastic_singly"
+    } else if str_eq(inner, "skiplist_mild") {
+        "elastic_skiplist"
+    } else if str_eq(inner, "singly_cursor_epoch") {
+        "elastic_singly_epoch"
+    } else {
+        "elastic"
+    }
+}
+
+/// What the elastic core needs from a shard backend: construction, a
+/// per-thread handle, an ordered scan, a sorted bulk load (the migration
+/// copy path), and counter plumbing. Implemented for any
+/// [`ConcurrentOrderedSet`] (via the private `SetBackend` adapter) and
+/// for [`ListMap`].
+trait ElasticBackend<K: ShardKey>: Send + Sync + Sized + 'static {
+    /// Per-thread backend handle.
+    type Handle<'a>
+    where
+        Self: 'a;
+    /// What a scan yields: `K` for sets, `(K, V)` for maps.
+    type Item: Copy + Send + Sync + 'static;
+
+    fn new() -> Self;
+    fn handle(&self) -> Self::Handle<'_>;
+    fn item_key(item: &Self::Item) -> K;
+    /// Ordered scan of the live items inside `bounds`.
+    fn scan<'a>(handle: &mut Self::Handle<'a>, bounds: &ScanBounds<K>) -> Vec<Self::Item>;
+    /// Bulk-inserts `items` (sorted ascending; may be reordered).
+    fn load_sorted<'a>(handle: &mut Self::Handle<'a>, items: &mut [Self::Item]);
+    /// The handle's counters.
+    fn stats(handle: &Self::Handle<'_>) -> OpStats;
+    /// Reads (and, where supported, resets) the handle's counters.
+    /// Called once, immediately before the handle is dropped, when a
+    /// router refresh evicts it.
+    fn drain_stats<'a>(handle: &mut Self::Handle<'a>) -> OpStats;
+    /// Estimated live items.
+    fn len_estimate<'a>(handle: &mut Self::Handle<'a>) -> usize;
+    /// Quiescent snapshot of all items, ascending.
+    fn collect_items(&mut self) -> Vec<Self::Item>;
+    /// Quiescent structural check.
+    fn check(&mut self) -> Result<(), InvariantViolation>;
+}
+
+/// Adapter giving any ordered set the [`ElasticBackend`] surface.
+struct SetBackend<K, B>(B, PhantomData<K>);
+
+impl<K, B> ElasticBackend<K> for SetBackend<K, B>
+where
+    K: ShardKey,
+    B: ConcurrentOrderedSet<K> + 'static,
+    for<'a> B::Handle<'a>: OrderedHandle<K>,
+{
+    type Handle<'a>
+        = B::Handle<'a>
+    where
+        Self: 'a;
+    type Item = K;
+
+    fn new() -> Self {
+        SetBackend(B::new(), PhantomData)
+    }
+
+    fn handle(&self) -> B::Handle<'_> {
+        self.0.handle()
+    }
+
+    fn item_key(item: &K) -> K {
+        *item
+    }
+
+    fn scan<'a>(handle: &mut B::Handle<'a>, bounds: &ScanBounds<K>) -> Vec<K> {
+        handle.range(*bounds).into_vec()
+    }
+
+    fn load_sorted<'a>(handle: &mut B::Handle<'a>, items: &mut [K]) {
+        handle.add_batch(items);
+    }
+
+    fn stats(handle: &B::Handle<'_>) -> OpStats {
+        handle.stats()
+    }
+
+    fn drain_stats<'a>(handle: &mut B::Handle<'a>) -> OpStats {
+        handle.take_stats()
+    }
+
+    fn len_estimate<'a>(handle: &mut B::Handle<'a>) -> usize {
+        handle.len_estimate()
+    }
+
+    fn collect_items(&mut self) -> Vec<K> {
+        self.0.collect_keys()
+    }
+
+    fn check(&mut self) -> Result<(), InvariantViolation> {
+        self.0.check_invariants()
+    }
+}
+
+impl<K, V> ElasticBackend<K> for ListMap<K, V>
+where
+    K: ShardKey,
+    V: Copy + Send + Sync + 'static,
+{
+    type Handle<'a>
+        = MapHandle<'a, K, V>
+    where
+        Self: 'a;
+    type Item = (K, V);
+
+    fn new() -> Self {
+        ListMap::new()
+    }
+
+    fn handle(&self) -> MapHandle<'_, K, V> {
+        self.handle()
+    }
+
+    fn item_key(item: &(K, V)) -> K {
+        item.0
+    }
+
+    fn scan<'a>(handle: &mut MapHandle<'a, K, V>, bounds: &ScanBounds<K>) -> Vec<(K, V)> {
+        handle.range(*bounds).into_vec()
+    }
+
+    fn load_sorted<'a>(handle: &mut MapHandle<'a, K, V>, items: &mut [(K, V)]) {
+        for &mut (k, v) in items {
+            handle.insert(k, v);
+        }
+    }
+
+    fn stats(handle: &MapHandle<'_, K, V>) -> OpStats {
+        handle.stats()
+    }
+
+    fn drain_stats<'a>(handle: &mut MapHandle<'a, K, V>) -> OpStats {
+        // `MapHandle` counters are read-only; the handle is dropped
+        // right after this call, so the read cannot double-count.
+        handle.stats()
+    }
+
+    fn len_estimate<'a>(handle: &mut MapHandle<'a, K, V>) -> usize {
+        handle.len_estimate()
+    }
+
+    fn collect_items(&mut self) -> Vec<(K, V)> {
+        self.collect()
+    }
+
+    fn check(&mut self) -> Result<(), InvariantViolation> {
+        // ListMap has no structural validator of its own; the chain
+        // order invariant is observable through the quiescent scan.
+        let items = self.collect();
+        for (position, w) in items.windows(2).enumerate() {
+            if w[0].0 >= w[1].0 {
+                return Err(InvariantViolation::OutOfOrder { position });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One backend shard plus its routing interval and migration state.
+struct ShardState<K, B> {
+    /// Unique id, published in handle activity slots ([`SLOT_IDLE`] is
+    /// reserved).
+    id: u64,
+    /// Inclusive lower bound of the owned rank interval (the upper
+    /// bound is the next table entry's `lo`).
+    lo: u64,
+    /// Set (and never cleared) when a migration decommissions this
+    /// shard; cleared only on an aborted split.
+    sealed: AtomicBool,
+    /// Window op counter feeding the load monitor.
+    ops: WindowCounter,
+    backend: B,
+    _keys: PhantomData<K>,
+}
+
+/// Handle activity-slot value meaning "no operation in flight".
+const SLOT_IDLE: u64 = 0;
+
+/// Ops a handle accumulates locally before flushing to the shard's
+/// window counter.
+const OPS_FLUSH_BLOCK: u32 = 64;
+
+/// Registry of per-handle activity slots (the drain scan's view).
+/// Orphaned slots (their handle dropped) are reused, so the registry
+/// stays bounded by the peak handle count.
+#[derive(Default)]
+struct SlotRegistry {
+    slots: Mutex<Vec<Arc<CachePadded<AtomicU64>>>>,
+}
+
+impl SlotRegistry {
+    fn register(&self) -> Arc<CachePadded<AtomicU64>> {
+        let mut slots = self.slots.lock().unwrap();
+        if let Some(slot) = slots.iter().find(|s| Arc::strong_count(s) == 1) {
+            slot.0.store(SLOT_IDLE, Release);
+            return Arc::clone(slot);
+        }
+        let slot = Arc::new(CachePadded(AtomicU64::new(SLOT_IDLE)));
+        slots.push(Arc::clone(&slot));
+        slot
+    }
+
+    /// `true` while any handle has an operation in flight on shard `id`.
+    fn any_active_on(&self, id: u64) -> bool {
+        self.slots
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|s| s.0.load(SeqCst) == id)
+    }
+}
+
+/// The shared elastic state: router table, version, monitor plumbing.
+struct ElasticCore<K, B> {
+    /// The router table, sorted by `lo`, intervals contiguous from rank
+    /// 0. Also the migration lock: installs mutate it in place.
+    router: Mutex<Vec<Arc<ShardState<K, B>>>>,
+    /// Bumped (under the router lock) on every install; handles compare
+    /// it against their snapshot to revalidate in O(1).
+    version: AtomicU64,
+    next_id: AtomicU64,
+    policy: LoadPolicy,
+    slots: SlotRegistry,
+    splits: AtomicU64,
+    merges: AtomicU64,
+}
+
+impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
+    fn new(policy: LoadPolicy) -> Self {
+        policy.validate();
+        let n = policy.initial_shards;
+        let shards = (0..n)
+            .map(|i| {
+                Arc::new(ShardState {
+                    id: i as u64 + 1,
+                    // Smallest rank routed to shard i of an even n-way
+                    // partition: ceil(i·2^64 / n).
+                    lo: (((i as u128) << 64).div_ceil(n as u128)) as u64,
+                    sealed: AtomicBool::new(false),
+                    ops: WindowCounter::default(),
+                    backend: B::new(),
+                    _keys: PhantomData,
+                })
+            })
+            .collect();
+        ElasticCore {
+            router: Mutex::new(shards),
+            version: AtomicU64::new(1),
+            next_id: AtomicU64::new(n as u64 + 1),
+            policy,
+            slots: SlotRegistry::default(),
+            splits: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
+        }
+    }
+
+    fn handle(&self) -> CoreHandle<'_, K, B> {
+        CoreHandle {
+            core: self,
+            slot: self.slots.register(),
+            version: 0, // any real version is ≥ 1 → first op refreshes
+            entries: Vec::new(),
+            last_idx: 0,
+            ops_since_check: 0,
+            carry: OpStats::ZERO,
+        }
+    }
+
+    fn lock_router(&self) -> MutexGuard<'_, Vec<Arc<ShardState<K, B>>>> {
+        self.router.lock().unwrap()
+    }
+
+    /// Index of the interval owning `rank` in a router table.
+    fn route_in(table: &[Arc<ShardState<K, B>>], rank: u64) -> usize {
+        debug_assert!(!table.is_empty() && table[0].lo == 0);
+        table.partition_point(|s| s.lo <= rank) - 1
+    }
+
+    /// Spin-waits until no operation is in flight on shard `id`. Called
+    /// with the router lock held and the shard sealed, so no new
+    /// operation can pass the seal check and publish `id` afterwards.
+    fn drain(&self, id: u64) {
+        while self.slots.any_active_on(id) {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Builds a fresh shard preloaded with `items` (sorted ascending).
+    fn new_shard(&self, lo: u64, items: &mut [B::Item]) -> Arc<ShardState<K, B>> {
+        let backend = B::new();
+        {
+            let mut h = backend.handle();
+            B::load_sorted(&mut h, items);
+        }
+        Arc::new(ShardState {
+            id: self.next_id.fetch_add(1, Relaxed),
+            lo,
+            sealed: AtomicBool::new(false),
+            ops: WindowCounter::default(),
+            backend,
+            _keys: PhantomData,
+        })
+    }
+
+    /// Splits `table[idx]` at its median key. `false` if the shard is
+    /// too small, its keys cannot be partitioned (all on one rank), or
+    /// the table is full; an aborted split unseals the shard so stalled
+    /// operations proceed.
+    fn split_locked(&self, table: &mut Vec<Arc<ShardState<K, B>>>, idx: usize) -> bool {
+        if table.len() >= self.policy.max_shards {
+            return false;
+        }
+        let old = Arc::clone(&table[idx]);
+        old.sealed.store(true, SeqCst);
+        self.drain(old.id);
+        let mut items = {
+            let mut h = old.backend.handle();
+            B::scan(&mut h, &ScanBounds::from_range(&(..)))
+        };
+        let hi = table.get(idx + 1).map(|s| s.lo);
+        let mid = if items.len() >= self.policy.min_split_keys.max(2) {
+            let m = B::item_key(&items[items.len() / 2]).rank64();
+            (m > old.lo && hi.is_none_or(|h| m < h)).then_some(m)
+        } else {
+            None
+        };
+        let Some(mid) = mid else {
+            // Abort: reopen the shard; nothing changed.
+            old.sealed.store(false, SeqCst);
+            return false;
+        };
+        let cut = items.partition_point(|it| B::item_key(it).rank64() < mid);
+        let (lo_items, hi_items) = items.split_at_mut(cut);
+        let left = self.new_shard(old.lo, lo_items);
+        let right = self.new_shard(mid, hi_items);
+        table.splice(idx..=idx, [left, right]);
+        self.splits.fetch_add(1, Relaxed);
+        self.version.fetch_add(1, Release);
+        true
+    }
+
+    /// Merges `table[idx]` and `table[idx + 1]` into one shard.
+    fn merge_locked(&self, table: &mut Vec<Arc<ShardState<K, B>>>, idx: usize) -> bool {
+        if idx + 1 >= table.len() {
+            return false;
+        }
+        let a = Arc::clone(&table[idx]);
+        let b = Arc::clone(&table[idx + 1]);
+        a.sealed.store(true, SeqCst);
+        b.sealed.store(true, SeqCst);
+        self.drain(a.id);
+        self.drain(b.id);
+        let everything = ScanBounds::from_range(&(..));
+        let mut items = {
+            let mut h = a.backend.handle();
+            B::scan(&mut h, &everything)
+        };
+        items.extend({
+            let mut h = b.backend.handle();
+            B::scan(&mut h, &everything)
+        });
+        let merged = self.new_shard(a.lo, &mut items);
+        table.splice(idx..=idx + 1, [merged]);
+        self.merges.fetch_add(1, Relaxed);
+        self.version.fetch_add(1, Release);
+        true
+    }
+
+    /// Closes the current load window and performs at most one
+    /// migration. Non-blocking: backs off if a migration (or another
+    /// monitor check) already holds the router.
+    fn try_rebalance(&self) {
+        let Ok(mut table) = self.router.try_lock() else {
+            return;
+        };
+        let window: Vec<u64> = table.iter().map(|s| s.ops.read()).collect();
+        let total: u64 = window.iter().sum();
+        if total < self.policy.window_min_ops {
+            return;
+        }
+        for s in table.iter() {
+            s.ops.reset();
+        }
+        let (hot, &hot_ops) = window
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, ops)| *ops)
+            .expect("router table is never empty");
+        if hot_ops * 100 > total * self.policy.split_share_pct as u64
+            && table.len() < self.policy.max_shards
+            && self.split_locked(&mut table, hot)
+        {
+            return;
+        }
+        let pressured = table.len() * 4 >= self.policy.max_shards * 3;
+        if self.policy.merge_share_pct > 0
+            && pressured
+            && table.len() > self.policy.initial_shards.max(1)
+        {
+            let (cold, pair_ops) = window
+                .windows(2)
+                .map(|w| w[0] + w[1])
+                .enumerate()
+                .min_by_key(|&(_, ops)| ops)
+                .expect("≥ 2 shards here");
+            if pair_ops * 100 < total * self.policy.merge_share_pct as u64 {
+                self.merge_locked(&mut table, cold);
+            }
+        }
+    }
+
+    /// Splits the shard owning `key`'s rank (deterministic test and
+    /// operational support). `true` iff a split committed.
+    fn force_split_at(&self, key: K) -> bool {
+        let mut table = self.lock_router();
+        let idx = Self::route_in(&table, key.rank64());
+        self.split_locked(&mut table, idx)
+    }
+
+    /// Merges the shard owning `key`'s rank with its right neighbour.
+    /// `true` iff a merge committed.
+    fn force_merge_at(&self, key: K) -> bool {
+        let mut table = self.lock_router();
+        let idx = Self::route_in(&table, key.rank64());
+        self.merge_locked(&mut table, idx)
+    }
+
+    /// Current number of shards.
+    fn shard_count(&self) -> usize {
+        self.lock_router().len()
+    }
+
+    /// Quiescent snapshot of all items across shards, ascending.
+    fn collect_items(&mut self) -> Vec<B::Item> {
+        let table = self.router.get_mut().unwrap();
+        let mut out = Vec::new();
+        for shard in table.iter_mut() {
+            let shard =
+                Arc::get_mut(shard).expect("quiescent elastic structure still shares a shard");
+            out.extend(shard.backend.collect_items());
+        }
+        out
+    }
+
+    /// Quiescent structural check: router table well-formedness, every
+    /// backend's own invariants, and interval containment per key.
+    fn check(&mut self) -> Result<(), InvariantViolation> {
+        let table = self.router.get_mut().unwrap();
+        if table.is_empty() || table[0].lo != 0 {
+            return Err(InvariantViolation::RouterCorrupt { interval: 0 });
+        }
+        let bounds: Vec<(u64, Option<u64>)> = (0..table.len())
+            .map(|i| (table[i].lo, table.get(i + 1).map(|s| s.lo)))
+            .collect();
+        for (i, shard) in table.iter_mut().enumerate() {
+            let (lo, hi) = bounds[i];
+            if hi.is_some_and(|hi| hi <= lo) || shard.sealed.load(Relaxed) {
+                return Err(InvariantViolation::RouterCorrupt { interval: i });
+            }
+            let shard =
+                Arc::get_mut(shard).expect("quiescent elastic structure still shares a shard");
+            shard.backend.check()?;
+            for (position, item) in shard.backend.collect_items().iter().enumerate() {
+                let rank = B::item_key(item).rank64();
+                if rank < lo || hi.is_some_and(|hi| rank >= hi) {
+                    return Err(InvariantViolation::ShardMisrouted { shard: i, position });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A router-snapshot entry of a per-thread handle.
+///
+/// Field order is load-bearing: `cached` borrows (with its lifetime
+/// erased) from `shard.backend`, and Rust drops fields in declaration
+/// order — the backend handle always dies before the `Arc` that keeps
+/// its backend alive.
+struct Entry<K: ShardKey, B: ElasticBackend<K>> {
+    cached: Option<B::Handle<'static>>,
+    shard: Arc<ShardState<K, B>>,
+    local_ops: u32,
+}
+
+impl<K: ShardKey, B: ElasticBackend<K>> Entry<K, B> {
+    fn new(shard: Arc<ShardState<K, B>>) -> Self {
+        Entry {
+            cached: None,
+            shard,
+            local_ops: 0,
+        }
+    }
+
+    /// The cached backend handle, created on first touch.
+    fn handle(&mut self) -> &mut B::Handle<'static> {
+        if self.cached.is_none() {
+            let h = self.shard.backend.handle();
+            // SAFETY: `h` borrows `self.shard.backend`, which lives at a
+            // stable address behind the `Arc` held by this entry; the
+            // field order above guarantees the handle is dropped before
+            // the `Arc`, so the erased lifetime never outlives the
+            // borrowed backend.
+            self.cached = Some(unsafe { erase_handle_lifetime::<K, B>(h) });
+        }
+        self.cached.as_mut().unwrap()
+    }
+}
+
+/// Erases a backend handle's borrow lifetime.
+///
+/// # Safety
+///
+/// The caller must guarantee the backend the handle borrows stays alive
+/// — and at the same address — until the handle is dropped.
+unsafe fn erase_handle_lifetime<'a, K: ShardKey, B: ElasticBackend<K>>(
+    handle: B::Handle<'a>,
+) -> B::Handle<'static> {
+    let handle = ManuallyDrop::new(handle);
+    // SAFETY: `B::Handle<'a>` and `B::Handle<'static>` are the same type
+    // constructor at different lifetimes — identical layout — and the
+    // source is not dropped (ManuallyDrop) nor used again.
+    unsafe { std::mem::transmute_copy(&handle) }
+}
+
+/// The per-thread elastic handle machinery shared by the set and map
+/// wrappers: router snapshot, activity slot, op protocol, stitched
+/// scans, and the amortized monitor hook.
+struct CoreHandle<'s, K: ShardKey, B: ElasticBackend<K>> {
+    core: &'s ElasticCore<K, B>,
+    slot: Arc<CachePadded<AtomicU64>>,
+    version: u64,
+    entries: Vec<Entry<K, B>>,
+    /// Route cache: the index the previous operation resolved to. Hot
+    /// traffic streaks on one shard, so checking this interval first
+    /// skips the binary search on the common path.
+    last_idx: usize,
+    ops_since_check: u32,
+    /// Counters inherited from backend handles evicted by refreshes.
+    carry: OpStats,
+}
+
+impl<K: ShardKey, B: ElasticBackend<K>> Drop for CoreHandle<'_, K, B> {
+    fn drop(&mut self) {
+        // Normally already idle; clears the slot if an operation
+        // panicked between publish and clear so migrations never wait
+        // on a dead handle.
+        self.slot.0.store(SLOT_IDLE, Release);
+    }
+}
+
+impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
+    #[inline]
+    fn maybe_refresh(&mut self) {
+        if self.core.version.load(Acquire) != self.version {
+            self.refresh();
+        }
+    }
+
+    /// Re-snapshots the router. Entries for shards that survived keep
+    /// their cached backend handle (and its cursor/hints); entries for
+    /// decommissioned shards drain their counters into `carry` and drop
+    /// — the drop releases the backend handle first, then the `Arc`
+    /// that may be the last thing keeping the retired backend alive.
+    fn refresh(&mut self) {
+        let table = self.core.lock_router();
+        let version = self.core.version.load(Acquire);
+        let mut old: Vec<Entry<K, B>> = std::mem::take(&mut self.entries);
+        self.entries = table
+            .iter()
+            .map(
+                |shard| match old.iter().position(|e| e.shard.id == shard.id) {
+                    Some(i) => old.swap_remove(i),
+                    None => Entry::new(Arc::clone(shard)),
+                },
+            )
+            .collect();
+        drop(table);
+        self.last_idx = 0;
+        for mut evicted in old {
+            if let Some(h) = &mut evicted.cached {
+                self.carry += B::drain_stats(h);
+            }
+        }
+        self.version = version;
+    }
+
+    /// Index of the snapshot entry owning `rank`, checking the route
+    /// cache before falling back to binary search.
+    #[inline]
+    fn route(&mut self, rank: u64) -> usize {
+        debug_assert!(!self.entries.is_empty() && self.entries[0].shard.lo == 0);
+        let i = self.last_idx;
+        if i < self.entries.len()
+            && self.entries[i].shard.lo <= rank
+            && self.entries.get(i + 1).is_none_or(|e| rank < e.shard.lo)
+        {
+            return i;
+        }
+        let i = self.entries.partition_point(|e| e.shard.lo <= rank) - 1;
+        self.last_idx = i;
+        i
+    }
+
+    /// Waits out a migration of `shard`: returns when the router moved
+    /// past this handle's snapshot (commit) or the shard was unsealed
+    /// (aborted split).
+    fn stall(core: &ElasticCore<K, B>, version: u64, shard: &ShardState<K, B>) {
+        loop {
+            if core.version.load(Acquire) != version || !shard.sealed.load(SeqCst) {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Runs `op` against the backend handle of the shard owning `key`,
+    /// with the full migration protocol: revalidate snapshot, publish
+    /// the activity slot, re-check the seal, retry on migration races.
+    fn with_shard<R>(&mut self, key: K, mut op: impl FnMut(&mut B::Handle<'static>) -> R) -> R {
+        let rank = key.rank64();
+        loop {
+            self.maybe_refresh();
+            let idx = self.route(rank);
+            self.slot.0.store(self.entries[idx].shard.id, SeqCst);
+            if self.entries[idx].shard.sealed.load(SeqCst) {
+                self.slot.0.store(SLOT_IDLE, Release);
+                Self::stall(self.core, self.version, &self.entries[idx].shard);
+                continue;
+            }
+            let out = op(self.entries[idx].handle());
+            self.slot.0.store(SLOT_IDLE, Release);
+            self.note_ops(idx, 1);
+            return out;
+        }
+    }
+
+    /// Sorted-batch analogue of [`with_shard`](CoreHandle::with_shard):
+    /// sorts `keys` and forwards each contiguous same-shard run to `op`,
+    /// re-routing runs that race a migration.
+    fn batched(
+        &mut self,
+        keys: &mut [K],
+        mut op: impl FnMut(&mut B::Handle<'static>, &mut [K]) -> usize,
+    ) -> usize {
+        keys.sort_unstable();
+        let mut n = 0;
+        let mut i = 0;
+        while i < keys.len() {
+            let rank = keys[i].rank64();
+            self.maybe_refresh();
+            let idx = self.route(rank);
+            self.slot.0.store(self.entries[idx].shard.id, SeqCst);
+            if self.entries[idx].shard.sealed.load(SeqCst) {
+                self.slot.0.store(SLOT_IDLE, Release);
+                Self::stall(self.core, self.version, &self.entries[idx].shard);
+                continue;
+            }
+            let j = match self.entries.get(idx + 1).map(|e| e.shard.lo) {
+                Some(hi) => i + keys[i..].partition_point(|k| k.rank64() < hi),
+                None => keys.len(),
+            };
+            n += op(self.entries[idx].handle(), &mut keys[i..j]);
+            self.slot.0.store(SLOT_IDLE, Release);
+            let run = (j - i) as u32;
+            i = j;
+            self.note_ops(idx, run);
+        }
+        n
+    }
+
+    /// Stitched ordered scan across the (possibly shifting) intervals:
+    /// walks shard by shard in rank order, resuming strictly after the
+    /// last emitted key whenever a migration forces a re-route, so the
+    /// output is sorted and duplicate-free even if the partition changes
+    /// mid-scan.
+    fn scan(&mut self, bounds: &ScanBounds<K>) -> Vec<B::Item> {
+        let mut out: Vec<B::Item> = Vec::new();
+        let mut cursor: u64 = bounds.seek_key().map_or(0, |k| k.rank64());
+        let mut last: Option<K> = None;
+        loop {
+            self.maybe_refresh();
+            let idx = self.route(cursor);
+            // End-of-window against this interval, with the boundary
+            // semantics of the static router: an exclusive end lying
+            // exactly on the interval's lower bound owns nothing here.
+            if let Some(end) = bounds.end_key() {
+                let er = end.rank64();
+                let lo = self.entries[idx].shard.lo;
+                if lo > er || (lo == er && bounds.end_excluded() && K::RANK_INJECTIVE) {
+                    break;
+                }
+            }
+            self.slot.0.store(self.entries[idx].shard.id, SeqCst);
+            if self.entries[idx].shard.sealed.load(SeqCst) {
+                self.slot.0.store(SLOT_IDLE, Release);
+                Self::stall(self.core, self.version, &self.entries[idx].shard);
+                continue;
+            }
+            let leg = match last {
+                Some(l) => bounds.resume_after(l),
+                None => *bounds,
+            };
+            let items = B::scan(self.entries[idx].handle(), &leg);
+            self.slot.0.store(SLOT_IDLE, Release);
+            self.note_ops(idx, 1);
+            if let Some(it) = items.last() {
+                last = Some(B::item_key(it));
+            }
+            out.extend(items);
+            match self.entries.get(idx + 1).map(|e| e.shard.lo) {
+                Some(next_lo) => cursor = next_lo,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Estimated live items across the snapshot (read-only; does not
+    /// take part in the seal protocol — estimates may lag a migration).
+    fn len_estimate(&mut self) -> usize {
+        self.maybe_refresh();
+        let mut n = 0;
+        for e in &mut self.entries {
+            n += B::len_estimate(e.handle());
+        }
+        n
+    }
+
+    /// Counters: carry from evicted handles plus the live caches.
+    fn live_stats(&self) -> OpStats {
+        self.carry
+            + self
+                .entries
+                .iter()
+                .filter_map(|e| e.cached.as_ref())
+                .map(|h| B::stats(h))
+                .sum::<OpStats>()
+    }
+
+    /// Drains all counters (only meaningful when
+    /// [`ElasticBackend::drain_stats`] resets, i.e. for set backends).
+    fn take_stats(&mut self) -> OpStats {
+        let mut total = std::mem::take(&mut self.carry);
+        for e in &mut self.entries {
+            if let Some(h) = &mut e.cached {
+                total += B::drain_stats(h);
+            }
+        }
+        total
+    }
+
+    /// Load accounting + the amortized monitor hook.
+    #[inline]
+    fn note_ops(&mut self, idx: usize, n: u32) {
+        let e = &mut self.entries[idx];
+        e.local_ops += n;
+        if e.local_ops >= OPS_FLUSH_BLOCK {
+            e.shard.ops.bump(e.local_ops as u64);
+            e.local_ops = 0;
+        }
+        self.ops_since_check += n;
+        if self.ops_since_check >= self.core.policy.check_period {
+            self.ops_since_check = 0;
+            for e in &mut self.entries {
+                if e.local_ops > 0 {
+                    e.shard.ops.bump(e.local_ops as u64);
+                    e.local_ops = 0;
+                }
+            }
+            self.core.try_rebalance();
+        }
+    }
+
+    /// Backend handles this thread has actually materialized
+    /// (diagnostics; mirrors `ShardedSetHandle::cached_handles`).
+    fn cached_handles(&self) -> usize {
+        self.entries.iter().filter(|e| e.cached.is_some()).count()
+    }
+}
+
+/// An ordered set over elastically re-partitioned backend shards.
+///
+/// The elastic counterpart of [`ShardedSet`](crate::sharded::ShardedSet):
+/// same monotone range partition, same per-thread shard-handle caches,
+/// but the partition **adapts** — see the [module docs](self) for the
+/// router, migration protocol and load monitor. Implements
+/// [`ConcurrentOrderedSet`], so the whole benchmark harness runs on it
+/// unchanged.
+pub struct ElasticSet<K: ShardKey, B: ConcurrentOrderedSet<K>> {
+    core: ElasticCore<K, SetBackend<K, B>>,
+}
+
+impl<K, B> ElasticSet<K, B>
+where
+    K: ShardKey,
+    B: ConcurrentOrderedSet<K> + 'static,
+    for<'a> B::Handle<'a>: OrderedHandle<K>,
+{
+    /// Creates an empty set governed by `policy`.
+    pub fn with_policy(policy: LoadPolicy) -> Self {
+        ElasticSet {
+            core: ElasticCore::new(policy),
+        }
+    }
+
+    /// The thresholds this set rebalances under.
+    pub fn policy(&self) -> LoadPolicy {
+        self.core.policy
+    }
+
+    /// Current number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.core.shard_count()
+    }
+
+    /// The router version: bumped by every committed migration.
+    pub fn router_version(&self) -> u64 {
+        self.core.version.load(Acquire)
+    }
+
+    /// Committed splits so far.
+    pub fn splits(&self) -> u64 {
+        self.core.splits.load(Relaxed)
+    }
+
+    /// Committed merges so far.
+    pub fn merges(&self) -> u64 {
+        self.core.merges.load(Relaxed)
+    }
+
+    /// Deterministically splits the shard owning `key` (test and
+    /// operational support). `true` iff a split committed.
+    pub fn force_split_at(&self, key: K) -> bool {
+        self.core.force_split_at(key)
+    }
+
+    /// Deterministically merges the shard owning `key` with its right
+    /// neighbour. `true` iff a merge committed.
+    pub fn force_merge_at(&self, key: K) -> bool {
+        self.core.force_merge_at(key)
+    }
+
+    /// The intervals' lower rank bounds, ascending (diagnostics).
+    pub fn shard_bounds(&self) -> Vec<u64> {
+        self.core.lock_router().iter().map(|s| s.lo).collect()
+    }
+
+    /// Live keys per shard (quiescent).
+    pub fn shard_sizes(&mut self) -> Vec<usize> {
+        let table = self.core.router.get_mut().unwrap();
+        table
+            .iter_mut()
+            .map(|shard| {
+                Arc::get_mut(shard)
+                    .expect("quiescent elastic structure still shares a shard")
+                    .backend
+                    .collect_items()
+                    .len()
+            })
+            .collect()
+    }
+}
+
+impl<K, B> Default for ElasticSet<K, B>
+where
+    K: ShardKey,
+    B: ConcurrentOrderedSet<K> + 'static,
+    for<'a> B::Handle<'a>: OrderedHandle<K>,
+{
+    fn default() -> Self {
+        <Self as ConcurrentOrderedSet<K>>::new()
+    }
+}
+
+impl<K, B> ConcurrentOrderedSet<K> for ElasticSet<K, B>
+where
+    K: ShardKey,
+    B: ConcurrentOrderedSet<K> + 'static,
+    for<'a> B::Handle<'a>: OrderedHandle<K>,
+{
+    type Handle<'a>
+        = ElasticSetHandle<'a, K, B>
+    where
+        Self: 'a;
+
+    const NAME: &'static str = elastic_name(B::NAME);
+
+    fn new() -> Self {
+        Self::with_policy(LoadPolicy::default())
+    }
+
+    fn handle(&self) -> ElasticSetHandle<'_, K, B> {
+        ElasticSetHandle {
+            inner: self.core.handle(),
+        }
+    }
+
+    fn collect_keys(&mut self) -> Vec<K> {
+        // Shard order is key order; concatenation is sorted.
+        self.core.collect_items()
+    }
+
+    fn check_invariants(&mut self) -> Result<(), InvariantViolation> {
+        self.core.check()
+    }
+}
+
+/// Per-thread handle over an [`ElasticSet`].
+pub struct ElasticSetHandle<'s, K, B>
+where
+    K: ShardKey,
+    B: ConcurrentOrderedSet<K> + 'static,
+    for<'a> B::Handle<'a>: OrderedHandle<K>,
+{
+    inner: CoreHandle<'s, K, SetBackend<K, B>>,
+}
+
+impl<K, B> ElasticSetHandle<'_, K, B>
+where
+    K: ShardKey,
+    B: ConcurrentOrderedSet<K> + 'static,
+    for<'a> B::Handle<'a>: OrderedHandle<K>,
+{
+    /// Number of backend handles this thread has actually created.
+    pub fn cached_handles(&self) -> usize {
+        self.inner.cached_handles()
+    }
+}
+
+impl<K, B> SetHandle<K> for ElasticSetHandle<'_, K, B>
+where
+    K: ShardKey,
+    B: ConcurrentOrderedSet<K> + 'static,
+    for<'a> B::Handle<'a>: OrderedHandle<K>,
+{
+    fn add(&mut self, key: K) -> bool {
+        self.inner.with_shard(key, |h| h.add(key))
+    }
+
+    fn remove(&mut self, key: K) -> bool {
+        self.inner.with_shard(key, |h| h.remove(key))
+    }
+
+    fn contains(&mut self, key: K) -> bool {
+        self.inner.with_shard(key, |h| h.contains(key))
+    }
+
+    fn add_batch(&mut self, keys: &mut [K]) -> usize {
+        self.inner.batched(keys, |h, run| h.add_batch(run))
+    }
+
+    fn remove_batch(&mut self, keys: &mut [K]) -> usize {
+        self.inner.batched(keys, |h, run| h.remove_batch(run))
+    }
+
+    fn stats(&self) -> OpStats {
+        self.inner.live_stats()
+    }
+
+    fn take_stats(&mut self) -> OpStats {
+        self.inner.take_stats()
+    }
+}
+
+impl<K, B> OrderedHandle<K> for ElasticSetHandle<'_, K, B>
+where
+    K: ShardKey,
+    B: ConcurrentOrderedSet<K> + 'static,
+    for<'a> B::Handle<'a>: OrderedHandle<K>,
+{
+    fn range<R: RangeBounds<K>>(&mut self, range: R) -> Snapshot<K> {
+        Snapshot::from_vec(self.inner.scan(&ScanBounds::from_range(&range)))
+    }
+
+    fn len_estimate(&mut self) -> usize {
+        self.inner.len_estimate()
+    }
+}
+
+/// An ordered key→value map over elastically re-partitioned
+/// [`ListMap`] shards: the value-carrying counterpart of [`ElasticSet`],
+/// mirroring [`ShardedMap`](crate::sharded::ShardedMap)'s API.
+///
+/// # Examples
+///
+/// ```
+/// use pragmatic_list::elastic::{ElasticMap, LoadPolicy};
+///
+/// let map = ElasticMap::<i64, u64>::with_policy(LoadPolicy {
+///     min_split_keys: 2,
+///     ..LoadPolicy::default()
+/// });
+/// let mut h = map.handle();
+/// for k in [30i64, -7, 12, 99] {
+///     assert!(h.insert(k, k.unsigned_abs()));
+/// }
+/// assert!(map.force_split_at(10));
+/// assert_eq!(h.get(-7), Some(7));
+/// assert_eq!(h.remove(12), Some(12));
+/// assert_eq!(h.range(-10..=50).into_vec(), vec![(-7, 7), (30, 30)]);
+/// ```
+pub struct ElasticMap<K: ShardKey, V: Copy + Send + Sync + 'static> {
+    core: ElasticCore<K, ListMap<K, V>>,
+}
+
+impl<K: ShardKey, V: Copy + Send + Sync + 'static> Default for ElasticMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: ShardKey, V: Copy + Send + Sync + 'static> ElasticMap<K, V> {
+    /// Creates an empty map under the default [`LoadPolicy`].
+    pub fn new() -> Self {
+        Self::with_policy(LoadPolicy::default())
+    }
+
+    /// Creates an empty map governed by `policy`.
+    pub fn with_policy(policy: LoadPolicy) -> Self {
+        ElasticMap {
+            core: ElasticCore::new(policy),
+        }
+    }
+
+    /// Per-thread handle.
+    pub fn handle(&self) -> ElasticMapHandle<'_, K, V> {
+        ElasticMapHandle {
+            inner: self.core.handle(),
+        }
+    }
+
+    /// Current number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.core.shard_count()
+    }
+
+    /// Committed splits so far.
+    pub fn splits(&self) -> u64 {
+        self.core.splits.load(Relaxed)
+    }
+
+    /// Committed merges so far.
+    pub fn merges(&self) -> u64 {
+        self.core.merges.load(Relaxed)
+    }
+
+    /// Deterministically splits the shard owning `key`.
+    pub fn force_split_at(&self, key: K) -> bool {
+        self.core.force_split_at(key)
+    }
+
+    /// Deterministically merges the shard owning `key` with its right
+    /// neighbour.
+    pub fn force_merge_at(&self, key: K) -> bool {
+        self.core.force_merge_at(key)
+    }
+
+    /// Quiescent snapshot of all `(key, value)` pairs in key order.
+    pub fn collect(&mut self) -> Vec<(K, V)> {
+        self.core.collect_items()
+    }
+
+    /// Quiescent structural check (router + shard chains + routing).
+    pub fn check_invariants(&mut self) -> Result<(), InvariantViolation> {
+        self.core.check()
+    }
+}
+
+/// Per-thread handle over an [`ElasticMap`].
+pub struct ElasticMapHandle<'m, K: ShardKey, V: Copy + Send + Sync + 'static> {
+    inner: CoreHandle<'m, K, ListMap<K, V>>,
+}
+
+impl<K: ShardKey, V: Copy + Send + Sync + 'static> ElasticMapHandle<'_, K, V> {
+    /// Inserts `key → value`; `true` iff the key was absent.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        self.inner.with_shard(key, |h| h.insert(key, value))
+    }
+
+    /// Removes `key`; returns its value iff this thread won the delete.
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        self.inner.with_shard(key, |h| h.remove(key))
+    }
+
+    /// Wait-free lookup (may stall briefly behind a migration of the
+    /// key's shard).
+    pub fn get(&mut self, key: K) -> Option<V> {
+        self.inner.with_shard(key, |h| h.get(key))
+    }
+
+    /// `true` iff `key` is present.
+    pub fn contains_key(&mut self, key: K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Scans live `(key, value)` pairs with keys inside `range`,
+    /// ascending, stitched across migrations.
+    pub fn range<R: RangeBounds<K>>(&mut self, range: R) -> Snapshot<(K, V)> {
+        Snapshot::from_vec(self.inner.scan(&ScanBounds::from_range(&range)))
+    }
+
+    /// Scans all live `(key, value)` pairs in ascending key order.
+    pub fn iter(&mut self) -> Snapshot<(K, V)> {
+        self.range(..)
+    }
+
+    /// Estimated number of live entries.
+    pub fn len_estimate(&mut self) -> usize {
+        self.inner.len_estimate()
+    }
+
+    /// Aggregated counters (evicted caches included).
+    pub fn stats(&self) -> OpStats {
+        self.inner.live_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variants::{SinglyCursorList, SinglyHintedList};
+
+    /// A tiny-threshold policy so unit tests migrate eagerly and
+    /// deterministically (pure op counting — no clocks).
+    fn eager() -> LoadPolicy {
+        LoadPolicy {
+            initial_shards: 1,
+            max_shards: 16,
+            check_period: 64,
+            window_min_ops: 128,
+            split_share_pct: 10,
+            merge_share_pct: 0,
+            min_split_keys: 4,
+        }
+    }
+
+    fn spread(k: i64) -> i64 {
+        (k - 150) * (i64::MAX / 512)
+    }
+
+    type Set = ElasticSet<i64, SinglyCursorList<i64>>;
+
+    #[test]
+    fn names_resolve() {
+        assert_eq!(Set::NAME, "elastic_singly");
+        assert_eq!(
+            ElasticSet::<i64, crate::variants::SinglyCursorEpochList<i64>>::NAME,
+            "elastic_singly_epoch"
+        );
+        assert_eq!(
+            ElasticSet::<i64, crate::variants::DoublyCursorList<i64>>::NAME,
+            "elastic"
+        );
+    }
+
+    #[test]
+    fn starts_with_initial_shards_and_agrees_with_flat() {
+        let policy = LoadPolicy {
+            initial_shards: 4,
+            ..LoadPolicy::default()
+        };
+        let set = ElasticSet::<i64, SinglyCursorList<i64>>::with_policy(policy);
+        assert_eq!(set.shard_count(), 4);
+        assert_eq!(set.shard_bounds()[0], 0);
+        let flat = SinglyCursorList::<i64>::new();
+        let mut hs = set.handle();
+        let mut hf = flat.handle();
+        let mut x = 0x9e37_79b9u64;
+        for _ in 0..4_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = spread(((x >> 33) % 300) as i64);
+            match x % 3 {
+                0 => assert_eq!(hs.add(k), hf.add(k)),
+                1 => assert_eq!(hs.remove(k), hf.remove(k)),
+                _ => assert_eq!(hs.contains(k), hf.contains(k)),
+            }
+        }
+        drop((hs, hf));
+        let (mut set, mut flat) = (set, flat);
+        assert_eq!(set.collect_keys(), flat.collect_keys());
+        set.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn force_split_preserves_contents_and_reroutes() {
+        let set = Set::with_policy(LoadPolicy {
+            initial_shards: 1,
+            min_split_keys: 4,
+            ..LoadPolicy::default()
+        });
+        let mut h = set.handle();
+        for k in 0..100 {
+            h.add(spread(k));
+        }
+        assert!(set.force_split_at(spread(50)));
+        assert_eq!(set.shard_count(), 2);
+        assert_eq!(set.splits(), 1);
+        assert_eq!(set.router_version(), 2);
+        // The same handle keeps operating correctly after the split.
+        for k in 0..100 {
+            assert!(h.contains(spread(k)), "key {k} lost by the split");
+        }
+        for k in 100..140 {
+            assert!(h.add(spread(k)));
+        }
+        drop(h);
+        let mut set = set;
+        assert_eq!(set.collect_keys(), (0..140).map(spread).collect::<Vec<_>>());
+        set.check_invariants().unwrap();
+        let sizes = set.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 140);
+        assert!(sizes.iter().all(|&s| s > 0), "split must not starve a side");
+    }
+
+    #[test]
+    fn force_split_aborts_below_min_keys_and_unseals() {
+        let set = Set::with_policy(LoadPolicy {
+            initial_shards: 1,
+            min_split_keys: 64,
+            ..LoadPolicy::default()
+        });
+        let mut h = set.handle();
+        for k in 0..10 {
+            h.add(spread(k));
+        }
+        assert!(!set.force_split_at(spread(5)), "too few keys to split");
+        assert_eq!(set.shard_count(), 1);
+        // The aborted split unsealed the shard: operations proceed.
+        assert!(h.contains(spread(3)));
+        assert!(h.add(spread(11)));
+    }
+
+    #[test]
+    fn force_merge_restores_a_single_shard() {
+        let set = Set::with_policy(LoadPolicy {
+            initial_shards: 1,
+            min_split_keys: 4,
+            ..LoadPolicy::default()
+        });
+        let mut h = set.handle();
+        for k in 0..64 {
+            h.add(spread(k));
+        }
+        assert!(set.force_split_at(spread(32)));
+        assert!(set.force_split_at(spread(10)));
+        assert_eq!(set.shard_count(), 3);
+        assert!(set.force_merge_at(spread(10)));
+        assert!(set.force_merge_at(spread(10)));
+        assert_eq!(set.shard_count(), 1);
+        assert_eq!(set.merges(), 2);
+        for k in 0..64 {
+            assert!(h.contains(spread(k)));
+        }
+        drop(h);
+        let mut set = set;
+        assert_eq!(set.collect_keys().len(), 64);
+        set.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn auto_split_fires_on_a_hot_shard_deterministically() {
+        let set = Set::with_policy(eager());
+        let mut h = set.handle();
+        // Clustered hot keys: everything lands in one narrow interval.
+        for round in 0..40 {
+            for k in 0..64 {
+                if round == 0 {
+                    h.add(k);
+                } else {
+                    h.contains(k);
+                }
+            }
+        }
+        assert!(
+            set.splits() > 0,
+            "hot-shard share must trip the monitor (counts only, no clocks)"
+        );
+        assert!(set.shard_count() > 1);
+        drop(h);
+        let mut set = set;
+        assert_eq!(set.collect_keys().len(), 64);
+        set.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn auto_merge_reclaims_cold_shards() {
+        let policy = LoadPolicy {
+            max_shards: 4, // table pressure: merging arms at 3 shards
+            merge_share_pct: 30,
+            ..eager()
+        };
+        let set = Set::with_policy(policy);
+        let mut h = set.handle();
+        for k in 0..64 {
+            h.add(k);
+        }
+        for k in 0..64 {
+            h.add(spread(k)); // a second, far-away populated region
+        }
+        assert!(set.force_split_at(10));
+        assert!(set.force_split_at(spread(10)));
+        let shards_before = set.shard_count();
+        assert!(shards_before >= 3);
+        // Hammer one key far from the split regions: every other pair
+        // goes cold and the monitor merges it.
+        for _ in 0..4_000 {
+            h.contains(i64::MAX / 2);
+        }
+        assert!(set.merges() > 0, "cold pairs must be merged back");
+        drop(h);
+        let mut set = set;
+        assert_eq!(set.collect_keys().len(), 128);
+        set.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stats_survive_migrations() {
+        let set = Set::with_policy(LoadPolicy {
+            min_split_keys: 4,
+            ..LoadPolicy::default()
+        });
+        let mut h = set.handle();
+        for k in 0..50 {
+            assert!(h.add(spread(k)));
+        }
+        assert!(set.force_split_at(spread(25)));
+        for k in 50..80 {
+            assert!(h.add(spread(k)));
+        }
+        assert!(set.force_split_at(spread(60)));
+        for k in 0..10 {
+            assert!(h.remove(spread(k)));
+        }
+        let s = h.take_stats();
+        assert_eq!(s.adds, 80, "adds must survive cache eviction");
+        assert_eq!(s.rems, 10);
+        assert!(h.take_stats().is_zero(), "take drains");
+    }
+
+    #[test]
+    fn unrelated_splits_keep_surviving_shard_caches() {
+        let set = Set::with_policy(LoadPolicy {
+            initial_shards: 2,
+            min_split_keys: 4,
+            ..LoadPolicy::default()
+        });
+        let mut h = set.handle();
+        for k in 0..32 {
+            h.add(k); // top half of the keyspace: shard 1
+            h.add(spread(k)); // bottom half: shard 0
+        }
+        assert_eq!(h.cached_handles(), 2);
+        assert!(set.force_split_at(spread(16)));
+        // Touch only the shard untouched by the migration: the refresh
+        // keeps its cache (cursor included) and evicts only the split
+        // shard's — so exactly one cached handle remains.
+        assert!(h.contains(0));
+        assert_eq!(h.cached_handles(), 1, "survivor cache kept, old evicted");
+        // Touching a split child materializes a fresh cache for it.
+        assert!(h.contains(spread(16)));
+        assert_eq!(h.cached_handles(), 2);
+    }
+
+    #[test]
+    fn scans_stitch_across_split_points() {
+        use std::collections::BTreeSet;
+        let set = Set::with_policy(LoadPolicy {
+            initial_shards: 1,
+            min_split_keys: 4,
+            ..LoadPolicy::default()
+        });
+        let mut h = set.handle();
+        let mut oracle = BTreeSet::new();
+        for k in (0..300).step_by(3) {
+            h.add(spread(k));
+            oracle.insert(spread(k));
+        }
+        assert!(set.force_split_at(spread(150)));
+        assert!(set.force_split_at(spread(75)));
+        assert!(set.force_split_at(spread(225)));
+        let all: Vec<i64> = oracle.iter().copied().collect();
+        assert_eq!(h.iter().into_vec(), all);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        // The elastic boundary regression: a window whose exclusive end
+        // IS a split point must neither duplicate nor re-visit it.
+        let split_key = {
+            let bounds = set.shard_bounds();
+            // Recover a key whose rank is exactly an interval floor.
+            let target = bounds[1];
+            all.iter()
+                .copied()
+                .find(|k| k.rank64() == target)
+                .expect("split point is the median key, which is live")
+        };
+        let want: Vec<i64> = oracle.range(..split_key).copied().collect();
+        assert_eq!(h.range(..split_key).into_vec(), want);
+        let want_incl: Vec<i64> = oracle.range(..=split_key).copied().collect();
+        assert_eq!(h.range(..=split_key).into_vec(), want_incl);
+        for (lo, hi) in [(-100, 100), (0, 299), (100, 101), (250, 250)] {
+            let (lo, hi) = (spread(lo), spread(hi));
+            let want: Vec<i64> = oracle.range(lo..hi).copied().collect();
+            assert_eq!(h.range(lo..hi).into_vec(), want, "{lo}..{hi}");
+        }
+        assert_eq!(h.len_estimate(), oracle.len());
+    }
+
+    #[test]
+    fn concurrent_churn_with_forced_migrations_keeps_accounting() {
+        let set = Set::with_policy(LoadPolicy {
+            min_split_keys: 2,
+            ..LoadPolicy::default()
+        });
+        let totals: OpStats = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..4)
+                .map(|t| {
+                    let set = &set;
+                    s.spawn(move || {
+                        let mut h = set.handle();
+                        let mut x = 0x1234_5678u64 ^ ((t as u64) << 32);
+                        for _ in 0..6_000 {
+                            x = x
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            let k = spread(((x >> 33) % 128) as i64);
+                            match x % 3 {
+                                0 => {
+                                    h.add(k);
+                                }
+                                1 => {
+                                    h.remove(k);
+                                }
+                                _ => {
+                                    h.contains(k);
+                                }
+                            }
+                        }
+                        h.take_stats()
+                    })
+                })
+                .collect();
+            // Force migrations while the workers churn.
+            for i in 0..40i64 {
+                let _ = set.force_split_at(spread(i * 3 % 128));
+                if i % 4 == 3 {
+                    let _ = set.force_merge_at(spread(i % 128));
+                }
+                std::thread::yield_now();
+            }
+            workers.into_iter().map(|w| w.join().unwrap()).sum()
+        });
+        assert!(set.splits() > 0, "splits must have fired mid-churn");
+        let mut set = set;
+        set.check_invariants().unwrap();
+        let live = set.collect_keys().len() as u64;
+        assert_eq!(
+            totals.adds - totals.rems,
+            live,
+            "adds − removes must equal live keys across migrations"
+        );
+    }
+
+    #[test]
+    fn hinted_backend_survives_decommission() {
+        // Per-thread search hints point at nodes of the backend shard;
+        // when a migration decommissions that backend the handle cache
+        // (hints included) is evicted before the backend can be freed —
+        // operations after the split must neither crash nor mis-answer.
+        let set = ElasticSet::<i64, SinglyHintedList<i64>>::with_policy(LoadPolicy {
+            min_split_keys: 4,
+            ..LoadPolicy::default()
+        });
+        let mut h = set.handle();
+        for k in 0..256 {
+            h.add(spread(k));
+        }
+        // Warm the hints with long walks.
+        for k in (0..256).step_by(7) {
+            assert!(h.contains(spread(k)));
+        }
+        assert!(set.force_split_at(spread(128)));
+        assert!(set.force_split_at(spread(64)));
+        for k in 0..256 {
+            assert!(h.contains(spread(k)), "hint after decommission: key {k}");
+        }
+        for k in (0..256).step_by(2) {
+            assert!(h.remove(spread(k)));
+        }
+        drop(h);
+        let mut set = set;
+        assert_eq!(set.collect_keys().len(), 128);
+        set.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn elastic_map_matches_flat_listmap_across_splits() {
+        let map = ElasticMap::<i64, i64>::with_policy(LoadPolicy {
+            min_split_keys: 4,
+            ..LoadPolicy::default()
+        });
+        let flat = ListMap::<i64, i64>::new();
+        let mut hm = map.handle();
+        let mut hf = flat.handle();
+        let mut x = 0xfeed_f00du64;
+        for round in 0..6 {
+            for _ in 0..600 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let k = spread(((x >> 33) % 128) as i64);
+                let v = (x % 1_000) as i64;
+                match x % 3 {
+                    0 => assert_eq!(hm.insert(k, v), hf.insert(k, v)),
+                    1 => assert_eq!(hm.remove(k), hf.remove(k)),
+                    _ => assert_eq!(hm.get(k), hf.get(k)),
+                }
+            }
+            let _ = map.force_split_at(spread((round * 20) % 128));
+        }
+        assert!(map.splits() > 0);
+        assert_eq!(hm.iter().into_vec(), hf.iter().into_vec());
+        assert_eq!(
+            hm.range(spread(-20)..spread(90)).into_vec(),
+            hf.range(spread(-20)..spread(90)).into_vec()
+        );
+        assert_eq!(hm.len_estimate(), hf.len_estimate());
+        drop((hm, hf));
+        let (mut map, mut flat) = (map, flat);
+        assert_eq!(map.collect(), flat.collect());
+        map.check_invariants().unwrap();
+    }
+
+    mod leaks {
+        use super::*;
+        use crate::reclaim::leak::{self, LeakKey};
+        use crate::reclaim::{EpochReclaim, HazardReclaim};
+        use crate::singly::SinglyList;
+
+        impl ShardKey for LeakKey {
+            const RANK_INJECTIVE: bool = true;
+            fn rank64(self) -> u64 {
+                self.0.rank64()
+            }
+        }
+
+        /// Churn + forced migrations + drop: every node the retired and
+        /// live shard backends ever allocated must be freed.
+        fn assert_migrations_are_leak_free<B>(drive_epoch: bool)
+        where
+            B: ConcurrentOrderedSet<LeakKey> + 'static,
+            for<'a> B::Handle<'a>: OrderedHandle<LeakKey>,
+        {
+            let _serial = leak::LEAK_TEST_LOCK
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let (a0, f0) = leak::snapshot();
+            {
+                let set = ElasticSet::<LeakKey, B>::with_policy(LoadPolicy {
+                    min_split_keys: 2,
+                    ..LoadPolicy::default()
+                });
+                {
+                    // Persistent keys the workers never remove, so a
+                    // forced split always has material to move.
+                    let mut h = set.handle();
+                    for i in 201..=216 {
+                        h.add(LeakKey(i));
+                    }
+                }
+                std::thread::scope(|s| {
+                    for t in 0..3i64 {
+                        let set = &set;
+                        s.spawn(move || {
+                            let mut h = set.handle();
+                            for round in 0..4i64 {
+                                for i in 0..150 {
+                                    h.add(LeakKey((i * 3 + t) % 120 + 1));
+                                }
+                                for i in 0..150 {
+                                    h.remove(LeakKey((i * 3 + t + round) % 120 + 1));
+                                }
+                            }
+                        });
+                    }
+                    // Force migrations until several committed,
+                    // *paced*: a hot seal/unseal loop would starve the
+                    // workers of unsealed windows on a single-core box.
+                    let mut i = 0i64;
+                    while set.splits() < 3 && i < 5_000 {
+                        let _ = set.force_split_at(LeakKey(i * 6 % 216 + 1));
+                        if i % 3 == 0 {
+                            let _ = set.force_merge_at(LeakKey(i % 216 + 1));
+                        }
+                        i += 1;
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    }
+                });
+                assert!(set.splits() > 0, "{}: no migration fired", B::NAME);
+            }
+            if drive_epoch {
+                for _ in 0..10_000 {
+                    let (a, f) = leak::snapshot();
+                    if a - a0 == f - f0 {
+                        break;
+                    }
+                    crossbeam_epoch::pin().flush();
+                    std::thread::yield_now();
+                }
+            }
+            let (a1, f1) = leak::snapshot();
+            assert!(a1 > a0, "{}: churn must allocate", B::NAME);
+            assert_eq!(
+                a1 - a0,
+                f1 - f0,
+                "{}: retired shard backends must free every node",
+                B::NAME
+            );
+        }
+
+        #[test]
+        fn arena_backend_migrations_are_leak_free() {
+            assert_migrations_are_leak_free::<SinglyList<LeakKey, true, true, false>>(false);
+        }
+
+        #[test]
+        fn epoch_backend_migrations_are_leak_free() {
+            assert_migrations_are_leak_free::<SinglyList<LeakKey, true, true, false, EpochReclaim>>(
+                true,
+            );
+        }
+
+        #[test]
+        fn hazard_backend_migrations_are_leak_free() {
+            assert_migrations_are_leak_free::<SinglyList<LeakKey, true, false, false, HazardReclaim>>(
+                false,
+            );
+        }
+
+        #[test]
+        fn decommissioned_backend_is_freed_once_handles_refresh() {
+            let _serial = leak::LEAK_TEST_LOCK
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let set = ElasticSet::<LeakKey, SinglyList<LeakKey, true, true, false>>::with_policy(
+                LoadPolicy {
+                    min_split_keys: 2,
+                    ..LoadPolicy::default()
+                },
+            );
+            let mut h = set.handle();
+            for i in 1..=64 {
+                h.add(LeakKey(i));
+            }
+            let (_, f0) = leak::snapshot();
+            assert!(set.force_split_at(LeakKey(32)));
+            // The old backend is still pinned by this handle's snapshot.
+            let (_, f_before) = leak::snapshot();
+            // Any operation refreshes the snapshot, releasing the last
+            // reference: the retired backend frees its nodes *now*, not
+            // at set drop.
+            assert!(h.contains(LeakKey(1)));
+            let (_, f_after) = leak::snapshot();
+            assert!(
+                f_after > f_before && f_after > f0,
+                "retired backend must be reclaimed on refresh ({f_before} → {f_after})"
+            );
+            drop(h);
+        }
+    }
+}

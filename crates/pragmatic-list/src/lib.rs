@@ -66,6 +66,12 @@
 //! `range()` scans, aggregated `len_estimate()`; [`ShardedMap`] is the
 //! key→value sibling over [`map::ListMap`] shards.
 //!
+//! Static partitions lose to *drifting* hotspots; [`elastic`] adds
+//! load-aware resharding on top of the same monotone partition:
+//! [`ElasticSet`] / [`ElasticMap`] watch per-shard load online and split
+//! hot shards (merging cold ones) while concurrent operations run, under
+//! an injectable [`LoadPolicy`].
+//!
 //! ## Memory reclamation
 //!
 //! Every list is generic over a [`Reclaimer`] — see [`reclaim`] for the
@@ -98,6 +104,7 @@
 
 pub mod arena;
 pub mod doubly;
+pub mod elastic;
 pub mod hint;
 mod key;
 pub mod map;
@@ -112,6 +119,7 @@ pub mod slab;
 mod stats;
 pub mod variants;
 
+pub use elastic::{ElasticMap, ElasticSet, LoadPolicy};
 pub use key::Key;
 pub use ordered::{OrderedHandle, ScanBounds, Snapshot};
 pub use reclaim::Reclaimer;

@@ -193,6 +193,34 @@ impl<K: Key> ScanBounds<K> {
             Bound::Unbounded => None,
         }
     }
+
+    /// `true` iff the window's end bound is exclusive. Paired with
+    /// [`end_key`](ScanBounds::end_key) this lets a partitioned backend
+    /// decide whether the interval *owning* the end key can still
+    /// contribute: an exclusive end that coincides with an interval's
+    /// lower boundary owns no keys there.
+    #[inline]
+    pub fn end_excluded(&self) -> bool {
+        matches!(self.hi, Bound::Excluded(_))
+    }
+
+    /// Tightens the window so it starts strictly after `key` (used by
+    /// stitched scans to resume without re-emitting the keys already
+    /// reported before a partition changed under them). The end bound is
+    /// unchanged; the start becomes `Excluded(key)` unless the existing
+    /// start is already tighter.
+    #[inline]
+    pub fn resume_after(&self, key: K) -> ScanBounds<K> {
+        let keep = match self.lo {
+            Bound::Included(lo) => lo > key,
+            Bound::Excluded(lo) => lo >= key,
+            Bound::Unbounded => false,
+        };
+        ScanBounds {
+            lo: if keep { self.lo } else { Bound::Excluded(key) },
+            hi: self.hi,
+        }
+    }
 }
 
 /// A resolved `ScanBounds` is itself a range expression, so a composite
@@ -309,6 +337,32 @@ mod tests {
         use std::ops::Bound;
         let b = ScanBounds::from_range(&(Bound::Excluded(3i64), Bound::Unbounded));
         assert!(b.before_start(3) && !b.before_start(4));
+    }
+
+    #[test]
+    fn end_exclusivity_is_observable() {
+        assert!(ScanBounds::from_range(&(3i64..8)).end_excluded());
+        assert!(!ScanBounds::from_range(&(3i64..=8)).end_excluded());
+        assert!(!ScanBounds::from_range(&(3i64..)).end_excluded());
+    }
+
+    #[test]
+    fn resume_after_tightens_only_the_start() {
+        let b = ScanBounds::from_range(&(3i64..10));
+        let r = b.resume_after(5);
+        assert!(
+            r.before_start(5) && !r.before_start(6),
+            "start moved past 5"
+        );
+        assert!(r.after_end(10) && !r.after_end(9), "end unchanged");
+        // An already-tighter start is kept.
+        let r = b.resume_after(1);
+        assert!(r.before_start(2) && !r.before_start(3));
+        // An exclusive start equal to the resume key is already tight.
+        use std::ops::Bound;
+        let b = ScanBounds::from_range(&(Bound::Excluded(5i64), Bound::Unbounded));
+        let r = b.resume_after(5);
+        assert!(r.before_start(5) && !r.before_start(6));
     }
 
     #[test]

@@ -113,6 +113,13 @@ pub enum InvariantViolation {
         /// Position of the offending key within that shard's key order.
         position: usize,
     },
+    /// The elastic router's interval table is malformed: intervals not
+    /// contiguous/ascending from rank 0, or a decommission marker left
+    /// behind on a routed shard (elastic structures only).
+    RouterCorrupt {
+        /// Index of the offending interval in the router table.
+        interval: usize,
+    },
 }
 
 impl std::fmt::Display for InvariantViolation {
@@ -134,6 +141,9 @@ impl std::fmt::Display for InvariantViolation {
                     f,
                     "shard {shard} holds a key outside its interval at position {position}"
                 )
+            }
+            Self::RouterCorrupt { interval } => {
+                write!(f, "elastic router interval {interval} is malformed")
             }
         }
     }
@@ -157,6 +167,7 @@ mod tests {
                 position: 5,
             }
             .to_string(),
+            InvariantViolation::RouterCorrupt { interval: 1 }.to_string(),
         ];
         for (i, a) in msgs.iter().enumerate() {
             for b in msgs.iter().skip(i + 1) {

@@ -101,6 +101,14 @@ use crate::Key;
 /// assert_eq!(shard_of(42u8, 1), 0);
 /// ```
 pub trait ShardKey: Key {
+    /// `true` iff [`rank64`](ShardKey::rank64) is *injective*: distinct
+    /// keys always have distinct ranks. All integer impls up to 64 bits
+    /// are injective; the 128-bit types (which route on their top 64
+    /// bits) are not. Routers use this to prove that no key below an
+    /// exclusive scan end can share the end key's shard, which lets them
+    /// skip the shard whose interval *starts* exactly at that end.
+    const RANK_INJECTIVE: bool = false;
+
     /// Monotone rank of this key within the full `u64` space.
     fn rank64(self) -> u64;
 }
@@ -108,6 +116,7 @@ pub trait ShardKey: Key {
 macro_rules! impl_shard_key_unsigned {
     ($($t:ty),* $(,)?) => {$(
         impl ShardKey for $t {
+            const RANK_INJECTIVE: bool = true;
             #[inline]
             fn rank64(self) -> u64 {
                 (self as u64) << (64 - <$t>::BITS)
@@ -119,6 +128,7 @@ macro_rules! impl_shard_key_unsigned {
 macro_rules! impl_shard_key_signed {
     ($(($t:ty, $u:ty)),* $(,)?) => {$(
         impl ShardKey for $t {
+            const RANK_INJECTIVE: bool = true;
             #[inline]
             fn rank64(self) -> u64 {
                 (((self as $u) ^ (1 << (<$t>::BITS - 1))) as u64) << (64 - <$t>::BITS)
@@ -190,6 +200,15 @@ pub const fn sharded_name(inner: &'static str, n: usize) -> &'static str {
     }
 }
 
+/// `true` iff `rank` is the smallest rank owned by shard `s` of an
+/// `n`-way even partition (i.e. `rank` sits exactly on the shard's lower
+/// boundary). `shard_of` is monotone in the rank, so it suffices to
+/// check that `rank - 1` routes lower.
+pub(crate) fn rank_is_shard_floor(rank: u64, s: usize, n: usize) -> bool {
+    debug_assert_eq!(((rank as u128 * n as u128) >> 64) as usize, s);
+    rank == 0 || (((rank - 1) as u128 * n as u128) >> 64) as usize != s
+}
+
 /// Resolves a scan window to the shard interval it intersects and
 /// concatenates the per-shard snapshots, in shard order (= key order,
 /// since the partition is monotone, so the result is sorted). Shared by
@@ -198,14 +217,37 @@ pub const fn sharded_name(inner: &'static str, n: usize) -> &'static str {
 /// The interval is empty for inverted windows; each shard only holds its
 /// own keyspace interval, so re-passing the full bounds to every visited
 /// shard is correct (`ScanBounds` itself implements `RangeBounds`).
+///
+/// Boundary semantics: when the window's end is *exclusive* and falls
+/// exactly on a shard's lower boundary, that shard owns no key below the
+/// end (for injective ranks), so it is not visited at all — previously
+/// the selection walked into it and re-visited the boundary key only to
+/// filter it out, an extra shard traversal (and an extra per-thread
+/// shard handle) per scan.
 fn scan_shards<K: ShardKey, T>(
     bounds: &ScanBounds<K>,
     n: usize,
     mut scan: impl FnMut(usize) -> Snapshot<T>,
 ) -> Snapshot<T> {
     let first = bounds.seek_key().map_or(0, |k| shard_of(k, n));
-    let last = bounds.end_key().map_or(n - 1, |k| shard_of(k, n));
+    let last = match bounds.end_key() {
+        None => n - 1,
+        Some(k) => {
+            let s = shard_of(k, n);
+            if bounds.end_excluded()
+                && K::RANK_INJECTIVE
+                && s > 0
+                && rank_is_shard_floor(k.rank64(), s, n)
+            {
+                s - 1
+            } else {
+                s
+            }
+        }
+    };
     let mut items = Vec::new();
+    // `first..=last` is empty when `last < first` (a window lying
+    // entirely below the skipped boundary shard).
     for i in first..=last {
         items.extend(scan(i));
     }
@@ -652,6 +694,82 @@ mod tests {
         let inverted = (Bound::Included(7i64), Bound::Excluded(3i64));
         assert!(h.range(inverted).is_empty(), "inverted window");
         assert_eq!(h.len_estimate(), all.len());
+    }
+
+    #[test]
+    fn exclusive_end_on_a_shard_boundary_skips_the_boundary_shard() {
+        // Regression: with 4 shards over u64, shard 1 starts exactly at
+        // rank 1<<62. A scan `..boundary` (exclusive) owns nothing in
+        // shard 1, yet the interval selection used to walk into it and
+        // visit the boundary key again just to filter it out — visible
+        // as an extra per-thread shard handle.
+        let boundary = 1u64 << 62;
+        let set = ShardedSet::<u64, SinglyCursorList<u64>, 4>::new();
+        let mut h = set.handle();
+        for k in [1u64, boundary - 1, boundary, boundary + 1] {
+            h.add(k);
+        }
+        drop(h);
+        let mut h = set.handle();
+        assert_eq!(
+            h.range(1..boundary).into_vec(),
+            vec![1, boundary - 1],
+            "exclusive end: boundary key itself excluded"
+        );
+        assert_eq!(
+            h.cached_handles(),
+            1,
+            "the shard starting at the exclusive end must not be visited"
+        );
+        // Inclusive end at the same point does visit the boundary shard.
+        assert_eq!(
+            h.range(1..=boundary).into_vec(),
+            vec![1, boundary - 1, boundary]
+        );
+        assert_eq!(h.cached_handles(), 2);
+        // A window entirely *inside* the skipped shard stays empty and
+        // never walks shard 0 either.
+        let mut h2 = set.handle();
+        assert!(h2.range(boundary..boundary).is_empty());
+        assert_eq!(h2.cached_handles(), 0, "empty boundary window: no shard");
+    }
+
+    #[test]
+    fn non_injective_ranks_keep_visiting_the_boundary_shard() {
+        // u128 routes on its top 64 bits, so distinct keys share ranks;
+        // skipping the boundary shard would lose keys below the end that
+        // happen to share its rank. The conservative path must stay.
+        const { assert!(!<u128 as ShardKey>::RANK_INJECTIVE) };
+        let lo_of_shard_1_of_2 = 1u128 << 127; // rank 1<<63 → shard 1 of 2
+        let set = ShardedSet::<u128, SinglyCursorList<u128>, 2>::new();
+        let mut h = set.handle();
+        // Same rank as the boundary, but strictly below the end key.
+        h.add(lo_of_shard_1_of_2 + 1);
+        h.add(lo_of_shard_1_of_2 + 5);
+        assert_eq!(
+            h.range(1..lo_of_shard_1_of_2 + 5).into_vec(),
+            vec![lo_of_shard_1_of_2 + 1],
+            "a key sharing the excluded end's rank must still be found"
+        );
+    }
+
+    #[test]
+    fn rank_floor_detection_matches_shard_of() {
+        for n in [2usize, 3, 4, 8, 32] {
+            for s in 1..n {
+                // The exact lower boundary of shard s: smallest rank r
+                // with (r*n)>>64 == s, i.e. ceil(s·2^64/n).
+                let floor = (((s as u128) << 64).div_ceil(n as u128)) as u64;
+                assert_eq!(shard_of_rank(floor, n), s);
+                assert!(rank_is_shard_floor(floor, s, n), "n={n} s={s}");
+                if shard_of_rank(floor + 1, n) == s {
+                    assert!(!rank_is_shard_floor(floor + 1, s, n), "n={n} s={s}");
+                }
+            }
+        }
+        fn shard_of_rank(rank: u64, n: usize) -> usize {
+            ((rank as u128 * n as u128) >> 64) as usize
+        }
     }
 
     #[test]

@@ -171,6 +171,36 @@ pub(crate) fn live_bump(slot: &CachePadded<std::sync::atomic::AtomicI64>, delta:
     slot.0.store(slot.0.load(Relaxed) + delta, Relaxed);
 }
 
+/// A cache-padded windowed load counter: one per elastic shard, bumped
+/// by operating handles in amortized blocks and read / reset by the load
+/// monitor when it closes an observation window.
+///
+/// All accesses are `Relaxed` — the counter steers rebalancing
+/// heuristics, never correctness, so a slightly stale read only delays
+/// or anticipates a split by one window.
+#[derive(Debug, Default)]
+pub(crate) struct WindowCounter(CachePadded<std::sync::atomic::AtomicU64>);
+
+impl WindowCounter {
+    /// Adds `n` operations to the current window.
+    #[inline]
+    pub(crate) fn bump(&self, n: u64) {
+        self.0 .0.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The window's running count.
+    #[inline]
+    pub(crate) fn read(&self) -> u64 {
+        self.0 .0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Closes the window: resets the count to zero.
+    #[inline]
+    pub(crate) fn reset(&self) {
+        self.0 .0.store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +263,17 @@ mod tests {
     fn cache_padded_slots_do_not_share_lines() {
         assert!(std::mem::size_of::<CachePadded<u8>>() >= 128);
         assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+    }
+
+    #[test]
+    fn window_counter_accumulates_and_resets() {
+        let c = WindowCounter::default();
+        assert_eq!(c.read(), 0);
+        c.bump(64);
+        c.bump(3);
+        assert_eq!(c.read(), 67);
+        c.reset();
+        assert_eq!(c.read(), 0);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use proptest::prelude::*;
 
+use pragmatic_list::elastic::{ElasticMap, ElasticSet, LoadPolicy};
 use pragmatic_list::sharded::{ShardedMap, ShardedSet};
 use pragmatic_list::variants::{
     CursorOnlyList, DoublyBackptrList, DoublyCursorEpochList, DoublyCursorList, DoublyHintedList,
@@ -18,6 +19,67 @@ use seq_list::{DoublySeqList, SeqOrderedSet, SinglySeqList};
 type ShardedSingly8 = ShardedSet<i64, SinglyCursorList<i64>, 8>;
 type ShardedSkiplist8 = ShardedSet<i64, lockfree_skiplist::SkipListSet<i64>, 8>;
 type ShardedEpoch8 = ShardedSet<i64, pragmatic_list::variants::SinglyCursorEpochList<i64>, 8>;
+type ElasticSingly = ElasticSet<i64, SinglyCursorList<i64>>;
+type ElasticSkiplist = ElasticSet<i64, lockfree_skiplist::SkipListSet<i64>>;
+
+/// A policy that lets the elastic differential tests split tiny shards.
+fn splittable() -> LoadPolicy {
+    LoadPolicy {
+        min_split_keys: 2,
+        ..LoadPolicy::default()
+    }
+}
+
+/// Applies `tape` to an elastic set and a `BTreeSet` oracle while
+/// *forcing* a migration every `split_every` steps (a split at the key
+/// just operated on; every fourth decision a merge instead), then
+/// checks quiescent exactness: op-for-op agreement, full and windowed
+/// scans, final contents, and the router/backend invariants.
+fn check_elastic_with_forced_migrations<B>(tape: &[Step], split_every: usize)
+where
+    B: ConcurrentOrderedSet<i64> + 'static,
+    for<'a> B::Handle<'a>: OrderedHandle<i64>,
+{
+    use std::collections::BTreeSet;
+    let set = ElasticSet::<i64, B>::with_policy(splittable());
+    let mut h = set.handle();
+    let mut oracle = BTreeSet::new();
+    for (i, &step) in tape.iter().enumerate() {
+        let (got, want, key) = match step {
+            Step::Add(k) => (h.add(k), oracle.insert(k), k),
+            Step::Remove(k) => (h.remove(k), oracle.remove(&k), k),
+            Step::Contains(k) => (h.contains(k), oracle.contains(&k), k),
+        };
+        assert_eq!(got, want, "elastic({}): step {i} diverged", B::NAME);
+        if split_every > 0 && i % split_every == split_every - 1 {
+            if (i / split_every) % 4 == 3 {
+                set.force_merge_at(key);
+            } else {
+                set.force_split_at(key);
+            }
+        }
+    }
+    let all: Vec<i64> = oracle.iter().copied().collect();
+    assert_eq!(h.iter().into_vec(), all, "elastic: full scan after splits");
+    assert_eq!(h.len_estimate(), oracle.len());
+    // Windowed scans, including windows whose ends sit exactly on the
+    // split points the forced migrations created.
+    for &lo in all.iter().take(3) {
+        for &hi in all.iter().rev().take(3) {
+            if lo <= hi {
+                let want: Vec<i64> = oracle.range(lo..hi).copied().collect();
+                assert_eq!(h.range(lo..hi).into_vec(), want, "window {lo}..{hi}");
+                let want: Vec<i64> = oracle.range(lo..=hi).copied().collect();
+                assert_eq!(h.range(lo..=hi).into_vec(), want, "window {lo}..={hi}");
+            }
+        }
+    }
+    drop(h);
+    let mut set = set;
+    assert_eq!(set.collect_keys(), all, "elastic: final contents");
+    set.check_invariants()
+        .unwrap_or_else(|e| panic!("elastic({}): invariant violated: {e}", B::NAME));
+}
 
 /// Spreads a small test key (safe for `0..512`) across the `i64` domain
 /// so it exercises several shards of an 8-way partition — small keys
@@ -355,6 +417,20 @@ fn scans_stay_consistent_under_churn_sharded_epoch() {
     scan_under_churn::<ShardedEpoch8>();
 }
 
+#[test]
+fn scans_stay_consistent_under_churn_elastic_singly() {
+    // The default policy's monitor runs off op counts, so the sustained
+    // churn makes real splits fire *during* the readers' scans: the
+    // weak-consistency contract (sorted, stable band kept, no phantoms)
+    // must hold across migrations, not just across shards.
+    scan_under_churn::<ElasticSingly>();
+}
+
+#[test]
+fn scans_stay_consistent_under_churn_elastic_skiplist() {
+    scan_under_churn::<ElasticSkiplist>();
+}
+
 /// The `ShardedMap` weak-consistency contract under churn, with the key
 /// bands spread across the shards so the merged scan genuinely crosses
 /// shard boundaries: while writers hammer a churn band, reader scans
@@ -538,6 +614,69 @@ proptest! {
             .collect();
         check_batches_against_btreeset::<ShardedSingly8>(&spread_tape);
         check_batches_against_btreeset::<ShardedSkiplist8>(&spread_tape);
+    }
+
+    /// The elastic sets replay arbitrary tapes identically to the
+    /// `BTreeSet` oracle while migrations are *forced* mid-tape —
+    /// quiescent exactness, sorted windowed scans across the split
+    /// points, stable final contents, no phantoms.
+    #[test]
+    fn elastic_backends_match_btreeset_with_forced_migrations(
+        tape in proptest::collection::vec(step_strategy(64), 20..300),
+        split_every in 5usize..40,
+    ) {
+        let spread_tape: Vec<Step> = tape
+            .iter()
+            .map(|s| match *s {
+                Step::Add(k) => Step::Add(spread(k)),
+                Step::Remove(k) => Step::Remove(spread(k)),
+                Step::Contains(k) => Step::Contains(spread(k)),
+            })
+            .collect();
+        check_elastic_with_forced_migrations::<SinglyCursorList<i64>>(&spread_tape, split_every);
+        check_elastic_with_forced_migrations::<lockfree_skiplist::SkipListSet<i64>>(&spread_tape, split_every);
+    }
+
+    /// `ElasticMap` against the `BTreeMap` oracle with splits forced
+    /// mid-churn: op-for-op agreement, exact quiescent scans, exact
+    /// final contents.
+    #[test]
+    fn elastic_map_matches_btreemap_with_forced_migrations(
+        tape in proptest::collection::vec((0..3, 1i64..=64), 20..300),
+        split_every in 5usize..40,
+    ) {
+        use std::collections::BTreeMap;
+        let map = ElasticMap::<i64, i64>::with_policy(splittable());
+        let mut h = map.handle();
+        let mut oracle = BTreeMap::new();
+        for (i, &(op, k0)) in tape.iter().enumerate() {
+            let k = spread(k0);
+            match op {
+                0 => {
+                    let expect = !oracle.contains_key(&k);
+                    assert_eq!(h.insert(k, k0 * 7), expect);
+                    if expect {
+                        oracle.insert(k, k0 * 7);
+                    }
+                }
+                1 => assert_eq!(h.remove(k), oracle.remove(&k)),
+                _ => assert_eq!(h.get(k), oracle.get(&k).copied()),
+            }
+            if i % split_every == split_every - 1 {
+                if (i / split_every) % 4 == 3 {
+                    map.force_merge_at(k);
+                } else {
+                    map.force_split_at(k);
+                }
+            }
+        }
+        let all: Vec<(i64, i64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(h.iter().into_vec(), all.clone());
+        prop_assert_eq!(h.len_estimate(), oracle.len());
+        drop(h);
+        let mut map = map;
+        prop_assert_eq!(map.collect(), all);
+        map.check_invariants().unwrap();
     }
 
     /// Sharded backends replay arbitrary tapes identically to the

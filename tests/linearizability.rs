@@ -160,6 +160,20 @@ fn record_and_check_spread<S: ConcurrentOrderedSet<i64>>(
     seed: u64,
 ) -> bool {
     let list = S::new();
+    record_and_check_spread_on(&list, threads, ops, keys, seed)
+}
+
+/// As [`record_and_check_spread`], over a caller-built list — so a test
+/// can configure the structure (an elastic set with an eager
+/// [`LoadPolicy`](pragmatic_list::LoadPolicy)) and inspect it after the
+/// history was checked.
+fn record_and_check_spread_on<S: ConcurrentOrderedSet<i64>>(
+    list: &S,
+    threads: u32,
+    ops: u64,
+    keys: i64,
+    seed: u64,
+) -> bool {
     let rec = Recorder::new();
     let logs: Vec<_> = std::thread::scope(|s| {
         let workers: Vec<_> = (0..threads)
@@ -214,6 +228,49 @@ fn sharded_singly_is_linearizable() {
                 0x5AAD_ED00 ^ round
             ),
             "sharded_singly produced a non-linearizable history (round {round})"
+        );
+    }
+}
+
+#[test]
+fn elastic_singly_is_linearizable_with_migrations_firing() {
+    use pragmatic_list::elastic::{ElasticSet, LoadPolicy};
+    use pragmatic_list::variants::SinglyCursorList;
+    // Eager thresholds: the monitor closes a window every ~16 ops, so
+    // splits fire *during* the recorded histories; migrated keys must
+    // still produce linearizable per-key histories.
+    let mut any_split = false;
+    for round in 0..6u64 {
+        let set = ElasticSet::<i64, SinglyCursorList<i64>>::with_policy(LoadPolicy {
+            initial_shards: 1,
+            max_shards: 32,
+            check_period: 8,
+            window_min_ops: 16,
+            split_share_pct: 10,
+            merge_share_pct: 0,
+            min_split_keys: 2,
+        });
+        assert!(
+            record_and_check_spread_on(&set, 4, 30, 6, 0xE1A5_71C0 ^ round),
+            "elastic_singly produced a non-linearizable history (round {round})"
+        );
+        any_split |= set.splits() > 0;
+    }
+    assert!(any_split, "no migration fired across six eager rounds");
+}
+
+#[test]
+fn elastic_skiplist_is_linearizable() {
+    use pragmatic_list::elastic::ElasticSet;
+    for round in 0..6u64 {
+        assert!(
+            record_and_check_spread::<ElasticSet<i64, lockfree_skiplist::SkipListSet<i64>>>(
+                4,
+                30,
+                6,
+                0xE1A5_71C1 ^ round
+            ),
+            "elastic_skiplist produced a non-linearizable history (round {round})"
         );
     }
 }

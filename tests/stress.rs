@@ -248,6 +248,210 @@ fn stress_sharded_singly_epoch() {
 }
 
 #[test]
+fn stress_elastic_singly_router() {
+    // Uniform spread keys: no hotspot, so the monitor correctly leaves
+    // the partition alone — this exercises the elastic op protocol
+    // (slot publish, seal check, version revalidation) as pure overhead
+    // on every operation, with the same accounting invariant.
+    use pragmatic_list::elastic::ElasticSet;
+    mixed_stress_spread::<ElasticSet<i64, SinglyCursorList<i64>>>(8, 3_000, 64);
+}
+
+#[test]
+fn stress_elastic_skiplist_router() {
+    use pragmatic_list::elastic::ElasticSet;
+    mixed_stress_spread::<ElasticSet<i64, lockfree_skiplist::SkipListSet<i64>>>(8, 3_000, 64);
+}
+
+/// Concurrent churn with a migration storm forced from a coordinator
+/// thread: `successful adds − successful removes == live keys` must
+/// survive every split and merge (a migration that lost or duplicated a
+/// key, or let an op slip through a seal, breaks it).
+fn elastic_accounting_spans_migrations(threads: usize, ops: u64, migrations: usize) {
+    use pragmatic_list::elastic::{ElasticSet, LoadPolicy};
+    let set = ElasticSet::<i64, SinglyCursorList<i64>>::with_policy(LoadPolicy {
+        min_split_keys: 2,
+        ..LoadPolicy::default()
+    });
+    let totals: OpStats = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let set = &set;
+                s.spawn(move || {
+                    let mut h = set.handle();
+                    let mut rng = glibc_rand::GlibcRandom::new(glibc_rand::thread_seed(31, t));
+                    for _ in 0..ops {
+                        let k = rng.below(128) as i64 + 1;
+                        let key = (k - 64) * (i64::MAX / 128);
+                        match rng.below(100) {
+                            0..=39 => {
+                                h.add(key);
+                            }
+                            40..=79 => {
+                                h.remove(key);
+                            }
+                            _ => {
+                                h.contains(key);
+                            }
+                        }
+                    }
+                    h.take_stats()
+                })
+            })
+            .collect();
+        // Paced migration storm (a hot seal loop would starve the
+        // workers of unsealed windows on small boxes).
+        let mut i = 0usize;
+        while (set.splits() as usize) < migrations && i < migrations * 200 {
+            let k = (i as i64 * 37 % 128) - 64;
+            let _ = set.force_split_at(k * (i64::MAX / 128));
+            if i % 5 == 4 {
+                let _ = set.force_merge_at(k * (i64::MAX / 128));
+            }
+            i += 1;
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        workers.into_iter().map(|w| w.join().unwrap()).sum()
+    });
+    assert!(
+        set.splits() > 0,
+        "the migration storm never committed a split"
+    );
+    let mut set = set;
+    set.check_invariants().unwrap();
+    let live = set.collect_keys().len() as u64;
+    assert_eq!(
+        totals.adds - totals.rems,
+        live,
+        "elastic adds − removes must equal live keys across migrations          ({} splits, {} merges)",
+        set.splits(),
+        set.merges()
+    );
+}
+
+#[test]
+fn stress_elastic_accounting_spans_forced_migrations() {
+    elastic_accounting_spans_migrations(8, 2_500, 6);
+}
+
+#[test]
+fn stress_elastic_hinted_backend_hint_invalidation() {
+    // Hinted backends park node pointers in the per-thread handle;
+    // decommissioning a hinted shard must invalidate them (the cache is
+    // evicted before the retired backend frees its nodes). Concurrent
+    // churn + forced splits make every handle hold hints into shards
+    // that disappear under it.
+    use pragmatic_list::elastic::{ElasticSet, LoadPolicy};
+    let set = ElasticSet::<i64, SinglyHintedList<i64>>::with_policy(LoadPolicy {
+        min_split_keys: 2,
+        ..LoadPolicy::default()
+    });
+    let totals: OpStats = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..6)
+            .map(|t| {
+                let set = &set;
+                s.spawn(move || {
+                    let mut h = set.handle();
+                    let mut rng = glibc_rand::GlibcRandom::new(glibc_rand::thread_seed(53, t));
+                    for _ in 0..2_500u64 {
+                        let k = rng.below(512) as i64 + 1;
+                        let key = (k - 256) * (i64::MAX / 512);
+                        match rng.below(100) {
+                            0..=29 => {
+                                h.add(key);
+                            }
+                            30..=59 => {
+                                h.remove(key);
+                            }
+                            _ => {
+                                h.contains(key);
+                            }
+                        }
+                    }
+                    h.take_stats()
+                })
+            })
+            .collect();
+        let mut i = 0usize;
+        while (set.splits() as usize) < 5 && i < 2_000 {
+            let k = (i as i64 * 97 % 512) - 256;
+            let _ = set.force_split_at(k * (i64::MAX / 512));
+            i += 1;
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        workers.into_iter().map(|w| w.join().unwrap()).sum()
+    });
+    assert!(set.splits() > 0);
+    let mut set = set;
+    set.check_invariants().unwrap();
+    let live = set.collect_keys().len() as u64;
+    assert_eq!(totals.adds - totals.rems, live, "hinted elastic accounting");
+}
+
+/// Long-running migration race test, gated behind `ELASTIC_STRESS=1`
+/// (CI runs it in a dedicated job; locally it is a no-op by default).
+#[test]
+fn elastic_migration_long_stress() {
+    if std::env::var_os("ELASTIC_STRESS").is_none() {
+        eprintln!("elastic_migration_long_stress skipped (set ELASTIC_STRESS=1 to run)");
+        return;
+    }
+    elastic_accounting_spans_migrations(8, 40_000, 40);
+    // And the same storm over the value-carrying elastic map: winning
+    // removes must hand back the exact inserted value, across splits.
+    use pragmatic_list::elastic::{ElasticMap, LoadPolicy};
+    let map = ElasticMap::<i64, i64>::with_policy(LoadPolicy {
+        min_split_keys: 2,
+        ..LoadPolicy::default()
+    });
+    std::thread::scope(|s| {
+        for t in 0..8i64 {
+            let map = &map;
+            s.spawn(move || {
+                let mut h = map.handle();
+                let mut rng = glibc_rand::GlibcRandom::new(glibc_rand::thread_seed(67, t as usize));
+                for _ in 0..20_000 {
+                    let k = rng.below(256) as i64 + 1;
+                    let key = (k - 128) * (i64::MAX / 256);
+                    match rng.below(3) {
+                        0 => {
+                            h.insert(key, k * 1000);
+                        }
+                        1 => {
+                            if let Some(v) = h.remove(key) {
+                                assert_eq!(v, k * 1000, "foreign value for key {k}");
+                            }
+                        }
+                        _ => {
+                            if let Some(v) = h.get(key) {
+                                assert_eq!(v, k * 1000, "foreign value for key {k}");
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        let mut i = 0usize;
+        while (map.splits() as usize) < 30 && i < 6_000 {
+            let k = (i as i64 * 41 % 256) - 128;
+            let _ = map.force_split_at(k * (i64::MAX / 256));
+            if i % 6 == 5 {
+                let _ = map.force_merge_at(k * (i64::MAX / 256));
+            }
+            i += 1;
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+    });
+    assert!(map.splits() > 0);
+    let mut map = map;
+    map.check_invariants().unwrap();
+    for (k, v) in map.collect() {
+        assert_eq!(v % 1000, 0);
+        assert_eq!((v / 1000 - 128) * (i64::MAX / 256), k);
+    }
+}
+
+#[test]
 fn stress_sharded_map_concurrent_insert_remove() {
     // The value-carrying sharded map under the same churn: every value
     // handed back by a winning remove must be the one inserted for that
