@@ -1,0 +1,83 @@
+//! Vector clocks over store indices.
+//!
+//! A [`VClock`] maps each registered atomic variable to the index (into
+//! that variable's modification order) of the latest store the clock's
+//! owner is *aware of*. A thread whose clock says `view[v] = i` must not
+//! read any store to `v` older than index `i` — that is the coherence /
+//! happens-before floor the memory model enforces. Joining two clocks
+//! (element-wise max) is how release/acquire edges, mutex hand-offs, and
+//! thread spawn/join propagate awareness.
+
+/// A vector clock: per-variable minimum visible store index.
+///
+/// Dense representation (indexed by `VarId`); variables past the end of
+/// the vector are implicitly at index 0 (only the initial store is
+/// guaranteed visible).
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<usize>);
+
+impl VClock {
+    /// The owner's floor for variable `v`: no store older than this
+    /// index may be read.
+    pub(crate) fn get(&self, v: usize) -> usize {
+        self.0.get(v).copied().unwrap_or(0)
+    }
+
+    /// Raises the floor for `v` to at least `idx` (never lowers it).
+    pub(crate) fn set_max(&mut self, v: usize, idx: usize) {
+        if self.0.len() <= v {
+            self.0.resize(v + 1, 0);
+        }
+        if self.0[v] < idx {
+            self.0[v] = idx;
+        }
+    }
+
+    /// Element-wise max with `other`: afterwards the owner is aware of
+    /// everything either clock was aware of.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            if *a < *b {
+                *a = *b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::VClock;
+
+    #[test]
+    fn default_floor_is_zero() {
+        let c = VClock::default();
+        assert_eq!(c.get(0), 0);
+        assert_eq!(c.get(100), 0);
+    }
+
+    #[test]
+    fn set_max_never_lowers() {
+        let mut c = VClock::default();
+        c.set_max(3, 7);
+        assert_eq!(c.get(3), 7);
+        c.set_max(3, 2);
+        assert_eq!(c.get(3), 7);
+    }
+
+    #[test]
+    fn join_is_elementwise_max() {
+        let mut a = VClock::default();
+        a.set_max(0, 5);
+        a.set_max(2, 1);
+        let mut b = VClock::default();
+        b.set_max(0, 3);
+        b.set_max(1, 9);
+        a.join(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 9);
+        assert_eq!(a.get(2), 1);
+    }
+}

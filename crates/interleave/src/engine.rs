@@ -1,0 +1,1592 @@
+//! The exploration engine: a deterministic cooperative scheduler, a DFS
+//! explorer over scheduling/value decisions, and an acquire/release-aware
+//! store-visibility memory model.
+//!
+//! # How an execution runs
+//!
+//! Each *execution* (one interleaving) spawns real OS threads, but a
+//! single engine-wide baton (`Exec::current`) ensures only one of them
+//! runs user code at a time. Every instrumented operation parks its
+//! thread: the thread publishes the operation it is *about to* perform
+//! (`ThreadState::pending`), a scheduling decision picks who runs next,
+//! and the chosen thread wakes and executes its pending operation against
+//! the model state. Because every decision happens while all threads are
+//! parked with their next operation announced, the explorer always knows
+//! the full frontier — which is what makes sleep sets and the
+//! conflict-based pruner possible.
+//!
+//! # How exploration works
+//!
+//! Decisions (which thread runs; which store a load reads) form a tree.
+//! The engine runs depth-first: a persistent `trace` of [`Decision`]
+//! nodes records, for every branch point, the alternatives that existed
+//! and which one is currently taken. After an execution finishes, the
+//! deepest node with an unexplored alternative advances and the prefix is
+//! replayed — executions are deterministic functions of the decision
+//! sequence, which is also why a failure can be reproduced from the
+//! decision indices alone (the *seed*).
+//!
+//! # Soundness knobs
+//!
+//! * Preemption bound (CHESS-style): involuntary context switches per
+//!   execution are capped; forced switches (blocking, yields, stutter
+//!   breaks) are free.
+//! * Sleep sets: after a subtree for thread `t` at node `n` is explored,
+//!   `t` sleeps in `n`'s sibling subtrees until some executed operation
+//!   conflicts with `t`'s pending operation — a classic sound pruner.
+//! * `conflict_only` (off by default): at a branch point, only threads
+//!   whose pending operation *conflicts* with the current thread's next
+//!   operation are offered as preemption targets. This is an aggressive
+//!   under-approximation: it compares against the other thread's
+//!   *currently pending* op only, so it misses orderings whose conflict
+//!   is with a *later* op of that thread (e.g. a flag store that follows
+//!   a data store). Useful as a fast smoke-mode; off for real checking.
+
+use std::panic::AssertUnwindSafe;
+use std::rc::Rc;
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
+use std::sync::atomic::Ordering as StdOrdering;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::clock::VClock;
+
+pub(crate) type TId = usize;
+pub(crate) type VarId = usize;
+pub(crate) type MutexId = usize;
+
+/// Re-exported `std` ordering: the shims take real `Ordering` values.
+pub use std::sync::atomic::Ordering;
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_seqcst(o: Ordering) -> bool {
+    matches!(o, Ordering::SeqCst)
+}
+
+/// What an operation touches, for conflict detection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Target {
+    Var(VarId),
+    Mutex(MutexId),
+    Thread(TId),
+    None,
+}
+
+/// Read-modify-write flavors the shims need.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum RmwKind {
+    Add,
+    Sub,
+    Or,
+    And,
+    Xor,
+    Swap,
+}
+
+impl RmwKind {
+    fn apply(self, prev: u64, operand: u64, mask: u64) -> u64 {
+        let raw = match self {
+            RmwKind::Add => prev.wrapping_add(operand),
+            RmwKind::Sub => prev.wrapping_sub(operand),
+            RmwKind::Or => prev | operand,
+            RmwKind::And => prev & operand,
+            RmwKind::Xor => prev ^ operand,
+            RmwKind::Swap => operand,
+        };
+        raw & mask
+    }
+}
+
+/// One announced/executed operation.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Op {
+    pub(crate) kind: OpKind,
+    pub(crate) target: Target,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum OpKind {
+    Load {
+        ord: Ordering,
+    },
+    Store {
+        ord: Ordering,
+        val: u64,
+    },
+    Rmw {
+        ord: Ordering,
+        rmw: RmwKind,
+        operand: u64,
+    },
+    Cas {
+        expected: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    },
+    Fence {
+        ord: Ordering,
+    },
+    Lock,
+    /// Non-blocking acquisition attempt: always runnable; acquires if
+    /// the mutex is free, otherwise reports `WouldBlock` to the caller.
+    TryLock,
+    Unlock,
+    Spawn,
+    Join,
+    Yield,
+}
+
+fn is_var_write(op: &Op) -> bool {
+    matches!(
+        op.kind,
+        OpKind::Store { .. } | OpKind::Rmw { .. } | OpKind::Cas { .. }
+    )
+}
+
+/// Two operations conflict when reordering them can change the outcome:
+/// same variable with at least one writer, same mutex, or a fence
+/// against any variable access (conservative).
+pub(crate) fn conflicts(a: &Op, b: &Op) -> bool {
+    let fence_a = matches!(a.kind, OpKind::Fence { .. });
+    let fence_b = matches!(b.kind, OpKind::Fence { .. });
+    match (a.target, b.target) {
+        (Target::Var(x), Target::Var(y)) => x == y && (is_var_write(a) || is_var_write(b)),
+        (Target::Mutex(x), Target::Mutex(y)) => x == y,
+        _ => {
+            (fence_a && matches!(b.target, Target::Var(_)))
+                || (fence_b && matches!(a.target, Target::Var(_)))
+                || (fence_a && fence_b)
+        }
+    }
+}
+
+/// What a parked thread is waiting to do (or that it is done).
+#[derive(Debug)]
+enum Pending {
+    /// Spawned but still running eagerly to its first operation; never
+    /// schedulable (control returns to the spawner via `return_to`).
+    Starting,
+    /// Parked, about to execute this operation once scheduled.
+    Ready(Op),
+    /// The thread's closure returned (or unwound).
+    Finished,
+}
+
+struct ThreadState {
+    pending: Pending,
+    view: VClock,
+    /// Accumulated release-views of every message read (for acquire
+    /// fences).
+    read_acc: VClock,
+    /// Snapshot taken at the latest release fence, attached to
+    /// subsequent relaxed stores.
+    rel_fence: Option<VClock>,
+    /// Stutter detection: last (variable, store index) a pure load
+    /// observed, and how many times in a row.
+    last_load: Option<(VarId, usize)>,
+    stutters: u32,
+}
+
+impl ThreadState {
+    fn new(view: VClock) -> Self {
+        ThreadState {
+            pending: Pending::Starting,
+            view,
+            read_acc: VClock::default(),
+            rel_fence: None,
+            last_load: None,
+            stutters: 0,
+        }
+    }
+}
+
+/// One store in a variable's modification order.
+struct Msg {
+    val: u64,
+    /// The release view shipped with the store (for acquire loads), if
+    /// the store had release semantics or followed a release fence.
+    view: Option<VClock>,
+}
+
+struct Var {
+    history: Vec<Msg>,
+    /// Tombstone: the owning atomic was dropped. Any further access is a
+    /// use-after-free and fails the execution.
+    dead: bool,
+}
+
+struct MutexState {
+    held_by: Option<TId>,
+    /// View deposited by the last unlock, joined by the next lock.
+    view: VClock,
+}
+
+/// A branch point in the decision tree.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Alt {
+    Thread(TId),
+    Value(usize),
+}
+
+#[derive(Debug)]
+struct Decision {
+    /// Alternatives that existed when the node was created. Always at
+    /// least two during exploration (one-alternative decisions are never
+    /// recorded); exactly one for a seed-replay stub, which names the
+    /// forced choice and is matched by identity against the recomputed
+    /// list.
+    alts: Vec<Alt>,
+    chosen: usize,
+    /// Threads put to sleep at this node because their subtree here is
+    /// already explored; applied to the sleep set when replaying through
+    /// the node.
+    sleep_add: Vec<TId>,
+}
+
+/// Per-execution mutable state, reset for every interleaving.
+struct Exec {
+    epoch: u64,
+    /// Next decision index (depth into `trace`).
+    pos: usize,
+    threads: Vec<ThreadState>,
+    vars: Vec<Var>,
+    /// Address of each registered atomic's id cell → its var. Entries
+    /// survive `var_dead` (that is the point: a use-after-free access
+    /// resolves here even after the allocator scribbled the freed id
+    /// cell) and are overwritten when a new atomic registers at a
+    /// reused address.
+    addrs: std::collections::HashMap<usize, VarId>,
+    mutexes: Vec<MutexState>,
+    /// SeqCst clock: every SeqCst operation joins it first; SeqCst
+    /// writes fold their view back in. Over-approximates the C11 SC
+    /// order (slightly stronger than real SC semantics, strictly
+    /// stronger than acquire/release — so SeqCst→Relaxed weakenings
+    /// still manifest).
+    sc: VClock,
+    current: Option<TId>,
+    /// Deterministic hand-back for the run-to-first-op spawn protocol.
+    return_to: Option<TId>,
+    sleep: Vec<TId>,
+    preemptions: usize,
+    ops: u64,
+    aborting: bool,
+    /// This execution was cut short by the sleep-set pruner (all
+    /// runnable threads asleep) — not a failure, not a full exploration.
+    pruned: bool,
+    complete: bool,
+    live: usize,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+    log: Option<Vec<String>>,
+}
+
+impl Exec {
+    fn new(epoch: u64, log: bool) -> Self {
+        Exec {
+            epoch,
+            pos: 0,
+            threads: Vec::new(),
+            vars: Vec::new(),
+            addrs: std::collections::HashMap::new(),
+            mutexes: Vec::new(),
+            sc: VClock::default(),
+            current: None,
+            return_to: None,
+            sleep: Vec::new(),
+            preemptions: 0,
+            ops: 0,
+            aborting: false,
+            pruned: false,
+            complete: false,
+            live: 0,
+            os_handles: Vec::new(),
+            log: if log { Some(Vec::new()) } else { None },
+        }
+    }
+}
+
+/// Configuration shared by [`crate::Builder`] and the engine.
+#[derive(Clone)]
+pub(crate) struct Config {
+    pub(crate) preemption_bound: usize,
+    pub(crate) max_iterations: u64,
+    pub(crate) max_ops: u64,
+    pub(crate) max_staleness: usize,
+    pub(crate) conflict_only: bool,
+    pub(crate) value_nondet: bool,
+    pub(crate) on_reset: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: 2,
+            max_iterations: 100_000,
+            max_ops: 20_000,
+            max_staleness: 1,
+            conflict_only: false,
+            value_nondet: true,
+            on_reset: None,
+        }
+    }
+}
+
+struct Inner {
+    cfg: Config,
+    trace: Vec<Decision>,
+    /// Seed replay: the trace is pre-seeded with stub decisions and must
+    /// not be extended.
+    replay: bool,
+    failure: Option<Failure>,
+    exec: Exec,
+}
+
+pub(crate) struct Engine {
+    m: StdMutex<Inner>,
+    cv: Condvar,
+}
+
+/// Loads in a row reading the same store before the scheduler forcibly
+/// rotates away from the spinning thread.
+const STUTTER_LIMIT: u32 = 2;
+
+/// A failing execution, with everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// What went wrong (assertion message, deadlock, use-after-free...).
+    pub message: String,
+    /// Decision-index seed; feed to [`crate::Builder::replay`].
+    pub seed: String,
+    /// Per-operation log of the failing execution (filled by the
+    /// automatic logging re-run).
+    pub trace: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model check failed: {}", self.message)?;
+        writeln!(f, "seed: \"{}\"", self.seed)?;
+        if !self.trace.is_empty() {
+            writeln!(f, "failing schedule:")?;
+            for line in self.trace.lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of exploring a closure's interleavings.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Executions run (including pruned ones).
+    pub iterations: u64,
+    /// Executions cut short by the sleep-set pruner.
+    pub pruned: u64,
+    /// Deepest decision tree seen.
+    pub max_depth: usize,
+    /// Exploration stopped at `max_iterations` before exhausting the
+    /// (bounded) tree.
+    pub truncated: bool,
+    /// The first failing execution, if any.
+    pub failure: Option<Failure>,
+}
+
+/// Panic payload used to unwind checker threads when an execution is
+/// being torn down; never user-visible.
+struct Abort;
+
+/// Thread-local identity of a checker-managed thread.
+pub(crate) struct Ctx {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) tid: TId,
+    pub(crate) epoch: u64,
+    pub(crate) unwinding: std::cell::Cell<bool>,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Rc<Ctx>>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's checker context, if it is a live
+/// (non-unwinding) checker thread; `None` means "fall back to plain std
+/// behavior".
+pub(crate) fn with_active_ctx<R>(f: impl FnOnce(Option<&Rc<Ctx>>) -> R) -> R {
+    CTX.with(|c| {
+        let b = c.borrow();
+        match b.as_ref() {
+            Some(ctx) if !ctx.unwinding.get() => f(Some(ctx)),
+            _ => f(None),
+        }
+    })
+}
+
+/// Clears a mutex's `held_by` slot from an *unwinding* checker thread
+/// (whose context no longer counts as active) so teardown of the
+/// remaining threads is not wedged on a dead holder.
+pub(crate) fn force_unlock_current(m: MutexId) {
+    CTX.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            if ctx.engine.epoch_matches(ctx.epoch) {
+                ctx.engine.force_unlock(m);
+            }
+        }
+    });
+}
+
+/// Global execution counter: lets shims detect ids stamped by an older
+/// execution (stale epoch → re-register rather than misread).
+static GLOBAL_EPOCH: StdAtomicU64 = StdAtomicU64::new(1);
+
+/// Serializes whole model runs within the process: concurrent engines
+/// (e.g. `cargo test` running two model tests in parallel) would race on
+/// any shared statics the checked code touches.
+static MODEL_LOCK: StdMutex<()> = StdMutex::new(());
+
+/// Bits of the packed shim id used for the variable index.
+pub(crate) const ID_VAR_BITS: u32 = 24;
+
+pub(crate) fn encode_id(epoch: u64, var: usize) -> u64 {
+    (epoch << ID_VAR_BITS) | (var as u64 + 1)
+}
+
+pub(crate) fn decode_id(id: u64, epoch: u64) -> Option<usize> {
+    if id != 0 && (id >> ID_VAR_BITS) == epoch {
+        Some(((id & ((1 << ID_VAR_BITS) - 1)) - 1) as usize)
+    } else {
+        None
+    }
+}
+
+fn fmt_ord(o: Ordering) -> &'static str {
+    match o {
+        Ordering::Relaxed => "Relaxed",
+        Ordering::Acquire => "Acquire",
+        Ordering::Release => "Release",
+        Ordering::AcqRel => "AcqRel",
+        Ordering::SeqCst => "SeqCst",
+        _ => "?",
+    }
+}
+
+fn fmt_op(op: &Op) -> String {
+    let t = match op.target {
+        Target::Var(v) => format!("v{v}"),
+        Target::Mutex(m) => format!("m{m}"),
+        Target::Thread(t) => format!("t{t}"),
+        Target::None => String::new(),
+    };
+    match op.kind {
+        OpKind::Load { ord } => format!("load {t} {}", fmt_ord(ord)),
+        OpKind::Store { ord, val } => format!("store {t} <- {val} {}", fmt_ord(ord)),
+        OpKind::Rmw { ord, rmw, operand } => {
+            format!("rmw {t} {rmw:?} {operand} {}", fmt_ord(ord))
+        }
+        OpKind::Cas {
+            expected,
+            new,
+            success,
+            failure,
+        } => {
+            format!(
+                "cas {t} {expected} -> {new} {}/{}",
+                fmt_ord(success),
+                fmt_ord(failure)
+            )
+        }
+        OpKind::Fence { ord } => format!("fence {}", fmt_ord(ord)),
+        OpKind::Lock => format!("lock {t}"),
+        OpKind::TryLock => format!("try_lock {t}"),
+        OpKind::Unlock => format!("unlock {t}"),
+        OpKind::Spawn => "spawn".to_string(),
+        OpKind::Join => format!("join {t}"),
+        OpKind::Yield => "yield".to_string(),
+    }
+}
+
+impl Engine {
+    fn new(cfg: Config) -> Self {
+        Engine {
+            m: StdMutex::new(Inner {
+                cfg,
+                trace: Vec::new(),
+                replay: false,
+                failure: None,
+                exec: Exec::new(0, false),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, Inner> {
+        self.m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    // ---- shim registration (instantaneous; no scheduling) ----
+
+    pub(crate) fn var_register(&self, addr: usize, initial: u64) -> VarId {
+        let mut g = self.lock();
+        let id = g.exec.vars.len();
+        assert!(
+            id < (1 << ID_VAR_BITS) - 1,
+            "interleave: too many atomics in one execution"
+        );
+        g.exec.vars.push(Var {
+            history: vec![Msg {
+                val: initial,
+                view: None,
+            }],
+            dead: false,
+        });
+        g.exec.addrs.insert(addr, id);
+        id
+    }
+
+    /// Resolves an atomic whose id cell no longer holds a valid id —
+    /// either a fresh cell (`new()` writes 0) or one whose backing
+    /// memory was freed and scribbled by the allocator. A surviving
+    /// address entry means the *previous* occupant of this address; the
+    /// caller only consults it when the cell is non-zero (a zero cell is
+    /// a genuinely new atomic, possibly at a reused address).
+    pub(crate) fn var_lookup_addr(&self, addr: usize) -> Option<VarId> {
+        let g = self.lock();
+        g.exec.addrs.get(&addr).copied()
+    }
+
+    pub(crate) fn var_dead(&self, var: VarId) {
+        let mut g = self.lock();
+        if let Some(v) = g.exec.vars.get_mut(var) {
+            v.dead = true;
+        }
+    }
+
+    pub(crate) fn mutex_register(&self) -> MutexId {
+        let mut g = self.lock();
+        let id = g.exec.mutexes.len();
+        g.exec.mutexes.push(MutexState {
+            held_by: None,
+            view: VClock::default(),
+        });
+        id
+    }
+
+    // ---- scheduling core ----
+
+    /// Parks the calling thread with `op` announced, lets the explorer
+    /// pick who runs next, and returns (with the engine lock held) once
+    /// it is this thread's turn to execute `op`.
+    fn schedule<'a>(&'a self, ctx: &Ctx, op: Op) -> StdMutexGuard<'a, Inner> {
+        let mut g = self.lock();
+        let me = ctx.tid;
+        debug_assert_eq!(g.exec.epoch, ctx.epoch, "thread outlived its execution");
+        g.exec.ops += 1;
+        if g.exec.ops > g.cfg.max_ops && !g.exec.aborting {
+            let msg = format!(
+                "livelock suspected: execution exceeded max_ops = {} \
+                 (raise Builder::max_ops if the scenario is legitimately long)",
+                g.cfg.max_ops
+            );
+            fail(&mut g, msg, Some(me));
+        }
+        g.exec.threads[me].pending = Pending::Ready(op);
+        if !g.exec.aborting {
+            if let Some(rt) = g.exec.return_to.take() {
+                // First park of an eagerly-started thread: hand control
+                // straight back to the spawner, no decision recorded.
+                g.exec.current = Some(rt);
+            } else {
+                pick_next(&mut g, Some(me));
+            }
+        }
+        self.cv.notify_all();
+        self.wait_for_turn(g, ctx)
+    }
+
+    /// Waits until `current == me`; on abort, unwinds this thread when
+    /// the teardown rotation reaches it.
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut g: StdMutexGuard<'a, Inner>,
+        ctx: &Ctx,
+    ) -> StdMutexGuard<'a, Inner> {
+        let me = ctx.tid;
+        loop {
+            if g.exec.current == Some(me) {
+                if g.exec.aborting {
+                    abort_unwind(g, ctx);
+                }
+                return g;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    // ---- instrumented operations ----
+
+    pub(crate) fn op_load(&self, ctx: &Rc<Ctx>, var: VarId, ord: Ordering) -> u64 {
+        let op = Op {
+            kind: OpKind::Load { ord },
+            target: Target::Var(var),
+        };
+        let mut g = self.schedule(ctx, op);
+        let me = ctx.tid;
+        check_alive(&mut g, var, ctx);
+        if is_seqcst(ord) {
+            let sc = g.exec.sc.clone();
+            g.exec.threads[me].view.join(&sc);
+        }
+        let len = g.exec.vars[var].history.len();
+        // Eventual visibility: once a thread has re-read the same stale
+        // store STUTTER_LIMIT times, its coherence floor is forced past
+        // that store. Real memories propagate stores in finite time, and
+        // re-reading an identical value changes no program state, so only
+        // the first few stale reads of a given store are interesting —
+        // without this rule a spin-wait regenerates the same two-way
+        // value decision forever and the search never converges.
+        if let Some((lv, li)) = g.exec.threads[me].last_load {
+            if lv == var && li + 1 < len && g.exec.threads[me].stutters >= STUTTER_LIMIT {
+                g.exec.threads[me].view.set_max(var, li + 1);
+            }
+        }
+        let floor = g.exec.threads[me].view.get(var);
+        let lo = if g.cfg.value_nondet {
+            floor.max(len.saturating_sub(1 + g.cfg.max_staleness))
+        } else {
+            len - 1
+        };
+        let idx = if lo + 1 >= len {
+            len - 1
+        } else {
+            let alts: Vec<Alt> = (lo..len).rev().map(Alt::Value).collect();
+            match advance(&mut g, alts, ctx) {
+                Alt::Value(i) => i,
+                Alt::Thread(_) => unreachable!("value decision yielded a thread"),
+            }
+        };
+        let val = g.exec.vars[var].history[idx].val;
+        let msg_view = g.exec.vars[var].history[idx].view.clone();
+        let th = &mut g.exec.threads[me];
+        th.view.set_max(var, idx);
+        if let Some(mv) = &msg_view {
+            th.read_acc.join(mv);
+            if is_acquire(ord) {
+                th.view.join(mv);
+            }
+        }
+        if th.last_load == Some((var, idx)) {
+            th.stutters += 1;
+        } else {
+            th.stutters = 0;
+            th.last_load = Some((var, idx));
+        }
+        finish_op(&mut g, me, &op, Some(val));
+        val
+    }
+
+    pub(crate) fn op_store(&self, ctx: &Rc<Ctx>, var: VarId, ord: Ordering, val: u64) {
+        assert!(
+            !matches!(ord, Ordering::Acquire | Ordering::AcqRel),
+            "invalid store ordering"
+        );
+        let op = Op {
+            kind: OpKind::Store { ord, val },
+            target: Target::Var(var),
+        };
+        let mut g = self.schedule(ctx, op);
+        let me = ctx.tid;
+        check_alive(&mut g, var, ctx);
+        if is_seqcst(ord) {
+            let sc = g.exec.sc.clone();
+            g.exec.threads[me].view.join(&sc);
+        }
+        let idx = g.exec.vars[var].history.len();
+        g.exec.threads[me].view.set_max(var, idx);
+        let attach = if is_release(ord) {
+            Some(g.exec.threads[me].view.clone())
+        } else {
+            g.exec.threads[me].rel_fence.clone()
+        };
+        g.exec.vars[var].history.push(Msg { val, view: attach });
+        if is_seqcst(ord) {
+            let view = g.exec.threads[me].view.clone();
+            g.exec.sc.join(&view);
+        }
+        g.exec.threads[me].last_load = None;
+        finish_op(&mut g, me, &op, None);
+    }
+
+    pub(crate) fn op_rmw(
+        &self,
+        ctx: &Rc<Ctx>,
+        var: VarId,
+        ord: Ordering,
+        rmw: RmwKind,
+        operand: u64,
+        mask: u64,
+    ) -> u64 {
+        let op = Op {
+            kind: OpKind::Rmw { ord, rmw, operand },
+            target: Target::Var(var),
+        };
+        let mut g = self.schedule(ctx, op);
+        let me = ctx.tid;
+        check_alive(&mut g, var, ctx);
+        if is_seqcst(ord) {
+            let sc = g.exec.sc.clone();
+            g.exec.threads[me].view.join(&sc);
+        }
+        // RMWs always read the modification-order tail (atomicity).
+        let prev_idx = g.exec.vars[var].history.len() - 1;
+        let prev_val = g.exec.vars[var].history[prev_idx].val;
+        let prev_view = g.exec.vars[var].history[prev_idx].view.clone();
+        {
+            let th = &mut g.exec.threads[me];
+            th.view.set_max(var, prev_idx);
+            if let Some(pv) = &prev_view {
+                th.read_acc.join(pv);
+                if is_acquire(ord) {
+                    th.view.join(pv);
+                }
+            }
+        }
+        let new_val = rmw.apply(prev_val, operand, mask);
+        let idx = prev_idx + 1;
+        g.exec.threads[me].view.set_max(var, idx);
+        // Release-sequence carry: the new message keeps the previous
+        // head's release view, plus ours if this RMW releases.
+        let mut attach = prev_view;
+        let own = if is_release(ord) {
+            Some(g.exec.threads[me].view.clone())
+        } else {
+            g.exec.threads[me].rel_fence.clone()
+        };
+        if let Some(own) = own {
+            match &mut attach {
+                Some(a) => a.join(&own),
+                None => attach = Some(own),
+            }
+        }
+        g.exec.vars[var].history.push(Msg {
+            val: new_val,
+            view: attach,
+        });
+        if is_seqcst(ord) {
+            let view = g.exec.threads[me].view.clone();
+            g.exec.sc.join(&view);
+        }
+        g.exec.threads[me].last_load = None;
+        finish_op(&mut g, me, &op, Some(prev_val));
+        prev_val
+    }
+
+    /// Compare-and-swap. Both arms read the modification-order tail —
+    /// a documented *strengthening* of C11 (a real CAS failure may read
+    /// a stale value) chosen to tame the state space; CAS retry loops
+    /// re-read on their own anyway.
+    pub(crate) fn op_cas(
+        &self,
+        ctx: &Rc<Ctx>,
+        var: VarId,
+        expected: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        let op = Op {
+            kind: OpKind::Cas {
+                expected,
+                new,
+                success,
+                failure,
+            },
+            target: Target::Var(var),
+        };
+        let mut g = self.schedule(ctx, op);
+        let me = ctx.tid;
+        check_alive(&mut g, var, ctx);
+        let prev_idx = g.exec.vars[var].history.len() - 1;
+        let prev_val = g.exec.vars[var].history[prev_idx].val;
+        let prev_view = g.exec.vars[var].history[prev_idx].view.clone();
+        let ok = prev_val == expected;
+        let ord = if ok { success } else { failure };
+        if is_seqcst(ord) {
+            let sc = g.exec.sc.clone();
+            g.exec.threads[me].view.join(&sc);
+        }
+        {
+            let th = &mut g.exec.threads[me];
+            th.view.set_max(var, prev_idx);
+            if let Some(pv) = &prev_view {
+                th.read_acc.join(pv);
+                if is_acquire(ord) {
+                    th.view.join(pv);
+                }
+            }
+        }
+        if ok {
+            let idx = prev_idx + 1;
+            g.exec.threads[me].view.set_max(var, idx);
+            let mut attach = prev_view;
+            let own = if is_release(ord) {
+                Some(g.exec.threads[me].view.clone())
+            } else {
+                g.exec.threads[me].rel_fence.clone()
+            };
+            if let Some(own) = own {
+                match &mut attach {
+                    Some(a) => a.join(&own),
+                    None => attach = Some(own),
+                }
+            }
+            g.exec.vars[var].history.push(Msg {
+                val: new,
+                view: attach,
+            });
+            if is_seqcst(ord) {
+                let view = g.exec.threads[me].view.clone();
+                g.exec.sc.join(&view);
+            }
+        }
+        g.exec.threads[me].last_load = None;
+        finish_op(&mut g, me, &op, Some(prev_val));
+        if ok {
+            Ok(prev_val)
+        } else {
+            Err(prev_val)
+        }
+    }
+
+    pub(crate) fn op_fence(&self, ctx: &Rc<Ctx>, ord: Ordering) {
+        let op = Op {
+            kind: OpKind::Fence { ord },
+            target: Target::None,
+        };
+        let mut g = self.schedule(ctx, op);
+        let me = ctx.tid;
+        if is_acquire(ord) {
+            let acc = g.exec.threads[me].read_acc.clone();
+            g.exec.threads[me].view.join(&acc);
+        }
+        if is_seqcst(ord) {
+            let sc = g.exec.sc.clone();
+            g.exec.threads[me].view.join(&sc);
+            let view = g.exec.threads[me].view.clone();
+            g.exec.sc.join(&view);
+        }
+        if is_release(ord) {
+            let v = g.exec.threads[me].view.clone();
+            g.exec.threads[me].rel_fence = Some(v);
+        }
+        finish_op(&mut g, me, &op, None);
+    }
+
+    pub(crate) fn op_lock(&self, ctx: &Rc<Ctx>, m: MutexId) {
+        let op = Op {
+            kind: OpKind::Lock,
+            target: Target::Mutex(m),
+        };
+        let mut g = self.schedule(ctx, op);
+        let me = ctx.tid;
+        debug_assert!(g.exec.mutexes[m].held_by.is_none());
+        g.exec.mutexes[m].held_by = Some(me);
+        let mv = g.exec.mutexes[m].view.clone();
+        g.exec.threads[me].view.join(&mv);
+        finish_op(&mut g, me, &op, None);
+    }
+
+    /// Returns `true` if the mutex was acquired (the caller now holds
+    /// it), `false` for would-block.
+    pub(crate) fn op_try_lock(&self, ctx: &Rc<Ctx>, m: MutexId) -> bool {
+        let op = Op {
+            kind: OpKind::TryLock,
+            target: Target::Mutex(m),
+        };
+        let mut g = self.schedule(ctx, op);
+        let me = ctx.tid;
+        let acquired = if g.exec.mutexes[m].held_by.is_none() {
+            g.exec.mutexes[m].held_by = Some(me);
+            let mv = g.exec.mutexes[m].view.clone();
+            g.exec.threads[me].view.join(&mv);
+            true
+        } else {
+            false
+        };
+        finish_op(&mut g, me, &op, Some(acquired as u64));
+        acquired
+    }
+
+    pub(crate) fn op_unlock(&self, ctx: &Rc<Ctx>, m: MutexId) {
+        let op = Op {
+            kind: OpKind::Unlock,
+            target: Target::Mutex(m),
+        };
+        let mut g = self.schedule(ctx, op);
+        let me = ctx.tid;
+        g.exec.mutexes[m].held_by = None;
+        g.exec.mutexes[m].view = g.exec.threads[me].view.clone();
+        finish_op(&mut g, me, &op, None);
+    }
+
+    /// Best-effort release during abort teardown (no scheduling).
+    pub(crate) fn force_unlock(&self, m: MutexId) {
+        let mut g = self.lock();
+        if let Some(ms) = g.exec.mutexes.get_mut(m) {
+            ms.held_by = None;
+        }
+    }
+
+    /// Full-state fallback read of a mutex id for unwinding threads.
+    pub(crate) fn epoch_matches(&self, epoch: u64) -> bool {
+        self.lock().exec.epoch == epoch
+    }
+
+    pub(crate) fn op_yield(&self, ctx: &Rc<Ctx>) {
+        let op = Op {
+            kind: OpKind::Yield,
+            target: Target::None,
+        };
+        let mut g = self.schedule(ctx, op);
+        let me = ctx.tid;
+        finish_op(&mut g, me, &op, None);
+    }
+
+    pub(crate) fn op_spawn(&self, ctx: &Rc<Ctx>, body: Box<dyn FnOnce() + Send + 'static>) -> TId {
+        let op = Op {
+            kind: OpKind::Spawn,
+            target: Target::None,
+        };
+        let mut g = self.schedule(ctx, op);
+        let me = ctx.tid;
+        let tid = g.exec.threads.len();
+        let pview = g.exec.threads[me].view.clone();
+        g.exec.threads.push(ThreadState::new(pview));
+        g.exec.live += 1;
+        let engine = Arc::clone(&ctx.engine);
+        let epoch = g.exec.epoch;
+        let h = std::thread::Builder::new()
+            .name(format!("interleave-{tid}"))
+            .spawn(move || thread_main(engine, tid, epoch, body))
+            .expect("interleave: OS thread spawn failed");
+        g.exec.os_handles.push(h);
+        // Run the child eagerly to its first instrumented op, then take
+        // control back — deterministic, so no decision is recorded.
+        g.exec.return_to = Some(me);
+        g.exec.current = Some(tid);
+        self.cv.notify_all();
+        let mut g = self.wait_for_turn(g, ctx);
+        finish_op(&mut g, me, &op, Some(tid as u64));
+        tid
+    }
+
+    pub(crate) fn op_join(&self, ctx: &Rc<Ctx>, target: TId) {
+        let op = Op {
+            kind: OpKind::Join,
+            target: Target::Thread(target),
+        };
+        let mut g = self.schedule(ctx, op);
+        let me = ctx.tid;
+        debug_assert!(matches!(g.exec.threads[target].pending, Pending::Finished));
+        let cv = g.exec.threads[target].view.clone();
+        g.exec.threads[me].view.join(&cv);
+        finish_op(&mut g, me, &op, None);
+    }
+}
+
+/// Marks the thread as unwinding and panics out of user code with the
+/// internal abort payload. The wrapper in [`thread_main`] catches it.
+fn abort_unwind(g: StdMutexGuard<'_, Inner>, ctx: &Ctx) -> ! {
+    ctx.unwinding.set(true);
+    drop(g);
+    std::panic::panic_any(Abort);
+}
+
+fn check_alive(g: &mut StdMutexGuard<'_, Inner>, var: VarId, ctx: &Ctx) {
+    if g.exec.vars[var].dead {
+        fail(
+            g,
+            format!("use-after-free: atomic v{var} was dropped but is still being accessed"),
+            Some(ctx.tid),
+        );
+        // fail() set aborting and current = me; unwind immediately.
+        let me = ctx.tid;
+        debug_assert_eq!(g.exec.current, Some(me));
+        ctx.unwinding.set(true);
+        std::panic::panic_any(Abort);
+    }
+}
+
+/// Post-execution bookkeeping shared by every operation: wake sleeping
+/// threads whose pending op conflicts with what just ran, and log.
+fn finish_op(g: &mut StdMutexGuard<'_, Inner>, me: TId, op: &Op, result: Option<u64>) {
+    let exec = &mut g.exec;
+    let threads = &exec.threads;
+    exec.sleep.retain(|&t| match &threads[t].pending {
+        Pending::Ready(p) => !conflicts(op, p),
+        _ => true,
+    });
+    if exec.log.is_some() {
+        let line = match result {
+            Some(v) => format!("t{me}: {} = {v}", fmt_op(op)),
+            None => format!("t{me}: {}", fmt_op(op)),
+        };
+        if let Some(log) = &mut exec.log {
+            log.push(line);
+        }
+    }
+}
+
+fn thread_enabled(exec: &Exec, t: TId) -> bool {
+    match &exec.threads[t].pending {
+        Pending::Ready(op) => match (op.kind, op.target) {
+            (OpKind::Lock, Target::Mutex(m)) => exec.mutexes[m].held_by.is_none(),
+            (OpKind::Join, Target::Thread(j)) => {
+                matches!(exec.threads[j].pending, Pending::Finished)
+            }
+            _ => true,
+        },
+        _ => false,
+    }
+}
+
+/// Records a failure (first one wins) and starts serialized teardown.
+fn fail(g: &mut StdMutexGuard<'_, Inner>, message: String, from: Option<TId>) {
+    if g.failure.is_none() {
+        let seed = encode_seed(&g.trace, g.exec.pos);
+        g.failure = Some(Failure {
+            message,
+            seed,
+            trace: String::new(),
+        });
+    }
+    start_abort(g, from);
+}
+
+/// Begins teardown: threads are unwound one at a time (the `current`
+/// baton keeps rotating) so destructor-side shared-state access is never
+/// concurrent.
+fn start_abort(g: &mut StdMutexGuard<'_, Inner>, from: Option<TId>) {
+    g.exec.aborting = true;
+    g.exec.return_to = None;
+    match from {
+        Some(me) => g.exec.current = Some(me),
+        None => pick_next_abort(g),
+    }
+}
+
+fn pick_next_abort(g: &mut StdMutexGuard<'_, Inner>) {
+    let n = g.exec.threads.len();
+    for t in 0..n {
+        if !matches!(g.exec.threads[t].pending, Pending::Finished) {
+            g.exec.current = Some(t);
+            return;
+        }
+    }
+    g.exec.current = None;
+}
+
+/// The scheduling decision: called with every thread parked (`from` is
+/// the thread that just parked, or `None` when a thread exited).
+fn pick_next(g: &mut StdMutexGuard<'_, Inner>, from: Option<TId>) {
+    let n = g.exec.threads.len();
+    // Forced rotation for yields and stuttering spins: deterministic,
+    // no decision node, no preemption charge.
+    if let Some(me) = from {
+        let forced = match &g.exec.threads[me].pending {
+            Pending::Ready(op) => match op.kind {
+                OpKind::Yield => true,
+                OpKind::Load { .. } => {
+                    g.exec.threads[me].stutters >= STUTTER_LIMIT
+                        && matches!(
+                            (op.target, g.exec.threads[me].last_load),
+                            (Target::Var(v), Some((lv, _))) if v == lv
+                        )
+                }
+                _ => false,
+            },
+            _ => false,
+        };
+        if forced {
+            // Deliberately NOT resetting `stutters` here: the counter is
+            // what later lets `op_load` force the spinning thread's
+            // coherence floor past a stale store (eventual visibility).
+            // Resetting it would let a spin-wait branch re-read the same
+            // stale value forever.
+            for d in 1..n {
+                let t = (me + d) % n;
+                if thread_enabled(&g.exec, t) {
+                    g.exec.current = Some(t);
+                    return;
+                }
+            }
+            if thread_enabled(&g.exec, me) {
+                g.exec.current = Some(me);
+                return;
+            }
+            // Nobody runnable: fall through to the deadlock check.
+        }
+    }
+
+    let enabled: Vec<TId> = (0..n).filter(|&t| thread_enabled(&g.exec, t)).collect();
+    if enabled.is_empty() {
+        let all_done = g
+            .exec
+            .threads
+            .iter()
+            .all(|t| matches!(t.pending, Pending::Finished));
+        if all_done {
+            // Completion is owned by the exiting wrapper (live count);
+            // nothing to schedule.
+            g.exec.current = None;
+        } else {
+            fail(
+                g,
+                "deadlock: every live thread is blocked (lock cycle or join wait)".to_string(),
+                from,
+            );
+            if from.is_none() {
+                // Exiting thread can't unwind itself; rotation started.
+            }
+        }
+        return;
+    }
+
+    let candidates: Vec<TId> = enabled
+        .iter()
+        .copied()
+        .filter(|t| !g.exec.sleep.contains(t))
+        .collect();
+    if candidates.is_empty() {
+        // Every runnable thread sleeps: this execution's remainder is
+        // covered by sibling subtrees. Prune.
+        g.exec.pruned = true;
+        start_abort(g, from);
+        return;
+    }
+
+    let me_runnable = from.map(|me| thread_enabled(&g.exec, me)).unwrap_or(false);
+    let alts: Vec<TId> = if let Some(me) = from.filter(|_| me_runnable) {
+        if g.exec.preemptions >= g.cfg.preemption_bound {
+            vec![me]
+        } else {
+            let mut v = vec![me];
+            let my_op = match &g.exec.threads[me].pending {
+                Pending::Ready(op) => *op,
+                _ => unreachable!("runnable thread must have a pending op"),
+            };
+            for &t in &candidates {
+                if t == me {
+                    continue;
+                }
+                if !g.cfg.conflict_only {
+                    v.push(t);
+                    continue;
+                }
+                if let Pending::Ready(p) = &g.exec.threads[t].pending {
+                    if conflicts(&my_op, p) {
+                        v.push(t);
+                    }
+                }
+            }
+            v
+        }
+    } else {
+        candidates
+    };
+
+    let chosen = match advance_infallible(g, alts.into_iter().map(Alt::Thread).collect(), from) {
+        Some(Alt::Thread(t)) => t,
+        Some(Alt::Value(_)) => unreachable!("scheduling decision yielded a value"),
+        None => return, // replay diverged; abort started
+    };
+    if me_runnable && from != Some(chosen) {
+        g.exec.preemptions += 1;
+    }
+    g.exec.current = Some(chosen);
+}
+
+/// Takes (or records) the next decision. Single-alternative decisions
+/// are never recorded — they are recomputed deterministically on replay.
+///
+/// Returns `None` only when a seed replay diverges (abort underway).
+fn advance_infallible(
+    g: &mut StdMutexGuard<'_, Inner>,
+    alts: Vec<Alt>,
+    from: Option<TId>,
+) -> Option<Alt> {
+    if alts.len() == 1 {
+        return Some(alts.into_iter().next().unwrap());
+    }
+    let pos = g.exec.pos;
+    if pos < g.trace.len() {
+        if g.replay {
+            // Seed-replay stub: it names the *resolved* alternative
+            // ("run thread 2", "read store 0"), matched by identity in
+            // the recomputed list. Positional indices would be wrong
+            // here — during exploration the alternative list was
+            // filtered by sleep-set state inherited from sibling
+            // subtrees, state a fresh replay does not have.
+            let want = g.trace[pos].alts[0].clone();
+            return match alts.iter().position(|a| *a == want) {
+                Some(i) => {
+                    let sleep_add = g.trace[pos].sleep_add.clone();
+                    for t in sleep_add {
+                        if !g.exec.sleep.contains(&t) {
+                            g.exec.sleep.push(t);
+                        }
+                    }
+                    g.exec.pos += 1;
+                    Some(alts.into_iter().nth(i).unwrap())
+                }
+                None => {
+                    fail(
+                        g,
+                        format!(
+                            "seed replay diverged at decision {pos}: \
+                             seed wants {want:?}, available {alts:?}"
+                        ),
+                        from,
+                    );
+                    None
+                }
+            };
+        }
+        let chosen = g.trace[pos].chosen;
+        if g.trace[pos].alts != alts {
+            let recorded = format!("{:?}", g.trace[pos].alts);
+            fail(
+                g,
+                format!(
+                    "internal: nondeterministic replay at decision {pos}: \
+                     recorded alternatives {recorded}, recomputed {alts:?} — \
+                     the checked code makes choices the checker cannot see \
+                     (time, randomness, address-order branching?)"
+                ),
+                from,
+            );
+            return None;
+        }
+        if chosen >= alts.len() {
+            fail(
+                g,
+                format!(
+                    "seed replay diverged at decision {pos}: \
+                     choice {chosen} but only {} alternatives",
+                    alts.len()
+                ),
+                from,
+            );
+            return None;
+        }
+        let sleep_add = g.trace[pos].sleep_add.clone();
+        for t in sleep_add {
+            if !g.exec.sleep.contains(&t) {
+                g.exec.sleep.push(t);
+            }
+        }
+        g.exec.pos += 1;
+        Some(alts.into_iter().nth(chosen).unwrap())
+    } else {
+        if g.replay {
+            fail(
+                g,
+                format!("seed replay ran past the recorded decisions (at decision {pos})"),
+                from,
+            );
+            return None;
+        }
+        let first = alts[0].clone();
+        g.trace.push(Decision {
+            alts,
+            chosen: 0,
+            sleep_add: Vec::new(),
+        });
+        g.exec.pos += 1;
+        Some(first)
+    }
+}
+
+/// Value-decision variant used while the deciding thread holds its turn:
+/// replay divergence unwinds the calling thread directly.
+fn advance(g: &mut StdMutexGuard<'_, Inner>, alts: Vec<Alt>, ctx: &Ctx) -> Alt {
+    match advance_infallible(g, alts, Some(ctx.tid)) {
+        Some(a) => a,
+        None => {
+            ctx.unwinding.set(true);
+            std::panic::panic_any(Abort);
+        }
+    }
+}
+
+/// Moves the decision tree to the next unexplored leaf. Returns `false`
+/// when the (bounded) tree is exhausted.
+fn backtrack(trace: &mut Vec<Decision>) -> bool {
+    loop {
+        let Some(d) = trace.last_mut() else {
+            return false;
+        };
+        if let Alt::Thread(t) = d.alts[d.chosen] {
+            d.sleep_add.push(t);
+        }
+        d.chosen += 1;
+        if d.chosen < d.alts.len() {
+            return true;
+        }
+        trace.pop();
+    }
+}
+
+/// A seed names the *resolved* choice at every recorded decision
+/// (`t2` = run thread 2, `v0` = read the store at history index 0),
+/// each optionally followed by the node's sleep-set additions
+/// (`t1+0` = run thread 1, thread 0 sleeps below this node). The sleep
+/// additions must travel with the seed: they filter later candidate
+/// lists, and whether a park even *becomes* a decision node depends on
+/// that filtering — without them a replay walks a differently-shaped
+/// tree. The choice itself is matched by identity, not position, as an
+/// extra guard.
+fn encode_seed(trace: &[Decision], pos: usize) -> String {
+    trace[..pos.min(trace.len())]
+        .iter()
+        .map(|d| {
+            let mut s = match d.alts[d.chosen] {
+                Alt::Thread(t) => format!("t{t}"),
+                Alt::Value(v) => format!("v{v}"),
+            };
+            for t in &d.sleep_add {
+                s.push_str(&format!("+{t}"));
+            }
+            s
+        })
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn decode_seed(seed: &str) -> Result<Vec<Decision>, String> {
+    seed.split('.')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let s = s.trim();
+            let mut parts = s.split('+');
+            let head = parts.next().unwrap_or("");
+            let (kind, num) = head.split_at(1.min(head.len()));
+            let n = num
+                .parse::<usize>()
+                .map_err(|e| format!("bad seed component {s:?}: {e}"))?;
+            let alt = match kind {
+                "t" => Alt::Thread(n),
+                "v" => Alt::Value(n),
+                _ => return Err(format!("bad seed component {s:?}: expected t<n> or v<n>")),
+            };
+            let sleep_add = parts
+                .map(|p| {
+                    p.parse::<usize>()
+                        .map_err(|e| format!("bad sleep entry in {s:?}: {e}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            // One-alternative stub: recorded decisions always have >= 2
+            // alternatives, so the replay path recognizes the forced
+            // choice.
+            Ok(Decision {
+                alts: vec![alt],
+                chosen: 0,
+                sleep_add,
+            })
+        })
+        .collect()
+}
+
+/// Body run on every checker-managed OS thread (including the root).
+fn thread_main(
+    engine: Arc<Engine>,
+    tid: TId,
+    epoch: u64,
+    body: Box<dyn FnOnce() + Send + 'static>,
+) {
+    let ctx = Rc::new(Ctx {
+        engine: Arc::clone(&engine),
+        tid,
+        epoch,
+        unwinding: std::cell::Cell::new(false),
+    });
+    CTX.with(|c| *c.borrow_mut() = Some(Rc::clone(&ctx)));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(body));
+    let mut g = engine.lock();
+    match result {
+        Ok(()) => {}
+        Err(payload) => {
+            if payload.downcast_ref::<Abort>().is_none() {
+                // A genuine user panic (failed assertion, etc.).
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                fail(&mut g, format!("thread t{tid} panicked: {msg}"), None);
+            }
+        }
+    }
+    g.exec.threads[tid].pending = Pending::Finished;
+    g.exec.live -= 1;
+    if g.exec.live == 0 {
+        g.exec.complete = true;
+        g.exec.current = None;
+    } else if let Some(rt) = g.exec.return_to.take() {
+        // Died during the eager-start window: hand control back.
+        g.exec.current = Some(rt);
+    } else if g.exec.aborting {
+        pick_next_abort(&mut g);
+    } else {
+        pick_next(&mut g, None);
+    }
+    drop(g);
+    engine.cv.notify_all();
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Installs (once) a panic hook that silences checker-thread panics:
+/// exploration and teardown unwind threads by design, and the default
+/// hook would print for every one of them.
+fn install_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let old = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let silent = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("interleave-"));
+            if !silent {
+                old(info);
+            }
+        }));
+    });
+}
+
+/// Runs one execution to completion (normal, pruned, or aborted).
+fn run_one(engine: &Arc<Engine>, body: &Arc<dyn Fn() + Send + Sync>, log: bool) {
+    let epoch = GLOBAL_EPOCH.fetch_add(1, StdOrdering::Relaxed);
+    {
+        let mut g = engine.lock();
+        g.exec = Exec::new(epoch, log);
+        g.exec.threads.push(ThreadState::new(VClock::default()));
+        g.exec.current = Some(0);
+        g.exec.live = 1;
+    }
+    let b = Arc::clone(body);
+    let eng = Arc::clone(engine);
+    let root = std::thread::Builder::new()
+        .name("interleave-0".to_string())
+        .spawn(move || thread_main(eng, 0, epoch, Box::new(move || b())))
+        .expect("interleave: OS thread spawn failed");
+    let mut g = engine.lock();
+    while !g.exec.complete {
+        g = engine.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+    }
+    let handles = std::mem::take(&mut g.exec.os_handles);
+    drop(g);
+    let _ = root.join();
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// Full exploration driver; see [`crate::Builder::check`].
+pub(crate) fn explore(cfg: Config, body: Arc<dyn Fn() + Send + Sync>) -> Report {
+    install_panic_hook();
+    let _serial = MODEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let engine = Arc::new(Engine::new(cfg.clone()));
+    let mut report = Report {
+        iterations: 0,
+        pruned: 0,
+        max_depth: 0,
+        truncated: false,
+        failure: None,
+    };
+    loop {
+        report.iterations += 1;
+        if let Some(reset) = &cfg.on_reset {
+            reset();
+        }
+        run_one(&engine, &body, false);
+        let mut g = engine.lock();
+        report.max_depth = report.max_depth.max(g.trace.len());
+        if g.exec.pruned {
+            report.pruned += 1;
+        }
+        if g.failure.is_some() {
+            let mut failure = g.failure.take().unwrap();
+            // Reproduce once with logging to capture the failing
+            // schedule; the trace prefix up to the failure is intact.
+            let keep = g.exec.pos;
+            g.trace.truncate(keep);
+            drop(g);
+            if let Some(reset) = &cfg.on_reset {
+                reset();
+            }
+            run_one(&engine, &body, true);
+            let g = engine.lock();
+            if let Some(log) = &g.exec.log {
+                failure.trace = log.join("\n");
+            }
+            report.failure = Some(failure);
+            return report;
+        }
+        if !backtrack(&mut g.trace) {
+            return report;
+        }
+        if report.iterations >= g.cfg.max_iterations {
+            report.truncated = true;
+            return report;
+        }
+    }
+}
+
+/// Replays exactly one execution from a failure seed; see
+/// [`crate::Builder::replay`].
+pub(crate) fn replay(cfg: Config, seed: &str, body: Arc<dyn Fn() + Send + Sync>) -> Report {
+    install_panic_hook();
+    let _serial = MODEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let engine = Arc::new(Engine::new(cfg.clone()));
+    let mut report = Report {
+        iterations: 1,
+        pruned: 0,
+        max_depth: 0,
+        truncated: false,
+        failure: None,
+    };
+    let choices = match decode_seed(seed) {
+        Ok(c) => c,
+        Err(e) => {
+            report.failure = Some(Failure {
+                message: format!("invalid replay seed: {e}"),
+                seed: seed.to_string(),
+                trace: String::new(),
+            });
+            return report;
+        }
+    };
+    {
+        let mut g = engine.lock();
+        g.replay = true;
+        g.trace = choices;
+    }
+    if let Some(reset) = &cfg.on_reset {
+        reset();
+    }
+    run_one(&engine, &body, true);
+    let mut g = engine.lock();
+    report.max_depth = g.trace.len();
+    if let Some(mut failure) = g.failure.take() {
+        if let Some(log) = &g.exec.log {
+            failure.trace = log.join("\n");
+        }
+        failure.seed = seed.to_string();
+        report.failure = Some(failure);
+    }
+    report
+}

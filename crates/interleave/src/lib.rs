@@ -1,0 +1,178 @@
+//! A vendored, from-scratch bounded-interleaving model checker.
+//!
+//! The crate provides instrumented stand-ins for `std` concurrency
+//! primitives ([`sync`]: atomics, `fence`, `Mutex`; [`thread`]: `spawn`
+//! / `yield_now`) and an explorer that runs a closure under *every*
+//! thread interleaving reachable within a preemption bound, with an
+//! acquire/release-aware store-visibility model so missing-`Acquire` /
+//! missing-`Release` bugs produce stale reads instead of being masked by
+//! the host's strong x86-style memory.
+//!
+//! ```
+//! use interleave::sync::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let report = interleave::model(|| {
+//!     let v = Arc::new(AtomicUsize::new(0));
+//!     let v2 = Arc::clone(&v);
+//!     let t = interleave::thread::spawn(move || {
+//!         v2.fetch_add(1, Ordering::Relaxed);
+//!     });
+//!     v.fetch_add(1, Ordering::Relaxed);
+//!     t.join().unwrap();
+//!     assert_eq!(v.load(Ordering::Relaxed), 2);
+//! });
+//! assert!(report.iterations >= 1);
+//! ```
+//!
+//! A failing check panics (under [`model`]) or returns a
+//! [`Failure`] (under [`Builder::check`]) carrying a *seed* — the
+//! resolved scheduling/value choices of the failing schedule — which
+//! [`Builder::replay`] re-executes deterministically, with a
+//! per-operation trace of the failing interleaving.
+//!
+//! # What is explored, and what is approximated
+//!
+//! * Scheduling: depth-first over thread choices at every instrumented
+//!   operation, capped by a CHESS-style preemption bound (default 2).
+//!   Sleep sets prune schedules equivalent to ones already explored;
+//!   the optional `conflict_only` smoke-mode (off by default) only
+//!   offers preemptions to threads whose pending operation conflicts
+//!   with the current one, at the cost of missing cross-variable
+//!   ordering bugs.
+//! * Weak memory: every atomic keeps its full store history. A load may
+//!   read any store between the thread's coherence floor (raised by
+//!   acquire edges, mutex hand-offs, joins and SC operations) and the
+//!   tail, bounded by `max_staleness`; each choice is itself explored.
+//! * Strengthenings (documented, deliberate): RMWs and both arms of
+//!   `compare_exchange` read the modification-order tail; `SeqCst` is
+//!   modeled with a global clock that is slightly stronger than C11's
+//!   SC order but strictly stronger than acquire/release — so
+//!   `SeqCst`→`Relaxed` weakenings still manifest as visible staleness.
+//!
+//! # Determinism requirements
+//!
+//! The checked closure must make no decisions the checker cannot see:
+//! no wall-clock time, no `rand`, no branching on addresses. Shared
+//! global state (process statics) must be reset between executions via
+//! [`Builder::on_reset`]. Violations are detected and reported as
+//! `nondeterministic replay` failures rather than silently corrupting
+//! the search.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod clock;
+mod engine;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+
+pub use engine::{Failure, Report};
+
+/// Configures and runs a bounded-interleaving exploration.
+#[derive(Clone, Default)]
+pub struct Builder {
+    cfg: engine::Config,
+}
+
+impl Builder {
+    /// A builder with the default bounds (preemption bound 2, staleness
+    /// window 1, exhaustive-within-bound preemptions).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maximum involuntary context switches per execution (CHESS-style
+    /// bound). Forced switches — blocking, `yield_now`, stutter breaks —
+    /// are free. Default 2.
+    pub fn preemption_bound(mut self, n: usize) -> Self {
+        self.cfg.preemption_bound = n;
+        self
+    }
+
+    /// Hard cap on executions explored; the report is marked
+    /// `truncated` when hit. Default 100 000.
+    pub fn max_iterations(mut self, n: u64) -> Self {
+        self.cfg.max_iterations = n;
+        self
+    }
+
+    /// Per-execution operation budget (livelock backstop). Default
+    /// 20 000.
+    pub fn max_ops(mut self, n: u64) -> Self {
+        self.cfg.max_ops = n;
+        self
+    }
+
+    /// How many stores older than the tail a racy load may observe
+    /// (beyond what coherence already forbids). Default 1.
+    pub fn max_staleness(mut self, n: usize) -> Self {
+        self.cfg.max_staleness = n;
+        self
+    }
+
+    /// When `true`, preemption alternatives are offered only to threads
+    /// whose *currently pending* operation conflicts with the current
+    /// thread's next operation — a fast smoke-mode that can miss
+    /// orderings whose conflict is with a later operation of the other
+    /// thread (e.g. a flag store following a data store). Default
+    /// `false`: exhaustive-within-bound search.
+    pub fn conflict_only(mut self, on: bool) -> Self {
+        self.cfg.conflict_only = on;
+        self
+    }
+
+    /// When `false`, loads always read the modification-order tail
+    /// (sequentially-consistent-style search: faster, blind to
+    /// staleness bugs). Default `true`.
+    pub fn value_nondeterminism(mut self, on: bool) -> Self {
+        self.cfg.value_nondet = on;
+        self
+    }
+
+    /// Hook run before every execution (and before a replay) with no
+    /// execution active — instrumented operations inside it fall back
+    /// to plain std behavior. Use it to reset process-global state the
+    /// checked closure touches (e.g. an epoch collector's registry).
+    pub fn on_reset(mut self, f: impl Fn() + Send + Sync + 'static) -> Self {
+        self.cfg.on_reset = Some(Arc::new(f));
+        self
+    }
+
+    /// Explores `body` under every schedule within the configured
+    /// bounds. Returns a [`Report`]; a failing schedule is captured in
+    /// [`Report::failure`] (this method never panics on model bugs —
+    /// use [`model`] for assert-style usage).
+    pub fn check<F>(&self, body: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        engine::explore(self.cfg.clone(), Arc::new(body))
+    }
+
+    /// Re-runs exactly one execution following a failure seed, with
+    /// per-operation tracing. The closure and configuration must match
+    /// the run that produced the seed.
+    pub fn replay<F>(&self, seed: &str, body: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        engine::replay(self.cfg.clone(), seed, Arc::new(body))
+    }
+}
+
+/// Explores `body` with default bounds and panics (with the failure
+/// message, seed, and failing schedule) if any explored interleaving
+/// fails. Returns the [`Report`] otherwise.
+pub fn model<F>(body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = Builder::new().check(body);
+    if let Some(f) = &report.failure {
+        panic!("{f}");
+    }
+    report
+}

@@ -1,0 +1,684 @@
+//! Instrumented drop-in replacements for `std::sync::atomic` types,
+//! `fence`, and `std::sync::Mutex`.
+//!
+//! Each shim wraps a real std atomic (the *backing* cell) plus a packed
+//! identity word. Inside a model execution every operation routes
+//! through the engine: the thread parks, a scheduling decision happens,
+//! and the operation runs against the engine's store-history memory
+//! model. Stores also write through to the backing cell, so the backing
+//! always holds the modification-order tail — which is what makes the
+//! *fallback mode* sound: outside an execution (between executions, in
+//! `on_reset` hooks, during abort teardown) the shims degrade to plain
+//! std atomics on the backing cell.
+//!
+//! Dropping an instrumented atomic mid-execution tombstones its engine
+//! variable: any later access through a stale pointer is reported as a
+//! use-after-free instead of silently reading freed memory. This relies
+//! on the memory staying mapped (true for slab/arena storage).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::AtomicU64 as IdCell;
+use std::sync::atomic::Ordering as StdOrdering;
+
+use crate::engine::{self, with_active_ctx, Ctx, RmwKind};
+use std::rc::Rc;
+
+pub use std::sync::atomic::Ordering;
+
+/// An atomic fence: engine-mediated inside executions, `std` otherwise.
+pub fn fence(ord: Ordering) {
+    with_active_ctx(|c| match c {
+        Some(ctx) => ctx.engine.op_fence(ctx, ord),
+        None => std::sync::atomic::fence(ord),
+    })
+}
+
+fn resolve_var(id: &IdCell, ctx: &Rc<Ctx>, initial: impl FnOnce() -> u64) -> usize {
+    let raw = id.load(StdOrdering::Relaxed);
+    if let Some(v) = engine::decode_id(raw, ctx.epoch) {
+        return v;
+    }
+    let addr = id as *const IdCell as usize;
+    if raw != 0 {
+        // A non-zero cell that does not decode is a scribbled corpse:
+        // the allocator overwrote a freed atomic (glibc's tcache writes
+        // its key straight over this field). The address map still knows
+        // which var lived here, so the use-after-free access resolves to
+        // its tombstone instead of silently re-registering. Do NOT write
+        // the cell back — the memory belongs to the allocator now.
+        if let Some(v) = ctx.engine.var_lookup_addr(addr) {
+            return v;
+        }
+    }
+    let v = ctx.engine.var_register(addr, initial());
+    id.store(engine::encode_id(ctx.epoch, v), StdOrdering::Relaxed);
+    v
+}
+
+macro_rules! int_atomic {
+    ($(#[$doc:meta])* $Name:ident, $Std:ty, $T:ty, $mask:expr) => {
+        $(#[$doc])*
+        pub struct $Name {
+            backing: $Std,
+            id: IdCell,
+        }
+
+        impl $Name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $T) -> Self {
+                Self {
+                    backing: <$Std>::new(v),
+                    id: IdCell::new(0),
+                }
+            }
+
+            fn var(&self, ctx: &Rc<Ctx>) -> usize {
+                resolve_var(&self.id, ctx, || {
+                    self.backing.load(StdOrdering::Relaxed) as u64
+                })
+            }
+
+            /// Atomic load.
+            pub fn load(&self, ord: Ordering) -> $T {
+                with_active_ctx(|c| match c {
+                    Some(ctx) => {
+                        let v = self.var(ctx);
+                        ctx.engine.op_load(ctx, v, ord) as $T
+                    }
+                    None => self.backing.load(ord),
+                })
+            }
+
+            /// Atomic store (writes through to the backing cell).
+            pub fn store(&self, val: $T, ord: Ordering) {
+                with_active_ctx(|c| match c {
+                    Some(ctx) => {
+                        let v = self.var(ctx);
+                        ctx.engine.op_store(ctx, v, ord, val as u64);
+                        self.backing.store(val, StdOrdering::Relaxed);
+                    }
+                    None => self.backing.store(val, ord),
+                })
+            }
+
+            /// Atomic swap; returns the previous value.
+            pub fn swap(&self, val: $T, ord: Ordering) -> $T {
+                self.rmw(RmwKind::Swap, val, ord)
+            }
+
+            /// Atomic add; returns the previous value.
+            pub fn fetch_add(&self, val: $T, ord: Ordering) -> $T {
+                self.rmw(RmwKind::Add, val, ord)
+            }
+
+            /// Atomic subtract; returns the previous value.
+            pub fn fetch_sub(&self, val: $T, ord: Ordering) -> $T {
+                self.rmw(RmwKind::Sub, val, ord)
+            }
+
+            /// Atomic bitwise or; returns the previous value.
+            pub fn fetch_or(&self, val: $T, ord: Ordering) -> $T {
+                self.rmw(RmwKind::Or, val, ord)
+            }
+
+            /// Atomic bitwise and; returns the previous value.
+            pub fn fetch_and(&self, val: $T, ord: Ordering) -> $T {
+                self.rmw(RmwKind::And, val, ord)
+            }
+
+            /// Atomic bitwise xor; returns the previous value.
+            pub fn fetch_xor(&self, val: $T, ord: Ordering) -> $T {
+                self.rmw(RmwKind::Xor, val, ord)
+            }
+
+            fn rmw(&self, kind: RmwKind, val: $T, ord: Ordering) -> $T {
+                with_active_ctx(|c| match c {
+                    Some(ctx) => {
+                        let v = self.var(ctx);
+                        let prev =
+                            ctx.engine.op_rmw(ctx, v, ord, kind, val as u64, $mask) as $T;
+                        let mut new = prev;
+                        match kind {
+                            RmwKind::Add => new = new.wrapping_add(val),
+                            RmwKind::Sub => new = new.wrapping_sub(val),
+                            RmwKind::Or => new |= val,
+                            RmwKind::And => new &= val,
+                            RmwKind::Xor => new ^= val,
+                            RmwKind::Swap => new = val,
+                        }
+                        self.backing.store(new, StdOrdering::Relaxed);
+                        prev
+                    }
+                    None => match kind {
+                        RmwKind::Add => self.backing.fetch_add(val, ord),
+                        RmwKind::Sub => self.backing.fetch_sub(val, ord),
+                        RmwKind::Or => self.backing.fetch_or(val, ord),
+                        RmwKind::And => self.backing.fetch_and(val, ord),
+                        RmwKind::Xor => self.backing.fetch_xor(val, ord),
+                        RmwKind::Swap => self.backing.swap(val, ord),
+                    },
+                })
+            }
+
+            /// Atomic compare-and-exchange (strong).
+            pub fn compare_exchange(
+                &self,
+                current: $T,
+                new: $T,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$T, $T> {
+                with_active_ctx(|c| match c {
+                    Some(ctx) => {
+                        let v = self.var(ctx);
+                        let r = ctx.engine.op_cas(
+                            ctx,
+                            v,
+                            current as u64,
+                            new as u64,
+                            success,
+                            failure,
+                        );
+                        if r.is_ok() {
+                            self.backing.store(new, StdOrdering::Relaxed);
+                        }
+                        r.map(|p| p as $T).map_err(|p| p as $T)
+                    }
+                    None => self.backing.compare_exchange(current, new, success, failure),
+                })
+            }
+
+            /// Atomic compare-and-exchange, weak form. Under the model
+            /// this never fails spuriously (a strengthening: spurious
+            /// failures only add retries, which loops handle anyway).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $T,
+                new: $T,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$T, $T> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl Default for $Name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+
+        impl std::fmt::Debug for $Name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($Name))
+                    .field(&self.backing.load(StdOrdering::Relaxed))
+                    .finish()
+            }
+        }
+
+        impl Drop for $Name {
+            fn drop(&mut self) {
+                with_active_ctx(|c| {
+                    if let Some(ctx) = c {
+                        // Register-on-drop: even a never-accessed atomic
+                        // gets an id here, so a later use-after-free
+                        // access resolves to the tombstoned var instead
+                        // of silently re-registering a fresh one.
+                        let v = resolve_var(&self.id, ctx, || {
+                            self.backing.load(StdOrdering::Relaxed) as u64
+                        });
+                        ctx.engine.var_dead(v);
+                    }
+                });
+            }
+        }
+    };
+}
+
+int_atomic!(
+    /// Instrumented `AtomicUsize`.
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize,
+    u64::MAX
+);
+int_atomic!(
+    /// Instrumented `AtomicU64`.
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64,
+    u64::MAX
+);
+int_atomic!(
+    /// Instrumented `AtomicU32`.
+    AtomicU32,
+    std::sync::atomic::AtomicU32,
+    u32,
+    u32::MAX as u64
+);
+int_atomic!(
+    /// Instrumented `AtomicI64`.
+    AtomicI64,
+    std::sync::atomic::AtomicI64,
+    i64,
+    u64::MAX
+);
+
+/// Instrumented `AtomicBool`.
+pub struct AtomicBool {
+    backing: std::sync::atomic::AtomicBool,
+    id: IdCell,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    pub const fn new(v: bool) -> Self {
+        Self {
+            backing: std::sync::atomic::AtomicBool::new(v),
+            id: IdCell::new(0),
+        }
+    }
+
+    fn var(&self, ctx: &Rc<Ctx>) -> usize {
+        resolve_var(&self.id, ctx, || {
+            self.backing.load(StdOrdering::Relaxed) as u64
+        })
+    }
+
+    /// Atomic load.
+    pub fn load(&self, ord: Ordering) -> bool {
+        with_active_ctx(|c| match c {
+            Some(ctx) => {
+                let v = self.var(ctx);
+                ctx.engine.op_load(ctx, v, ord) != 0
+            }
+            None => self.backing.load(ord),
+        })
+    }
+
+    /// Atomic store.
+    pub fn store(&self, val: bool, ord: Ordering) {
+        with_active_ctx(|c| match c {
+            Some(ctx) => {
+                let v = self.var(ctx);
+                ctx.engine.op_store(ctx, v, ord, val as u64);
+                self.backing.store(val, StdOrdering::Relaxed);
+            }
+            None => self.backing.store(val, ord),
+        })
+    }
+
+    /// Atomic swap; returns the previous value.
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        with_active_ctx(|c| match c {
+            Some(ctx) => {
+                let v = self.var(ctx);
+                let prev = ctx.engine.op_rmw(ctx, v, ord, RmwKind::Swap, val as u64, 1) != 0;
+                self.backing.store(val, StdOrdering::Relaxed);
+                prev
+            }
+            None => self.backing.swap(val, ord),
+        })
+    }
+
+    /// Atomic compare-and-exchange (strong).
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        with_active_ctx(|c| match c {
+            Some(ctx) => {
+                let v = self.var(ctx);
+                let r = ctx
+                    .engine
+                    .op_cas(ctx, v, current as u64, new as u64, success, failure);
+                if r.is_ok() {
+                    self.backing.store(new, StdOrdering::Relaxed);
+                }
+                r.map(|p| p != 0).map_err(|p| p != 0)
+            }
+            None => self
+                .backing
+                .compare_exchange(current, new, success, failure),
+        })
+    }
+
+    /// Weak form; never fails spuriously under the model.
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.compare_exchange(current, new, success, failure)
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool")
+            .field(&self.backing.load(StdOrdering::Relaxed))
+            .finish()
+    }
+}
+
+impl Drop for AtomicBool {
+    fn drop(&mut self) {
+        with_active_ctx(|c| {
+            if let Some(ctx) = c {
+                // Register-on-drop; see the macro Drop impl above.
+                let v = resolve_var(&self.id, ctx, || {
+                    self.backing.load(StdOrdering::Relaxed) as u64
+                });
+                ctx.engine.var_dead(v);
+            }
+        });
+    }
+}
+
+/// Instrumented `AtomicPtr`.
+pub struct AtomicPtr<T> {
+    backing: std::sync::atomic::AtomicPtr<T>,
+    id: IdCell,
+}
+
+impl<T> AtomicPtr<T> {
+    /// Creates a new atomic pointer.
+    pub const fn new(p: *mut T) -> Self {
+        Self {
+            backing: std::sync::atomic::AtomicPtr::new(p),
+            id: IdCell::new(0),
+        }
+    }
+
+    fn var(&self, ctx: &Rc<Ctx>) -> usize {
+        resolve_var(&self.id, ctx, || {
+            self.backing.load(StdOrdering::Relaxed) as usize as u64
+        })
+    }
+
+    /// Atomic load.
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        with_active_ctx(|c| match c {
+            Some(ctx) => {
+                let v = self.var(ctx);
+                ctx.engine.op_load(ctx, v, ord) as usize as *mut T
+            }
+            None => self.backing.load(ord),
+        })
+    }
+
+    /// Atomic store.
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        with_active_ctx(|c| match c {
+            Some(ctx) => {
+                let v = self.var(ctx);
+                ctx.engine.op_store(ctx, v, ord, p as usize as u64);
+                self.backing.store(p, StdOrdering::Relaxed);
+            }
+            None => self.backing.store(p, ord),
+        })
+    }
+
+    /// Atomic swap; returns the previous pointer.
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        with_active_ctx(|c| match c {
+            Some(ctx) => {
+                let v = self.var(ctx);
+                let prev =
+                    ctx.engine
+                        .op_rmw(ctx, v, ord, RmwKind::Swap, p as usize as u64, u64::MAX)
+                        as usize as *mut T;
+                self.backing.store(p, StdOrdering::Relaxed);
+                prev
+            }
+            None => self.backing.swap(p, ord),
+        })
+    }
+
+    /// Atomic compare-and-exchange (strong).
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        with_active_ctx(|c| match c {
+            Some(ctx) => {
+                let v = self.var(ctx);
+                let r = ctx.engine.op_cas(
+                    ctx,
+                    v,
+                    current as usize as u64,
+                    new as usize as u64,
+                    success,
+                    failure,
+                );
+                if r.is_ok() {
+                    self.backing.store(new, StdOrdering::Relaxed);
+                }
+                r.map(|p| p as usize as *mut T)
+                    .map_err(|p| p as usize as *mut T)
+            }
+            None => self
+                .backing
+                .compare_exchange(current, new, success, failure),
+        })
+    }
+
+    /// Weak form; never fails spuriously under the model.
+    pub fn compare_exchange_weak(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        self.compare_exchange(current, new, success, failure)
+    }
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> Self {
+        Self::new(std::ptr::null_mut())
+    }
+}
+
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicPtr")
+            .field(&self.backing.load(StdOrdering::Relaxed))
+            .finish()
+    }
+}
+
+impl<T> Drop for AtomicPtr<T> {
+    fn drop(&mut self) {
+        with_active_ctx(|c| {
+            if let Some(ctx) = c {
+                // Register-on-drop; see the integer atomics' Drop impl.
+                let v = resolve_var(&self.id, ctx, || {
+                    self.backing.load(StdOrdering::Relaxed) as usize as u64
+                });
+                ctx.engine.var_dead(v);
+            }
+        });
+    }
+}
+
+/// Instrumented mutex. Inside executions, exclusion is engine-mediated
+/// (lock/unlock are scheduling points and hand a vector clock from the
+/// unlocker to the next locker); in fallback mode a real `std` mutex
+/// provides exclusion.
+pub struct Mutex<T: ?Sized> {
+    fallback: std::sync::Mutex<()>,
+    id: IdCell,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: same bounds as `std::sync::Mutex` — exclusion is provided by
+// the engine baton (only one checker thread runs at a time, and only
+// the `held_by` thread may hold a guard) or by the fallback std mutex.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: as above; `&Mutex<T>` only hands out `&T`/`&mut T` through a
+// guard that the engine or the fallback mutex keeps exclusive.
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(data: T) -> Self {
+        Self {
+            fallback: std::sync::Mutex::new(()),
+            id: IdCell::new(0),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    fn obj(&self, ctx: &Rc<Ctx>) -> usize {
+        let raw = self.id.load(StdOrdering::Relaxed);
+        match engine::decode_id(raw, ctx.epoch) {
+            Some(v) => v,
+            None => {
+                let v = ctx.engine.mutex_register();
+                self.id
+                    .store(engine::encode_id(ctx.epoch, v), StdOrdering::Relaxed);
+                v
+            }
+        }
+    }
+
+    /// Acquires the mutex, blocking (in model time) until available.
+    /// Never returns `Err`: the shim does not track poisoning.
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        with_active_ctx(|c| match c {
+            Some(ctx) => {
+                let m = self.obj(ctx);
+                ctx.engine.op_lock(ctx, m);
+                Ok(MutexGuard {
+                    lock: self,
+                    fb: None,
+                    engine_obj: Some(m),
+                })
+            }
+            None => {
+                let fb = self.fallback.lock().unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard {
+                    lock: self,
+                    fb: Some(fb),
+                    engine_obj: None,
+                })
+            }
+        })
+    }
+
+    /// Attempts to acquire the mutex without blocking. In model mode the
+    /// attempt is a scheduling point; it acquires iff the mutex is free
+    /// at that point.
+    pub fn try_lock(&self) -> std::sync::TryLockResult<MutexGuard<'_, T>> {
+        with_active_ctx(|c| match c {
+            Some(ctx) => {
+                let m = self.obj(ctx);
+                if ctx.engine.op_try_lock(ctx, m) {
+                    Ok(MutexGuard {
+                        lock: self,
+                        fb: None,
+                        engine_obj: Some(m),
+                    })
+                } else {
+                    Err(std::sync::TryLockError::WouldBlock)
+                }
+            }
+            None => match self.fallback.try_lock() {
+                Ok(fb) => Ok(MutexGuard {
+                    lock: self,
+                    fb: Some(fb),
+                    engine_obj: None,
+                }),
+                // The shim does not track poisoning; a poisoned fallback
+                // lock is still an exclusive acquisition.
+                Err(std::sync::TryLockError::Poisoned(e)) => Ok(MutexGuard {
+                    lock: self,
+                    fb: Some(e.into_inner()),
+                    engine_obj: None,
+                }),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    Err(std::sync::TryLockError::WouldBlock)
+                }
+            },
+        })
+    }
+
+    /// Mutable access through exclusive ownership; no locking needed.
+    pub fn get_mut(&mut self) -> std::sync::LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> std::sync::LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard for [`Mutex`]; releases on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    fb: Option<std::sync::MutexGuard<'a, ()>>,
+    engine_obj: Option<usize>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: exclusion is guaranteed by the engine (`held_by` gates
+        // lock acquisition and only one thread runs at a time) or the
+        // held fallback guard; see the `Sync` impl above.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let _ = self.fb.take();
+        if let Some(m) = self.engine_obj {
+            with_active_ctx(|c| match c {
+                Some(ctx) => ctx.engine.op_unlock(ctx, m),
+                None => {
+                    // Abort teardown: the owning thread is unwinding, so
+                    // release without scheduling to keep later unwinders
+                    // from wedging on a dead holder.
+                    engine::force_unlock_current(m);
+                }
+            });
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Thread shims: `spawn`, `JoinHandle`, and `yield_now`.
+//!
+//! Inside a model execution, spawned closures become checker-managed
+//! threads whose every instrumented operation is a scheduling point;
+//! outside one, the shims delegate to `std::thread`.
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::engine::{with_active_ctx, TId};
+
+/// Handle to a spawned thread; joinable exactly once.
+pub struct JoinHandle<T>(Repr<T>);
+
+enum Repr<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: TId,
+        slot: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (in model time) for the thread to finish and returns its
+    /// result. Inside the model a child panic fails the whole execution
+    /// before `join` can observe it, so the `Err` arm only surfaces in
+    /// fallback mode.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Repr::Std(h) => h.join(),
+            Repr::Model { tid, slot } => {
+                with_active_ctx(|c| {
+                    let ctx = c.expect("interleave: join() outside the owning execution");
+                    ctx.engine.op_join(ctx, tid);
+                });
+                let v = slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("interleave: joined thread produced no value");
+                Ok(v)
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Checker-managed inside a model execution, plain
+/// `std::thread::spawn` otherwise.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    with_active_ctx(|c| match c {
+        Some(ctx) => {
+            let slot = Arc::new(StdMutex::new(None));
+            let s2 = Arc::clone(&slot);
+            let tid = ctx.engine.op_spawn(
+                ctx,
+                Box::new(move || {
+                    let v = f();
+                    *s2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                }),
+            );
+            JoinHandle(Repr::Model { tid, slot })
+        }
+        None => JoinHandle(Repr::Std(std::thread::spawn(f))),
+    })
+}
+
+/// Cooperative yield. Inside the model this forces a deterministic
+/// rotation to another runnable thread (no decision branching, no
+/// preemption charge) — the escape hatch that keeps spin-wait loops
+/// from exploding the schedule tree.
+pub fn yield_now() {
+    with_active_ctx(|c| match c {
+        Some(ctx) => ctx.engine.op_yield(ctx),
+        None => std::thread::yield_now(),
+    })
+}

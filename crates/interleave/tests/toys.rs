@@ -1,0 +1,289 @@
+//! Self-tests for the model checker: known-buggy toy protocols it MUST
+//! catch, correct counterparts it must pass, and replay determinism.
+//!
+//! These are the checker's own regression harness — if the explorer or
+//! the store-visibility model rots, the "detected" tests fail first.
+
+use std::sync::Arc;
+
+use interleave::sync::{AtomicBool, AtomicUsize, Mutex, Ordering};
+use interleave::{thread, Builder};
+
+/// A torn read-modify-write: two threads each do `load; store(v+1)`.
+/// There is an interleaving where both read 0 and the counter ends at 1.
+#[test]
+fn racy_counter_detected() {
+    let report = Builder::new().check(|| {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            let v = c2.load(Ordering::Relaxed);
+            c2.store(v + 1, Ordering::Relaxed);
+        });
+        let v = c.load(Ordering::Relaxed);
+        c.store(v + 1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::Relaxed), 2, "lost update");
+    });
+    let failure = report.failure.expect("explorer must find the lost update");
+    assert!(
+        failure.message.contains("lost update"),
+        "unexpected failure: {failure}"
+    );
+    assert!(!failure.seed.is_empty(), "failure must carry a seed");
+}
+
+/// The same counter with a real atomic RMW is correct — and the
+/// explorer must actually explore more than one interleaving to say so.
+#[test]
+fn atomic_counter_passes() {
+    let report = Builder::new().check(|| {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        c.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(
+        report.iterations > 1,
+        "expected >1 interleavings, got {}",
+        report.iterations
+    );
+    assert!(!report.truncated);
+}
+
+fn relaxed_publish() {
+    let data = Arc::new(AtomicUsize::new(0));
+    let flag = Arc::new(AtomicBool::new(false));
+    let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+    let t = thread::spawn(move || {
+        d2.store(42, Ordering::Relaxed);
+        // BUG: Relaxed publish — does not release the data store.
+        f2.store(true, Ordering::Relaxed);
+    });
+    if flag.load(Ordering::Acquire) {
+        assert_eq!(data.load(Ordering::Relaxed), 42, "stale data read");
+    }
+    t.join().unwrap();
+}
+
+/// Missing-`Release` flag handoff: the store-visibility model must let
+/// the reader observe `flag == true` while still reading stale `data`.
+/// This is the test that proves Relaxed-vs-Release mistakes manifest —
+/// on the host's x86-style memory they never would.
+#[test]
+fn missing_release_handoff_detected() {
+    let report = Builder::new().check(relaxed_publish);
+    let failure = report
+        .failure
+        .expect("explorer must find the stale read through the relaxed publish");
+    assert!(
+        failure.message.contains("stale data read"),
+        "unexpected failure: {failure}"
+    );
+}
+
+/// The correct handoff (Release store, Acquire load) passes.
+#[test]
+fn release_acquire_handoff_passes() {
+    let report = Builder::new().check(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join().unwrap();
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.iterations > 1);
+}
+
+/// A failure seed replays to the same failure, with a non-empty
+/// operation trace.
+#[test]
+fn seed_replay_reproduces() {
+    let b = Builder::new();
+    let report = b.check(relaxed_publish);
+    let failure = report.failure.expect("must fail");
+    let replayed = b.replay(&failure.seed, relaxed_publish);
+    let rf = replayed.failure.expect("replay must reproduce the failure");
+    assert_eq!(rf.message, failure.message);
+    assert_eq!(replayed.iterations, 1, "replay runs exactly one execution");
+    assert!(
+        !rf.trace.is_empty(),
+        "replay must produce an operation trace"
+    );
+}
+
+/// Exploration is deterministic: the same closure explores the same
+/// tree, execution for execution.
+#[test]
+fn exploration_is_deterministic() {
+    let run = || {
+        Builder::new().check(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&c);
+            let t = thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            c.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+        })
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.pruned, b.pruned);
+    assert_eq!(a.max_depth, b.max_depth);
+}
+
+/// Mutexes provide mutual exclusion and publish writes to the next
+/// holder.
+#[test]
+fn mutex_counter_passes() {
+    let report = Builder::new().check(|| {
+        let c = Arc::new(Mutex::new(0u32));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            *c2.lock().unwrap() += 1;
+        });
+        *c.lock().unwrap() += 1;
+        t.join().unwrap();
+        assert_eq!(*c.lock().unwrap(), 2);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.iterations > 1);
+}
+
+/// Opposite lock order deadlocks in some interleaving; the checker must
+/// report it rather than hang.
+#[test]
+fn lock_order_deadlock_detected() {
+    let report = Builder::new().check(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _g1 = a2.lock().unwrap();
+            let _g2 = b2.lock().unwrap();
+        });
+        let _g1 = b.lock().unwrap();
+        let _g2 = a.lock().unwrap();
+        drop(_g2);
+        drop(_g1);
+        t.join().unwrap();
+    });
+    let failure = report.failure.expect("must detect the AB-BA deadlock");
+    assert!(
+        failure.message.contains("deadlock"),
+        "unexpected failure: {failure}"
+    );
+}
+
+/// `yield_now` spin-waiting converges instead of exploding the tree:
+/// a consumer spins for a producer's flag.
+#[test]
+fn yield_spin_wait_converges() {
+    let report = Builder::new().check(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let t = thread::spawn(move || {
+            f2.store(true, Ordering::Release);
+        });
+        while !flag.load(Ordering::Acquire) {
+            thread::yield_now();
+        }
+        t.join().unwrap();
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(!report.truncated, "spin wait must not exhaust iterations");
+}
+
+/// SeqCst-vs-Relaxed asymmetry, Dekker-style: with two SeqCst store/load
+/// pairs, both threads cannot read 0; weakened to Relaxed they can. The
+/// SC clock approximation must keep the strong version tight.
+#[test]
+fn dekker_store_buffering() {
+    // Weak version: both-zero outcome must be found.
+    let weak = Builder::new().check(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            y2.load(Ordering::Relaxed)
+        });
+        y.store(1, Ordering::Relaxed);
+        let ry = x.load(Ordering::Relaxed);
+        let rx = t.join().unwrap();
+        assert!(rx != 0 || ry != 0, "store buffering observed");
+    });
+    assert!(
+        weak.failure.is_some(),
+        "relaxed Dekker must exhibit store buffering"
+    );
+
+    // Strong version: SeqCst everywhere forbids the both-zero outcome.
+    let strong = Builder::new().check(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::SeqCst);
+            y2.load(Ordering::SeqCst)
+        });
+        y.store(1, Ordering::SeqCst);
+        let ry = x.load(Ordering::SeqCst);
+        let rx = t.join().unwrap();
+        assert!(rx != 0 || ry != 0, "store buffering observed");
+    });
+    assert!(
+        strong.failure.is_none(),
+        "SeqCst Dekker must not exhibit store buffering: {:?}",
+        strong.failure
+    );
+}
+
+/// Use-after-free detection: dropping an atomic tombstones it; a stale
+/// access is reported instead of silently misreading.
+#[test]
+fn use_after_free_detected() {
+    let report = Builder::new().check(|| {
+        let boxed = Box::new(AtomicUsize::new(7));
+        let raw: *const AtomicUsize = &*boxed;
+        drop(boxed);
+        // SAFETY: deliberately unsound — this is exactly what the
+        // checker exists to catch; the allocation is small and the
+        // read happens immediately (the test environment does not
+        // unmap it).
+        let _ = unsafe { (*raw).load(Ordering::Relaxed) };
+    });
+    let failure = report.failure.expect("must detect the use-after-free");
+    assert!(
+        failure.message.contains("use-after-free"),
+        "unexpected failure: {failure}"
+    );
+}
+
+/// Fallback mode: outside any model execution the shims behave as plain
+/// std primitives.
+#[test]
+fn fallback_mode_is_plain_std() {
+    let a = AtomicUsize::new(1);
+    assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+    assert_eq!(a.load(Ordering::SeqCst), 3);
+    let m = Mutex::new(5);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 6);
+    let h = thread::spawn(|| 41 + 1);
+    assert_eq!(h.join().unwrap(), 42);
+}

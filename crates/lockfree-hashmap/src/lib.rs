@@ -17,6 +17,7 @@
 //! `buckets` for the expected load (the `examples/` directory sizes it at
 //! ~4 entries per bucket).
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

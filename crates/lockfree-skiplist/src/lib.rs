@@ -27,6 +27,7 @@
 //! Memory reclamation follows the paper's scheme ([`pragmatic_list::arena`]):
 //! nodes are registered at allocation and freed when the skiplist drops.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

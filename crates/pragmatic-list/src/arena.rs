@@ -27,7 +27,7 @@
 //! field stays valid for the lifetime of the list) and for the epoch /
 //! hazard-pointer alternatives the `A2` ablation bench quantifies.
 
-use std::sync::Mutex;
+use crate::sync::Mutex;
 
 /// Shared registry of every node ever allocated for one list.
 ///
@@ -36,9 +36,11 @@ pub struct Registry<T> {
     retired: Mutex<Vec<*mut T>>,
 }
 
-// The registry only transports raw pointers; the nodes they point to are
-// owned by the list and only ever freed single-threaded in `Drop`.
+// SAFETY: the registry only transports raw pointers; the nodes they
+// point to are owned by the list and only ever freed single-threaded in
+// `Drop`, and the pointer vector itself is mutex-guarded.
 unsafe impl<T: Send> Send for Registry<T> {}
+// SAFETY: as above — all shared access goes through the internal mutex.
 unsafe impl<T: Send> Sync for Registry<T> {}
 
 impl<T> Registry<T> {
@@ -79,6 +81,9 @@ impl<T> Registry<T> {
     pub unsafe fn free_all(&mut self) {
         let mut g = self.retired.lock().unwrap();
         for &p in g.iter() {
+            // SAFETY: per this function's contract, `p` came from
+            // `Box::into_raw`, no other reference to it exists, and
+            // `g.clear()` below ensures it is freed exactly once.
             drop(unsafe { Box::from_raw(p) });
         }
         g.clear();
@@ -153,6 +158,8 @@ mod tests {
         assert_eq!(local.len(), 0);
         assert_eq!(reg.len(), 100);
         let mut reg = reg;
+        // SAFETY: `local` flushed and no other handle exists; every
+        // pointer came from `Box::into_raw` in `alloc`.
         unsafe { reg.free_all() };
         assert_eq!(reg.len(), 0);
     }
@@ -170,6 +177,8 @@ mod tests {
         let mut reg = Registry::new();
         let mut v = vec![alloc(1), alloc(2)];
         reg.absorb(&mut v);
+        // SAFETY: exclusive access, Box-derived pointers; the first call
+        // clears the registry so the second frees nothing.
         unsafe { reg.free_all() };
         unsafe { reg.free_all() }; // second call sees an empty registry
         assert_eq!(reg.len(), 0);
@@ -192,6 +201,8 @@ mod tests {
         });
         assert_eq!(reg.len(), 8000);
         let mut reg = reg;
+        // SAFETY: the scope joined every thread, so access is exclusive
+        // and all pointers are Box-derived and freed once.
         unsafe { reg.free_all() };
     }
 }

@@ -49,9 +49,9 @@
 //! variants measure exactly what maintaining backward pointers costs
 //! once real reclamation forbids exploiting them.
 
+use crate::sync::{AtomicI64, AtomicPtr};
 use std::marker::PhantomData;
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
-use std::sync::atomic::{AtomicI64, AtomicPtr};
 use std::sync::Arc;
 
 use crate::hint::SearchHints;

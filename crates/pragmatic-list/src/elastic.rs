@@ -85,12 +85,12 @@
 //! assert_eq!(h.len_estimate(), 200);
 //! ```
 
+use crate::sync::{AtomicBool, AtomicU64, Mutex, MutexGuard};
 use std::marker::PhantomData;
 use std::mem::ManuallyDrop;
 use std::ops::RangeBounds;
 use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
-use std::sync::atomic::{AtomicBool, AtomicU64};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 use crate::map::{ListMap, MapHandle};
 use crate::ordered::{OrderedHandle, ScanBounds, Snapshot};
@@ -345,6 +345,22 @@ struct ShardState<K, B> {
 /// Handle activity-slot value meaning "no operation in flight".
 const SLOT_IDLE: u64 = 0;
 
+/// Ordering for publishing a shard id into an activity slot. The
+/// seal → drain handshake depends on this being `SeqCst`: the publish
+/// must be globally ordered against the seal check that follows it, so
+/// that either the drain scan sees the slot or the handle sees the seal.
+/// Anything weaker reintroduces the store-buffering race where both
+/// sides read stale values and a migration races an in-flight write.
+#[cfg(not(interleave_mutate))]
+const SLOT_PUBLISH: std::sync::atomic::Ordering = SeqCst;
+
+/// Deliberately weakened publish for the model checker's mutation
+/// self-test (`RUSTFLAGS="--cfg interleave --cfg interleave_mutate"`):
+/// proves the checker catches the store-buffering race that `SeqCst`
+/// exists to prevent. Never enabled in normal builds.
+#[cfg(interleave_mutate)]
+const SLOT_PUBLISH: std::sync::atomic::Ordering = Relaxed;
+
 /// Ops a handle accumulates locally before flushing to the shard's
 /// window counter.
 const OPS_FLUSH_BLOCK: u32 = 64;
@@ -450,7 +466,7 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
     /// operation can pass the seal check and publish `id` afterwards.
     fn drain(&self, id: u64) {
         while self.slots.any_active_on(id) {
-            std::thread::yield_now();
+            crate::sync::thread_yield();
         }
     }
 
@@ -779,7 +795,7 @@ impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
             if core.version.load(Acquire) != version || !shard.sealed.load(SeqCst) {
                 return;
             }
-            std::thread::yield_now();
+            crate::sync::thread_yield();
         }
     }
 
@@ -791,7 +807,7 @@ impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
         loop {
             self.maybe_refresh();
             let idx = self.route(rank);
-            self.slot.0.store(self.entries[idx].shard.id, SeqCst);
+            self.slot.0.store(self.entries[idx].shard.id, SLOT_PUBLISH);
             if self.entries[idx].shard.sealed.load(SeqCst) {
                 self.slot.0.store(SLOT_IDLE, Release);
                 Self::stall(self.core, self.version, &self.entries[idx].shard);
@@ -819,7 +835,7 @@ impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
             let rank = keys[i].rank64();
             self.maybe_refresh();
             let idx = self.route(rank);
-            self.slot.0.store(self.entries[idx].shard.id, SeqCst);
+            self.slot.0.store(self.entries[idx].shard.id, SLOT_PUBLISH);
             if self.entries[idx].shard.sealed.load(SeqCst) {
                 self.slot.0.store(SLOT_IDLE, Release);
                 Self::stall(self.core, self.version, &self.entries[idx].shard);
@@ -860,7 +876,7 @@ impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
                     break;
                 }
             }
-            self.slot.0.store(self.entries[idx].shard.id, SeqCst);
+            self.slot.0.store(self.entries[idx].shard.id, SLOT_PUBLISH);
             if self.entries[idx].shard.sealed.load(SeqCst) {
                 self.slot.0.store(SLOT_IDLE, Release);
                 Self::stall(self.core, self.version, &self.entries[idx].shard);

@@ -101,6 +101,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod arena;
 pub mod doubly;
@@ -117,6 +118,7 @@ pub mod sharded;
 pub mod singly;
 pub mod slab;
 mod stats;
+pub(crate) mod sync;
 pub mod variants;
 
 pub use elastic::{ElasticMap, ElasticSet, LoadPolicy};

@@ -104,6 +104,8 @@ impl<K: Key, V: Copy + Send + Sync + 'static> ListMap<K, V> {
             addr_of_mut!((*p).key).write(K::POS_INF);
             Box::into_raw(n) as *mut MapNode<K, V>
         };
+        // SAFETY: same argument as `tail` above — `next` and `key` are
+        // initialised before publication; `value` is never read.
         let head: *mut MapNode<K, V> = unsafe {
             let mut n = Box::new(MaybeUninit::<MapNode<K, V>>::uninit());
             let p = n.as_mut_ptr();

@@ -11,9 +11,10 @@
 //! atomic cell holding one. Node types in this crate are aligned to at
 //! least a word, so bit 0 of a real node address is always zero.
 
+use crate::sync::AtomicUsize;
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 
 const MARK_BIT: usize = 1;
 
@@ -136,9 +137,10 @@ pub struct MarkedAtomic<T> {
     _ty: PhantomData<*mut T>,
 }
 
-// Like `AtomicPtr<T>`: the cell itself is always safe to share — what may
-// be done with the loaded pointer is the user's obligation.
+// SAFETY: like `AtomicPtr<T>`, the cell itself is always safe to share —
+// what may be done with the loaded pointer is the user's obligation.
 unsafe impl<T> Send for MarkedAtomic<T> {}
+// SAFETY: as above — every access goes through the atomic cell.
 unsafe impl<T> Sync for MarkedAtomic<T> {}
 
 impl<T> fmt::Debug for MarkedAtomic<T> {
@@ -211,7 +213,10 @@ mod tests {
     fn boxed(v: u64) -> *mut u64 {
         Box::into_raw(Box::new(v))
     }
+    /// # Safety
+    /// `p` must come from [`boxed`] and not have been freed yet.
     unsafe fn free(p: *mut u64) {
+        // SAFETY: forwarded caller contract.
         drop(unsafe { Box::from_raw(p) });
     }
 
@@ -225,6 +230,7 @@ mod tests {
         assert!(mm.is_marked());
         assert_eq!(mm.ptr(), p, "mark must not disturb the pointer");
         assert_eq!(mm.without_mark(), m);
+        // SAFETY: `p` came from `boxed` and is freed exactly once.
         unsafe { free(p) };
     }
 
@@ -261,6 +267,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a.load(Acquire), MarkedPtr::new(q, true));
+        // SAFETY: both came from `boxed` and are freed exactly once.
         unsafe {
             free(p);
             free(q);
@@ -279,6 +286,7 @@ mod tests {
             "second marker sees marked: lost the delete"
         );
         assert_eq!(a.load(Relaxed).ptr(), p);
+        // SAFETY: `p` came from `boxed` and is freed exactly once.
         unsafe { free(p) };
     }
 
@@ -303,6 +311,7 @@ mod tests {
             "failure was due to pointer, not mark"
         );
         assert_eq!(observed.ptr(), q);
+        // SAFETY: both came from `boxed` and are freed exactly once.
         unsafe {
             free(p);
             free(q);
@@ -327,6 +336,7 @@ mod tests {
             hs.into_iter().map(|h| h.join().unwrap()).sum()
         });
         assert_eq!(winners, 1, "exactly one thread may win the mark");
+        // SAFETY: every thread joined; `p` is freed exactly once.
         unsafe { free(p) };
     }
 }

@@ -25,7 +25,7 @@
 //! registry mutexes are touched only at chunk boundaries and handle
 //! drop.
 
-use std::sync::Mutex;
+use crate::sync::Mutex;
 
 use crate::slab::{LocalSlab, SlabPool};
 
@@ -101,6 +101,7 @@ unsafe impl Reclaimer for ArenaReclaim {
     fn protect<T: Send + 'static>(_thread: &ArenaThread<T>, _slot: usize, _ptr: *mut T) {}
 
     #[inline]
+    // SAFETY: implements the documented `Reclaimer::retire` contract. No-op: nodes stay valid until list drop.
     unsafe fn retire<T: Send + 'static>(
         _shared: &ArenaShared<T>,
         _thread: &mut ArenaThread<T>,
@@ -110,6 +111,7 @@ unsafe impl Reclaimer for ArenaReclaim {
     }
 
     #[inline]
+    // SAFETY: implements the documented `Reclaimer::dealloc_unpublished` contract. The spare stays in the log.
     unsafe fn dealloc_unpublished<T: Send + 'static>(
         _shared: &ArenaShared<T>,
         _thread: &mut ArenaThread<T>,
@@ -119,6 +121,7 @@ unsafe impl Reclaimer for ArenaReclaim {
         // registry drops it with everything else at list drop.
     }
 
+    // SAFETY: implements the documented `Reclaimer::free_owned` contract.
     unsafe fn free_owned<T: Send + 'static>(_shared: &ArenaShared<T>, _ptr: *mut T) {
         unreachable!("STABLE schemes tear down through drop_shared, not free_owned");
     }
@@ -130,6 +133,7 @@ unsafe impl Reclaimer for ArenaReclaim {
         thread.slab.flush(&shared.pool);
     }
 
+    // SAFETY: implements the documented `Reclaimer::drop_shared` contract.
     unsafe fn drop_shared<T: Send + 'static>(shared: &mut ArenaShared<T>) {
         let nodes = std::mem::take(&mut *shared.nodes.lock().unwrap());
         for p in nodes {

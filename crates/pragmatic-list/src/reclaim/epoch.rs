@@ -17,7 +17,8 @@
 //! chunks stay alive until the last retired slot has been returned even
 //! if the list drops first.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::AtomicUsize;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crossbeam_epoch as epoch;
@@ -84,6 +85,7 @@ unsafe impl Reclaimer for EpochReclaim {
     fn protect<T: Send + 'static>(_thread: &LocalSlab<T>, _slot: usize, _ptr: *mut T) {}
 
     #[inline]
+    // SAFETY: implements the documented `Reclaimer::retire` contract.
     unsafe fn retire<T: Send + 'static>(
         shared: &EpochShared<T>,
         _thread: &mut LocalSlab<T>,
@@ -132,6 +134,7 @@ unsafe impl Reclaimer for EpochReclaim {
         }
     }
 
+    // SAFETY: implements the documented `Reclaimer::free_owned` contract.
     unsafe fn free_owned<T: Send + 'static>(_shared: &EpochShared<T>, ptr: *mut T) {
         // SAFETY: exclusive access during structure teardown; the slot's
         // memory is released when the pool's last `Arc` drops.
@@ -142,6 +145,7 @@ unsafe impl Reclaimer for EpochReclaim {
         thread.flush(&shared.pool);
     }
 
+    // SAFETY: implements the documented `Reclaimer::drop_shared` contract.
     unsafe fn drop_shared<T: Send + 'static>(_shared: &mut EpochShared<T>) {
         // Retired slots belong to the global collector; their deferred
         // actions hold `Arc`s to the pool, so the chunks are released

@@ -23,9 +23,9 @@
 //! hazard, the protecting thread's validation must have observed the
 //! node already unlinked and restarted.
 
+use crate::sync::{fence, AtomicBool, AtomicUsize, Mutex};
 use std::sync::atomic::Ordering::{Relaxed, SeqCst};
-use std::sync::atomic::{fence, AtomicBool, AtomicUsize};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use crate::slab::{LocalSlab, SlabPool};
 
@@ -198,6 +198,7 @@ unsafe impl Reclaimer for HazardReclaim {
         fence(SeqCst);
     }
 
+    // SAFETY: implements the documented `Reclaimer::retire` contract.
     unsafe fn retire<T: Send + 'static>(
         shared: &HazardDomain<T>,
         thread: &mut HazardThread<T>,
@@ -210,6 +211,7 @@ unsafe impl Reclaimer for HazardReclaim {
     }
 
     #[inline]
+    // SAFETY: implements the documented `Reclaimer::dealloc_unpublished` contract.
     unsafe fn dealloc_unpublished<T: Send + 'static>(
         _shared: &HazardDomain<T>,
         thread: &mut HazardThread<T>,
@@ -223,6 +225,7 @@ unsafe impl Reclaimer for HazardReclaim {
         }
     }
 
+    // SAFETY: implements the documented `Reclaimer::free_owned` contract.
     unsafe fn free_owned<T: Send + 'static>(_shared: &HazardDomain<T>, ptr: *mut T) {
         // SAFETY: exclusive access during structure teardown — no
         // hazards exist; the slot's memory dies with the pool.
@@ -242,6 +245,7 @@ unsafe impl Reclaimer for HazardReclaim {
         thread.record.active.store(false, SeqCst);
     }
 
+    // SAFETY: implements the documented `Reclaimer::drop_shared` contract.
     unsafe fn drop_shared<T: Send + 'static>(shared: &mut HazardDomain<T>) {
         let orphans = std::mem::take(&mut *shared.orphans.lock().unwrap());
         for p in orphans {

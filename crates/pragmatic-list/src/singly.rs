@@ -55,8 +55,8 @@
 //! so exactly one unlink — and hence one retirement — can succeed per
 //! node.
 
+use crate::sync::AtomicI64;
 use std::marker::PhantomData;
-use std::sync::atomic::AtomicI64;
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 use std::sync::Arc;
 
@@ -153,6 +153,7 @@ unsafe impl<
     > Send for SinglyList<K, MILD, CURSOR, FETCH_OR, R, HINTS>
 {
 }
+// SAFETY: same argument as the `Send` impl directly above.
 unsafe impl<
         K: Key,
         const MILD: bool,

@@ -42,8 +42,8 @@
 //! [`EpochReclaim`]: crate::reclaim::EpochReclaim
 //! [`HazardReclaim`]: crate::reclaim::HazardReclaim
 
+use crate::sync::Mutex;
 use std::alloc::Layout;
-use std::sync::Mutex;
 
 /// Bytes per chunk. One chunk amortizes one (rare) pool mutex
 /// acquisition over `CHUNK_BYTES / size_of::<T>()` node allocations.
@@ -263,6 +263,8 @@ mod tests {
         assert_eq!(a as usize % CHUNK_ALIGN, 0, "chunk start is line-aligned");
         assert_eq!(b as usize, a as usize + 8, "bump slots are contiguous");
         assert_eq!(c as usize, b as usize + 8);
+        // SAFETY: all three slots were just allocated and initialised;
+        // each is read and dropped exactly once.
         unsafe {
             assert_eq!((*a, *b, *c), (1, 2, 3));
             std::ptr::drop_in_place(a);
@@ -277,12 +279,15 @@ mod tests {
         let pool = SlabPool::<u64>::default();
         let mut slab = LocalSlab::new();
         let a = slab.alloc(&pool, 7);
+        // SAFETY: `a` was just allocated and initialised; dropped and
+        // recycled exactly once before any reuse.
         unsafe {
             std::ptr::drop_in_place(a);
             slab.recycle(a);
         }
         let b = slab.alloc(&pool, 8);
         assert_eq!(a, b, "the free list is consulted first");
+        // SAFETY: `b` holds the freshly written 8; dropped exactly once.
         unsafe { std::ptr::drop_in_place(b) };
         slab.flush(&pool);
     }
@@ -292,6 +297,8 @@ mod tests {
         let pool = SlabPool::<u64>::default();
         let mut slab = LocalSlab::new();
         let a = slab.alloc(&pool, 1);
+        // SAFETY: `a` was just allocated and initialised; dropped and
+        // recycled exactly once.
         unsafe {
             std::ptr::drop_in_place(a);
             slab.recycle(a);
@@ -315,6 +322,7 @@ mod tests {
         let per_chunk = CHUNK_BYTES / std::mem::size_of::<[u64; 64]>();
         for _ in 0..(per_chunk + 1) {
             let p = slab.alloc(&pool, [0; 64]);
+            // SAFETY: fresh slot, dropped exactly once, never reused.
             unsafe { std::ptr::drop_in_place(p) };
         }
         assert_eq!(pool.chunk_count(), 2);
@@ -334,6 +342,8 @@ mod tests {
                         ptrs.push(slab.alloc(pool, t * 1000 + i));
                     }
                     for (i, &p) in ptrs.iter().enumerate() {
+                        // SAFETY: each pointer is this thread's own live
+                        // allocation, dropped and recycled exactly once.
                         unsafe {
                             assert_eq!(*p, t * 1000 + i as u64);
                             std::ptr::drop_in_place(p);

@@ -124,13 +124,13 @@ pub struct CachePadded<T>(
 /// continuing from its residual value, so the registry stays bounded by
 /// the peak handle count.
 pub(crate) struct LiveSlots {
-    slots: std::sync::Mutex<Vec<std::sync::Arc<CachePadded<std::sync::atomic::AtomicI64>>>>,
+    slots: crate::sync::Mutex<Vec<std::sync::Arc<CachePadded<crate::sync::AtomicI64>>>>,
 }
 
 impl Default for LiveSlots {
     fn default() -> Self {
         LiveSlots {
-            slots: std::sync::Mutex::new(Vec::new()),
+            slots: crate::sync::Mutex::new(Vec::new()),
         }
     }
 }
@@ -138,12 +138,12 @@ impl Default for LiveSlots {
 impl LiveSlots {
     /// Claims a counter slot for a new handle: an orphaned slot (no
     /// other owner) when available, a fresh one otherwise.
-    pub(crate) fn register(&self) -> std::sync::Arc<CachePadded<std::sync::atomic::AtomicI64>> {
+    pub(crate) fn register(&self) -> std::sync::Arc<CachePadded<crate::sync::AtomicI64>> {
         let mut slots = self.slots.lock().unwrap();
         if let Some(slot) = slots.iter().find(|s| std::sync::Arc::strong_count(s) == 1) {
             return std::sync::Arc::clone(slot);
         }
-        let slot = std::sync::Arc::new(CachePadded(std::sync::atomic::AtomicI64::new(0)));
+        let slot = std::sync::Arc::new(CachePadded(crate::sync::AtomicI64::new(0)));
         slots.push(std::sync::Arc::clone(&slot));
         slot
     }
@@ -166,7 +166,7 @@ impl LiveSlots {
 /// Single-writer increment of a handle's live counter (a plain
 /// load+store — the owning handle is the only writer).
 #[inline]
-pub(crate) fn live_bump(slot: &CachePadded<std::sync::atomic::AtomicI64>, delta: i64) {
+pub(crate) fn live_bump(slot: &CachePadded<crate::sync::AtomicI64>, delta: i64) {
     use std::sync::atomic::Ordering::Relaxed;
     slot.0.store(slot.0.load(Relaxed) + delta, Relaxed);
 }
@@ -179,7 +179,7 @@ pub(crate) fn live_bump(slot: &CachePadded<std::sync::atomic::AtomicI64>, delta:
 /// heuristics, never correctness, so a slightly stale read only delays
 /// or anticipates a split by one window.
 #[derive(Debug, Default)]
-pub(crate) struct WindowCounter(CachePadded<std::sync::atomic::AtomicU64>);
+pub(crate) struct WindowCounter(CachePadded<crate::sync::AtomicU64>);
 
 impl WindowCounter {
     /// Adds `n` operations to the current window.

@@ -1,0 +1,74 @@
+//! Mutation self-test for the model checker: compile with
+//! `RUSTFLAGS="--cfg interleave --cfg interleave_mutate"` and the
+//! elastic activity-slot publish is deliberately weakened from `SeqCst`
+//! to `Relaxed` (see `SLOT_PUBLISH` in `elastic.rs`). This test asserts
+//! the checker *catches* that seeded bug — the evidence that the
+//! protocol tests are load-bearing rather than vacuously green.
+//!
+//! The race the weakening reintroduces is store buffering: the writer
+//! publishes its shard id and then checks the seal, the migrator seals
+//! and then scans the slots. With a `Relaxed` publish the two stores are
+//! no longer globally ordered against the two loads, so a schedule
+//! exists where the writer sees "unsealed" *and* the drain scan sees an
+//! idle slot — the migration then copies the shard while the write is
+//! still in flight, and the written key is lost.
+
+#![cfg(all(interleave, interleave_mutate))]
+
+use std::sync::Arc;
+
+use interleave::Builder;
+use pragmatic_list::set::{ConcurrentOrderedSet, SetHandle};
+use pragmatic_list::variants::SinglyCursorList;
+use pragmatic_list::{ElasticSet, LoadPolicy};
+
+#[test]
+fn weakened_slot_publish_is_detected() {
+    let report = Builder::new()
+        .preemption_bound(2)
+        .max_iterations(200_000)
+        .check(|| {
+            // Same policy as the passing protocol test: a committed
+            // split on a 4-key shard, load monitor disabled.
+            let policy = LoadPolicy {
+                initial_shards: 1,
+                max_shards: 16,
+                check_period: 1 << 20,
+                window_min_ops: 1 << 20,
+                split_share_pct: 10,
+                merge_share_pct: 0,
+                min_split_keys: 2,
+            };
+            let set = Arc::new(ElasticSet::<i64, SinglyCursorList<i64>>::with_policy(
+                policy,
+            ));
+            {
+                let mut h = set.handle();
+                for k in [10, 400, 700, 1_000] {
+                    assert!(h.add(k));
+                }
+            }
+            let s2 = Arc::clone(&set);
+            let t = interleave::thread::spawn(move || {
+                let mut h = s2.handle();
+                h.add(500)
+            });
+            assert!(set.force_split_at(600), "the forced split must commit");
+            let added = t.join().unwrap();
+            assert!(added, "the racing add must not be lost");
+            let mut set = Arc::into_inner(set).expect("all handles dropped");
+            set.check_invariants().unwrap();
+            let mut h = set.handle();
+            for k in [10, 400, 500, 700, 1_000] {
+                assert!(h.contains(k), "key {k} must survive the migration");
+            }
+        });
+    eprintln!("mutation run explored {} schedules", report.iterations);
+    let failure = report
+        .failure
+        .expect("the seeded SeqCst→Relaxed mutation must produce a failing schedule");
+    eprintln!(
+        "mutation caught after {} schedules:\n{failure}",
+        report.iterations
+    );
+}

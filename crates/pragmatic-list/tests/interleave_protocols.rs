@@ -1,0 +1,211 @@
+//! Model-checked protocol tests: the four synchronization protocols the
+//! paper reproduction leans on, each explored under every thread
+//! interleaving within a preemption bound by the vendored `interleave`
+//! checker (compile with `RUSTFLAGS="--cfg interleave"`).
+//!
+//! What the checker adds over the plain concurrency tests: schedules the
+//! host scheduler never produces, an acquire/release-aware visibility
+//! model (so a `Relaxed` where `Acquire` is needed manifests as a stale
+//! read), and use-after-free tombstones on every instrumented atomic (so
+//! a reclamation protocol that frees a node while a traversal can still
+//! reach it fails the run instead of silently reading freed memory).
+//!
+//! Each test asserts `iterations > 1`: a single-schedule pass would mean
+//! the facade is not actually routing through the checker.
+
+#![cfg(interleave)]
+
+use std::sync::Arc;
+
+use interleave::{Builder, Report};
+use pragmatic_list::set::{ConcurrentOrderedSet, SetHandle};
+use pragmatic_list::singly::SinglyList;
+use pragmatic_list::variants::{SinglyCursorList, SinglyEpochList, SinglyHpList};
+use pragmatic_list::{ElasticSet, LoadPolicy};
+
+/// An elastic policy under which `force_split_at` always commits on a
+/// 4-key shard (the default `min_split_keys: 16` would abort the split
+/// and leave the seal → drain handshake unexercised), with the load
+/// monitor effectively disabled so only the forced migration runs.
+fn elastic_policy() -> LoadPolicy {
+    LoadPolicy {
+        initial_shards: 1,
+        max_shards: 16,
+        check_period: 1 << 20,
+        window_min_ops: 1 << 20,
+        split_share_pct: 10,
+        merge_share_pct: 0,
+        min_split_keys: 2,
+    }
+}
+
+/// A builder at the default depth, or — when `INTERLEAVE_DEEP=1` is set
+/// (the scheduled CI job) — with a raised preemption bound and iteration
+/// budget for a much larger schedule space.
+fn builder(bound: usize) -> Builder {
+    let deep = std::env::var_os("INTERLEAVE_DEEP").is_some_and(|v| v == "1");
+    Builder::new()
+        .preemption_bound(if deep { bound + 1 } else { bound })
+        .max_iterations(if deep { 2_000_000 } else { 30_000 })
+}
+
+/// Common acceptance: no failing schedule, and more than one schedule
+/// actually explored (proof the facade routed through the checker).
+#[track_caller]
+fn accept(name: &str, report: Report) {
+    eprintln!("{name}: explored {} schedules", report.iterations);
+    assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+    assert!(
+        report.iterations > 1,
+        "expected real exploration, got {} iteration(s)",
+        report.iterations
+    );
+}
+
+/// Protocol 1: concurrent mark / unlink / insert on a two-node list
+/// (arena reclamation, so no reclamation protocol interferes). One
+/// thread removes 10 while the main thread inserts 15 — every
+/// interleaving must linearize to `{15, 20}`.
+#[test]
+fn mark_unlink_insert_two_node_list() {
+    let report = builder(2).check(|| {
+        let set = Arc::new(SinglyList::<i64, true, true, false>::new());
+        {
+            let mut h = set.handle();
+            assert!(h.add(10));
+            assert!(h.add(20));
+        }
+        let s2 = Arc::clone(&set);
+        let t = interleave::thread::spawn(move || {
+            let mut h = s2.handle();
+            h.remove(10)
+        });
+        let inserted = {
+            let mut h = set.handle();
+            h.add(15)
+        };
+        let removed = t.join().unwrap();
+        assert!(removed, "10 was present; the remover must win its mark");
+        assert!(inserted, "15 was absent; the inserter must succeed");
+        let mut set = Arc::into_inner(set).expect("all handles dropped");
+        set.check_invariants().unwrap();
+        let keys = set.collect_keys();
+        assert_eq!(keys, vec![15, 20], "linearized outcome");
+    });
+    accept("mark_unlink_insert", report);
+}
+
+/// Protocol 2: the hazard-pointer protect-and-revalidate handshake
+/// (`acquire_curr`): a traversal publishes a hazard on `curr` and
+/// re-reads `pred`'s link, racing a remover that marks, unlinks, and
+/// retires the same node. The retire-side scan must observe the hazard;
+/// a protocol bug surfaces as a use-after-free tombstone hit on the
+/// freed node's atomics.
+#[test]
+fn hazard_protect_and_revalidate() {
+    let report = builder(1).check(|| {
+        let set = Arc::new(SinglyHpList::<i64>::new());
+        {
+            let mut h = set.handle();
+            assert!(h.add(10));
+            assert!(h.add(20));
+        }
+        let s2 = Arc::clone(&set);
+        let t = interleave::thread::spawn(move || {
+            let mut h = s2.handle();
+            // Remove and drop the handle: unregistering scans and frees
+            // this thread's retired nodes, so the free runs while the
+            // main thread may still be traversing.
+            h.remove(10)
+        });
+        let seen = {
+            let mut h = set.handle();
+            (h.contains(10), h.contains(20))
+        };
+        let removed = t.join().unwrap();
+        assert!(removed);
+        assert!(seen.1, "20 is never removed; traversal must see it");
+        let mut set = Arc::into_inner(set).expect("all handles dropped");
+        set.check_invariants().unwrap();
+        assert_eq!(set.collect_keys(), vec![20]);
+    });
+    accept("hazard_protect_and_revalidate", report);
+}
+
+/// Protocol 3: epoch pin / defer / collect. A reader pins and traverses
+/// while a remover retires a node into the global epoch collector and
+/// drives collection. The three-epoch grace period must keep the node
+/// alive until the reader unpins; premature frees hit the checker's
+/// use-after-free tombstones. The collector's process-global state is
+/// reset between executions via `on_reset`.
+#[test]
+fn epoch_pin_defer_collect() {
+    let report = builder(1)
+        .on_reset(crossbeam_epoch::interleave_reset)
+        .check(|| {
+            let set = Arc::new(SinglyEpochList::<i64>::new());
+            {
+                let mut h = set.handle();
+                assert!(h.add(10));
+                assert!(h.add(20));
+            }
+            let s2 = Arc::clone(&set);
+            let t = interleave::thread::spawn(move || {
+                let mut h = s2.handle();
+                let removed = h.remove(10);
+                // Drive collection so frees happen while the reader may
+                // still be pinned mid-traversal.
+                crossbeam_epoch::pin().flush();
+                removed
+            });
+            let seen = {
+                let mut h = set.handle();
+                (h.contains(10), h.contains(20))
+            };
+            assert!(t.join().unwrap());
+            assert!(seen.1);
+            let mut set = Arc::into_inner(set).expect("all handles dropped");
+            set.check_invariants().unwrap();
+            assert_eq!(set.collect_keys(), vec![20]);
+        });
+    accept("epoch_pin_defer_collect", report);
+}
+
+/// Protocol 4: the elastic seal → activity-slot drain handshake. A
+/// writer publishes its shard id in an activity slot (`SeqCst`) and
+/// re-checks the seal; a migrator seals the shard, then drains the
+/// activity slots before moving items. Every interleaving must either
+/// route the write to the new shard or complete it before the drain —
+/// never lose it.
+#[test]
+fn elastic_seal_drain_handshake() {
+    let report = builder(1).check(|| {
+        let set = Arc::new(ElasticSet::<i64, SinglyCursorList<i64>>::with_policy(
+            elastic_policy(),
+        ));
+        {
+            let mut h = set.handle();
+            for k in [10, 400, 700, 1_000] {
+                assert!(h.add(k));
+            }
+        }
+        let s2 = Arc::clone(&set);
+        let t = interleave::thread::spawn(move || {
+            let mut h = s2.handle();
+            h.add(500)
+        });
+        // Race a split against the in-flight add: seal, drain the
+        // activity slots, migrate.
+        let split = set.force_split_at(600);
+        assert!(split, "the forced split must commit");
+        let added = t.join().unwrap();
+        assert!(added, "the racing add must not be lost");
+        let mut set = Arc::into_inner(set).expect("all handles dropped");
+        set.check_invariants().unwrap();
+        let mut h = set.handle();
+        for k in [10, 400, 500, 700, 1_000] {
+            assert!(h.contains(k), "key {k} must survive the migration");
+        }
+    });
+    accept("elastic_seal_drain_handshake", report);
+}

@@ -29,8 +29,19 @@
 use std::cell::Cell;
 use std::marker::PhantomData;
 use std::mem;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
+
+// Synchronization facade: real std primitives normally; the `interleave`
+// model checker's instrumented shims under `RUSTFLAGS="--cfg interleave"`,
+// so the epoch protocol itself (EPOCH / Slot.active ordering) is part of
+// the explored state space in the workspace's model-checked tests.
+#[cfg(not(interleave))]
+use std::sync::atomic::AtomicUsize;
+#[cfg(not(interleave))]
 use std::sync::Mutex;
+
+#[cfg(interleave)]
+use interleave::sync::{AtomicUsize, Mutex};
 
 // ---------------------------------------------------------------------------
 // Global epoch machinery
@@ -91,7 +102,12 @@ static GARBAGE: Mutex<Vec<Garbage>> = Mutex::new(Vec::new());
 static UNPIN_TICKS: AtomicUsize = AtomicUsize::new(0);
 
 /// How many unpins between collection attempts.
+#[cfg(not(interleave))]
 const COLLECT_EVERY: usize = 64;
+/// Under the model checker: collect on every unpin so reclamation is
+/// part of every explored schedule and executions stay short.
+#[cfg(interleave)]
+const COLLECT_EVERY: usize = 1;
 
 thread_local! {
     static LOCAL: Local = Local::new();
@@ -172,6 +188,33 @@ fn collect() {
     }
 }
 
+/// Model-checking support: resets the process-global reclamation state
+/// between explored executions. Wire into `interleave::Builder::on_reset`
+/// for any checked closure that pins, defers, or flushes.
+///
+/// Pending garbage from the previous execution is *run*, not dropped:
+/// all of that execution's threads have joined and nothing is pinned, so
+/// every grace period has trivially passed and running the deferred
+/// destructors is the leak-free option.
+#[cfg(interleave)]
+pub fn interleave_reset() {
+    let drained: Vec<Garbage> = {
+        let mut garbage = GARBAGE.lock().unwrap();
+        garbage.drain(..).collect()
+    };
+    for (_, task) in drained {
+        // SAFETY: see above — the retiring execution has fully
+        // terminated, so no thread can still reference the items.
+        unsafe { task.run() };
+    }
+    EPOCH.store(0, Ordering::SeqCst);
+    UNPIN_TICKS.store(0, Ordering::SeqCst);
+    for s in REGISTRY.lock().unwrap().iter() {
+        s.active.store(0, Ordering::SeqCst);
+        s.in_use.store(0, Ordering::SeqCst);
+    }
+}
+
 /// Pins the current thread, returning a guard that keeps the current
 /// epoch's garbage alive until dropped.
 pub fn pin() -> Guard {
@@ -206,6 +249,8 @@ pub fn pin() -> Guard {
 /// destructions through this guard run immediately.
 pub unsafe fn unprotected() -> &'static Guard {
     struct SyncGuard(Guard);
+    // SAFETY: the unprotected guard is immutable (`pinned: false`) and
+    // every use is gated by this function's own safety contract.
     unsafe impl Sync for SyncGuard {}
     static UNPROTECTED: SyncGuard = SyncGuard(Guard {
         pinned: false,
@@ -231,6 +276,9 @@ impl Guard {
     /// references can be created), must be non-null, and must not be
     /// retired twice.
     pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        /// # Safety
+        /// `raw` must be an untagged pointer from `Box::into_raw`,
+        /// consumed exactly once (upheld by `defer_destroy`'s contract).
         unsafe fn drop_box<T>(raw: usize) {
             drop(Box::from_raw(raw as *mut T));
         }
@@ -287,8 +335,11 @@ impl Guard {
             garbage.len()
         };
         // Aggressive trigger when the backlog grows; the common trigger
-        // is the unpin tick in `Drop`.
-        if len >= 4 * COLLECT_EVERY {
+        // is the unpin tick in `Drop`. Disabled under the model checker:
+        // a backlog-length trigger makes collection timing depend on how
+        // much garbage *other* schedules happened to leave behind, which
+        // the deterministic explorer must not observe.
+        if !cfg!(interleave) && len >= 4 * COLLECT_EVERY {
             collect();
         }
     }
@@ -394,6 +445,7 @@ impl<T> Pointer<T> for Owned<T> {
         mem::forget(self);
         data
     }
+    // SAFETY: implements the documented `Pointer::from_usize` contract.
     unsafe fn from_usize(data: usize) -> Self {
         Owned {
             data,
@@ -491,6 +543,7 @@ impl<T> Pointer<T> for Shared<'_, T> {
     fn into_usize(self) -> usize {
         self.data
     }
+    // SAFETY: implements the documented `Pointer::from_usize` contract.
     unsafe fn from_usize(data: usize) -> Self {
         Shared {
             data,
@@ -593,10 +646,11 @@ mod tests {
         let o = Owned::new(7u64);
         a.store(o, Ordering::SeqCst);
         let s = a.load(Ordering::SeqCst, &g);
+        // SAFETY: `s` was just stored and nothing retires it.
         assert_eq!(unsafe { *s.deref() }, 7);
         assert_eq!(s.with_tag(1).tag(), 1);
         assert_eq!(s.with_tag(1).with_tag(0).tag(), 0);
-        // Clean up.
+        // SAFETY: clean-up with exclusive access; ownership reclaimed once.
         unsafe { drop(a.load(Ordering::SeqCst, &g).into_owned()) };
     }
 
@@ -621,6 +675,7 @@ mod tests {
         };
         assert_eq!(err.current.into_usize(), cur.into_usize());
         drop(err.new); // Owned handed back; dropping frees it.
+                       // SAFETY: exclusive access at test end; ownership reclaimed once.
         unsafe { drop(a.load(Ordering::SeqCst, &g).into_owned()) };
     }
 
@@ -660,6 +715,8 @@ mod tests {
             let writer = pin();
             let o = Owned::new(DropCounter(&DROPS));
             let raw = o.into_usize();
+            // SAFETY: `raw` came from `into_usize` of a fresh `Owned`,
+            // never published, retired exactly once.
             unsafe { writer.defer_destroy(Shared::<DropCounter<'_>>::from_usize(raw)) };
         }
         for _ in 0..8 {
@@ -700,6 +757,8 @@ mod tests {
         {
             let g = pin();
             let r = Arc::clone(&ran);
+            // SAFETY: the closure only touches an `Arc`'d counter that
+            // outlives the collector (held by this test).
             unsafe {
                 g.defer_unchecked(move || {
                     r.fetch_add(1, Ordering::SeqCst);
@@ -717,6 +776,8 @@ mod tests {
         assert_eq!(ran.load(Ordering::SeqCst), 1);
         // Unprotected: immediate.
         let ran2 = Arc::clone(&ran);
+        // SAFETY: single-threaded here, so the unprotected guard's
+        // exclusivity contract holds; the closure runs immediately.
         unsafe {
             unprotected().defer_unchecked(move || {
                 ran2.fetch_add(1, Ordering::SeqCst);
@@ -730,6 +791,8 @@ mod tests {
         static DROPS: StdAtomicUsize = StdAtomicUsize::new(0);
         let o = Owned::new(DropCounter(&DROPS));
         let raw = o.into_usize();
+        // SAFETY: single-threaded, so unprotected exclusivity holds;
+        // `raw` is a fresh `Owned` retired exactly once.
         unsafe {
             let g = unprotected();
             g.defer_destroy(Shared::<DropCounter<'_>>::from_usize(raw));

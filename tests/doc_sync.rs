@@ -79,8 +79,35 @@ fn architecture_names_every_crate() {
         "lockfree-skiplist",
         "bench-harness",
         "bench",
+        "interleave",
         "shims",
     ] {
         assert!(arch.contains(krate), "ARCHITECTURE.md is missing {krate}");
+    }
+}
+
+#[test]
+fn audit_docs_are_cross_linked() {
+    // The audit gates and the checker docs reference each other; a
+    // rename breaks the chain silently without this.
+    let repro = read_doc("REPRODUCING.md");
+    for needle in [
+        "--cfg interleave",
+        "interleave_protocols",
+        "interleave_mutate",
+    ] {
+        assert!(
+            repro.contains(needle),
+            "REPRODUCING.md no longer documents {needle}"
+        );
+    }
+    let orderings = read_doc("ORDERINGS.md");
+    assert!(
+        orderings.contains("ordering_audit"),
+        "ORDERINGS.md must name its enforcing test"
+    );
+    let arch = read_doc("ARCHITECTURE.md");
+    for needle in ["ORDERINGS.md", "safety_audit", "sync.rs"] {
+        assert!(arch.contains(needle), "ARCHITECTURE.md is missing {needle}");
     }
 }

@@ -1,0 +1,322 @@
+//! Atomic-ordering audit: every memory-ordering site in the concurrency
+//! crates must be accounted for in the committed `ORDERINGS.md` ledger.
+//!
+//! The gate is deliberately coarse — per file, a count of each ordering
+//! token (`Relaxed`, `Acquire`, `Release`, `AcqRel`, `SeqCst`) in
+//! comment- and string-stripped source. Coarse is the point: the ledger
+//! cannot silently rot (any added, removed, or reshuffled ordering
+//! changes a count and fails this test until `ORDERINGS.md` is updated,
+//! which is where the *written rationale* for the orderings lives), yet
+//! the test needs no fragile line anchors that churn with every edit.
+//!
+//! On mismatch the failure message prints the correct ledger block, so
+//! an intentional change is a review-visible copy-paste into
+//! `ORDERINGS.md` next to its justification.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The audited ordering tokens, alphabetical (ledger line order).
+const TOKENS: [&str; 5] = ["AcqRel", "Acquire", "Relaxed", "Release", "SeqCst"];
+
+/// Crate source trees under audit: the lock-free structures themselves
+/// plus the epoch shim they reclaim through. (The `interleave` checker
+/// is excluded — it *implements* the memory model rather than
+/// programming against it, and its internal orderings are documented in
+/// its own module docs.)
+const AUDITED_ROOTS: [&str; 4] = [
+    "crates/pragmatic-list/src",
+    "crates/lockfree-skiplist/src",
+    "crates/lockfree-hashmap/src",
+    "crates/shims/crossbeam-epoch/src",
+];
+
+/// Strips `//` comments, (nested) `/* */` comments, string literals and
+/// char literals, so ordering words in prose or messages don't count.
+fn strip_comments_and_strings(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            out.push('\n');
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                out.push(' ');
+                i += 1;
+                while i < b.len() && b[i] != '"' {
+                    if b[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            '\'' => {
+                // Char literal vs lifetime: a literal closes within a
+                // few chars; a lifetime (`'a`) has no closing quote.
+                let close = (i + 1..(i + 5).min(b.len())).find(|&j| {
+                    b[j] == '\'' && j != i + 1 // '' is not a literal
+                });
+                if let Some(j) = close {
+                    if b[i + 1] == '\\' || j == i + 2 {
+                        out.push(' ');
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                out.push(b[i]);
+                i += 1;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Whole-identifier occurrences of `token` in already-stripped source.
+fn count_token(stripped: &str, token: &str) -> usize {
+    let mut n = 0;
+    let mut from = 0;
+    while let Some(pos) = stripped[from..].find(token) {
+        let at = from + pos;
+        let before_ok = stripped[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !is_ident(c));
+        let after_ok = stripped[at + token.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !is_ident(c));
+        if before_ok && after_ok {
+            n += 1;
+        }
+        from = at + token.len();
+    }
+    n
+}
+
+fn count_orderings(src: &str) -> [usize; 5] {
+    let stripped = strip_comments_and_strings(src);
+    std::array::from_fn(|i| count_token(&stripped, TOKENS[i]))
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).unwrap_or_else(|e| panic!("read {dir:?}: {e}")) {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scans the audited trees: repo-relative path → per-token counts, for
+/// every file that uses at least one ordering.
+fn scan_tree() -> BTreeMap<String, [usize; 5]> {
+    let root = repo_root();
+    let mut files = Vec::new();
+    for rel in AUDITED_ROOTS {
+        rust_files(&root.join(rel), &mut files);
+    }
+    let mut map = BTreeMap::new();
+    for path in files {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let counts = count_orderings(&src);
+        if counts.iter().any(|&c| c > 0) {
+            let rel = path
+                .strip_prefix(&root)
+                .unwrap()
+                .to_string_lossy()
+                .replace('\\', "/");
+            map.insert(rel, counts);
+        }
+    }
+    map
+}
+
+fn format_ledger_line(file: &str, counts: &[usize; 5]) -> String {
+    let cells: Vec<String> = TOKENS
+        .iter()
+        .zip(counts)
+        .map(|(t, c)| format!("{t}={c}"))
+        .collect();
+    format!("{file} {}", cells.join(" "))
+}
+
+/// Parses ledger lines out of `ORDERINGS.md`: any line starting with
+/// `crates/` is a count row; everything else is rationale prose.
+fn parse_ledger(text: &str) -> BTreeMap<String, [usize; 5]> {
+    let mut map = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if !line.starts_with("crates/") {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let file = parts.next().unwrap().to_string();
+        let mut counts = [0usize; 5];
+        for part in parts {
+            let (tok, val) = part
+                .split_once('=')
+                .unwrap_or_else(|| panic!("ORDERINGS.md line {}: bad cell {part:?}", lineno + 1));
+            let idx = TOKENS.iter().position(|t| *t == tok).unwrap_or_else(|| {
+                panic!("ORDERINGS.md line {}: unknown token {tok:?}", lineno + 1)
+            });
+            counts[idx] = val
+                .parse()
+                .unwrap_or_else(|e| panic!("ORDERINGS.md line {}: {e}", lineno + 1));
+        }
+        if map.insert(file.clone(), counts).is_some() {
+            panic!("ORDERINGS.md: duplicate ledger row for {file}");
+        }
+    }
+    map
+}
+
+/// The differences between the scanned tree and the ledger, as
+/// human-readable complaints (empty = in sync).
+fn diff(
+    actual: &BTreeMap<String, [usize; 5]>,
+    ledger: &BTreeMap<String, [usize; 5]>,
+) -> Vec<String> {
+    let mut complaints = Vec::new();
+    for (file, counts) in actual {
+        match ledger.get(file) {
+            None => complaints.push(format!(
+                "unledgered ordering sites: {file} uses atomics but has no ORDERINGS.md row"
+            )),
+            Some(l) if l != counts => complaints.push(format!(
+                "stale ledger row for {file}: ledger says {}, source has {}",
+                format_ledger_line(file, l),
+                format_ledger_line(file, counts),
+            )),
+            Some(_) => {}
+        }
+    }
+    for file in ledger.keys() {
+        if !actual.contains_key(file) {
+            complaints.push(format!(
+                "dangling ledger row: {file} no longer exists or no longer uses atomics"
+            ));
+        }
+    }
+    complaints
+}
+
+#[test]
+fn every_ordering_site_is_ledgered() {
+    let actual = scan_tree();
+    assert!(
+        !actual.is_empty(),
+        "the audit scanned no ordering sites — the audited roots moved?"
+    );
+    let ledger_path = repo_root().join("ORDERINGS.md");
+    let ledger_text = std::fs::read_to_string(&ledger_path)
+        .unwrap_or_else(|e| panic!("cannot read {ledger_path:?}: {e}"));
+    let ledger = parse_ledger(&ledger_text);
+    let complaints = diff(&actual, &ledger);
+    if !complaints.is_empty() {
+        let mut msg = String::from("ORDERINGS.md is out of sync with the source tree:\n");
+        for c in &complaints {
+            let _ = writeln!(msg, "  - {c}");
+        }
+        let _ = writeln!(
+            msg,
+            "\nIf the ordering changes are intentional, document the rationale in \
+             ORDERINGS.md and replace its ledger block with:\n"
+        );
+        for (file, counts) in &actual {
+            let _ = writeln!(msg, "{}", format_ledger_line(file, counts));
+        }
+        panic!("{msg}");
+    }
+}
+
+// --- scanner self-tests: the gate must actually be able to fail -------
+
+#[test]
+fn scanner_ignores_comments_strings_and_substrings() {
+    let src = r#"
+        // Acquire in a comment does not count, nor Release here.
+        /* SeqCst in /* a nested */ block comment */
+        fn f() {
+            let _ = "Relaxed in a string";
+            let _ = 'R';
+            let relaxed_named_local = 0; // identifier, not the token
+            x.load(Ordering::Acquire);
+            y.store(1, Release);
+            z.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            MyAcquire::do_it(); // no whole-word match
+        }
+    "#;
+    let counts = count_orderings(src);
+    // AcqRel, Acquire, Relaxed, Release, SeqCst
+    assert_eq!(counts, [0, 1, 0, 1, 1], "scanner miscounted: {counts:?}");
+}
+
+#[test]
+fn unledgered_site_is_detected() {
+    let mut actual = BTreeMap::new();
+    actual.insert("crates/x/src/a.rs".to_string(), [0, 1, 0, 1, 0]);
+    actual.insert("crates/x/src/new.rs".to_string(), [0, 0, 2, 0, 0]);
+    let ledger = parse_ledger("crates/x/src/a.rs AcqRel=0 Acquire=1 Relaxed=0 Release=1 SeqCst=0");
+    let complaints = diff(&actual, &ledger);
+    assert_eq!(complaints.len(), 1);
+    assert!(complaints[0].contains("unledgered"), "{complaints:?}");
+    assert!(complaints[0].contains("new.rs"), "{complaints:?}");
+}
+
+#[test]
+fn stale_and_dangling_rows_are_detected() {
+    let mut actual = BTreeMap::new();
+    actual.insert("crates/x/src/a.rs".to_string(), [0, 2, 0, 1, 0]);
+    let ledger = parse_ledger(
+        "crates/x/src/a.rs AcqRel=0 Acquire=1 Relaxed=0 Release=1 SeqCst=0\n\
+         crates/x/src/gone.rs AcqRel=0 Acquire=0 Relaxed=1 Release=0 SeqCst=0",
+    );
+    let complaints = diff(&actual, &ledger);
+    assert_eq!(complaints.len(), 2, "{complaints:?}");
+    assert!(
+        complaints.iter().any(|c| c.contains("stale")),
+        "{complaints:?}"
+    );
+    assert!(
+        complaints.iter().any(|c| c.contains("dangling")),
+        "{complaints:?}"
+    );
+}

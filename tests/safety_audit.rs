@@ -1,0 +1,266 @@
+//! SAFETY-comment lint: every `unsafe` site in the workspace sources
+//! must carry a written justification.
+//!
+//! Rules, enforced over comment-stripped code with the raw lines kept
+//! for the justification search:
+//!
+//! - `unsafe { ... }` blocks and `unsafe impl` items need a `SAFETY:`
+//!   comment on the same line or within the six preceding lines.
+//! - `unsafe fn` definitions/declarations need `SAFETY` or a `# Safety`
+//!   doc section in the comment/attribute block directly above them.
+//!
+//! Paired with `#![deny(unsafe_op_in_unsafe_fn)]` in the concurrency
+//! crates, this means no unsafe operation executes without an adjacent
+//! argument for why it is sound.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Source trees under audit: every workspace crate plus the root
+/// meta-crate.
+const AUDITED_ROOTS: [&str; 13] = [
+    "src",
+    "crates/pragmatic-list/src",
+    "crates/seq-list/src",
+    "crates/glibc-rand/src",
+    "crates/linearize/src",
+    "crates/lockfree-hashmap/src",
+    "crates/lockfree-skiplist/src",
+    "crates/bench-harness/src",
+    "crates/bench/src",
+    "crates/interleave/src",
+    "crates/shims/crossbeam-epoch/src",
+    "crates/shims/criterion/src",
+    "crates/shims/proptest/src",
+];
+
+/// Lines to look back for a `SAFETY:` comment above an unsafe block.
+const LOOKBACK: usize = 6;
+
+/// Strips `//` comments and string literals per line, tracking block
+/// comments across lines, so `unsafe` in prose or messages is ignored.
+/// Returns one stripped string per input line (same indices).
+fn strip_lines(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize; // block-comment nesting
+    for line in src.lines() {
+        let b: Vec<char> = line.chars().collect();
+        let mut s = String::new();
+        let mut i = 0;
+        while i < b.len() {
+            if depth > 0 {
+                if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match b[i] {
+                '/' if b.get(i + 1) == Some(&'/') => break,
+                '/' if b.get(i + 1) == Some(&'*') => {
+                    depth += 1;
+                    i += 2;
+                }
+                '"' => {
+                    s.push(' ');
+                    i += 1;
+                    while i < b.len() && b[i] != '"' {
+                        if b[i] == '\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                c => {
+                    s.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out.push(s);
+    }
+    out
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// What follows an `unsafe` keyword on (the rest of) a stripped line.
+#[derive(PartialEq, Debug, Clone, Copy)]
+enum Site {
+    Block,
+    Impl,
+    Fn,
+}
+
+/// Finds `unsafe` keyword sites in one stripped line.
+fn sites_in(line: &str) -> Vec<Site> {
+    let mut found = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("unsafe") {
+        let at = from + pos;
+        from = at + "unsafe".len();
+        let before_ok = line[..at].chars().next_back().is_none_or(|c| !is_ident(c));
+        let rest = line[at + "unsafe".len()..].trim_start();
+        if !before_ok || rest.chars().next().is_some_and(is_ident) {
+            // `ptr_unsafe`, `unsafe_op_in_unsafe_fn`, … — but allow the
+            // keyword forms below.
+            if !(rest.starts_with("impl")
+                || rest.starts_with("fn")
+                || rest.starts_with("trait")
+                || rest.starts_with("extern"))
+                || !before_ok
+            {
+                continue;
+            }
+        }
+        if rest.starts_with('{') || rest.is_empty() {
+            // `unsafe {` — or `unsafe` at end of line with `{` next.
+            found.push(Site::Block);
+        } else if rest.starts_with("impl") || rest.starts_with("trait") {
+            found.push(Site::Impl);
+        } else if rest.starts_with("fn") || rest.starts_with("extern") {
+            // `unsafe fn(args)` with no name is a function-pointer TYPE,
+            // not a definition — the obligation lies at the call site.
+            let after_fn = rest["fn".len()..].trim_start();
+            if rest.starts_with("fn") && after_fn.starts_with('(') {
+                continue;
+            }
+            found.push(Site::Fn);
+        } else {
+            // e.g. `r.unsafe_field` already excluded; anything else
+            // (`unsafe;` in macros) counts as a block for caution.
+            found.push(Site::Block);
+        }
+    }
+    found
+}
+
+/// Does any of the `LOOKBACK` raw lines above `idx` (or the line
+/// itself) contain a `SAFETY` marker?
+fn has_nearby_safety(raw: &[&str], idx: usize) -> bool {
+    let lo = idx.saturating_sub(LOOKBACK);
+    raw[lo..=idx].iter().any(|l| l.contains("SAFETY"))
+}
+
+/// Does the contiguous doc/attribute/comment block directly above `idx`
+/// argue safety (`SAFETY` or a `# Safety` doc section)?
+fn has_doc_safety(raw: &[&str], idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = raw[i].trim_start();
+        if t.starts_with("///") || t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!")
+        {
+            if t.contains("SAFETY") || t.contains("Safety") {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).unwrap_or_else(|e| panic!("read {dir:?}: {e}")) {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// All undocumented unsafe sites in `src`, as `(line, kind)` pairs.
+fn audit_source(src: &str) -> Vec<(usize, Site)> {
+    let raw: Vec<&str> = src.lines().collect();
+    let stripped = strip_lines(src);
+    let mut bad = Vec::new();
+    for (idx, line) in stripped.iter().enumerate() {
+        for site in sites_in(line) {
+            // Accept either form everywhere: a SAFETY marker within the
+            // lookback window, or anywhere in the contiguous
+            // comment/attribute block directly above (long arguments).
+            let ok = has_nearby_safety(&raw, idx) || has_doc_safety(&raw, idx);
+            if !ok {
+                bad.push((idx + 1, site));
+            }
+        }
+    }
+    bad
+}
+
+#[test]
+fn every_unsafe_site_is_justified() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    for rel in AUDITED_ROOTS {
+        let dir = root.join(rel);
+        if dir.is_dir() {
+            rust_files(&dir, &mut files);
+        }
+    }
+    files.sort();
+    assert!(!files.is_empty(), "the audit found no source files");
+    let mut complaints = String::new();
+    let mut audited_sites = 0usize;
+    for path in &files {
+        let src = std::fs::read_to_string(path).unwrap();
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap()
+            .to_string_lossy()
+            .replace('\\', "/");
+        for (line, site) in audit_source(&src) {
+            audited_sites += 1;
+            let want = match site {
+                Site::Block => "a `// SAFETY:` comment within 6 lines above",
+                Site::Impl => "a `// SAFETY:` comment within 6 lines above",
+                Site::Fn => "`SAFETY` nearby or a `# Safety` doc section above",
+            };
+            let _ = writeln!(complaints, "  - {rel}:{line}: unsafe site needs {want}");
+        }
+    }
+    assert!(
+        complaints.is_empty(),
+        "{audited_sites} unsafe site(s) lack a written safety argument:\n{complaints}"
+    );
+}
+
+// --- lint self-tests: the gate must actually be able to fail ---------
+
+#[test]
+fn undocumented_block_is_flagged() {
+    let src = "fn f(p: *mut u8) {\n    unsafe { p.write(0) };\n}\n";
+    let bad = audit_source(src);
+    assert_eq!(bad, vec![(2, Site::Block)], "{bad:?}");
+}
+
+#[test]
+fn documented_block_passes() {
+    let src = "fn f(p: *mut u8) {\n    // SAFETY: p is valid per the caller contract.\n    unsafe { p.write(0) };\n}\n";
+    assert!(audit_source(src).is_empty());
+}
+
+#[test]
+fn doc_safety_section_covers_unsafe_fn() {
+    let src = "/// Frobs.\n///\n/// # Safety\n///\n/// `p` must be valid.\npub unsafe fn frob(p: *mut u8) {}\n";
+    assert!(audit_source(src).is_empty());
+    let undocumented = "/// Frobs.\npub unsafe fn frob(p: *mut u8) {}\n";
+    assert_eq!(audit_source(undocumented), vec![(2, Site::Fn)]);
+}
+
+#[test]
+fn prose_and_identifiers_do_not_count_as_sites() {
+    let src = "// this mentions unsafe code in prose\n#![deny(unsafe_op_in_unsafe_fn)]\nlet unsafe_count = 1;\nlet s = \"unsafe { }\";\n";
+    assert!(audit_source(src).is_empty(), "{:?}", audit_source(src));
+}
