@@ -47,5 +47,5 @@ pub use pragmatic_list::OpStats;
 pub use presets::{Experiment, Scale, WorkloadSpec};
 pub use result::RunResult;
 pub use variant::{Variant, VariantVisitor};
-pub use workload::{LatencySampled, Workload};
+pub use workload::{LatencySampled, Workload, ZipfLatencySampled};
 pub use zipfian::ZipfianMixConfig;

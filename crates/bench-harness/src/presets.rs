@@ -126,9 +126,9 @@ fn zipf(threads: usize, c: u64, f: u64, u: u32, theta: f64, scramble: bool) -> Z
 impl Experiment {
     /// All experiment ids: the paper's tables and figures in paper
     /// order, then this reproduction's extensions.
-    pub const IDS: [&'static str; 16] = [
+    pub const IDS: [&'static str; 17] = [
         "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-        "figure1", "figure2", "figure3", "zipf", "skew", "batch", "drift",
+        "figure1", "figure2", "figure3", "zipf", "skew", "batch", "drift", "unrolled",
     ];
 
     /// Looks up an experiment by id at the given scale.
@@ -332,6 +332,16 @@ impl Experiment {
                     }
                 }),
             },
+            "unrolled" => Experiment {
+                id: "unrolled",
+                description: "unrolled fat-node ablation: Zipfian mix 10/10/80, θ=0.99 clustered",
+                variants: Variant::UNROLLED.to_vec(),
+                workload: if paper {
+                    WorkloadSpec::ZipfianMix(zipf(64, 1_000_000, 1_000, 10_000, 0.99, false))
+                } else {
+                    WorkloadSpec::ZipfianMix(zipf(8, 40_000, 1_000, 10_000, 0.99, false))
+                },
+            },
             "drift" => Experiment {
                 id: "drift",
                 description: "phased drift: hotspot sweeps the keyspace, θ ramps, one write burst",
@@ -378,11 +388,14 @@ fn drift(threads: usize, c: u64, f: u64, u: u32) -> PhasedConfig {
 
 /// The Zipfian experiments' variant set: the sharded sweep plus the
 /// hinted flat lists, whose multi-position cursors are exactly what a
-/// skewed key stream exercises.
+/// skewed key stream exercises, and the unrolled fat-node lists, whose
+/// in-node binary search collapses the hot prefix walk.
 fn zipf_variants() -> Vec<Variant> {
     let mut v = Variant::SHARDED.to_vec();
     v.insert(1, Variant::SinglyHinted);
     v.insert(2, Variant::DoublyHinted);
+    v.insert(3, Variant::Unrolled);
+    v.insert(4, Variant::UnrolledHinted);
     v
 }
 
@@ -467,6 +480,32 @@ mod tests {
                 assert!(!base.scramble, "default placement is clustered");
             }
             _ => panic!("skew must be a SkewSweep"),
+        }
+    }
+
+    #[test]
+    fn unrolled_experiment_covers_the_fat_node_group() {
+        for scale in [Scale::Paper, Scale::Container] {
+            let e = Experiment::get("unrolled", scale).unwrap();
+            assert_eq!(e.variants, Variant::UNROLLED.to_vec());
+            assert!(
+                e.variants.contains(&Variant::SinglyHinted),
+                "the flat hinted baseline must be present for the speedup ratio"
+            );
+            match e.workload {
+                WorkloadSpec::ZipfianMix(c) => {
+                    assert_eq!(c.theta, 0.99, "YCSB-default skew");
+                    assert!(!c.scramble, "clustered: hot keys adjacent");
+                }
+                _ => panic!("unrolled must be a ZipfianMix"),
+            }
+        }
+        // And the generic zipf experiments carry the unrolled variants
+        // too, so one refresh of BENCH_zipf.json has both sides of the
+        // comparison.
+        let z = Experiment::get("zipf", Scale::Container).unwrap();
+        for v in [Variant::Unrolled, Variant::UnrolledHinted] {
+            assert!(z.variants.contains(&v), "zipf must cover {v}");
         }
     }
 

@@ -29,7 +29,7 @@ pub fn format_table(title: &str, rows: &[RunResult]) -> String {
     for r in rows {
         let label = Variant::parse(&r.variant)
             .map(|v| v.paper_label())
-            .unwrap_or(r.variant.as_str());
+            .unwrap_or_else(|| r.variant.clone());
         s.push_str(&format!(
             "{:<26} {:>12.2} {:>12} {:>12.2} {:>10} {:>10} {:>14} {:>14} {:>8} {:>8}\n",
             label,

@@ -17,7 +17,8 @@ use pragmatic_list::sharded::ShardedSet;
 use pragmatic_list::variants::{
     CursorOnlyList, DoublyBackptrList, DoublyCursorEpochList, DoublyCursorList, DoublyHintedList,
     DraconicList, SinglyCursorEpochList, SinglyCursorList, SinglyEpochList, SinglyFetchOrEpochList,
-    SinglyFetchOrList, SinglyHintedList, SinglyHpList, SinglyMildList,
+    SinglyFetchOrList, SinglyHintedList, SinglyHpList, SinglyMildList, UnrolledArenaList,
+    UnrolledEpochList, UnrolledHintedList,
 };
 use pragmatic_list::{ConcurrentOrderedSet, EpochList};
 
@@ -85,6 +86,15 @@ pub enum Variant {
     Elastic,
     /// Elastic extension: the mild skiplist behind the elastic router.
     ElasticSkiplist,
+    /// Unrolled extension: fat nodes holding up to 16 sorted keys each,
+    /// cutting pointer chases ≈16× (see `pragmatic_list::unrolled`).
+    Unrolled,
+    /// Unrolled extension with 8 per-thread search hints (hint =
+    /// fat-node pointer).
+    UnrolledHinted,
+    /// Unrolled extension under epoch reclamation: fat nodes *and*
+    /// replaced run images drain through crossbeam-epoch.
+    UnrolledEpoch,
 }
 
 /// A computation that is generic over the list implementation.
@@ -130,7 +140,7 @@ pub trait VariantVisitor {
 impl Variant {
     /// All variants: paper order a)–f), then the ablation, reclamation,
     /// skiplist and sharding extensions.
-    pub const ALL: [Variant; 22] = [
+    pub const ALL: [Variant; 25] = [
         Variant::Draconic,
         Variant::Singly,
         Variant::Doubly,
@@ -153,6 +163,9 @@ impl Variant {
         Variant::DoublyHinted,
         Variant::Elastic,
         Variant::ElasticSkiplist,
+        Variant::Unrolled,
+        Variant::UnrolledHinted,
+        Variant::UnrolledEpoch,
     ];
 
     /// The six variants of the paper, in table order a)–f).
@@ -242,6 +255,18 @@ impl Variant {
         Variant::ShardedSinglyEpoch,
     ];
 
+    /// The unrolled sweep: the fat-node variants next to the flat
+    /// hinted list they must beat and the skiplist whose gap they are
+    /// closing — `repro <exp> --variants unroll` quantifies what ≈CAP
+    /// keys per node buys over pointer-per-key traversal.
+    pub const UNROLLED: [Variant; 5] = [
+        Variant::SinglyHinted,
+        Variant::Skiplist,
+        Variant::Unrolled,
+        Variant::UnrolledHinted,
+        Variant::UnrolledEpoch,
+    ];
+
     /// Runs `visitor` with the list type this variant names.
     ///
     /// The single point where the value-level `Variant` becomes a
@@ -281,6 +306,9 @@ impl Variant {
             Variant::DoublyHinted => visitor.visit::<DoublyHintedList<i64>>(),
             Variant::Elastic => visitor.visit::<ElasticSet<i64, SinglyCursorList<i64>>>(),
             Variant::ElasticSkiplist => visitor.visit::<ElasticSet<i64, SkipListSet<i64>>>(),
+            Variant::Unrolled => visitor.visit::<UnrolledArenaList<i64>>(),
+            Variant::UnrolledHinted => visitor.visit::<UnrolledHintedList<i64>>(),
+            Variant::UnrolledEpoch => visitor.visit::<UnrolledEpochList<i64>>(),
         }
     }
 
@@ -312,69 +340,112 @@ impl Variant {
         self.dispatch(Name)
     }
 
-    /// The paper's row label, e.g. `"a) draconic"` (letters past f are
-    /// this reproduction's extensions).
-    pub fn paper_label(self) -> &'static str {
+    /// The paper-table row letter, **derived** from this variant's
+    /// position in [`Variant::ALL`] so that adding a variant can never
+    /// silently skew the labels: lettering follows `ALL` order, except
+    /// that the ablation-only [`CursorOnly`](Variant::CursorOnly) keeps
+    /// its traditional literal `x` (outside the sequence), which the
+    /// running alphabet therefore skips.
+    pub fn letter(self) -> char {
+        if self == Variant::CursorOnly {
+            return 'x';
+        }
+        let idx = Variant::ALL
+            .iter()
+            .filter(|&&v| v != Variant::CursorOnly)
+            .position(|&v| v == self)
+            .expect("every variant appears in Variant::ALL");
+        assert!(idx < 25, "letter space exhausted — extend the scheme");
+        let mut c = b'a' + idx as u8;
+        if c >= b'x' {
+            // 'x' is reserved for the cursor-only ablation row.
+            c += 1;
+        }
+        c as char
+    }
+
+    /// The descriptive part of the paper row label, without the letter.
+    fn base_label(self) -> &'static str {
         match self {
-            Variant::Draconic => "a) draconic",
-            Variant::Singly => "b) singly",
-            Variant::Doubly => "c) doubly",
-            Variant::SinglyCursor => "d) singly-cursor",
-            Variant::SinglyFetchOr => "e) singly-fetch-or",
-            Variant::DoublyCursor => "f) doubly-cursor",
-            Variant::CursorOnly => "x) cursor-only",
-            Variant::Epoch => "g) epoch-reclaim",
-            Variant::SinglyEpoch => "h) singly-epoch",
-            Variant::SinglyFetchOrEpoch => "i) singly-fetch-or-epoch",
-            Variant::DoublyCursorEpoch => "j) doubly-cursor-epoch",
-            Variant::SinglyHp => "k) singly-hp",
-            Variant::Skiplist => "l) skiplist-mild",
-            Variant::ShardedSingly => "m) sharded-singly x8",
-            Variant::ShardedSingly32 => "n) sharded-singly x32",
-            Variant::ShardedSkiplist => "o) sharded-skiplist x8",
-            Variant::ShardedSkiplist32 => "p) sharded-skiplist x32",
-            Variant::ShardedSinglyEpoch => "q) sharded-singly-epoch x8",
-            Variant::SinglyHinted => "r) singly-hint x8",
-            Variant::DoublyHinted => "s) doubly-hint x8",
-            Variant::Elastic => "t) elastic-singly",
-            Variant::ElasticSkiplist => "u) elastic-skiplist",
+            Variant::Draconic => "draconic",
+            Variant::Singly => "singly",
+            Variant::Doubly => "doubly",
+            Variant::SinglyCursor => "singly-cursor",
+            Variant::SinglyFetchOr => "singly-fetch-or",
+            Variant::DoublyCursor => "doubly-cursor",
+            Variant::CursorOnly => "cursor-only",
+            Variant::Epoch => "epoch-reclaim",
+            Variant::SinglyEpoch => "singly-epoch",
+            Variant::SinglyFetchOrEpoch => "singly-fetch-or-epoch",
+            Variant::DoublyCursorEpoch => "doubly-cursor-epoch",
+            Variant::SinglyHp => "singly-hp",
+            Variant::Skiplist => "skiplist-mild",
+            Variant::ShardedSingly => "sharded-singly x8",
+            Variant::ShardedSingly32 => "sharded-singly x32",
+            Variant::ShardedSkiplist => "sharded-skiplist x8",
+            Variant::ShardedSkiplist32 => "sharded-skiplist x32",
+            Variant::ShardedSinglyEpoch => "sharded-singly-epoch x8",
+            Variant::SinglyHinted => "singly-hint x8",
+            Variant::DoublyHinted => "doubly-hint x8",
+            Variant::Elastic => "elastic-singly",
+            Variant::ElasticSkiplist => "elastic-skiplist",
+            Variant::Unrolled => "unrolled k16",
+            Variant::UnrolledHinted => "unrolled-hint k16",
+            Variant::UnrolledEpoch => "unrolled-epoch k16",
         }
     }
 
-    /// Parses a CLI name (either form, case-insensitive).
+    /// The paper's row label, e.g. `"a) draconic"` (letters past f are
+    /// this reproduction's extensions; see [`letter`](Variant::letter)
+    /// for how they are assigned).
+    pub fn paper_label(self) -> String {
+        format!("{}) {}", self.letter(), self.base_label())
+    }
+
+    /// Parses a CLI name (full name, alias, or single row letter as
+    /// printed by `--list-variants`; case-insensitive).
     pub fn parse(s: &str) -> Option<Variant> {
         let s = s.trim().to_ascii_lowercase().replace('-', "_");
+        if s.len() == 1 {
+            let c = s.chars().next()?;
+            return Variant::ALL.into_iter().find(|v| v.letter() == c);
+        }
         Some(match s.as_str() {
-            "draconic" | "a" => Variant::Draconic,
-            "singly" | "b" => Variant::Singly,
-            "doubly" | "c" => Variant::Doubly,
-            "singly_cursor" | "d" => Variant::SinglyCursor,
-            "singly_fetch_or" | "fetch_or" | "e" => Variant::SinglyFetchOr,
-            "doubly_cursor" | "f" => Variant::DoublyCursor,
-            "cursor_only" | "x" => Variant::CursorOnly,
-            "epoch" | "g" => Variant::Epoch,
-            "singly_epoch" | "h" => Variant::SinglyEpoch,
-            "singly_fetch_or_epoch" | "fetch_or_epoch" | "i" => Variant::SinglyFetchOrEpoch,
-            "doubly_cursor_epoch" | "j" => Variant::DoublyCursorEpoch,
-            "singly_hp" | "hp" | "k" => Variant::SinglyHp,
-            "skiplist_mild" | "skiplist" | "l" => Variant::Skiplist,
-            "sharded_singly" | "m" => Variant::ShardedSingly,
-            "sharded_singly32" | "n" => Variant::ShardedSingly32,
-            "sharded_skiplist" | "o" => Variant::ShardedSkiplist,
-            "sharded_skiplist32" | "p" => Variant::ShardedSkiplist32,
-            "sharded_singly_epoch" | "q" => Variant::ShardedSinglyEpoch,
-            "singly_hint" | "hint" | "r" => Variant::SinglyHinted,
-            "doubly_hint" | "s" => Variant::DoublyHinted,
-            "elastic_singly" | "t" => Variant::Elastic,
-            "elastic_skiplist" | "u" => Variant::ElasticSkiplist,
+            "draconic" => Variant::Draconic,
+            "singly" => Variant::Singly,
+            "doubly" => Variant::Doubly,
+            "singly_cursor" => Variant::SinglyCursor,
+            "singly_fetch_or" | "fetch_or" => Variant::SinglyFetchOr,
+            "doubly_cursor" => Variant::DoublyCursor,
+            "cursor_only" => Variant::CursorOnly,
+            "epoch" => Variant::Epoch,
+            "singly_epoch" => Variant::SinglyEpoch,
+            "singly_fetch_or_epoch" | "fetch_or_epoch" => Variant::SinglyFetchOrEpoch,
+            "doubly_cursor_epoch" => Variant::DoublyCursorEpoch,
+            "singly_hp" | "hp" => Variant::SinglyHp,
+            "skiplist_mild" | "skiplist" => Variant::Skiplist,
+            "sharded_singly" => Variant::ShardedSingly,
+            "sharded_singly32" => Variant::ShardedSingly32,
+            "sharded_skiplist" => Variant::ShardedSkiplist,
+            "sharded_skiplist32" => Variant::ShardedSkiplist32,
+            "sharded_singly_epoch" => Variant::ShardedSinglyEpoch,
+            "singly_hint" | "hint" => Variant::SinglyHinted,
+            "doubly_hint" => Variant::DoublyHinted,
+            "elastic_singly" => Variant::Elastic,
+            "elastic_skiplist" => Variant::ElasticSkiplist,
+            "unrolled" => Variant::Unrolled,
+            "unrolled_hint" => Variant::UnrolledHinted,
+            "unrolled_epoch" => Variant::UnrolledEpoch,
             _ => return None,
         })
     }
 
     /// Parses a CLI token that may name either a single variant or a
     /// group: `"all"`, `"paper"`, `"sparc"`, `"figures"`, `"reclaim"`,
-    /// `"sharded"`, `"hotpath"`, `"elastic"` (so `repro --variants
-    /// paper` or `--variants elastic` work).
+    /// `"sharded"`, `"hotpath"`, `"elastic"`, `"unroll"` (so `repro
+    /// --variants paper` or `--variants unroll` work; the unrolled
+    /// group's token is `unroll` because `unrolled` names the single
+    /// variant).
     pub fn parse_group(s: &str) -> Option<Vec<Variant>> {
         match s.trim().to_ascii_lowercase().as_str() {
             "all" => Some(Variant::ALL.to_vec()),
@@ -385,6 +456,7 @@ impl Variant {
             "sharded" => Some(Variant::SHARDED.to_vec()),
             "hotpath" => Some(Variant::HOTPATH.to_vec()),
             "elastic" => Some(Variant::ELASTIC.to_vec()),
+            "unroll" => Some(Variant::UNROLLED.to_vec()),
             _ => Variant::parse(s).map(|v| vec![v]),
         }
     }
@@ -413,6 +485,9 @@ impl Variant {
         }
         if Variant::ELASTIC.contains(&self) {
             g.push("elastic");
+        }
+        if Variant::UNROLLED.contains(&self) {
+            g.push("unroll");
         }
         g
     }
@@ -447,6 +522,15 @@ mod tests {
         assert_eq!(Variant::parse("doubly-hint"), Some(Variant::DoublyHinted));
         assert_eq!(Variant::parse("elastic_singly"), Some(Variant::Elastic));
         assert_eq!(Variant::parse("u"), Some(Variant::ElasticSkiplist));
+        assert_eq!(Variant::parse("unrolled"), Some(Variant::Unrolled));
+        assert_eq!(
+            Variant::parse("unrolled-hint"),
+            Some(Variant::UnrolledHinted)
+        );
+        assert_eq!(
+            Variant::parse("unrolled_epoch"),
+            Some(Variant::UnrolledEpoch)
+        );
     }
 
     #[test]
@@ -481,6 +565,15 @@ mod tests {
             Variant::ELASTIC.to_vec()
         );
         assert_eq!(
+            Variant::parse_group("unroll").unwrap(),
+            Variant::UNROLLED.to_vec()
+        );
+        // `unrolled` (the variant name) must still parse as a singleton.
+        assert_eq!(
+            Variant::parse_group("unrolled").unwrap(),
+            vec![Variant::Unrolled]
+        );
+        assert_eq!(
             Variant::parse_group("f").unwrap(),
             vec![Variant::DoublyCursor]
         );
@@ -488,14 +581,45 @@ mod tests {
     }
 
     #[test]
+    fn letters_derive_from_all_ordering() {
+        // The paper's own rows keep their table letters…
+        assert_eq!(Variant::Draconic.letter(), 'a');
+        assert_eq!(Variant::DoublyCursor.letter(), 'f');
+        // …the ablation row sits outside the sequence…
+        assert_eq!(Variant::CursorOnly.letter(), 'x');
+        // …and everything else follows ALL order, skipping both.
+        assert_eq!(Variant::Epoch.letter(), 'g');
+        assert_eq!(Variant::ElasticSkiplist.letter(), 'u');
+        assert_eq!(Variant::Unrolled.letter(), 'v');
+        assert_eq!(Variant::UnrolledHinted.letter(), 'w');
+        // 'x' is reserved, so the sequence jumps to 'y'.
+        assert_eq!(Variant::UnrolledEpoch.letter(), 'y');
+        // No duplicates, ever — this is what hardcoded tables got wrong.
+        let mut letters: Vec<char> = Variant::ALL.iter().map(|v| v.letter()).collect();
+        letters.sort_unstable();
+        letters.dedup();
+        assert_eq!(letters.len(), Variant::ALL.len());
+        // Labels lead with the derived letter.
+        assert_eq!(Variant::Unrolled.paper_label(), "v) unrolled k16");
+        // Letters round-trip through the parser.
+        for v in Variant::ALL {
+            assert_eq!(Variant::parse(&v.letter().to_string()), Some(v));
+        }
+    }
+
+    #[test]
     fn paper_sets_have_expected_sizes() {
-        assert_eq!(Variant::ALL.len(), 22);
+        assert_eq!(Variant::ALL.len(), 25);
         assert_eq!(Variant::PAPER.len(), 6);
         assert_eq!(Variant::SPARC.len(), 5);
         assert_eq!(Variant::RECLAIM.len(), 9);
         assert_eq!(Variant::SHARDED.len(), 7);
         assert_eq!(Variant::HOTPATH.len(), 5);
         assert_eq!(Variant::ELASTIC.len(), 6);
+        assert_eq!(Variant::UNROLLED.len(), 5);
+        assert!(Variant::UNROLLED.contains(&Variant::UnrolledHinted));
+        assert!(Variant::UNROLLED.contains(&Variant::SinglyHinted));
+        assert!(Variant::UNROLLED.contains(&Variant::Skiplist));
         assert!(Variant::ELASTIC.contains(&Variant::Elastic));
         assert!(Variant::ELASTIC.contains(&Variant::ShardedSingly32));
         assert!(Variant::HOTPATH.contains(&Variant::SinglyHinted));
@@ -521,8 +645,13 @@ mod tests {
             Variant::ShardedSkiplist.groups(),
             vec!["all", "sharded", "elastic"]
         );
-        assert_eq!(Variant::SinglyHinted.groups(), vec!["all", "hotpath"]);
+        assert_eq!(
+            Variant::SinglyHinted.groups(),
+            vec!["all", "hotpath", "unroll"]
+        );
         assert_eq!(Variant::Elastic.groups(), vec!["all", "elastic"]);
+        assert_eq!(Variant::Unrolled.groups(), vec!["all", "unroll"]);
+        assert_eq!(Variant::UnrolledEpoch.groups(), vec!["all", "unroll"]);
         assert_eq!(
             Variant::SinglyCursor.groups(),
             vec!["all", "paper", "sparc", "figures", "sharded", "hotpath", "elastic"]
@@ -541,6 +670,9 @@ mod tests {
         assert_eq!(Variant::DoublyHinted.name(), "doubly_hint");
         assert_eq!(Variant::Elastic.name(), "elastic_singly");
         assert_eq!(Variant::ElasticSkiplist.name(), "elastic_skiplist");
+        assert_eq!(Variant::Unrolled.name(), "unrolled");
+        assert_eq!(Variant::UnrolledHinted.name(), "unrolled_hint");
+        assert_eq!(Variant::UnrolledEpoch.name(), "unrolled_epoch");
     }
 
     #[test]

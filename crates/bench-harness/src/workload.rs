@@ -183,6 +183,24 @@ impl Workload for LatencySampled {
     }
 }
 
+/// The Zipfian mix with every `sample_every`-th operation timed
+/// (see [`crate::zipfian::run_sampled`]): skewed-traffic tail latency.
+#[derive(Debug, Clone, Copy)]
+pub struct ZipfLatencySampled {
+    /// The underlying Zipfian-mix parameters.
+    pub cfg: crate::zipfian::ZipfianMixConfig,
+    /// Sampling period (1 = time every operation).
+    pub sample_every: u64,
+}
+
+impl Workload for ZipfLatencySampled {
+    type Output = LatencyHistogram;
+
+    fn run<S: ConcurrentOrderedSet<i64>>(&self) -> LatencyHistogram {
+        crate::zipfian::run_sampled::<S>(&self.cfg, self.sample_every)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -172,6 +172,68 @@ pub fn run<S: ConcurrentOrderedSet<i64>>(cfg: &ZipfianMixConfig) -> RunResult {
     }
 }
 
+/// Zipfian-mix run with every `sample_every`-th operation timed —
+/// the skewed analogue of [`crate::latency::run_sampled`]. Under skew
+/// the hot ranks sit at the front of the traversal order, so the
+/// percentiles separate the hot-key fast path from the cold-key tail
+/// in a way the uniform sampler cannot.
+///
+/// Returns the merged histogram; throughput is *not* reported (probe
+/// overhead perturbs it — use [`run`] for that).
+pub fn run_sampled<S: ConcurrentOrderedSet<i64>>(
+    cfg: &ZipfianMixConfig,
+    sample_every: u64,
+) -> crate::latency::LatencyHistogram {
+    assert!(cfg.threads > 0 && sample_every > 0);
+    assert!(cfg.mix.is_valid(), "operation mix must sum to 100");
+    assert!(cfg.key_range > 0);
+    let list = S::new();
+    prefill(&list, cfg);
+    let zipf = Zipfian::new(cfg.key_range as u64, cfg.theta);
+
+    let barrier = Barrier::new(cfg.threads);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let list = &list;
+                let barrier = &barrier;
+                let zipf = &zipf;
+                let cfg = *cfg;
+                scope.spawn(move || {
+                    let mut h = list.handle();
+                    let mut rng = GlibcRandom::new(thread_seed(cfg.seed, t));
+                    let mut hist = crate::latency::LatencyHistogram::new();
+                    barrier.wait();
+                    let add_bound = cfg.mix.add;
+                    let rem_bound = cfg.mix.add + cfg.mix.remove;
+                    for i in 0..cfg.ops_per_thread {
+                        let op = rng.below(100);
+                        let key = cfg.key_of_rank(zipf.sample(&mut rng));
+                        let probe = i % sample_every == 0;
+                        let start = probe.then(Instant::now);
+                        if op < add_bound {
+                            h.add(key);
+                        } else if op < rem_bound {
+                            h.remove(key);
+                        } else {
+                            h.contains(key);
+                        }
+                        if let Some(s) = start {
+                            hist.record(s.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    hist
+                })
+            })
+            .collect();
+        let mut total = crate::latency::LatencyHistogram::new();
+        for w in workers {
+            total.merge(&w.join().unwrap());
+        }
+        total
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +334,14 @@ mod tests {
         // the images of the hottest `prefill` ranks, in rank order.
         let want: Vec<i64> = (0..c.prefill).map(|r| c.key_of_rank(r)).collect();
         assert_eq!(keys, want);
+    }
+
+    #[test]
+    fn sampled_run_produces_expected_sample_count() {
+        let c = cfg(2, 1_000, 0.99);
+        let hist = run_sampled::<SinglyMildList<i64>>(&c, 10);
+        assert_eq!(hist.count(), 2 * 100, "every 10th of 1000 ops per thread");
+        assert!(hist.max_ns() > 0);
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Ablation A6: the unrolled fat-node list — node capacity × skew.
+//!
+//! The unrolled subsystem trades pointer chases for in-node binary
+//! search over an immutable sorted run of up to `CAP` keys. The right
+//! `CAP` is a bet on the workload: larger nodes shorten the link walk
+//! (fewer next-pointer hops per traversal, better cache-line economy)
+//! but raise the cost of every mutation, which must republish a whole
+//! run image and splits a node at the median once it fills. This sweep
+//! isolates that axis:
+//!
+//! * **node capacity** — CAP ∈ {4, 8, 16, 32} with 8 search hints,
+//!   under uniform (θ=0) and heavily skewed (θ=0.99) clustered Zipfian
+//!   mixes. Uniform traffic pays the full walk, so capacity is a pure
+//!   traversal-length lever; clustered skew concentrates on a short hot
+//!   prefix where republish contention on the hot node dominates.
+//! * **baseline** — the flat hinted list (`singly_hint`, the strongest
+//!   one-key-per-node variant) at the same hint count, so each group
+//!   reads as a speedup ratio over the best flat configuration.
+//!
+//! Set `ABLATION_SMOKE=1` to shrink the workloads for CI smoke runs.
+
+use bench_harness::zipfian::ZipfianMixConfig;
+use bench_harness::{OpMix, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pragmatic_list::reclaim::ArenaReclaim;
+use pragmatic_list::singly::SinglyList;
+use pragmatic_list::unrolled::UnrolledList;
+
+/// The fat-node list with a compile-time capacity and 8 search hints.
+type Fat<const CAP: usize> = UnrolledList<i64, CAP, ArenaReclaim, 8>;
+/// The flat hinted baseline (variant `singly_hint`).
+type FlatHinted = SinglyList<i64, true, true, false, ArenaReclaim, 8>;
+
+fn ops(default: u64) -> u64 {
+    if std::env::var_os("ABLATION_SMOKE").is_some() {
+        (default / 20).max(200)
+    } else {
+        default
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let base = ZipfianMixConfig {
+        threads: 2,
+        ops_per_thread: ops(20_000),
+        prefill: 1_000,
+        key_range: 10_000,
+        mix: OpMix::READ_HEAVY,
+        seed: 0x5eed_cafe,
+        theta: 0.0,
+        scramble: false,
+    };
+    for theta in [0.0, 0.99] {
+        let cfg = ZipfianMixConfig { theta, ..base };
+        let mut g = c.benchmark_group(&format!("ablation_a6_cap_theta{theta}"));
+        g.sample_size(10);
+        g.throughput(criterion::Throughput::Elements(cfg.total_ops()));
+        g.bench_function("flat_hint8", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<FlatHinted>()))
+        });
+        g.bench_function("cap4", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<Fat<4>>()))
+        });
+        g.bench_function("cap8", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<Fat<8>>()))
+        });
+        g.bench_function("cap16", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<Fat<16>>()))
+        });
+        g.bench_function("cap32", |b| {
+            b.iter(|| std::hint::black_box(cfg.run::<Fat<32>>()))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

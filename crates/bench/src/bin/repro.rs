@@ -6,8 +6,8 @@
 //!   repro <experiment>... [options]
 //!   repro all [options]
 //!
-//! Experiments: table1..table9, figure1..figure3, zipf, skew, batch, drift
-//! (see `repro list`).
+//! Experiments: table1..table9, figure1..figure3, zipf, skew, batch,
+//! drift, unrolled (see `repro list`).
 //!
 //! Options:
 //!   --paper-scale         use the published parameters (large machines!)
@@ -183,20 +183,23 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `repro latency [--threads N] [--ops N] [--paper-scale]` — per-op
-/// latency percentiles for every variant on the Table-3 mix. Not a paper
+/// `repro latency [--zipf] [--threads N] [--ops N] [--paper-scale]` —
+/// per-op latency percentiles on the Table-3 mix. Not a paper
 /// experiment: the paper reports throughput only, but §1's remark that
 /// the structure is not starvation-free makes the tail the interesting
-/// part.
+/// part. With `--zipf` the key stream is Zipfian (θ=0.99, clustered)
+/// over the unrolled comparison set and the JSON id is `zipf_lat`.
 fn run_latency(rest: &[String]) -> ExitCode {
     use bench_harness::config::{OpMix, RandomMixConfig};
     let mut threads = 4usize;
     let mut ops = 20_000u64;
+    let mut zipf = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--threads" => threads = it.next().and_then(|v| v.parse().ok()).unwrap_or(threads),
             "--ops" => ops = it.next().and_then(|v| v.parse().ok()).unwrap_or(ops),
+            "--zipf" => zipf = true,
             "--paper-scale" => {
                 threads = 64;
                 ops = 1_000_000;
@@ -206,6 +209,9 @@ fn run_latency(rest: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if zipf {
+        return run_latency_zipf(threads, ops);
     }
     let cfg = RandomMixConfig {
         threads,
@@ -256,6 +262,68 @@ fn run_latency(rest: &[String]) -> ExitCode {
         });
     }
     write_bench_json(&Options::default(), "latency", &json_rows);
+    ExitCode::SUCCESS
+}
+
+/// The `--zipf` arm of `repro latency`: skewed tail latency over the
+/// unrolled comparison set (flat hinted baseline, skiplist, and the
+/// fat-node variants), θ=0.99 clustered — the workload where in-node
+/// binary search should collapse the hot prefix walk. Writes
+/// `BENCH_zipf_lat.json` with p50/p99 filled.
+fn run_latency_zipf(threads: usize, ops: u64) -> ExitCode {
+    use bench_harness::config::OpMix;
+    use bench_harness::ZipfianMixConfig;
+    let cfg = ZipfianMixConfig {
+        threads,
+        ops_per_thread: ops,
+        prefill: 1_000,
+        key_range: 10_000,
+        mix: OpMix::READ_HEAVY,
+        seed: 0x5eed_cafe,
+        theta: 0.99,
+        scramble: false,
+    };
+    println!(
+        "per-operation latency (ns, log2-bucket upper bounds), Zipfian θ=0.99 clustered, mix 10/10/80, p={threads}, c={ops}, every 16th op sampled"
+    );
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "Variant", "p50", "p90", "p99", "p99.9", "max"
+    );
+    let workload = bench_harness::ZipfLatencySampled {
+        cfg,
+        sample_every: 16,
+    };
+    let mut json_rows = Vec::new();
+    for v in Variant::UNROLLED {
+        let h = v.run(&workload);
+        let (p50, p90, p99, p999, max) = h.summary();
+        println!(
+            "{:<26} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            v.paper_label(),
+            p50,
+            p90,
+            p99,
+            p999,
+            max
+        );
+        // Zero wall = "throughput not measured", as in the uniform arm.
+        json_rows.push(BenchJsonRow {
+            p50_ns: Some(p50),
+            p99_ns: Some(p99),
+            ..BenchJsonRow::at_theta(
+                bench_harness::RunResult {
+                    variant: v.name().to_string(),
+                    wall: std::time::Duration::ZERO,
+                    total_ops: cfg.total_ops(),
+                    stats: bench_harness::OpStats::ZERO,
+                    threads,
+                },
+                cfg.theta,
+            )
+        });
+    }
+    write_bench_json(&Options::default(), "zipf_lat", &json_rows);
     ExitCode::SUCCESS
 }
 
@@ -667,7 +735,7 @@ fn print_usage() {
     println!(
         "repro — regenerate the paper's tables and figures\n\
          \n\
-         usage: repro list | repro <experiment>... [options] | repro all [options] | repro latency\n\
+         usage: repro list | repro <experiment>... [options] | repro all [options] | repro latency [--zipf]\n\
          \n\
          options: --paper-scale --threads N --n N --ops N --prefill N --range N\n\
          \x20         --repeats N --theta X --scramble --batch-width N --variants a,b,f\n\

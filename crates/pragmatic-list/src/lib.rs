@@ -119,6 +119,7 @@ pub mod singly;
 pub mod slab;
 mod stats;
 pub(crate) mod sync;
+pub mod unrolled;
 pub mod variants;
 
 pub use elastic::{ElasticMap, ElasticSet, LoadPolicy};

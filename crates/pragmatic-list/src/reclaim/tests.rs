@@ -10,6 +10,7 @@ use super::leak::{self, LeakKey};
 use super::{str_eq, EpochReclaim, HazardReclaim};
 use crate::doubly::DoublyList;
 use crate::singly::SinglyList;
+use crate::unrolled::UnrolledList;
 use crate::{ConcurrentOrderedSet, SetHandle};
 
 #[test]
@@ -105,6 +106,34 @@ fn hinted_arena_churn_is_leak_free() {
     assert_churn_is_leak_free::<DoublyList<LeakKey, true, true, super::ArenaReclaim, 8>>(false);
 }
 
+/// The unrolled list runs two reclamation domains at once — fat nodes
+/// and run images — and every failed CAS recycles its spare image while
+/// every successful one retires the displaced image. CAP = 4 over a
+/// 150-key band keeps splits and empty-node unlinks continuous, so the
+/// balance below covers nodes, published images, recycled spares, and
+/// losers' unpublished speculation in one number.
+#[test]
+fn unrolled_churn_is_leak_free_arena() {
+    assert_churn_is_leak_free::<UnrolledList<LeakKey, 4>>(false);
+}
+
+#[test]
+fn unrolled_churn_is_leak_free_epoch() {
+    assert_churn_is_leak_free::<UnrolledList<LeakKey, 4, EpochReclaim>>(true);
+}
+
+#[test]
+fn unrolled_churn_is_leak_free_hazard() {
+    assert_churn_is_leak_free::<UnrolledList<LeakKey, 4, HazardReclaim>>(false);
+}
+
+#[test]
+fn unrolled_hinted_churn_is_leak_free() {
+    // Hint slots park dangling fat-node pointers; the arena must still
+    // account for every node and image they once pointed at.
+    assert_churn_is_leak_free::<UnrolledList<LeakKey, 4, super::ArenaReclaim, 8>>(false);
+}
+
 /// Batched churn: multi-threaded `add_batch`/`remove_batch` over a
 /// small key band, then drop; alloc/free must balance per scheme —
 /// including slots the epoch/hazard schemes *recycled* mid-run (each
@@ -171,6 +200,24 @@ fn batch_churn_is_leak_free_hazard() {
     assert_batch_churn_is_leak_free::<SinglyList<LeakKey, true, false, false, HazardReclaim>>(
         false,
     );
+}
+
+/// Unrolled batch churn: a single merged CAS can absorb many keys,
+/// split a full node, or empty one (freezing and marking in one step) —
+/// each path must retire exactly the images and nodes it displaces.
+#[test]
+fn unrolled_batch_churn_is_leak_free_arena() {
+    assert_batch_churn_is_leak_free::<UnrolledList<LeakKey, 4>>(false);
+}
+
+#[test]
+fn unrolled_batch_churn_is_leak_free_epoch() {
+    assert_batch_churn_is_leak_free::<UnrolledList<LeakKey, 4, EpochReclaim>>(true);
+}
+
+#[test]
+fn unrolled_batch_churn_is_leak_free_hazard() {
+    assert_batch_churn_is_leak_free::<UnrolledList<LeakKey, 4, HazardReclaim>>(false);
 }
 
 #[test]

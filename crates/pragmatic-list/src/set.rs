@@ -120,6 +120,13 @@ pub enum InvariantViolation {
         /// Index of the offending interval in the router table.
         interval: usize,
     },
+    /// A fat node's run image is malformed: missing, oversized, unsorted,
+    /// holding keys outside the node's anchor interval, or inconsistent
+    /// with the node's retirement mark (unrolled lists only).
+    RunCorrupt {
+        /// Index along the chain of the node holding the bad run.
+        position: usize,
+    },
 }
 
 impl std::fmt::Display for InvariantViolation {
@@ -145,6 +152,9 @@ impl std::fmt::Display for InvariantViolation {
             Self::RouterCorrupt { interval } => {
                 write!(f, "elastic router interval {interval} is malformed")
             }
+            Self::RunCorrupt { position } => {
+                write!(f, "fat node run is malformed at chain position {position}")
+            }
         }
     }
 }
@@ -168,6 +178,7 @@ mod tests {
             }
             .to_string(),
             InvariantViolation::RouterCorrupt { interval: 1 }.to_string(),
+            InvariantViolation::RunCorrupt { position: 4 }.to_string(),
         ];
         for (i, a) in msgs.iter().enumerate() {
             for b in msgs.iter().skip(i + 1) {

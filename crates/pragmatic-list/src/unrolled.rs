@@ -1,0 +1,2106 @@
+//! The unrolled ("fat node") lock-free ordered list: `CAP` sorted keys
+//! per node.
+//!
+//! `BENCH_zipf.json` pins the flat list family's remaining gap to the
+//! skiplist on pure pointer chasing: ~54M node traversals for 1.6M ops
+//! even with search hints. [`UnrolledList`] attacks the constant factor
+//! directly — each node owns a small sorted *run* of up to `CAP` keys,
+//! so a traversal skips `≈CAP` keys per `next` chase and the final probe
+//! is an in-node binary search over one or two cache lines. This is the
+//! classic unrolled-linked-list / leaf-run technique applied inside the
+//! paper's cost model: node-granularity Harris/Michael `next` pointers
+//! (mark bit = node retired), plus an immutable run image per node
+//! published by CAS.
+//!
+//! # Structure
+//!
+//! A node carries three fields:
+//!
+//! ```text
+//!   UNode ┌──────────────────────────────────────────────┐
+//!         │ next:   MarkedAtomic<UNode>  mark ⇒ retired  │
+//!         │ run:    MarkedAtomic<Run>    mark ⇒ FROZEN   │
+//!         │ anchor: K                    immutable       │
+//!         └──────────────────────────────────────────────┘
+//!   Run   ┌──────────────────────────────────────────────┐
+//!         │ len:  usize                                  │
+//!         │ keys: [K; CAP]   keys[..len] sorted, ≥ anchor│
+//!         └──────────────────────────────────────────────┘
+//! ```
+//!
+//! A node *owns* exactly the keys `k` with `anchor ≤ k <` (successor's
+//! anchor); the head sentinel (`anchor = -∞`) owns the space below every
+//! real anchor but holds **no** keys — an insert there publishes a fresh
+//! singleton node right after the head. Run images are immutable once
+//! published: every mutation CASes the node's `run` word from the old
+//! image to a newly built one, and the CAS winner retires the old image
+//! through the same [`Reclaimer`] machinery that retires nodes (a second
+//! instantiation, so node bodies and run storage both slab-recycle).
+//!
+//! # Retirement protocol: freeze → mark → splice
+//!
+//! Structural changes (a full node splitting, an emptied node leaving
+//! the chain) retire the whole node in three published steps:
+//!
+//! 1. **freeze** — CAS the `run` word to its marked ("frozen") form.
+//!    Frozen is terminal: no further run CAS can succeed, so the frozen
+//!    image is the node's authoritative final content.
+//! 2. **mark** — `fetch_or` the mark bit into `next` (the node is now
+//!    logically retired). The mark is only ever published *after* the
+//!    freeze — by the freezer itself or by a helper that acquire-loaded
+//!    the frozen word — so **marked ⇒ frozen**, which the splice helper
+//!    `debug_assert!`s (the invariant the interleave mutation self-test
+//!    weakens the `RUN_PUBLISH` ordering to violate).
+//! 3. **splice** — any walker that finds a marked node deterministically
+//!    builds its replacement from the frozen image (`len == 0`: plain
+//!    unlink; otherwise a median split into two fresh nodes) and CASes
+//!    the predecessor's `next` from the marked node to the replacement.
+//!    The winner retires the node *and* its frozen image; losers free
+//!    their unpublished speculation.
+//!
+//! A marked node's `next` pointer is never changed again (exactly like
+//! the flat lists), so the replacement's tail can safely inherit it.
+//!
+//! # Why a run CAS proves ownership (anchor monotonicity)
+//!
+//! The interval a node owns can only *shrink from above*: a successor is
+//! ever replaced only by nodes with anchors ≥ its own (a split's left
+//! half keeps the anchor, the right half moves it up; an unlink exposes
+//! a farther, larger anchor), and new singletons appear only after the
+//! keyless head. Hence if a search found `owner.anchor ≤ k <
+//! succ.anchor` and a later CAS on `owner`'s **unfrozen** run word
+//! succeeds, `owner` was still reachable (unfrozen ⇒ unmarked ⇒ never
+//! spliced) and still owned `k` at the CAS — the CAS, not the search, is
+//! the arbiter. The same argument lets [`add_batch`](SetHandle::add_batch)
+//! merge every batch key below the *observed* successor anchor into one
+//! run CAS: the bound can only grow between observation and CAS.
+//!
+//! # Reads
+//!
+//! A frozen node still on the chain is *current*: writers that find
+//! their owner frozen must help splice and retry, so the owned range
+//! cannot change until the replacement is in. `contains` therefore walks
+//! anchors ignoring marks and answers from the owner's image (frozen or
+//! not) — wait-free under arena/epoch. Under hazard pointers every
+//! dereference must be protected, so membership routes through the
+//! protected search and re-reads until it finds an unfrozen owner
+//! (lock-free: a frozen owner is one helping step from replaced).
+//!
+//! # Reclamation
+//!
+//! Generic over the same three schemes as the flat lists. Search hints
+//! park node pointers across operations and are gated on
+//! [`Reclaimer::STABLE`] exactly like the flat lists' cursor; there is
+//! no per-thread cursor here — hints subsume it (the hinted variant is
+//! the named `unrolled_hint`).
+
+use crate::sync::AtomicI64;
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
+use std::sync::Arc;
+
+use crate::hint::SearchHints;
+use crate::marked::{MarkedAtomic, MarkedPtr};
+use crate::ordered::{OrderedHandle, ScanBounds, Snapshot};
+use crate::prefetch::prefetch_read;
+use crate::reclaim::{ArenaReclaim, ListNode, Reclaimer};
+use crate::set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
+use crate::stats::{live_bump, CachePadded, LiveSlots, OpStats};
+use crate::Key;
+
+/// `CAP` used by the named `unrolled*` variants: 16 keys per node keeps
+/// a `Run<i64, 16>` at 136 bytes (two cache lines, within one slab
+/// chunk's reach) while cutting pointer chases ~16×. The
+/// `ablation_unrolled` bench sweeps 4/8/16/32.
+pub const DEFAULT_UNROLLED_CAP: usize = 16;
+
+/// Success ordering for the three stores that publish a run's lifecycle:
+/// the run-image CAS (install a new image), the freeze CAS (make the
+/// image terminal) and the retirement `fetch_or` on `next`. All three
+/// must be release stores: the image CAS publishes the freshly written
+/// image contents, and the mark must carry the freeze with it so that a
+/// helper acquire-loading a *marked* `next` is guaranteed to observe the
+/// *frozen* run word (the `marked ⇒ frozen` invariant the splice helper
+/// asserts).
+#[cfg(not(interleave_mutate))]
+const RUN_PUBLISH: Ordering = AcqRel;
+
+/// Deliberately weakened run-publish ordering for the mutation
+/// self-test: with the retirement mark demoted to `Relaxed` the marked
+/// `next` no longer carries the freeze, so a helper can observe a marked
+/// node whose run word is still unfrozen — the interleave checker must
+/// catch the `marked ⇒ frozen` assertion firing (see
+/// `tests/interleave_mutation.rs`).
+#[cfg(interleave_mutate)]
+const RUN_PUBLISH: Ordering = Relaxed;
+
+/// An immutable sorted run of keys: `keys[..len]` strictly increasing,
+/// the rest padding. Published by CAS into a node's `run` word and never
+/// mutated afterwards (spare images are rewritten only while
+/// unpublished).
+pub(crate) struct Run<K: Key, const CAP: usize> {
+    len: usize,
+    keys: [K; CAP],
+}
+
+#[cfg(test)]
+impl<K: Key, const CAP: usize> Drop for Run<K, CAP> {
+    fn drop(&mut self) {
+        crate::reclaim::leak::note_free::<K>();
+    }
+}
+
+impl<K: Key, const CAP: usize> Run<K, CAP> {
+    /// The sorted live prefix.
+    #[inline]
+    fn keys(&self) -> &[K] {
+        &self.keys[..self.len]
+    }
+
+    /// Index of the first key `≥ key` in the sorted prefix. The loop is
+    /// branch-reduced: the comparison feeds a select over two indices
+    /// (compiled to a conditional move), never a data-dependent jump,
+    /// so the in-node probe does not pollute the branch predictor.
+    #[inline]
+    fn lower_bound(&self, key: K) -> usize {
+        let mut lo = 0usize;
+        let mut n = self.len;
+        while n > 0 {
+            let half = n / 2;
+            let mid = lo + half;
+            lo = if self.keys[mid] < key { mid + 1 } else { lo };
+            n = if self.keys[mid] < key {
+                n - half - 1
+            } else {
+                half
+            };
+        }
+        lo
+    }
+
+    /// Binary search over the live prefix: `Ok(index)` if present,
+    /// `Err(insertion index)` otherwise.
+    #[inline]
+    fn search(&self, key: K) -> Result<usize, usize> {
+        let i = self.lower_bound(key);
+        if i < self.len && self.keys[i] == key {
+            Ok(i)
+        } else {
+            Err(i)
+        }
+    }
+
+    /// Membership in the live prefix.
+    #[inline]
+    fn has(&self, key: K) -> bool {
+        self.search(key).is_ok()
+    }
+
+    /// The image with `key` inserted at `idx` (from [`search`](Self::search)'s
+    /// `Err`), as raw `(len, keys)` for the allocator.
+    fn with_key(&self, idx: usize, key: K) -> (usize, [K; CAP]) {
+        debug_assert!(self.len < CAP);
+        let mut keys = self.keys;
+        keys.copy_within(idx..self.len, idx + 1);
+        keys[idx] = key;
+        (self.len + 1, keys)
+    }
+
+    /// The image with the key at `idx` removed.
+    fn without_idx(&self, idx: usize) -> (usize, [K; CAP]) {
+        debug_assert!(idx < self.len);
+        let mut keys = self.keys;
+        keys.copy_within(idx + 1..self.len, idx);
+        (self.len - 1, keys)
+    }
+
+    /// The image merged with `extra` (sorted, duplicate-free, disjoint
+    /// from the live prefix, `len + extra.len() ≤ CAP`).
+    fn merged(&self, extra: &[K]) -> (usize, [K; CAP]) {
+        debug_assert!(self.len + extra.len() <= CAP);
+        let mut keys = [K::POS_INF; CAP];
+        let (mut i, mut j, mut o) = (0, 0, 0);
+        while i < self.len && j < extra.len() {
+            if self.keys[i] <= extra[j] {
+                keys[o] = self.keys[i];
+                i += 1;
+            } else {
+                keys[o] = extra[j];
+                j += 1;
+            }
+            o += 1;
+        }
+        while i < self.len {
+            keys[o] = self.keys[i];
+            i += 1;
+            o += 1;
+        }
+        while j < extra.len() {
+            keys[o] = extra[j];
+            j += 1;
+            o += 1;
+        }
+        (o, keys)
+    }
+
+    /// The image minus every key of `rm` (sorted) present in it.
+    fn minus(&self, rm: &[K]) -> (usize, [K; CAP]) {
+        let mut keys = [K::POS_INF; CAP];
+        let mut o = 0;
+        for &k in self.keys() {
+            if rm.binary_search(&k).is_err() {
+                keys[o] = k;
+                o += 1;
+            }
+        }
+        (o, keys)
+    }
+}
+
+/// Fat list node. `next` carries the retirement mark in its low bit,
+/// `run` carries the freeze mark; `anchor` is written once before the
+/// node is published by a releasing CAS and never mutated, so
+/// unsynchronised reads are sound.
+#[repr(C)]
+pub(crate) struct UNode<K: Key, const CAP: usize> {
+    next: MarkedAtomic<UNode<K, CAP>>,
+    run: MarkedAtomic<Run<K, CAP>>,
+    anchor: K,
+}
+
+impl<K: Key, const CAP: usize> ListNode<K> for UNode<K, CAP> {
+    #[inline]
+    fn next_ref(&self) -> &MarkedAtomic<Self> {
+        &self.next
+    }
+    #[inline]
+    fn node_key(&self) -> K {
+        self.anchor
+    }
+}
+
+#[cfg(test)]
+impl<K: Key, const CAP: usize> Drop for UNode<K, CAP> {
+    fn drop(&mut self) {
+        crate::reclaim::leak::note_free::<K>();
+    }
+}
+
+/// The unrolled lock-free ordered set: up to `CAP` sorted keys per node
+/// (see the [module docs](self) for the protocol), generic over the
+/// memory [`Reclaimer`] and the per-thread search-hint count.
+///
+/// Shared across threads by reference; each thread operates through its
+/// own [`UnrolledHandle`].
+///
+/// # Examples
+///
+/// ```
+/// use pragmatic_list::variants::UnrolledHintedList;
+/// use pragmatic_list::{ConcurrentOrderedSet, SetHandle};
+///
+/// let list = UnrolledHintedList::<i64>::new();
+/// std::thread::scope(|s| {
+///     for t in 0..4 {
+///         let list = &list;
+///         s.spawn(move || {
+///             let mut h = list.handle();
+///             for i in 0..100 {
+///                 h.add(t * 100 + i);
+///             }
+///         });
+///     }
+/// });
+/// let mut list = list;
+/// assert_eq!(list.to_vec().len(), 400);
+/// ```
+pub struct UnrolledList<
+    K: Key,
+    const CAP: usize,
+    R: Reclaimer = ArenaReclaim,
+    const HINTS: usize = 0,
+> {
+    head: *mut UNode<K, CAP>,
+    tail: *mut UNode<K, CAP>,
+    nodes: R::Shared<UNode<K, CAP>>,
+    runs: R::Shared<Run<K, CAP>>,
+    live: LiveSlots,
+}
+
+// SAFETY: all shared node and run state is reached through atomics; the
+// raw head/tail pointers are immutable after construction; node and
+// image lifetimes are governed by the reclaimer contract (see
+// `crate::reclaim`), and `Drop` requires exclusive access.
+unsafe impl<K: Key, const CAP: usize, R: Reclaimer, const HINTS: usize> Send
+    for UnrolledList<K, CAP, R, HINTS>
+{
+}
+// SAFETY: same argument as the `Send` impl directly above.
+unsafe impl<K: Key, const CAP: usize, R: Reclaimer, const HINTS: usize> Sync
+    for UnrolledList<K, CAP, R, HINTS>
+{
+}
+
+impl<K: Key, const CAP: usize, R: Reclaimer, const HINTS: usize> Default
+    for UnrolledList<K, CAP, R, HINTS>
+{
+    fn default() -> Self {
+        <Self as ConcurrentOrderedSet<K>>::new()
+    }
+}
+
+impl<K: Key, const CAP: usize, R: Reclaimer, const HINTS: usize> UnrolledList<K, CAP, R, HINTS> {
+    /// Compile-time guard: the median split needs at least two keys to
+    /// make progress.
+    const CAP_OK: () = assert!(CAP >= 2, "UnrolledList requires CAP >= 2");
+
+    fn alloc_sentinels() -> (*mut UNode<K, CAP>, *mut UNode<K, CAP>) {
+        #[cfg(test)]
+        {
+            crate::reclaim::leak::note_alloc::<K>();
+            crate::reclaim::leak::note_alloc::<K>();
+        }
+        let tail = Box::into_raw(Box::new(UNode {
+            next: MarkedAtomic::null(),
+            run: MarkedAtomic::null(),
+            anchor: K::POS_INF,
+        }));
+        let head = Box::into_raw(Box::new(UNode {
+            next: MarkedAtomic::new(tail),
+            run: MarkedAtomic::null(),
+            anchor: K::NEG_INF,
+        }));
+        (head, tail)
+    }
+
+    /// Number of live items: the O(1) sum of the per-handle counters.
+    /// Exact when quiescent (same contract as the flat lists).
+    pub fn len_approx(&self) -> usize {
+        self.live.sum()
+    }
+
+    /// Snapshot of the live keys in order. Requires `&mut self`, i.e. a
+    /// quiescent list. Marked (frozen, splice-pending) nodes still on
+    /// the chain hold the only copy of their keys and are included.
+    pub fn to_vec(&mut self) -> Vec<K> {
+        let mut out = Vec::new();
+        // SAFETY: exclusive access; the chain and every image reachable
+        // from it are stable (nothing frees without handles).
+        unsafe {
+            let mut curr = (*self.head).next.load(Acquire).ptr();
+            while curr != self.tail {
+                let iw = (*curr).run.load(Acquire);
+                out.extend_from_slice((*iw.ptr()).keys());
+                curr = (*curr).next.load(Acquire).ptr();
+            }
+        }
+        out
+    }
+
+    /// Checks the structural invariants of the quiescent list: strictly
+    /// increasing anchors, unmarked sentinels, tail reachability, and
+    /// per-node run sanity (sorted keys inside the node's anchor
+    /// interval, `len ≤ CAP`, a marked node exposing a frozen run).
+    pub fn validate(&mut self) -> Result<(), InvariantViolation> {
+        // SAFETY: exclusive access; chain and images are stable.
+        unsafe {
+            if (*self.head).next.load(Acquire).is_marked()
+                || (*self.tail).next.load(Acquire).is_marked()
+            {
+                return Err(InvariantViolation::MarkedSentinel);
+            }
+            let budget = R::tracked_nodes(&self.nodes) + 2;
+            let mut prev_anchor = K::NEG_INF;
+            // Largest key seen so far, anywhere before this node.
+            let mut prev_key = K::NEG_INF;
+            let mut curr = (*self.head).next.load(Acquire).ptr();
+            let mut pos = 0usize;
+            while curr != self.tail {
+                if pos > budget {
+                    return Err(InvariantViolation::TailUnreachable);
+                }
+                let anchor = (*curr).anchor;
+                if anchor <= prev_anchor || anchor >= K::POS_INF {
+                    return Err(InvariantViolation::OutOfOrder { position: pos });
+                }
+                let iw = (*curr).run.load(Acquire);
+                if iw.is_null() {
+                    return Err(InvariantViolation::RunCorrupt { position: pos });
+                }
+                if (*curr).next.load(Acquire).is_marked() && !iw.is_marked() {
+                    // marked ⇒ frozen must hold even quiescently
+                    return Err(InvariantViolation::RunCorrupt { position: pos });
+                }
+                let img = &*iw.ptr();
+                if img.len > CAP {
+                    return Err(InvariantViolation::RunCorrupt { position: pos });
+                }
+                // Keys: ≥ anchor, strictly increasing, below the next
+                // node's anchor (checked via prev_key at the next node).
+                if prev_key >= anchor {
+                    // a previous node's key has crossed our anchor
+                    return Err(InvariantViolation::RunCorrupt { position: pos });
+                }
+                let mut last = anchor;
+                for (i, &k) in img.keys().iter().enumerate() {
+                    let floor = if i == 0 { anchor } else { last };
+                    let ok = if i == 0 { k >= floor } else { k > floor };
+                    if !ok || k >= K::POS_INF {
+                        return Err(InvariantViolation::RunCorrupt { position: pos });
+                    }
+                    last = k;
+                }
+                prev_anchor = anchor;
+                prev_key = if img.len > 0 { last } else { prev_key };
+                curr = (*curr).next.load(Acquire).ptr();
+                pos += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Total fat nodes ever allocated (diagnostic; excludes sentinels,
+    /// includes retired nodes and losers' unpublished speculation).
+    pub fn allocated_nodes(&self) -> usize {
+        R::tracked_nodes(&self.nodes)
+    }
+
+    /// Total run images ever allocated (diagnostic): every published
+    /// image plus at most one spare per handle.
+    pub fn allocated_runs(&self) -> usize {
+        R::tracked_nodes(&self.runs)
+    }
+}
+
+impl<K: Key, const CAP: usize, R: Reclaimer, const HINTS: usize> Drop
+    for UnrolledList<K, CAP, R, HINTS>
+{
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` proves no handles are alive. For STABLE
+        // schemes both domains free everything they track; otherwise the
+        // chain walk frees every still-reachable node and its current
+        // image (retired ones belong to the schemes).
+        unsafe {
+            if !R::STABLE {
+                let mut curr = (*self.head).next.load(Relaxed).ptr();
+                while curr != self.tail {
+                    let next = (*curr).next.load(Relaxed).ptr();
+                    let iw = (*curr).run.load(Relaxed);
+                    R::free_owned(&self.runs, iw.ptr());
+                    R::free_owned(&self.nodes, curr);
+                    curr = next;
+                }
+            }
+            R::drop_shared(&mut self.nodes);
+            R::drop_shared(&mut self.runs);
+            drop(Box::from_raw(self.head));
+            drop(Box::from_raw(self.tail));
+        }
+    }
+}
+
+impl<K: Key, const CAP: usize, R: Reclaimer, const HINTS: usize> ConcurrentOrderedSet<K>
+    for UnrolledList<K, CAP, R, HINTS>
+{
+    type Handle<'a>
+        = UnrolledHandle<'a, K, CAP, R, HINTS>
+    where
+        Self: 'a;
+
+    const NAME: &'static str = {
+        use crate::reclaim::str_eq;
+        if str_eq(R::NAME, "arena") {
+            if HINTS > 0 {
+                "unrolled_hint"
+            } else {
+                "unrolled"
+            }
+        } else if str_eq(R::NAME, "epoch") {
+            "unrolled_epoch"
+        } else if str_eq(R::NAME, "hp") {
+            "unrolled_hp"
+        } else {
+            // A new Reclaimer must be added to this name table (falling
+            // through would silently collide with an existing variant).
+            panic!("unknown Reclaimer::NAME — extend UnrolledList's NAME table")
+        }
+    };
+
+    fn new() -> Self {
+        let () = Self::CAP_OK;
+        let (head, tail) = Self::alloc_sentinels();
+        Self {
+            head,
+            tail,
+            nodes: R::Shared::default(),
+            runs: R::Shared::default(),
+            live: LiveSlots::default(),
+        }
+    }
+
+    fn handle(&self) -> UnrolledHandle<'_, K, CAP, R, HINTS> {
+        UnrolledHandle {
+            list: self,
+            hints: SearchHints::new(),
+            spare_run: std::ptr::null_mut(),
+            resume: std::ptr::null_mut(),
+            resume_prev: std::ptr::null_mut(),
+            live: self.live.register(),
+            nodes: R::register(&self.nodes),
+            runs: R::register(&self.runs),
+            stats: OpStats::ZERO,
+            _not_sync: PhantomData,
+        }
+    }
+
+    fn collect_keys(&mut self) -> Vec<K> {
+        self.to_vec()
+    }
+
+    fn check_invariants(&mut self) -> Result<(), InvariantViolation> {
+        self.validate()
+    }
+}
+
+/// Per-thread handle over an [`UnrolledList`]: owns the search hints,
+/// the spare (unpublished) run image reused across failed CASes, the
+/// operation counters, and one reclaimer thread state per domain (fat
+/// nodes and run images).
+pub struct UnrolledHandle<
+    'l,
+    K: Key,
+    const CAP: usize,
+    R: Reclaimer = ArenaReclaim,
+    const HINTS: usize = 0,
+> {
+    list: &'l UnrolledList<K, CAP, R, HINTS>,
+    /// Parked `(anchor, node)` start positions (see [`crate::hint`]);
+    /// consulted and refreshed only when `HINTS > 0` under a `STABLE`
+    /// reclaimer. There is no separate cursor — hints subsume it.
+    hints: SearchHints<K, UNode<K, CAP>, HINTS>,
+    /// Unpublished run image kept for reuse across failed CASes;
+    /// exclusively ours until published.
+    spare_run: *mut Run<K, CAP>,
+    /// Intra-operation resume position: the previous search's `pred`.
+    /// Reset at every public operation entry, so batches — which run
+    /// many searches under one pin — are the beneficiaries: sorted keys
+    /// make each search resume where the previous CAS landed. Under
+    /// `PROTECTS` the node is still in hazard slot 0, so it is trusted
+    /// only on a search's first attempt (the singly cursor discipline).
+    resume: *mut UNode<K, CAP>,
+    /// The node the search stepped from to reach [`resume`](Self::resume)
+    /// (head if none): when `resume` itself got retired — a batch insert
+    /// filling a node triggers exactly that — the next search can start
+    /// one node back and splice the split in locally instead of
+    /// restarting from the head. Dereferenced only under a `STABLE`
+    /// reclaimer (it is neither protected nor pin-scoped).
+    resume_prev: *mut UNode<K, CAP>,
+    /// This handle's cache-padded live-item counter slot.
+    live: Arc<CachePadded<AtomicI64>>,
+    nodes: R::Thread<UNode<K, CAP>>,
+    runs: R::Thread<Run<K, CAP>>,
+    stats: OpStats,
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+impl<'l, K: Key, const CAP: usize, R: Reclaimer, const HINTS: usize> Drop
+    for UnrolledHandle<'l, K, CAP, R, HINTS>
+{
+    fn drop(&mut self) {
+        if !self.spare_run.is_null() {
+            // SAFETY: the spare was never published.
+            unsafe { R::dealloc_unpublished(&self.list.runs, &mut self.runs, self.spare_run) };
+        }
+        R::unregister(&self.list.nodes, &mut self.nodes);
+        R::unregister(&self.list.runs, &mut self.runs);
+    }
+}
+
+impl<'l, K: Key, const CAP: usize, R: Reclaimer, const HINTS: usize>
+    UnrolledHandle<'l, K, CAP, R, HINTS>
+{
+    /// Forgets the resume position. Called at every public operation
+    /// entry: the resume is an *intra*-operation device (most valuable
+    /// inside batches), never trusted across pins — unlike the flat
+    /// lists' cursor there is no cross-operation variant (hints cover
+    /// that role under `STABLE`).
+    #[inline]
+    fn begin_op(&mut self) {
+        self.resume = std::ptr::null_mut();
+        self.resume_prev = std::ptr::null_mut();
+    }
+
+    /// Takes the spare image or allocates (and reclaimer-registers) a
+    /// fresh one, holding `keys[..len]`.
+    #[inline]
+    fn prepare_run(&mut self, len: usize, keys: [K; CAP]) -> *mut Run<K, CAP> {
+        if self.spare_run.is_null() {
+            #[cfg(test)]
+            crate::reclaim::leak::note_alloc::<K>();
+            R::alloc(&self.list.runs, &mut self.runs, Run { len, keys })
+        } else {
+            let img = self.spare_run;
+            self.spare_run = std::ptr::null_mut();
+            // SAFETY: the spare is unpublished — exclusively ours.
+            // Field-wise writes (K: Copy), so nothing is dropped.
+            unsafe {
+                (*img).len = len;
+                (*img).keys = keys;
+            }
+            img
+        }
+    }
+
+    /// Returns an unpublished image to the spare slot, or frees it if
+    /// the slot is taken.
+    #[inline]
+    fn recycle_image(&mut self, img: *mut Run<K, CAP>) {
+        if self.spare_run.is_null() {
+            self.spare_run = img;
+        } else {
+            // SAFETY: `img` was never published.
+            unsafe { R::dealloc_unpublished(&self.list.runs, &mut self.runs, img) };
+        }
+    }
+
+    /// Allocates a fresh image, never touching the spare (split
+    /// speculation must not consume the operation's spare).
+    #[inline]
+    fn alloc_image(&mut self, len: usize, keys: [K; CAP]) -> *mut Run<K, CAP> {
+        #[cfg(test)]
+        crate::reclaim::leak::note_alloc::<K>();
+        R::alloc(&self.list.runs, &mut self.runs, Run { len, keys })
+    }
+
+    /// Allocates a fresh fat node (unpublished until some CAS links it).
+    #[inline]
+    fn alloc_node(
+        &mut self,
+        anchor: K,
+        run: *mut Run<K, CAP>,
+        next: *mut UNode<K, CAP>,
+    ) -> *mut UNode<K, CAP> {
+        #[cfg(test)]
+        crate::reclaim::leak::note_alloc::<K>();
+        R::alloc(
+            &self.list.nodes,
+            &mut self.nodes,
+            UNode {
+                next: MarkedAtomic::new(next),
+                run: MarkedAtomic::new(run),
+                anchor,
+            },
+        )
+    }
+
+    /// Publishes the node-retirement mark. Idempotent.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be dereferenceable, and the caller must have observed
+    /// (or installed) the node's run word *frozen* — that observation
+    /// sequences the freeze before this mark, which is exactly the
+    /// `marked ⇒ frozen` invariant splice helpers assert.
+    #[inline]
+    unsafe fn mark_retired(node: *mut UNode<K, CAP>) {
+        // SAFETY: dereferenceable per the function contract.
+        unsafe { (*node).next.fetch_or_mark(RUN_PUBLISH) };
+    }
+
+    /// Freezes `node` at image `iw` (the full-node split entry): a CAS
+    /// failure means the image changed under us (no longer full — just
+    /// retry) or someone else already froze; the mark is published only
+    /// once the run word is confirmed frozen.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be dereferenceable under this operation's reclaimer
+    /// guarantee (stable, pinned, or protected in a hazard slot).
+    unsafe fn initiate_split(&mut self, node: *mut UNode<K, CAP>, iw: MarkedPtr<Run<K, CAP>>) {
+        // SAFETY: dereferenceable per the function contract.
+        unsafe {
+            if (*node)
+                .run
+                .compare_exchange(iw, iw.with_mark(), RUN_PUBLISH, Acquire)
+                .is_err()
+            {
+                self.stats.fail += 1;
+            }
+            let now = (*node).run.load(Acquire);
+            if now.is_marked() {
+                // Frozen — by us (program order) or acquire-observed:
+                // either way the freeze happens-before this mark.
+                Self::mark_retired(node);
+            }
+        }
+    }
+
+    /// Loads `node`'s run word, hazard-protecting the image under a
+    /// `PROTECTS` scheme. An **unfrozen** returned word is safe to
+    /// dereference: the image was still published after the hazard went
+    /// up (an unfrozen image is retired only by the run CAS that
+    /// replaces it, which would have changed the word). A **frozen**
+    /// word must NOT be dereferenced under `PROTECTS` — its image may
+    /// already be retired by a splice winner; callers help
+    /// ([`mark_retired`](Self::mark_retired)) and retry instead. (Splice
+    /// helpers read frozen images via their own stronger validation.)
+    ///
+    /// # Safety
+    ///
+    /// `node` must be dereferenceable under this operation's reclaimer
+    /// guarantee (stable, pinned, or protected in a hazard slot).
+    #[inline]
+    unsafe fn read_image(&self, node: *mut UNode<K, CAP>) -> MarkedPtr<Run<K, CAP>> {
+        // SAFETY: dereferenceable per the function contract.
+        unsafe {
+            loop {
+                let w = (*node).run.load(Acquire);
+                if !R::PROTECTS || w.is_marked() {
+                    return w;
+                }
+                R::protect(&self.runs, 0, w.ptr());
+                let re = (*node).run.load(Acquire);
+                if re.ptr() == w.ptr() {
+                    return re;
+                }
+            }
+        }
+    }
+
+    /// Splices a marked (retired) node out of the chain, installing its
+    /// replacement built from the frozen image: nothing for an emptied
+    /// node, a median split into two fresh nodes otherwise. On success
+    /// the node and its frozen image are retired and the first node now
+    /// following `pred` is returned; on failure the freshly observed
+    /// `pred.next` word is returned and all speculation is freed.
+    ///
+    /// # Safety
+    ///
+    /// `pred` and `node` must be dereferenceable under this operation's
+    /// reclaimer guarantee (for `PROTECTS`: `pred` in slot 0 or the head
+    /// sentinel, `node` validated in slot 1); `node.next` must have been
+    /// observed marked with pointer `succ`.
+    unsafe fn splice_out(
+        &mut self,
+        pred: *mut UNode<K, CAP>,
+        node: *mut UNode<K, CAP>,
+        succ: *mut UNode<K, CAP>,
+    ) -> Result<*mut UNode<K, CAP>, MarkedPtr<UNode<K, CAP>>> {
+        // SAFETY (whole body): `pred`/`node` per the function contract;
+        // the frozen image is dereferenced only after the validation
+        // below proves it unretired.
+        unsafe {
+            let iw = (*node).run.load(Acquire);
+            // The marked `next` was acquire-loaded, so it carries the
+            // freeze that must precede it; a stale unfrozen word here
+            // means the run-publish ordering was broken (exactly what
+            // the interleave mutation self-test provokes).
+            debug_assert!(
+                iw.is_marked(),
+                "retired fat node must expose a frozen run before its mark \
+                 (RUN_PUBLISH ordering violated)"
+            );
+            if R::PROTECTS {
+                // The frozen image is retired by the splice winner, so
+                // word-stability alone cannot validate it. Protect it,
+                // then re-check that `pred` still links `node`: the node
+                // is hazard-protected (never recycled under us), it is
+                // never re-linked after retirement, so an intact link
+                // proves the splice — hence the image's retirement — has
+                // not happened yet.
+                R::protect(&self.runs, 0, iw.ptr());
+                let pw = (*pred).next.load(Acquire);
+                if pw != MarkedPtr::unmarked(node) {
+                    return Err(pw);
+                }
+            }
+            let img = &*iw.ptr();
+            let len = img.len;
+            let mut fresh_nodes: [*mut UNode<K, CAP>; 2] =
+                [std::ptr::null_mut(), std::ptr::null_mut()];
+            let mut fresh_imgs: [*mut Run<K, CAP>; 2] =
+                [std::ptr::null_mut(), std::ptr::null_mut()];
+            let target = if len == 0 {
+                // Emptied node: plain unlink.
+                succ
+            } else if len == 1 {
+                // Defensive: only full or emptied nodes freeze, but a
+                // helper must handle any frozen image it finds.
+                let ri = self.alloc_image(1, img.keys);
+                let n = self.alloc_node((*node).anchor, ri, succ);
+                fresh_imgs[0] = ri;
+                fresh_nodes[0] = n;
+                n
+            } else {
+                // Median split: the left half keeps the anchor, the
+                // right half's anchor is its first key.
+                let mid = len / 2;
+                let mut rkeys = [K::POS_INF; CAP];
+                rkeys[..len - mid].copy_from_slice(&img.keys[mid..len]);
+                let r_img = self.alloc_image(len - mid, rkeys);
+                let right = self.alloc_node(img.keys[mid], r_img, succ);
+                let mut lkeys = [K::POS_INF; CAP];
+                lkeys[..mid].copy_from_slice(&img.keys[..mid]);
+                let l_img = self.alloc_image(mid, lkeys);
+                let left = self.alloc_node((*node).anchor, l_img, right);
+                fresh_imgs = [l_img, r_img];
+                fresh_nodes = [left, right];
+                left
+            };
+            match (*pred).next.compare_exchange(
+                MarkedPtr::unmarked(node),
+                MarkedPtr::unmarked(target),
+                AcqRel,
+                Acquire,
+            ) {
+                Ok(()) => {
+                    // The splice winner owns both retirements: the node
+                    // and its frozen image are now unreachable for new
+                    // observers.
+                    R::retire(&self.list.nodes, &mut self.nodes, node);
+                    R::retire(&self.list.runs, &mut self.runs, iw.ptr());
+                    Ok(target)
+                }
+                Err(observed) => {
+                    self.stats.fail += 1;
+                    for n in fresh_nodes {
+                        if !n.is_null() {
+                            // SAFETY: never published.
+                            R::dealloc_unpublished(&self.list.nodes, &mut self.nodes, n);
+                        }
+                    }
+                    for i in fresh_imgs {
+                        if !i.is_null() {
+                            // SAFETY: never published.
+                            R::dealloc_unpublished(&self.list.runs, &mut self.runs, i);
+                        }
+                    }
+                    Err(observed)
+                }
+            }
+        }
+    }
+
+    /// The search: returns `(owner, succ)` — the last node whose anchor
+    /// is `≤ key` (possibly the head sentinel) and the successor it was
+    /// observed adjacent to (`succ.anchor > key` at observation time).
+    /// Splices every marked node encountered. The returned positions are
+    /// best-effort: the run-word CAS the caller performs on `owner` is
+    /// the actual ownership arbiter (module docs).
+    fn search(&mut self, key: K) -> (*mut UNode<K, CAP>, *mut UNode<K, CAP>) {
+        let head = self.list.head;
+        let mut resume_ok = true;
+        let trav_at_entry = self.stats.trav;
+        // SAFETY (whole body): the reclaimer contract — arena nodes are
+        // stable for 'l; otherwise the operation's pin covers every node
+        // observed during it (the resume position is reset at operation
+        // entry, so it was observed under the current pin), and for
+        // PROTECTS schemes `pred` stays the head or protected in slot 0
+        // while every `curr` is protected and validated by
+        // `acquire_curr` before dereference; the resume position is then
+        // the previous search's `pred`, still in slot 0, trusted only on
+        // the first attempt (`resume_prev` is not protected at all and
+        // is never consulted outside STABLE).
+        unsafe {
+            'retry: loop {
+                // Start at the resume position if it is still viable,
+                // one node back if the resumed node itself got retired
+                // (the batch-split case), or the best unmarked hint at
+                // or below `key` (anchors may equal the sought key), or
+                // the head.
+                let mut pred = head;
+                let mut best = K::NEG_INF;
+                if R::STABLE || resume_ok {
+                    for cand in [self.resume, self.resume_prev] {
+                        if !cand.is_null()
+                            && cand != head
+                            && (*cand).anchor <= key
+                            && !(*cand).next.load(Acquire).is_marked()
+                        {
+                            pred = cand;
+                            best = (*cand).anchor;
+                            break;
+                        }
+                        if !R::STABLE {
+                            // `resume_prev` needs stable node memory.
+                            break;
+                        }
+                    }
+                }
+                resume_ok = false;
+                if HINTS > 0 && R::STABLE {
+                    for &(hk, hn) in self.hints.entries() {
+                        if !hn.is_null()
+                            && hk > best
+                            && hk <= key
+                            && !(*hn).next.load(Acquire).is_marked()
+                        {
+                            pred = hn;
+                            best = hk;
+                        }
+                    }
+                }
+                let pw = (*pred).next.load(Acquire);
+                if pw.is_marked() {
+                    // The hint went stale between its check and this
+                    // load; the re-check above filters it next time.
+                    self.stats.rtry += 1;
+                    continue 'retry;
+                }
+                let mut curr = pw.ptr();
+                let mut grand = head;
+                if R::PROTECTS {
+                    match crate::reclaim::acquire_curr::<K, UNode<K, CAP>, R>(
+                        &self.nodes,
+                        pred,
+                        curr,
+                    ) {
+                        Ok(c) => curr = c,
+                        Err(()) => {
+                            self.stats.rtry += 1;
+                            continue 'retry;
+                        }
+                    }
+                }
+                loop {
+                    let cw = (*curr).next.load(Acquire);
+                    if cw.is_marked() {
+                        // `curr` is retired: splice in its replacement
+                        // (or unlink it) and re-examine from `pred`.
+                        let next_curr = match self.splice_out(pred, curr, cw.ptr()) {
+                            Ok(repl) => repl,
+                            Err(observed) => {
+                                if observed.is_marked() {
+                                    // `pred` itself is retired.
+                                    self.stats.rtry += 1;
+                                    continue 'retry;
+                                }
+                                observed.ptr()
+                            }
+                        };
+                        curr = next_curr;
+                        if R::PROTECTS {
+                            match crate::reclaim::acquire_curr::<K, UNode<K, CAP>, R>(
+                                &self.nodes,
+                                pred,
+                                curr,
+                            ) {
+                                Ok(c) => curr = c,
+                                Err(()) => {
+                                    self.stats.rtry += 1;
+                                    continue 'retry;
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    if (*curr).anchor > key {
+                        if HINTS > 0
+                            && R::STABLE
+                            && pred != head
+                            && self.stats.trav - trav_at_entry
+                                >= crate::hint::HINT_RECORD_MIN_TRAVERSAL
+                        {
+                            // Record only after a long walk (see
+                            // `crate::hint`). With ≈CAP keys behind each
+                            // step the threshold still pays: 16 node
+                            // hops cover hundreds of keys.
+                            self.hints.record((*pred).anchor, pred);
+                        }
+                        if pred != self.resume {
+                            // An unchanged position keeps its known
+                            // predecessor (`grand` would be the head
+                            // when the resume was trusted unstepped).
+                            self.resume_prev = grand;
+                            self.resume = pred;
+                        }
+                        return (pred, curr);
+                    }
+                    // Overlap the next dependent load with the anchor
+                    // comparison (no-op past the window's end).
+                    prefetch_read(cw.ptr());
+                    if R::PROTECTS {
+                        // Hand-off: `curr` stays protected in slot 1
+                        // while it also becomes slot 0's predecessor.
+                        R::protect(&self.nodes, 0, curr);
+                    }
+                    grand = pred;
+                    pred = curr;
+                    curr = cw.ptr();
+                    if R::PROTECTS {
+                        match crate::reclaim::acquire_curr::<K, UNode<K, CAP>, R>(
+                            &self.nodes,
+                            pred,
+                            curr,
+                        ) {
+                            Ok(c) => curr = c,
+                            Err(()) => {
+                                self.stats.rtry += 1;
+                                continue 'retry;
+                            }
+                        }
+                    }
+                    self.stats.trav += 1;
+                }
+            }
+        }
+    }
+
+    /// `add()` body minus the per-operation pin (batches hold one pin
+    /// over many keys).
+    fn add_pinned(&mut self, key: K) -> bool {
+        loop {
+            let (owner, succ) = self.search(key);
+            // SAFETY: `owner`/`succ` per the search contract (stable,
+            // pinned, or protected); images via `read_image`'s contract.
+            unsafe {
+                if owner == self.list.head {
+                    // Below every real anchor: the keyless head cannot
+                    // absorb the key — publish a fresh singleton node.
+                    let mut skeys = [K::POS_INF; CAP];
+                    skeys[0] = key;
+                    let img = self.prepare_run(1, skeys);
+                    let node = self.alloc_node(key, img, succ);
+                    match (*owner).next.compare_exchange(
+                        MarkedPtr::unmarked(succ),
+                        MarkedPtr::unmarked(node),
+                        AcqRel,
+                        Acquire,
+                    ) {
+                        Ok(()) => {
+                            self.stats.adds += 1;
+                            live_bump(&self.live, 1);
+                            return true;
+                        }
+                        Err(_) => {
+                            self.stats.fail += 1;
+                            // SAFETY: neither was published.
+                            R::dealloc_unpublished(&self.list.nodes, &mut self.nodes, node);
+                            self.recycle_image(img);
+                            continue;
+                        }
+                    }
+                }
+                let iw = self.read_image(owner);
+                if iw.is_marked() {
+                    // Owner is splitting or leaving: finish its mark and
+                    // re-search (the walk splices it).
+                    Self::mark_retired(owner);
+                    self.stats.rtry += 1;
+                    continue;
+                }
+                let img = &*iw.ptr();
+                match img.search(key) {
+                    Ok(_) => return false,
+                    Err(idx) => {
+                        if img.len == CAP {
+                            // Full: freeze at this image and retire the
+                            // node; the re-search splices the split.
+                            self.initiate_split(owner, iw);
+                            self.stats.rtry += 1;
+                            continue;
+                        }
+                        let (nlen, nkeys) = img.with_key(idx, key);
+                        let img_new = self.prepare_run(nlen, nkeys);
+                        match (*owner).run.compare_exchange(
+                            iw,
+                            MarkedPtr::unmarked(img_new),
+                            RUN_PUBLISH,
+                            Acquire,
+                        ) {
+                            Ok(()) => {
+                                // The image CAS winner retires the
+                                // replaced image.
+                                R::retire(&self.list.runs, &mut self.runs, iw.ptr());
+                                self.stats.adds += 1;
+                                live_bump(&self.live, 1);
+                                return true;
+                            }
+                            Err(_) => {
+                                self.stats.fail += 1;
+                                self.recycle_image(img_new);
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `rem()` body minus the per-operation pin.
+    fn remove_pinned(&mut self, key: K) -> bool {
+        loop {
+            let (owner, _succ) = self.search(key);
+            // SAFETY: `owner` per the search contract; images via
+            // `read_image`'s contract.
+            unsafe {
+                if owner == self.list.head {
+                    // No node's interval contains the key.
+                    return false;
+                }
+                let iw = self.read_image(owner);
+                if iw.is_marked() {
+                    Self::mark_retired(owner);
+                    self.stats.rtry += 1;
+                    continue;
+                }
+                let img = &*iw.ptr();
+                let Ok(idx) = img.search(key) else {
+                    return false;
+                };
+                if img.len == 1 {
+                    // The removal empties the node: one CAS both removes
+                    // the key and freezes the node (empty, terminal);
+                    // walkers unlink it.
+                    let img_new = self.prepare_run(0, [K::POS_INF; CAP]);
+                    match (*owner).run.compare_exchange(
+                        iw,
+                        MarkedPtr::new(img_new, true),
+                        RUN_PUBLISH,
+                        Acquire,
+                    ) {
+                        Ok(()) => {
+                            R::retire(&self.list.runs, &mut self.runs, iw.ptr());
+                            Self::mark_retired(owner);
+                            self.stats.rems += 1;
+                            live_bump(&self.live, -1);
+                            return true;
+                        }
+                        Err(_) => {
+                            self.stats.fail += 1;
+                            self.recycle_image(img_new);
+                            continue;
+                        }
+                    }
+                }
+                let (nlen, nkeys) = img.without_idx(idx);
+                let img_new = self.prepare_run(nlen, nkeys);
+                match (*owner).run.compare_exchange(
+                    iw,
+                    MarkedPtr::unmarked(img_new),
+                    RUN_PUBLISH,
+                    Acquire,
+                ) {
+                    Ok(()) => {
+                        R::retire(&self.list.runs, &mut self.runs, iw.ptr());
+                        self.stats.rems += 1;
+                        live_bump(&self.live, -1);
+                        return true;
+                    }
+                    Err(_) => {
+                        self.stats.fail += 1;
+                        self.recycle_image(img_new);
+                        continue;
+                    }
+                }
+            }
+        }
+    }
+
+    fn contains_impl(&mut self, key: K) -> bool {
+        debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        self.begin_op();
+        let _pin = R::pin();
+        if R::PROTECTS {
+            // Every dereference must be protected: route through the
+            // search (helping splices along the way) and answer from an
+            // unfrozen owner image — a frozen one may already be retired
+            // by a splice winner, so help and re-search instead.
+            // Traversal steps are reclassified as `cons` to keep the
+            // stats columns comparable.
+            loop {
+                let trav_before = self.stats.trav;
+                let (owner, _succ) = self.search(key);
+                let steps = self.stats.trav - trav_before;
+                self.stats.trav -= steps;
+                self.stats.cons += steps;
+                if owner == self.list.head {
+                    return false;
+                }
+                // SAFETY: `owner` is protected (slot 0) and validated by
+                // the search; the image per `read_image`'s contract.
+                unsafe {
+                    let iw = self.read_image(owner);
+                    if iw.is_marked() {
+                        Self::mark_retired(owner);
+                        continue;
+                    }
+                    return (*iw.ptr()).has(key);
+                }
+            }
+        }
+        let head = self.list.head;
+        // SAFETY: stable or pinned nodes; wait-free read-only anchor
+        // walk. A frozen node still holds its range's authoritative
+        // content while on the chain (writers must splice it first), so
+        // answering from any image — frozen or not — linearizes within
+        // the operation (module docs).
+        unsafe {
+            let mut node = head;
+            if HINTS > 0 && R::STABLE {
+                let mut best = K::NEG_INF;
+                for &(hk, hn) in self.hints.entries() {
+                    if !hn.is_null()
+                        && hk > best
+                        && hk <= key
+                        && !(*hn).next.load(Acquire).is_marked()
+                    {
+                        node = hn;
+                        best = hk;
+                    }
+                }
+            }
+            let mut walked = 0u64;
+            loop {
+                let nxt = (*node).next.load(Acquire).ptr();
+                // The tail's +∞ anchor terminates the walk branch-free.
+                if (*nxt).anchor > key {
+                    break;
+                }
+                prefetch_read((*nxt).next.load(Relaxed).ptr());
+                node = nxt;
+                walked += 1;
+            }
+            self.stats.cons += walked;
+            if HINTS > 0
+                && R::STABLE
+                && node != head
+                && walked >= crate::hint::HINT_RECORD_MIN_TRAVERSAL
+            {
+                self.hints.record((*node).anchor, node);
+            }
+            if node == head {
+                // The keyless head owns the space below every anchor.
+                return false;
+            }
+            let iw = (*node).run.load(Acquire);
+            (*iw.ptr()).has(key)
+        }
+    }
+
+    /// Hazard-protected range scan: the search walk's protection
+    /// discipline, emitting each validated node's (unfrozen) image.
+    /// Restarts resume after the last emitted key, so the output stays
+    /// strictly sorted with nothing double-reported.
+    fn protected_range(&mut self, bounds: &ScanBounds<K>, out: &mut Vec<K>) {
+        let head = self.list.head;
+        let tail = self.list.tail;
+        let mut last: Option<K> = None;
+        // SAFETY (whole body): `pred` stays the head or protected in
+        // slot 0; every `curr` is validated by `acquire_curr` in slot 1;
+        // images are read only unfrozen via `read_image` (frozen ones
+        // are spliced or marked first).
+        unsafe {
+            'restart: loop {
+                let mut pred = head;
+                let pw = (*pred).next.load(Acquire);
+                let mut curr = pw.ptr();
+                match crate::reclaim::acquire_curr::<K, UNode<K, CAP>, R>(&self.nodes, pred, curr) {
+                    Ok(c) => curr = c,
+                    Err(()) => continue 'restart,
+                }
+                loop {
+                    if curr == tail {
+                        return;
+                    }
+                    let cw = (*curr).next.load(Acquire);
+                    if cw.is_marked() {
+                        match self.splice_out(pred, curr, cw.ptr()) {
+                            Ok(repl) => {
+                                curr = repl;
+                                match crate::reclaim::acquire_curr::<K, UNode<K, CAP>, R>(
+                                    &self.nodes,
+                                    pred,
+                                    curr,
+                                ) {
+                                    Ok(c) => curr = c,
+                                    Err(()) => continue 'restart,
+                                }
+                                continue;
+                            }
+                            Err(_) => continue 'restart,
+                        }
+                    }
+                    if bounds.after_end((*curr).anchor) {
+                        return;
+                    }
+                    let iw = self.read_image(curr);
+                    if iw.is_marked() {
+                        // Frozen mid-scan: finish its retirement and
+                        // restart; the next pass splices it and visits
+                        // the replacement instead.
+                        Self::mark_retired(curr);
+                        continue 'restart;
+                    }
+                    for &k in (*iw.ptr()).keys() {
+                        if bounds.contains(k) && last.is_none_or(|l| k > l) {
+                            out.push(k);
+                            last = Some(k);
+                        }
+                    }
+                    R::protect(&self.nodes, 0, curr);
+                    pred = curr;
+                    curr = cw.ptr();
+                    match crate::reclaim::acquire_curr::<K, UNode<K, CAP>, R>(
+                        &self.nodes,
+                        pred,
+                        curr,
+                    ) {
+                        Ok(c) => curr = c,
+                        Err(()) => continue 'restart,
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<'l, K: Key, const CAP: usize, R: Reclaimer, const HINTS: usize> SetHandle<K>
+    for UnrolledHandle<'l, K, CAP, R, HINTS>
+{
+    #[inline]
+    fn add(&mut self, key: K) -> bool {
+        debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        self.begin_op();
+        let _pin = R::pin();
+        self.add_pinned(key)
+    }
+
+    #[inline]
+    fn remove(&mut self, key: K) -> bool {
+        debug_assert!(key.is_valid_key(), "sentinel keys are reserved");
+        self.begin_op();
+        let _pin = R::pin();
+        self.remove_pinned(key)
+    }
+
+    #[inline]
+    fn contains(&mut self, key: K) -> bool {
+        self.contains_impl(key)
+    }
+
+    fn add_batch(&mut self, keys: &mut [K]) -> usize {
+        // Sort once, then merge every run's worth of keys in ONE image
+        // CAS: the batch pays one amortized traversal per fat node
+        // instead of one per key — this is where unrolling makes
+        // batching pay its CAP× (each CAS publishes up to CAP−len new
+        // keys at once).
+        keys.sort_unstable();
+        self.begin_op();
+        let _pin = R::pin();
+        let mut inserted = 0;
+        let mut i = 0;
+        while i < keys.len() {
+            let k = keys[i];
+            debug_assert!(k.is_valid_key(), "sentinel keys are reserved");
+            let (owner, succ) = self.search(k);
+            // SAFETY: `owner`/`succ` per the search contract; images via
+            // `read_image`; the merge bound is sound by anchor
+            // monotonicity (module docs).
+            unsafe {
+                if owner == self.list.head {
+                    // Below every anchor: the single-key path creates
+                    // the region's first node.
+                    if self.add_pinned(k) {
+                        inserted += 1;
+                    }
+                    i += 1;
+                    continue;
+                }
+                let iw = self.read_image(owner);
+                if iw.is_marked() {
+                    Self::mark_retired(owner);
+                    self.stats.rtry += 1;
+                    continue;
+                }
+                let img = &*iw.ptr();
+                if img.len == CAP {
+                    // Full: let the single-key path drive the split.
+                    if self.add_pinned(k) {
+                        inserted += 1;
+                    }
+                    i += 1;
+                    continue;
+                }
+                // Every remaining batch key below the observed successor
+                // anchor belongs to this owner; take as many new ones as
+                // the run has room for.
+                let bound = (*succ).anchor;
+                let mut extra = [K::POS_INF; CAP];
+                let mut m = 0usize;
+                let mut j = i;
+                while j < keys.len() && keys[j] < bound {
+                    if img.len + m == CAP {
+                        break;
+                    }
+                    let kk = keys[j];
+                    if (m == 0 || extra[m - 1] != kk) && !img.has(kk) {
+                        extra[m] = kk;
+                        m += 1;
+                    }
+                    j += 1;
+                }
+                if m == 0 {
+                    // Everything below the bound was a duplicate.
+                    i = j;
+                    continue;
+                }
+                let (nlen, nkeys) = img.merged(&extra[..m]);
+                let img_new = self.prepare_run(nlen, nkeys);
+                match (*owner).run.compare_exchange(
+                    iw,
+                    MarkedPtr::unmarked(img_new),
+                    RUN_PUBLISH,
+                    Acquire,
+                ) {
+                    Ok(()) => {
+                        R::retire(&self.list.runs, &mut self.runs, iw.ptr());
+                        self.stats.adds += m as u64;
+                        live_bump(&self.live, m as i64);
+                        inserted += m;
+                        i = j;
+                    }
+                    Err(_) => {
+                        self.stats.fail += 1;
+                        self.recycle_image(img_new);
+                    }
+                }
+            }
+        }
+        inserted
+    }
+
+    fn remove_batch(&mut self, keys: &mut [K]) -> usize {
+        keys.sort_unstable();
+        self.begin_op();
+        let _pin = R::pin();
+        let mut removed = 0;
+        let mut i = 0;
+        while i < keys.len() {
+            let k = keys[i];
+            debug_assert!(k.is_valid_key(), "sentinel keys are reserved");
+            let (owner, succ) = self.search(k);
+            // SAFETY: as in `add_batch` — search contract, `read_image`
+            // contract, anchor monotonicity for the bound.
+            unsafe {
+                let bound = (*succ).anchor;
+                if owner == self.list.head {
+                    // Keys below the first anchor are absent.
+                    while i < keys.len() && keys[i] < bound {
+                        i += 1;
+                    }
+                    continue;
+                }
+                let iw = self.read_image(owner);
+                if iw.is_marked() {
+                    Self::mark_retired(owner);
+                    self.stats.rtry += 1;
+                    continue;
+                }
+                let img = &*iw.ptr();
+                // Victims: batch keys this owner holds.
+                let mut hit = [K::POS_INF; CAP];
+                let mut m = 0usize;
+                let mut j = i;
+                while j < keys.len() && keys[j] < bound {
+                    let kk = keys[j];
+                    if (m == 0 || hit[m - 1] != kk) && img.has(kk) {
+                        hit[m] = kk;
+                        m += 1;
+                    }
+                    j += 1;
+                }
+                if m == 0 {
+                    i = j;
+                    continue;
+                }
+                let word = if m == img.len {
+                    // The batch empties the node: install the frozen
+                    // empty image directly (remove + freeze in one CAS).
+                    MarkedPtr::new(self.prepare_run(0, [K::POS_INF; CAP]), true)
+                } else {
+                    let (nlen, nkeys) = img.minus(&hit[..m]);
+                    MarkedPtr::unmarked(self.prepare_run(nlen, nkeys))
+                };
+                match (*owner)
+                    .run
+                    .compare_exchange(iw, word, RUN_PUBLISH, Acquire)
+                {
+                    Ok(()) => {
+                        R::retire(&self.list.runs, &mut self.runs, iw.ptr());
+                        if word.is_marked() {
+                            Self::mark_retired(owner);
+                        }
+                        self.stats.rems += m as u64;
+                        live_bump(&self.live, -(m as i64));
+                        removed += m;
+                        i = j;
+                    }
+                    Err(_) => {
+                        self.stats.fail += 1;
+                        self.recycle_image(word.ptr());
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn take_stats(&mut self) -> OpStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+impl<'l, K: Key, const CAP: usize, R: Reclaimer, const HINTS: usize> OrderedHandle<K>
+    for UnrolledHandle<'l, K, CAP, R, HINTS>
+{
+    fn range<Q: std::ops::RangeBounds<K>>(&mut self, range: Q) -> Snapshot<K> {
+        let bounds = ScanBounds::from_range(&range);
+        let _pin = R::pin();
+        let mut out = Vec::new();
+        if R::PROTECTS {
+            self.protected_range(&bounds, &mut out);
+        } else {
+            // SAFETY: stable or pinned nodes and images; read-only walk.
+            // Marked nodes' frozen images are emitted too — while on the
+            // chain they hold their range's authoritative content, and a
+            // spliced-off node is never followed by its own replacement
+            // (the splice rewires the predecessor), so the strictly-
+            // increasing `last` guard keeps the output sorted and
+            // duplicate-free.
+            unsafe {
+                let tail = self.list.tail;
+                let mut last: Option<K> = None;
+                let mut curr = (*self.list.head).next.load(Acquire).ptr();
+                while curr != tail {
+                    let nw = (*curr).next.load(Acquire);
+                    if bounds.after_end((*curr).anchor) {
+                        break;
+                    }
+                    let iw = (*curr).run.load(Acquire);
+                    for &k in (*iw.ptr()).keys() {
+                        if bounds.after_end(k) {
+                            break;
+                        }
+                        if bounds.contains(k) && last.is_none_or(|l| k > l) {
+                            out.push(k);
+                            last = Some(k);
+                        }
+                    }
+                    curr = nw.ptr();
+                }
+            }
+        }
+        Snapshot::from_vec(out)
+    }
+
+    fn len_estimate(&mut self) -> usize {
+        self.list.len_approx()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reclaim::{EpochReclaim, HazardReclaim};
+
+    type Arena<K> = UnrolledList<K, 4>;
+    type ArenaWide<K> = UnrolledList<K, 16>;
+    type Hinted<K> = UnrolledList<K, 16, ArenaReclaim, 8>;
+    type Epoch<K> = UnrolledList<K, 4, EpochReclaim>;
+    type Hp<K> = UnrolledList<K, 4, HazardReclaim>;
+
+    #[test]
+    fn run_lower_bound_and_edits() {
+        let r: Run<i64, 8> = Run {
+            len: 4,
+            keys: [2, 4, 6, 8, i64::MAX, i64::MAX, i64::MAX, i64::MAX],
+        };
+        assert_eq!(r.lower_bound(1), 0);
+        assert_eq!(r.lower_bound(2), 0);
+        assert_eq!(r.lower_bound(3), 1);
+        assert_eq!(r.lower_bound(8), 3);
+        assert_eq!(r.lower_bound(9), 4);
+        assert_eq!(r.search(6), Ok(2));
+        assert_eq!(r.search(5), Err(2));
+        let (len, keys) = r.with_key(2, 5);
+        assert_eq!((len, &keys[..len]), (5, &[2, 4, 5, 6, 8][..]));
+        let (len, keys) = r.without_idx(0);
+        assert_eq!((len, &keys[..len]), (3, &[4, 6, 8][..]));
+        let (len, keys) = r.merged(&[1, 5, 9]);
+        assert_eq!((len, &keys[..len]), (7, &[1, 2, 4, 5, 6, 8, 9][..]));
+        let (len, keys) = r.minus(&[2, 5, 8]);
+        assert_eq!((len, &keys[..len]), (2, &[4, 6][..]));
+        let empty: Run<i64, 8> = Run {
+            len: 0,
+            keys: [i64::MAX; 8],
+        };
+        assert_eq!(empty.lower_bound(5), 0);
+        assert!(!empty.has(5));
+        // `Run` only counts leak-test keys; keep the counters balanced.
+        std::mem::forget(r);
+        std::mem::forget(empty);
+    }
+
+    fn basic_semantics<S: ConcurrentOrderedSet<i64>>() {
+        let list = S::new();
+        let mut h = list.handle();
+        assert!(!h.contains(10));
+        assert!(h.add(10));
+        assert!(!h.add(10), "duplicate add must fail");
+        assert!(h.contains(10));
+        assert!(h.add(5));
+        assert!(h.add(15));
+        assert!(h.contains(5) && h.contains(10) && h.contains(15));
+        assert!(!h.contains(7));
+        assert!(h.remove(10));
+        assert!(!h.remove(10), "double remove must fail");
+        assert!(!h.contains(10));
+        assert!(h.contains(5) && h.contains(15));
+        assert!(h.add(10), "re-add after remove");
+        assert!(h.contains(10));
+        let st = h.stats();
+        assert_eq!(st.adds, 4);
+        assert_eq!(st.rems, 1);
+    }
+
+    #[test]
+    fn basic_semantics_all_reclaimers() {
+        basic_semantics::<Arena<i64>>();
+        basic_semantics::<ArenaWide<i64>>();
+        basic_semantics::<Hinted<i64>>();
+        basic_semantics::<Epoch<i64>>();
+        basic_semantics::<Hp<i64>>();
+    }
+
+    #[test]
+    fn names_compose_with_reclaimers() {
+        assert_eq!(<Arena<i64> as ConcurrentOrderedSet<i64>>::NAME, "unrolled");
+        assert_eq!(
+            <Hinted<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            "unrolled_hint"
+        );
+        assert_eq!(
+            <Epoch<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            "unrolled_epoch"
+        );
+        assert_eq!(<Hp<i64> as ConcurrentOrderedSet<i64>>::NAME, "unrolled_hp");
+    }
+
+    #[test]
+    fn splits_preserve_order_and_validate() {
+        let mut list = Arena::<i64>::new();
+        {
+            let mut h = list.handle();
+            // Way past CAP=4: forces repeated splits in both directions.
+            for k in (0..200).rev() {
+                assert!(h.add(k));
+            }
+            for k in 0..200 {
+                assert!(h.contains(k));
+            }
+        }
+        assert_eq!(list.to_vec(), (0..200).collect::<Vec<_>>());
+        list.validate().unwrap();
+        assert_eq!(list.len_approx(), 200);
+    }
+
+    #[test]
+    fn emptied_nodes_leave_the_chain() {
+        let mut list = Arena::<i64>::new();
+        {
+            let mut h = list.handle();
+            for k in 0..64 {
+                h.add(k);
+            }
+            for k in 0..64 {
+                assert!(h.remove(k));
+            }
+            assert!(!h.contains(3));
+            // Walks splice the emptied, retired nodes back out.
+            for k in 0..64 {
+                assert!(!h.contains(k));
+            }
+            assert!(h.add(7), "re-add over retired ground");
+            assert!(h.contains(7));
+        }
+        assert_eq!(list.to_vec(), vec![7]);
+        list.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_list_properties() {
+        let mut list = Arena::<i64>::new();
+        {
+            let mut h = list.handle();
+            assert!(!h.contains(1));
+            assert!(!h.remove(1));
+            assert_eq!(h.stats().adds, 0);
+        }
+        assert!(list.to_vec().is_empty());
+        assert_eq!(list.len_approx(), 0);
+        list.validate().unwrap();
+    }
+
+    #[test]
+    fn boundary_keys_near_sentinels() {
+        let list = ArenaWide::<i64>::new();
+        let mut h = list.handle();
+        assert!(h.add(i64::MIN + 1));
+        assert!(h.add(i64::MAX - 1));
+        assert!(h.contains(i64::MIN + 1));
+        assert!(h.contains(i64::MAX - 1));
+        assert!(h.remove(i64::MAX - 1));
+        assert!(h.remove(i64::MIN + 1));
+        assert!(!h.contains(i64::MIN + 1));
+    }
+
+    #[test]
+    fn spare_image_is_reused_after_duplicate_adds() {
+        let list = ArenaWide::<i64>::new();
+        let mut h = list.handle();
+        assert!(h.add(1));
+        assert!(!h.add(1)); // duplicate: no image built at all
+        assert!(!h.add(1));
+        assert!(h.add(2));
+        assert!(h.add(3));
+        drop(h);
+        // 1 singleton image + 2 in-place inserts (each retiring its
+        // predecessor) + at most 1 spare.
+        assert!(list.allocated_runs() <= 4, "got {}", list.allocated_runs());
+        assert_eq!(list.allocated_nodes(), 1, "one fat node holds all three");
+    }
+
+    fn concurrent_disjoint<S: ConcurrentOrderedSet<i64>>() {
+        let threads = 4i64;
+        let per = 500i64;
+        let list = S::new();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let list = &list;
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    for i in 0..per {
+                        assert!(h.add(t + i * threads));
+                    }
+                    for i in 0..per {
+                        assert!(h.contains(t + i * threads));
+                    }
+                    for i in (0..per).rev().skip(per as usize / 2) {
+                        assert!(h.remove(t + i * threads));
+                    }
+                });
+            }
+        });
+        let mut list = list;
+        list.check_invariants().unwrap();
+        assert_eq!(
+            list.collect_keys().len() as i64,
+            threads * per - threads * (per / 2)
+        );
+    }
+
+    #[test]
+    fn concurrent_disjoint_keys_all_reclaimers() {
+        concurrent_disjoint::<Arena<i64>>();
+        concurrent_disjoint::<ArenaWide<i64>>();
+        concurrent_disjoint::<Hinted<i64>>();
+        concurrent_disjoint::<Epoch<i64>>();
+        concurrent_disjoint::<Hp<i64>>();
+    }
+
+    fn concurrent_same_keys<S: ConcurrentOrderedSet<i64>>() {
+        let threads = 8;
+        let per = 300i64;
+        let list = S::new();
+        let results: Vec<OpStats> = std::thread::scope(|s| {
+            let hs: Vec<_> = (0..threads)
+                .map(|_| {
+                    let list = &list;
+                    s.spawn(move || {
+                        let mut h = list.handle();
+                        for i in 0..per {
+                            h.add(i);
+                        }
+                        for i in (0..per).rev() {
+                            h.remove(i);
+                        }
+                        for i in 0..per {
+                            h.add(i);
+                        }
+                        h.take_stats()
+                    })
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let total: OpStats = results.into_iter().sum();
+        let mut list = list;
+        list.check_invariants().unwrap();
+        let live = list.collect_keys().len() as u64;
+        assert_eq!(
+            total.adds - total.rems,
+            live,
+            "successful adds minus rems must equal live items"
+        );
+        assert_eq!(live, per as u64, "final phase re-adds everything once");
+    }
+
+    #[test]
+    fn concurrent_same_keys_all_reclaimers() {
+        concurrent_same_keys::<Arena<i64>>();
+        concurrent_same_keys::<ArenaWide<i64>>();
+        concurrent_same_keys::<Hinted<i64>>();
+        concurrent_same_keys::<Epoch<i64>>();
+        concurrent_same_keys::<Hp<i64>>();
+    }
+
+    #[test]
+    fn unrolling_cuts_traversals_versus_flat() {
+        // The whole point: a random workload over n keys walks ~n/CAP
+        // nodes per op instead of ~n.
+        use crate::variants::SinglyCursorList;
+        let shuffled: Vec<i64> = (0..2_000i64).map(|i| (i * 1237) % 2_000 + 1).collect();
+
+        let fat = {
+            let list = ArenaWide::<i64>::new();
+            let mut h = list.handle();
+            for &k in &shuffled {
+                h.add(k);
+            }
+            h.stats().trav
+        };
+        let flat = {
+            let list = SinglyCursorList::<i64>::new();
+            let mut h = list.handle();
+            for &k in &shuffled {
+                h.add(k);
+            }
+            h.stats().trav
+        };
+        assert!(
+            fat * 4 < flat,
+            "fat nodes should cut traversals several-fold: fat {fat} vs flat {flat}"
+        );
+    }
+
+    #[test]
+    fn batched_adds_merge_runs_in_single_cas_sweeps() {
+        let shuffled: Vec<i64> = (0..2_000i64).map(|i| (i * 1237) % 2_000 + 1).collect();
+        let wide = {
+            let list = ArenaWide::<i64>::new();
+            let mut h = list.handle();
+            let mut keys = shuffled.clone();
+            assert_eq!(h.add_batch(&mut keys), 2_000);
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "batch is sorted");
+            h.stats().trav
+        };
+        let narrow = {
+            let list = ArenaWide::<i64>::new();
+            let mut h = list.handle();
+            let n = shuffled.iter().filter(|&&k| h.add(k)).count();
+            assert_eq!(n, 2_000);
+            h.stats().trav
+        };
+        assert!(
+            wide * 5 < narrow,
+            "sorted batch should collapse traversal work: batch {wide} vs loop {narrow}"
+        );
+    }
+
+    #[test]
+    fn batch_results_match_per_key_semantics() {
+        let list = Arena::<i64>::new();
+        let mut h = list.handle();
+        let mut keys = vec![5i64, 1, 5, 9, 1, 7];
+        assert_eq!(h.add_batch(&mut keys), 4, "duplicates count once");
+        assert_eq!(h.stats().adds, 4);
+        let mut rm = vec![9i64, 2, 5, 9];
+        assert_eq!(h.remove_batch(&mut rm), 2, "only present keys remove");
+        drop(h);
+        let mut list = list;
+        assert_eq!(list.to_vec(), vec![1, 7]);
+        list.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_batch_emptying_nodes_retires_them() {
+        let mut list = Arena::<i64>::new();
+        {
+            let mut h = list.handle();
+            let mut keys: Vec<i64> = (0..40).collect();
+            assert_eq!(h.add_batch(&mut keys), 40);
+            let mut rm: Vec<i64> = (0..40).collect();
+            assert_eq!(h.remove_batch(&mut rm), 40);
+            assert!(!h.contains(17));
+        }
+        assert!(list.to_vec().is_empty());
+        list.validate().unwrap();
+    }
+
+    #[test]
+    fn range_scans_stitch_across_runs() {
+        let list = Arena::<i64>::new();
+        let mut h = list.handle();
+        for k in (1..=100).rev() {
+            h.add(k);
+        }
+        assert_eq!(h.range(10..14).into_vec(), vec![10, 11, 12, 13]);
+        assert_eq!(h.range(..=3).into_vec(), vec![1, 2, 3]);
+        assert_eq!(h.range(98..).into_vec(), vec![98, 99, 100]);
+        assert_eq!(h.iter().len(), 100);
+        assert_eq!(h.len_estimate(), 100);
+        let all = h.iter().into_vec();
+        assert!(all.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+    }
+
+    #[test]
+    fn range_scans_under_hazard_pointers() {
+        let list = Hp::<i64>::new();
+        let mut h = list.handle();
+        for k in 1..=60 {
+            h.add(k);
+        }
+        for k in (1..=60).step_by(3) {
+            h.remove(k);
+        }
+        let got = h.range(..).into_vec();
+        let want: Vec<i64> = (1..=60).filter(|k| k % 3 != 1).collect();
+        assert_eq!(got, want);
+        assert_eq!(
+            h.range(10..20).len(),
+            want.iter().filter(|&&k| (10..20).contains(&k)).count()
+        );
+    }
+
+    #[test]
+    fn hints_cut_alternating_region_walks() {
+        let n = 4_000i64;
+        let regions = [n / 8, n / 2, 7 * n / 8];
+
+        fn alternating_cons<S: ConcurrentOrderedSet<i64>>(n: i64, regions: &[i64]) -> u64 {
+            let list = S::new();
+            let mut h = list.handle();
+            for k in 1..=n {
+                h.add(k);
+            }
+            let _ = h.take_stats();
+            for i in 0..600 {
+                let r = regions[i % regions.len()];
+                assert!(h.contains(r + (i % 5) as i64));
+            }
+            h.stats().cons
+        }
+
+        let hinted = alternating_cons::<Hinted<i64>>(n, &regions);
+        let bare = alternating_cons::<ArenaWide<i64>>(n, &regions);
+        assert!(
+            hinted * 10 < bare,
+            "hints should collapse alternating-region walks: hinted {hinted} vs bare {bare}"
+        );
+    }
+
+    #[test]
+    fn hints_are_inert_under_epoch_reclamation() {
+        type HintedEpoch = UnrolledList<i64, 16, EpochReclaim, 8>;
+        let list = HintedEpoch::new();
+        let mut h = list.handle();
+        for k in 1..=3_000 {
+            h.add(k);
+        }
+        let _ = h.take_stats();
+        assert!(h.contains(2_990));
+        let after_first = h.stats().cons;
+        assert!(h.contains(2_999));
+        let after_second = h.stats().cons;
+        assert!(
+            after_second - after_first >= (2_990 / 16) - 2,
+            "epoch hints must not park across ops: {after_first} then {after_second}"
+        );
+    }
+
+    #[test]
+    fn marked_hints_fall_back_and_stay_correct() {
+        let list = Hinted::<i64>::new();
+        let mut h = list.handle();
+        for k in 1..=2_000 {
+            h.add(k);
+        }
+        let regions = [250i64, 500, 750, 1000, 1250, 1500, 1750, 2000];
+        for r in regions {
+            assert!(h.contains(r));
+        }
+        // Churn every hinted region hard enough to retire the hinted
+        // nodes themselves (splits + empties), then verify correctness.
+        for r in regions {
+            for k in (r - 20)..(r - 20) + 18 {
+                assert!(h.remove(k), "remove {k}");
+            }
+        }
+        for r in regions {
+            assert!(!h.contains(r - 10), "removed key must stay gone");
+            assert!(h.add(r - 10), "re-adding over retired ground");
+            assert!(h.contains(r - 10));
+        }
+        drop(h);
+        let mut list = list;
+        list.validate().unwrap();
+    }
+
+    #[test]
+    fn len_estimate_is_exact_when_quiescent() {
+        let list = ArenaWide::<i64>::new();
+        let mut a = list.handle();
+        let mut b = list.handle();
+        for k in 0..500 {
+            if k % 2 == 0 {
+                a.add(k);
+            } else {
+                b.add(k);
+            }
+        }
+        for k in (0..500).step_by(5) {
+            a.remove(k);
+        }
+        assert_eq!(a.len_estimate(), 400);
+        drop(b);
+        assert_eq!(a.len_estimate(), 400);
+        assert_eq!(list.len_approx(), 400);
+    }
+
+    #[test]
+    fn unsigned_key_type_works() {
+        let list = Arena::<u32>::new();
+        let mut h = list.handle();
+        assert!(h.add(1));
+        assert!(h.add(u32::MAX - 1));
+        assert!(h.contains(1));
+        assert!(h.remove(1));
+        assert!(!h.contains(1));
+    }
+
+    #[test]
+    fn stats_fail_and_retry_counters_stay_zero_single_threaded() {
+        // Without contention, the only non-linear step is the (self-
+        // initiated, self-completed) split; it never fails a CAS.
+        let list = Arena::<i64>::new();
+        let mut h = list.handle();
+        for k in 0..200 {
+            h.add(k);
+            h.contains(k);
+        }
+        for k in 0..200 {
+            h.remove(k);
+        }
+        let st = h.stats();
+        assert_eq!(st.fail, 0);
+        assert_eq!(st.adds, 200);
+        assert_eq!(st.rems, 200);
+    }
+}

@@ -40,6 +40,7 @@ use crate::doubly::DoublyList;
 use crate::hint::DEFAULT_HINT_SLOTS;
 use crate::reclaim::{ArenaReclaim, EpochReclaim, HazardReclaim};
 use crate::singly::SinglyList;
+use crate::unrolled::{UnrolledList, DEFAULT_UNROLLED_CAP};
 
 /// a) The textbook ("draconic") lock-free ordered list.
 pub type DraconicList<K> = SinglyList<K, false, false, false>;
@@ -105,6 +106,26 @@ pub type SinglyHintedList<K> = SinglyList<K, true, true, false, ArenaReclaim, DE
 /// the backward-pointer search its starting position.
 pub type DoublyHintedList<K> = DoublyList<K, true, true, ArenaReclaim, DEFAULT_HINT_SLOTS>;
 
+/// v) Unrolled fat-node list ([`crate::unrolled`]): each node owns up to
+/// [`DEFAULT_UNROLLED_CAP`] sorted keys, cutting pointer chases ≈CAP×
+/// under the paper's arena scheme.
+pub type UnrolledArenaList<K> = UnrolledList<K, DEFAULT_UNROLLED_CAP>;
+
+/// w) Unrolled fat-node list with [`DEFAULT_HINT_SLOTS`] per-thread
+/// search hints (hint = fat-node pointer, valid while unmarked;
+/// arena-only semantics — under real reclamation the hints are inert).
+pub type UnrolledHintedList<K> =
+    UnrolledList<K, DEFAULT_UNROLLED_CAP, ArenaReclaim, DEFAULT_HINT_SLOTS>;
+
+/// y) Unrolled fat-node list under epoch-based reclamation: retired fat
+/// nodes *and* replaced run images drain through crossbeam-epoch.
+pub type UnrolledEpochList<K> = UnrolledList<K, DEFAULT_UNROLLED_CAP, EpochReclaim>;
+
+/// Unrolled fat-node list under from-scratch hazard pointers: nodes are
+/// protected by the usual two traversal slots and run images by a third
+/// validated slot in their own hazard domain.
+pub type UnrolledHpList<K> = UnrolledList<K, DEFAULT_UNROLLED_CAP, HazardReclaim>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +171,8 @@ mod tests {
         assert_eq!(tape::<DoublyCursorNoRepairList<i64>>(), reference);
         assert_eq!(tape::<SinglyHintedList<i64>>(), reference);
         assert_eq!(tape::<DoublyHintedList<i64>>(), reference);
+        assert_eq!(tape::<UnrolledArenaList<i64>>(), reference);
+        assert_eq!(tape::<UnrolledHintedList<i64>>(), reference);
     }
 
     /// The hinted extensions carry their own benchmark names.
@@ -176,5 +199,28 @@ mod tests {
         assert_eq!(tape::<SinglyFetchOrEpochList<i64>>(), reference);
         assert_eq!(tape::<DoublyCursorEpochList<i64>>(), reference);
         assert_eq!(tape::<SinglyHpList<i64>>(), reference);
+        assert_eq!(tape::<UnrolledEpochList<i64>>(), reference);
+        assert_eq!(tape::<UnrolledHpList<i64>>(), reference);
+    }
+
+    /// The unrolled aliases carry their own benchmark names.
+    #[test]
+    fn unrolled_names() {
+        assert_eq!(
+            <UnrolledArenaList<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            "unrolled"
+        );
+        assert_eq!(
+            <UnrolledHintedList<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            "unrolled_hint"
+        );
+        assert_eq!(
+            <UnrolledEpochList<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            "unrolled_epoch"
+        );
+        assert_eq!(
+            <UnrolledHpList<i64> as ConcurrentOrderedSet<i64>>::NAME,
+            "unrolled_hp"
+        );
     }
 }

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use interleave::Builder;
 use pragmatic_list::set::{ConcurrentOrderedSet, SetHandle};
+use pragmatic_list::unrolled::UnrolledList;
 use pragmatic_list::variants::SinglyCursorList;
 use pragmatic_list::{ElasticSet, LoadPolicy};
 
@@ -69,6 +70,61 @@ fn weakened_slot_publish_is_detected() {
         .expect("the seeded SeqCst→Relaxed mutation must produce a failing schedule");
     eprintln!(
         "mutation caught after {} schedules:\n{failure}",
+        report.iterations
+    );
+}
+
+/// The unrolled list's seeded mutation: `interleave_mutate` weakens
+/// `RUN_PUBLISH` (see `unrolled.rs`) from `AcqRel` to `Relaxed` on the
+/// freeze `CAS()` and the retire `fetch_or`. The retirement protocol is
+/// freeze → mark → splice, and its *marked ⇒ frozen* invariant is what
+/// the weakening breaks: with a `Relaxed` mark, a walker's acquire load
+/// of `next` can observe the mark without synchronizing with the freeze
+/// that program-order preceded it, so its load of the run word can
+/// still return the stale unfrozen image. The helping splice asserts
+/// the invariant (`debug_assert!` in `splice_out`), so the checker must
+/// find a schedule where a concurrent walker trips it during a split.
+#[test]
+fn weakened_run_publish_is_detected() {
+    let report = Builder::new()
+        .preemption_bound(2)
+        .max_iterations(200_000)
+        .check(|| {
+            // Same shape as the passing `unrolled_split_race` protocol
+            // test: a full CAP = 2 node forces add(15) through
+            // freeze/mark/splice while the main thread's remove(20)
+            // walks onto the marked node and helps.
+            let set = Arc::new(UnrolledList::<i64, 2>::new());
+            {
+                let mut h = set.handle();
+                assert!(h.add(10));
+                assert!(h.add(20));
+            }
+            let s2 = Arc::clone(&set);
+            let t = interleave::thread::spawn(move || {
+                let mut h = s2.handle();
+                h.add(15)
+            });
+            let removed = {
+                let mut h = set.handle();
+                h.remove(20)
+            };
+            let inserted = t.join().unwrap();
+            assert!(inserted, "15 was absent; the splitting inserter must win");
+            assert!(removed, "20 was present throughout; the remover must win");
+            let mut set = Arc::into_inner(set).expect("all handles dropped");
+            set.check_invariants().unwrap();
+            assert_eq!(set.collect_keys(), vec![10, 15], "linearized outcome");
+        });
+    eprintln!(
+        "unrolled mutation run explored {} schedules",
+        report.iterations
+    );
+    let failure = report
+        .failure
+        .expect("the seeded AcqRel→Relaxed RUN_PUBLISH mutation must produce a failing schedule");
+    eprintln!(
+        "unrolled mutation caught after {} schedules:\n{failure}",
         report.iterations
     );
 }

@@ -18,8 +18,10 @@
 use std::sync::Arc;
 
 use interleave::{Builder, Report};
+use pragmatic_list::reclaim::EpochReclaim;
 use pragmatic_list::set::{ConcurrentOrderedSet, SetHandle};
 use pragmatic_list::singly::SinglyList;
+use pragmatic_list::unrolled::UnrolledList;
 use pragmatic_list::variants::{SinglyCursorList, SinglyEpochList, SinglyHpList};
 use pragmatic_list::{ElasticSet, LoadPolicy};
 
@@ -169,6 +171,120 @@ fn epoch_pin_defer_collect() {
             assert_eq!(set.collect_keys(), vec![20]);
         });
     accept("epoch_pin_defer_collect", report);
+}
+
+/// Protocol 5: the unrolled list's node-split race. A `CAP = 2` node
+/// holding `[10, 20]` is full, so the spawned thread's `add(15)` runs
+/// the full retirement protocol — freeze the run word, mark `next`,
+/// splice the node into `[10]` + `[20]`, then re-insert 15 — while the
+/// main thread removes 20, whose ownership migrates from the splitting
+/// node to the freshly published right half mid-protocol. Every
+/// interleaving must linearize to `{10, 15}`; a walker that acts on a
+/// mark without seeing the frozen image trips the *marked ⇒ frozen*
+/// `debug_assert` in `splice_out` (exactly what the `interleave_mutate`
+/// self-test weakens `RUN_PUBLISH` to provoke).
+#[test]
+fn unrolled_split_race() {
+    let report = builder(2).check(|| {
+        let set = Arc::new(UnrolledList::<i64, 2>::new());
+        {
+            let mut h = set.handle();
+            assert!(h.add(10));
+            assert!(h.add(20));
+        }
+        let s2 = Arc::clone(&set);
+        let t = interleave::thread::spawn(move || {
+            let mut h = s2.handle();
+            h.add(15)
+        });
+        let removed = {
+            let mut h = set.handle();
+            h.remove(20)
+        };
+        let inserted = t.join().unwrap();
+        assert!(inserted, "15 was absent; the splitting inserter must win");
+        assert!(removed, "20 was present throughout; the remover must win");
+        let mut set = Arc::into_inner(set).expect("all handles dropped");
+        set.check_invariants().unwrap();
+        assert_eq!(set.collect_keys(), vec![10, 15], "linearized outcome");
+    });
+    accept("unrolled_split_race", report);
+}
+
+/// Protocol 6: the unrolled list's empty-node unlink race. Two removers
+/// drain the only fat node (`CAP = 2`, `[10, 20]`): whichever empties
+/// it installs the frozen empty image and the terminal mark, and the
+/// main thread's following `add(15)` must help splice the carcass out
+/// before (or while) inserting. Every interleaving ends at `{15}` with
+/// both removes succeeding exactly once.
+#[test]
+fn unrolled_empty_node_unlink_race() {
+    let report = builder(1).check(|| {
+        let set = Arc::new(UnrolledList::<i64, 2>::new());
+        {
+            let mut h = set.handle();
+            assert!(h.add(10));
+            assert!(h.add(20));
+        }
+        let s2 = Arc::clone(&set);
+        let t = interleave::thread::spawn(move || {
+            let mut h = s2.handle();
+            h.remove(10)
+        });
+        let (removed, inserted) = {
+            let mut h = set.handle();
+            (h.remove(20), h.add(15))
+        };
+        assert!(t.join().unwrap(), "10 was present; its remover must win");
+        assert!(removed, "20 was present; its remover must win");
+        assert!(inserted, "15 was absent; the inserter must succeed");
+        let mut set = Arc::into_inner(set).expect("all handles dropped");
+        set.check_invariants().unwrap();
+        assert_eq!(set.collect_keys(), vec![15], "linearized outcome");
+    });
+    accept("unrolled_empty_node_unlink_race", report);
+}
+
+/// Protocol 6b: unrolled retirement under epoch reclamation. Draining
+/// `[20, 30]` empties the right fat node, which retires the node *and*
+/// its frozen image into the global collector while the main thread is
+/// mid-traversal; the grace period must keep the node's instrumented
+/// atomics alive until the reader unpins (premature frees hit the
+/// checker's use-after-free tombstones).
+#[test]
+fn unrolled_epoch_retire_during_traversal() {
+    let report = builder(1)
+        .on_reset(crossbeam_epoch::interleave_reset)
+        .check(|| {
+            let set = Arc::new(UnrolledList::<i64, 2, EpochReclaim>::new());
+            {
+                let mut h = set.handle();
+                for k in [10, 20, 30] {
+                    assert!(h.add(k));
+                }
+            }
+            let s2 = Arc::clone(&set);
+            let t = interleave::thread::spawn(move || {
+                let mut h = s2.handle();
+                let a = h.remove(20);
+                let b = h.remove(30);
+                // Drive collection so frees happen while the reader may
+                // still be pinned mid-traversal.
+                crossbeam_epoch::pin().flush();
+                (a, b)
+            });
+            let seen = {
+                let mut h = set.handle();
+                (h.contains(10), h.contains(30))
+            };
+            let (a, b) = t.join().unwrap();
+            assert!(a && b, "both removes must win");
+            assert!(seen.0, "10 is never removed; traversal must see it");
+            let mut set = Arc::into_inner(set).expect("all handles dropped");
+            set.check_invariants().unwrap();
+            assert_eq!(set.collect_keys(), vec![10]);
+        });
+    accept("unrolled_epoch_retire_during_traversal", report);
 }
 
 /// Protocol 4: the elastic seal → activity-slot drain handshake. A

@@ -7,11 +7,14 @@
 use proptest::prelude::*;
 
 use pragmatic_list::elastic::{ElasticMap, ElasticSet, LoadPolicy};
+use pragmatic_list::reclaim::{ArenaReclaim, EpochReclaim, HazardReclaim};
 use pragmatic_list::sharded::{ShardedMap, ShardedSet};
+use pragmatic_list::unrolled::UnrolledList;
 use pragmatic_list::variants::{
     CursorOnlyList, DoublyBackptrList, DoublyCursorEpochList, DoublyCursorList, DoublyHintedList,
     DraconicList, SinglyCursorList, SinglyEpochList, SinglyFetchOrEpochList, SinglyFetchOrList,
-    SinglyHintedList, SinglyHpList, SinglyMildList,
+    SinglyHintedList, SinglyHpList, SinglyMildList, UnrolledArenaList, UnrolledEpochList,
+    UnrolledHintedList, UnrolledHpList,
 };
 use pragmatic_list::{ConcurrentOrderedSet, EpochList, OrderedHandle, SetHandle};
 use seq_list::{DoublySeqList, SeqOrderedSet, SinglySeqList};
@@ -21,6 +24,15 @@ type ShardedSkiplist8 = ShardedSet<i64, lockfree_skiplist::SkipListSet<i64>, 8>;
 type ShardedEpoch8 = ShardedSet<i64, pragmatic_list::variants::SinglyCursorEpochList<i64>, 8>;
 type ElasticSingly = ElasticSet<i64, SinglyCursorList<i64>>;
 type ElasticSkiplist = ElasticSet<i64, lockfree_skiplist::SkipListSet<i64>>;
+
+// CAP = 2 is the unrolled list's adversarial configuration: a node fills
+// after two inserts, so median splits fire on nearly every third add and
+// any remove-heavy stretch empties (and unlinks) nodes — the tape forces
+// the split and unlink protocols mid-run instead of only at the margins.
+type UnrolledTiny = UnrolledList<i64, 2>;
+type UnrolledTinyHinted = UnrolledList<i64, 2, ArenaReclaim, 8>;
+type UnrolledTinyEpoch = UnrolledList<i64, 2, EpochReclaim>;
+type UnrolledTinyHp = UnrolledList<i64, 2, HazardReclaim>;
 
 /// A policy that lets the elastic differential tests split tiny shards.
 fn splittable() -> LoadPolicy {
@@ -418,6 +430,20 @@ fn scans_stay_consistent_under_churn_sharded_epoch() {
 }
 
 #[test]
+fn scans_stay_consistent_under_churn_sharded_unrolled() {
+    // Eligibility: the unrolled list slots into the sharded router like
+    // any other `ConcurrentOrderedSet` backend.
+    scan_under_churn::<ShardedSet<i64, UnrolledArenaList<i64>, 8>>();
+}
+
+#[test]
+fn scans_stay_consistent_under_churn_elastic_unrolled() {
+    // Eligibility: elastic migrations drain and rebuild unrolled shards
+    // while readers scan.
+    scan_under_churn::<ElasticSet<i64, UnrolledArenaList<i64>>>();
+}
+
+#[test]
 fn scans_stay_consistent_under_churn_elastic_singly() {
     // The default policy's monitor runs off op counts, so the sustained
     // churn makes real splits fire *during* the readers' scans: the
@@ -429,6 +455,44 @@ fn scans_stay_consistent_under_churn_elastic_singly() {
 #[test]
 fn scans_stay_consistent_under_churn_elastic_skiplist() {
     scan_under_churn::<ElasticSkiplist>();
+}
+
+#[test]
+fn scans_stay_consistent_under_churn_unrolled() {
+    scan_under_churn::<UnrolledArenaList<i64>>();
+}
+
+#[test]
+fn scans_stay_consistent_under_churn_unrolled_tiny() {
+    // CAP = 2: the churn band splits and empties fat nodes continuously,
+    // so the readers' scans cross freeze/mark/splice transitions on
+    // nearly every pass.
+    scan_under_churn::<UnrolledTiny>();
+}
+
+#[test]
+fn scans_stay_consistent_under_churn_unrolled_hint() {
+    scan_under_churn::<UnrolledHintedList<i64>>();
+}
+
+#[test]
+fn scans_stay_consistent_under_churn_unrolled_tiny_hint() {
+    // Hints park fat-node pointers while CAP = 2 marks and replaces
+    // those very nodes at churn speed: stale hints must fall back, never
+    // misroute a scan.
+    scan_under_churn::<UnrolledTinyHinted>();
+}
+
+#[test]
+fn scans_stay_consistent_under_churn_unrolled_epoch() {
+    scan_under_churn::<UnrolledTinyEpoch>();
+}
+
+#[test]
+fn scans_stay_consistent_under_churn_unrolled_hp() {
+    // Hazard pointers route scans through the protected traversal, which
+    // must help pending splices instead of dereferencing frozen images.
+    scan_under_churn::<UnrolledTinyHp>();
 }
 
 /// The `ShardedMap` weak-consistency contract under churn, with the key
@@ -600,6 +664,51 @@ proptest! {
         check_batches_against_btreeset::<lockfree_skiplist::SkipListSet<i64>>(&tape);
     }
 
+    /// The unrolled fat-node list replays arbitrary tapes against the
+    /// sequential oracle. CAP = 2 keeps every tape on the split and
+    /// empty-unlink paths; the default CAP exercises in-run edits, and
+    /// the reclaimer instantiations pay real retirement per replaced run
+    /// image and unlinked node.
+    #[test]
+    fn unrolled_variants_match_oracle(tape in proptest::collection::vec(step_strategy(32), 1..400)) {
+        check_against_oracle::<UnrolledTiny>(&tape);
+        check_against_oracle::<UnrolledArenaList<i64>>(&tape);
+        check_against_oracle::<UnrolledHintedList<i64>>(&tape);
+        check_against_oracle::<UnrolledTinyEpoch>(&tape);
+        check_against_oracle::<UnrolledTinyHp>(&tape);
+        check_against_oracle::<UnrolledEpochList<i64>>(&tape);
+        check_against_oracle::<UnrolledHpList<i64>>(&tape);
+    }
+
+    /// Unrolled batched ops: the per-owner merge must produce exactly
+    /// the oracle's success counts even when a single CAS absorbs many
+    /// keys, splits a full node, or empties one (batch removal installs
+    /// the frozen empty image and the mark in one step).
+    #[test]
+    fn unrolled_batch_ops_match_btreeset(tape in proptest::collection::vec(batch_step_strategy(48, 12), 1..80)) {
+        check_batches_against_btreeset::<UnrolledTiny>(&tape);
+        check_batches_against_btreeset::<UnrolledArenaList<i64>>(&tape);
+        check_batches_against_btreeset::<UnrolledHintedList<i64>>(&tape);
+        check_batches_against_btreeset::<UnrolledTinyEpoch>(&tape);
+        check_batches_against_btreeset::<UnrolledTinyHp>(&tape);
+    }
+
+    /// Quiescent unrolled scans are exact against `BTreeSet`: stitching
+    /// windows across run boundaries (and, at CAP = 2, across the
+    /// freshest split points) must agree on every window shape.
+    #[test]
+    fn unrolled_range_scans_match_btreeset_exactly_when_quiescent(
+        tape in proptest::collection::vec(step_strategy(64), 1..300),
+        lo in 1i64..=64,
+        span in 0i64..32,
+    ) {
+        check_scans_against_btreeset::<UnrolledTiny>(&tape, lo, span);
+        check_scans_against_btreeset::<UnrolledArenaList<i64>>(&tape, lo, span);
+        check_scans_against_btreeset::<UnrolledHintedList<i64>>(&tape, lo, span);
+        check_scans_against_btreeset::<UnrolledTinyEpoch>(&tape, lo, span);
+        check_scans_against_btreeset::<UnrolledTinyHp>(&tape, lo, span);
+    }
+
     /// Batched ops through the sharded router, keys spread across
     /// shards so the sorted batch splits into several per-shard runs.
     #[test]
@@ -635,6 +744,7 @@ proptest! {
             .collect();
         check_elastic_with_forced_migrations::<SinglyCursorList<i64>>(&spread_tape, split_every);
         check_elastic_with_forced_migrations::<lockfree_skiplist::SkipListSet<i64>>(&spread_tape, split_every);
+        check_elastic_with_forced_migrations::<UnrolledTiny>(&spread_tape, split_every);
     }
 
     /// `ElasticMap` against the `BTreeMap` oracle with splits forced

@@ -30,7 +30,7 @@ fn readme_lists_every_variant_key() {
 fn readme_documents_every_parse_group_name() {
     let readme = read_doc("README.md");
     for group in [
-        "all", "paper", "sparc", "figures", "reclaim", "sharded", "hotpath", "elastic",
+        "all", "paper", "sparc", "figures", "reclaim", "sharded", "hotpath", "elastic", "unroll",
     ] {
         assert!(
             Variant::parse_group(group).is_some(),

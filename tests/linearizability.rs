@@ -141,6 +141,35 @@ fn doubly_cursor_epoch_is_linearizable() {
 }
 
 #[test]
+fn unrolled_is_linearizable() {
+    assert_variant_linearizable::<pragmatic_list::variants::UnrolledArenaList<i64>>();
+}
+
+#[test]
+fn unrolled_tiny_cap_is_linearizable() {
+    // CAP = 2 over a 6-key space: median splits and empty-node unlinks
+    // fire constantly under the 4-thread contention, so the histories
+    // cross the freeze/mark/splice protocol rather than staying inside
+    // single-run CAS edits.
+    assert_variant_linearizable::<pragmatic_list::unrolled::UnrolledList<i64, 2>>();
+}
+
+#[test]
+fn unrolled_hint_is_linearizable() {
+    assert_variant_linearizable::<pragmatic_list::variants::UnrolledHintedList<i64>>();
+}
+
+#[test]
+fn unrolled_epoch_is_linearizable() {
+    assert_variant_linearizable::<pragmatic_list::variants::UnrolledEpochList<i64>>();
+}
+
+#[test]
+fn unrolled_hp_is_linearizable() {
+    assert_variant_linearizable::<pragmatic_list::variants::UnrolledHpList<i64>>();
+}
+
+#[test]
 fn skiplist_mild_is_linearizable() {
     assert_variant_linearizable::<lockfree_skiplist::SkipListSet<i64>>();
 }
