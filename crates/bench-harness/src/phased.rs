@@ -111,6 +111,16 @@ pub struct PhasedResult {
     pub total: RunResult,
 }
 
+/// The per-phase and aggregate latency outcome of one sampled phased
+/// run (see [`run_sampled`]).
+#[derive(Debug, Clone)]
+pub struct PhasedLatency {
+    /// One merged histogram per phase, in phase order.
+    pub phases: Vec<crate::latency::LatencyHistogram>,
+    /// All phases merged: the whole run's distribution.
+    pub total: crate::latency::LatencyHistogram,
+}
+
 /// Prefills `list` with `cfg.prefill` distinct keys, hottest ranks of
 /// the *first* phase first (with linear probing past hash collisions,
 /// as the static Zipfian prefill).
@@ -239,6 +249,117 @@ pub fn run_prebuilt<S: ConcurrentOrderedSet<i64>>(list: &S, cfg: &PhasedConfig) 
         threads: cfg.threads,
     };
     PhasedResult { phases, total }
+}
+
+/// Phased run with every `sample_every`-th operation timed, on a fresh
+/// instance of `S` — the phased analogue of
+/// [`crate::latency::run_sampled`]. The interesting object is the
+/// *per-phase* histogram: a phase whose hotspot lands on a new shard is
+/// where the elastic sets seal, migrate and (for the morphing variant)
+/// rebuild backends, and those stalls appear in that phase's p99 while
+/// the mean throughput hides them.
+///
+/// Throughput is *not* reported (probe overhead perturbs it — use
+/// [`run`] for that).
+pub fn run_sampled<S: ConcurrentOrderedSet<i64>>(
+    cfg: &PhasedConfig,
+    sample_every: u64,
+) -> PhasedLatency {
+    let list = S::new();
+    run_sampled_prebuilt(&list, cfg, sample_every)
+}
+
+/// [`run_sampled`] on a caller-built `list` (assumed empty: the prefill
+/// runs here), mirroring [`run_prebuilt`] for policy ablations.
+pub fn run_sampled_prebuilt<S: ConcurrentOrderedSet<i64>>(
+    list: &S,
+    cfg: &PhasedConfig,
+    sample_every: u64,
+) -> PhasedLatency {
+    use crate::latency::LatencyHistogram;
+    assert!(cfg.threads > 0, "at least one thread");
+    assert!(sample_every > 0, "sampling period must be positive");
+    assert!(!cfg.phases.is_empty(), "at least one phase");
+    for p in &cfg.phases {
+        assert!(p.mix.is_valid(), "phase mix must sum to 100");
+        assert!((0.0..1.0).contains(&p.theta), "phase θ must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p.hotspot),
+            "phase hotspot must be in [0, 1)"
+        );
+    }
+    assert!(cfg.key_range > 0);
+    prefill(list, cfg);
+    let samplers: Vec<Zipfian> = cfg
+        .phases
+        .iter()
+        .map(|p| Zipfian::new(cfg.key_range as u64, p.theta))
+        .collect();
+
+    // No main-thread wall measurement, so the barrier spans workers only
+    // (each phase boundary must still be a global event: the histogram
+    // of phase i must not absorb probes taken under phase i+1's mix).
+    let barrier = Barrier::new(cfg.threads);
+    let per_phase_hists = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let list = &list;
+                let barrier = &barrier;
+                let samplers = &samplers;
+                let cfg = &cfg;
+                scope.spawn(move || {
+                    let mut h = list.handle();
+                    let mut rng = GlibcRandom::new(thread_seed(cfg.seed, t));
+                    let mut per_phase: Vec<LatencyHistogram> = Vec::with_capacity(cfg.phases.len());
+                    for (pi, phase) in cfg.phases.iter().enumerate() {
+                        barrier.wait(); // phase start
+                        let zipf = &samplers[pi];
+                        let mut hist = LatencyHistogram::new();
+                        let add_bound = phase.mix.add;
+                        let rem_bound = phase.mix.add + phase.mix.remove;
+                        for i in 0..phase.ops_per_thread {
+                            let op = rng.below(100);
+                            let key = cfg.key_of(phase, zipf.sample(&mut rng));
+                            let probe = i % sample_every == 0;
+                            let start = probe.then(Instant::now);
+                            if op < add_bound {
+                                h.add(key);
+                            } else if op < rem_bound {
+                                h.remove(key);
+                            } else {
+                                h.contains(key);
+                            }
+                            if let Some(s) = start {
+                                hist.record(s.elapsed().as_nanos() as u64);
+                            }
+                        }
+                        per_phase.push(hist);
+                    }
+                    per_phase
+                })
+            })
+            .collect();
+        let per_thread: Vec<Vec<LatencyHistogram>> =
+            workers.into_iter().map(|w| w.join().unwrap()).collect();
+        (0..cfg.phases.len())
+            .map(|pi| {
+                let mut merged = LatencyHistogram::new();
+                for thread in &per_thread {
+                    merged.merge(&thread[pi]);
+                }
+                merged
+            })
+            .collect::<Vec<_>>()
+    });
+
+    let mut total = crate::latency::LatencyHistogram::new();
+    for h in &per_phase_hists {
+        total.merge(h);
+    }
+    PhasedLatency {
+        phases: per_phase_hists,
+        total,
+    }
 }
 
 #[cfg(test)]
@@ -384,5 +505,50 @@ mod tests {
     fn empty_phase_list_panics() {
         let c = cfg(1, vec![]);
         run::<SinglyCursorList<i64>>(&c);
+    }
+
+    #[test]
+    fn sampled_run_counts_probes_per_phase() {
+        let c = cfg(2, vec![phase(0.0, 0.9, 800), phase(0.5, 0.5, 400)]);
+        let lat = run_sampled::<SinglyCursorList<i64>>(&c, 10);
+        assert_eq!(lat.phases.len(), 2);
+        // Every 10th of 800 (resp. 400) ops per thread, two threads.
+        assert_eq!(lat.phases[0].count(), 2 * 80);
+        assert_eq!(lat.phases[1].count(), 2 * 40);
+        assert_eq!(
+            lat.total.count(),
+            lat.phases.iter().map(|h| h.count()).sum::<u64>(),
+            "the aggregate is the per-phase merge"
+        );
+        assert!(lat.total.max_ns() > 0);
+        for h in &lat.phases {
+            assert!(h.quantile_ns(0.99) >= h.quantile_ns(0.5));
+        }
+    }
+
+    #[test]
+    fn sampled_run_drives_elastic_migrations_too() {
+        // The sampled driver must exercise the same drift the throughput
+        // driver does: a marching hotspot still trips the load monitor,
+        // so the per-phase percentiles genuinely contain seal/migrate
+        // stalls rather than a statically partitioned fast path.
+        let c = PhasedConfig {
+            threads: 2,
+            prefill: 1_000,
+            key_range: 4_000,
+            seed: 7,
+            phases: (0..5).map(|i| phase(i as f64 * 0.2, 0.9, 4_000)).collect(),
+        };
+        let set = ElasticSet::<i64, SinglyCursorList<i64>>::with_policy(LoadPolicy {
+            check_period: 256,
+            window_min_ops: 1_024,
+            min_split_keys: 8,
+            ..LoadPolicy::default()
+        });
+        let lat = run_sampled_prebuilt(&set, &c, 16);
+        assert_eq!(lat.phases.len(), 5);
+        assert!(set.splits() > 0, "drift must trip the load monitor");
+        let mut set = set;
+        set.check_invariants().unwrap();
     }
 }

@@ -12,7 +12,7 @@
 //! [`ConcurrentOrderedSet`]: pragmatic_list::ConcurrentOrderedSet
 
 use lockfree_skiplist::SkipListSet;
-use pragmatic_list::elastic::ElasticSet;
+use pragmatic_list::elastic::{ElasticMorphSet, ElasticSet};
 use pragmatic_list::sharded::ShardedSet;
 use pragmatic_list::variants::{
     CursorOnlyList, DoublyBackptrList, DoublyCursorEpochList, DoublyCursorList, DoublyHintedList,
@@ -95,6 +95,11 @@ pub enum Variant {
     /// Unrolled extension under epoch reclamation: fat nodes *and*
     /// replaced run images drain through crossbeam-epoch.
     UnrolledEpoch,
+    /// Elastic extension: the RCU-routed elastic set whose shards
+    /// *morph* backend type at seal time — hinted list, unrolled, or
+    /// skiplist per shard, chosen by `LoadPolicy` from the shard's
+    /// population.
+    ElasticMorph,
 }
 
 /// A computation that is generic over the list implementation.
@@ -140,7 +145,7 @@ pub trait VariantVisitor {
 impl Variant {
     /// All variants: paper order a)–f), then the ablation, reclamation,
     /// skiplist and sharding extensions.
-    pub const ALL: [Variant; 25] = [
+    pub const ALL: [Variant; 26] = [
         Variant::Draconic,
         Variant::Singly,
         Variant::Doubly,
@@ -166,6 +171,7 @@ impl Variant {
         Variant::Unrolled,
         Variant::UnrolledHinted,
         Variant::UnrolledEpoch,
+        Variant::ElasticMorph,
     ];
 
     /// The six variants of the paper, in table order a)–f).
@@ -230,13 +236,14 @@ impl Variant {
     /// fixed shards), and the elastic sets. `repro drift --variants
     /// elastic` quantifies what load-aware resharding buys over any
     /// fixed partition under a moving hotspot.
-    pub const ELASTIC: [Variant; 6] = [
+    pub const ELASTIC: [Variant; 7] = [
         Variant::SinglyCursor,
         Variant::ShardedSingly,
         Variant::ShardedSingly32,
         Variant::Elastic,
         Variant::ShardedSkiplist,
         Variant::ElasticSkiplist,
+        Variant::ElasticMorph,
     ];
 
     /// The sharding sweep: unsharded baselines next to their
@@ -309,6 +316,7 @@ impl Variant {
             Variant::Unrolled => visitor.visit::<UnrolledArenaList<i64>>(),
             Variant::UnrolledHinted => visitor.visit::<UnrolledHintedList<i64>>(),
             Variant::UnrolledEpoch => visitor.visit::<UnrolledEpochList<i64>>(),
+            Variant::ElasticMorph => visitor.visit::<ElasticMorphSet<i64, SkipListSet<i64>>>(),
         }
     }
 
@@ -355,7 +363,7 @@ impl Variant {
             .filter(|&&v| v != Variant::CursorOnly)
             .position(|&v| v == self)
             .expect("every variant appears in Variant::ALL");
-        assert!(idx < 25, "letter space exhausted — extend the scheme");
+        assert!(idx < 26, "letter space exhausted — extend the scheme");
         let mut c = b'a' + idx as u8;
         if c >= b'x' {
             // 'x' is reserved for the cursor-only ablation row.
@@ -392,6 +400,7 @@ impl Variant {
             Variant::Unrolled => "unrolled k16",
             Variant::UnrolledHinted => "unrolled-hint k16",
             Variant::UnrolledEpoch => "unrolled-epoch k16",
+            Variant::ElasticMorph => "elastic-morph",
         }
     }
 
@@ -436,6 +445,7 @@ impl Variant {
             "unrolled" => Variant::Unrolled,
             "unrolled_hint" => Variant::UnrolledHinted,
             "unrolled_epoch" => Variant::UnrolledEpoch,
+            "elastic_morph" => Variant::ElasticMorph,
             _ => return None,
         })
     }
@@ -531,6 +541,7 @@ mod tests {
             Variant::parse("unrolled_epoch"),
             Some(Variant::UnrolledEpoch)
         );
+        assert_eq!(Variant::parse("elastic-morph"), Some(Variant::ElasticMorph));
     }
 
     #[test]
@@ -594,6 +605,7 @@ mod tests {
         assert_eq!(Variant::UnrolledHinted.letter(), 'w');
         // 'x' is reserved, so the sequence jumps to 'y'.
         assert_eq!(Variant::UnrolledEpoch.letter(), 'y');
+        assert_eq!(Variant::ElasticMorph.letter(), 'z');
         // No duplicates, ever — this is what hardcoded tables got wrong.
         let mut letters: Vec<char> = Variant::ALL.iter().map(|v| v.letter()).collect();
         letters.sort_unstable();
@@ -609,18 +621,19 @@ mod tests {
 
     #[test]
     fn paper_sets_have_expected_sizes() {
-        assert_eq!(Variant::ALL.len(), 25);
+        assert_eq!(Variant::ALL.len(), 26);
         assert_eq!(Variant::PAPER.len(), 6);
         assert_eq!(Variant::SPARC.len(), 5);
         assert_eq!(Variant::RECLAIM.len(), 9);
         assert_eq!(Variant::SHARDED.len(), 7);
         assert_eq!(Variant::HOTPATH.len(), 5);
-        assert_eq!(Variant::ELASTIC.len(), 6);
+        assert_eq!(Variant::ELASTIC.len(), 7);
         assert_eq!(Variant::UNROLLED.len(), 5);
         assert!(Variant::UNROLLED.contains(&Variant::UnrolledHinted));
         assert!(Variant::UNROLLED.contains(&Variant::SinglyHinted));
         assert!(Variant::UNROLLED.contains(&Variant::Skiplist));
         assert!(Variant::ELASTIC.contains(&Variant::Elastic));
+        assert!(Variant::ELASTIC.contains(&Variant::ElasticMorph));
         assert!(Variant::ELASTIC.contains(&Variant::ShardedSingly32));
         assert!(Variant::HOTPATH.contains(&Variant::SinglyHinted));
         assert!(!Variant::PAPER.contains(&Variant::SinglyHinted));
@@ -650,6 +663,7 @@ mod tests {
             vec!["all", "hotpath", "unroll"]
         );
         assert_eq!(Variant::Elastic.groups(), vec!["all", "elastic"]);
+        assert_eq!(Variant::ElasticMorph.groups(), vec!["all", "elastic"]);
         assert_eq!(Variant::Unrolled.groups(), vec!["all", "unroll"]);
         assert_eq!(Variant::UnrolledEpoch.groups(), vec!["all", "unroll"]);
         assert_eq!(
@@ -673,6 +687,7 @@ mod tests {
         assert_eq!(Variant::Unrolled.name(), "unrolled");
         assert_eq!(Variant::UnrolledHinted.name(), "unrolled_hint");
         assert_eq!(Variant::UnrolledEpoch.name(), "unrolled_epoch");
+        assert_eq!(Variant::ElasticMorph.name(), "elastic_morph");
     }
 
     #[test]

@@ -183,6 +183,26 @@ impl Workload for LatencySampled {
     }
 }
 
+/// The phased workload with every `sample_every`-th operation timed
+/// (see [`crate::phased::run_sampled`]): per-phase tail latency, the
+/// view that exposes what an elastic seal/migrate/morph costs when the
+/// hotspot lands on it.
+#[derive(Debug, Clone)]
+pub struct PhasedLatencySampled {
+    /// The underlying phased parameters.
+    pub cfg: crate::phased::PhasedConfig,
+    /// Sampling period (1 = time every operation).
+    pub sample_every: u64,
+}
+
+impl Workload for PhasedLatencySampled {
+    type Output = crate::phased::PhasedLatency;
+
+    fn run<S: ConcurrentOrderedSet<i64>>(&self) -> crate::phased::PhasedLatency {
+        crate::phased::run_sampled::<S>(&self.cfg, self.sample_every)
+    }
+}
+
 /// The Zipfian mix with every `sample_every`-th operation timed
 /// (see [`crate::zipfian::run_sampled`]): skewed-traffic tail latency.
 #[derive(Debug, Clone, Copy)]

@@ -37,7 +37,7 @@ use std::process::ExitCode;
 
 use bench_harness::presets::{Experiment, Scale, WorkloadSpec};
 use bench_harness::report::{self, BenchJsonRow};
-use bench_harness::{scalability, LatencySampled, Variant};
+use bench_harness::{scalability, LatencySampled, PhasedLatencySampled, Variant};
 
 struct Options {
     scale: Scale,
@@ -586,7 +586,19 @@ fn run_experiment(exp: Experiment, opt: &Options) {
                     p.hotspot, p.theta, p.mix.add, p.mix.remove, p.mix.contains, p.ops_per_thread
                 );
             }
+            // Throughput pass (unsampled), then a latency pass with
+            // every 16th op timed: probe overhead perturbs throughput,
+            // so the two must not share a run. The percentiles fill the
+            // p50_ns/p99_ns columns of BENCH_<id>.json, and the
+            // per-phase histograms go to BENCH_<id>_lat.json — the view
+            // where a phase whose hotspot lands on a sealing/morphing
+            // shard shows the stall in its p99.
+            let latency = PhasedLatencySampled {
+                cfg: cfg.clone(),
+                sample_every: 16,
+            };
             let mut rows = Vec::new();
+            let mut lat_rows: Vec<BenchJsonRow> = Vec::new();
             for v in variants {
                 let r = v.run(&cfg);
                 for (i, p) in r.phases.iter().enumerate() {
@@ -603,11 +615,50 @@ fn run_experiment(exp: Experiment, opt: &Options) {
                     r.total.time_ms(),
                     r.total.kops_per_sec()
                 );
+                let lat = v.run(&latency);
+                let (p50, _, p99, _, max) = lat.total.summary();
+                println!(
+                    "   {:<26} latency  p50 {p50} ns  p99 {p99} ns  max {max} ns",
+                    v.paper_label()
+                );
+                // Zero wall = "throughput not measured" on latency rows,
+                // as in `repro latency`; `<variant>@p<i>` rows carry the
+                // per-phase tail, the plain row the whole-run aggregate.
+                let lat_result = |name: String, ops: u64| bench_harness::RunResult {
+                    variant: name,
+                    wall: std::time::Duration::ZERO,
+                    total_ops: ops,
+                    stats: bench_harness::OpStats::ZERO,
+                    threads: cfg.threads,
+                };
+                for (i, (h, p)) in lat.phases.iter().zip(cfg.phases.iter()).enumerate() {
+                    lat_rows.push(BenchJsonRow {
+                        p50_ns: Some(h.quantile_ns(0.5)),
+                        p99_ns: Some(h.quantile_ns(0.99)),
+                        ..BenchJsonRow::at_theta(
+                            lat_result(
+                                format!("{}@p{i}", v.name()),
+                                p.ops_per_thread * cfg.threads as u64,
+                            ),
+                            p.theta,
+                        )
+                    });
+                }
+                lat_rows.push(BenchJsonRow {
+                    p50_ns: Some(p50),
+                    p99_ns: Some(p99),
+                    ..BenchJsonRow::plain(lat_result(v.name().to_string(), cfg.total_ops()))
+                });
+                json_rows.push(BenchJsonRow {
+                    p50_ns: Some(p50),
+                    p99_ns: Some(p99),
+                    ..BenchJsonRow::plain(r.total.clone())
+                });
                 rows.push(r.total);
             }
-            json_rows.extend(rows.iter().cloned().map(BenchJsonRow::plain));
             println!("\n{}", report::format_table(exp.id, &rows));
             append_csv(opt, &report::results_csv(&rows));
+            write_bench_json(opt, &format!("{}_lat", exp.id), &lat_rows);
         }
         WorkloadSpec::BatchMix(mut cfg) => {
             if let Some(t) = opt.threads {

@@ -32,7 +32,9 @@
 #![warn(rust_2018_idioms)]
 
 use std::marker::PhantomData;
-use std::sync::atomic::Ordering::{AcqRel, Acquire};
+use std::sync::atomic::AtomicI64;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
+use std::sync::{Arc, Mutex};
 
 use glibc_rand::GlibcRandom;
 use pragmatic_list::arena::{LocalArena, Registry};
@@ -94,6 +96,12 @@ pub struct SkipList<K: Key, const MILD: bool> {
     head: *mut SkipNode<K>,
     tail: *mut SkipNode<K>,
     registry: Registry<SkipNode<K>>,
+    /// Per-handle live-item counter slots (same idiom as the flat
+    /// lists' `LiveSlots`): each slot is written only by its owning
+    /// handle, so `len_estimate` is an O(handles) sum instead of an
+    /// O(n) bottom-level walk — which matters once the elastic morph
+    /// sweep polls every shard's size each load window.
+    live: Mutex<Vec<Arc<pragmatic_list::CachePadded<AtomicI64>>>>,
 }
 
 /// The mild-improvement skiplist (recommended).
@@ -219,6 +227,7 @@ impl<K: Key, const MILD: bool> ConcurrentOrderedSet<K> for SkipList<K, MILD> {
             head,
             tail,
             registry: Registry::new(),
+            live: Mutex::new(Vec::new()),
         }
     }
 
@@ -227,8 +236,23 @@ impl<K: Key, const MILD: bool> ConcurrentOrderedSet<K> for SkipList<K, MILD> {
         // counter keeps streams distinct across threads and lists.
         static HANDLE_SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(1);
         let seq = HANDLE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Claim a live-counter slot: an orphaned one (no other owner)
+        // when available, a fresh one otherwise — slots outlive their
+        // handles so the residual net count keeps contributing.
+        let live = {
+            let mut slots = self.live.lock().unwrap();
+            match slots.iter().find(|s| Arc::strong_count(s) == 1) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    let slot = Arc::new(pragmatic_list::CachePadded(AtomicI64::new(0)));
+                    slots.push(Arc::clone(&slot));
+                    slot
+                }
+            }
+        };
         SkipListHandle {
             list: self,
+            live,
             preds: [std::ptr::null_mut(); MAX_LEVEL],
             succs: [std::ptr::null_mut(); MAX_LEVEL],
             rng: GlibcRandom::new(glibc_rand::thread_seed(0x5EED_4B1D, seq)),
@@ -252,6 +276,10 @@ impl<K: Key, const MILD: bool> ConcurrentOrderedSet<K> for SkipList<K, MILD> {
 /// allocation log.
 pub struct SkipListHandle<'l, K: Key, const MILD: bool> {
     list: &'l SkipList<K, MILD>,
+    /// This handle's cache-padded live-item counter slot (successful
+    /// adds minus successful removes); single-writer, so bumps are a
+    /// plain load+store on an exclusively-held line.
+    live: Arc<pragmatic_list::CachePadded<AtomicI64>>,
     preds: [*mut SkipNode<K>; MAX_LEVEL],
     succs: [*mut SkipNode<K>; MAX_LEVEL],
     rng: GlibcRandom,
@@ -267,6 +295,14 @@ impl<'l, K: Key, const MILD: bool> Drop for SkipListHandle<'l, K, MILD> {
 }
 
 impl<'l, K: Key, const MILD: bool> SkipListHandle<'l, K, MILD> {
+    /// Single-writer bump of this handle's live counter.
+    #[inline]
+    fn live_bump(&self, delta: i64) {
+        self.live
+            .0
+            .store(self.live.0.load(Relaxed) + delta, Relaxed);
+    }
+
     /// Geometric tower height with p = 1/2 (number of trailing ones of a
     /// 31-bit uniform draw), capped at `MAX_LEVEL`.
     fn random_height(&mut self) -> usize {
@@ -359,6 +395,7 @@ impl<'l, K: Key, const MILD: bool> SkipListHandle<'l, K, MILD> {
                     continue;
                 }
                 self.stats.adds += 1;
+                self.live_bump(1);
                 // Link the upper levels, refreshing the search on each
                 // conflict. If our node gets deleted concurrently while
                 // we are still linking, stop — the searches unlink
@@ -446,6 +483,7 @@ impl<'l, K: Key, const MILD: bool> SkipListHandle<'l, K, MILD> {
                         // Physical unlink through a fresh search.
                         self.find(key);
                         self.stats.rems += 1;
+                        self.live_bump(-1);
                         return true;
                     }
                     Err(observed) => {
@@ -549,20 +587,19 @@ impl<'l, K: Key, const MILD: bool> OrderedHandle<K> for SkipListHandle<'l, K, MI
     }
 
     fn len_estimate(&mut self) -> usize {
-        // Racy bottom-level count (exact when quiescent).
-        let mut n = 0;
-        // SAFETY: arena-stable nodes.
-        unsafe {
-            let tail = self.list.tail;
-            let mut curr = (&(*self.list.head).levels)[0].load(Acquire).ptr();
-            while curr != tail {
-                if !(&(*curr).levels)[0].load(Acquire).is_marked() {
-                    n += 1;
-                }
-                curr = (&(*curr).levels)[0].load(Acquire).ptr();
-            }
-        }
-        n
+        // O(handles) sum of the per-handle live counters — exact when
+        // quiescent, an estimate under concurrency (same contract as
+        // the bottom-level walk it replaces, without the O(n) cost the
+        // elastic morph sweep would otherwise pay per load window).
+        let total: i64 = self
+            .list
+            .live
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|s| s.0.load(Relaxed))
+            .sum();
+        total.max(0) as usize
     }
 }
 
@@ -746,7 +783,14 @@ mod tests {
         });
         let mut s = s;
         s.validate().unwrap();
-        assert_eq!(totals.adds - totals.rems, s.to_vec().len() as u64);
+        let live = s.to_vec().len();
+        assert_eq!(totals.adds - totals.rems, live as u64);
+        let mut h = s.handle();
+        assert_eq!(
+            h.len_estimate(),
+            live,
+            "O(1) live counter is exact at quiescence"
+        );
     }
 
     #[test]

@@ -13,18 +13,25 @@
 //!
 //! The keyspace partition is a table of contiguous, ascending rank
 //! intervals (`[lo_i, lo_{i+1})` over [`ShardKey::rank64`]), each owning
-//! one backend shard. The table lives behind a mutex **off** the hot
-//! path; every per-thread handle keeps a private snapshot of it plus a
-//! cached backend handle per shard, and revalidates the snapshot with a
-//! single relaxed-cost atomic load of the router **version** per
-//! operation (seqlock-style: versions only grow, and a version match
-//! proves the snapshot current because installs bump the version while
-//! holding the same mutex the refresh takes).
+//! one backend shard. The table itself (`RouterTable`) is **immutable**
+//! and published RCU-style: one atomic pointer names the current table,
+//! and the hot-path revalidation is a single `Acquire` load of that
+//! pointer compared against the handle's snapshot — no mutex and no
+//! version handshake on lookup. The handle's snapshot is an `Arc` that
+//! pins the old allocation, so an address match proves identity (a
+//! recycled address would require this very snapshot to have been
+//! dropped first). Writers — split, merge, morph — serialize on a
+//! writer mutex **off** the read path, build a fresh table, and
+//! CAS-publish it with the `TABLE_PUBLISH` (`Release`) ordering from the
+//! `sync` facade; the displaced table retires through the
+//! same epoch domain as [`EpochReclaim`](crate::reclaim::EpochReclaim),
+//! so a reader that already loaded the old pointer finishes routing
+//! through it before the memory can be freed.
 //!
 //! # The migration protocol
 //!
-//! A split (or merge) of shard *S* proceeds in five steps, serialized by
-//! the router mutex:
+//! A split (or merge, or morph) of shard *S* proceeds in five steps,
+//! serialized by the writer mutex:
 //!
 //! 1. **Seal**: `S.sealed ← true` (SeqCst). From this instant, any
 //!    operation that routes to *S* observes the seal and stalls.
@@ -36,20 +43,37 @@
 //!    flight on *S* and none can start.
 //! 3. **Copy**: scan the now write-quiescent backend (exact) and bulk-load
 //!    the keys into fresh backends via the sorted batch path.
-//! 4. **Install**: replace *S*'s interval in the router table with the
-//!    sub-intervals and bump the version. Stalled and future operations
+//! 4. **Publish**: build a new table carrying the replacement intervals
+//!    and CAS-install its pointer (`TABLE_PUBLISH` = `Release`).
+//!    Stalled and future operations observe the changed pointer,
 //!    refresh, re-route and retry.
-//! 5. **Retire**: the old backend's `Arc` leaves the router; it is
-//!    dropped — running the backend's own teardown through its
-//!    [`Reclaimer`](crate::reclaim::Reclaimer) — as soon as the last
-//!    handle snapshot referencing it refreshes (handles always drop the
-//!    cached backend handle *before* releasing the backend, so parked
-//!    cursors and search hints die with the handle, never dangling).
+//! 5. **Retire**: the displaced table is deferred into the epoch
+//!    domain; once every reader that could still hold its pointer has
+//!    unpinned, it drops its shard `Arc`s. A decommissioned backend is
+//!    freed — running its own teardown through its
+//!    [`Reclaimer`](crate::reclaim::Reclaimer) — once the retired
+//!    tables collect *and* the last handle snapshot referencing it
+//!    refreshes (handles always drop the cached backend handle *before*
+//!    releasing the backend, so parked cursors and search hints die
+//!    with the handle, never dangling).
 //!
 //! Operations therefore never block on a mutex on the hot path, never
 //! lose an update to a migration, and `range()` scans stitch across old
 //! and new intervals (resuming strictly after the last emitted key, so a
 //! repartition mid-scan cannot duplicate or reorder output).
+//!
+//! # Backend morphing
+//!
+//! Because a migration already stops the world *for one shard* (seal →
+//! drain → copy), rebuilding the copy in a **different backend type**
+//! is free: [`ElasticMorphSet`] runs each shard as a [`MorphKind`] arm —
+//! a flat hinted list while the shard is small, an unrolled fat-node
+//! list in the middle, a skiplist (any caller-supplied ordered set) once
+//! the shard is large — chosen by [`LoadPolicy::morph_kind`] from the
+//! shard's population whenever a migration rebuilds it. The monitor
+//! additionally re-morphs the hottest shard when its population has
+//! drifted out of its arm's band, so one structure tracks the best
+//! backend across the whole size/skew spectrum instead of per-benchmark.
 //!
 //! # Load monitoring
 //!
@@ -85,7 +109,7 @@
 //! assert_eq!(h.len_estimate(), 200);
 //! ```
 
-use crate::sync::{AtomicBool, AtomicU64, Mutex, MutexGuard};
+use crate::sync::{AtomicBool, AtomicPtr, AtomicU64, Mutex, MutexGuard, TABLE_PUBLISH};
 use std::marker::PhantomData;
 use std::mem::ManuallyDrop;
 use std::ops::RangeBounds;
@@ -98,6 +122,7 @@ use crate::reclaim::str_eq;
 use crate::set::{ConcurrentOrderedSet, InvariantViolation, SetHandle};
 use crate::sharded::ShardKey;
 use crate::stats::{CachePadded, OpStats, WindowCounter};
+use crate::variants::{SinglyHintedList, UnrolledArenaList};
 
 /// Thresholds steering the elastic load monitor.
 ///
@@ -129,18 +154,28 @@ pub struct LoadPolicy {
     pub merge_share_pct: u32,
     /// Never split a shard holding fewer keys than this.
     pub min_split_keys: usize,
+    /// Largest population a morphing shard serves from the flat hinted
+    /// list arm; above this the unrolled arm takes over. Ignored by
+    /// single-backend sets.
+    pub morph_list_max: usize,
+    /// Population at which a morphing shard moves to the skiplist arm.
+    /// Must exceed [`morph_list_max`](LoadPolicy::morph_list_max).
+    /// Ignored by single-backend sets.
+    pub morph_skip_min: usize,
 }
 
 impl Default for LoadPolicy {
     fn default() -> Self {
         LoadPolicy {
             initial_shards: 8,
-            max_shards: 64,
-            check_period: 256,
-            window_min_ops: 1024,
-            split_share_pct: 20,
+            max_shards: 16,
+            check_period: 1024,
+            window_min_ops: 16384,
+            split_share_pct: 30,
             merge_share_pct: 1,
             min_split_keys: 16,
+            morph_list_max: 64,
+            morph_skip_min: 1024,
         }
     }
 }
@@ -154,7 +189,64 @@ impl LoadPolicy {
         );
         assert!(self.check_period >= 1);
         assert!(self.split_share_pct <= 100 && self.merge_share_pct <= 100);
+        assert!(
+            self.morph_skip_min > self.morph_list_max,
+            "morph arms must form disjoint population bands"
+        );
     }
+
+    /// The backend arm a morphing shard of `len` live keys should run.
+    /// Single-backend sets ([`ElasticSet`], [`ElasticMap`]) ignore it.
+    pub fn morph_kind(&self, len: usize) -> MorphKind {
+        if len >= self.morph_skip_min {
+            MorphKind::Skip
+        } else if len > self.morph_list_max {
+            MorphKind::Unrolled
+        } else {
+            MorphKind::List
+        }
+    }
+
+    /// Like [`morph_kind`](LoadPolicy::morph_kind), but with a
+    /// quarter-band hysteresis margin around the arm the shard already
+    /// runs: the shard only leaves `current` once its population is 25%
+    /// past the band boundary. Without the margin, a shard hovering at a
+    /// band edge — e.g. the two half-size children of a split landing
+    /// right at `morph_skip_min` — would re-morph (a full
+    /// seal/drain/rebuild) every load window.
+    pub fn morph_kind_settled(&self, len: usize, current: MorphKind) -> MorphKind {
+        let want = self.morph_kind(len);
+        if want == current {
+            return current;
+        }
+        let (lo, hi) = match current {
+            MorphKind::List => (0, self.morph_list_max),
+            MorphKind::Unrolled => (self.morph_list_max, self.morph_skip_min),
+            MorphKind::Skip => (self.morph_skip_min, usize::MAX),
+        };
+        // `lo - lo / 4` is 0 for the List arm, so a List shard never
+        // "leaves downward"; Skip's `hi` saturates, so it never leaves
+        // upward.
+        if len > hi.saturating_add(hi / 4) || len < lo - lo / 4 {
+            want
+        } else {
+            current
+        }
+    }
+}
+
+/// The backend arm a morphing shard currently runs (see
+/// [`ElasticMorphSet`] and [`LoadPolicy::morph_kind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MorphKind {
+    /// Flat hinted singly list: cheapest constant factors for small or
+    /// write-hot shards.
+    List,
+    /// Unrolled fat-node list: cache-dense middle ground.
+    Unrolled,
+    /// Skiplist (or any caller-supplied ordered set): log-cost search
+    /// for large shards.
+    Skip,
 }
 
 /// Stable CLI name for an `ElasticSet` instantiation (cf.
@@ -184,7 +276,23 @@ trait ElasticBackend<K: ShardKey>: Send + Sync + Sized + 'static {
     /// What a scan yields: `K` for sets, `(K, V)` for maps.
     type Item: Copy + Send + Sync + 'static;
 
+    /// `true` iff this backend can change arms when a migration
+    /// rebuilds it ([`MorphBackend`]); gates the monitor's morph pass
+    /// so single-backend sets never pay for it.
+    const MORPHS: bool = false;
+
     fn new() -> Self;
+    /// Builds a backend running arm `kind`; single-arm backends ignore
+    /// it.
+    fn new_kind(kind: MorphKind) -> Self {
+        let _ = kind;
+        Self::new()
+    }
+    /// The arm this backend currently runs (single-arm backends report
+    /// [`MorphKind::List`]).
+    fn kind(&self) -> MorphKind {
+        MorphKind::List
+    }
     fn handle(&self) -> Self::Handle<'_>;
     fn item_key(item: &Self::Item) -> K;
     /// Ordered scan of the live items inside `bounds`.
@@ -325,6 +433,145 @@ where
     }
 }
 
+/// The shard backend of [`ElasticMorphSet`]: one of three arms, chosen
+/// per shard by [`LoadPolicy::morph_kind`] whenever a migration
+/// (re)builds the shard. The skiplist arm is generic (`S`) because the
+/// skiplist crate sits *above* this one in the workspace; the benchmark
+/// harness plugs the real skiplist in.
+enum MorphBackend<K: ShardKey, S> {
+    List(SinglyHintedList<K>),
+    Unrolled(UnrolledArenaList<K>),
+    Skip(S),
+}
+
+/// Per-thread handle over one [`MorphBackend`] arm.
+enum MorphHandle<'a, K: ShardKey, S: ConcurrentOrderedSet<K> + 'a> {
+    List(<SinglyHintedList<K> as ConcurrentOrderedSet<K>>::Handle<'a>),
+    Unrolled(<UnrolledArenaList<K> as ConcurrentOrderedSet<K>>::Handle<'a>),
+    Skip(S::Handle<'a>),
+}
+
+/// Forwards one method call to whichever arm the handle runs.
+macro_rules! morph_delegate {
+    ($handle:expr, $h:ident => $body:expr) => {
+        match $handle {
+            MorphHandle::List($h) => $body,
+            MorphHandle::Unrolled($h) => $body,
+            MorphHandle::Skip($h) => $body,
+        }
+    };
+}
+
+impl<'a, K, S> MorphHandle<'a, K, S>
+where
+    K: ShardKey,
+    S: ConcurrentOrderedSet<K> + 'a,
+    for<'b> S::Handle<'b>: OrderedHandle<K>,
+{
+    fn add(&mut self, key: K) -> bool {
+        morph_delegate!(self, h => h.add(key))
+    }
+
+    fn remove(&mut self, key: K) -> bool {
+        morph_delegate!(self, h => h.remove(key))
+    }
+
+    fn contains(&mut self, key: K) -> bool {
+        morph_delegate!(self, h => h.contains(key))
+    }
+
+    fn add_batch(&mut self, keys: &mut [K]) -> usize {
+        morph_delegate!(self, h => h.add_batch(keys))
+    }
+
+    fn remove_batch(&mut self, keys: &mut [K]) -> usize {
+        morph_delegate!(self, h => h.remove_batch(keys))
+    }
+}
+
+impl<K, S> ElasticBackend<K> for MorphBackend<K, S>
+where
+    K: ShardKey,
+    S: ConcurrentOrderedSet<K> + 'static,
+    for<'a> S::Handle<'a>: OrderedHandle<K>,
+{
+    type Handle<'a>
+        = MorphHandle<'a, K, S>
+    where
+        Self: 'a;
+    type Item = K;
+
+    const MORPHS: bool = true;
+
+    fn new() -> Self {
+        Self::new_kind(MorphKind::List)
+    }
+
+    fn new_kind(kind: MorphKind) -> Self {
+        match kind {
+            MorphKind::List => MorphBackend::List(SinglyHintedList::new()),
+            MorphKind::Unrolled => MorphBackend::Unrolled(UnrolledArenaList::new()),
+            MorphKind::Skip => MorphBackend::Skip(S::new()),
+        }
+    }
+
+    fn kind(&self) -> MorphKind {
+        match self {
+            MorphBackend::List(_) => MorphKind::List,
+            MorphBackend::Unrolled(_) => MorphKind::Unrolled,
+            MorphBackend::Skip(_) => MorphKind::Skip,
+        }
+    }
+
+    fn handle(&self) -> MorphHandle<'_, K, S> {
+        match self {
+            MorphBackend::List(b) => MorphHandle::List(b.handle()),
+            MorphBackend::Unrolled(b) => MorphHandle::Unrolled(b.handle()),
+            MorphBackend::Skip(b) => MorphHandle::Skip(b.handle()),
+        }
+    }
+
+    fn item_key(item: &K) -> K {
+        *item
+    }
+
+    fn scan<'a>(handle: &mut MorphHandle<'a, K, S>, bounds: &ScanBounds<K>) -> Vec<K> {
+        morph_delegate!(handle, h => h.range(*bounds).into_vec())
+    }
+
+    fn load_sorted<'a>(handle: &mut MorphHandle<'a, K, S>, items: &mut [K]) {
+        morph_delegate!(handle, h => { h.add_batch(items); })
+    }
+
+    fn stats(handle: &MorphHandle<'_, K, S>) -> OpStats {
+        morph_delegate!(handle, h => h.stats())
+    }
+
+    fn drain_stats<'a>(handle: &mut MorphHandle<'a, K, S>) -> OpStats {
+        morph_delegate!(handle, h => h.take_stats())
+    }
+
+    fn len_estimate<'a>(handle: &mut MorphHandle<'a, K, S>) -> usize {
+        morph_delegate!(handle, h => h.len_estimate())
+    }
+
+    fn collect_items(&mut self) -> Vec<K> {
+        match self {
+            MorphBackend::List(b) => b.collect_keys(),
+            MorphBackend::Unrolled(b) => b.collect_keys(),
+            MorphBackend::Skip(b) => b.collect_keys(),
+        }
+    }
+
+    fn check(&mut self) -> Result<(), InvariantViolation> {
+        match self {
+            MorphBackend::List(b) => b.check_invariants(),
+            MorphBackend::Unrolled(b) => b.check_invariants(),
+            MorphBackend::Skip(b) => b.check_invariants(),
+        }
+    }
+}
+
 /// One backend shard plus its routing interval and migration state.
 struct ShardState<K, B> {
     /// Unique id, published in handle activity slots ([`SLOT_IDLE`] is
@@ -395,26 +642,92 @@ impl SlotRegistry {
     }
 }
 
-/// The shared elastic state: router table, version, monitor plumbing.
+/// One immutable, RCU-published generation of the routing table:
+/// shards sorted by `lo`, intervals contiguous from rank 0. Never
+/// mutated after publication; writers build a fresh table and retire
+/// the old one through the epoch domain.
+struct RouterTable<K, B> {
+    shards: Vec<Arc<ShardState<K, B>>>,
+    /// Live-table counter of the owning structure, decremented on drop.
+    /// Deliberately a plain `std` atomic outside the [`crate::sync`]
+    /// facade: it is diagnostic state (leak tests, quiescence draining),
+    /// not protocol state, and must not add model-checker scheduling
+    /// points.
+    alive: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl<K, B> RouterTable<K, B> {
+    fn new(
+        shards: Vec<Arc<ShardState<K, B>>>,
+        alive: &Arc<std::sync::atomic::AtomicUsize>,
+    ) -> Self {
+        alive.fetch_add(1, Relaxed);
+        RouterTable {
+            shards,
+            alive: Arc::clone(alive),
+        }
+    }
+}
+
+impl<K, B> Drop for RouterTable<K, B> {
+    fn drop(&mut self) {
+        self.alive.fetch_sub(1, Relaxed);
+    }
+}
+
+/// Reconstructs and drops the `Arc` of a retired router table (the
+/// epoch-deferred half of a table publish).
+///
+/// # Safety
+///
+/// `ptr` must be the address from `Arc::into_raw` of a
+/// `RouterTable<K, B>` whose publish-time reference has not been
+/// reclaimed through any other path.
+unsafe fn drop_retired_table<K: ShardKey, B: ElasticBackend<K>>(ptr: usize, _unused: usize) {
+    // SAFETY: forwarded contract — `ptr` is the leaked publish-time Arc.
+    unsafe { drop(Arc::from_raw(ptr as *const RouterTable<K, B>)) };
+}
+
+/// The shared elastic state: the published table pointer, the writer
+/// lock, and the monitor plumbing.
 struct ElasticCore<K, B> {
-    /// The router table, sorted by `lo`, intervals contiguous from rank
-    /// 0. Also the migration lock: installs mutate it in place.
-    router: Mutex<Vec<Arc<ShardState<K, B>>>>,
-    /// Bumped (under the router lock) on every install; handles compare
-    /// it against their snapshot to revalidate in O(1).
+    /// The current [`RouterTable`], leaked from an `Arc`. Readers take
+    /// one `Acquire` load; writers CAS-publish a replacement under
+    /// [`writer`](ElasticCore::writer) and retire the displaced table
+    /// through the epoch domain.
+    table: AtomicPtr<RouterTable<K, B>>,
+    /// Serializes all migrations (split / merge / morph). Never taken on
+    /// the operation hot path.
+    writer: Mutex<()>,
+    /// Bumped on every publish. Diagnostic only — the read path
+    /// revalidates by table address, never by version.
     version: AtomicU64,
     next_id: AtomicU64,
     policy: LoadPolicy,
     slots: SlotRegistry,
     splits: AtomicU64,
     merges: AtomicU64,
+    morphs: AtomicU64,
+    /// Router tables of this structure currently allocated (published +
+    /// retired-but-uncollected). See `RouterTable::alive`.
+    tables_alive: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl<K, B> Drop for ElasticCore<K, B> {
+    fn drop(&mut self) {
+        let p = self.table.load(Acquire);
+        // SAFETY: `p` is the published-table `Arc` leaked by `new` or
+        // the latest `publish`; `&mut self` means no reader can load it
+        // anymore, so ownership reverts to us exactly once.
+        unsafe { drop(Arc::from_raw(p)) };
+    }
 }
 
 impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
     fn new(policy: LoadPolicy) -> Self {
         policy.validate();
         let n = policy.initial_shards;
-        let shards = (0..n)
+        let shards: Vec<Arc<ShardState<K, B>>> = (0..n)
             .map(|i| {
                 Arc::new(ShardState {
                     id: i as u64 + 1,
@@ -428,31 +741,96 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
                 })
             })
             .collect();
+        let tables_alive = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let table = Arc::new(RouterTable::new(shards, &tables_alive));
         ElasticCore {
-            router: Mutex::new(shards),
+            table: AtomicPtr::new(Arc::into_raw(table) as *mut RouterTable<K, B>),
+            writer: Mutex::new(()),
             version: AtomicU64::new(1),
             next_id: AtomicU64::new(n as u64 + 1),
             policy,
             slots: SlotRegistry::default(),
             splits: AtomicU64::new(0),
             merges: AtomicU64::new(0),
+            morphs: AtomicU64::new(0),
+            tables_alive,
         }
     }
 
     fn handle(&self) -> CoreHandle<'_, K, B> {
+        let table = self.snapshot();
+        let entries: Vec<Entry<K, B>> = table
+            .shards
+            .iter()
+            .map(|s| Entry::new(Arc::clone(s)))
+            .collect();
+        let bounds = entries.iter().map(|e| e.shard.lo).collect();
         CoreHandle {
             core: self,
             slot: self.slots.register(),
-            version: 0, // any real version is ≥ 1 → first op refreshes
-            entries: Vec::new(),
+            table,
+            entries,
+            bounds,
             last_idx: 0,
             ops_since_check: 0,
             carry: OpStats::ZERO,
         }
     }
 
-    fn lock_router(&self) -> MutexGuard<'_, Vec<Arc<ShardState<K, B>>>> {
-        self.router.lock().unwrap()
+    /// Clones the published table into an owning `Arc`. The epoch pin
+    /// spans both the pointer load and the strong-count bump: a table
+    /// is only freed after it is unlinked *and* past the grace period,
+    /// and the pin holds the grace period open.
+    fn snapshot(&self) -> Arc<RouterTable<K, B>> {
+        let guard = crossbeam_epoch::pin();
+        let p = self.table.load(Acquire);
+        // SAFETY: `p` was published by `new`/`publish` and can only be
+        // freed by an epoch-deferred drop; the pin above keeps that
+        // deferral pending, so the bump runs on a live allocation and
+        // makes us an owner that outlives the unpin.
+        let table = unsafe {
+            Arc::increment_strong_count(p);
+            Arc::from_raw(p as *const RouterTable<K, B>)
+        };
+        drop(guard);
+        table
+    }
+
+    /// Borrows the published table under the writer lock. Sound because
+    /// only writers retire tables and they serialize on that same lock —
+    /// but the borrow must end before the caller itself publishes.
+    fn published<'a>(&'a self, _writer: &'a MutexGuard<'a, ()>) -> &'a RouterTable<K, B> {
+        let p = self.table.load(Acquire);
+        // SAFETY: holding the writer lock excludes every code path that
+        // could retire (and thus free) the published table.
+        unsafe { &*p }
+    }
+
+    /// CAS-publishes `shards` as a fresh table generation and retires
+    /// the displaced one through the epoch domain. Callers hold the
+    /// writer lock, so the CAS cannot lose; `TABLE_PUBLISH` (`Release`)
+    /// makes everything done while building the table — bulk-loading
+    /// freshly built backends included — visible to any reader whose
+    /// single `Acquire` load observes the new pointer.
+    fn publish(&self, _writer: &MutexGuard<'_, ()>, shards: Vec<Arc<ShardState<K, B>>>) {
+        let table = Arc::new(RouterTable::new(shards, &self.tables_alive));
+        let next = Arc::into_raw(table) as *mut RouterTable<K, B>;
+        let prev = self.table.load(Acquire);
+        let won = self
+            .table
+            .compare_exchange(prev, next, TABLE_PUBLISH, Relaxed)
+            .is_ok();
+        debug_assert!(won, "publishers serialize on the writer lock");
+        let _ = won;
+        self.version.fetch_add(1, Release);
+        let guard = crossbeam_epoch::pin();
+        // SAFETY: `prev` is the previous publish's leaked Arc, just
+        // unlinked above; readers that still hold the pointer are
+        // pinned, so the deferred drop runs only after they unpin.
+        unsafe { guard.defer_raw(prev as usize, 0, drop_retired_table::<K, B>) };
+        // Nudge the collector so retired tables (and the backends they
+        // keep alive) free promptly even on migration-only workloads.
+        guard.flush();
     }
 
     /// Index of the interval owning `rank` in a router table.
@@ -462,7 +840,7 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
     }
 
     /// Spin-waits until no operation is in flight on shard `id`. Called
-    /// with the router lock held and the shard sealed, so no new
+    /// with the writer lock held and the shard sealed, so no new
     /// operation can pass the seal check and publish `id` afterwards.
     fn drain(&self, id: u64) {
         while self.slots.any_active_on(id) {
@@ -470,9 +848,22 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
         }
     }
 
-    /// Builds a fresh shard preloaded with `items` (sorted ascending).
+    /// Builds a fresh shard preloaded with `items` (sorted ascending),
+    /// running the arm [`LoadPolicy::morph_kind`] picks for that
+    /// population — the seal-time morph decision. Single-backend sets
+    /// ignore the arm.
     fn new_shard(&self, lo: u64, items: &mut [B::Item]) -> Arc<ShardState<K, B>> {
-        let backend = B::new();
+        self.new_shard_kind(lo, items, self.policy.morph_kind(items.len()))
+    }
+
+    /// Builds a fresh shard in the given arm, preloaded with `items`.
+    fn new_shard_kind(
+        &self,
+        lo: u64,
+        items: &mut [B::Item],
+        kind: MorphKind,
+    ) -> Arc<ShardState<K, B>> {
+        let backend = B::new_kind(kind);
         {
             let mut h = backend.handle();
             B::load_sorted(&mut h, items);
@@ -487,22 +878,27 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
         })
     }
 
-    /// Splits `table[idx]` at its median key. `false` if the shard is
-    /// too small, its keys cannot be partitioned (all on one rank), or
-    /// the table is full; an aborted split unseals the shard so stalled
-    /// operations proceed.
-    fn split_locked(&self, table: &mut Vec<Arc<ShardState<K, B>>>, idx: usize) -> bool {
-        if table.len() >= self.policy.max_shards {
-            return false;
-        }
-        let old = Arc::clone(&table[idx]);
+    /// Splits shard `idx` at its median key and publishes the new
+    /// table. `false` if the shard is too small, its keys cannot be
+    /// partitioned (all on one rank), or the table is full; an aborted
+    /// split unseals the shard so stalled operations proceed.
+    fn split_locked(&self, writer: &MutexGuard<'_, ()>, idx: usize) -> bool {
+        let (old, hi) = {
+            let table = self.published(writer);
+            if table.shards.len() >= self.policy.max_shards {
+                return false;
+            }
+            (
+                Arc::clone(&table.shards[idx]),
+                table.shards.get(idx + 1).map(|s| s.lo),
+            )
+        };
         old.sealed.store(true, SeqCst);
         self.drain(old.id);
         let mut items = {
             let mut h = old.backend.handle();
             B::scan(&mut h, &ScanBounds::from_range(&(..)))
         };
-        let hi = table.get(idx + 1).map(|s| s.lo);
         let mid = if items.len() >= self.policy.min_split_keys.max(2) {
             let m = B::item_key(&items[items.len() / 2]).rank64();
             (m > old.lo && hi.is_none_or(|h| m < h)).then_some(m)
@@ -518,19 +914,25 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
         let (lo_items, hi_items) = items.split_at_mut(cut);
         let left = self.new_shard(old.lo, lo_items);
         let right = self.new_shard(mid, hi_items);
-        table.splice(idx..=idx, [left, right]);
+        let mut shards = self.published(writer).shards.clone();
+        shards.splice(idx..=idx, [left, right]);
+        self.publish(writer, shards);
         self.splits.fetch_add(1, Relaxed);
-        self.version.fetch_add(1, Release);
         true
     }
 
-    /// Merges `table[idx]` and `table[idx + 1]` into one shard.
-    fn merge_locked(&self, table: &mut Vec<Arc<ShardState<K, B>>>, idx: usize) -> bool {
-        if idx + 1 >= table.len() {
-            return false;
-        }
-        let a = Arc::clone(&table[idx]);
-        let b = Arc::clone(&table[idx + 1]);
+    /// Merges shards `idx` and `idx + 1` and publishes the new table.
+    fn merge_locked(&self, writer: &MutexGuard<'_, ()>, idx: usize) -> bool {
+        let (a, b) = {
+            let table = self.published(writer);
+            if idx + 1 >= table.shards.len() {
+                return false;
+            }
+            (
+                Arc::clone(&table.shards[idx]),
+                Arc::clone(&table.shards[idx + 1]),
+            )
+        };
         a.sealed.store(true, SeqCst);
         b.sealed.store(true, SeqCst);
         self.drain(a.id);
@@ -545,25 +947,51 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
             B::scan(&mut h, &everything)
         });
         let merged = self.new_shard(a.lo, &mut items);
-        table.splice(idx..=idx + 1, [merged]);
+        let mut shards = self.published(writer).shards.clone();
+        shards.splice(idx..=idx + 1, [merged]);
+        self.publish(writer, shards);
         self.merges.fetch_add(1, Relaxed);
-        self.version.fetch_add(1, Release);
+        true
+    }
+
+    /// Rebuilds shard `idx` in backend arm `kind` (seal → drain → copy
+    /// → publish). `false` if the shard already runs that arm.
+    fn morph_locked(&self, writer: &MutexGuard<'_, ()>, idx: usize, kind: MorphKind) -> bool {
+        let old = Arc::clone(&self.published(writer).shards[idx]);
+        if old.backend.kind() == kind {
+            return false;
+        }
+        old.sealed.store(true, SeqCst);
+        self.drain(old.id);
+        let mut items = {
+            let mut h = old.backend.handle();
+            B::scan(&mut h, &ScanBounds::from_range(&(..)))
+        };
+        let fresh = self.new_shard_kind(old.lo, &mut items, kind);
+        let mut shards = self.published(writer).shards.clone();
+        shards[idx] = fresh;
+        self.publish(writer, shards);
+        self.morphs.fetch_add(1, Relaxed);
         true
     }
 
     /// Closes the current load window and performs at most one
     /// migration. Non-blocking: backs off if a migration (or another
-    /// monitor check) already holds the router.
+    /// monitor check) already holds the writer lock.
     fn try_rebalance(&self) {
-        let Ok(mut table) = self.router.try_lock() else {
+        let Ok(writer) = self.writer.try_lock() else {
             return;
         };
-        let window: Vec<u64> = table.iter().map(|s| s.ops.read()).collect();
+        let (window, shard_len) = {
+            let table = self.published(&writer);
+            let window: Vec<u64> = table.shards.iter().map(|s| s.ops.read()).collect();
+            (window, table.shards.len())
+        };
         let total: u64 = window.iter().sum();
         if total < self.policy.window_min_ops {
             return;
         }
-        for s in table.iter() {
+        for s in self.published(&writer).shards.iter() {
             s.ops.reset();
         }
         let (hot, &hot_ops) = window
@@ -572,15 +1000,15 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
             .max_by_key(|&(_, ops)| *ops)
             .expect("router table is never empty");
         if hot_ops * 100 > total * self.policy.split_share_pct as u64
-            && table.len() < self.policy.max_shards
-            && self.split_locked(&mut table, hot)
+            && shard_len < self.policy.max_shards
+            && self.split_locked(&writer, hot)
         {
             return;
         }
-        let pressured = table.len() * 4 >= self.policy.max_shards * 3;
+        let pressured = shard_len * 4 >= self.policy.max_shards * 3;
         if self.policy.merge_share_pct > 0
             && pressured
-            && table.len() > self.policy.initial_shards.max(1)
+            && shard_len > self.policy.initial_shards.max(1)
         {
             let (cold, pair_ops) = window
                 .windows(2)
@@ -588,8 +1016,39 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
                 .enumerate()
                 .min_by_key(|&(_, ops)| ops)
                 .expect("≥ 2 shards here");
-            if pair_ops * 100 < total * self.policy.merge_share_pct as u64 {
-                self.merge_locked(&mut table, cold);
+            if pair_ops * 100 < total * self.policy.merge_share_pct as u64
+                && self.merge_locked(&writer, cold)
+            {
+                return;
+            }
+        }
+        // Morph pass: rebuild every shard whose population has drifted
+        // out of its arm's band. Gated on `B::MORPHS`, so single-backend
+        // sets skip it entirely. Sweeping all shards (not just the hot
+        // one) matters at startup: the initial shards seal empty — List
+        // arm — and then swallow the whole prefill, so until this pass
+        // runs, bulk traffic grinds through linked lists. Morphs replace
+        // a shard in place (same count, same bounds), so positional
+        // indices stay valid across commits, and a quiescent sweep where
+        // every arm already matches costs only a length probe per shard.
+        // (No split or merge committed above, so the table is unchanged.)
+        if B::MORPHS {
+            let shards: Vec<_> = self
+                .published(&writer)
+                .shards
+                .iter()
+                .map(Arc::clone)
+                .collect();
+            for (idx, shard) in shards.iter().enumerate() {
+                let len = {
+                    let mut h = shard.backend.handle();
+                    B::len_estimate(&mut h)
+                };
+                let cur = shard.backend.kind();
+                let want = self.policy.morph_kind_settled(len, cur);
+                if want != cur {
+                    self.morph_locked(&writer, idx, want);
+                }
             }
         }
     }
@@ -597,27 +1056,81 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
     /// Splits the shard owning `key`'s rank (deterministic test and
     /// operational support). `true` iff a split committed.
     fn force_split_at(&self, key: K) -> bool {
-        let mut table = self.lock_router();
-        let idx = Self::route_in(&table, key.rank64());
-        self.split_locked(&mut table, idx)
+        let writer = self.writer.lock().unwrap();
+        let idx = Self::route_in(&self.published(&writer).shards, key.rank64());
+        self.split_locked(&writer, idx)
     }
 
     /// Merges the shard owning `key`'s rank with its right neighbour.
     /// `true` iff a merge committed.
     fn force_merge_at(&self, key: K) -> bool {
-        let mut table = self.lock_router();
-        let idx = Self::route_in(&table, key.rank64());
-        self.merge_locked(&mut table, idx)
+        let writer = self.writer.lock().unwrap();
+        let idx = Self::route_in(&self.published(&writer).shards, key.rank64());
+        self.merge_locked(&writer, idx)
+    }
+
+    /// Rebuilds the shard owning `key`'s rank in arm `kind`. `true` iff
+    /// it was running a different arm (and therefore morphed).
+    fn force_morph_at(&self, key: K, kind: MorphKind) -> bool {
+        let writer = self.writer.lock().unwrap();
+        let idx = Self::route_in(&self.published(&writer).shards, key.rank64());
+        self.morph_locked(&writer, idx, kind)
+    }
+
+    /// Runs `f` over the published table from a plain `&self` context
+    /// (diagnostics): the epoch pin keeps a concurrently retired table
+    /// alive for the duration.
+    fn with_published<R>(&self, f: impl FnOnce(&RouterTable<K, B>) -> R) -> R {
+        let guard = crossbeam_epoch::pin();
+        let p = self.table.load(Acquire);
+        // SAFETY: `p` was published by `new`/`publish`; tables are only
+        // freed via the epoch domain, which the pin above holds open.
+        let out = f(unsafe { &*p });
+        drop(guard);
+        out
     }
 
     /// Current number of shards.
     fn shard_count(&self) -> usize {
-        self.lock_router().len()
+        self.with_published(|t| t.shards.len())
+    }
+
+    /// Router tables of this structure currently allocated (1 when all
+    /// retired generations have been collected).
+    fn tables_alive(&self) -> usize {
+        self.tables_alive.load(Relaxed)
+    }
+
+    /// Drives the epoch collector until every retired table generation
+    /// has been freed, leaving the published table the sole owner of
+    /// its shards. Bounded: concurrent pins are short-lived, so the
+    /// grace periods pass in a few rounds.
+    fn await_quiescence(&self) {
+        for _ in 0..100_000 {
+            if self.tables_alive() == 1 {
+                return;
+            }
+            crossbeam_epoch::pin().flush();
+            crate::sync::thread_yield();
+        }
+        panic!("retired router tables failed to collect on a quiescent structure");
+    }
+
+    /// Exclusive access to the published table's shard list. Requires
+    /// `&mut self` (no handles, no concurrent migrations).
+    fn shards_mut(&mut self) -> &mut Vec<Arc<ShardState<K, B>>> {
+        self.await_quiescence();
+        let p = self.table.load(Acquire);
+        // SAFETY: `&mut self` excludes readers and writers, and
+        // `await_quiescence` drained every retired generation, so the
+        // published `Arc` (leaked at publish, strong count 1) is solely
+        // ours for the `&mut self` borrow.
+        unsafe { &mut (*p).shards }
     }
 
     /// Quiescent snapshot of all items across shards, ascending.
     fn collect_items(&mut self) -> Vec<B::Item> {
-        let table = self.router.get_mut().unwrap();
+        let table = self.shards_mut();
         let mut out = Vec::new();
         for shard in table.iter_mut() {
             let shard =
@@ -630,7 +1143,7 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
     /// Quiescent structural check: router table well-formedness, every
     /// backend's own invariants, and interval containment per key.
     fn check(&mut self) -> Result<(), InvariantViolation> {
-        let table = self.router.get_mut().unwrap();
+        let table = self.shards_mut();
         if table.is_empty() || table[0].lo != 0 {
             return Err(InvariantViolation::RouterCorrupt { interval: 0 });
         }
@@ -714,8 +1227,20 @@ unsafe fn erase_handle_lifetime<'a, K: ShardKey, B: ElasticBackend<K>>(
 struct CoreHandle<'s, K: ShardKey, B: ElasticBackend<K>> {
     core: &'s ElasticCore<K, B>,
     slot: Arc<CachePadded<AtomicU64>>,
-    version: u64,
+    /// Owning snapshot of the router table this handle routes through.
+    /// Revalidated by comparing its address against the published
+    /// pointer: the `Arc` pins the allocation, so an address match
+    /// proves identity (no ABA — a recycled address would require this
+    /// very snapshot to have been dropped first).
+    table: Arc<RouterTable<K, B>>,
     entries: Vec<Entry<K, B>>,
+    /// Dense copy of the entries' interval lower bounds (`bounds[i] ==
+    /// entries[i].shard.lo`), rebuilt on refresh. Routing reads only
+    /// this vector: an [`Entry`] inlines its cached backend handle, so
+    /// `entries` strides hundreds of bytes per element and an interval
+    /// probe through it touches scattered cache lines, while the whole
+    /// bounds vector fits in one or two.
+    bounds: Vec<u64>,
     /// Route cache: the index the previous operation resolved to. Hot
     /// traffic streaks on one shard, so checking this interval first
     /// skips the binary search on the common path.
@@ -737,7 +1262,10 @@ impl<K: ShardKey, B: ElasticBackend<K>> Drop for CoreHandle<'_, K, B> {
 impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
     #[inline]
     fn maybe_refresh(&mut self) {
-        if self.core.version.load(Acquire) != self.version {
+        // The entire router read path: one `Acquire` load of the
+        // published pointer plus an address compare — no mutex, no
+        // version handshake.
+        if !std::ptr::eq(self.core.table.load(Acquire), Arc::as_ptr(&self.table)) {
             self.refresh();
         }
     }
@@ -748,10 +1276,10 @@ impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
     /// — the drop releases the backend handle first, then the `Arc`
     /// that may be the last thing keeping the retired backend alive.
     fn refresh(&mut self) {
-        let table = self.core.lock_router();
-        let version = self.core.version.load(Acquire);
+        let table = self.core.snapshot();
         let mut old: Vec<Entry<K, B>> = std::mem::take(&mut self.entries);
         self.entries = table
+            .shards
             .iter()
             .map(
                 |shard| match old.iter().position(|e| e.shard.id == shard.id) {
@@ -760,39 +1288,46 @@ impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
                 },
             )
             .collect();
-        drop(table);
+        self.bounds.clear();
+        self.bounds.extend(self.entries.iter().map(|e| e.shard.lo));
+        self.table = table;
         self.last_idx = 0;
         for mut evicted in old {
             if let Some(h) = &mut evicted.cached {
                 self.carry += B::drain_stats(h);
             }
         }
-        self.version = version;
     }
 
     /// Index of the snapshot entry owning `rank`, checking the route
     /// cache before falling back to binary search.
     #[inline]
     fn route(&mut self, rank: u64) -> usize {
-        debug_assert!(!self.entries.is_empty() && self.entries[0].shard.lo == 0);
+        debug_assert!(!self.bounds.is_empty() && self.bounds[0] == 0);
+        debug_assert_eq!(self.bounds.len(), self.entries.len());
         let i = self.last_idx;
-        if i < self.entries.len()
-            && self.entries[i].shard.lo <= rank
-            && self.entries.get(i + 1).is_none_or(|e| rank < e.shard.lo)
+        if i < self.bounds.len()
+            && self.bounds[i] <= rank
+            && self.bounds.get(i + 1).is_none_or(|&lo| rank < lo)
         {
             return i;
         }
-        let i = self.entries.partition_point(|e| e.shard.lo <= rank) - 1;
+        let i = self.bounds.partition_point(|&lo| lo <= rank) - 1;
         self.last_idx = i;
         i
     }
 
-    /// Waits out a migration of `shard`: returns when the router moved
-    /// past this handle's snapshot (commit) or the shard was unsealed
-    /// (aborted split).
-    fn stall(core: &ElasticCore<K, B>, version: u64, shard: &ShardState<K, B>) {
+    /// Waits out a migration of `shard`: returns when the published
+    /// table moved past this handle's snapshot (commit) or the shard
+    /// was unsealed (aborted split). `snapshot` is only compared by
+    /// address, never dereferenced.
+    fn stall(
+        core: &ElasticCore<K, B>,
+        snapshot: *const RouterTable<K, B>,
+        shard: &ShardState<K, B>,
+    ) {
         loop {
-            if core.version.load(Acquire) != version || !shard.sealed.load(SeqCst) {
+            if !std::ptr::eq(core.table.load(Acquire), snapshot) || !shard.sealed.load(SeqCst) {
                 return;
             }
             crate::sync::thread_yield();
@@ -810,7 +1345,11 @@ impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
             self.slot.0.store(self.entries[idx].shard.id, SLOT_PUBLISH);
             if self.entries[idx].shard.sealed.load(SeqCst) {
                 self.slot.0.store(SLOT_IDLE, Release);
-                Self::stall(self.core, self.version, &self.entries[idx].shard);
+                Self::stall(
+                    self.core,
+                    Arc::as_ptr(&self.table),
+                    &self.entries[idx].shard,
+                );
                 continue;
             }
             let out = op(self.entries[idx].handle());
@@ -818,6 +1357,38 @@ impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
             self.note_ops(idx, 1);
             return out;
         }
+    }
+
+    /// Read-only analogue of [`with_shard`](CoreHandle::with_shard):
+    /// routes and runs `op` without joining the seal protocol — no
+    /// activity-slot publish, no seal check, no stall. The entire read
+    /// path is `maybe_refresh`'s single `Acquire` load plus the route.
+    ///
+    /// Safe and linearizable for single-key reads:
+    ///
+    /// * **Memory**: the routed [`Entry`] owns an `Arc<ShardState>`, so
+    ///   the backend outlives the read even if the table retires and the
+    ///   shard is decommissioned mid-op — no epoch dependence.
+    /// * **Consistency**: a sealed shard's backend is *frozen* — the
+    ///   migrator drains all writers before copying, and writers routed
+    ///   here stall until the new table publishes. The old backend is
+    ///   therefore exactly the authoritative contents at every instant
+    ///   from the drain until the publish, and a read that still sees
+    ///   the old table loaded the pointer before that publish, so the
+    ///   pre-publish instant lies inside its invocation window — a valid
+    ///   linearization point. Writers cannot race it onto the old
+    ///   backend: they all go through the seal check.
+    fn with_shard_read<R>(
+        &mut self,
+        key: K,
+        mut op: impl FnMut(&mut B::Handle<'static>) -> R,
+    ) -> R {
+        let rank = key.rank64();
+        self.maybe_refresh();
+        let idx = self.route(rank);
+        let out = op(self.entries[idx].handle());
+        self.note_ops(idx, 1);
+        out
     }
 
     /// Sorted-batch analogue of [`with_shard`](CoreHandle::with_shard):
@@ -838,7 +1409,11 @@ impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
             self.slot.0.store(self.entries[idx].shard.id, SLOT_PUBLISH);
             if self.entries[idx].shard.sealed.load(SeqCst) {
                 self.slot.0.store(SLOT_IDLE, Release);
-                Self::stall(self.core, self.version, &self.entries[idx].shard);
+                Self::stall(
+                    self.core,
+                    Arc::as_ptr(&self.table),
+                    &self.entries[idx].shard,
+                );
                 continue;
             }
             let j = match self.entries.get(idx + 1).map(|e| e.shard.lo) {
@@ -879,7 +1454,11 @@ impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
             self.slot.0.store(self.entries[idx].shard.id, SLOT_PUBLISH);
             if self.entries[idx].shard.sealed.load(SeqCst) {
                 self.slot.0.store(SLOT_IDLE, Release);
-                Self::stall(self.core, self.version, &self.entries[idx].shard);
+                Self::stall(
+                    self.core,
+                    Arc::as_ptr(&self.table),
+                    &self.entries[idx].shard,
+                );
                 continue;
             }
             let leg = match last {
@@ -1028,13 +1607,21 @@ where
 
     /// The intervals' lower rank bounds, ascending (diagnostics).
     pub fn shard_bounds(&self) -> Vec<u64> {
-        self.core.lock_router().iter().map(|s| s.lo).collect()
+        self.core
+            .with_published(|t| t.shards.iter().map(|s| s.lo).collect())
+    }
+
+    /// Router tables currently allocated for this set: the published one
+    /// plus any retired generations the epoch collector has not freed
+    /// yet. Settles back to 1 once collection catches up (leak tests).
+    pub fn tables_alive(&self) -> usize {
+        self.core.tables_alive()
     }
 
     /// Live keys per shard (quiescent).
     pub fn shard_sizes(&mut self) -> Vec<usize> {
-        let table = self.core.router.get_mut().unwrap();
-        table
+        self.core
+            .shards_mut()
             .iter_mut()
             .map(|shard| {
                 Arc::get_mut(shard)
@@ -1128,7 +1715,7 @@ where
     }
 
     fn contains(&mut self, key: K) -> bool {
-        self.inner.with_shard(key, |h| h.contains(key))
+        self.inner.with_shard_read(key, |h| h.contains(key))
     }
 
     fn add_batch(&mut self, keys: &mut [K]) -> usize {
@@ -1153,6 +1740,248 @@ where
     K: ShardKey,
     B: ConcurrentOrderedSet<K> + 'static,
     for<'a> B::Handle<'a>: OrderedHandle<K>,
+{
+    fn range<R: RangeBounds<K>>(&mut self, range: R) -> Snapshot<K> {
+        Snapshot::from_vec(self.inner.scan(&ScanBounds::from_range(&range)))
+    }
+
+    fn len_estimate(&mut self) -> usize {
+        self.inner.len_estimate()
+    }
+}
+
+/// An ordered set whose shards **morph** between backend types as they
+/// migrate: [`ElasticSet`]'s router and migration protocol, but each
+/// shard runs the [`MorphKind`] arm [`LoadPolicy::morph_kind`] picks
+/// for its population — flat hinted list when small, unrolled fat-node
+/// list in the middle, `S` (a skiplist in the benchmark harness) when
+/// large. See the [module docs](self#backend-morphing).
+///
+/// # Examples
+///
+/// ```
+/// use pragmatic_list::elastic::{ElasticMorphSet, LoadPolicy, MorphKind};
+/// use pragmatic_list::variants::SinglyCursorEpochList;
+/// use pragmatic_list::{ConcurrentOrderedSet, SetHandle};
+///
+/// // The large-shard arm is generic: any ordered set serves (the
+/// // benchmarks plug in the real skiplist).
+/// let set = ElasticMorphSet::<i64, SinglyCursorEpochList<i64>>::with_policy(LoadPolicy {
+///     initial_shards: 1,
+///     ..LoadPolicy::default()
+/// });
+/// let mut h = set.handle();
+/// for k in 0..100 {
+///     h.add(k);
+/// }
+/// // Deterministic morph: rebuild the shard owning key 0 unrolled.
+/// assert!(set.force_morph_at(0, MorphKind::Unrolled));
+/// assert_eq!(set.morphs(), 1);
+/// assert!(h.contains(42));
+/// ```
+pub struct ElasticMorphSet<K, S>
+where
+    K: ShardKey,
+    S: ConcurrentOrderedSet<K> + 'static,
+    for<'a> S::Handle<'a>: OrderedHandle<K>,
+{
+    core: ElasticCore<K, MorphBackend<K, S>>,
+}
+
+impl<K, S> ElasticMorphSet<K, S>
+where
+    K: ShardKey,
+    S: ConcurrentOrderedSet<K> + 'static,
+    for<'a> S::Handle<'a>: OrderedHandle<K>,
+{
+    /// Creates an empty set governed by `policy`.
+    pub fn with_policy(policy: LoadPolicy) -> Self {
+        ElasticMorphSet {
+            core: ElasticCore::new(policy),
+        }
+    }
+
+    /// The thresholds this set rebalances and morphs under.
+    pub fn policy(&self) -> LoadPolicy {
+        self.core.policy
+    }
+
+    /// Current number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.core.shard_count()
+    }
+
+    /// The router version: bumped by every committed migration.
+    pub fn router_version(&self) -> u64 {
+        self.core.version.load(Acquire)
+    }
+
+    /// Committed splits so far.
+    pub fn splits(&self) -> u64 {
+        self.core.splits.load(Relaxed)
+    }
+
+    /// Committed merges so far.
+    pub fn merges(&self) -> u64 {
+        self.core.merges.load(Relaxed)
+    }
+
+    /// Committed morphs so far (policy-driven and forced).
+    pub fn morphs(&self) -> u64 {
+        self.core.morphs.load(Relaxed)
+    }
+
+    /// Router tables currently allocated (published + retired awaiting
+    /// collection); settles back to 1 once collection catches up.
+    pub fn tables_alive(&self) -> usize {
+        self.core.tables_alive()
+    }
+
+    /// Deterministically splits the shard owning `key`.
+    pub fn force_split_at(&self, key: K) -> bool {
+        self.core.force_split_at(key)
+    }
+
+    /// Deterministically merges the shard owning `key` with its right
+    /// neighbour.
+    pub fn force_merge_at(&self, key: K) -> bool {
+        self.core.force_merge_at(key)
+    }
+
+    /// Deterministically rebuilds the shard owning `key` in arm `kind`
+    /// (test and operational support). `true` iff the shard was running
+    /// a different arm.
+    pub fn force_morph_at(&self, key: K, kind: MorphKind) -> bool {
+        self.core.force_morph_at(key, kind)
+    }
+
+    /// The intervals' lower rank bounds, ascending (diagnostics).
+    pub fn shard_bounds(&self) -> Vec<u64> {
+        self.core
+            .with_published(|t| t.shards.iter().map(|s| s.lo).collect())
+    }
+
+    /// `(arm, live keys)` per shard, in key order (quiescent).
+    pub fn shard_shapes(&mut self) -> Vec<(MorphKind, usize)> {
+        self.core
+            .shards_mut()
+            .iter_mut()
+            .map(|shard| {
+                let shard =
+                    Arc::get_mut(shard).expect("quiescent elastic structure still shares a shard");
+                let kind = shard.backend.kind();
+                (kind, shard.backend.collect_items().len())
+            })
+            .collect()
+    }
+}
+
+impl<K, S> Default for ElasticMorphSet<K, S>
+where
+    K: ShardKey,
+    S: ConcurrentOrderedSet<K> + 'static,
+    for<'a> S::Handle<'a>: OrderedHandle<K>,
+{
+    fn default() -> Self {
+        <Self as ConcurrentOrderedSet<K>>::new()
+    }
+}
+
+impl<K, S> ConcurrentOrderedSet<K> for ElasticMorphSet<K, S>
+where
+    K: ShardKey,
+    S: ConcurrentOrderedSet<K> + 'static,
+    for<'a> S::Handle<'a>: OrderedHandle<K>,
+{
+    type Handle<'a>
+        = ElasticMorphSetHandle<'a, K, S>
+    where
+        Self: 'a;
+
+    const NAME: &'static str = "elastic_morph";
+
+    fn new() -> Self {
+        Self::with_policy(LoadPolicy::default())
+    }
+
+    fn handle(&self) -> ElasticMorphSetHandle<'_, K, S> {
+        ElasticMorphSetHandle {
+            inner: self.core.handle(),
+        }
+    }
+
+    fn collect_keys(&mut self) -> Vec<K> {
+        // Shard order is key order; concatenation is sorted.
+        self.core.collect_items()
+    }
+
+    fn check_invariants(&mut self) -> Result<(), InvariantViolation> {
+        self.core.check()
+    }
+}
+
+/// Per-thread handle over an [`ElasticMorphSet`].
+pub struct ElasticMorphSetHandle<'s, K, S>
+where
+    K: ShardKey,
+    S: ConcurrentOrderedSet<K> + 'static,
+    for<'a> S::Handle<'a>: OrderedHandle<K>,
+{
+    inner: CoreHandle<'s, K, MorphBackend<K, S>>,
+}
+
+impl<K, S> ElasticMorphSetHandle<'_, K, S>
+where
+    K: ShardKey,
+    S: ConcurrentOrderedSet<K> + 'static,
+    for<'a> S::Handle<'a>: OrderedHandle<K>,
+{
+    /// Number of backend handles this thread has actually created.
+    pub fn cached_handles(&self) -> usize {
+        self.inner.cached_handles()
+    }
+}
+
+impl<K, S> SetHandle<K> for ElasticMorphSetHandle<'_, K, S>
+where
+    K: ShardKey,
+    S: ConcurrentOrderedSet<K> + 'static,
+    for<'a> S::Handle<'a>: OrderedHandle<K>,
+{
+    fn add(&mut self, key: K) -> bool {
+        self.inner.with_shard(key, |h| h.add(key))
+    }
+
+    fn remove(&mut self, key: K) -> bool {
+        self.inner.with_shard(key, |h| h.remove(key))
+    }
+
+    fn contains(&mut self, key: K) -> bool {
+        self.inner.with_shard_read(key, |h| h.contains(key))
+    }
+
+    fn add_batch(&mut self, keys: &mut [K]) -> usize {
+        self.inner.batched(keys, |h, run| h.add_batch(run))
+    }
+
+    fn remove_batch(&mut self, keys: &mut [K]) -> usize {
+        self.inner.batched(keys, |h, run| h.remove_batch(run))
+    }
+
+    fn stats(&self) -> OpStats {
+        self.inner.live_stats()
+    }
+
+    fn take_stats(&mut self) -> OpStats {
+        self.inner.take_stats()
+    }
+}
+
+impl<K, S> OrderedHandle<K> for ElasticMorphSetHandle<'_, K, S>
+where
+    K: ShardKey,
+    S: ConcurrentOrderedSet<K> + 'static,
+    for<'a> S::Handle<'a>: OrderedHandle<K>,
 {
     fn range<R: RangeBounds<K>>(&mut self, range: R) -> Snapshot<K> {
         Snapshot::from_vec(self.inner.scan(&ScanBounds::from_range(&range)))
@@ -1271,7 +2100,7 @@ impl<K: ShardKey, V: Copy + Send + Sync + 'static> ElasticMapHandle<'_, K, V> {
     /// Wait-free lookup (may stall briefly behind a migration of the
     /// key's shard).
     pub fn get(&mut self, key: K) -> Option<V> {
-        self.inner.with_shard(key, |h| h.get(key))
+        self.inner.with_shard_read(key, |h| h.get(key))
     }
 
     /// `true` iff `key` is present.
@@ -1317,6 +2146,7 @@ mod tests {
             split_share_pct: 10,
             merge_share_pct: 0,
             min_split_keys: 4,
+            ..LoadPolicy::default()
         }
     }
 
@@ -1717,6 +2547,167 @@ mod tests {
         map.check_invariants().unwrap();
     }
 
+    type MorphSet = ElasticMorphSet<i64, crate::variants::SinglyCursorEpochList<i64>>;
+
+    /// Tiny morph bands so unit tests cross arm boundaries with a few
+    /// dozen keys.
+    fn morphy() -> LoadPolicy {
+        LoadPolicy {
+            morph_list_max: 8,
+            morph_skip_min: 24,
+            ..eager()
+        }
+    }
+
+    #[test]
+    fn morph_names_and_policy_bands() {
+        assert_eq!(MorphSet::NAME, "elastic_morph");
+        let p = morphy();
+        assert_eq!(p.morph_kind(0), MorphKind::List);
+        assert_eq!(p.morph_kind(8), MorphKind::List);
+        assert_eq!(p.morph_kind(9), MorphKind::Unrolled);
+        assert_eq!(p.morph_kind(23), MorphKind::Unrolled);
+        assert_eq!(p.morph_kind(24), MorphKind::Skip);
+    }
+
+    #[test]
+    fn force_morph_cycles_arms_and_preserves_contents() {
+        let set = MorphSet::with_policy(morphy());
+        let mut h = set.handle();
+        for k in 0..40 {
+            h.add(spread(k));
+        }
+        assert!(
+            !set.force_morph_at(spread(0), MorphKind::List),
+            "morphing to the current arm is a no-op"
+        );
+        assert_eq!(set.morphs(), 0);
+        let cycle = [
+            MorphKind::Skip,
+            MorphKind::Unrolled,
+            MorphKind::List,
+            MorphKind::Skip,
+        ];
+        for (i, kind) in cycle.into_iter().enumerate() {
+            assert!(set.force_morph_at(spread(0), kind));
+            assert_eq!(set.morphs(), i as u64 + 1);
+            // The same handle keeps operating through every rebuild.
+            for k in 0..40 {
+                assert!(h.contains(spread(k)), "key {k} lost morphing to {kind:?}");
+            }
+            assert!(!h.contains(spread(40)));
+        }
+        assert!(h.add(spread(40)));
+        assert!(h.remove(spread(0)));
+        drop(h);
+        let mut set = set;
+        assert_eq!(set.shard_shapes(), vec![(MorphKind::Skip, 40)]);
+        assert_eq!(set.tables_alive(), 1, "quiescence drains retired tables");
+        assert_eq!(set.collect_keys(), (1..=40).map(spread).collect::<Vec<_>>());
+        set.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn migrations_reseal_arms_by_population() {
+        let mut set = MorphSet::with_policy(LoadPolicy {
+            min_split_keys: 2,
+            ..morphy()
+        });
+        {
+            let mut h = set.handle();
+            for k in 0..60 {
+                h.add(spread(k));
+            }
+        }
+        assert!(set.force_split_at(spread(10)));
+        let shapes = set.shard_shapes();
+        assert_eq!(shapes.len(), 2);
+        assert_eq!(shapes.iter().map(|&(_, n)| n).sum::<usize>(), 60);
+        for &(kind, n) in &shapes {
+            assert_eq!(
+                kind,
+                set.policy().morph_kind(n),
+                "split children must seal in the arm their population selects"
+            );
+        }
+        // Merging re-seals at the combined population: 60 keys is deep
+        // in the Skip band.
+        assert!(set.force_merge_at(spread(10)));
+        assert_eq!(set.shard_shapes(), vec![(MorphKind::Skip, 60)]);
+        set.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn auto_morph_fires_on_population_drift() {
+        // `max_shards: 1` pins the shard count, so the monitor's only
+        // available migration is the morph pass.
+        let set = MorphSet::with_policy(LoadPolicy {
+            max_shards: 1,
+            morph_list_max: 8,
+            morph_skip_min: 24,
+            ..eager()
+        });
+        let mut h = set.handle();
+        for k in 0..40 {
+            h.add(spread(k));
+        }
+        let mut spins = 0u64;
+        while set.morphs() == 0 && spins < 100_000 {
+            h.contains(spread((spins % 40) as i64));
+            spins += 1;
+        }
+        assert!(
+            set.morphs() > 0,
+            "population 40 ≫ morph_skip_min must trigger an auto-morph"
+        );
+        for k in 0..40 {
+            assert!(h.contains(spread(k)));
+        }
+        drop(h);
+        let mut set = set;
+        assert_eq!(set.shard_shapes(), vec![(MorphKind::Skip, 40)]);
+    }
+
+    #[test]
+    fn morph_churn_agrees_with_flat() {
+        let set = MorphSet::with_policy(LoadPolicy {
+            min_split_keys: 4,
+            ..morphy()
+        });
+        let flat = SinglyCursorList::<i64>::new();
+        let mut hs = set.handle();
+        let mut hf = flat.handle();
+        let mut x = 0x1234_5678u64;
+        let kinds = [MorphKind::List, MorphKind::Unrolled, MorphKind::Skip];
+        for i in 0..6_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = spread(((x >> 33) % 300) as i64);
+            match x % 3 {
+                0 => assert_eq!(hs.add(k), hf.add(k)),
+                1 => assert_eq!(hs.remove(k), hf.remove(k)),
+                _ => assert_eq!(hs.contains(k), hf.contains(k)),
+            }
+            if i % 500 == 250 {
+                let _ = set.force_morph_at(k, kinds[(i / 500) as usize % 3]);
+            }
+            if i % 1500 == 700 {
+                let _ = set.force_split_at(k);
+            }
+        }
+        assert!(set.morphs() > 0);
+        // Range scans stitch across morphed shard boundaries.
+        assert_eq!(
+            hs.range(spread(0)..spread(200)).into_vec(),
+            hf.range(spread(0)..spread(200)).into_vec()
+        );
+        drop((hs, hf));
+        let (mut set, mut flat) = (set, flat);
+        assert_eq!(set.collect_keys(), flat.collect_keys());
+        set.check_invariants().unwrap();
+    }
+
     mod leaks {
         use super::*;
         use crate::reclaim::leak::{self, LeakKey};
@@ -1730,9 +2721,22 @@ mod tests {
             }
         }
 
+        /// Drives the epoch collector until `done` holds (retired router
+        /// tables — and whatever they keep alive — free lazily).
+        fn drive_collector(mut done: impl FnMut() -> bool) {
+            for _ in 0..10_000 {
+                if done() {
+                    return;
+                }
+                crossbeam_epoch::pin().flush();
+                std::thread::yield_now();
+            }
+        }
+
         /// Churn + forced migrations + drop: every node the retired and
-        /// live shard backends ever allocated must be freed.
-        fn assert_migrations_are_leak_free<B>(drive_epoch: bool)
+        /// live shard backends ever allocated must be freed, and every
+        /// retired router table must collect while the set is alive.
+        fn assert_migrations_are_leak_free<B>()
         where
             B: ConcurrentOrderedSet<LeakKey> + 'static,
             for<'a> B::Handle<'a>: OrderedHandle<LeakKey>,
@@ -1783,17 +2787,23 @@ mod tests {
                     }
                 });
                 assert!(set.splits() > 0, "{}: no migration fired", B::NAME);
+                // Retired-table balance, proven while the set is alive:
+                // every superseded router generation must collect, so
+                // only the published table remains allocated.
+                drive_collector(|| set.tables_alive() == 1);
+                assert_eq!(
+                    set.tables_alive(),
+                    1,
+                    "{}: retired router tables must collect",
+                    B::NAME
+                );
             }
-            if drive_epoch {
-                for _ in 0..10_000 {
-                    let (a, f) = leak::snapshot();
-                    if a - a0 == f - f0 {
-                        break;
-                    }
-                    crossbeam_epoch::pin().flush();
-                    std::thread::yield_now();
-                }
-            }
+            // Node balance needs the collector too: tables freed at set
+            // drop may still queue backend teardown in the epoch domain.
+            drive_collector(|| {
+                let (a, f) = leak::snapshot();
+                a - a0 == f - f0
+            });
             let (a1, f1) = leak::snapshot();
             assert!(a1 > a0, "{}: churn must allocate", B::NAME);
             assert_eq!(
@@ -1806,25 +2816,23 @@ mod tests {
 
         #[test]
         fn arena_backend_migrations_are_leak_free() {
-            assert_migrations_are_leak_free::<SinglyList<LeakKey, true, true, false>>(false);
+            assert_migrations_are_leak_free::<SinglyList<LeakKey, true, true, false>>();
         }
 
         #[test]
         fn epoch_backend_migrations_are_leak_free() {
             assert_migrations_are_leak_free::<SinglyList<LeakKey, true, true, false, EpochReclaim>>(
-                true,
             );
         }
 
         #[test]
         fn hazard_backend_migrations_are_leak_free() {
             assert_migrations_are_leak_free::<SinglyList<LeakKey, true, false, false, HazardReclaim>>(
-                false,
             );
         }
 
         #[test]
-        fn decommissioned_backend_is_freed_once_handles_refresh() {
+        fn decommissioned_backend_is_freed_after_refresh_and_collection() {
             let _serial = leak::LEAK_TEST_LOCK
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
@@ -1840,18 +2848,104 @@ mod tests {
             }
             let (_, f0) = leak::snapshot();
             assert!(set.force_split_at(LeakKey(32)));
-            // The old backend is still pinned by this handle's snapshot.
+            // The retired backend stays pinned by this handle's table
+            // snapshot and by the retired router table itself.
             let (_, f_before) = leak::snapshot();
-            // Any operation refreshes the snapshot, releasing the last
-            // reference: the retired backend frees its nodes *now*, not
-            // at set drop.
+            // Refresh the handle's snapshot, then drive the epoch
+            // collector: the retired table (and with it the last shard
+            // Arc) frees while the set is alive, not at set drop.
             assert!(h.contains(LeakKey(1)));
+            drive_collector(|| {
+                let (_, f) = leak::snapshot();
+                f > f_before
+            });
             let (_, f_after) = leak::snapshot();
             assert!(
                 f_after > f_before && f_after > f0,
-                "retired backend must be reclaimed on refresh ({f_before} → {f_after})"
+                "retired backend must be reclaimed after refresh + collection ({f_before} → {f_after})"
             );
+            assert_eq!(set.tables_alive(), 1);
             drop(h);
+        }
+
+        /// Morph churn across all three arms: forced morphs recopy every
+        /// shard backend; the retired copies and tables must all free.
+        fn assert_morphs_are_leak_free<S>()
+        where
+            S: ConcurrentOrderedSet<LeakKey> + 'static,
+            for<'a> S::Handle<'a>: OrderedHandle<LeakKey>,
+        {
+            let _serial = leak::LEAK_TEST_LOCK
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let (a0, f0) = leak::snapshot();
+            {
+                let set = ElasticMorphSet::<LeakKey, S>::with_policy(LoadPolicy {
+                    min_split_keys: 2,
+                    morph_list_max: 8,
+                    morph_skip_min: 24,
+                    ..LoadPolicy::default()
+                });
+                {
+                    let mut h = set.handle();
+                    for i in 1..=64 {
+                        h.add(LeakKey(i));
+                    }
+                }
+                for kind in [
+                    MorphKind::Unrolled,
+                    MorphKind::Skip,
+                    MorphKind::List,
+                    MorphKind::Skip,
+                    MorphKind::Unrolled,
+                ] {
+                    assert!(
+                        set.force_morph_at(LeakKey(1), kind),
+                        "{}: morph to {kind:?} must commit",
+                        S::NAME
+                    );
+                }
+                assert_eq!(set.morphs(), 5);
+                let mut h = set.handle();
+                for i in 1..=64 {
+                    assert!(h.contains(LeakKey(i)), "{}: key {i} lost in morph", S::NAME);
+                }
+                drop(h);
+                drive_collector(|| set.tables_alive() == 1);
+                assert_eq!(
+                    set.tables_alive(),
+                    1,
+                    "{}: retired router tables must collect",
+                    S::NAME
+                );
+            }
+            drive_collector(|| {
+                let (a, f) = leak::snapshot();
+                a - a0 == f - f0
+            });
+            let (a1, f1) = leak::snapshot();
+            assert!(a1 > a0, "{}: morph churn must allocate", S::NAME);
+            assert_eq!(
+                a1 - a0,
+                f1 - f0,
+                "{}: retired morphed backends must free every node",
+                S::NAME
+            );
+        }
+
+        #[test]
+        fn arena_morphs_are_leak_free() {
+            assert_morphs_are_leak_free::<SinglyList<LeakKey, true, true, false>>();
+        }
+
+        #[test]
+        fn epoch_morphs_are_leak_free() {
+            assert_morphs_are_leak_free::<SinglyList<LeakKey, true, true, false, EpochReclaim>>();
+        }
+
+        #[test]
+        fn hazard_morphs_are_leak_free() {
+            assert_morphs_are_leak_free::<SinglyList<LeakKey, true, false, false, HazardReclaim>>();
         }
     }
 }

@@ -122,7 +122,7 @@ pub(crate) mod sync;
 pub mod unrolled;
 pub mod variants;
 
-pub use elastic::{ElasticMap, ElasticSet, LoadPolicy};
+pub use elastic::{ElasticMap, ElasticMorphSet, ElasticSet, LoadPolicy, MorphKind};
 pub use key::Key;
 pub use ordered::{OrderedHandle, ScanBounds, Snapshot};
 pub use reclaim::Reclaimer;

@@ -23,23 +23,29 @@ use pragmatic_list::unrolled::UnrolledList;
 use pragmatic_list::variants::SinglyCursorList;
 use pragmatic_list::{ElasticSet, LoadPolicy};
 
+/// A committed split on a 4-key shard, load monitor disabled — the same
+/// policy as the passing protocol tests.
+fn elastic_policy() -> LoadPolicy {
+    LoadPolicy {
+        initial_shards: 1,
+        max_shards: 16,
+        check_period: 1 << 20,
+        window_min_ops: 1 << 20,
+        split_share_pct: 10,
+        merge_share_pct: 0,
+        min_split_keys: 2,
+        ..LoadPolicy::default()
+    }
+}
+
 #[test]
 fn weakened_slot_publish_is_detected() {
     let report = Builder::new()
         .preemption_bound(2)
         .max_iterations(200_000)
+        .on_reset(crossbeam_epoch::interleave_reset)
         .check(|| {
-            // Same policy as the passing protocol test: a committed
-            // split on a 4-key shard, load monitor disabled.
-            let policy = LoadPolicy {
-                initial_shards: 1,
-                max_shards: 16,
-                check_period: 1 << 20,
-                window_min_ops: 1 << 20,
-                split_share_pct: 10,
-                merge_share_pct: 0,
-                min_split_keys: 2,
-            };
+            let policy = elastic_policy();
             let set = Arc::new(ElasticSet::<i64, SinglyCursorList<i64>>::with_policy(
                 policy,
             ));
@@ -125,6 +131,57 @@ fn weakened_run_publish_is_detected() {
         .expect("the seeded AcqRel→Relaxed RUN_PUBLISH mutation must produce a failing schedule");
     eprintln!(
         "unrolled mutation caught after {} schedules:\n{failure}",
+        report.iterations
+    );
+}
+
+/// The RCU router's seeded mutation: `interleave_mutate` weakens
+/// `TABLE_PUBLISH` (see `sync.rs`) from `Release` to `Relaxed` on the
+/// table-publish CAS. Without the release edge, a reader's single
+/// `Acquire` load of the table pointer can observe the *new* table
+/// before the stores that bulk-loaded its freshly built shard backends
+/// are visible, so a routed lookup reads a stale (empty) backend and
+/// misses a key that was present before the migration. The checker must
+/// find such a stale-route schedule — the reader-only racing thread
+/// keeps the activity-slot weakening out of the picture, so the failure
+/// is attributable to the table publish.
+#[test]
+fn weakened_table_publish_is_detected() {
+    let report = Builder::new()
+        .preemption_bound(2)
+        .max_iterations(200_000)
+        .on_reset(crossbeam_epoch::interleave_reset)
+        .check(|| {
+            let set = Arc::new(ElasticSet::<i64, SinglyCursorList<i64>>::with_policy(
+                elastic_policy(),
+            ));
+            {
+                let mut h = set.handle();
+                for k in [10, 400, 700, 1_000] {
+                    assert!(h.add(k));
+                }
+            }
+            let s2 = Arc::clone(&set);
+            let t = interleave::thread::spawn(move || {
+                let mut h = s2.handle();
+                (h.contains(10), h.contains(1_000))
+            });
+            assert!(set.force_split_at(600), "the forced split must commit");
+            let (lo, hi) = t.join().unwrap();
+            assert!(lo, "key 10 must stay visible across the table publish");
+            assert!(hi, "key 1000 must stay visible across the table publish");
+            let mut set = Arc::into_inner(set).expect("all handles dropped");
+            set.check_invariants().unwrap();
+        });
+    eprintln!(
+        "router mutation run explored {} schedules",
+        report.iterations
+    );
+    let failure = report.failure.expect(
+        "the seeded Release→Relaxed TABLE_PUBLISH mutation must produce a failing schedule",
+    );
+    eprintln!(
+        "router mutation caught after {} schedules:\n{failure}",
         report.iterations
     );
 }

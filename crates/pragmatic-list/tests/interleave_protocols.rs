@@ -38,6 +38,7 @@ fn elastic_policy() -> LoadPolicy {
         split_share_pct: 10,
         merge_share_pct: 0,
         min_split_keys: 2,
+        ..LoadPolicy::default()
     }
 }
 
@@ -295,33 +296,91 @@ fn unrolled_epoch_retire_during_traversal() {
 /// never lose it.
 #[test]
 fn elastic_seal_drain_handshake() {
-    let report = builder(1).check(|| {
-        let set = Arc::new(ElasticSet::<i64, SinglyCursorList<i64>>::with_policy(
-            elastic_policy(),
-        ));
-        {
-            let mut h = set.handle();
-            for k in [10, 400, 700, 1_000] {
-                assert!(h.add(k));
+    // The RCU router retires superseded tables through the global epoch
+    // collector, so elastic executions need the epoch reset hook.
+    let report = builder(1)
+        .on_reset(crossbeam_epoch::interleave_reset)
+        .check(|| {
+            let set = Arc::new(ElasticSet::<i64, SinglyCursorList<i64>>::with_policy(
+                elastic_policy(),
+            ));
+            {
+                let mut h = set.handle();
+                for k in [10, 400, 700, 1_000] {
+                    assert!(h.add(k));
+                }
             }
-        }
-        let s2 = Arc::clone(&set);
-        let t = interleave::thread::spawn(move || {
-            let mut h = s2.handle();
-            h.add(500)
+            let s2 = Arc::clone(&set);
+            let t = interleave::thread::spawn(move || {
+                let mut h = s2.handle();
+                h.add(500)
+            });
+            // Race a split against the in-flight add: seal, drain the
+            // activity slots, migrate.
+            let split = set.force_split_at(600);
+            assert!(split, "the forced split must commit");
+            let added = t.join().unwrap();
+            assert!(added, "the racing add must not be lost");
+            let mut set = Arc::into_inner(set).expect("all handles dropped");
+            set.check_invariants().unwrap();
+            let mut h = set.handle();
+            for k in [10, 400, 500, 700, 1_000] {
+                assert!(h.contains(k), "key {k} must survive the migration");
+            }
         });
-        // Race a split against the in-flight add: seal, drain the
-        // activity slots, migrate.
-        let split = set.force_split_at(600);
-        assert!(split, "the forced split must commit");
-        let added = t.join().unwrap();
-        assert!(added, "the racing add must not be lost");
-        let mut set = Arc::into_inner(set).expect("all handles dropped");
-        set.check_invariants().unwrap();
-        let mut h = set.handle();
-        for k in [10, 400, 500, 700, 1_000] {
-            assert!(h.contains(k), "key {k} must survive the migration");
-        }
-    });
     accept("elastic_seal_drain_handshake", report);
+}
+
+/// Protocol 7: the RCU router's publish → read → retire handshake. The
+/// read path is a single `Acquire` load of the published table pointer —
+/// no mutex, no version handshake — so a reader routes through whichever
+/// table it observes while a migrator CAS-publishes the successor
+/// (`TABLE_PUBLISH`, `Release` on success) and retires the superseded
+/// table through the epoch collector. Every interleaving must (a) route
+/// the reader to a table whose freshly built shard backends are fully
+/// visible — the release/acquire pair is what makes the bulk-loaded
+/// contents travel with the pointer — and (b) keep the retired table's
+/// instrumented atomics alive while any reader still routes through it
+/// (a premature free trips the checker's use-after-free tombstones).
+/// Once the reader quiesces, driving the collector must free every
+/// superseded table.
+#[test]
+fn rcu_router_publish_read_retire() {
+    let report = builder(1)
+        .on_reset(crossbeam_epoch::interleave_reset)
+        .check(|| {
+            let set = Arc::new(ElasticSet::<i64, SinglyCursorList<i64>>::with_policy(
+                elastic_policy(),
+            ));
+            {
+                let mut h = set.handle();
+                for k in [10, 400, 700, 1_000] {
+                    assert!(h.add(k));
+                }
+            }
+            let s2 = Arc::clone(&set);
+            let t = interleave::thread::spawn(move || {
+                // A fresh handle snapshots the table with the one
+                // Acquire load and routes both probes through it,
+                // racing the CAS-publish and the old table's retirement.
+                let mut h = s2.handle();
+                (h.contains(10), h.contains(1_000))
+            });
+            assert!(set.force_split_at(600), "the forced split must commit");
+            let (lo, hi) = t.join().unwrap();
+            assert!(lo, "key 10 must stay visible across the table publish");
+            assert!(hi, "key 1000 must stay visible across the table publish");
+            // Retire leg: the reader is gone, so collection must free
+            // the pre-split table (three-epoch grace ⇒ a few flushes).
+            for _ in 0..8 {
+                if set.tables_alive() == 1 {
+                    break;
+                }
+                crossbeam_epoch::pin().flush();
+            }
+            assert_eq!(set.tables_alive(), 1, "retired router tables must collect");
+            let mut set = Arc::into_inner(set).expect("all handles dropped");
+            set.check_invariants().unwrap();
+        });
+    accept("rcu_router_publish_read_retire", report);
 }

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 
-use pragmatic_list::elastic::{ElasticMap, ElasticSet, LoadPolicy};
+use pragmatic_list::elastic::{ElasticMap, ElasticMorphSet, ElasticSet, LoadPolicy, MorphKind};
 use pragmatic_list::reclaim::{ArenaReclaim, EpochReclaim, HazardReclaim};
 use pragmatic_list::sharded::{ShardedMap, ShardedSet};
 use pragmatic_list::unrolled::UnrolledList;
@@ -24,6 +24,7 @@ type ShardedSkiplist8 = ShardedSet<i64, lockfree_skiplist::SkipListSet<i64>, 8>;
 type ShardedEpoch8 = ShardedSet<i64, pragmatic_list::variants::SinglyCursorEpochList<i64>, 8>;
 type ElasticSingly = ElasticSet<i64, SinglyCursorList<i64>>;
 type ElasticSkiplist = ElasticSet<i64, lockfree_skiplist::SkipListSet<i64>>;
+type ElasticMorph = ElasticMorphSet<i64, lockfree_skiplist::SkipListSet<i64>>;
 
 // CAP = 2 is the unrolled list's adversarial configuration: a node fills
 // after two inserts, so median splits fire on nearly every third add and
@@ -40,6 +41,79 @@ fn splittable() -> LoadPolicy {
         min_split_keys: 2,
         ..LoadPolicy::default()
     }
+}
+
+/// `splittable` with morph bands tight enough that medium tapes cross
+/// all three backend arms (list ≤ 8 < unrolled < 24 ≤ skiplist).
+fn morphable() -> LoadPolicy {
+    LoadPolicy {
+        min_split_keys: 2,
+        morph_list_max: 8,
+        morph_skip_min: 24,
+        // Pin an eager monitor cadence: the default is tuned for long
+        // benchmark runs and would not open a rebalance window within
+        // this test's short churn burst.
+        check_period: 64,
+        window_min_ops: 128,
+        ..LoadPolicy::default()
+    }
+}
+
+/// Applies `tape` to an [`ElasticMorphSet`] and a `BTreeSet` oracle
+/// while *forcing* list↔unrolled↔skiplist morphs (every fourth decision
+/// a split instead) mid-tape. A windowed `range()` is probed immediately
+/// before and immediately after each rebuild, so the scan demonstrably
+/// resumes across the morph; the tail checks quiescent exactness, final
+/// contents, and the router/backend invariants.
+fn check_morphs_against_btreeset(tape: &[Step], morph_every: usize) {
+    use std::collections::BTreeSet;
+    const KINDS: [MorphKind; 3] = [MorphKind::Unrolled, MorphKind::Skip, MorphKind::List];
+    let set = ElasticMorph::with_policy(morphable());
+    let mut h = set.handle();
+    let mut oracle = BTreeSet::new();
+    for (i, &step) in tape.iter().enumerate() {
+        let (got, want, key) = match step {
+            Step::Add(k) => (h.add(k), oracle.insert(k), k),
+            Step::Remove(k) => (h.remove(k), oracle.remove(&k), k),
+            Step::Contains(k) => (h.contains(k), oracle.contains(&k), k),
+        };
+        assert_eq!(got, want, "elastic_morph: step {i} diverged");
+        if morph_every > 0 && i % morph_every == morph_every - 1 {
+            let round = i / morph_every;
+            let window: Vec<i64> = oracle.range(..key).copied().collect();
+            assert_eq!(
+                h.range(..key).into_vec(),
+                window,
+                "window before rebuild {round}"
+            );
+            if round % 4 == 3 {
+                set.force_split_at(key);
+            } else {
+                set.force_morph_at(key, KINDS[round % 3]);
+            }
+            assert_eq!(
+                h.range(..key).into_vec(),
+                window,
+                "window resumed across rebuild {round}"
+            );
+        }
+    }
+    let all: Vec<i64> = oracle.iter().copied().collect();
+    assert_eq!(h.iter().into_vec(), all, "elastic_morph: full scan");
+    assert_eq!(h.len_estimate(), oracle.len());
+    for &lo in all.iter().take(3) {
+        for &hi in all.iter().rev().take(3) {
+            if lo <= hi {
+                let want: Vec<i64> = oracle.range(lo..=hi).copied().collect();
+                assert_eq!(h.range(lo..=hi).into_vec(), want, "window {lo}..={hi}");
+            }
+        }
+    }
+    drop(h);
+    let mut set = set;
+    assert_eq!(set.collect_keys(), all, "elastic_morph: final contents");
+    set.check_invariants()
+        .unwrap_or_else(|e| panic!("elastic_morph: invariant violated: {e}"));
 }
 
 /// Applies `tape` to an elastic set and a `BTreeSet` oracle while
@@ -458,6 +532,98 @@ fn scans_stay_consistent_under_churn_elastic_skiplist() {
 }
 
 #[test]
+fn scans_stay_consistent_under_churn_elastic_morph() {
+    // The default morph bands put the ~160-key churn population past
+    // `morph_list_max`, so policy-driven morphs rebuild shards while the
+    // readers scan.
+    scan_under_churn::<ElasticMorph>();
+}
+
+/// Churn scans racing *policy-driven* morphs: with tight bands the hot
+/// shard's population sits far outside the list arm, so the load
+/// monitor keeps re-sealing shards into other arms while three writers
+/// churn and a reader scans. The weak-consistency contract (sorted, no
+/// phantoms, stable band intact) must hold across every rebuild, and at
+/// least one morph must actually have fired.
+#[test]
+fn morph_scans_stay_consistent_under_policy_driven_morphs() {
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const STABLE: std::ops::Range<i64> = 1..100;
+    const CHURN: std::ops::Range<i64> = 100..200;
+    const PHANTOM: std::ops::Range<i64> = 200..300;
+
+    let set = ElasticMorph::with_policy(morphable());
+    let stable_oracle: BTreeSet<i64> = {
+        let mut h = set.handle();
+        STABLE.clone().filter(|&k| k % 3 != 0 && h.add(k)).collect()
+    };
+    let stop = AtomicBool::new(false);
+    struct StopOnDrop<'a>(&'a AtomicBool);
+    impl Drop for StopOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+    std::thread::scope(|s| {
+        let _stop_guard = StopOnDrop(&stop);
+        for t in 0..3i64 {
+            let (set, stop) = (&set, &stop);
+            s.spawn(move || {
+                let mut h = set.handle();
+                let mut x = 0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1);
+                while !stop.load(Ordering::Relaxed) {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let k = CHURN.start + ((x >> 33) % (CHURN.end - CHURN.start) as u64) as i64;
+                    if x.is_multiple_of(2) {
+                        h.add(k);
+                    } else {
+                        h.remove(k);
+                    }
+                }
+            });
+        }
+        let mut h = set.handle();
+        for round in 0..200 {
+            let snap = if round % 2 == 0 {
+                h.iter()
+            } else {
+                h.range(STABLE.start..PHANTOM.end)
+            };
+            let keys = snap.as_slice();
+            assert!(
+                keys.windows(2).all(|w| w[0] < w[1]),
+                "morph scan not strictly sorted"
+            );
+            assert!(
+                keys.iter().all(|k| !PHANTOM.contains(k)),
+                "phantom key surfaced across a morph"
+            );
+            let seen_stable: BTreeSet<i64> = keys
+                .iter()
+                .copied()
+                .filter(|k| STABLE.contains(k))
+                .collect();
+            assert_eq!(seen_stable, stable_oracle, "stable band diverged");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(
+        set.morphs() > 0,
+        "tight bands under churn must fire policy-driven morphs"
+    );
+    let mut h = set.handle();
+    let live = h.iter().into_vec();
+    drop(h);
+    let mut set = set;
+    assert_eq!(live, set.collect_keys(), "quiescent scan exactness");
+    set.check_invariants().unwrap();
+}
+
+#[test]
 fn scans_stay_consistent_under_churn_unrolled() {
     scan_under_churn::<UnrolledArenaList<i64>>();
 }
@@ -745,6 +911,26 @@ proptest! {
         check_elastic_with_forced_migrations::<SinglyCursorList<i64>>(&spread_tape, split_every);
         check_elastic_with_forced_migrations::<lockfree_skiplist::SkipListSet<i64>>(&spread_tape, split_every);
         check_elastic_with_forced_migrations::<UnrolledTiny>(&spread_tape, split_every);
+    }
+
+    /// The morphing elastic set replays arbitrary tapes identically to
+    /// the `BTreeSet` oracle while list↔unrolled↔skiplist morphs (and
+    /// the occasional split) are forced mid-tape, with a windowed scan
+    /// probed across every rebuild.
+    #[test]
+    fn elastic_morph_matches_btreeset_with_forced_morphs(
+        tape in proptest::collection::vec(step_strategy(64), 20..300),
+        morph_every in 5usize..40,
+    ) {
+        let spread_tape: Vec<Step> = tape
+            .iter()
+            .map(|s| match *s {
+                Step::Add(k) => Step::Add(spread(k)),
+                Step::Remove(k) => Step::Remove(spread(k)),
+                Step::Contains(k) => Step::Contains(spread(k)),
+            })
+            .collect();
+        check_morphs_against_btreeset(&spread_tape, morph_every);
     }
 
     /// `ElasticMap` against the `BTreeMap` oracle with splits forced

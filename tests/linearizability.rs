@@ -278,6 +278,7 @@ fn elastic_singly_is_linearizable_with_migrations_firing() {
             split_share_pct: 10,
             merge_share_pct: 0,
             min_split_keys: 2,
+            ..LoadPolicy::default()
         });
         assert!(
             record_and_check_spread_on(&set, 4, 30, 6, 0xE1A5_71C0 ^ round),
@@ -286,6 +287,37 @@ fn elastic_singly_is_linearizable_with_migrations_firing() {
         any_split |= set.splits() > 0;
     }
     assert!(any_split, "no migration fired across six eager rounds");
+}
+
+#[test]
+fn elastic_morph_is_linearizable_with_morphs_firing() {
+    use pragmatic_list::elastic::{ElasticMorphSet, LoadPolicy};
+    // Eager monitor + morph bands sitting inside the 6-key population
+    // range (list ≤ 1 < unrolled < 3 ≤ skiplist): every window the churn
+    // moves a shard across a band edge, the monitor re-seals it into
+    // another backend arm mid-history. Morphed keys must still produce
+    // linearizable per-key histories.
+    let mut any_morph = false;
+    for round in 0..6u64 {
+        let set =
+            ElasticMorphSet::<i64, lockfree_skiplist::SkipListSet<i64>>::with_policy(LoadPolicy {
+                initial_shards: 1,
+                max_shards: 32,
+                check_period: 8,
+                window_min_ops: 16,
+                split_share_pct: 10,
+                merge_share_pct: 0,
+                min_split_keys: 2,
+                morph_list_max: 1,
+                morph_skip_min: 3,
+            });
+        assert!(
+            record_and_check_spread_on(&set, 4, 30, 6, 0xE1A5_71C2 ^ round),
+            "elastic_morph produced a non-linearizable history (round {round})"
+        );
+        any_morph |= set.morphs() > 0;
+    }
+    assert!(any_morph, "no morph fired across six eager rounds");
 }
 
 #[test]
