@@ -73,6 +73,15 @@ impl OpMix {
         contains: 50,
     };
 
+    /// The delegation stress mix: 40% add, 40% rem, 20% con — the
+    /// write-share that drives a clustered hotspot past the elastic
+    /// router's combining threshold (`LoadPolicy::combine_write_pct`).
+    pub const WRITE_HEAVY: OpMix = OpMix {
+        add: 40,
+        remove: 40,
+        contains: 20,
+    };
+
     /// Validates that the three percentages sum to 100.
     pub fn is_valid(&self) -> bool {
         self.add + self.remove + self.contains == 100
@@ -151,6 +160,7 @@ mod tests {
     fn mixes_are_valid() {
         assert!(OpMix::READ_HEAVY.is_valid());
         assert!(OpMix::UPDATE_HEAVY.is_valid());
+        assert!(OpMix::WRITE_HEAVY.is_valid());
         assert!(!OpMix {
             add: 50,
             remove: 50,

@@ -285,8 +285,17 @@ impl Experiment {
             },
             "zipf" => Experiment {
                 id: "zipf",
-                description: "Zipfian mix 10/10/80, θ=0.99 clustered (hot keys adjacent)",
-                variants: zipf_variants(),
+                description: "Zipfian mix 10/10/80, θ=0.99 clustered; write-heavy delegation pass",
+                variants: {
+                    // The morphing elastic pair runs only in the
+                    // write-heavy delegation pass (repro filters them
+                    // out of the read-heavy main pass), so each variant
+                    // appears exactly once in BENCH_zipf.json.
+                    let mut v = zipf_variants();
+                    v.push(Variant::ElasticMorph);
+                    v.push(Variant::ElasticCombine);
+                    v
+                },
                 workload: if paper {
                     WorkloadSpec::ZipfianMix(zipf(64, 1_000_000, 1_000, 10_000, 0.99, false))
                 } else {

@@ -12,7 +12,7 @@
 //! [`ConcurrentOrderedSet`]: pragmatic_list::ConcurrentOrderedSet
 
 use lockfree_skiplist::SkipListSet;
-use pragmatic_list::elastic::{ElasticMorphSet, ElasticSet};
+use pragmatic_list::elastic::{ElasticCombineSet, ElasticMorphSet, ElasticSet};
 use pragmatic_list::sharded::ShardedSet;
 use pragmatic_list::variants::{
     CursorOnlyList, DoublyBackptrList, DoublyCursorEpochList, DoublyCursorList, DoublyHintedList,
@@ -100,6 +100,10 @@ pub enum Variant {
     /// skiplist per shard, chosen by `LoadPolicy` from the shard's
     /// population.
     ElasticMorph,
+    /// Elastic extension: the morphing elastic set with flat-combining
+    /// delegation enabled — write-hot shards funnel ops through one
+    /// combiner draining the sorted batch path instead of splitting.
+    ElasticCombine,
 }
 
 /// A computation that is generic over the list implementation.
@@ -145,7 +149,7 @@ pub trait VariantVisitor {
 impl Variant {
     /// All variants: paper order a)–f), then the ablation, reclamation,
     /// skiplist and sharding extensions.
-    pub const ALL: [Variant; 26] = [
+    pub const ALL: [Variant; 27] = [
         Variant::Draconic,
         Variant::Singly,
         Variant::Doubly,
@@ -172,6 +176,7 @@ impl Variant {
         Variant::UnrolledHinted,
         Variant::UnrolledEpoch,
         Variant::ElasticMorph,
+        Variant::ElasticCombine,
     ];
 
     /// The six variants of the paper, in table order a)–f).
@@ -236,7 +241,7 @@ impl Variant {
     /// fixed shards), and the elastic sets. `repro drift --variants
     /// elastic` quantifies what load-aware resharding buys over any
     /// fixed partition under a moving hotspot.
-    pub const ELASTIC: [Variant; 7] = [
+    pub const ELASTIC: [Variant; 8] = [
         Variant::SinglyCursor,
         Variant::ShardedSingly,
         Variant::ShardedSingly32,
@@ -244,6 +249,7 @@ impl Variant {
         Variant::ShardedSkiplist,
         Variant::ElasticSkiplist,
         Variant::ElasticMorph,
+        Variant::ElasticCombine,
     ];
 
     /// The sharding sweep: unsharded baselines next to their
@@ -317,6 +323,7 @@ impl Variant {
             Variant::UnrolledHinted => visitor.visit::<UnrolledHintedList<i64>>(),
             Variant::UnrolledEpoch => visitor.visit::<UnrolledEpochList<i64>>(),
             Variant::ElasticMorph => visitor.visit::<ElasticMorphSet<i64, SkipListSet<i64>>>(),
+            Variant::ElasticCombine => visitor.visit::<ElasticCombineSet<i64, SkipListSet<i64>>>(),
         }
     }
 
@@ -353,7 +360,8 @@ impl Variant {
     /// silently skew the labels: lettering follows `ALL` order, except
     /// that the ablation-only [`CursorOnly`](Variant::CursorOnly) keeps
     /// its traditional literal `x` (outside the sequence), which the
-    /// running alphabet therefore skips.
+    /// running alphabet therefore skips. Past `z` the alphabet wraps to
+    /// uppercase `A`, `B`, … (case-significant: `A` ≠ `a`).
     pub fn letter(self) -> char {
         if self == Variant::CursorOnly {
             return 'x';
@@ -363,13 +371,19 @@ impl Variant {
             .filter(|&&v| v != Variant::CursorOnly)
             .position(|&v| v == self)
             .expect("every variant appears in Variant::ALL");
-        assert!(idx < 26, "letter space exhausted — extend the scheme");
-        let mut c = b'a' + idx as u8;
-        if c >= b'x' {
-            // 'x' is reserved for the cursor-only ablation row.
-            c += 1;
+        // 25 lowercase rows (a..w, y, z — 'x' is reserved for the
+        // cursor-only ablation), then uppercase continuation.
+        if idx < 25 {
+            let mut c = b'a' + idx as u8;
+            if c >= b'x' {
+                c += 1;
+            }
+            c as char
+        } else {
+            let idx = idx - 25;
+            assert!(idx < 26, "letter space exhausted — extend the scheme");
+            (b'A' + idx as u8) as char
         }
-        c as char
     }
 
     /// The descriptive part of the paper row label, without the letter.
@@ -401,6 +415,7 @@ impl Variant {
             Variant::UnrolledHinted => "unrolled-hint k16",
             Variant::UnrolledEpoch => "unrolled-epoch k16",
             Variant::ElasticMorph => "elastic-morph",
+            Variant::ElasticCombine => "elastic-combine",
         }
     }
 
@@ -412,13 +427,23 @@ impl Variant {
     }
 
     /// Parses a CLI name (full name, alias, or single row letter as
-    /// printed by `--list-variants`; case-insensitive).
+    /// printed by `--list-variants`). Names are case-insensitive; a row
+    /// letter matches its exact case first (the alphabet wraps into
+    /// uppercase past `z`, so `A` names a different row than `a`) and
+    /// only falls back to the lowercase row when no exact row exists.
     pub fn parse(s: &str) -> Option<Variant> {
-        let s = s.trim().to_ascii_lowercase().replace('-', "_");
-        if s.len() == 1 {
-            let c = s.chars().next()?;
-            return Variant::ALL.into_iter().find(|v| v.letter() == c);
+        let t = s.trim();
+        if t.chars().count() == 1 {
+            let c = t.chars().next()?;
+            return Variant::ALL
+                .into_iter()
+                .find(|v| v.letter() == c)
+                .or_else(|| {
+                    let lc = c.to_ascii_lowercase();
+                    Variant::ALL.into_iter().find(|v| v.letter() == lc)
+                });
         }
+        let s = t.to_ascii_lowercase().replace('-', "_");
         Some(match s.as_str() {
             "draconic" => Variant::Draconic,
             "singly" => Variant::Singly,
@@ -446,6 +471,7 @@ impl Variant {
             "unrolled_hint" => Variant::UnrolledHinted,
             "unrolled_epoch" => Variant::UnrolledEpoch,
             "elastic_morph" => Variant::ElasticMorph,
+            "elastic_combine" => Variant::ElasticCombine,
             _ => return None,
         })
     }
@@ -542,6 +568,10 @@ mod tests {
             Some(Variant::UnrolledEpoch)
         );
         assert_eq!(Variant::parse("elastic-morph"), Some(Variant::ElasticMorph));
+        assert_eq!(
+            Variant::parse("elastic-combine"),
+            Some(Variant::ElasticCombine)
+        );
     }
 
     #[test]
@@ -606,6 +636,8 @@ mod tests {
         // 'x' is reserved, so the sequence jumps to 'y'.
         assert_eq!(Variant::UnrolledEpoch.letter(), 'y');
         assert_eq!(Variant::ElasticMorph.letter(), 'z');
+        // Past 'z' the alphabet wraps to uppercase.
+        assert_eq!(Variant::ElasticCombine.letter(), 'A');
         // No duplicates, ever — this is what hardcoded tables got wrong.
         let mut letters: Vec<char> = Variant::ALL.iter().map(|v| v.letter()).collect();
         letters.sort_unstable();
@@ -613,27 +645,31 @@ mod tests {
         assert_eq!(letters.len(), Variant::ALL.len());
         // Labels lead with the derived letter.
         assert_eq!(Variant::Unrolled.paper_label(), "v) unrolled k16");
-        // Letters round-trip through the parser.
+        // Letters round-trip through the parser, exact case first…
         for v in Variant::ALL {
             assert_eq!(Variant::parse(&v.letter().to_string()), Some(v));
         }
+        // …with lowercase fallback where no uppercase row exists.
+        assert_eq!(Variant::parse("F"), Some(Variant::DoublyCursor));
+        assert_eq!(Variant::parse("a"), Some(Variant::Draconic));
     }
 
     #[test]
     fn paper_sets_have_expected_sizes() {
-        assert_eq!(Variant::ALL.len(), 26);
+        assert_eq!(Variant::ALL.len(), 27);
         assert_eq!(Variant::PAPER.len(), 6);
         assert_eq!(Variant::SPARC.len(), 5);
         assert_eq!(Variant::RECLAIM.len(), 9);
         assert_eq!(Variant::SHARDED.len(), 7);
         assert_eq!(Variant::HOTPATH.len(), 5);
-        assert_eq!(Variant::ELASTIC.len(), 7);
+        assert_eq!(Variant::ELASTIC.len(), 8);
         assert_eq!(Variant::UNROLLED.len(), 5);
         assert!(Variant::UNROLLED.contains(&Variant::UnrolledHinted));
         assert!(Variant::UNROLLED.contains(&Variant::SinglyHinted));
         assert!(Variant::UNROLLED.contains(&Variant::Skiplist));
         assert!(Variant::ELASTIC.contains(&Variant::Elastic));
         assert!(Variant::ELASTIC.contains(&Variant::ElasticMorph));
+        assert!(Variant::ELASTIC.contains(&Variant::ElasticCombine));
         assert!(Variant::ELASTIC.contains(&Variant::ShardedSingly32));
         assert!(Variant::HOTPATH.contains(&Variant::SinglyHinted));
         assert!(!Variant::PAPER.contains(&Variant::SinglyHinted));
@@ -664,6 +700,7 @@ mod tests {
         );
         assert_eq!(Variant::Elastic.groups(), vec!["all", "elastic"]);
         assert_eq!(Variant::ElasticMorph.groups(), vec!["all", "elastic"]);
+        assert_eq!(Variant::ElasticCombine.groups(), vec!["all", "elastic"]);
         assert_eq!(Variant::Unrolled.groups(), vec!["all", "unroll"]);
         assert_eq!(Variant::UnrolledEpoch.groups(), vec!["all", "unroll"]);
         assert_eq!(
@@ -688,6 +725,7 @@ mod tests {
         assert_eq!(Variant::UnrolledHinted.name(), "unrolled_hint");
         assert_eq!(Variant::UnrolledEpoch.name(), "unrolled_epoch");
         assert_eq!(Variant::ElasticMorph.name(), "elastic_morph");
+        assert_eq!(Variant::ElasticCombine.name(), "elastic_combine");
     }
 
     #[test]

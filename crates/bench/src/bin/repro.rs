@@ -423,6 +423,23 @@ fn run_experiment(exp: Experiment, opt: &Options) {
         }
         WorkloadSpec::ZipfianMix(mut cfg) => {
             apply_zipf_overrides(&mut cfg, opt);
+            // The `zipf` experiment runs the morphing elastic pair only
+            // in the write-heavy delegation pass below, so each variant
+            // contributes exactly one row to BENCH_zipf.json.
+            let delegated: Vec<Variant> = if exp.id == "zipf" {
+                variants
+                    .iter()
+                    .copied()
+                    .filter(|v| matches!(v, Variant::ElasticMorph | Variant::ElasticCombine))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let main_variants: Vec<Variant> = variants
+                .iter()
+                .copied()
+                .filter(|v| !delegated.contains(v))
+                .collect();
             println!(
                 "   p={} c={} f={} U={} mix={}/{}/{} θ={} {}",
                 cfg.threads,
@@ -440,7 +457,7 @@ fn run_experiment(exp: Experiment, opt: &Options) {
                 }
             );
             let mut rows = Vec::new();
-            for v in variants {
+            for v in main_variants {
                 let r = v.run(&cfg);
                 println!(
                     "   {:<26} {:>10.1} ms  {:>12.1} Kops/s",
@@ -455,8 +472,13 @@ fn run_experiment(exp: Experiment, opt: &Options) {
                     .cloned()
                     .map(|r| BenchJsonRow::at_theta(r, cfg.theta)),
             );
-            println!("\n{}", report::format_table(exp.id, &rows));
-            append_csv(opt, &report::results_csv(&rows));
+            if !rows.is_empty() {
+                println!("\n{}", report::format_table(exp.id, &rows));
+                append_csv(opt, &report::results_csv(&rows));
+            }
+            if !delegated.is_empty() {
+                run_delegation_pass(&delegated, cfg, opt, &mut json_rows);
+            }
         }
         WorkloadSpec::SkewSweep { mut base, thetas } => {
             apply_zipf_overrides(&mut base, opt);
@@ -705,6 +727,68 @@ fn run_experiment(exp: Experiment, opt: &Options) {
         }
     }
     write_bench_json(opt, exp.id, &json_rows);
+}
+
+/// The `zipf` experiment's write-heavy delegation pass: the same
+/// clustered θ but mix 40/40/20 over a hot range narrow enough that
+/// splitting cannot dilute it — the contention case flat-combining
+/// delegation exists for. Runs the morphing elastic pair head-to-head
+/// (`elastic_morph` splits; `elastic_combine` delegates instead) and
+/// appends its rows to the same `BENCH_zipf.json`.
+fn run_delegation_pass(
+    variants: &[Variant],
+    base: bench_harness::ZipfianMixConfig,
+    opt: &Options,
+    json_rows: &mut Vec<BenchJsonRow>,
+) {
+    // The pass needs shard populations large enough that a migration is
+    // a real rebuild: under the write-hot cluster the splitter oscillates
+    // (split the hot shard, merge a cold pair, repeat — one bulk copy per
+    // load window), which is exactly the churn delegation suppresses.
+    // Scale the key range with the op budget (container scale: 320 k ops
+    // → U = 2 M, half-full) so `--ops`-reduced smoke runs stay fast, and
+    // cap it so `--threads`/`--ops` overrides cannot exhaust memory.
+    let total_ops = base.ops_per_thread * base.threads as u64;
+    let key_range = if opt.range.is_some() {
+        base.key_range
+    } else {
+        ((total_ops * 25) / 4).clamp(2_000, 8_000_000) as u32
+    };
+    let cfg = bench_harness::ZipfianMixConfig {
+        mix: bench_harness::OpMix::WRITE_HEAVY,
+        key_range,
+        prefill: u64::from(key_range) / 2,
+        ..base
+    };
+    println!(
+        "   delegation pass: p={} c={} f={} U={} mix={}/{}/{} θ={} clustered",
+        cfg.threads,
+        cfg.ops_per_thread,
+        cfg.prefill,
+        cfg.key_range,
+        cfg.mix.add,
+        cfg.mix.remove,
+        cfg.mix.contains,
+        cfg.theta,
+    );
+    let mut rows = Vec::new();
+    for v in variants {
+        let r = v.run(&cfg);
+        println!(
+            "   {:<26} {:>10.1} ms  {:>12.1} Kops/s",
+            v.paper_label(),
+            r.time_ms(),
+            r.kops_per_sec()
+        );
+        rows.push(r);
+    }
+    json_rows.extend(
+        rows.iter()
+            .cloned()
+            .map(|r| BenchJsonRow::at_theta(r, cfg.theta)),
+    );
+    println!("\n{}", report::format_table("zipf (delegation)", &rows));
+    append_csv(opt, &report::results_csv(&rows));
 }
 
 /// Writes the machine-readable `BENCH_<experiment>.json` next to the CSV

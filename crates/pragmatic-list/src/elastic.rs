@@ -109,7 +109,11 @@
 //! assert_eq!(h.len_estimate(), 200);
 //! ```
 
-use crate::sync::{AtomicBool, AtomicPtr, AtomicU64, Mutex, MutexGuard, TABLE_PUBLISH};
+use crate::sync::{
+    AtomicBool, AtomicPtr, AtomicU64, Mutex, MutexGuard, COMBINER_HANDOFF, COMBINE_PUBLISH,
+    TABLE_PUBLISH,
+};
+use std::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::mem::ManuallyDrop;
 use std::ops::RangeBounds;
@@ -162,6 +166,14 @@ pub struct LoadPolicy {
     /// Must exceed [`morph_list_max`](LoadPolicy::morph_list_max).
     /// Ignored by single-backend sets.
     pub morph_skip_min: usize,
+    /// Write share (percent of a shard's window that were `add`/`remove`
+    /// ops) at which the monitor marks the shard **write-hot** and
+    /// engages flat-combining delegation for it instead of splitting it
+    /// (splitting cannot help when the hot set sits inside one shard —
+    /// the contended head cache lines move to a child and stay
+    /// contended). `0` disables delegation entirely (the default; only
+    /// [`ElasticCombineSet`] opts in).
+    pub combine_write_pct: u32,
 }
 
 impl Default for LoadPolicy {
@@ -176,6 +188,7 @@ impl Default for LoadPolicy {
             min_split_keys: 16,
             morph_list_max: 64,
             morph_skip_min: 1024,
+            combine_write_pct: 0,
         }
     }
 }
@@ -189,6 +202,7 @@ impl LoadPolicy {
         );
         assert!(self.check_period >= 1);
         assert!(self.split_share_pct <= 100 && self.merge_share_pct <= 100);
+        assert!(self.combine_write_pct <= 100);
         assert!(
             self.morph_skip_min > self.morph_list_max,
             "morph arms must form disjoint population bands"
@@ -231,6 +245,35 @@ impl LoadPolicy {
             want
         } else {
             current
+        }
+    }
+
+    /// The default delegation-enabled policy used by
+    /// [`ElasticCombineSet::new`]: delegation engages once 40% of a
+    /// shard's window were writes.
+    pub fn combining() -> LoadPolicy {
+        LoadPolicy {
+            combine_write_pct: 40,
+            ..LoadPolicy::default()
+        }
+    }
+
+    /// Whether a shard that absorbed `writes` write ops out of `ops`
+    /// total in the closed window should run delegated (flat-combining),
+    /// given that it currently runs `current`. Mirrors the quarter-band
+    /// hysteresis of [`morph_kind_settled`](LoadPolicy::morph_kind_settled):
+    /// an engaged shard only disengages once its write share falls 25%
+    /// below the threshold, so a workload hovering at the boundary does
+    /// not flap the delegation flag every window.
+    pub fn combine_settled(&self, writes: u64, ops: u64, current: bool) -> bool {
+        if self.combine_write_pct == 0 || ops == 0 {
+            return false;
+        }
+        let pct = u64::from(self.combine_write_pct);
+        if current {
+            writes * 100 >= ops * (pct - pct / 4)
+        } else {
+            writes * 100 >= ops * pct
         }
     }
 }
@@ -281,6 +324,24 @@ trait ElasticBackend<K: ShardKey>: Send + Sync + Sized + 'static {
     /// so single-backend sets never pay for it.
     const MORPHS: bool = false;
 
+    /// `true` iff write ops against this backend can be delegated to a
+    /// combiner ([`apply_delegated`](ElasticBackend::apply_delegated) is
+    /// implemented). Sets delegate; maps never do — a delegated op
+    /// carries only a key, not a value.
+    const COMBINES: bool = false;
+
+    /// Applies one delegated write op — `add(key)` or `remove(key)` —
+    /// through an existing backend handle, returning the op's result.
+    /// Only called when [`COMBINES`](ElasticBackend::COMBINES) is
+    /// `true`; both the combiner drain and the direct (non-delegated)
+    /// write path of delegation-capable sets funnel through it, so a
+    /// delegated op is indistinguishable from a direct one at the
+    /// backend.
+    fn apply_delegated<'a>(handle: &mut Self::Handle<'a>, key: K, remove: bool) -> bool {
+        let _ = (handle, key, remove);
+        unreachable!("backend does not support delegation (COMBINES = false)")
+    }
+
     fn new() -> Self;
     /// Builds a backend running arm `kind`; single-arm backends ignore
     /// it.
@@ -327,6 +388,16 @@ where
     where
         Self: 'a;
     type Item = K;
+
+    const COMBINES: bool = true;
+
+    fn apply_delegated<'a>(handle: &mut B::Handle<'a>, key: K, remove: bool) -> bool {
+        if remove {
+            handle.remove(key)
+        } else {
+            handle.add(key)
+        }
+    }
 
     fn new() -> Self {
         SetBackend(B::new(), PhantomData)
@@ -502,6 +573,15 @@ where
     type Item = K;
 
     const MORPHS: bool = true;
+    const COMBINES: bool = true;
+
+    fn apply_delegated<'a>(handle: &mut MorphHandle<'a, K, S>, key: K, remove: bool) -> bool {
+        if remove {
+            handle.remove(key)
+        } else {
+            handle.add(key)
+        }
+    }
 
     fn new() -> Self {
         Self::new_kind(MorphKind::List)
@@ -583,8 +663,22 @@ struct ShardState<K, B> {
     /// Set (and never cleared) when a migration decommissions this
     /// shard; cleared only on an aborted split.
     sealed: AtomicBool,
+    /// Set by the monitor when this shard is write-hot enough to run
+    /// flat-combining delegation ([`LoadPolicy::combine_write_pct`]);
+    /// read (`Relaxed`) by the write path to decide direct-vs-delegate.
+    /// Purely a routing hint — every combine-protocol invariant holds
+    /// whether or not the flag is stable.
+    combining: AtomicBool,
+    /// Combiner lock: `true` while one thread drains this shard's
+    /// pending combine slots. Try-acquired only — a loser keeps
+    /// spinning on its own slot instead of queueing.
+    combiner: AtomicBool,
     /// Window op counter feeding the load monitor.
     ops: WindowCounter,
+    /// Write ops within the same window (a subset of
+    /// [`ops`](ShardState::ops)), feeding the write-share delegation
+    /// decision.
+    writes: WindowCounter,
     backend: B,
     _keys: PhantomData<K>,
 }
@@ -639,6 +733,115 @@ impl SlotRegistry {
             .unwrap()
             .iter()
             .any(|s| s.0.load(SeqCst) == id)
+    }
+}
+
+/// Bits of a combine-slot word reserved for the protocol tag; the rest
+/// carries the target shard id (`word = shard_id << COMBINE_TAG_BITS |
+/// tag`). Shard ids count migrations and never approach 2^61.
+const COMBINE_TAG_BITS: u32 = 3;
+/// Mask selecting the tag bits of a combine-slot word.
+const COMBINE_TAG_MASK: u64 = (1 << COMBINE_TAG_BITS) - 1;
+/// Slot is empty; the owning handle may write the payload cell.
+const COMBINE_IDLE: u64 = 0;
+/// A pending delegated `add` of the key in the payload cell.
+const COMBINE_ADD: u64 = 1;
+/// A pending delegated `remove` of the key in the payload cell.
+const COMBINE_REMOVE: u64 = 2;
+/// A combiner won the claim CAS and owns the payload cell until it
+/// publishes a done state.
+const COMBINE_CLAIMED: u64 = 3;
+/// The delegated op completed and returned `false`.
+const COMBINE_DONE_FALSE: u64 = 4;
+/// The delegated op completed and returned `true`.
+const COMBINE_DONE_TRUE: u64 = 5;
+
+/// One per-handle flat-combining mailbox slot: a cache-padded state
+/// word plus the pending op's key. The word is the only synchronization
+/// on the slot; the payload cell is plain memory whose ownership the
+/// word's transitions hand back and forth:
+///
+/// * waiter → combiner: the waiter writes the cell, then publishes
+///   `(shard_id << 3) | COMBINE_{ADD,REMOVE}` with [`COMBINE_PUBLISH`]
+///   (`Release`); a combiner claims the op by CASing that exact word to
+///   `CLAIMED` with `Acquire` success ordering, which makes the cell
+///   write visible to it.
+/// * combiner → waiter: the combiner applies the op and stores
+///   `COMBINE_DONE_{TRUE,FALSE}` with [`COMBINER_HANDOFF`] (`Release`);
+///   the waiter's `Acquire` spin load takes the result *and* every
+///   backend write the combiner performed, then restores `IDLE`.
+///
+/// A waiter whose still-unclaimed op lands on a sealed shard retracts
+/// it by CASing the pending word back to `IDLE` and re-routes; if the
+/// retraction CAS fails, a combiner claimed the op first and the waiter
+/// keeps spinning for its result.
+struct CombineSlot<K> {
+    word: CachePadded<AtomicU64>,
+    cell: UnsafeCell<Option<K>>,
+}
+
+// SAFETY: the payload cell is only touched by the slot's owning handle
+// while the word reads IDLE/DONE (single thread), or by the one
+// combiner that won the claim CAS while the word reads CLAIMED; the
+// publish/claim/handoff orderings documented on `CombineSlot` sequence
+// every ownership transfer, so no two threads access the cell
+// concurrently. `K: Send` suffices because keys are `Copy` values moved
+// through the cell, never aliased references.
+unsafe impl<K: Send> Send for CombineSlot<K> {}
+// SAFETY: as above — shared references to the slot only race on the
+// atomic word; cell access is exclusive by protocol state.
+unsafe impl<K: Send> Sync for CombineSlot<K> {}
+
+/// Registry of per-handle combine slots, mirroring [`SlotRegistry`]:
+/// orphaned slots are reused, a combiner snapshots the current slot
+/// vector under the mutex and scans without holding it.
+struct CombineRegistry<K> {
+    slots: Mutex<Vec<Arc<CombineSlot<K>>>>,
+    /// Lock-free mirror of `slots.len()`, read by combiners to decide
+    /// whether their cached snapshot is stale. Deliberately a plain
+    /// `std` atomic outside the [`crate::sync`] facade: staleness is
+    /// harmless — a combiner that misses a freshly registered slot
+    /// simply leaves that op for its own publisher, who always
+    /// volunteers as a combiner itself — so the counter carries no
+    /// cross-thread protocol and must not add model-checker
+    /// scheduling points.
+    len: std::sync::atomic::AtomicUsize,
+}
+
+impl<K> Default for CombineRegistry<K> {
+    fn default() -> Self {
+        CombineRegistry {
+            slots: Mutex::new(Vec::new()),
+            len: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<K> CombineRegistry<K> {
+    fn register(&self) -> Arc<CombineSlot<K>> {
+        let mut slots = self.slots.lock().unwrap();
+        if let Some(slot) = slots.iter().find(|s| Arc::strong_count(s) == 1) {
+            slot.word.0.store(COMBINE_IDLE, Release);
+            return Arc::clone(slot);
+        }
+        let slot = Arc::new(CombineSlot {
+            word: CachePadded(AtomicU64::new(COMBINE_IDLE)),
+            cell: UnsafeCell::new(None),
+        });
+        slots.push(Arc::clone(&slot));
+        self.len.store(slots.len(), Relaxed);
+        slot
+    }
+
+    /// Clones the current slot vector; the combiner scans the clone so
+    /// the registry mutex is never held across backend operations.
+    /// Handles cache the clone and revalidate it against [`len`]
+    /// (`CombineRegistry::len`), so the mutex is only retaken when a
+    /// new slot has been registered since — cached `Arc`s keep an
+    /// orphaned slot's strong count above one until the next refresh,
+    /// which merely delays (never defeats) `register`'s orphan reuse.
+    fn snapshot(&self) -> Vec<Arc<CombineSlot<K>>> {
+        self.slots.lock().unwrap().clone()
     }
 }
 
@@ -705,9 +908,21 @@ struct ElasticCore<K, B> {
     next_id: AtomicU64,
     policy: LoadPolicy,
     slots: SlotRegistry,
+    /// Per-handle flat-combining mailbox slots (delegation-capable sets
+    /// only; empty for maps).
+    combine: CombineRegistry<K>,
+    /// When set (tests, diagnostics), every current and future shard's
+    /// delegation flag is pinned on and the monitor's delegation sweep
+    /// is suspended.
+    combine_pin: AtomicBool,
     splits: AtomicU64,
     merges: AtomicU64,
     morphs: AtomicU64,
+    /// Times the monitor engaged delegation on a shard.
+    delegations: AtomicU64,
+    /// Delegated ops applied by combiners on behalf of other handles'
+    /// slots (diagnostic; window counters are bumped by the waiters).
+    combined: AtomicU64,
     /// Router tables of this structure currently allocated (published +
     /// retired-but-uncollected). See `RouterTable::alive`.
     tables_alive: Arc<std::sync::atomic::AtomicUsize>,
@@ -735,7 +950,10 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
                     // partition: ceil(i·2^64 / n).
                     lo: (((i as u128) << 64).div_ceil(n as u128)) as u64,
                     sealed: AtomicBool::new(false),
+                    combining: AtomicBool::new(false),
+                    combiner: AtomicBool::new(false),
                     ops: WindowCounter::default(),
+                    writes: WindowCounter::default(),
                     backend: B::new(),
                     _keys: PhantomData,
                 })
@@ -750,9 +968,13 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
             next_id: AtomicU64::new(n as u64 + 1),
             policy,
             slots: SlotRegistry::default(),
+            combine: CombineRegistry::default(),
+            combine_pin: AtomicBool::new(false),
             splits: AtomicU64::new(0),
             merges: AtomicU64::new(0),
             morphs: AtomicU64::new(0),
+            delegations: AtomicU64::new(0),
+            combined: AtomicU64::new(0),
             tables_alive,
         }
     }
@@ -768,6 +990,9 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
         CoreHandle {
             core: self,
             slot: self.slots.register(),
+            cslot: self.combine.register(),
+            peers: Vec::new(),
+            drain_scratch: Vec::new(),
             table,
             entries,
             bounds,
@@ -872,7 +1097,14 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
             id: self.next_id.fetch_add(1, Relaxed),
             lo,
             sealed: AtomicBool::new(false),
+            // Replacement shards inherit a pinned delegation flag so a
+            // forced split cannot silently disengage delegation under a
+            // test; unpinned shards start direct and let the monitor's
+            // write-share sweep re-engage.
+            combining: AtomicBool::new(self.combine_pin.load(Relaxed)),
+            combiner: AtomicBool::new(false),
             ops: WindowCounter::default(),
+            writes: WindowCounter::default(),
             backend,
             _keys: PhantomData,
         })
@@ -982,10 +1214,11 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
         let Ok(writer) = self.writer.try_lock() else {
             return;
         };
-        let (window, shard_len) = {
+        let (window, writes, shard_len) = {
             let table = self.published(&writer);
             let window: Vec<u64> = table.shards.iter().map(|s| s.ops.read()).collect();
-            (window, table.shards.len())
+            let writes: Vec<u64> = table.shards.iter().map(|s| s.writes.read()).collect();
+            (window, writes, table.shards.len())
         };
         let total: u64 = window.iter().sum();
         if total < self.policy.window_min_ops {
@@ -993,13 +1226,47 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
         }
         for s in self.published(&writer).shards.iter() {
             s.ops.reset();
+            s.writes.reset();
+        }
+        // Delegation sweep: flip each shard's flat-combining flag from
+        // its window write share, with the `combine_settled` hysteresis.
+        // Runs before the split decision because the two interact — a
+        // write-hot shard is *delegated instead of split* (splitting
+        // moves the contended hot set to a child and leaves it just as
+        // contended; the combiner turns it into the amortized batch
+        // path). Suspended while a test has the flags pinned.
+        if B::COMBINES && self.policy.combine_write_pct > 0 && !self.combine_pin.load(Relaxed) {
+            let table_shards: Vec<_> = self
+                .published(&writer)
+                .shards
+                .iter()
+                .map(Arc::clone)
+                .collect();
+            for (i, shard) in table_shards.iter().enumerate() {
+                let cur = shard.combining.load(Relaxed);
+                let want = self.policy.combine_settled(writes[i], window[i], cur);
+                if want != cur {
+                    shard.combining.store(want, Relaxed);
+                    if want {
+                        self.delegations.fetch_add(1, Relaxed);
+                    }
+                }
+            }
         }
         let (hot, &hot_ops) = window
             .iter()
             .enumerate()
             .max_by_key(|&(_, ops)| *ops)
             .expect("router table is never empty");
-        if hot_ops * 100 > total * self.policy.split_share_pct as u64
+        let hot_delegated = B::COMBINES
+            && self.policy.combine_write_pct > 0
+            && self
+                .published(&writer)
+                .shards
+                .get(hot)
+                .is_some_and(|s| s.combining.load(Relaxed));
+        if !hot_delegated
+            && hot_ops * 100 > total * self.policy.split_share_pct as u64
             && shard_len < self.policy.max_shards
             && self.split_locked(&writer, hot)
         {
@@ -1067,6 +1334,19 @@ impl<K: ShardKey, B: ElasticBackend<K>> ElasticCore<K, B> {
         let writer = self.writer.lock().unwrap();
         let idx = Self::route_in(&self.published(&writer).shards, key.rank64());
         self.merge_locked(&writer, idx)
+    }
+
+    /// Pins every current and future shard's flat-combining flag to
+    /// `on` and suspends the monitor's delegation sweep while pinned
+    /// (deterministic test and diagnostic support — the combine
+    /// protocol itself never depends on flag stability).
+    fn pin_combining(&self, on: bool) {
+        self.combine_pin.store(on, Relaxed);
+        self.with_published(|t| {
+            for s in t.shards.iter() {
+                s.combining.store(on, Relaxed);
+            }
+        });
     }
 
     /// Rebuilds the shard owning `key`'s rank in arm `kind`. `true` iff
@@ -1179,6 +1459,9 @@ struct Entry<K: ShardKey, B: ElasticBackend<K>> {
     cached: Option<B::Handle<'static>>,
     shard: Arc<ShardState<K, B>>,
     local_ops: u32,
+    /// Write ops among `local_ops`, flushed to the shard's write
+    /// window on the same schedule.
+    local_writes: u32,
 }
 
 impl<K: ShardKey, B: ElasticBackend<K>> Entry<K, B> {
@@ -1187,6 +1470,7 @@ impl<K: ShardKey, B: ElasticBackend<K>> Entry<K, B> {
             cached: None,
             shard,
             local_ops: 0,
+            local_writes: 0,
         }
     }
 
@@ -1227,6 +1511,18 @@ unsafe fn erase_handle_lifetime<'a, K: ShardKey, B: ElasticBackend<K>>(
 struct CoreHandle<'s, K: ShardKey, B: ElasticBackend<K>> {
     core: &'s ElasticCore<K, B>,
     slot: Arc<CachePadded<AtomicU64>>,
+    /// This handle's flat-combining mailbox slot (see [`CombineSlot`]).
+    /// Idle except while a write op on a delegated shard is in flight.
+    cslot: Arc<CombineSlot<K>>,
+    /// Cached clone of the combine-slot registry, scanned on every
+    /// drain pass and refreshed only when the registry's slot count
+    /// changes — the drain hot path never takes the registry mutex or
+    /// allocates. Staleness is safe: an unseen publisher volunteers as
+    /// its own combiner.
+    peers: Vec<Arc<CombineSlot<K>>>,
+    /// Reusable drain scratch: `(peers index, key, remove)` triples
+    /// claimed by the current pass. Cleared, never shrunk.
+    drain_scratch: Vec<(usize, K, bool)>,
     /// Owning snapshot of the router table this handle routes through.
     /// Revalidated by comparing its address against the published
     /// pointer: the `Arc` pins the allocation, so an address match
@@ -1354,9 +1650,198 @@ impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
             }
             let out = op(self.entries[idx].handle());
             self.slot.0.store(SLOT_IDLE, Release);
+            self.note_writes(idx, 1);
             self.note_ops(idx, 1);
             return out;
         }
+    }
+
+    /// Single-key write op (`add` when `remove` is false, `remove`
+    /// otherwise) for delegation-capable backends: the
+    /// [`with_shard`](CoreHandle::with_shard) protocol, plus a
+    /// flat-combining branch — when the routed shard is flagged
+    /// write-hot the op is enqueued into this handle's combine slot for
+    /// a combiner to apply through the shard's batch path instead of
+    /// CAS-racing the other writers directly.
+    fn update(&mut self, key: K, remove: bool) -> bool {
+        let rank = key.rank64();
+        loop {
+            self.maybe_refresh();
+            let idx = self.route(rank);
+            if B::COMBINES && self.entries[idx].shard.combining.load(Relaxed) {
+                match self.delegate(idx, key, remove) {
+                    Some(out) => return out,
+                    // The shard sealed while the op was still pending
+                    // and the retraction won: wait out the migration,
+                    // then re-route.
+                    None => {
+                        Self::stall(
+                            self.core,
+                            Arc::as_ptr(&self.table),
+                            &self.entries[idx].shard,
+                        );
+                        continue;
+                    }
+                }
+            }
+            self.slot.0.store(self.entries[idx].shard.id, SLOT_PUBLISH);
+            if self.entries[idx].shard.sealed.load(SeqCst) {
+                self.slot.0.store(SLOT_IDLE, Release);
+                Self::stall(
+                    self.core,
+                    Arc::as_ptr(&self.table),
+                    &self.entries[idx].shard,
+                );
+                continue;
+            }
+            let out = B::apply_delegated(self.entries[idx].handle(), key, remove);
+            self.slot.0.store(SLOT_IDLE, Release);
+            self.note_writes(idx, 1);
+            self.note_ops(idx, 1);
+            return out;
+        }
+    }
+
+    /// Enqueues one write op into this handle's combine slot and waits
+    /// for a combiner to publish its result — volunteering as the
+    /// combiner itself whenever the shard's combiner lock is free (so
+    /// delegation never deadlocks: some pending waiter always
+    /// eventually drains). Returns the op's result, or `None` if the
+    /// shard sealed before any combiner claimed the op — the op was
+    /// retracted without taking effect and must re-route.
+    fn delegate(&mut self, idx: usize, key: K, remove: bool) -> Option<bool> {
+        let shard_id = self.entries[idx].shard.id;
+        let tag = if remove { COMBINE_REMOVE } else { COMBINE_ADD };
+        let pending = (shard_id << COMBINE_TAG_BITS) | tag;
+        // SAFETY: the slot word reads IDLE here — this handle is the
+        // only publisher, and every exit path below restores IDLE — so
+        // this handle owns the payload cell.
+        unsafe { *self.cslot.cell.get() = Some(key) };
+        self.cslot.word.0.store(pending, COMBINE_PUBLISH);
+        loop {
+            let w = self.cslot.word.0.load(Acquire);
+            match w {
+                COMBINE_DONE_TRUE | COMBINE_DONE_FALSE => {
+                    // The Acquire load above pairs with the combiner's
+                    // COMBINER_HANDOFF release: the backend mutation is
+                    // visible before we return. Exactly one op completed
+                    // on this slot — count it here, never in the
+                    // combiner, so window shares stay truthful.
+                    self.cslot.word.0.store(COMBINE_IDLE, Release);
+                    self.note_writes(idx, 1);
+                    self.note_ops(idx, 1);
+                    return Some(w == COMBINE_DONE_TRUE);
+                }
+                // A combiner owns the op; its result is imminent.
+                COMBINE_CLAIMED => crate::sync::thread_yield(),
+                _ => {
+                    debug_assert_eq!(w, pending);
+                    if self.entries[idx].shard.sealed.load(SeqCst) {
+                        // Retract the unclaimed op so the migration's
+                        // copy cannot strand it on the decommissioned
+                        // backend. A failed CAS means a combiner claimed
+                        // it first and will finish before the drain lets
+                        // the copy start — keep waiting for the result.
+                        if self
+                            .cslot
+                            .word
+                            .0
+                            .compare_exchange(pending, COMBINE_IDLE, Relaxed, Relaxed)
+                            .is_ok()
+                        {
+                            return None;
+                        }
+                    } else if !self.combine_drain(idx) {
+                        // Another combiner holds the lock (or the shard
+                        // sealed under it); donate the timeslice so the
+                        // holder can finish and publish our result.
+                        crate::sync::thread_yield();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tries to become the combiner for the shard at `idx`: claims the
+    /// shard's combiner lock, joins the seal protocol through the
+    /// activity slot exactly like a direct writer, then claims every
+    /// pending combine slot naming this shard and applies the claimed
+    /// ops in one sorted pass over the cached backend handle. Returns
+    /// `true` iff a drain pass ran — `false` means another thread holds
+    /// the combiner lock or the shard sealed first, and the caller
+    /// should yield rather than spin on the lock.
+    fn combine_drain(&mut self, idx: usize) -> bool {
+        let shard = Arc::clone(&self.entries[idx].shard);
+        if shard
+            .combiner
+            .compare_exchange(false, true, Acquire, Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        // The combiner is a writer: publish the activity slot and
+        // re-check the seal so a migration's drain waits for the whole
+        // batch below, and no batch can start after the seal.
+        self.slot.0.store(shard.id, SLOT_PUBLISH);
+        if shard.sealed.load(SeqCst) {
+            self.slot.0.store(SLOT_IDLE, Release);
+            shard.combiner.store(false, Release);
+            return false;
+        }
+        if self.peers.len() != self.core.combine.len.load(Relaxed) {
+            self.peers = self.core.combine.snapshot();
+        }
+        let mut claimed = std::mem::take(&mut self.drain_scratch);
+        for (i, s) in self.peers.iter().enumerate() {
+            let w = s.word.0.load(Relaxed);
+            let tag = w & COMBINE_TAG_MASK;
+            if (w >> COMBINE_TAG_BITS) != shard.id || (tag != COMBINE_ADD && tag != COMBINE_REMOVE)
+            {
+                continue;
+            }
+            // Claim-or-skip: a lost CAS means the waiter retracted (or
+            // another combiner of an older generation claimed) first.
+            // Acquire success pairs with the waiter's COMBINE_PUBLISH
+            // release, making the payload cell's key visible below.
+            if s.word
+                .0
+                .compare_exchange(w, COMBINE_CLAIMED, Acquire, Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            // SAFETY: winning the claim CAS transfers payload-cell
+            // ownership from the waiter to this combiner until the
+            // done publish; no other thread touches the cell while the
+            // word reads CLAIMED.
+            let key = unsafe { *s.cell.get() }.expect("claimed combine slot holds a key");
+            claimed.push((i, key, tag == COMBINE_REMOVE));
+        }
+        // Ascending key order: the whole batch applies in one amortized
+        // traversal direction, mirroring the `add_batch` sorted-run
+        // discipline that makes delegation cheaper than CAS-racing.
+        claimed.sort_unstable_by_key(|&(_, key, _)| key);
+        let n = claimed.len() as u64;
+        let h = self.entries[idx].handle();
+        for &(i, key, remove) in &claimed {
+            let out = B::apply_delegated(h, key, remove);
+            self.peers[i].word.0.store(
+                if out {
+                    COMBINE_DONE_TRUE
+                } else {
+                    COMBINE_DONE_FALSE
+                },
+                COMBINER_HANDOFF,
+            );
+        }
+        if n > 0 {
+            self.core.combined.fetch_add(n, Relaxed);
+        }
+        claimed.clear();
+        self.drain_scratch = claimed;
+        self.slot.0.store(SLOT_IDLE, Release);
+        shard.combiner.store(false, Release);
+        true
     }
 
     /// Read-only analogue of [`with_shard`](CoreHandle::with_shard):
@@ -1424,6 +1909,7 @@ impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
             self.slot.0.store(SLOT_IDLE, Release);
             let run = (j - i) as u32;
             i = j;
+            self.note_writes(idx, run);
             self.note_ops(idx, run);
         }
         n
@@ -1514,6 +2000,14 @@ impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
         total
     }
 
+    /// Write-share accounting: marks `n` of the ops about to be noted
+    /// on `idx` as writes. Flushed alongside `local_ops` by
+    /// [`note_ops`](CoreHandle::note_ops), so call it first.
+    #[inline]
+    fn note_writes(&mut self, idx: usize, n: u32) {
+        self.entries[idx].local_writes += n;
+    }
+
     /// Load accounting + the amortized monitor hook.
     #[inline]
     fn note_ops(&mut self, idx: usize, n: u32) {
@@ -1522,6 +2016,10 @@ impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
         if e.local_ops >= OPS_FLUSH_BLOCK {
             e.shard.ops.bump(e.local_ops as u64);
             e.local_ops = 0;
+            if e.local_writes > 0 {
+                e.shard.writes.bump(e.local_writes as u64);
+                e.local_writes = 0;
+            }
         }
         self.ops_since_check += n;
         if self.ops_since_check >= self.core.policy.check_period {
@@ -1530,6 +2028,10 @@ impl<'s, K: ShardKey, B: ElasticBackend<K>> CoreHandle<'s, K, B> {
                 if e.local_ops > 0 {
                     e.shard.ops.bump(e.local_ops as u64);
                     e.local_ops = 0;
+                }
+                if e.local_writes > 0 {
+                    e.shard.writes.bump(e.local_writes as u64);
+                    e.local_writes = 0;
                 }
             }
             self.core.try_rebalance();
@@ -1616,6 +2118,24 @@ where
     /// yet. Settles back to 1 once collection catches up (leak tests).
     pub fn tables_alive(&self) -> usize {
         self.core.tables_alive()
+    }
+
+    /// Pins every current and future shard's flat-combining flag to
+    /// `on` and suspends the monitor's delegation sweep while pinned
+    /// (deterministic tests and diagnostics).
+    pub fn pin_combining(&self, on: bool) {
+        self.core.pin_combining(on)
+    }
+
+    /// Times the monitor engaged delegation on a shard.
+    pub fn delegations(&self) -> u64 {
+        self.core.delegations.load(Relaxed)
+    }
+
+    /// Delegated ops applied by combiners so far (self-combined ops
+    /// included).
+    pub fn combined(&self) -> u64 {
+        self.core.combined.load(Relaxed)
     }
 
     /// Live keys per shard (quiescent).
@@ -1707,11 +2227,11 @@ where
     for<'a> B::Handle<'a>: OrderedHandle<K>,
 {
     fn add(&mut self, key: K) -> bool {
-        self.inner.with_shard(key, |h| h.add(key))
+        self.inner.update(key, false)
     }
 
     fn remove(&mut self, key: K) -> bool {
-        self.inner.with_shard(key, |h| h.remove(key))
+        self.inner.update(key, true)
     }
 
     fn contains(&mut self, key: K) -> bool {
@@ -1837,6 +2357,24 @@ where
         self.core.tables_alive()
     }
 
+    /// Pins every current and future shard's flat-combining flag to
+    /// `on` and suspends the monitor's delegation sweep while pinned
+    /// (deterministic tests and diagnostics).
+    pub fn pin_combining(&self, on: bool) {
+        self.core.pin_combining(on)
+    }
+
+    /// Times the monitor engaged delegation on a shard.
+    pub fn delegations(&self) -> u64 {
+        self.core.delegations.load(Relaxed)
+    }
+
+    /// Delegated ops applied by combiners so far (self-combined ops
+    /// included).
+    pub fn combined(&self) -> u64 {
+        self.core.combined.load(Relaxed)
+    }
+
     /// Deterministically splits the shard owning `key`.
     pub fn force_split_at(&self, key: K) -> bool {
         self.core.force_split_at(key)
@@ -1949,11 +2487,11 @@ where
     for<'a> S::Handle<'a>: OrderedHandle<K>,
 {
     fn add(&mut self, key: K) -> bool {
-        self.inner.with_shard(key, |h| h.add(key))
+        self.inner.update(key, false)
     }
 
     fn remove(&mut self, key: K) -> bool {
-        self.inner.with_shard(key, |h| h.remove(key))
+        self.inner.update(key, true)
     }
 
     fn contains(&mut self, key: K) -> bool {
@@ -1989,6 +2527,157 @@ where
 
     fn len_estimate(&mut self) -> usize {
         self.inner.len_estimate()
+    }
+}
+
+/// An [`ElasticMorphSet`] with flat-combining delegation enabled: the
+/// monitor watches each shard's write share and, once it crosses
+/// [`LoadPolicy::combine_write_pct`], stops splitting the shard and
+/// instead funnels its write ops through one combiner at a time — each
+/// writer parks its op in a per-handle padded mailbox slot, one thread
+/// claims the shard's combiner lock, drains every pending slot in one
+/// sorted pass over the backend, and publishes per-op results back
+/// through the slots. Splitting moves a contended hot set to a child
+/// shard and leaves it just as contended; combining turns it into the
+/// amortized batch path and keeps the router table stable.
+///
+/// # Examples
+///
+/// ```
+/// use pragmatic_list::elastic::ElasticCombineSet;
+/// use pragmatic_list::variants::SinglyCursorEpochList;
+/// use pragmatic_list::{ConcurrentOrderedSet, SetHandle};
+///
+/// let set = ElasticCombineSet::<i64, SinglyCursorEpochList<i64>>::new();
+/// set.pin_combining(true); // deterministic: every shard delegates
+/// let mut h = set.handle();
+/// assert!(h.add(7));
+/// assert!(h.contains(7));
+/// assert!(h.remove(7));
+/// assert!(set.combined() >= 1);
+/// ```
+pub struct ElasticCombineSet<K, S>
+where
+    K: ShardKey,
+    S: ConcurrentOrderedSet<K> + 'static,
+    for<'a> S::Handle<'a>: OrderedHandle<K>,
+{
+    inner: ElasticMorphSet<K, S>,
+}
+
+impl<K, S> ElasticCombineSet<K, S>
+where
+    K: ShardKey,
+    S: ConcurrentOrderedSet<K> + 'static,
+    for<'a> S::Handle<'a>: OrderedHandle<K>,
+{
+    /// Creates an empty set governed by `policy` (delegation engages
+    /// only if `policy.combine_write_pct > 0`).
+    pub fn with_policy(policy: LoadPolicy) -> Self {
+        ElasticCombineSet {
+            inner: ElasticMorphSet::with_policy(policy),
+        }
+    }
+
+    /// The thresholds this set rebalances, morphs and delegates under.
+    pub fn policy(&self) -> LoadPolicy {
+        self.inner.policy()
+    }
+
+    /// Current number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    /// Committed splits so far.
+    pub fn splits(&self) -> u64 {
+        self.inner.splits()
+    }
+
+    /// Committed merges so far.
+    pub fn merges(&self) -> u64 {
+        self.inner.merges()
+    }
+
+    /// Committed morphs so far.
+    pub fn morphs(&self) -> u64 {
+        self.inner.morphs()
+    }
+
+    /// Times the monitor engaged delegation on a shard.
+    pub fn delegations(&self) -> u64 {
+        self.inner.delegations()
+    }
+
+    /// Delegated ops applied by combiners so far (self-combined ops
+    /// included).
+    pub fn combined(&self) -> u64 {
+        self.inner.combined()
+    }
+
+    /// Pins every current and future shard's flat-combining flag to
+    /// `on` and suspends the monitor's delegation sweep while pinned
+    /// (deterministic tests and diagnostics).
+    pub fn pin_combining(&self, on: bool) {
+        self.inner.pin_combining(on)
+    }
+
+    /// Deterministically splits the shard owning `key`.
+    pub fn force_split_at(&self, key: K) -> bool {
+        self.inner.force_split_at(key)
+    }
+
+    /// Deterministically merges the shard owning `key` with its right
+    /// neighbour.
+    pub fn force_merge_at(&self, key: K) -> bool {
+        self.inner.force_merge_at(key)
+    }
+
+    /// Router tables currently allocated (published + retired awaiting
+    /// collection); settles back to 1 once collection catches up.
+    pub fn tables_alive(&self) -> usize {
+        self.inner.tables_alive()
+    }
+}
+
+impl<K, S> Default for ElasticCombineSet<K, S>
+where
+    K: ShardKey,
+    S: ConcurrentOrderedSet<K> + 'static,
+    for<'a> S::Handle<'a>: OrderedHandle<K>,
+{
+    fn default() -> Self {
+        <Self as ConcurrentOrderedSet<K>>::new()
+    }
+}
+
+impl<K, S> ConcurrentOrderedSet<K> for ElasticCombineSet<K, S>
+where
+    K: ShardKey,
+    S: ConcurrentOrderedSet<K> + 'static,
+    for<'a> S::Handle<'a>: OrderedHandle<K>,
+{
+    type Handle<'a>
+        = ElasticMorphSetHandle<'a, K, S>
+    where
+        Self: 'a;
+
+    const NAME: &'static str = "elastic_combine";
+
+    fn new() -> Self {
+        Self::with_policy(LoadPolicy::combining())
+    }
+
+    fn handle(&self) -> ElasticMorphSetHandle<'_, K, S> {
+        self.inner.handle()
+    }
+
+    fn collect_keys(&mut self) -> Vec<K> {
+        self.inner.collect_keys()
+    }
+
+    fn check_invariants(&mut self) -> Result<(), InvariantViolation> {
+        self.inner.check_invariants()
     }
 }
 
@@ -2708,6 +3397,160 @@ mod tests {
         set.check_invariants().unwrap();
     }
 
+    type CombineSet = ElasticCombineSet<i64, crate::variants::SinglyCursorEpochList<i64>>;
+
+    #[test]
+    fn combine_names_and_default_policy() {
+        assert_eq!(CombineSet::NAME, "elastic_combine");
+        assert_eq!(LoadPolicy::combining().combine_write_pct, 40);
+        assert_eq!(LoadPolicy::default().combine_write_pct, 0);
+    }
+
+    #[test]
+    fn combine_settled_mirrors_morph_hysteresis() {
+        let p = LoadPolicy {
+            combine_write_pct: 40,
+            ..LoadPolicy::default()
+        };
+        // Disabled policy or an empty window never engages.
+        assert!(!LoadPolicy::default().combine_settled(100, 100, false));
+        assert!(!p.combine_settled(0, 0, true));
+        // Engage exactly at the threshold share.
+        assert!(!p.combine_settled(39, 100, false));
+        assert!(p.combine_settled(40, 100, false));
+        // Quarter-band hysteresis: an engaged shard stays engaged down
+        // to pct - pct/4 = 30, and only disengages strictly below it.
+        assert!(p.combine_settled(30, 100, true));
+        assert!(!p.combine_settled(29, 100, true));
+    }
+
+    #[test]
+    fn pinned_delegation_agrees_with_flat() {
+        let set = CombineSet::with_policy(LoadPolicy {
+            min_split_keys: 4,
+            ..eager()
+        });
+        set.pin_combining(true);
+        let flat = SinglyCursorList::<i64>::new();
+        let mut hs = set.handle();
+        let mut hf = flat.handle();
+        let mut x = 0xfeed_beefu64;
+        for i in 0..6_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = spread(((x >> 33) % 300) as i64);
+            match x % 3 {
+                0 => assert_eq!(hs.add(k), hf.add(k)),
+                1 => assert_eq!(hs.remove(k), hf.remove(k)),
+                _ => assert_eq!(hs.contains(k), hf.contains(k)),
+            }
+            // Toggle the pin mid-churn: ops must agree whether they run
+            // delegated or direct, and across forced migrations either
+            // way.
+            if i % 1000 == 500 {
+                set.pin_combining(i % 2000 == 500);
+            }
+            if i % 1500 == 700 {
+                let _ = set.force_split_at(k);
+            }
+        }
+        assert!(set.combined() > 0, "pinned writes must run delegated");
+        drop((hs, hf));
+        let (mut set, mut flat) = (set, flat);
+        assert_eq!(set.collect_keys(), flat.collect_keys());
+        set.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn auto_delegation_engages_on_write_heavy_shard_instead_of_split() {
+        let set = CombineSet::with_policy(LoadPolicy {
+            combine_write_pct: 30,
+            ..eager()
+        });
+        let mut h = set.handle();
+        // A pure-write hot shard: share 100% ≥ 30% at the first window
+        // close, so the sweep engages delegation *before* the split
+        // decision runs — the hot shard is delegated, never split.
+        let mut x = 0x5eedu64;
+        for _ in 0..2_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = spread(((x >> 33) % 40) as i64);
+            if x.is_multiple_of(2) {
+                h.add(k);
+            } else {
+                h.remove(k);
+            }
+        }
+        assert!(
+            set.delegations() > 0,
+            "a 100% write share must engage delegation"
+        );
+        assert_eq!(
+            set.splits(),
+            0,
+            "a delegated hot shard must not be split (delegate instead of split)"
+        );
+        assert!(
+            set.combined() > 0,
+            "engaged shards must drain via combiners"
+        );
+        drop(h);
+        let mut set = set;
+        set.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concurrent_delegated_churn_with_migrations_keeps_contents() {
+        let set = CombineSet::with_policy(LoadPolicy {
+            min_split_keys: 2,
+            ..eager()
+        });
+        set.pin_combining(true);
+        std::thread::scope(|s| {
+            // Each thread owns the keys of one residue class mod 3
+            // (249 = 3·83 keeps the classes disjoint under the % 249
+            // wrap), so the final contents are deterministic: every
+            // thread's last pass re-adds its whole class.
+            for t in 0..3i64 {
+                let set = &set;
+                s.spawn(move || {
+                    let mut h = set.handle();
+                    for round in 0..4i64 {
+                        for i in 0..200 {
+                            h.add(spread((i * 3 + t) % 249));
+                        }
+                        for i in 0..200 {
+                            h.remove(spread(((i + round) * 3 + t) % 249));
+                        }
+                        for i in 0..200 {
+                            h.add(spread((i * 3 + t) % 249));
+                        }
+                    }
+                });
+            }
+            // Seal shards under the delegating writers: pending combine
+            // ops must either complete pre-seal or retract and re-route.
+            let mut i = 0i64;
+            while set.splits() < 3 && i < 5_000 {
+                let _ = set.force_split_at(spread(i * 7 % 249));
+                i += 1;
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        });
+        assert!(set.splits() > 0, "migrations must fire under delegation");
+        assert!(set.combined() > 0, "pinned writes must run delegated");
+        let mut set = set;
+        assert_eq!(
+            set.collect_keys(),
+            (0..249).map(spread).collect::<Vec<_>>(),
+            "no delegated op lost or duplicated across migrations"
+        );
+        set.check_invariants().unwrap();
+    }
+
     mod leaks {
         use super::*;
         use crate::reclaim::leak::{self, LeakKey};
@@ -2829,6 +3672,104 @@ mod tests {
         fn hazard_backend_migrations_are_leak_free() {
             assert_migrations_are_leak_free::<SinglyList<LeakKey, true, false, false, HazardReclaim>>(
             );
+        }
+
+        /// The delegated variant of [`assert_migrations_are_leak_free`]:
+        /// every write runs through a combiner (flags pinned on) while
+        /// forced splits seal shards under the pending mailbox ops, so
+        /// combiner-drained batches and seal-retracted ops both recycle
+        /// their nodes — whichever reclaimer the backend runs.
+        fn assert_combining_migrations_are_leak_free<B>()
+        where
+            B: ConcurrentOrderedSet<LeakKey> + 'static,
+            for<'a> B::Handle<'a>: OrderedHandle<LeakKey>,
+        {
+            let _serial = leak::LEAK_TEST_LOCK
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let (a0, f0) = leak::snapshot();
+            {
+                let set = ElasticSet::<LeakKey, B>::with_policy(LoadPolicy {
+                    min_split_keys: 2,
+                    ..LoadPolicy::default()
+                });
+                set.pin_combining(true);
+                {
+                    let mut h = set.handle();
+                    for i in 201..=216 {
+                        h.add(LeakKey(i));
+                    }
+                }
+                std::thread::scope(|s| {
+                    for t in 0..3i64 {
+                        let set = &set;
+                        s.spawn(move || {
+                            let mut h = set.handle();
+                            for round in 0..4i64 {
+                                for i in 0..150 {
+                                    h.add(LeakKey((i * 3 + t) % 120 + 1));
+                                }
+                                for i in 0..150 {
+                                    h.remove(LeakKey((i * 3 + t + round) % 120 + 1));
+                                }
+                            }
+                        });
+                    }
+                    let mut i = 0i64;
+                    while set.splits() < 3 && i < 5_000 {
+                        let _ = set.force_split_at(LeakKey(i * 6 % 216 + 1));
+                        if i % 3 == 0 {
+                            let _ = set.force_merge_at(LeakKey(i % 216 + 1));
+                        }
+                        i += 1;
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    }
+                });
+                assert!(set.splits() > 0, "{}: no migration fired", B::NAME);
+                assert!(
+                    set.combined() > 0,
+                    "{}: pinned churn must drain via combiners",
+                    B::NAME
+                );
+                drive_collector(|| set.tables_alive() == 1);
+                assert_eq!(
+                    set.tables_alive(),
+                    1,
+                    "{}: retired router tables must collect",
+                    B::NAME
+                );
+            }
+            drive_collector(|| {
+                let (a, f) = leak::snapshot();
+                a - a0 == f - f0
+            });
+            let (a1, f1) = leak::snapshot();
+            assert!(a1 > a0, "{}: delegated churn must allocate", B::NAME);
+            assert_eq!(
+                a1 - a0,
+                f1 - f0,
+                "{}: combiner-drained batches must free every node",
+                B::NAME
+            );
+        }
+
+        #[test]
+        fn arena_combining_migrations_are_leak_free() {
+            assert_combining_migrations_are_leak_free::<SinglyList<LeakKey, true, true, false>>();
+        }
+
+        #[test]
+        fn epoch_combining_migrations_are_leak_free() {
+            assert_combining_migrations_are_leak_free::<
+                SinglyList<LeakKey, true, true, false, EpochReclaim>,
+            >();
+        }
+
+        #[test]
+        fn hazard_combining_migrations_are_leak_free() {
+            assert_combining_migrations_are_leak_free::<
+                SinglyList<LeakKey, true, false, false, HazardReclaim>,
+            >();
         }
 
         #[test]

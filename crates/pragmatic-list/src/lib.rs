@@ -122,7 +122,9 @@ pub(crate) mod sync;
 pub mod unrolled;
 pub mod variants;
 
-pub use elastic::{ElasticMap, ElasticMorphSet, ElasticSet, LoadPolicy, MorphKind};
+pub use elastic::{
+    ElasticCombineSet, ElasticMap, ElasticMorphSet, ElasticSet, LoadPolicy, MorphKind,
+};
 pub use key::Key;
 pub use ordered::{OrderedHandle, ScanBounds, Snapshot};
 pub use reclaim::Reclaimer;
